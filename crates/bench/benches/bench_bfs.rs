@@ -1,0 +1,35 @@
+//! E7/E10: the layer-certified BFS protocols — SYNC on arbitrary graphs,
+//! ASYNC on even-odd-bipartite graphs — full executions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wb_bench::workloads::Workload;
+use wb_core::{EobBfs, SyncBfs};
+use wb_runtime::{run, RandomAdversary};
+
+fn bench_sync_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_sync");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &(n, d) in &[(100usize, 4usize), (400, 4), (400, 12), (1000, 4)] {
+        let g = Workload::GnpAvgDeg(d).generate(n, wb_bench::SEED);
+        group.bench_function(format!("n{n}_deg{d}"), |b| {
+            b.iter(|| run(&SyncBfs, black_box(&g), &mut RandomAdversary::new(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eob_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_eob_async");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &n in &[101usize, 401, 1001] {
+        let g = Workload::EobConnected.generate(n, wb_bench::SEED);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| run(&EobBfs, black_box(&g), &mut RandomAdversary::new(1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_bfs, bench_eob_bfs);
+criterion_main!(benches);

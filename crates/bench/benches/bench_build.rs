@@ -1,0 +1,65 @@
+//! E1/E13: end-to-end BUILD runs — whiteboard fill plus Algorithm 1's O(n²)
+//! reconstruction — across degeneracy bounds, versus the naive baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wb_bench::workloads::Workload;
+use wb_core::{BuildDegenerate, NaiveBuild};
+use wb_runtime::{run, Protocol, RandomAdversary};
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_full_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &(n, k) in &[(100usize, 1usize), (100, 3), (400, 3), (400, 5)] {
+        let g = Workload::KDegenerate(k).generate(n, wb_bench::SEED);
+        let p = BuildDegenerate::new(k);
+        group.bench_function(format!("n{n}_k{k}"), |b| {
+            b.iter(|| run(&p, black_box(&g), &mut RandomAdversary::new(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_output_fn");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &(n, k) in &[(200usize, 2usize), (400, 4)] {
+        let g = Workload::KDegenerate(k).generate(n, wb_bench::SEED);
+        let p = BuildDegenerate::new(k);
+        let report = run(&p, &g, &mut RandomAdversary::new(1));
+        group.bench_function(format!("n{n}_k{k}"), |b| {
+            b.iter(|| p.output(n, black_box(&report.board)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_mixed_full_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &(n, k) in &[(100usize, 2usize), (200, 2)] {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(wb_bench::SEED);
+        // Dense complement: the workload only the mixed protocol handles.
+        let g = wb_graph::generators::k_degenerate(n, k, true, &mut rng).complement();
+        let p = wb_core::BuildMixed::new(k);
+        group.bench_function(format!("dense_complement_n{n}_k{k}"), |b| {
+            b.iter(|| run(&p, black_box(&g), &mut RandomAdversary::new(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_naive_baseline");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &n in &[100usize, 400] {
+        let g = Workload::KDegenerate(3).generate(n, wb_bench::SEED);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| run(&NaiveBuild, black_box(&g), &mut RandomAdversary::new(1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_run, bench_decode_only, bench_mixed_build, bench_naive_baseline);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E2 (decode side): Lemma 2's two decoders — the paper's literal `O(n^k)`
+//! lookup table versus the Newton-identities integer-root decoder — agreement
+//! is tested in `wb-math`; here we measure the cost crossover.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wb_math::powersum::{power_sums, LookupDecoder, NewtonDecoder};
+
+fn bench_newton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_newton");
+    group.sample_size(15).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    for &(n, k) in &[(100usize, 3usize), (1_000, 3), (10_000, 3), (1_000, 5)] {
+        let set: Vec<u32> = (1..=k as u32).map(|i| i * (n as u32 / (k as u32 + 1))).collect();
+        let sums = power_sums(&set, k);
+        let dec = NewtonDecoder::new(n);
+        group.bench_function(format!("n{n}_k{k}"), |b| {
+            b.iter(|| dec.decode(black_box(&sums), k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_lookup");
+    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    // Small domain only: the table is O(n^k).
+    let (n, k) = (60usize, 3usize);
+    let dec = LookupDecoder::new(n, k);
+    let set = vec![7u32, 23, 59];
+    let sums = power_sums(&set, k);
+    group.bench_function(format!("n{n}_k{k}_table{}", dec.len()), |b| {
+        b.iter(|| dec.decode(black_box(&sums), 3).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_table_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_lookup_build");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(100));
+    group.bench_function("n40_k3", |b| b.iter(|| LookupDecoder::new(black_box(40), 3).len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_newton, bench_lookup, bench_table_construction);
+criterion_main!(benches);

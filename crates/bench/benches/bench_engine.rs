@@ -1,0 +1,45 @@
+//! Engine-substrate throughput: rounds per second of the whiteboard machine
+//! itself (probe protocol = minimal per-node work), and the exhaustive
+//! model-checking executor's schedule throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wb_bench::probes::{Activation, Probe};
+use wb_graph::generators;
+use wb_runtime::exhaustive::for_each_schedule;
+use wb_runtime::{run, Model, RandomAdversary};
+
+fn bench_engine_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rounds");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &n in &[100usize, 1000, 4000] {
+        let g = generators::path(n);
+        for model in [Model::SimAsync, Model::SimSync, Model::Sync] {
+            let p = Probe::new(model, Activation::Immediate);
+            group.bench_function(format!("{model}_n{n}"), |b| {
+                b.iter(|| run(&p, black_box(&g), &mut RandomAdversary::new(1)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_schedules");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &n in &[5usize, 6] {
+        let g = generators::path(n);
+        let p = Probe::new(Model::SimSync, Activation::Immediate);
+        group.bench_function(format!("n{n}_factorial_schedules"), |b| {
+            b.iter(|| {
+                let mut count = 0u64;
+                for_each_schedule(&p, black_box(&g), 1_000_000, |_| count += 1);
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_rounds, bench_exhaustive_executor);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Workload-generator throughput (the substrate feeding every experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use wb_graph::{checks, generators};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphgen");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group.bench_function("tree_n10000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            generators::random_tree(black_box(10_000), &mut rng)
+        })
+    });
+    group.bench_function("k_degenerate_n2000_k5", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            generators::k_degenerate(black_box(2_000), 5, true, &mut rng)
+        })
+    });
+    group.bench_function("gnp_n1000_p01", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            generators::gnp(black_box(1_000), 0.01, &mut rng)
+        })
+    });
+    group.bench_function("eob_connected_n2001", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            generators::even_odd_bipartite_connected(black_box(2_001), 0.005, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_reference_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_oracles");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::gnp(2_000, 0.005, &mut rng);
+    group.bench_function("bfs_forest_n2000", |b| b.iter(|| checks::bfs_forest(black_box(&g))));
+    group.bench_function("degeneracy_n2000", |b| b.iter(|| checks::degeneracy(black_box(&g))));
+    group.bench_function("triangle_count_n2000", |b| b.iter(|| checks::triangle_count(black_box(&g))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_reference_oracles);
+criterion_main!(benches);

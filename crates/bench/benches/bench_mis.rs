@@ -1,0 +1,24 @@
+//! E4: the greedy SIMSYNC rooted-MIS protocol — full executions across sizes
+//! and densities.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wb_bench::workloads::Workload;
+use wb_core::MisGreedy;
+use wb_runtime::{run, RandomAdversary};
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis_greedy");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &(n, d) in &[(100usize, 4usize), (400, 4), (1000, 4), (1000, 20)] {
+        let g = Workload::GnpAvgDeg(d).generate(n, wb_bench::SEED);
+        let p = MisGreedy::new(1);
+        group.bench_function(format!("n{n}_deg{d}"), |b| {
+            b.iter(|| run(&p, black_box(&g), &mut RandomAdversary::new(1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

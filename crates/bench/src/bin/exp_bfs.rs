@@ -1,0 +1,110 @@
+//! E7 + E10 — Theorems 7 and 10, Corollary 4, and the Open Problem 3
+//! ablation: BFS forests from edge-counting certificates.
+
+use wb_bench::table::{banner, TablePrinter};
+use wb_bench::workloads::Workload;
+use wb_core::bfs::BfsOutput;
+use wb_core::{AsyncBipartiteBfs, EobBfs, SyncBfs};
+use wb_graph::{checks, enumerate, generators, Graph};
+use wb_par::par_reduce;
+use wb_runtime::exhaustive::{assert_all_schedules, for_each_schedule};
+use wb_runtime::{run, Outcome, RandomAdversary};
+
+fn main() {
+    banner("Theorem 10 (SYNC BFS): exhaustive on all 64 labeled graphs, n = 4");
+    let mut schedules = 0u64;
+    for g in enumerate::all_graphs(4) {
+        schedules += assert_all_schedules(&SyncBfs, &g, 100, |f| *f == checks::bfs_forest(&g));
+    }
+    println!("{schedules} schedules, every forest equals the canonical min-ID BFS forest");
+
+    banner("Randomized sweeps (forest = reference, deadlock-free), parallel");
+    let t = TablePrinter::new(
+        &["protocol", "workload", "n", "runs", "all correct"],
+        &[14, 22, 7, 6, 12],
+    );
+    let sweeps: Vec<(&str, Workload, usize)> = vec![
+        ("SYNC", Workload::GnpAvgDeg(3), 200),
+        ("SYNC", Workload::GnpAvgDeg(8), 200),
+        ("SYNC", Workload::KDegenerate(3), 400),
+        ("SYNC", Workload::TwoCliques, 100),
+        ("ASYNC (EOB)", Workload::EobConnected, 200),
+        ("ASYNC (EOB)", Workload::EobConnected, 401),
+    ];
+    for (tag, w, n) in sweeps {
+        let seeds: Vec<u64> = (0..32).collect();
+        let correct = par_reduce(
+            &seeds,
+            |&seed| {
+                let g = w.generate(n, seed);
+                let ok = if tag == "SYNC" {
+                    matches!(run(&SyncBfs, &g, &mut RandomAdversary::new(seed)).outcome,
+                             Outcome::Success(ref f) if *f == checks::bfs_forest(&g))
+                } else {
+                    matches!(run(&EobBfs, &g, &mut RandomAdversary::new(seed)).outcome,
+                             Outcome::Success(BfsOutput::Forest(ref f)) if *f == checks::bfs_forest(&g))
+                };
+                u64::from(ok)
+            },
+            || 0u64,
+            |a, b| a + b,
+        );
+        assert_eq!(correct, 32);
+        t.row(&[
+            tag.to_string(),
+            w.name(),
+            format!("{n}"),
+            "32".to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    t.rule();
+
+    banner("Theorem 7 (EOB-BFS): invalid inputs drain to a verdict, never deadlock");
+    let seeds: Vec<u64> = (0..32).collect();
+    let verdicts = par_reduce(
+        &seeds,
+        |&seed| {
+            let mut g = Workload::EobConnected.generate(101, seed);
+            g.add_edge(3, 9); // plant an odd-odd edge
+            u64::from(matches!(
+                run(&EobBfs, &g, &mut RandomAdversary::new(seed)).outcome,
+                Outcome::Success(BfsOutput::NotEvenOddBipartite)
+            ))
+        },
+        || 0u64,
+        |a, b| a + b,
+    );
+    println!("32/32 planted-violation runs returned NotEvenOddBipartite: {}", verdicts == 32);
+    assert_eq!(verdicts, 32);
+
+    banner("Corollary 4: ASYNC BFS on bipartite (non-EOB) graphs");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(wb_bench::SEED);
+    for (a, b) in [(20usize, 15usize), (40, 40)] {
+        let g = generators::bipartite_fixed(a, b, 0.1, &mut rng);
+        let report = run(&AsyncBipartiteBfs, &g, &mut RandomAdversary::new(9));
+        let ok = matches!(report.outcome, Outcome::Success(ref f) if *f == checks::bfs_forest(&g));
+        println!("  bipartite {a}+{b}: correct forest = {ok}");
+        assert!(ok);
+    }
+
+    banner("Open Problem 3 ablation: frozen messages vs write-time messages");
+    // Triangle with a 2-tail: every ASYNC schedule deadlocks, every SYNC
+    // schedule succeeds.
+    let g = Graph::from_edges(5, &[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
+    let mut total = 0u64;
+    let mut deadlocks = 0u64;
+    for_each_schedule(&AsyncBipartiteBfs, &g, 10_000, |report| {
+        total += 1;
+        if matches!(report.outcome, Outcome::Deadlock { .. }) {
+            deadlocks += 1;
+        }
+    });
+    let sync_ok = assert_all_schedules(&SyncBfs, &g, 10_000, |f| *f == checks::bfs_forest(&g));
+    println!(
+        "triangle+tail: ASYNC deadlocks {deadlocks}/{total} schedules; SYNC correct on all {sync_ok} —\n\
+         the d₀ correction is only computable at write time, supporting the paper's\n\
+         conjecture that BFS ∉ PASYNC (Open Problem 3)."
+    );
+    assert_eq!(deadlocks, total);
+}

@@ -1,0 +1,96 @@
+//! E1 + E13 — Theorem 2 and Lemma 1: BUILD on bounded-degeneracy graphs.
+//!
+//! Regenerates the message-size accounting of Lemma 1 (`≤ k(k+1)·log n +
+//! O(log n)` bits, measured, not assumed), exercises reconstruction across
+//! the graph classes the paper names (forests, k-trees ≈ bounded treewidth,
+//! planar-like degeneracy-5, random k-degenerate), the robust rejection of
+//! out-of-class inputs, and the crossover against the naive Θ(n)-bit
+//! baseline.
+
+use wb_bench::table::{banner, TablePrinter};
+use wb_bench::workloads::Workload;
+use wb_core::{BuildDegenerate, BuildError, NaiveBuild};
+use wb_graph::generators;
+use wb_math::id_bits;
+use wb_par::par_map;
+use wb_runtime::{run, Outcome, Protocol, RandomAdversary};
+
+fn main() {
+    banner("Theorem 2 / Lemma 1: message bits vs k(k+1)·log n (measured over runs)");
+    let t = TablePrinter::new(
+        &["workload", "n", "k", "max bits", "k(k+1)+2 ·⌈lg n⌉", "rebuilt"],
+        &[26, 7, 3, 9, 17, 8],
+    );
+    let cases: Vec<(Workload, usize, usize)> = vec![
+        (Workload::Tree, 100, 1),
+        (Workload::Tree, 10_000, 1),
+        (Workload::Forest, 1_000, 1),
+        (Workload::KTree(2), 1_000, 2),
+        (Workload::KTree(4), 1_000, 4),
+        (Workload::KDegenerate(3), 1_000, 3),
+        (Workload::PlanarLike, 1_000, 5),
+        (Workload::PlanarLike, 5_000, 5),
+    ];
+    let rows = par_map(&cases, |&(w, n, k)| {
+        let g = w.generate(n, wb_bench::SEED ^ n as u64);
+        let p = BuildDegenerate::new(k);
+        let report = run(&p, &g, &mut RandomAdversary::new(n as u64));
+        let bits = report.max_message_bits();
+        let bound = (k * (k + 1) + 2) * id_bits(n) as usize;
+        let ok = matches!(report.outcome, Outcome::Success(Ok(ref h)) if h == &g);
+        (w.name(), n, k, bits, bound, ok)
+    });
+    for (name, n, k, bits, bound, ok) in rows {
+        assert!(bits <= bound && ok);
+        t.row(&[
+            name,
+            format!("{n}"),
+            format!("{k}"),
+            format!("{bits}"),
+            format!("{bound}"),
+            format!("{ok}"),
+        ]);
+    }
+    t.rule();
+
+    banner("Recognition robustness: out-of-class inputs are rejected, never mis-built");
+    let t = TablePrinter::new(&["input", "k", "verdict"], &[26, 3, 18]);
+    for (name, g, k) in [
+        ("cycle C100", generators::cycle(100), 1usize),
+        ("clique K6", generators::clique(6), 3),
+        ("K5 + forest", generators::clique(5).disjoint_union(&Workload::Forest.generate(20, 1)), 2),
+    ] {
+        let p = BuildDegenerate::new(k);
+        let report = run(&p, &g, &mut RandomAdversary::new(3));
+        let verdict = match report.outcome {
+            Outcome::Success(Err(BuildError::NotKDegenerate)) => "rejected".to_string(),
+            Outcome::Success(Ok(_)) => "BUILT (unexpected)".to_string(),
+            other => format!("{other:?}"),
+        };
+        assert_eq!(verdict, "rejected");
+        t.row(&[name.to_string(), format!("{k}"), verdict]);
+    }
+    t.rule();
+
+    banner("E13: bits/node crossover vs the naive Θ(n) baseline (k = 5 inputs)");
+    let t = TablePrinter::new(
+        &["n", "degeneracy bits", "naive bits", "ratio"],
+        &[8, 16, 12, 8],
+    );
+    for n in [50usize, 100, 500, 1_000, 5_000, 20_000] {
+        let p = BuildDegenerate::new(5);
+        let smart = p.budget_bits(n) as f64;
+        let naive = NaiveBuild.budget_bits(n) as f64;
+        t.row(&[
+            format!("{n}"),
+            format!("{}", smart as u64),
+            format!("{}", naive as u64),
+            format!("{:.2}×", naive / smart),
+        ]);
+    }
+    t.rule();
+    println!(
+        "The O(k² log n) protocol overtakes the naive whole-neighborhood baseline as\n\
+         soon as n ≫ k² log n — the asymptotic separation Theorem 2 formalizes."
+    );
+}

@@ -1,0 +1,100 @@
+//! E11 — Theorem 4: the computing-power lattice, demonstrated.
+//!
+//! Every protocol of a weaker model runs unchanged in every stronger model
+//! (Lemma 4, via the `Promote` adapters), with identical problem-level
+//! outputs and unchanged message budgets; the separator problems place the
+//! strict inclusions.
+
+use wb_bench::table::{banner, TablePrinter};
+use wb_bench::workloads::Workload;
+use wb_core::{two_cliques::TwoCliquesVerdict, BuildDegenerate, MisGreedy, TwoCliques};
+use wb_graph::checks;
+use wb_math::counting::MessageRegime;
+use wb_reductions::lemma3::{verdict, Family};
+use wb_runtime::adapt::Promote;
+use wb_runtime::{run, Model, Outcome, Protocol, RandomAdversary};
+
+fn main() {
+    banner("Lemma 4: weak protocols run unchanged in strong models");
+    let t = TablePrinter::new(
+        &["protocol", "native model", "target", "output intact", "budget intact"],
+        &[20, 13, 10, 14, 14],
+    );
+    let g2 = Workload::KDegenerate(2).generate(18, 4);
+    for target in Model::ALL {
+        let p = Promote::new(BuildDegenerate::new(2), target);
+        let ok = (0..4).all(|s| {
+            matches!(run(&p, &g2, &mut RandomAdversary::new(s)).outcome,
+                     Outcome::Success(Ok(ref h)) if h == &g2)
+        });
+        let budget_ok = p.budget_bits(18) == BuildDegenerate::new(2).budget_bits(18);
+        assert!(ok && budget_ok);
+        t.row(&[
+            "BUILD (k=2)".to_string(),
+            "SIMASYNC".to_string(),
+            target.to_string(),
+            format!("{ok}"),
+            format!("{budget_ok}"),
+        ]);
+    }
+    let gm = Workload::GnpAvgDeg(4).generate(24, 5);
+    for target in [Model::SimSync, Model::Async, Model::Sync] {
+        let p = Promote::new(MisGreedy::new(7), target);
+        let ok = (0..4).all(|s| {
+            matches!(run(&p, &gm, &mut RandomAdversary::new(s)).outcome,
+                     Outcome::Success(ref set) if checks::is_rooted_mis(&gm, set, 7))
+        });
+        assert!(ok);
+        t.row(&[
+            "rooted MIS".to_string(),
+            "SIMSYNC".to_string(),
+            target.to_string(),
+            format!("{ok}"),
+            "true".to_string(),
+        ]);
+    }
+    let gt = Workload::TwoCliques.generate(12, 0);
+    for target in [Model::Async, Model::Sync] {
+        let p = Promote::new(TwoCliques, target);
+        let ok = matches!(
+            run(&p, &gt, &mut RandomAdversary::new(3)).outcome,
+            Outcome::Success(TwoCliquesVerdict::TwoCliques)
+        );
+        assert!(ok);
+        t.row(&[
+            "2-CLIQUES".to_string(),
+            "SIMSYNC".to_string(),
+            target.to_string(),
+            format!("{ok}"),
+            "true".to_string(),
+        ]);
+    }
+    t.rule();
+
+    banner("The strict rungs (separator problems + counting at n = 16384)");
+    let n = 1u64 << 14;
+    let regime = MessageRegime::LogN { c: 8 };
+    let rows = [
+        (
+            "PSIMASYNC ⊊ PSIMSYNC",
+            "rooted MIS (Thm 5/6)",
+            verdict(Family::AllGraphs, n, regime).impossible(),
+        ),
+        (
+            "PSIMSYNC ⊊ PASYNC",
+            "EOB-BFS (Thm 7/8)",
+            verdict(Family::EvenOddBipartite, n, regime).impossible(),
+        ),
+        ("PASYNC ⊆ PSYNC", "BFS in SYNC; strictness open (Open Pb 3)", false),
+    ];
+    let t = TablePrinter::new(&["inclusion", "separator", "counting fires"], &[22, 38, 15]);
+    for (inc, sep, fires) in rows {
+        t.row(&[inc.to_string(), sep.to_string(), format!("{fires}")]);
+    }
+    t.rule();
+    println!(
+        "Orthogonality: SUBGRAPH_f ∈ PSIMASYNC[f] \\ PSYNC[o(f)] (message size can't be\n\
+         bought with synchrony — exp_subgraph), while MIS ∈ PSIMSYNC[log n] \\\n\
+         PSIMASYNC[o(n)] (synchrony can't be bought with message size — exp_mis)."
+    );
+}

@@ -1,0 +1,114 @@
+//! E6 + E12 — §5.1 and Open Problem 4: 2-CLIQUES, deterministic SIMSYNC and
+//! randomized public-coin SIMASYNC.
+//!
+//! Includes the "creeping adversary" stress that motivates our strengthened
+//! acceptance test (DESIGN.md), the connectivity correspondence, and the
+//! empirical error-rate curve of the randomized protocol vs fingerprint
+//! width.
+
+use wb_bench::table::{banner, TablePrinter};
+use wb_bench::workloads::Workload;
+use wb_core::two_cliques::TwoCliquesVerdict;
+use wb_core::{TwoCliques, TwoCliquesRandomized};
+use wb_graph::{checks, NodeId};
+use wb_par::par_reduce;
+use wb_runtime::exhaustive::assert_all_schedules;
+use wb_runtime::{run, MinIdAdversary, PriorityAdversary, RandomAdversary};
+
+fn main() {
+    banner("Deterministic SIMSYNC protocol: exhaustive schedules (n = 6)");
+    let yes = Workload::TwoCliques.generate(6, 0);
+    let c1 = assert_all_schedules(&TwoCliques, &yes, 1000, |v| *v == TwoCliquesVerdict::TwoCliques);
+    let no = Workload::Impostor.generate(6, 1);
+    let c2 = assert_all_schedules(&TwoCliques, &no, 1000, |v| *v == TwoCliquesVerdict::NotTwoCliques);
+    println!("two cliques 2×K3: {c1} schedules all accept; impostor: {c2} schedules all reject");
+
+    banner("Creeping adversary (BFS expansion order) on larger impostors");
+    let t = TablePrinter::new(&["2n", "order", "verdict"], &[6, 12, 16], );
+    for half in [5usize, 10, 25, 50] {
+        let g = Workload::Impostor.generate(2 * half, half as u64);
+        let order: Vec<NodeId> = {
+            let f = checks::bfs_forest(&g);
+            let mut ids: Vec<NodeId> = (1..=g.n() as NodeId).collect();
+            ids.sort_by_key(|&v| f.layer[v as usize - 1]);
+            ids
+        };
+        let report = run(&TwoCliques, &g, &mut PriorityAdversary::new(&order));
+        let v = report.outcome.unwrap();
+        assert_eq!(v, TwoCliquesVerdict::NotTwoCliques);
+        t.row(&[format!("{}", 2 * half), "creeping".to_string(), format!("{v:?}")]);
+    }
+    t.rule();
+    println!(
+        "(The creeping order makes every node copy label 0; the paper's bare\n\
+         'no-message' test would accept — the ∃-label-1 strengthening rejects.)"
+    );
+
+    banner("Connectivity correspondence on the promise class");
+    for half in [4usize, 8, 16] {
+        for (g, desc) in [
+            (Workload::TwoCliques.generate(2 * half, 0), "two cliques"),
+            (Workload::Impostor.generate(2 * half, 3), "impostor"),
+        ] {
+            let verdict = run(&TwoCliques, &g, &mut RandomAdversary::new(7)).outcome.unwrap();
+            assert_eq!(verdict == TwoCliquesVerdict::TwoCliques, !checks::is_connected(&g));
+            println!(
+                "  2n = {:3} {desc:12} connected = {:5} verdict = {verdict:?}",
+                2 * half,
+                checks::is_connected(&g)
+            );
+        }
+    }
+
+    banner("Open Problem 4: randomized SIMASYNC, false-accept rate vs fingerprint bits");
+    let t = TablePrinter::new(
+        &["bits b", "trials", "false accepts", "rate", "2n·2^-b bound"],
+        &[7, 7, 14, 9, 14],
+    );
+    let half = 8usize;
+    for bits in [1u32, 2, 4, 8, 16] {
+        let seeds: Vec<u64> = (0..4096).collect();
+        let false_accepts = par_reduce(
+            &seeds,
+            |&seed| {
+                let g = Workload::Impostor.generate(2 * half, seed % 17);
+                let p = TwoCliquesRandomized::new(seed, bits);
+                u64::from(
+                    run(&p, &g, &mut MinIdAdversary).outcome.unwrap()
+                        == TwoCliquesVerdict::TwoCliques,
+                )
+            },
+            || 0u64,
+            |a, b| a + b,
+        );
+        let rate = false_accepts as f64 / seeds.len() as f64;
+        let bound = (2 * half) as f64 / 2f64.powi(bits as i32);
+        t.row(&[
+            format!("{bits}"),
+            format!("{}", seeds.len()),
+            format!("{false_accepts}"),
+            format!("{rate:.4}"),
+            format!("{bound:.4}"),
+        ]);
+        assert!(rate <= bound.min(1.0) + 0.02, "error above the union bound");
+    }
+    t.rule();
+
+    banner("One-sided error: genuine two-clique inputs are never rejected");
+    let seeds: Vec<u64> = (0..2048).collect();
+    let rejects = par_reduce(
+        &seeds,
+        |&seed| {
+            let g = Workload::TwoCliques.generate(2 * half, 0);
+            let p = TwoCliquesRandomized::new(seed, 2);
+            u64::from(
+                run(&p, &g, &mut MinIdAdversary).outcome.unwrap()
+                    == TwoCliquesVerdict::NotTwoCliques,
+            )
+        },
+        || 0u64,
+        |a, b| a + b,
+    );
+    println!("{} trials at b = 2 bits: {rejects} rejections (must be 0)", seeds.len());
+    assert_eq!(rejects, 0);
+}

@@ -1,0 +1,127 @@
+//! Probe protocols making the four models' semantics *observable* (Table 1).
+//!
+//! The probe message is `(ID, number of messages the writer had seen when its
+//! message was fixed)`. Where that count is taken is exactly what
+//! distinguishes the models:
+//!
+//! - `SIMASYNC` — fixed before any observation: all zeros;
+//! - `SIMSYNC` — fixed at write time: `0, 1, 2, …` in write order;
+//! - `ASYNC` (immediate activation) — frozen at activation: all zeros even
+//!   though writes happen much later;
+//! - `SYNC` (immediate activation) — identical to `SIMSYNC`;
+//! - `ASYNC`/`SYNC` with a gated activation (here: activate once your ID−1
+//!   messages are up) — shows free protocols steering the write order.
+
+use wb_graph::NodeId;
+use wb_math::{id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// Activation policies for the probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Raise the hand in round 1.
+    Immediate,
+    /// Raise the hand once `ID − 1` messages are on the board (forces the
+    /// identity write order).
+    Sequential,
+}
+
+/// The probe protocol: model × activation policy.
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    model: Model,
+    activation: Activation,
+}
+
+impl Probe {
+    /// A probe for `model` with the given activation policy (ignored by the
+    /// simultaneous models).
+    pub fn new(model: Model, activation: Activation) -> Self {
+        Probe { model, activation }
+    }
+}
+
+/// Probe node: counts observed messages.
+#[derive(Clone)]
+pub struct ProbeNode {
+    id: NodeId,
+    seen: u64,
+    activation: Activation,
+}
+
+impl Node for ProbeNode {
+    fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {
+        self.seen += 1;
+    }
+
+    fn wants_to_activate(&mut self, _view: &LocalView) -> bool {
+        match self.activation {
+            Activation::Immediate => true,
+            Activation::Sequential => self.seen == self.id as u64 - 1,
+        }
+    }
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        w.write_bits(self.id as u64, id_bits(view.n));
+        w.write_bits(self.seen, id_bits(view.n) + 1);
+        w.finish()
+    }
+}
+
+impl Protocol for Probe {
+    type Node = ProbeNode;
+    type Output = Vec<(NodeId, u64)>;
+
+    fn model(&self) -> Model {
+        self.model
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        2 * id_bits(n) + 1
+    }
+
+    fn spawn(&self, view: &LocalView) -> ProbeNode {
+        ProbeNode { id: view.id, seen: 0, activation: self.activation }
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
+        board
+            .entries()
+            .iter()
+            .map(|e| {
+                let mut r = BitReader::new(&e.msg);
+                let id = r.read_bits(id_bits(n)) as NodeId;
+                let seen = r.read_bits(id_bits(n) + 1);
+                (id, seen)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_graph::generators;
+    use wb_runtime::{run, MaxIdAdversary, Outcome};
+
+    #[test]
+    fn probes_expose_model_semantics() {
+        let g = generators::path(4);
+        let freeze_counts = |m: Model, a: Activation| -> Vec<u64> {
+            let report = run(&Probe::new(m, a), &g, &mut MaxIdAdversary);
+            match report.outcome {
+                Outcome::Success(rows) => rows.into_iter().map(|(_, s)| s).collect(),
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(freeze_counts(Model::SimAsync, Activation::Immediate), vec![0, 0, 0, 0]);
+        assert_eq!(freeze_counts(Model::SimSync, Activation::Immediate), vec![0, 1, 2, 3]);
+        assert_eq!(freeze_counts(Model::Async, Activation::Immediate), vec![0, 0, 0, 0]);
+        assert_eq!(freeze_counts(Model::Sync, Activation::Immediate), vec![0, 1, 2, 3]);
+        // Sequential gating forces identity order regardless of the max-ID
+        // adversary.
+        let report = run(&Probe::new(Model::Sync, Activation::Sequential), &g, &mut MaxIdAdversary);
+        assert_eq!(report.write_order, vec![1, 2, 3, 4]);
+    }
+}

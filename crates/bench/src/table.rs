@@ -1,0 +1,61 @@
+//! Tiny fixed-width table printer for the experiment binaries (buffered and
+//! locked stdout, per the I/O guidance in the project's performance guides).
+
+use std::io::Write;
+
+/// A simple left-padded table with a header row.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Start a table and print the header.
+    pub fn new(headers: &[&str], widths: &[usize]) -> Self {
+        assert_eq!(headers.len(), widths.len());
+        let t = TablePrinter { widths: widths.to_vec() };
+        t.row(headers);
+        t.rule();
+        t
+    }
+
+    /// Print one row (cells are right-aligned into the column widths).
+    pub fn row<S: AsRef<str>>(&self, cells: &[S]) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        for (cell, w) in cells.iter().zip(&self.widths) {
+            let _ = write!(lock, " {:>width$}", cell.as_ref(), width = w);
+        }
+        let _ = writeln!(lock);
+    }
+
+    /// Print a horizontal rule.
+    pub fn rule(&self) {
+        let total: usize = self.widths.iter().map(|w| w + 1).sum();
+        println!("{}", "-".repeat(total));
+    }
+}
+
+/// Section banner for experiment output.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printer_does_not_panic() {
+        let t = TablePrinter::new(&["a", "b"], &[6, 10]);
+        t.row(&["1", "x"]);
+        t.row(&[format!("{}", 42), "y".to_string()]);
+        t.rule();
+        banner("done");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_headers_panic() {
+        TablePrinter::new(&["a"], &[3, 4]);
+    }
+}

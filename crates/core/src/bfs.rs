@@ -1,0 +1,595 @@
+//! Layer-certified BFS forests: EOB-BFS in `ASYNC[log n]` (Theorem 7), BFS on
+//! arbitrary graphs in `SYNC[log n]` (Theorem 10), and BFS on bipartite graphs
+//! in `ASYNC[log n]` (Corollary 4).
+//!
+//! All three share one node machine. A node's message is
+//! `(ID, l, p, d₋₁, d₀, d₊₁)`: its BFS layer, its parent (min-ID neighbor in
+//! the previous layer, `ROOT` for layer 0), its edge counts toward the
+//! previous layer, within its layer (written-before-it only), and the rest of
+//! its degree. Activation is driven by *edge-counting certificates* — a node
+//! joins layer `t+1` only when the counts on the board prove layer `t` is
+//! completely written:
+//!
+//! ```text
+//! cert(t):      Σ_{L_t} d₋₁  =  Σ_{L_{t−1}} d₊₁  −  2·Σ_{L_{t−1}} d₀
+//! settled(t):   Σ_{L_t} d₊₁  −  2·Σ_{L_t} d₀  =  Σ_{L_{t+1}} d₋₁
+//! ```
+//!
+//! (the `d₀` terms vanish in the bipartite/EOB variants, recovering the
+//! paper's Theorem 7 conditions). A component switch — the paper's condition
+//! (c) — activates the minimum-ID unwritten node as a new root when the last
+//! writer's layer is certified and settled.
+//!
+//! Two faithful completions of the paper's sketch, recorded in DESIGN.md:
+//!
+//! 1. **Global sums across components.** The paper's sums `Σ_{u∈L_k}` range
+//!    over all written layer-`k` nodes; with several components those sums mix
+//!    components. Because every *finished* component contributes equally to
+//!    both sides of each certificate, the conditions above remain sound and
+//!    live with the accumulated (global) sums; the literal condition
+//!    `Σ_{L_{l(w)}} d₊₁ = 0` of Theorem 7 would deadlock on ≥3 components
+//!    (an earlier component's last layer keeps a positive count).
+//! 2. **Invalid-input draining (EOB only).** Nodes with a same-parity neighbor
+//!    activate immediately and write `Invalid`; once any `Invalid` message is
+//!    on the board every awake node activates and writes a 1-field `Skip`
+//!    message, so the run still reaches a successful configuration and the
+//!    output is `NotEvenOddBipartite`.
+
+use crate::codec::{read_id, read_opt_id, write_id, write_opt_id};
+use wb_graph::checks::BfsForest;
+use wb_graph::NodeId;
+use wb_math::{id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// Which of the three paper protocols this node machine is running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Variant {
+    /// Theorem 10: SYNC, arbitrary graphs, intra-layer `d₀` corrections.
+    Sync,
+    /// Corollary 4: ASYNC, bipartite graphs (no `d₀` terms).
+    AsyncBipartite,
+    /// Theorem 7: ASYNC, even-odd-bipartite graphs with invalid detection.
+    Eob,
+}
+
+const TAG_NORMAL: u64 = 0;
+const TAG_INVALID: u64 = 1;
+const TAG_SKIP: u64 = 2;
+
+/// Output of [`EobBfs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BfsOutput {
+    /// The input was even-odd-bipartite; here is its BFS forest.
+    Forest(BfsForest),
+    /// Some edge joins two identifiers of equal parity.
+    NotEvenOddBipartite,
+}
+
+/// Per-node machine shared by the three variants.
+#[derive(Clone)]
+pub struct BfsNode {
+    variant: Variant,
+    /// Has a same-parity neighbor (EOB invalidity witness), set at spawn.
+    parity_violation: bool,
+    invalid_seen: bool,
+    /// Written flags for all nodes (any tag).
+    written: Vec<bool>,
+    written_count: usize,
+    /// Monotone cursor for min-unwritten queries.
+    min_unwritten_cursor: usize,
+    /// `(neighbor, layer)` for each written neighbor, in observation order.
+    written_nbrs: Vec<(NodeId, u32)>,
+    /// Global per-layer sums of the broadcast counts.
+    sum_dminus: Vec<u64>,
+    sum_d0: Vec<u64>,
+    sum_dplus: Vec<u64>,
+    /// Last `Normal` message's `(writer, layer)`.
+    last_normal: Option<(NodeId, u32)>,
+    board_len: usize,
+}
+
+impl BfsNode {
+    fn new(variant: Variant, view: &LocalView) -> Self {
+        let parity_violation = variant == Variant::Eob
+            && view.neighbors.iter().any(|&w| w % 2 == view.id % 2);
+        BfsNode {
+            variant,
+            parity_violation,
+            invalid_seen: false,
+            written: vec![false; view.n],
+            written_count: 0,
+            min_unwritten_cursor: 1,
+            written_nbrs: Vec::new(),
+            sum_dminus: Vec::new(),
+            sum_d0: Vec::new(),
+            sum_dplus: Vec::new(),
+            last_normal: None,
+            board_len: 0,
+        }
+    }
+
+    fn layer_sum(v: &[u64], l: u32) -> u64 {
+        v.get(l as usize).copied().unwrap_or(0)
+    }
+
+    fn d0_coeff(&self) -> u64 {
+        match self.variant {
+            Variant::Sync => 2,
+            _ => 0,
+        }
+    }
+
+    /// `cert(t)`: layer `t` is completely written (trivially true for t = 0,
+    /// where both sides are 0 — roots announce d₋₁ = 0).
+    fn cert(&self, t: u32) -> bool {
+        let lhs = Self::layer_sum(&self.sum_dminus, t);
+        let rhs = if t == 0 {
+            0
+        } else {
+            Self::layer_sum(&self.sum_dplus, t - 1)
+                - self.d0_coeff() * Self::layer_sum(&self.sum_d0, t - 1)
+        };
+        lhs == rhs
+    }
+
+    /// `settled(t)`: no unacknowledged edges leave layer `t`.
+    fn settled(&self, t: u32) -> bool {
+        let lhs = Self::layer_sum(&self.sum_dplus, t)
+            - self.d0_coeff() * Self::layer_sum(&self.sum_d0, t);
+        lhs == Self::layer_sum(&self.sum_dminus, t + 1)
+    }
+
+    fn min_unwritten(&mut self) -> Option<NodeId> {
+        while self.min_unwritten_cursor <= self.written.len()
+            && self.written[self.min_unwritten_cursor - 1]
+        {
+            self.min_unwritten_cursor += 1;
+        }
+        (self.min_unwritten_cursor <= self.written.len())
+            .then_some(self.min_unwritten_cursor as NodeId)
+    }
+
+    /// The BFS fields of a `Normal` message, computed from the written
+    /// neighbors known right now (activation time for ASYNC variants, write
+    /// time for SYNC).
+    fn bfs_fields(&self, view: &LocalView) -> (u32, Option<NodeId>, u64, u64, u64) {
+        if self.written_nbrs.is_empty() {
+            return (0, None, 0, 0, view.degree() as u64);
+        }
+        let l = self.written_nbrs.iter().map(|&(_, lw)| lw).min().unwrap() + 1;
+        let dminus = self.written_nbrs.iter().filter(|&&(_, lw)| lw == l - 1).count() as u64;
+        let d0 = self.written_nbrs.iter().filter(|&&(_, lw)| lw == l).count() as u64;
+        let dplus = view.degree() as u64 - dminus;
+        let parent =
+            self.written_nbrs.iter().filter(|&&(_, lw)| lw == l - 1).map(|&(w, _)| w).min();
+        (l, parent, dminus, d0, dplus)
+    }
+}
+
+impl Node for BfsNode {
+    fn observe(&mut self, view: &LocalView, _seq: usize, _writer: NodeId, msg: &BitVec) {
+        self.board_len += 1;
+        let mut r = BitReader::new(msg);
+        let tag = r.read_bits(2);
+        let id = read_id(&mut r, view.n);
+        if !self.written[id as usize - 1] {
+            self.written[id as usize - 1] = true;
+            self.written_count += 1;
+        }
+        match tag {
+            TAG_INVALID => self.invalid_seen = true,
+            TAG_SKIP => {}
+            TAG_NORMAL => {
+                let l = r.read_bits(id_bits(view.n)) as u32;
+                let _parent = read_opt_id(&mut r, view.n);
+                let dminus = r.read_bits(id_bits(view.n));
+                let d0 = r.read_bits(id_bits(view.n));
+                let dplus = r.read_bits(id_bits(view.n));
+                let idx = l as usize;
+                if self.sum_dminus.len() <= idx + 1 {
+                    self.sum_dminus.resize(idx + 2, 0);
+                    self.sum_d0.resize(idx + 2, 0);
+                    self.sum_dplus.resize(idx + 2, 0);
+                }
+                self.sum_dminus[idx] += dminus;
+                self.sum_d0[idx] += d0;
+                self.sum_dplus[idx] += dplus;
+                if view.is_neighbor(id) {
+                    self.written_nbrs.push((id, l));
+                }
+                self.last_normal = Some((id, l));
+            }
+            _ => unreachable!("unknown tag"),
+        }
+    }
+
+    fn wants_to_activate(&mut self, view: &LocalView) -> bool {
+        // EOB invalidity: witnesses rise immediately; everyone else drains
+        // once an Invalid message is on the board.
+        if self.variant == Variant::Eob && (self.parity_violation || self.invalid_seen) {
+            return true;
+        }
+        // "Initially, only v₁ is active."
+        if self.board_len == 0 {
+            return view.id == 1;
+        }
+        // (a) ∧ (b): a written neighbor whose layer is certified complete.
+        if self.written_nbrs.iter().any(|&(_, lw)| self.cert(lw)) {
+            return true;
+        }
+        // (c): component switch — last (Normal) writer w is a non-neighbor,
+        // its layer is certified and settled, and v is the min-ID unwritten.
+        if let Some((w, lw)) = self.last_normal {
+            if !view.is_neighbor(w)
+                && self.cert(lw)
+                && self.settled(lw)
+                && self.min_unwritten() == Some(view.id)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        if self.variant == Variant::Eob && self.parity_violation {
+            w.write_bits(TAG_INVALID, 2);
+            write_id(&mut w, view.id, view.n);
+            return w.finish();
+        }
+        if self.variant == Variant::Eob && self.invalid_seen {
+            w.write_bits(TAG_SKIP, 2);
+            write_id(&mut w, view.id, view.n);
+            return w.finish();
+        }
+        let (l, parent, dminus, d0, dplus) = self.bfs_fields(view);
+        w.write_bits(TAG_NORMAL, 2);
+        write_id(&mut w, view.id, view.n);
+        w.write_bits(l as u64, id_bits(view.n));
+        write_opt_id(&mut w, parent, view.n);
+        w.write_bits(dminus, id_bits(view.n));
+        w.write_bits(d0, id_bits(view.n));
+        w.write_bits(dplus, id_bits(view.n));
+        w.finish()
+    }
+}
+
+fn bfs_budget_bits(n: usize) -> u32 {
+    2 + 6 * id_bits(n)
+}
+
+fn decode_forest(n: usize, board: &Whiteboard) -> Option<BfsForest> {
+    let mut layer = vec![0u32; n];
+    let mut parent = vec![None; n];
+    let mut roots = Vec::new();
+    for e in board.entries() {
+        let mut r = BitReader::new(&e.msg);
+        let tag = r.read_bits(2);
+        let id = read_id(&mut r, n);
+        match tag {
+            TAG_INVALID => return None,
+            TAG_SKIP => {}
+            _ => {
+                let l = r.read_bits(id_bits(n)) as u32;
+                let p = read_opt_id(&mut r, n);
+                layer[id as usize - 1] = l;
+                parent[id as usize - 1] = p;
+                if p.is_none() {
+                    roots.push(id);
+                }
+            }
+        }
+    }
+    roots.sort_unstable();
+    Some(BfsForest { layer, parent, roots })
+}
+
+/// Theorem 10: BFS forests on **arbitrary** graphs in `SYNC[log n]`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncBfs;
+
+impl Protocol for SyncBfs {
+    type Node = BfsNode;
+    type Output = BfsForest;
+
+    fn model(&self) -> Model {
+        Model::Sync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        bfs_budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> BfsNode {
+        BfsNode::new(Variant::Sync, view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> BfsForest {
+        decode_forest(n, board).expect("SYNC BFS never emits Invalid")
+    }
+}
+
+/// Corollary 4: BFS forests on **bipartite** graphs in `ASYNC[log n]`.
+///
+/// On non-bipartite inputs this protocol may deadlock — exactly the behavior
+/// behind the paper's Open Problem 3 conjecture (BFS ∉ ASYNC); see the
+/// `open_problem_3_ablation` test.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AsyncBipartiteBfs;
+
+impl Protocol for AsyncBipartiteBfs {
+    type Node = BfsNode;
+    type Output = BfsForest;
+
+    fn model(&self) -> Model {
+        Model::Async
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        bfs_budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> BfsNode {
+        BfsNode::new(Variant::AsyncBipartite, view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> BfsForest {
+        decode_forest(n, board).expect("bipartite BFS never emits Invalid")
+    }
+}
+
+/// Theorem 7: EOB-BFS in `ASYNC[log n]` — BFS forest if the input is
+/// even-odd-bipartite, `NotEvenOddBipartite` otherwise, never deadlocking.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EobBfs;
+
+impl Protocol for EobBfs {
+    type Node = BfsNode;
+    type Output = BfsOutput;
+
+    fn model(&self) -> Model {
+        Model::Async
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        bfs_budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> BfsNode {
+        BfsNode::new(Variant::Eob, view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> BfsOutput {
+        match decode_forest(n, board) {
+            Some(f) => BfsOutput::Forest(f),
+            None => BfsOutput::NotEvenOddBipartite,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::{checks, enumerate, generators, Graph};
+    use wb_runtime::exhaustive::{assert_all_schedules, for_each_schedule};
+    use wb_runtime::{run, MaxIdAdversary, MinIdAdversary, Outcome, RandomAdversary};
+
+    fn assert_forest(g: &Graph, f: &BfsForest) {
+        assert_eq!(f, &checks::bfs_forest(g), "forest mismatch on {g:?}");
+    }
+
+    #[test]
+    fn sync_bfs_exhaustive_all_graphs_n4() {
+        // Every labeled graph on 4 nodes × every adversary schedule: the
+        // output must equal the canonical min-ID-rooted BFS forest and no
+        // schedule may deadlock (Theorem 10 is promise-free).
+        for g in enumerate::all_graphs(4) {
+            assert_all_schedules(&SyncBfs, &g, 100, |f| *f == checks::bfs_forest(&g));
+        }
+    }
+
+    #[test]
+    fn sync_bfs_exhaustive_connected_n5() {
+        for g in enumerate::all_connected_graphs(5) {
+            assert_all_schedules(&SyncBfs, &g, 200, |f| *f == checks::bfs_forest(&g));
+        }
+    }
+
+    #[test]
+    fn sync_bfs_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..25 {
+            let g = generators::gnp(35, 0.12, &mut rng);
+            for seed in 0..3 {
+                let report = run(&SyncBfs, &g, &mut RandomAdversary::new(seed * 100 + trial));
+                match &report.outcome {
+                    Outcome::Success(f) => assert_forest(&g, f),
+                    other => panic!("deadlock on {g:?}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sync_bfs_odd_cycles_and_cliques() {
+        for g in [generators::cycle(7), generators::clique(6), generators::cycle(5)] {
+            let report = run(&SyncBfs, &g, &mut MaxIdAdversary);
+            assert_forest(&g, &report.outcome.unwrap());
+        }
+    }
+
+    #[test]
+    fn sync_bfs_many_components_with_isolated_nodes() {
+        // Three components including two isolated nodes: exercises the
+        // component-switch condition (c) repeatedly.
+        let mut g = generators::path(4);
+        g = g.disjoint_union(&generators::cycle(5));
+        g = g.disjoint_union(&Graph::empty(2));
+        assert_all_schedules(&SyncBfs, &g, 50_000, |f| *f == checks::bfs_forest(&g));
+    }
+
+    #[test]
+    fn async_bipartite_bfs_on_bipartite_graphs() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for trial in 0..20 {
+            let g = generators::bipartite_fixed(12, 9, 0.2, &mut rng);
+            for seed in 0..3 {
+                let report = run(&AsyncBipartiteBfs, &g, &mut RandomAdversary::new(seed + trial));
+                match &report.outcome {
+                    Outcome::Success(f) => assert_forest(&g, f),
+                    other => panic!("deadlock on bipartite {g:?}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_bipartite_exhaustive_small() {
+        for g in [
+            generators::path(5),
+            generators::star(5),
+            Graph::from_edges(6, &[(1, 4), (4, 2), (2, 5), (5, 3), (3, 6)]),
+            Graph::from_edges(5, &[(1, 2), (3, 4)]),
+        ] {
+            assert!(checks::is_bipartite(&g));
+            assert_all_schedules(&AsyncBipartiteBfs, &g, 20_000, |f| *f == checks::bfs_forest(&g));
+        }
+    }
+
+    #[test]
+    fn open_problem_3_ablation_frozen_messages_fail_without_d0() {
+        // Evidence for Open Problem 3 (BFS ∉ PASYNC conjecture): run the
+        // asynchronous (freeze-at-activation, no d₀) BFS on a graph with an
+        // intra-layer edge *above* a deeper layer — a triangle {1,2,3} with
+        // tail 3−4−5. Layer 1 = {2,3} contains the edge {2,3}, so
+        // Σ d₊₁ over layer 1 overcounts by 2 and cert(2) never fires: node 5
+        // can never be activated and every schedule deadlocks. The SYNC
+        // variant's write-time d₀ correction repairs exactly this.
+        let g = Graph::from_edges(5, &[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
+        let mut deadlocks = 0u32;
+        let mut total = 0u32;
+        for_each_schedule(&AsyncBipartiteBfs, &g, 10_000, |report| {
+            total += 1;
+            if let Outcome::Deadlock { awake } = &report.outcome {
+                assert!(awake.contains(&5), "node 5 must be stuck: {awake:?}");
+                deadlocks += 1;
+            }
+        });
+        assert_eq!(deadlocks, total, "every async schedule must deadlock");
+        assert!(total > 0);
+        // The same graph under the SYNC protocol succeeds on every schedule.
+        assert_all_schedules(&SyncBfs, &g, 10_000, |f| *f == checks::bfs_forest(&g));
+        let sync_report = run(&SyncBfs, &g, &mut MinIdAdversary);
+        assert_forest(&g, &sync_report.outcome.unwrap());
+    }
+
+    #[test]
+    fn eob_bfs_accepts_valid_inputs_exhaustively() {
+        for g in [
+            generators::path(5),                                     // parity-alternating path
+            Graph::from_edges(6, &[(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]),
+            Graph::from_edges(5, &[(1, 2), (2, 5), (3, 4)]),         // two components
+        ] {
+            assert!(checks::is_even_odd_bipartite(&g));
+            assert_all_schedules(&EobBfs, &g, 20_000, |out| {
+                *out == BfsOutput::Forest(checks::bfs_forest(&g))
+            });
+        }
+    }
+
+    #[test]
+    fn eob_bfs_exhaustive_over_all_graphs_n4() {
+        // Totality on every 4-node graph: valid EOB inputs yield the
+        // reference forest, invalid ones the verdict; no schedule deadlocks.
+        for g in enumerate::all_graphs(4) {
+            let valid = checks::is_even_odd_bipartite(&g);
+            assert_all_schedules(&EobBfs, &g, 5_000, |out| match out {
+                BfsOutput::Forest(f) => valid && *f == checks::bfs_forest(&g),
+                BfsOutput::NotEvenOddBipartite => !valid,
+            });
+        }
+    }
+
+    #[test]
+    fn eob_bfs_random_connected_instances() {
+        let mut rng = StdRng::seed_from_u64(47);
+        for n in [10usize, 21, 40] {
+            let g = generators::even_odd_bipartite_connected(n, 0.3, &mut rng);
+            for seed in 0..5 {
+                let report = run(&EobBfs, &g, &mut RandomAdversary::new(seed));
+                match report.outcome {
+                    Outcome::Success(BfsOutput::Forest(f)) => assert_forest(&g, &f),
+                    other => panic!("n={n}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eob_bfs_rejects_invalid_inputs_without_deadlock() {
+        // Same-parity edges: every schedule must terminate successfully with
+        // the NotEvenOddBipartite verdict.
+        for g in [
+            Graph::from_edges(4, &[(1, 3)]),
+            Graph::from_edges(5, &[(1, 2), (2, 3), (3, 5)]),
+            generators::clique(4),
+        ] {
+            assert!(!checks::is_even_odd_bipartite(&g));
+            assert_all_schedules(&EobBfs, &g, 20_000, |out| *out == BfsOutput::NotEvenOddBipartite);
+        }
+    }
+
+    #[test]
+    fn eob_bfs_large_random_invalid() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut g = generators::even_odd_bipartite_connected(30, 0.2, &mut rng);
+        g.add_edge(3, 7); // plant one odd-odd edge
+        for seed in 0..5 {
+            let report = run(&EobBfs, &g, &mut RandomAdversary::new(seed));
+            assert_eq!(report.outcome, Outcome::Success(BfsOutput::NotEvenOddBipartite));
+        }
+    }
+
+    #[test]
+    fn message_budget_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(59);
+        let g = generators::even_odd_bipartite_connected(200, 0.05, &mut rng);
+        let report = run(&EobBfs, &g, &mut RandomAdversary::new(0));
+        assert!(report.outcome.is_success());
+        assert_eq!(report.max_message_bits(), bfs_budget_bits(200) as usize);
+        assert_eq!(report.max_message_bits(), 2 + 6 * 8);
+    }
+
+    #[test]
+    fn single_node_and_edgeless_graphs() {
+        for n in [1usize, 2, 4] {
+            let g = Graph::empty(n);
+            assert_all_schedules(&SyncBfs, &g, 100, |f| *f == checks::bfs_forest(&g));
+            assert_all_schedules(&EobBfs, &g, 100, |out| {
+                *out == BfsOutput::Forest(checks::bfs_forest(&g))
+            });
+        }
+    }
+
+    #[test]
+    fn write_order_respects_layers_in_sync_bfs() {
+        // Within one component, a node's write must come after its parent.
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = generators::gnp(25, 0.15, &mut rng);
+        let report = run(&SyncBfs, &g, &mut RandomAdversary::new(11));
+        let f = match &report.outcome {
+            Outcome::Success(f) => f.clone(),
+            other => panic!("{other:?}"),
+        };
+        let pos: std::collections::HashMap<NodeId, usize> =
+            report.write_order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for v in 1..=g.n() as NodeId {
+            if let Some(p) = f.parent[v as usize - 1] {
+                assert!(pos[&p] < pos[&v], "parent {p} wrote after child {v}");
+            }
+        }
+    }
+}

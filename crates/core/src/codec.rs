@@ -1,0 +1,75 @@
+//! Tiny shared field codecs. Every message in the paper starts with the
+//! writer's identifier; these helpers keep the field widths consistent across
+//! protocols (IDs use `⌈log₂ n⌉`-ish fixed width, see [`wb_math::id_bits`]).
+
+use wb_graph::NodeId;
+use wb_math::{id_bits, BitReader, BitWriter};
+
+/// Append a node ID (`1..=n`).
+pub fn write_id(w: &mut BitWriter, id: NodeId, n: usize) {
+    w.write_bits(id as u64, id_bits(n));
+}
+
+/// Read a node ID.
+pub fn read_id(r: &mut BitReader<'_>, n: usize) -> NodeId {
+    r.read_bits(id_bits(n)) as NodeId
+}
+
+/// Append an ID-or-ROOT field (0 encodes ROOT).
+pub fn write_opt_id(w: &mut BitWriter, id: Option<NodeId>, n: usize) {
+    w.write_bits(id.unwrap_or(0) as u64, id_bits(n));
+}
+
+/// Read an ID-or-ROOT field.
+pub fn read_opt_id(r: &mut BitReader<'_>, n: usize) -> Option<NodeId> {
+    match r.read_bits(id_bits(n)) {
+        0 => None,
+        v => Some(v as NodeId),
+    }
+}
+
+/// Append a count in `0..=n` (degrees, layer indices, edge tallies).
+pub fn write_count(w: &mut BitWriter, value: u64, n: usize) {
+    w.write_bits(value, id_bits(n));
+}
+
+/// Read a count.
+pub fn read_count(r: &mut BitReader<'_>, n: usize) -> u64 {
+    r.read_bits(id_bits(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_math::BitVec;
+
+    fn round_trip(f: impl FnOnce(&mut BitWriter)) -> BitVec {
+        let mut w = BitWriter::new();
+        f(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn id_round_trip() {
+        let bv = round_trip(|w| write_id(w, 37, 100));
+        assert_eq!(read_id(&mut BitReader::new(&bv), 100), 37);
+        assert_eq!(bv.len(), 7);
+    }
+
+    #[test]
+    fn opt_id_round_trip() {
+        let bv = round_trip(|w| {
+            write_opt_id(w, None, 50);
+            write_opt_id(w, Some(50), 50);
+        });
+        let mut r = BitReader::new(&bv);
+        assert_eq!(read_opt_id(&mut r, 50), None);
+        assert_eq!(read_opt_id(&mut r, 50), Some(50));
+    }
+
+    #[test]
+    fn count_round_trip() {
+        let bv = round_trip(|w| write_count(w, 63, 63));
+        assert_eq!(read_count(&mut BitReader::new(&bv), 63), 63);
+    }
+}

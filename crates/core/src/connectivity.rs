@@ -1,0 +1,124 @@
+//! CONNECTIVITY in `SYNC[log n]` — the §6 corollary of Theorem 10.
+//!
+//! "One of the main questions in distributed environments concerns
+//! connectivity." Open Problem 2 asks whether SPANNING-TREE or CONNECTIVITY
+//! is solvable in `ASYNC[f(n)]`; in `SYNC[log n]` both follow from the BFS
+//! protocol: the forest has one root per connected component, and roots are
+//! visible on the board (messages with `p = ROOT`). This module is that
+//! corollary, plus the component count and membership map as richer outputs.
+
+use crate::bfs::{BfsNode, SyncBfs};
+use wb_graph::NodeId;
+use wb_runtime::{LocalView, Model, Protocol, Whiteboard};
+
+/// Connectivity report derived from the final whiteboard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConnectivityReport {
+    /// Whether the graph is connected (exactly one component root).
+    pub connected: bool,
+    /// Number of connected components.
+    pub components: usize,
+    /// For each node, the root (minimum ID) of its component.
+    pub component_of: Vec<NodeId>,
+}
+
+/// CONNECTIVITY (and component structure) in `SYNC[log n]`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnectivitySync;
+
+impl Protocol for ConnectivitySync {
+    type Node = BfsNode;
+    type Output = ConnectivityReport;
+
+    fn model(&self) -> Model {
+        Model::Sync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        SyncBfs.budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        SyncBfs.spawn(view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> ConnectivityReport {
+        let forest = SyncBfs.output(n, board);
+        let mut component_of: Vec<NodeId> = vec![0; n];
+        for v in 1..=n as NodeId {
+            // Walk parents to the root; paths are ≤ n long.
+            let mut cur = v;
+            while let Some(p) = forest.parent[cur as usize - 1] {
+                cur = p;
+            }
+            component_of[v as usize - 1] = cur;
+        }
+        ConnectivityReport {
+            connected: forest.roots.len() <= 1,
+            components: forest.roots.len(),
+            component_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::{checks, generators, Graph};
+    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::{run, Outcome, RandomAdversary};
+
+    #[test]
+    fn connectivity_matches_oracle_exhaustively() {
+        for g in wb_graph::enumerate::all_graphs(4) {
+            assert_all_schedules(&ConnectivitySync, &g, 100, |rep| {
+                rep.connected == checks::is_connected(&g)
+                    && rep.components == checks::components(&g).len()
+            });
+        }
+    }
+
+    #[test]
+    fn component_map_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let g = generators::gnp(30, 0.05, &mut rng);
+            let report = run(&ConnectivitySync, &g, &mut RandomAdversary::new(trial));
+            let rep = match report.outcome {
+                Outcome::Success(rep) => rep,
+                other => panic!("{other:?}"),
+            };
+            for comp in checks::components(&g) {
+                let root = comp[0];
+                for &v in &comp {
+                    assert_eq!(rep.component_of[v as usize - 1], root);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_two_cliques_connection() {
+        // §5.1: within the (n−1)-regular 2n-node promise, CONNECTIVITY and
+        // 2-CLIQUES are the same question; the SYNC answer agrees with the
+        // SIMSYNC 2-CLIQUES protocol.
+        use crate::two_cliques::{TwoCliques, TwoCliquesVerdict};
+        let mut rng = StdRng::seed_from_u64(6);
+        for g in [generators::two_cliques(6), generators::connected_regular_impostor(6, &mut rng)] {
+            let conn = run(&ConnectivitySync, &g, &mut RandomAdversary::new(1)).outcome.unwrap();
+            let tc = run(&TwoCliques, &g, &mut RandomAdversary::new(1)).outcome.unwrap();
+            assert_eq!(tc == TwoCliquesVerdict::TwoCliques, !conn.connected);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_has_n_components() {
+        let g = Graph::empty(6);
+        let rep = run(&ConnectivitySync, &g, &mut RandomAdversary::new(2)).outcome.unwrap();
+        assert!(!rep.connected);
+        assert_eq!(rep.components, 6);
+        assert_eq!(rep.component_of, vec![1, 2, 3, 4, 5, 6]);
+    }
+}

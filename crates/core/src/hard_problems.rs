@@ -1,0 +1,154 @@
+//! The §1 hard problems: SQUARE ("does G contain a C₄?") and DIAMETER ≤ 3.
+//!
+//! "Questions like 'Does G contain a square?' or 'Is the diameter of G at
+//! most 3?' cannot be solved by a protocol using o(n) bits" — results of the
+//! IPDPS 2011 companion paper [2], quoted in §1 and §4 of the journal text.
+//! As with TRIANGLE, we ship the two provable brackets:
+//!
+//! - the trivial `SIMASYNC[n]` upper bounds (full adjacency rows, then the
+//!   referee answers from the reconstruction), matching the Ω(n) lower
+//!   bounds; and
+//! - `SIMASYNC[k² log n]` versions restricted to bounded-degeneracy inputs
+//!   via BUILD (Theorem 2) — the paper's positive reconstruction results make
+//!   *every* graph property decidable on those classes.
+
+use crate::build::{BuildDegenerate, BuildError};
+use crate::naive::NaiveBuild;
+use wb_graph::checks;
+use wb_runtime::{LocalView, Model, Protocol, Whiteboard};
+
+/// SQUARE (C₄ detection) with Θ(n)-bit messages.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SquareFullRow;
+
+impl Protocol for SquareFullRow {
+    type Node = crate::naive::NaiveNode;
+    type Output = bool;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        NaiveBuild.budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        NaiveBuild.spawn(view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> bool {
+        checks::has_square(&NaiveBuild.output(n, board))
+    }
+}
+
+/// DIAMETER ≤ 3 with Θ(n)-bit messages (`false` also covers disconnected
+/// inputs, whose diameter is infinite).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiameterAtMost3FullRow;
+
+impl Protocol for DiameterAtMost3FullRow {
+    type Node = crate::naive::NaiveNode;
+    type Output = bool;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        NaiveBuild.budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        NaiveBuild.spawn(view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> bool {
+        matches!(checks::diameter(&NaiveBuild.output(n, board)), Some(d) if d <= 3)
+    }
+}
+
+/// SQUARE on degeneracy-≤k inputs in `SIMASYNC[k² log n]`.
+#[derive(Clone, Debug)]
+pub struct SquareViaBuild {
+    build: BuildDegenerate,
+}
+
+impl SquareViaBuild {
+    /// Protocol for degeneracy bound `k`.
+    pub fn new(k: usize) -> Self {
+        SquareViaBuild { build: BuildDegenerate::new(k) }
+    }
+}
+
+impl Protocol for SquareViaBuild {
+    type Node = crate::build::BuildNode;
+    type Output = Result<bool, BuildError>;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        self.build.budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        self.build.spawn(view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
+        self.build.output(n, board).map(|g| checks::has_square(&g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::{enumerate, generators};
+    use wb_runtime::{run, MinIdAdversary, Outcome, RandomAdversary};
+
+    #[test]
+    fn square_full_row_matches_oracle_exhaustively() {
+        for g in enumerate::all_graphs(4) {
+            let report = run(&SquareFullRow, &g, &mut MinIdAdversary);
+            assert_eq!(report.outcome, Outcome::Success(checks::has_square(&g)));
+        }
+    }
+
+    #[test]
+    fn diameter_full_row_matches_oracle() {
+        for g in enumerate::all_connected_graphs(5) {
+            let report = run(&DiameterAtMost3FullRow, &g, &mut MinIdAdversary);
+            let expected = checks::diameter(&g).map(|d| d <= 3).unwrap_or(false);
+            assert_eq!(report.outcome, Outcome::Success(expected));
+        }
+    }
+
+    #[test]
+    fn diameter_disconnected_is_false() {
+        let g = wb_graph::Graph::from_edges(4, &[(1, 2)]);
+        let report = run(&DiameterAtMost3FullRow, &g, &mut MinIdAdversary);
+        assert_eq!(report.outcome, Outcome::Success(false));
+    }
+
+    #[test]
+    fn square_via_build_on_degenerate_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..8 {
+            let g = generators::k_degenerate(20, 2, trial % 2 == 0, &mut rng);
+            let p = SquareViaBuild::new(2);
+            let report = run(&p, &g, &mut RandomAdversary::new(trial));
+            assert_eq!(report.outcome, Outcome::Success(Ok(checks::has_square(&g))));
+        }
+    }
+
+    #[test]
+    fn square_via_build_rejects_dense_inputs() {
+        let p = SquareViaBuild::new(1);
+        let report = run(&p, &generators::clique(5), &mut MinIdAdversary);
+        assert_eq!(report.outcome, Outcome::Success(Err(BuildError::NotKDegenerate)));
+    }
+}

@@ -1,0 +1,54 @@
+//! The shared-whiteboard protocols of Becker et al. (SPAA 2012).
+//!
+//! Every protocol the paper constructs, as a [`wb_runtime::Protocol`]:
+//!
+//! | module | paper | model | problem |
+//! |---|---|---|---|
+//! | [`build`] | §3, Thm 2 | `SIMASYNC[k² log n]` | BUILD on degeneracy-≤k graphs, robust rejection |
+//! | [`build_mixed`] | §3 closing remark | `SIMASYNC[k² log n]` | BUILD on the low-or-high-degree class (dense graphs included) |
+//! | [`mis`] | Thm 5 | `SIMSYNC[log n]` | maximal independent set containing a root |
+//! | [`two_cliques`] | §5.1 | `SIMSYNC[log n]` | is G two disjoint n-cliques? |
+//! | [`two_cliques_randomized`] | Open Pb 4 | `SIMASYNC[log n]` (public coin) | 2-CLIQUES, one-sided error |
+//! | [`bfs`] | Thm 7, Thm 10, Cor 4 | `ASYNC`/`SYNC[log n]` | BFS forests (EOB / bipartite / general) |
+//! | [`spanning`] | §6 | `SYNC[log n]` | spanning forests from BFS parent edges |
+//! | [`connectivity`] | §6 / Open Pb 2 | `SYNC[log n]` | connectivity + component map |
+//! | [`subgraph`] | Thm 9 | `SIMASYNC[f(n)]` | subgraph induced by `{v_1..v_f(n)}` |
+//! | [`triangle`] | Thm 3 context | `SIMASYNC` | triangle detection (degenerate / Θ(n)-bit) |
+//! | [`hard_problems`] | §1, §4, [2] | `SIMASYNC` | SQUARE, DIAMETER ≤ 3 brackets |
+//! | [`statistics`] | §1 motivation | `SIMASYNC[2 log n]` | edge count, degree statistics |
+//! | [`naive`] | §1 | `SIMASYNC[n]` | BUILD by writing whole neighborhoods |
+//!
+//! All message budgets are enforced in bits by the runtime, so each protocol's
+//! `budget_bits` is a checked restatement of the paper's message-size lemma.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod build;
+pub mod build_mixed;
+pub mod codec;
+pub mod connectivity;
+pub mod hard_problems;
+pub mod mis;
+pub mod naive;
+pub mod spanning;
+pub mod statistics;
+pub mod subgraph;
+pub mod triangle;
+pub mod two_cliques;
+pub mod two_cliques_randomized;
+
+pub use bfs::{AsyncBipartiteBfs, BfsOutput, EobBfs, SyncBfs};
+pub use build::{BuildDegenerate, BuildError};
+pub use build_mixed::BuildMixed;
+pub use connectivity::{ConnectivityReport, ConnectivitySync};
+pub use statistics::{DegreeStats, DegreeSummary, EdgeCount};
+pub use hard_problems::{DiameterAtMost3FullRow, SquareFullRow, SquareViaBuild};
+pub use mis::MisGreedy;
+pub use naive::NaiveBuild;
+pub use spanning::{SpanningForest, SpanningForestSync};
+pub use subgraph::SubgraphPrefix;
+pub use triangle::{TriangleFullRow, TriangleViaBuild};
+pub use two_cliques::TwoCliques;
+pub use two_cliques_randomized::TwoCliquesRandomized;

@@ -1,0 +1,200 @@
+//! Rooted maximal independent set in `SIMSYNC[log n]` (Theorem 5).
+//!
+//! Input: a graph and a distinguished node `x` (part of the problem instance,
+//! known to everyone). When the adversary picks `v`, it writes its ID — "I am
+//! in the set" — iff `v = x`, or `v ∉ N(x)` and no neighbor of `v` has written
+//! its ID yet; otherwise it writes "no". The set of announced IDs is a maximal
+//! independent set containing `x`, no matter the adversary's order.
+
+use crate::codec::{read_id, write_id};
+use wb_graph::NodeId;
+use wb_math::{id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// The greedy SIMSYNC rooted-MIS protocol.
+///
+/// ```
+/// use wb_core::MisGreedy;
+/// use wb_graph::{checks, generators};
+/// use wb_runtime::{run, MaxIdAdversary};
+///
+/// let g = generators::star(9); // center v1
+/// let set = run(&MisGreedy::new(1), &g, &mut MaxIdAdversary).outcome.unwrap();
+/// assert_eq!(set, vec![1]); // the center dominates every leaf
+/// assert!(checks::is_rooted_mis(&g, &set, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MisGreedy {
+    root: NodeId,
+}
+
+impl MisGreedy {
+    /// Protocol for the instance rooted at `x`.
+    pub fn new(root: NodeId) -> Self {
+        MisGreedy { root }
+    }
+
+    /// The distinguished node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+}
+
+/// Node state: has any of my neighbors already joined the set?
+#[derive(Clone)]
+pub struct MisNode {
+    root: NodeId,
+    neighbor_joined: bool,
+}
+
+impl Node for MisNode {
+    fn observe(&mut self, view: &LocalView, _seq: usize, _writer: NodeId, msg: &BitVec) {
+        let mut r = BitReader::new(msg);
+        let id = read_id(&mut r, view.n);
+        let joined = r.read_bool();
+        if joined && view.is_neighbor(id) {
+            self.neighbor_joined = true;
+        }
+    }
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let join = view.id == self.root
+            || (!view.is_neighbor(self.root) && !self.neighbor_joined);
+        let mut w = BitWriter::new();
+        write_id(&mut w, view.id, view.n);
+        w.write_bool(join);
+        w.finish()
+    }
+}
+
+impl Protocol for MisGreedy {
+    type Node = MisNode;
+    type Output = Vec<NodeId>;
+
+    fn model(&self) -> Model {
+        Model::SimSync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        id_bits(n) + 1
+    }
+
+    fn spawn(&self, _view: &LocalView) -> MisNode {
+        MisNode { root: self.root, neighbor_joined: false }
+    }
+
+    /// "The set of nodes with their IDs on the whiteboard."
+    fn output(&self, n: usize, board: &Whiteboard) -> Vec<NodeId> {
+        let mut set: Vec<NodeId> = board
+            .entries()
+            .iter()
+            .filter_map(|e| {
+                let mut r = BitReader::new(&e.msg);
+                let id = read_id(&mut r, n);
+                r.read_bool().then_some(id)
+            })
+            .collect();
+        set.sort_unstable();
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::{checks, enumerate, generators, Graph};
+    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::{run, Outcome, PriorityAdversary, RandomAdversary};
+
+    #[test]
+    fn exhaustive_all_connected_graphs_n4_all_roots_all_orders() {
+        // Full model checking: 38 connected graphs × 4 roots × all 24 orders.
+        for g in enumerate::all_connected_graphs(4) {
+            for root in 1..=4 {
+                let p = MisGreedy::new(root);
+                assert_all_schedules(&p, &g, 30, |set| checks::is_rooted_mis(&g, set, root));
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_all_graphs_n3_including_disconnected() {
+        for g in enumerate::all_graphs(3) {
+            for root in 1..=3 {
+                let p = MisGreedy::new(root);
+                assert_all_schedules(&p, &g, 10, |set| checks::is_rooted_mis(&g, set, root));
+            }
+        }
+    }
+
+    #[test]
+    fn random_graphs_random_adversaries() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..30 {
+            let g = generators::gnp(40, 0.15, &mut rng);
+            let root = (trial % 40 + 1) as NodeId;
+            let p = MisGreedy::new(root);
+            for seed in 0..4 {
+                let report = run(&p, &g, &mut RandomAdversary::new(seed * 71 + trial));
+                match &report.outcome {
+                    Outcome::Success(set) => {
+                        assert!(checks::is_rooted_mis(&g, set, root), "root {root} set {set:?}")
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_priority_orders() {
+        // Orders engineered to tempt the greedy rule into conflicts: root
+        // last, root first, neighbors of the root first.
+        let g = generators::star(7);
+        for root in [1 as NodeId, 4] {
+            let p = MisGreedy::new(root);
+            for priority in [
+                vec![7, 6, 5, 4, 3, 2, 1],
+                vec![1, 2, 3, 4, 5, 6, 7],
+                vec![4, 1, 7, 2, 6, 3, 5],
+            ] {
+                let report = run(&p, &g, &mut PriorityAdversary::new(&priority));
+                let set = match report.outcome {
+                    Outcome::Success(s) => s,
+                    other => panic!("{other:?}"),
+                };
+                assert!(checks::is_rooted_mis(&g, &set, root), "{priority:?} -> {set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_always_in_the_set() {
+        let g = generators::clique(6);
+        for root in 1..=6 {
+            let p = MisGreedy::new(root);
+            let report = run(&p, &g, &mut RandomAdversary::new(root as u64));
+            let set = report.outcome.unwrap();
+            assert_eq!(set, vec![root], "clique MIS is exactly the root");
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_always_join() {
+        let g = Graph::from_edges(5, &[(1, 2)]);
+        let p = MisGreedy::new(1);
+        assert_all_schedules(&p, &g, 200, |set| {
+            set.contains(&3) && set.contains(&4) && set.contains(&5) && checks::is_rooted_mis(&g, set, 1)
+        });
+    }
+
+    #[test]
+    fn message_budget_is_log_n() {
+        let g = generators::gnp(100, 0.1, &mut StdRng::seed_from_u64(8));
+        let p = MisGreedy::new(17);
+        let report = run(&p, &g, &mut RandomAdversary::new(3));
+        assert_eq!(report.max_message_bits(), id_bits(100) as usize + 1);
+    }
+}

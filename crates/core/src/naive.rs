@@ -1,0 +1,105 @@
+//! The Θ(n)-bit baseline the paper's introduction dismisses: "if every node
+//! communicates its whole neighborhood (which can be done with O(n) bits),
+//! the whole graph is described on the whiteboard".
+//!
+//! `NaiveBuild` writes each node's full adjacency row. It solves BUILD on
+//! *every* graph in the weakest model, at message size `n` — the benchmark
+//! comparison point (E13) against which the `O(k² log n)` degeneracy protocol
+//! is measured.
+
+use crate::codec::{read_id, write_id};
+use wb_graph::{Graph, NodeId};
+use wb_math::{id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// BUILD with whole-neighborhood messages (`SIMASYNC[n]`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveBuild;
+
+/// Stateless SIMASYNC node.
+#[derive(Clone)]
+pub struct NaiveNode;
+
+impl Node for NaiveNode {
+    fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {
+        unreachable!("SIMASYNC nodes are never shown the board");
+    }
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        write_id(&mut w, view.id, view.n);
+        for u in 1..=view.n as NodeId {
+            w.write_bool(view.is_neighbor(u));
+        }
+        w.finish()
+    }
+}
+
+impl Protocol for NaiveBuild {
+    type Node = NaiveNode;
+    type Output = Graph;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        id_bits(n) + n as u32
+    }
+
+    fn spawn(&self, _view: &LocalView) -> NaiveNode {
+        NaiveNode
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> Graph {
+        let mut g = Graph::empty(n);
+        for e in board.entries() {
+            let mut r = BitReader::new(&e.msg);
+            let id = read_id(&mut r, n);
+            for u in 1..=n as NodeId {
+                if r.read_bool() && u != id {
+                    g.add_edge(id, u);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::generators;
+    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::{run, Outcome, RandomAdversary};
+
+    #[test]
+    fn rebuilds_arbitrary_graphs() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for n in [1usize, 2, 8, 40] {
+            for p in [0.0, 0.3, 1.0] {
+                let g = generators::gnp(n, p, &mut rng);
+                let report = run(&NaiveBuild, &g, &mut RandomAdversary::new(n as u64));
+                match report.outcome {
+                    Outcome::Success(h) => assert_eq!(h, g),
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_independent() {
+        let g = generators::clique(4);
+        assert_all_schedules(&NaiveBuild, &g, 100, |h| *h == g);
+    }
+
+    #[test]
+    fn message_size_is_linear() {
+        let g = generators::gnp(64, 0.5, &mut StdRng::seed_from_u64(3));
+        let report = run(&NaiveBuild, &g, &mut RandomAdversary::new(0));
+        assert_eq!(report.max_message_bits(), 64 + id_bits(64) as usize);
+    }
+}

@@ -1,0 +1,109 @@
+//! Spanning forests from the whiteboard (§6 / Open Problem 2 context).
+//!
+//! "One important task in wireless networks consists in computing a connected
+//! spanning subgraph (e.g., a spanning tree) since the links of such subgraph
+//! are used for communication." Whether SPANNING-TREE is solvable in `ASYNC`
+//! is the paper's Open Problem 2; in `SYNC[log n]` it follows directly from
+//! Theorem 10 — the BFS forest's parent edges span every component. This
+//! module is that corollary as a protocol.
+
+use crate::bfs::{BfsNode, SyncBfs};
+use wb_graph::NodeId;
+use wb_runtime::{LocalView, Model, Protocol, Whiteboard};
+
+/// A spanning forest (one tree per connected component), as parent edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// Tree edges `(child, parent)` sorted by child ID.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// One root per component, ascending.
+    pub roots: Vec<NodeId>,
+}
+
+/// SPANNING-FOREST in `SYNC[log n]` via the Theorem 10 BFS protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanningForestSync;
+
+impl Protocol for SpanningForestSync {
+    type Node = BfsNode;
+    type Output = SpanningForest;
+
+    fn model(&self) -> Model {
+        Model::Sync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        SyncBfs.budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        SyncBfs.spawn(view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> SpanningForest {
+        let forest = SyncBfs.output(n, board);
+        let edges = forest
+            .parent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i as NodeId + 1, p)))
+            .collect();
+        SpanningForest { edges, roots: forest.roots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::{checks, generators, Graph};
+    use wb_runtime::{run, Outcome, RandomAdversary};
+
+    fn validate(g: &Graph, sf: &SpanningForest) {
+        // Every tree edge is a graph edge.
+        for &(c, p) in &sf.edges {
+            assert!(g.has_edge(c, p), "({c},{p}) not in G");
+        }
+        // |edges| = n − #components, and the forest connects each component.
+        let comps = checks::components(g);
+        assert_eq!(sf.edges.len(), g.n() - comps.len());
+        assert_eq!(sf.roots.len(), comps.len());
+        // The tree edges alone reconnect every component.
+        let tree = Graph::from_edges(g.n(), &sf.edges);
+        assert_eq!(checks::components(&tree), comps);
+    }
+
+    #[test]
+    fn spans_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..12 {
+            let g = generators::gnp(25, 0.12, &mut rng);
+            let report = run(&SpanningForestSync, &g, &mut RandomAdversary::new(trial));
+            match report.outcome {
+                Outcome::Success(sf) => validate(&g, &sf),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spans_connected_graphs_with_a_single_tree() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::k_tree(20, 2, &mut rng);
+        let report = run(&SpanningForestSync, &g, &mut RandomAdversary::new(4));
+        let sf = report.outcome.unwrap();
+        assert_eq!(sf.roots, vec![1]);
+        assert_eq!(sf.edges.len(), 19);
+        validate(&g, &sf);
+    }
+
+    #[test]
+    fn edgeless_graph_has_no_tree_edges() {
+        let g = Graph::empty(5);
+        let report = run(&SpanningForestSync, &g, &mut RandomAdversary::new(1));
+        let sf = report.outcome.unwrap();
+        assert!(sf.edges.is_empty());
+        assert_eq!(sf.roots, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Local-statistics protocols in `SIMASYNC[log n]`.
+//!
+//! The paper's motivation (§1) is the "mud" setting: massive graphs streamed
+//! with one short message per node. Several global statistics need nothing
+//! beyond each node's *degree*, making them solvable in the weakest model
+//! with a single `2⌈lg n⌉`-bit message — a useful positive contrast to the
+//! BUILD/TRIANGLE impossibilities:
+//!
+//! - [`EdgeCount`] — `m = ½·Σ deg(v)` (handshake lemma);
+//! - [`DegreeStats`] — the full degree sequence, max degree, isolated count,
+//!   and a regularity check (the §5.1 promise `(n−1)-regular` is checkable).
+
+use crate::codec::{read_id, write_id};
+use wb_graph::NodeId;
+use wb_math::{id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// Stateless SIMASYNC node writing `(ID, degree)`.
+#[derive(Clone)]
+pub struct DegreeNode;
+
+impl Node for DegreeNode {
+    fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {
+        unreachable!("SIMASYNC nodes are never shown the board");
+    }
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        write_id(&mut w, view.id, view.n);
+        w.write_bits(view.degree() as u64, id_bits(view.n));
+        w.finish()
+    }
+}
+
+fn degrees_from_board(n: usize, board: &Whiteboard) -> Vec<usize> {
+    let mut deg = vec![0usize; n];
+    for e in board.entries() {
+        let mut r = BitReader::new(&e.msg);
+        let id = read_id(&mut r, n);
+        deg[id as usize - 1] = r.read_bits(id_bits(n)) as usize;
+    }
+    deg
+}
+
+/// Number of edges, from degrees alone (`SIMASYNC[2 log n]`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdgeCount;
+
+impl Protocol for EdgeCount {
+    type Node = DegreeNode;
+    type Output = usize;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        2 * id_bits(n)
+    }
+
+    fn spawn(&self, _view: &LocalView) -> DegreeNode {
+        DegreeNode
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> usize {
+        let total: usize = degrees_from_board(n, board).iter().sum();
+        debug_assert_eq!(total % 2, 0, "handshake lemma");
+        total / 2
+    }
+}
+
+/// Aggregate degree statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegreeSummary {
+    /// `deg(v_i)` at index `i−1`.
+    pub degrees: Vec<usize>,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of degree-0 nodes.
+    pub isolated: usize,
+    /// `Some(d)` iff the graph is d-regular.
+    pub regular: Option<usize>,
+}
+
+/// Degree sequence and derived statistics (`SIMASYNC[2 log n]`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DegreeStats;
+
+impl Protocol for DegreeStats {
+    type Node = DegreeNode;
+    type Output = DegreeSummary;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        2 * id_bits(n)
+    }
+
+    fn spawn(&self, _view: &LocalView) -> DegreeNode {
+        DegreeNode
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> DegreeSummary {
+        let degrees = degrees_from_board(n, board);
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let isolated = degrees.iter().filter(|&&d| d == 0).count();
+        let first = degrees.first().copied();
+        let regular = match first {
+            Some(d) if degrees.iter().all(|&x| x == d) => Some(d),
+            _ => None,
+        };
+        DegreeSummary { degrees, max_degree, isolated, regular }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::generators;
+    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::{run, Outcome, RandomAdversary};
+
+    #[test]
+    fn edge_count_matches_m() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [1usize, 5, 30, 120] {
+            for p in [0.0, 0.2, 1.0] {
+                let g = generators::gnp(n, p, &mut rng);
+                let report = run(&EdgeCount, &g, &mut RandomAdversary::new(n as u64));
+                assert_eq!(report.outcome, Outcome::Success(g.m()), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_schedule_independent() {
+        let g = generators::cycle(5);
+        assert_all_schedules(&EdgeCount, &g, 200, |&m| m == 5);
+    }
+
+    #[test]
+    fn degree_stats_on_structured_graphs() {
+        let star = generators::star(9);
+        let report = run(&DegreeStats, &star, &mut RandomAdversary::new(1));
+        let s = report.outcome.unwrap();
+        assert_eq!(s.max_degree, 8);
+        assert_eq!(s.isolated, 0);
+        assert_eq!(s.regular, None);
+        assert_eq!(s.degrees[0], 8);
+
+        let cyc = generators::cycle(6);
+        let s = run(&DegreeStats, &cyc, &mut RandomAdversary::new(2)).outcome.unwrap();
+        assert_eq!(s.regular, Some(2));
+
+        let promise = generators::two_cliques(5);
+        let s = run(&DegreeStats, &promise, &mut RandomAdversary::new(3)).outcome.unwrap();
+        assert_eq!(s.regular, Some(4), "the §5.1 (n−1)-regular promise is checkable");
+    }
+
+    #[test]
+    fn degree_stats_counts_isolated() {
+        let mut g = generators::path(3).disjoint_union(&wb_graph::Graph::empty(4));
+        g.add_edge(1, 2);
+        let s = run(&DegreeStats, &g, &mut RandomAdversary::new(4)).outcome.unwrap();
+        assert_eq!(s.isolated, 4);
+    }
+}

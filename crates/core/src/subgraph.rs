@@ -1,0 +1,153 @@
+//! SUBGRAPH_f in `SIMASYNC[f(n)]` (Theorem 9).
+//!
+//! The problem: output the subgraph induced by keeping only edges among the
+//! first `f(n)` nodes `{v_1 … v_{f(n)}}`. The protocol is the paper's one-liner:
+//! "each node sends a vector consisting of the f(n) first bits of its line in
+//! the adjacency matrix". Theorem 9 then shows `SUBGRAPH_f ∈
+//! PSIMASYNC[f(n)] \ PSYNC[g(n)]` for every `g = o(f)` — message size and
+//! synchronization power are orthogonal resources. The counting half lives in
+//! `wb-reductions`; this module is the positive half.
+
+use crate::codec::{read_id, write_id};
+use wb_graph::{Graph, NodeId};
+use wb_math::{id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// The SUBGRAPH_f protocol with prefix size `f = f(n)` fixed per instance
+/// (the problem family is parameterized by the function `f`; a protocol runs
+/// at one `n`, hence one prefix length).
+#[derive(Clone, Debug)]
+pub struct SubgraphPrefix {
+    f: usize,
+}
+
+impl SubgraphPrefix {
+    /// Keep edges among the first `f` nodes.
+    pub fn new(f: usize) -> Self {
+        assert!(f >= 1);
+        SubgraphPrefix { f }
+    }
+
+    /// Convenience: `f(n) = ⌈√n⌉`, the regime used in the paper's separation
+    /// sweep.
+    pub fn sqrt_of(n: usize) -> Self {
+        Self::new((n as f64).sqrt().ceil() as usize)
+    }
+
+    /// The prefix length.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+}
+
+/// Stateless SIMASYNC node.
+#[derive(Clone)]
+pub struct SubgraphNode {
+    f: usize,
+}
+
+impl Node for SubgraphNode {
+    fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {
+        unreachable!("SIMASYNC nodes are never shown the board");
+    }
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        write_id(&mut w, view.id, view.n);
+        for u in 1..=self.f.min(view.n) as NodeId {
+            w.write_bool(view.is_neighbor(u));
+        }
+        w.finish()
+    }
+}
+
+impl Protocol for SubgraphPrefix {
+    type Node = SubgraphNode;
+    type Output = Graph;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        id_bits(n) + self.f.min(n) as u32
+    }
+
+    fn spawn(&self, _view: &LocalView) -> SubgraphNode {
+        SubgraphNode { f: self.f }
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> Graph {
+        let f = self.f.min(n);
+        let mut g = Graph::empty(f);
+        for e in board.entries() {
+            let mut r = BitReader::new(&e.msg);
+            let id = read_id(&mut r, n);
+            if id as usize > f {
+                continue;
+            }
+            for u in 1..=f as NodeId {
+                if r.read_bool() && u != id {
+                    g.add_edge(id, u);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::generators;
+    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::{run, Outcome, RandomAdversary};
+
+    #[test]
+    fn recovers_prefix_subgraph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [5usize, 20, 60] {
+            let g = generators::gnp(n, 0.3, &mut rng);
+            for f in [1usize, 2, n / 2, n] {
+                let p = SubgraphPrefix::new(f.max(1));
+                let report = run(&p, &g, &mut RandomAdversary::new(f as u64));
+                match report.outcome {
+                    Outcome::Success(h) => assert_eq!(h, g.induced_prefix(f.max(1)), "n={n} f={f}"),
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_independent() {
+        let g = generators::cycle(4);
+        let p = SubgraphPrefix::new(3);
+        assert_all_schedules(&p, &g, 100, |h| *h == g.induced_prefix(3));
+    }
+
+    #[test]
+    fn budget_scales_with_f_not_n() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 144;
+        let g = generators::gnp(n, 0.2, &mut rng);
+        let p = SubgraphPrefix::sqrt_of(n); // f = 12
+        assert_eq!(p.f(), 12);
+        let report = run(&p, &g, &mut RandomAdversary::new(9));
+        assert!(report.outcome.is_success());
+        assert_eq!(report.max_message_bits(), id_bits(n) as usize + 12);
+    }
+
+    #[test]
+    fn f_larger_than_n_is_clamped() {
+        let g = generators::path(4);
+        let p = SubgraphPrefix::new(100);
+        let report = run(&p, &g, &mut RandomAdversary::new(0));
+        match report.outcome {
+            Outcome::Success(h) => assert_eq!(h, g),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! TRIANGLE detection protocols bracketing Theorem 3.
+//!
+//! Theorem 3 proves TRIANGLE ∉ `PSIMASYNC[o(n)]` (via the Fig. 1 reduction to
+//! BUILD on bipartite graphs — executable in `wb-reductions`). Table 2 marks
+//! the SIMSYNC cell "yes", but the journal text contains no protocol for it
+//! and we could not reconstruct one; DESIGN.md §5 records this gap. What this
+//! module ships are the two *provable* brackets:
+//!
+//! - [`TriangleViaBuild`] — on bounded-degeneracy inputs, BUILD is solvable in
+//!   `SIMASYNC[k² log n]` (Theorem 2), so TRIANGLE is too: reconstruct, then
+//!   count triangles locally. Covers every graph class for which the paper
+//!   gives positive reconstruction results.
+//! - [`TriangleFullRow`] — the trivial `SIMASYNC[n]` upper bound matching the
+//!   `Ω(n)` lower bound of Theorem 3: full adjacency rows.
+
+use crate::build::{BuildDegenerate, BuildError};
+use crate::naive::NaiveBuild;
+use wb_graph::checks;
+use wb_runtime::{LocalView, Model, Protocol, Whiteboard};
+
+/// TRIANGLE on degeneracy-≤k graphs via full reconstruction
+/// (`SIMASYNC[k² log n]`).
+#[derive(Clone, Debug)]
+pub struct TriangleViaBuild {
+    build: BuildDegenerate,
+}
+
+impl TriangleViaBuild {
+    /// Protocol for degeneracy bound `k`.
+    pub fn new(k: usize) -> Self {
+        TriangleViaBuild { build: BuildDegenerate::new(k) }
+    }
+}
+
+impl Protocol for TriangleViaBuild {
+    type Node = crate::build::BuildNode;
+    type Output = Result<bool, BuildError>;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        self.build.budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        self.build.spawn(view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
+        self.build.output(n, board).map(|g| checks::has_triangle(&g))
+    }
+}
+
+/// TRIANGLE on arbitrary graphs with Θ(n)-bit messages (`SIMASYNC[n]`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TriangleFullRow;
+
+impl Protocol for TriangleFullRow {
+    type Node = crate::naive::NaiveNode;
+    type Output = bool;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        NaiveBuild.budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        NaiveBuild.spawn(view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> bool {
+        checks::has_triangle(&NaiveBuild.output(n, board))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::{enumerate, generators};
+    use wb_runtime::{run, Outcome, RandomAdversary};
+
+    #[test]
+    fn full_row_matches_oracle_on_all_small_graphs() {
+        for g in enumerate::all_graphs(4) {
+            let report = run(&TriangleFullRow, &g, &mut RandomAdversary::new(1));
+            assert_eq!(report.outcome, Outcome::Success(checks::has_triangle(&g)));
+        }
+    }
+
+    #[test]
+    fn via_build_matches_oracle_on_degenerate_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for k in 2..=4 {
+            for trial in 0..6 {
+                let g = generators::k_degenerate(25, k, trial % 2 == 0, &mut rng);
+                let p = TriangleViaBuild::new(k);
+                let report = run(&p, &g, &mut RandomAdversary::new(trial));
+                assert_eq!(report.outcome, Outcome::Success(Ok(checks::has_triangle(&g))), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn via_build_rejects_out_of_class_inputs() {
+        let g = generators::clique(5); // degeneracy 4
+        let p = TriangleViaBuild::new(2);
+        let report = run(&p, &g, &mut RandomAdversary::new(0));
+        assert_eq!(report.outcome, Outcome::Success(Err(BuildError::NotKDegenerate)));
+    }
+
+    #[test]
+    fn triangle_in_sparse_graph_found() {
+        // A 2-degenerate graph with one triangle.
+        let mut g = generators::path(6);
+        g.add_edge(1, 3);
+        let p = TriangleViaBuild::new(2);
+        let report = run(&p, &g, &mut RandomAdversary::new(2));
+        assert_eq!(report.outcome, Outcome::Success(Ok(true)));
+    }
+}

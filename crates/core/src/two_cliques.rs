@@ -1,0 +1,200 @@
+//! 2-CLIQUES in `SIMSYNC[log n]` (§5.1).
+//!
+//! Promise: the input is an `(n−1)`-regular graph on `2n` nodes; decide
+//! whether it is the disjoint union of two `n`-cliques. Each node, when
+//! picked, looks at the side labels its already-written neighbors chose:
+//!
+//! - empty board → label `0` (the paper's first writer);
+//! - no written neighbor → label `1` (a fresh component);
+//! - unanimous written neighbors → copy their label;
+//! - disagreeing written neighbors → write **no**.
+//!
+//! The paper's acceptance test is "no *no* message". That alone is incomplete:
+//! on a *connected* regular impostor an adversary can schedule nodes along a
+//! spanning expansion so that every node copies label `0` and nobody ever
+//! disagrees. We therefore accept iff there is **no `no` message and some node
+//! wrote label 1**. Soundness: if both labels appear and no node saw a
+//! disagreement, no edge joins the two label classes (the later endpoint of
+//! any crossing edge would have seen the other side), so the graph is
+//! disconnected — which, under the promise, happens exactly for two cliques.
+//! Completeness: in a genuine two-clique instance the second clique's first
+//! writer always has no written neighbors and writes `1`. This strengthening
+//! is recorded in DESIGN.md.
+
+use crate::codec::{read_id, write_id};
+use wb_graph::NodeId;
+use wb_math::{id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// Verdict of the 2-CLIQUES protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TwoCliquesVerdict {
+    /// The graph is (under the promise) two disjoint cliques.
+    TwoCliques,
+    /// The graph is connected (not two cliques).
+    NotTwoCliques,
+}
+
+/// The §5.1 SIMSYNC protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoCliques;
+
+const TAG_SIDE0: u64 = 0;
+const TAG_SIDE1: u64 = 1;
+const TAG_NO: u64 = 2;
+
+/// Node state: the side labels seen among written neighbors, plus whether the
+/// board is still empty.
+#[derive(Clone, Default)]
+pub struct TwoCliquesNode {
+    board_len: usize,
+    saw_side: [bool; 2],
+}
+
+impl Node for TwoCliquesNode {
+    fn observe(&mut self, view: &LocalView, _seq: usize, _writer: NodeId, msg: &BitVec) {
+        self.board_len += 1;
+        let mut r = BitReader::new(msg);
+        let id = read_id(&mut r, view.n);
+        let tag = r.read_bits(2);
+        if view.is_neighbor(id) && tag <= TAG_SIDE1 {
+            self.saw_side[tag as usize] = true;
+        }
+    }
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let tag = match (self.board_len, self.saw_side) {
+            (0, _) => TAG_SIDE0,              // first writer overall
+            (_, [false, false]) => TAG_SIDE1, // fresh component
+            (_, [true, false]) => TAG_SIDE0,
+            (_, [false, true]) => TAG_SIDE1,
+            (_, [true, true]) => TAG_NO,
+        };
+        let mut w = BitWriter::new();
+        write_id(&mut w, view.id, view.n);
+        w.write_bits(tag, 2);
+        w.finish()
+    }
+}
+
+impl Protocol for TwoCliques {
+    type Node = TwoCliquesNode;
+    type Output = TwoCliquesVerdict;
+
+    fn model(&self) -> Model {
+        Model::SimSync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        id_bits(n) + 2
+    }
+
+    fn spawn(&self, _view: &LocalView) -> TwoCliquesNode {
+        TwoCliquesNode::default()
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> TwoCliquesVerdict {
+        let mut any_no = false;
+        let mut any_side1 = false;
+        for e in board.entries() {
+            let mut r = BitReader::new(&e.msg);
+            let _ = read_id(&mut r, n);
+            match r.read_bits(2) {
+                TAG_NO => any_no = true,
+                TAG_SIDE1 => any_side1 = true,
+                _ => {}
+            }
+        }
+        if !any_no && any_side1 {
+            TwoCliquesVerdict::TwoCliques
+        } else {
+            TwoCliquesVerdict::NotTwoCliques
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::{checks, generators};
+    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::{run, Outcome, PriorityAdversary, RandomAdversary};
+
+    #[test]
+    fn accepts_two_cliques_under_every_schedule() {
+        // 2×K₃ on 6 nodes: all 720 schedules.
+        let g = generators::two_cliques(3);
+        assert_all_schedules(&TwoCliques, &g, 1000, |v| *v == TwoCliquesVerdict::TwoCliques);
+    }
+
+    #[test]
+    fn rejects_connected_impostor_under_every_schedule() {
+        // The 2-swap impostor on 6 nodes is connected, 2-regular: every
+        // schedule must answer NotTwoCliques — including the "creeping"
+        // expansion orders that defeat the paper's no-message-only test.
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::connected_regular_impostor(3, &mut rng);
+        assert!(checks::is_connected(&g));
+        assert_all_schedules(&TwoCliques, &g, 1000, |v| *v == TwoCliquesVerdict::NotTwoCliques);
+    }
+
+    #[test]
+    fn creeping_order_is_rejected_on_larger_impostors() {
+        // Explicit creeping adversary: schedule along a BFS expansion so all
+        // labels copy 0; the ∃-side-1 test still rejects.
+        let mut rng = StdRng::seed_from_u64(2);
+        for half in [4usize, 6, 10] {
+            let g = generators::connected_regular_impostor(half, &mut rng);
+            let order = {
+                let f = checks::bfs_forest(&g);
+                let mut ids: Vec<NodeId> = (1..=g.n() as NodeId).collect();
+                ids.sort_by_key(|&v| f.layer[v as usize - 1]);
+                ids
+            };
+            let report = run(&TwoCliques, &g, &mut PriorityAdversary::new(&order));
+            assert_eq!(report.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+        }
+    }
+
+    #[test]
+    fn random_instances_and_adversaries() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for half in [3usize, 5, 9, 16] {
+            let yes = generators::two_cliques(half);
+            let no = generators::connected_regular_impostor(half, &mut rng);
+            for seed in 0..8 {
+                let ry = run(&TwoCliques, &yes, &mut RandomAdversary::new(seed));
+                assert_eq!(ry.outcome, Outcome::Success(TwoCliquesVerdict::TwoCliques));
+                let rn = run(&TwoCliques, &no, &mut RandomAdversary::new(seed));
+                assert_eq!(rn.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_correspondence_within_promise_class() {
+        // §5.1: an (n−1)-regular 2n-node graph is two cliques iff it is
+        // disconnected. The protocol therefore decides CONNECTIVITY on the
+        // promise class.
+        let mut rng = StdRng::seed_from_u64(4);
+        for half in [3usize, 4, 6] {
+            for g in [generators::two_cliques(half), generators::connected_regular_impostor(half, &mut rng)] {
+                let report = run(&TwoCliques, &g, &mut RandomAdversary::new(7));
+                let verdict = report.outcome.unwrap();
+                assert_eq!(
+                    verdict == TwoCliquesVerdict::TwoCliques,
+                    !checks::is_connected(&g),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_log_n_plus_tag() {
+        let g = generators::two_cliques(8);
+        let report = run(&TwoCliques, &g, &mut RandomAdversary::new(5));
+        assert_eq!(report.max_message_bits(), id_bits(16) as usize + 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Randomized 2-CLIQUES in `SIMASYNC[log n]` — Open Problem 4, implemented.
+//!
+//! The paper's conclusion notes that "2-CLIQUES admits a randomized protocol
+//! for these models" and asks (Open Problem 4) which problems randomized
+//! `SIMASYNC[log n]` solves. Here is the natural public-coin protocol:
+//!
+//! Each node XOR-hashes its **closed** neighborhood `N[v]` through a shared
+//! random table `r : {1..n} → {0,1}^b` (public coins, the standard assumption
+//! of the simultaneous-messages literature the paper builds on) and writes
+//! `(ID(v), ⊕_{u∈N[v]} r(u))`. The referee groups nodes by fingerprint: the
+//! graph is two `n`-cliques iff nodes split into two groups `A ∪ B` of equal
+//! size whose fingerprints equal `h(A)` and `h(B)` respectively — which the
+//! referee recomputes from the IDs on the board.
+//!
+//! One-sided error: two genuine cliques are always accepted (including the
+//! probability-2^(−b) event that the two cliques' hashes collide into a
+//! single group, which the referee cannot refute and therefore accepts); a
+//! non-2-clique `(n−1)`-regular graph is falsely accepted only through a hash
+//! collision among distinct neighborhoods, probability ≤ (2n+1)·2^(−b) by a
+//! union bound.
+
+use crate::codec::{read_id, write_id};
+use crate::two_cliques::TwoCliquesVerdict;
+use wb_graph::NodeId;
+use wb_math::{id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// Public-coin SIMASYNC 2-CLIQUES tester.
+#[derive(Clone, Debug)]
+pub struct TwoCliquesRandomized {
+    seed: u64,
+    bits: u32,
+}
+
+impl TwoCliquesRandomized {
+    /// Protocol with shared-randomness `seed` and `bits`-bit fingerprints
+    /// (`1 ≤ bits ≤ 64`).
+    pub fn new(seed: u64, bits: u32) -> Self {
+        assert!((1..=64).contains(&bits));
+        TwoCliquesRandomized { seed, bits }
+    }
+
+    /// The shared random table entry `r(u)` — derived deterministically from
+    /// the public seed, so every node (and the referee) agrees on it.
+    fn coin(&self, u: NodeId) -> u64 {
+        // SplitMix64 on (seed, u): adequate as a shared pseudo-random table.
+        let mut z = self.seed ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if self.bits == 64 {
+            z
+        } else {
+            z & ((1u64 << self.bits) - 1)
+        }
+    }
+
+    fn hash_closed_neighborhood(&self, view: &LocalView) -> u64 {
+        let mut h = self.coin(view.id);
+        for &u in &view.neighbors {
+            h ^= self.coin(u);
+        }
+        h
+    }
+
+    fn hash_set(&self, ids: &[NodeId]) -> u64 {
+        ids.iter().fold(0, |h, &u| h ^ self.coin(u))
+    }
+}
+
+/// Stateless SIMASYNC node.
+#[derive(Clone)]
+pub struct RandomizedNode {
+    fingerprint: u64,
+    bits: u32,
+}
+
+impl Node for RandomizedNode {
+    fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {
+        unreachable!("SIMASYNC nodes are never shown the board");
+    }
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        write_id(&mut w, view.id, view.n);
+        w.write_bits(self.fingerprint, self.bits);
+        w.finish()
+    }
+}
+
+impl Protocol for TwoCliquesRandomized {
+    type Node = RandomizedNode;
+    type Output = TwoCliquesVerdict;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        id_bits(n) + self.bits
+    }
+
+    fn spawn(&self, view: &LocalView) -> RandomizedNode {
+        RandomizedNode { fingerprint: self.hash_closed_neighborhood(view), bits: self.bits }
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> TwoCliquesVerdict {
+        if n % 2 != 0 {
+            return TwoCliquesVerdict::NotTwoCliques;
+        }
+        let mut groups: std::collections::HashMap<u64, Vec<NodeId>> = std::collections::HashMap::new();
+        for e in board.entries() {
+            let mut r = BitReader::new(&e.msg);
+            let id = read_id(&mut r, n);
+            let fp = r.read_bits(self.bits);
+            groups.entry(fp).or_default().push(id);
+        }
+        match groups.len() {
+            // The two cliques' set-hashes collided (probability 2^−b): the
+            // referee cannot refute, and must accept to stay one-sided. A
+            // non-2-clique lands here only if two *distinct* neighborhoods
+            // collided — folded into the union bound.
+            1 => TwoCliquesVerdict::TwoCliques,
+            2 => {
+                let ok =
+                    groups.iter().all(|(&fp, ids)| ids.len() == n / 2 && self.hash_set(ids) == fp);
+                if ok {
+                    TwoCliquesVerdict::TwoCliques
+                } else {
+                    TwoCliquesVerdict::NotTwoCliques
+                }
+            }
+            // Three or more fingerprints can never arise from two cliques.
+            _ => TwoCliquesVerdict::NotTwoCliques,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::generators;
+    use wb_runtime::{run, MinIdAdversary, Outcome, RandomAdversary};
+
+    #[test]
+    fn always_accepts_two_cliques() {
+        // One-sided error: YES instances accepted for every seed.
+        for half in [3usize, 5, 10] {
+            let g = generators::two_cliques(half);
+            for seed in 0..50 {
+                let p = TwoCliquesRandomized::new(seed, 24);
+                let report = run(&p, &g, &mut MinIdAdversary);
+                assert_eq!(report.outcome, Outcome::Success(TwoCliquesVerdict::TwoCliques));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_impostors_whp() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for half in [3usize, 6, 10] {
+            let g = generators::connected_regular_impostor(half, &mut rng);
+            for seed in 0..50 {
+                let p = TwoCliquesRandomized::new(seed, 24);
+                let report = run(&p, &g, &mut RandomAdversary::new(seed));
+                assert_eq!(
+                    report.outcome,
+                    Outcome::Success(TwoCliquesVerdict::NotTwoCliques),
+                    "half={half} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_rate_shrinks_with_fingerprint_width() {
+        // With 1-bit fingerprints false accepts are plausible; with 32 bits
+        // they vanish over many trials. (We only assert the wide case — the
+        // narrow case is a demonstration, not a guarantee.)
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = generators::connected_regular_impostor(4, &mut rng);
+        let mut narrow_accepts = 0u32;
+        for seed in 0..200 {
+            let narrow = TwoCliquesRandomized::new(seed, 1);
+            if run(&narrow, &g, &mut MinIdAdversary).outcome.unwrap() == TwoCliquesVerdict::TwoCliques {
+                narrow_accepts += 1;
+            }
+            let wide = TwoCliquesRandomized::new(seed, 32);
+            assert_eq!(run(&wide, &g, &mut MinIdAdversary).outcome.unwrap(), TwoCliquesVerdict::NotTwoCliques);
+        }
+        // Informational: narrow fingerprints may or may not produce false
+        // accepts on this instance; the test asserts only that widening never
+        // hurts (checked above by the wide assertions).
+        let _ = narrow_accepts;
+    }
+
+    #[test]
+    fn odd_order_is_rejected() {
+        let g = generators::clique(5);
+        let p = TwoCliquesRandomized::new(1, 16);
+        let report = run(&p, &g, &mut MinIdAdversary);
+        assert_eq!(report.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+    }
+
+    #[test]
+    fn budget_is_log_n_plus_b() {
+        let g = generators::two_cliques(8);
+        let p = TwoCliquesRandomized::new(7, 20);
+        let report = run(&p, &g, &mut MinIdAdversary);
+        assert_eq!(report.max_message_bits(), id_bits(16) as usize + 20);
+    }
+}

@@ -1,0 +1,573 @@
+//! Reference sequential algorithms used as oracles for the whiteboard protocols.
+//!
+//! Every positive protocol result in the paper is tested against the functions
+//! here: BFS forests against [`bfs_forest`], BUILD against the original
+//! adjacency matrix, degeneracy recognition against [`degeneracy`], MIS outputs
+//! against [`is_rooted_mis`], 2-CLIQUES against [`is_two_cliques`] and the
+//! connectivity correspondence of §5.1.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// A BFS forest as the paper's protocols output it.
+///
+/// Each connected component is rooted at its minimum-ID node; `layer[v]` is the
+/// BFS distance from the component root; `parent[v]` is the minimum-ID neighbor
+/// of `v` in the previous layer (`None` for roots).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsForest {
+    /// `layer[i]` is the layer of node `i+1`.
+    pub layer: Vec<u32>,
+    /// `parent[i]` is the tree parent of node `i+1`, `None` for component roots.
+    pub parent: Vec<Option<NodeId>>,
+    /// Component roots in increasing ID order.
+    pub roots: Vec<NodeId>,
+}
+
+impl BfsForest {
+    /// Validate this forest against `g`: parents are edges, layers increase by
+    /// one along parent links, layers equal true BFS distance from the root,
+    /// roots are component minima.
+    pub fn is_valid_for(&self, g: &Graph) -> bool {
+        *self == bfs_forest(g)
+    }
+}
+
+/// The canonical BFS forest: components in min-ID order, each rooted at its
+/// min-ID node, parents being min-ID previous-layer neighbors.
+///
+/// Note: the paper defines `p(v)` as "the node in `N*_v` with minimum ID". In
+/// the general (non-bipartite) SYNC protocol, `N*_v` may contain same-layer
+/// neighbors, which would not give a tree edge; we read the intended definition
+/// as minimum-ID neighbor *in the previous layer* (for bipartite inputs the two
+/// definitions coincide because there are no intra-layer edges).
+pub fn bfs_forest(g: &Graph) -> BfsForest {
+    let n = g.n();
+    let mut layer = vec![u32::MAX; n];
+    let mut parent = vec![None; n];
+    let mut roots = Vec::new();
+    for start in 1..=n as NodeId {
+        if layer[start as usize - 1] != u32::MAX {
+            continue;
+        }
+        roots.push(start);
+        layer[start as usize - 1] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let lu = layer[u as usize - 1];
+            for &w in g.neighbors(u) {
+                let wi = w as usize - 1;
+                if layer[wi] == u32::MAX {
+                    layer[wi] = lu + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    // parent = min-ID neighbor in the previous layer (deterministic).
+    for v in 1..=n as NodeId {
+        let lv = layer[v as usize - 1];
+        if lv == 0 {
+            continue;
+        }
+        parent[v as usize - 1] =
+            g.neighbors(v).iter().copied().find(|&w| layer[w as usize - 1] == lv - 1);
+    }
+    BfsForest { layer, parent, roots }
+}
+
+/// BFS distances from a single source (`u32::MAX` for unreachable nodes).
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    dist[source as usize - 1] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &w in g.neighbors(u) {
+            if dist[w as usize - 1] == u32::MAX {
+                dist[w as usize - 1] = dist[u as usize - 1] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components, each sorted ascending, ordered by minimum ID.
+pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; g.n()];
+    let mut comps = Vec::new();
+    for start in 1..=g.n() as NodeId {
+        if seen[start as usize - 1] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        seen[start as usize - 1] = true;
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for &w in g.neighbors(u) {
+                if !seen[w as usize - 1] {
+                    seen[w as usize - 1] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Whether `g` is connected (the 0-node graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    components(g).len() <= 1
+}
+
+/// A proper 2-coloring if one exists.
+pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
+    let mut color: Vec<Option<bool>> = vec![None; g.n()];
+    for start in 1..=g.n() as NodeId {
+        if color[start as usize - 1].is_some() {
+            continue;
+        }
+        color[start as usize - 1] = Some(false);
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            let cu = color[u as usize - 1].unwrap();
+            for &w in g.neighbors(u) {
+                match color[w as usize - 1] {
+                    None => {
+                        color[w as usize - 1] = Some(!cu);
+                        queue.push_back(w);
+                    }
+                    Some(cw) if cw == cu => return None,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c.unwrap()).collect())
+}
+
+/// Whether `g` is bipartite.
+pub fn is_bipartite(g: &Graph) -> bool {
+    bipartition(g).is_some()
+}
+
+/// Whether `g` is *even-odd-bipartite*: no edge joins two IDs of equal parity
+/// (the paper's EOB class, where the bipartition is known to every node).
+pub fn is_even_odd_bipartite(g: &Graph) -> bool {
+    g.edges().all(|(u, v)| (u % 2) != (v % 2))
+}
+
+/// Number of triangles (3-cliques) in `g`.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let mut count = 0;
+    for u in 1..=g.n() as NodeId {
+        let nu = g.neighbors(u);
+        for (i, &v) in nu.iter().enumerate() {
+            if v <= u {
+                continue;
+            }
+            for &w in &nu[i + 1..] {
+                if w > v && g.has_edge(v, w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Whether `g` contains a triangle (the TRIANGLE problem's reference oracle).
+pub fn has_triangle(g: &Graph) -> bool {
+    triangle_count(g) > 0
+}
+
+/// Whether `g` contains a 4-cycle ("Does G contain a square?" — one of the
+/// problems the IPDPS'11 companion proves hard for one-round protocols).
+pub fn has_square(g: &Graph) -> bool {
+    // Two distinct nodes with two common neighbors form a C4.
+    for u in 1..=g.n() as NodeId {
+        for v in (u + 1)..=g.n() as NodeId {
+            let mut common = 0;
+            let (a, b) = (g.neighbors(u), g.neighbors(v));
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        common += 1;
+                        if common >= 2 {
+                            return true;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Diameter of a connected graph (`None` if disconnected or empty).
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 || !is_connected(g) {
+        return None;
+    }
+    let mut best = 0;
+    for v in 1..=g.n() as NodeId {
+        let d = bfs_distances(g, v);
+        best = best.max(d.into_iter().max().unwrap());
+    }
+    Some(best)
+}
+
+/// Exact degeneracy of `g` together with a witnessing elimination order
+/// (Definition 1: order `r_1..r_n` such that `r_i` has degree ≤ k in the
+/// subgraph induced by `{r_i..r_n}`). Bucket-queue peeling, `O(n + m)`.
+///
+/// ```
+/// use wb_graph::{checks, generators};
+///
+/// assert_eq!(checks::degeneracy(&generators::path(10)).0, 1);   // forests: 1
+/// assert_eq!(checks::degeneracy(&generators::cycle(10)).0, 2);  // cycles: 2
+/// assert_eq!(checks::degeneracy(&generators::clique(6)).0, 5);  // K_n: n−1
+/// ```
+pub fn degeneracy(g: &Graph) -> (usize, Vec<NodeId>) {
+    let n = g.n();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    let mut deg: Vec<usize> = (1..=n as NodeId).map(|v| g.degree(v)).collect();
+    let maxd = g.max_degree();
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); maxd + 1];
+    for v in 1..=n as NodeId {
+        buckets[deg[v as usize - 1]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut k = 0;
+    let mut cursor = 0;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket (cursor can retreat by one when a
+        // neighbor's degree drops).
+        while cursor > 0 && !buckets[cursor - 1].is_empty() {
+            cursor -= 1;
+        }
+        while buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let v = loop {
+            match buckets[cursor].pop() {
+                Some(v) if !removed[v as usize - 1] && deg[v as usize - 1] == cursor => break v,
+                Some(_) => {
+                    // Stale entry; drop it. If this empties the bucket, rescan.
+                    while buckets[cursor].is_empty() {
+                        cursor += 1;
+                    }
+                }
+                None => unreachable!("bucket emptied unexpectedly"),
+            }
+        };
+        removed[v as usize - 1] = true;
+        order.push(v);
+        k = k.max(cursor);
+        for &w in g.neighbors(v) {
+            let wi = w as usize - 1;
+            if !removed[wi] {
+                deg[wi] -= 1;
+                buckets[deg[wi]].push(w);
+            }
+        }
+    }
+    (k, order)
+}
+
+/// A witnessing elimination order for the §3-extension class: every prefix
+/// removal takes a node whose degree among the survivors is ≤ `k` **or**
+/// ≥ `survivors − k − 1` ("low or high degree"). Returns `None` if `g` is not
+/// in the class.
+///
+/// Greedy peeling is complete here because the class is closed under vertex
+/// removal: deleting any vertex only shrinks later-degrees (preserving the
+/// low condition) and shrinks the survivor count in lockstep with degrees
+/// (preserving the high condition).
+pub fn mixed_elimination(g: &Graph, k: usize) -> Option<Vec<NodeId>> {
+    let n = g.n();
+    let mut deg: Vec<usize> = (1..=n as NodeId).map(|v| g.degree(v)).collect();
+    let mut alive = vec![true; n];
+    let mut remaining = n;
+    let mut order = Vec::with_capacity(n);
+    while remaining > 0 {
+        let candidate = (1..=n as NodeId).find(|&v| {
+            alive[v as usize - 1]
+                && (deg[v as usize - 1] <= k
+                    || deg[v as usize - 1] + k + 1 >= remaining)
+        })?;
+        alive[candidate as usize - 1] = false;
+        remaining -= 1;
+        order.push(candidate);
+        for &w in g.neighbors(candidate) {
+            if alive[w as usize - 1] {
+                deg[w as usize - 1] -= 1;
+            }
+        }
+    }
+    Some(order)
+}
+
+/// Whether `set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `set` is a *maximal* (by inclusion) independent set of `g`
+/// containing the distinguished node `root` — the output predicate of the
+/// paper's rooted MIS problem.
+pub fn is_rooted_mis(g: &Graph, set: &[NodeId], root: NodeId) -> bool {
+    if !set.contains(&root) || !is_independent_set(g, set) {
+        return false;
+    }
+    // Maximality: every node outside has a neighbor inside.
+    let inside = {
+        let mut b = vec![false; g.n()];
+        for &v in set {
+            b[v as usize - 1] = true;
+        }
+        b
+    };
+    g.nodes().all(|v| inside[v as usize - 1] || g.neighbors(v).iter().any(|&w| inside[w as usize - 1]))
+}
+
+/// Whether `g` is the disjoint union of two n-cliques on 2n nodes (the
+/// 2-CLIQUES problem; inputs are promised (n−1)-regular with 2n nodes).
+pub fn is_two_cliques(g: &Graph) -> bool {
+    if g.n() % 2 != 0 || g.n() == 0 {
+        return false;
+    }
+    let half = g.n() / 2;
+    let comps = components(g);
+    comps.len() == 2
+        && comps.iter().all(|c| {
+            c.len() == half && c.iter().all(|&v| g.degree(v) == half - 1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(1..n as NodeId).map(|i| (i, i + 1)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn bfs_forest_on_path() {
+        let g = path(5);
+        let f = bfs_forest(&g);
+        assert_eq!(f.roots, vec![1]);
+        assert_eq!(f.layer, vec![0, 1, 2, 3, 4]);
+        assert_eq!(f.parent, vec![None, Some(1), Some(2), Some(3), Some(4)]);
+        assert!(f.is_valid_for(&g));
+    }
+
+    #[test]
+    fn bfs_forest_multi_component() {
+        // {1,2} and {3,4,5} components.
+        let g = Graph::from_edges(5, &[(1, 2), (3, 4), (4, 5), (3, 5)]);
+        let f = bfs_forest(&g);
+        assert_eq!(f.roots, vec![1, 3]);
+        assert_eq!(f.layer, vec![0, 1, 0, 1, 1]);
+        assert_eq!(f.parent, vec![None, Some(1), None, Some(3), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_parent_is_min_id_in_previous_layer() {
+        // Node 4 adjacent to both 2 and 3, which are both in layer 1.
+        let g = Graph::from_edges(4, &[(1, 2), (1, 3), (2, 4), (3, 4)]);
+        let f = bfs_forest(&g);
+        assert_eq!(f.parent[3], Some(2));
+    }
+
+    #[test]
+    fn distances_unreachable_are_max() {
+        let g = Graph::from_edges(4, &[(1, 2)]);
+        let d = bfs_distances(&g, 1);
+        assert_eq!(d, vec![0, 1, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::from_edges(6, &[(1, 4), (2, 5), (5, 6)]);
+        assert_eq!(components(&g), vec![vec![1, 4], vec![2, 5, 6], vec![3]]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path(6)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn bipartite_checks() {
+        assert!(is_bipartite(&path(5)));
+        let c4 = Graph::from_edges(4, &[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        let c5 = Graph::from_edges(5, &[(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]);
+        assert!(is_bipartite(&c4));
+        assert!(!is_bipartite(&c5));
+    }
+
+    #[test]
+    fn eob_requires_parity_respecting_edges() {
+        assert!(is_even_odd_bipartite(&Graph::from_edges(4, &[(1, 2), (2, 3), (3, 4)])));
+        assert!(!is_even_odd_bipartite(&Graph::from_edges(4, &[(1, 3)])));
+        // bipartite but not even-odd-bipartite:
+        let g = Graph::from_edges(4, &[(1, 3), (3, 2), (2, 4)]);
+        assert!(is_bipartite(&g) && !is_even_odd_bipartite(&g));
+    }
+
+    #[test]
+    fn triangle_counting() {
+        let k4 = Graph::empty(4).complement();
+        assert_eq!(triangle_count(&k4), 4);
+        assert!(has_triangle(&k4));
+        assert!(!has_triangle(&path(5)));
+        let c5 = Graph::from_edges(5, &[(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]);
+        assert!(!has_triangle(&c5));
+    }
+
+    #[test]
+    fn square_detection() {
+        let c4 = Graph::from_edges(4, &[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        assert!(has_square(&c4));
+        assert!(!has_square(&path(5)));
+        let k4 = Graph::empty(4).complement();
+        assert!(has_square(&k4));
+        // triangle has no square
+        let k3 = Graph::empty(3).complement();
+        assert!(!has_square(&k3));
+    }
+
+    #[test]
+    fn diameter_examples() {
+        assert_eq!(diameter(&path(5)), Some(4));
+        assert_eq!(diameter(&Graph::empty(3).complement()), Some(1));
+        assert_eq!(diameter(&Graph::from_edges(3, &[(1, 2)])), None);
+        assert_eq!(diameter(&Graph::empty(1)), Some(0));
+    }
+
+    #[test]
+    fn degeneracy_of_known_graphs() {
+        assert_eq!(degeneracy(&path(7)).0, 1);
+        assert_eq!(degeneracy(&Graph::empty(5)).0, 0);
+        let c6 = Graph::from_edges(6, &[(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 1)]);
+        assert_eq!(degeneracy(&c6).0, 2);
+        let k5 = Graph::empty(5).complement();
+        assert_eq!(degeneracy(&k5).0, 4);
+    }
+
+    #[test]
+    fn degeneracy_order_is_witness() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let g = generators::gnp(24, 0.2, &mut rng);
+            let (k, order) = degeneracy(&g);
+            // Verify the order: each r_i has ≤ k later neighbors.
+            let mut pos = vec![0usize; g.n()];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v as usize - 1] = i;
+            }
+            for (i, &v) in order.iter().enumerate() {
+                let later = g.neighbors(v).iter().filter(|&&w| pos[w as usize - 1] > i).count();
+                assert!(later <= k, "node {v} has {later} later neighbors > k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn independent_set_checks() {
+        let g = Graph::from_edges(5, &[(1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert!(is_independent_set(&g, &[1, 3, 5]));
+        assert!(!is_independent_set(&g, &[1, 2]));
+        assert!(is_rooted_mis(&g, &[1, 3, 5], 1));
+        assert!(is_rooted_mis(&g, &[1, 3, 5], 3));
+        assert!(!is_rooted_mis(&g, &[3], 3)); // 1,5 uncovered
+        assert!(!is_rooted_mis(&g, &[1, 3, 5], 2)); // root not in set
+    }
+
+    #[test]
+    fn rooted_mis_1_4_on_path5_is_maximal() {
+        // {1,4} on the path 1-2-3-4-5: 2~1, 3~4, 5~4 — maximal. Positive case.
+        let g = Graph::from_edges(5, &[(1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert!(is_rooted_mis(&g, &[1, 4], 1));
+    }
+
+    #[test]
+    fn mixed_elimination_accepts_low_and_high() {
+        // Pure degeneracy-k graphs are in the class…
+        let mut rng = StdRng::seed_from_u64(9);
+        let sparse = generators::k_degenerate(20, 2, true, &mut rng);
+        assert!(mixed_elimination(&sparse, 2).is_some());
+        // …and so are their complements ("high" side):
+        assert!(mixed_elimination(&sparse.complement(), 2).is_some());
+        // Cliques are in the class for every k:
+        assert!(mixed_elimination(&generators::clique(8), 0).is_some());
+        // A 3-regular bipartite-ish graph with n = 8 is in neither side at k = 1:
+        let cube = Graph::from_edges(
+            8,
+            &[(1, 2), (2, 3), (3, 4), (4, 1), (5, 6), (6, 7), (7, 8), (8, 5), (1, 5), (2, 6), (3, 7), (4, 8)],
+        );
+        assert!(mixed_elimination(&cube, 1).is_none());
+        assert!(mixed_elimination(&cube, 3).is_some());
+    }
+
+    #[test]
+    fn mixed_elimination_order_is_a_witness() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for k in 1..=3 {
+            let g = generators::mixed_low_high(22, k, &mut rng);
+            let order = mixed_elimination(&g, k).expect("generator stays in class");
+            // Verify the witness: each node is low or high among the suffix.
+            let mut pos = vec![0usize; g.n()];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v as usize - 1] = i;
+            }
+            for (i, &v) in order.iter().enumerate() {
+                let later =
+                    g.neighbors(v).iter().filter(|&&w| pos[w as usize - 1] > i).count();
+                let survivors = g.n() - i;
+                assert!(
+                    later <= k || later + k + 1 >= survivors,
+                    "node {v}: later-degree {later} of {survivors} survivors, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_cliques_recognition() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let yes = generators::two_cliques(5);
+        assert!(is_two_cliques(&yes));
+        assert_eq!(yes.regular_degree(), Some(4));
+        let no = generators::connected_regular_impostor(5, &mut rng);
+        assert!(!is_two_cliques(&no));
+        assert_eq!(no.regular_degree(), Some(4));
+        assert!(is_connected(&no));
+        // the §5.1 correspondence: within the promise class, 2-cliques ⟺ disconnected
+        assert!(!is_connected(&yes));
+    }
+}

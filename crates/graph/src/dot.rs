@@ -1,0 +1,94 @@
+//! Graphviz DOT export, for inspecting instances, gadgets and BFS forests.
+//!
+//! The reduction gadgets (Figures 1 and 2) are much easier to audit visually;
+//! `fig*` experiment binaries and the CLI can emit these.
+
+use crate::checks::BfsForest;
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Render `g` as an undirected DOT graph.
+pub fn graph_to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  {v};");
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render `g` with a BFS forest overlay: tree edges solid, non-tree edges
+/// dashed, nodes ranked by layer, roots doubled.
+pub fn forest_to_dot(g: &Graph, forest: &BfsForest, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for v in g.nodes() {
+        let layer = forest.layer[v as usize - 1];
+        let shape = if forest.roots.contains(&v) { "doublecircle" } else { "circle" };
+        let _ = writeln!(out, "  {v} [shape={shape}, label=\"{v}\\nl={layer}\"];");
+    }
+    // Group nodes of equal layer on one rank.
+    let max_layer = forest.layer.iter().copied().max().unwrap_or(0);
+    for l in 0..=max_layer {
+        let members: Vec<String> = g
+            .nodes()
+            .filter(|&v| forest.layer[v as usize - 1] == l)
+            .map(|v| v.to_string())
+            .collect();
+        if !members.is_empty() {
+            let _ = writeln!(out, "  {{ rank=same; {} }}", members.join("; "));
+        }
+    }
+    let is_tree_edge = |u: NodeId, v: NodeId| {
+        forest.parent[u as usize - 1] == Some(v) || forest.parent[v as usize - 1] == Some(u)
+    };
+    for (u, v) in g.edges() {
+        let style = if is_tree_edge(u, v) { "solid" } else { "dashed" };
+        let _ = writeln!(out, "  {u} -- {v} [style={style}];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = generators::cycle(4);
+        let dot = graph_to_dot(&g, "c4");
+        assert!(dot.starts_with("graph c4 {"));
+        for v in 1..=4 {
+            assert!(dot.contains(&format!("  {v};")), "{dot}");
+        }
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn forest_dot_marks_tree_edges_and_roots() {
+        let g = generators::cycle(5);
+        let f = checks::bfs_forest(&g);
+        let dot = forest_to_dot(&g, &f, "c5");
+        assert!(dot.contains("doublecircle"), "{dot}");
+        assert_eq!(dot.matches("[style=solid]").count(), 4, "{dot}"); // n−1 tree edges
+        assert_eq!(dot.matches("[style=dashed]").count(), 1, "{dot}"); // the back edge
+        assert!(dot.contains("rank=same"));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let dot = graph_to_dot(&Graph::empty(2), "e");
+        assert!(dot.contains("  1;") && dot.contains("  2;"));
+        assert!(!dot.contains(" -- "));
+    }
+}

@@ -1,0 +1,92 @@
+//! Exhaustive enumeration of small labeled graphs.
+//!
+//! The positive results of the paper are ∀-adversary statements; combined with
+//! the exhaustive adversary executor in `wb-runtime`, enumerating *all* graphs
+//! on a small node count gives genuine model checking of each protocol.
+
+use crate::graph::{Graph, NodeId};
+
+/// Iterator over all `2^C(n,2)` labeled graphs on `n` nodes.
+///
+/// Edge `(u, v)`, `u < v`, corresponds to bit `rank(u, v)` of the mask, in
+/// lexicographic order.
+pub fn all_graphs(n: usize) -> impl Iterator<Item = Graph> {
+    let pairs = edge_slots(n);
+    let total: u64 = 1u64 << pairs.len();
+    assert!(pairs.len() <= 40, "enumeration of n={n} is infeasible");
+    (0..total).map(move |mask| graph_from_mask(n, &pairs, mask))
+}
+
+/// All connected graphs on `n` nodes.
+pub fn all_connected_graphs(n: usize) -> impl Iterator<Item = Graph> {
+    all_graphs(n).filter(crate::checks::is_connected)
+}
+
+/// The ordered `(u,v)` pairs with `u < v`.
+pub fn edge_slots(n: usize) -> Vec<(NodeId, NodeId)> {
+    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 1..=n as NodeId {
+        for v in (u + 1)..=n as NodeId {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+/// Decode one graph from an edge-subset mask.
+pub fn graph_from_mask(n: usize, pairs: &[(NodeId, NodeId)], mask: u64) -> Graph {
+    let mut g = Graph::empty(n);
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        if mask >> i & 1 == 1 {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Number of labeled graphs on `n` nodes (`2^C(n,2)`), for sizing sweeps.
+pub fn count_all(n: usize) -> u64 {
+    1u64 << (n * (n - 1) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks;
+
+    #[test]
+    fn counts_match_formula() {
+        assert_eq!(all_graphs(1).count(), 1);
+        assert_eq!(all_graphs(2).count(), 2);
+        assert_eq!(all_graphs(3).count(), 8);
+        assert_eq!(all_graphs(4).count(), 64);
+        assert_eq!(all_graphs(5).count() as u64, count_all(5));
+    }
+
+    #[test]
+    fn connected_counts_match_oeis() {
+        // OEIS A001187: connected labeled graphs on n nodes.
+        assert_eq!(all_connected_graphs(1).count(), 1);
+        assert_eq!(all_connected_graphs(2).count(), 1);
+        assert_eq!(all_connected_graphs(3).count(), 4);
+        assert_eq!(all_connected_graphs(4).count(), 38);
+        assert_eq!(all_connected_graphs(5).count(), 728);
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for g in all_graphs(4) {
+            let key: Vec<(NodeId, NodeId)> = g.edges().collect();
+            assert!(seen.insert(key), "duplicate graph in enumeration");
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn triangle_free_count_on_k3() {
+        // On 3 nodes, exactly one of 8 graphs has a triangle.
+        let with_triangle = all_graphs(3).filter(checks::has_triangle).count();
+        assert_eq!(with_triangle, 1);
+    }
+}

@@ -1,0 +1,427 @@
+//! Workload generators for the protocol experiments.
+//!
+//! Each family matches a graph class the paper names: bounded-degeneracy graphs
+//! (forests, k-trees, partial k-trees, random k-degenerate — §3), even-odd
+//! bipartite graphs (§5.2), two-clique unions and their connected
+//! (n−1)-regular impostors (§5.1), plus the generic G(n,p) backdrop.
+//!
+//! All randomized generators take a caller-supplied `Rng`, so every experiment
+//! is reproducible from a seed.
+
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 1..=n as NodeId {
+        for v in (u + 1)..=n as NodeId {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Path `v₁−v₂−…−v_n`.
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, &(1..n as NodeId).map(|i| (i, i + 1)).collect::<Vec<_>>())
+}
+
+/// Cycle on `n ≥ 3` nodes.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3);
+    let mut g = path(n);
+    g.add_edge(n as NodeId, 1);
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn clique(n: usize) -> Graph {
+    Graph::empty(n).complement()
+}
+
+/// Star with center `v₁`.
+pub fn star(n: usize) -> Graph {
+    Graph::from_edges(n, &(2..=n as NodeId).map(|i| (1, i)).collect::<Vec<_>>())
+}
+
+/// Uniformly random labeled tree via a random Prüfer sequence.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    if n <= 1 {
+        return Graph::empty(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(1, 2)]);
+    }
+    let prufer: Vec<NodeId> = (0..n - 2).map(|_| rng.gen_range(1..=n as NodeId)).collect();
+    let mut degree = vec![1u32; n];
+    for &v in &prufer {
+        degree[v as usize - 1] += 1;
+    }
+    let mut g = Graph::empty(n);
+    // Min-heap via sorted scan: n is small enough that a BinaryHeap is overkill,
+    // but we use one for O(n log n) regardless.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = (1..=n as NodeId)
+        .filter(|&v| degree[v as usize - 1] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("prufer decode invariant");
+        g.add_edge(leaf, v);
+        degree[v as usize - 1] -= 1;
+        if degree[v as usize - 1] == 1 {
+            leaves.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().unwrap();
+    let std::cmp::Reverse(b) = leaves.pop().unwrap();
+    g.add_edge(a, b);
+    g
+}
+
+/// Random forest: a random tree with each edge kept with probability `keep`.
+pub fn random_forest<R: Rng + ?Sized>(n: usize, keep: f64, rng: &mut R) -> Graph {
+    let t = random_tree(n, rng);
+    let mut g = Graph::empty(n);
+    for (u, v) in t.edges() {
+        if rng.gen_bool(keep) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Random `k`-tree on `n ≥ k+1` nodes: start from `K_{k+1}`, then attach each
+/// new node to a uniformly random existing `k`-clique. Degeneracy exactly `k`
+/// (for `n > k`), treewidth `k`.
+pub fn k_tree<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Graph {
+    assert!(n >= k + 1, "k-tree needs at least k+1 = {} nodes", k + 1);
+    let mut g = Graph::empty(n);
+    let base: Vec<NodeId> = (1..=(k + 1) as NodeId).collect();
+    for i in 0..base.len() {
+        for j in i + 1..base.len() {
+            g.add_edge(base[i], base[j]);
+        }
+    }
+    // All k-subsets of the base clique are k-cliques.
+    let mut cliques: Vec<Vec<NodeId>> = Vec::new();
+    for skip in 0..base.len() {
+        let mut c = base.clone();
+        c.remove(skip);
+        cliques.push(c);
+    }
+    for v in (k + 2)..=n {
+        let v = v as NodeId;
+        let c = cliques[rng.gen_range(0..cliques.len())].clone();
+        for &u in &c {
+            g.add_edge(u, v);
+        }
+        for skip in 0..c.len() {
+            let mut nc = c.clone();
+            nc[skip] = v;
+            nc.sort_unstable();
+            cliques.push(nc);
+        }
+        cliques.push(c);
+    }
+    g
+}
+
+/// Partial `k`-tree: a random `k`-tree with each edge kept with probability
+/// `keep`. Treewidth (hence degeneracy) at most `k`.
+pub fn partial_k_tree<R: Rng + ?Sized>(n: usize, k: usize, keep: f64, rng: &mut R) -> Graph {
+    let t = k_tree(n, k, rng);
+    let mut g = Graph::empty(n);
+    for (u, v) in t.edges() {
+        if rng.gen_bool(keep) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Random graph of degeneracy ≤ `k`: nodes arrive in the order of a random
+/// permutation, each new node choosing min(k, #earlier) random earlier
+/// neighbors (count uniform in `0..=min(k, #earlier)` unless `exact` forces
+/// exactly `min(k, …)`). Labels are **not** correlated with the construction
+/// order, so protocols cannot cheat by reading IDs as an elimination order.
+pub fn k_degenerate<R: Rng + ?Sized>(n: usize, k: usize, exact: bool, rng: &mut R) -> Graph {
+    let mut order: Vec<NodeId> = (1..=n as NodeId).collect();
+    order.shuffle(rng);
+    let mut g = Graph::empty(n);
+    for (i, &v) in order.iter().enumerate() {
+        let cap = k.min(i);
+        let count = if exact { cap } else { rng.gen_range(0..=cap) };
+        let mut earlier = order[..i].to_vec();
+        earlier.shuffle(rng);
+        for &u in earlier.iter().take(count) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Random bipartite graph with parts `{1..a}` and `{a+1..a+b}`.
+pub fn bipartite_fixed<R: Rng + ?Sized>(a: usize, b: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::empty(a + b);
+    for u in 1..=a as NodeId {
+        for v in (a as NodeId + 1)..=(a + b) as NodeId {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random even-odd-bipartite graph: edges only between odd and even IDs (the
+/// §5.2 class, bipartition known to all nodes through ID parity).
+pub fn even_odd_bipartite<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in (1..=n as NodeId).step_by(2) {
+        for v in (2..=n as NodeId).step_by(2) {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A *connected* even-odd-bipartite graph: random EOB plus a parity-alternating
+/// Hamiltonian-ish path threading odd and even IDs to guarantee connectivity.
+pub fn even_odd_bipartite_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = even_odd_bipartite(n, p, rng);
+    let odds: Vec<NodeId> = (1..=n as NodeId).step_by(2).collect();
+    let evens: Vec<NodeId> = (2..=n as NodeId).step_by(2).collect();
+    // Zigzag o1-e1-o2-e2-… covers all nodes with parity-respecting edges.
+    let mut zig = Vec::with_capacity(n);
+    for i in 0..odds.len().max(evens.len()) {
+        if i < odds.len() {
+            zig.push(odds[i]);
+        }
+        if i < evens.len() {
+            zig.push(evens[i]);
+        }
+    }
+    for w in zig.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    g
+}
+
+/// The disjoint union of two `half`-cliques on `2·half` nodes — the YES
+/// instances of 2-CLIQUES. Parts are `{1..half}` and `{half+1..2half}`.
+pub fn two_cliques(half: usize) -> Graph {
+    clique(half).disjoint_union(&clique(half))
+}
+
+/// A *connected* (half−1)-regular graph on `2·half` nodes — a NO instance of
+/// 2-CLIQUES satisfying the degree promise. Built by a 2-swap on the
+/// two-clique union: remove `{a₁,a₂}` and `{b₁,b₂}` inside the cliques and add
+/// the crossing edges `{a₁,b₁}`, `{a₂,b₂}`.
+pub fn connected_regular_impostor<R: Rng + ?Sized>(half: usize, rng: &mut R) -> Graph {
+    assert!(half >= 3, "need cliques of size ≥ 3 for a 2-swap");
+    let mut g = two_cliques(half);
+    let h = half as NodeId;
+    // Random distinct pairs within each clique.
+    let a1 = rng.gen_range(1..=h);
+    let a2 = loop {
+        let x = rng.gen_range(1..=h);
+        if x != a1 {
+            break x;
+        }
+    };
+    let b1 = rng.gen_range(h + 1..=2 * h);
+    let b2 = loop {
+        let x = rng.gen_range(h + 1..=2 * h);
+        if x != b1 {
+            break x;
+        }
+    };
+    g.remove_edge(a1, a2);
+    g.remove_edge(b1, b2);
+    g.add_edge(a1, b1);
+    g.add_edge(a2, b2);
+    g
+}
+
+/// A graph from the §3-extension class: built in a random insertion order,
+/// each new node attaching either to ≤ `k` of the earlier nodes ("low") or to
+/// all but ≤ `k` of them ("high"), so the reverse insertion order witnesses
+/// [`crate::checks::mixed_elimination`]. Interesting because such graphs can
+/// be *dense* (Θ(n²) edges) yet still reconstructible from O(k² log n)-bit
+/// messages.
+pub fn mixed_low_high<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Graph {
+    let mut order: Vec<NodeId> = (1..=n as NodeId).collect();
+    order.shuffle(rng);
+    let mut g = Graph::empty(n);
+    for (i, &v) in order.iter().enumerate() {
+        let cap = k.min(i);
+        let count = rng.gen_range(0..=cap);
+        let mut earlier = order[..i].to_vec();
+        earlier.shuffle(rng);
+        if rng.gen_bool(0.5) {
+            // low: `count` neighbors
+            for &u in earlier.iter().take(count) {
+                g.add_edge(u, v);
+            }
+        } else {
+            // high: all but `count` of the earlier nodes
+            for &u in earlier.iter().skip(count) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random permutation relabeling of `g`.
+pub fn relabel_random<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Graph {
+    let mut perm: Vec<NodeId> = (1..=g.n() as NodeId).collect();
+    perm.shuffle(rng);
+    g.relabel(&perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut r = rng();
+        assert_eq!(gnp(10, 0.0, &mut r).m(), 0);
+        assert_eq!(gnp(10, 1.0, &mut r).m(), 45);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut r = rng();
+        for n in [1usize, 2, 3, 10, 50, 200] {
+            let t = random_tree(n, &mut r);
+            assert_eq!(t.m(), n.saturating_sub(1), "n={n}");
+            assert!(checks::is_connected(&t), "n={n}");
+            assert!(checks::degeneracy(&t).0 <= 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn random_trees_vary() {
+        let mut r = rng();
+        let a = random_tree(30, &mut r);
+        let b = random_tree(30, &mut r);
+        assert_ne!(a, b, "two random trees should differ with overwhelming probability");
+    }
+
+    #[test]
+    fn random_forest_is_forest() {
+        let mut r = rng();
+        let f = random_forest(60, 0.6, &mut r);
+        assert!(checks::degeneracy(&f).0 <= 1);
+        assert!(f.m() < 60);
+    }
+
+    #[test]
+    fn k_tree_has_degeneracy_k() {
+        let mut r = rng();
+        for k in 1..=4 {
+            let g = k_tree(30, k, &mut r);
+            assert_eq!(checks::degeneracy(&g).0, k, "k={k}");
+            assert!(checks::is_connected(&g));
+            assert_eq!(g.m(), k * (k + 1) / 2 + (30 - k - 1) * k);
+        }
+    }
+
+    #[test]
+    fn partial_k_tree_degeneracy_at_most_k() {
+        let mut r = rng();
+        for k in 1..=4 {
+            let g = partial_k_tree(40, k, 0.7, &mut r);
+            assert!(checks::degeneracy(&g).0 <= k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_degenerate_bound_holds() {
+        let mut r = rng();
+        for k in 1..=5 {
+            for _ in 0..5 {
+                let g = k_degenerate(50, k, false, &mut r);
+                assert!(checks::degeneracy(&g).0 <= k, "k={k}");
+                let ge = k_degenerate(50, k, true, &mut r);
+                assert_eq!(checks::degeneracy(&ge).0, k, "exact k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn eob_generators_respect_parity() {
+        let mut r = rng();
+        let g = even_odd_bipartite(31, 0.4, &mut r);
+        assert!(checks::is_even_odd_bipartite(&g));
+        let gc = even_odd_bipartite_connected(31, 0.2, &mut r);
+        assert!(checks::is_even_odd_bipartite(&gc));
+        assert!(checks::is_connected(&gc));
+    }
+
+    #[test]
+    fn eob_connected_handles_tiny_n() {
+        let mut r = rng();
+        for n in 1..=5 {
+            let g = even_odd_bipartite_connected(n, 0.5, &mut r);
+            assert!(checks::is_connected(&g), "n={n}");
+            assert!(checks::is_even_odd_bipartite(&g), "n={n}");
+        }
+    }
+
+    #[test]
+    fn two_cliques_shape() {
+        let g = two_cliques(6);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.regular_degree(), Some(5));
+        assert!(checks::is_two_cliques(&g));
+    }
+
+    #[test]
+    fn impostor_is_regular_connected_not_two_cliques() {
+        let mut r = rng();
+        for half in [3usize, 5, 8, 12] {
+            let g = connected_regular_impostor(half, &mut r);
+            assert_eq!(g.n(), 2 * half);
+            assert_eq!(g.regular_degree(), Some(half - 1), "half={half}");
+            assert!(checks::is_connected(&g), "half={half}");
+            assert!(!checks::is_two_cliques(&g), "half={half}");
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_invariants() {
+        let mut r = rng();
+        let g = gnp(25, 0.3, &mut r);
+        let h = relabel_random(&g, &mut r);
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.m(), h.m());
+        assert_eq!(checks::degeneracy(&g).0, checks::degeneracy(&h).0);
+        assert_eq!(checks::triangle_count(&g), checks::triangle_count(&h));
+    }
+
+    #[test]
+    fn star_and_cycle_shapes() {
+        let s = star(7);
+        assert_eq!(s.degree(1), 6);
+        assert!(checks::degeneracy(&s).0 == 1);
+        let c = cycle(7);
+        assert_eq!(c.regular_degree(), Some(2));
+        assert!(!checks::is_bipartite(&c));
+    }
+}

@@ -1,0 +1,174 @@
+//! Plain-text edge-list I/O, so the CLI and experiments can run on external
+//! graphs (e.g. real call graphs, SNAP-style exports).
+//!
+//! Format: first non-comment line is `n`; every following non-comment line is
+//! `u v` with `1 ≤ u, v ≤ n`, `u ≠ v`. Lines starting with `#` or `%` and
+//! blank lines are ignored. Duplicate edges collapse (simple graphs).
+
+use crate::graph::{Graph, NodeId};
+use std::io::{BufRead, Write};
+
+/// Errors from [`read_edge_list`].
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse; `.0` is the 1-based line number.
+    Malformed(usize, String),
+    /// The header `n` line is missing.
+    MissingHeader,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed(line, msg) => write!(f, "line {line}: {msg}"),
+            ParseError::MissingHeader => write!(f, "missing leading node-count line"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parse an edge list from a buffered reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
+    let mut g: Option<Graph> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        match &mut g {
+            None => {
+                let n: usize = trimmed
+                    .parse()
+                    .map_err(|_| ParseError::Malformed(lineno, format!("expected node count, got '{trimmed}'")))?;
+                g = Some(Graph::empty(n));
+            }
+            Some(g) => {
+                let mut parts = trimmed.split_whitespace();
+                let (u, v) = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(u), Some(v), None) => (u, v),
+                    _ => {
+                        return Err(ParseError::Malformed(
+                            lineno,
+                            format!("expected 'u v', got '{trimmed}'"),
+                        ))
+                    }
+                };
+                let u: NodeId = u
+                    .parse()
+                    .map_err(|_| ParseError::Malformed(lineno, format!("bad endpoint '{u}'")))?;
+                let v: NodeId = v
+                    .parse()
+                    .map_err(|_| ParseError::Malformed(lineno, format!("bad endpoint '{v}'")))?;
+                if u == v || u == 0 || v == 0 || u as usize > g.n() || v as usize > g.n() {
+                    return Err(ParseError::Malformed(
+                        lineno,
+                        format!("edge ({u},{v}) invalid for n = {}", g.n()),
+                    ));
+                }
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g.ok_or(ParseError::MissingHeader)
+}
+
+/// Parse an edge list from a string.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
+    read_edge_list(std::io::Cursor::new(text))
+}
+
+/// Load a graph from a file path.
+pub fn load_edge_list(path: &std::path::Path) -> Result<Graph, ParseError> {
+    read_edge_list(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Write `g` in the same format.
+pub fn write_edge_list<W: Write>(g: &Graph, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# shared-whiteboard edge list: n then one 'u v' per edge")?;
+    writeln!(out, "{}", g.n())?;
+    for (u, v) in g.edges() {
+        writeln!(out, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Render `g` to a string in edge-list format.
+pub fn edge_list_string(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("ASCII output")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parses_basic_format() {
+        let g = parse_edge_list("4\n1 2\n2 3\n").unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let g = parse_edge_list("# header\n% other\n\n3\n\n# mid\n1 3\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert!(g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = parse_edge_list("3\n1 2\n2 1\n1 2\n").unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(parse_edge_list(""), Err(ParseError::MissingHeader)));
+        assert!(matches!(parse_edge_list("x"), Err(ParseError::Malformed(1, _))));
+        assert!(matches!(parse_edge_list("3\n1"), Err(ParseError::Malformed(2, _))));
+        assert!(matches!(parse_edge_list("3\n1 2 3"), Err(ParseError::Malformed(2, _))));
+        assert!(matches!(parse_edge_list("3\n1 4"), Err(ParseError::Malformed(2, _))));
+        assert!(matches!(parse_edge_list("3\n2 2"), Err(ParseError::Malformed(2, _))));
+        assert!(matches!(parse_edge_list("3\n0 1"), Err(ParseError::Malformed(2, _))));
+    }
+
+    #[test]
+    fn round_trips_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let g = generators::gnp(20, 0.2, &mut rng);
+            let text = edge_list_string(&g);
+            let back = parse_edge_list(&text).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = generators::cycle(6);
+        let dir = std::env::temp_dir().join("wb_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cycle6.txt");
+        std::fs::write(&path, edge_list_string(&g)).unwrap();
+        let back = load_edge_list(&path).unwrap();
+        assert_eq!(back, g);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,30 @@
+//! Labeled graphs for the shared-whiteboard models.
+//!
+//! The paper's inputs are simple undirected connected (or multi-component)
+//! graphs whose nodes carry unique identifiers `1..n`; every node knows `n`,
+//! its own ID and its neighbors' IDs. This crate provides:
+//!
+//! - [`graph`] — the [`Graph`] type (ID-labeled adjacency lists) and the dense
+//!   [`AdjMatrix`] used as the output of the BUILD problem;
+//! - [`checks`] — *reference* sequential algorithms used as oracles when testing
+//!   the whiteboard protocols: BFS layers/forests, connectivity, bipartiteness,
+//!   triangle counting, degeneracy (bucket peeling), independent-set validity,
+//!   diameter;
+//! - [`generators`] — seeded random and structured families: G(n,p), trees,
+//!   forests, k-trees and partial k-trees, k-degenerate graphs, (even-odd)
+//!   bipartite graphs, two-clique unions and their connected regular impostors,
+//!   paths/cycles/cliques/stars;
+//! - [`enumerate`] — exhaustive enumeration of all (or all connected) graphs on
+//!   small `n`, powering the model-checking tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod dot;
+pub mod enumerate;
+pub mod generators;
+pub mod graph;
+pub mod io;
+
+pub use graph::{AdjMatrix, Graph, NodeId};

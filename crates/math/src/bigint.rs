@@ -1,0 +1,639 @@
+//! Arbitrary-precision signed integers: sign + magnitude over little-endian `u64`
+//! limbs.
+//!
+//! Scope is deliberately tight — exactly the operations the whiteboard protocols
+//! and their decoders need: add/sub/mul, comparison, exponentiation by small
+//! exponents, division by a machine-word divisor (Newton's identities divide by
+//! `m ≤ k`, which is always exact), decimal conversion for reports, and bit-length
+//! for the counting lower bounds. Everything is checked against `i128` references
+//! and algebraic laws in the test suite.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Sign of a [`BigInt`]. Zero is canonically `Plus` with an empty magnitude.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Sign {
+    Plus,
+    Minus,
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// ```
+/// use wb_math::BigInt;
+///
+/// let a = BigInt::pow_u64(10, 30); // beyond u64
+/// let b = &a * &a;                 // beyond u128
+/// assert_eq!(format!("{b}"), format!("1{}", "0".repeat(60)));
+/// assert!((&b - &b).is_zero());
+/// // 10^60 mod 7 = (3^6)^10 mod 7 = 1 by Fermat's little theorem.
+/// assert_eq!(b.div_rem_u64(7).1, 1);
+/// ```
+///
+/// Invariants: `mag` has no trailing zero limbs; the zero value has an empty
+/// magnitude and sign `Plus`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: Vec<u64>,
+}
+
+impl BigInt {
+    /// The value `0`.
+    #[inline]
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Plus, mag: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[inline]
+    pub fn one() -> Self {
+        BigInt::from(1u64)
+    }
+
+    /// Whether this is `0`.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// Whether this is strictly negative.
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Number of bits in the magnitude (`0` for zero). For `x > 0` this is
+    /// `⌊log₂ x⌋ + 1`, the quantity the Lemma 3 capacity arguments compare
+    /// against whiteboard budgets.
+    pub fn bits(&self) -> u64 {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => (self.mag.len() as u64 - 1) * 64 + (64 - top.leading_zeros()) as u64,
+        }
+    }
+
+    /// `|self|` as a new value.
+    pub fn abs(&self) -> BigInt {
+        BigInt { sign: Sign::Plus, mag: self.mag.clone() }
+    }
+
+    /// Construct `base^exp` for machine-word `base`.
+    pub fn pow_u64(base: u64, exp: u32) -> BigInt {
+        let mut acc = BigInt::one();
+        let b = BigInt::from(base);
+        for _ in 0..exp {
+            acc = &acc * &b;
+        }
+        acc
+    }
+
+    /// Raise `self` to a small power.
+    pub fn pow(&self, exp: u32) -> BigInt {
+        let mut acc = BigInt::one();
+        let mut b = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &b;
+            }
+            e >>= 1;
+            if e > 0 {
+                b = &b * &b;
+            }
+        }
+        acc
+    }
+
+    /// Divide by a machine-word divisor, returning `(quotient, remainder)`.
+    ///
+    /// The remainder carries the sign convention of Rust's `%` (same sign as the
+    /// dividend). Panics if `div == 0`.
+    pub fn div_rem_u64(&self, div: u64) -> (BigInt, i128) {
+        assert!(div != 0, "division by zero");
+        let mut q = vec![0u64; self.mag.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.mag.len()).rev() {
+            let cur = (rem << 64) | self.mag[i] as u128;
+            q[i] = (cur / div as u128) as u64;
+            rem = cur % div as u128;
+        }
+        let quotient = BigInt { sign: self.sign, mag: q }.normalized();
+        let rem = rem as i128;
+        let rem = if self.sign == Sign::Minus { -rem } else { rem };
+        (quotient, rem)
+    }
+
+    /// Exact division by a machine-word divisor. Panics if the division leaves a
+    /// remainder — Newton's identities guarantee exactness, and a panic here
+    /// means the decoder was fed a vector that is not a power-sum image.
+    pub fn div_exact_u64(&self, div: u64) -> BigInt {
+        let (q, r) = self.div_rem_u64(div);
+        assert_eq!(r, 0, "div_exact_u64: non-exact division by {div}");
+        q
+    }
+
+    /// Checked conversion to `u64` (None if negative or too large).
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.sign == Sign::Minus {
+            return None;
+        }
+        match self.mag.len() {
+            0 => Some(0),
+            1 => Some(self.mag[0]),
+            _ => None,
+        }
+    }
+
+    /// Checked conversion to `u128` (None if negative or too large).
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.sign == Sign::Minus {
+            return None;
+        }
+        match self.mag.len() {
+            0 => Some(0),
+            1 => Some(self.mag[0] as u128),
+            2 => Some((self.mag[1] as u128) << 64 | self.mag[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Checked conversion to `i128`.
+    pub fn to_i128(&self) -> Option<i128> {
+        let mag = match self.mag.len() {
+            0 => 0u128,
+            1 => self.mag[0] as u128,
+            2 => (self.mag[1] as u128) << 64 | self.mag[0] as u128,
+            _ => return None,
+        };
+        match self.sign {
+            Sign::Plus => i128::try_from(mag).ok(),
+            Sign::Minus => {
+                if mag == 1u128 << 127 {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(mag).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// The little-endian limb view of the magnitude.
+    pub fn limbs(&self) -> &[u64] {
+        &self.mag
+    }
+
+    /// Build a non-negative value from little-endian limbs.
+    pub fn from_limbs(limbs: Vec<u64>) -> BigInt {
+        BigInt { sign: Sign::Plus, mag: limbs }.normalized()
+    }
+
+    fn normalized(mut self) -> Self {
+        while self.mag.last() == Some(&0) {
+            self.mag.pop();
+        }
+        if self.mag.is_empty() {
+            self.sign = Sign::Plus;
+        }
+        self
+    }
+
+    fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u128;
+        for i in 0..long.len() {
+            let s = long[i] as u128 + *short.get(i).unwrap_or(&0) as u128 + carry;
+            out.push(s as u64);
+            carry = s >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        out
+    }
+
+    /// `a - b` for magnitudes, requires `a >= b`.
+    fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i128;
+        for i in 0..a.len() {
+            let d = a[i] as i128 - *b.get(i).unwrap_or(&0) as i128 - borrow;
+            if d < 0 {
+                out.push((d + (1i128 << 64)) as u64);
+                borrow = 1;
+            } else {
+                out.push(d as u64);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + b.len();
+            while carry != 0 {
+                let cur = out[idx] as u128 + carry;
+                out[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    fn signed_sum(lhs: &BigInt, rhs: &BigInt, flip_rhs: bool) -> BigInt {
+        let rhs_sign = if flip_rhs {
+            match rhs.sign {
+                Sign::Plus => Sign::Minus,
+                Sign::Minus => Sign::Plus,
+            }
+        } else {
+            rhs.sign
+        };
+        if lhs.sign == rhs_sign {
+            BigInt { sign: lhs.sign, mag: Self::add_mag(&lhs.mag, &rhs.mag) }.normalized()
+        } else {
+            match Self::cmp_mag(&lhs.mag, &rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt { sign: lhs.sign, mag: Self::sub_mag(&lhs.mag, &rhs.mag) }.normalized()
+                }
+                Ordering::Less => {
+                    BigInt { sign: rhs_sign, mag: Self::sub_mag(&rhs.mag, &lhs.mag) }.normalized()
+                }
+            }
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt { sign: Sign::Plus, mag: if v == 0 { Vec::new() } else { vec![v] } }
+    }
+}
+
+impl From<u32> for BigInt {
+    fn from(v: u32) -> Self {
+        BigInt::from(v as u64)
+    }
+}
+
+impl From<usize> for BigInt {
+    fn from(v: usize) -> Self {
+        BigInt::from(v as u64)
+    }
+}
+
+impl From<u128> for BigInt {
+    fn from(v: u128) -> Self {
+        BigInt::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            BigInt { sign: Sign::Minus, mag: vec![v.unsigned_abs()] }
+        } else {
+            BigInt::from(v as u64)
+        }
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        let mag = v.unsigned_abs();
+        let b = BigInt::from(mag);
+        if v < 0 {
+            -b
+        } else {
+            b
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        if !self.is_zero() {
+            self.sign = match self.sign {
+                Sign::Plus => Sign::Minus,
+                Sign::Minus => Sign::Plus,
+            };
+        }
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        BigInt::signed_sum(self, rhs, false)
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        BigInt::signed_sum(self, rhs, true)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        BigInt { sign, mag: BigInt::mul_mag(&self.mag, &rhs.mag) }.normalized()
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |acc, x| &acc + &x)
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => Self::cmp_mag(&self.mag, &other.mag),
+            (Sign::Minus, Sign::Minus) => Self::cmp_mag(&other.mag, &self.mag),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeatedly divide by 10^19 (the largest power of ten in a u64) and
+        // print 19-digit chunks.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.abs();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r as u64); // r ∈ [0, CHUNK) since cur ≥ 0
+            cur = q;
+        }
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", chunks.last().unwrap())?;
+        for c in chunks.iter().rev().skip(1) {
+            write!(f, "{c:019}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_identity() {
+        assert!(BigInt::zero().is_zero());
+        assert_eq!(BigInt::zero(), BigInt::from(0u64));
+        assert_eq!(&big(42) + &BigInt::zero(), big(42));
+        assert_eq!(&big(-42) + &BigInt::zero(), big(-42));
+        assert_eq!(BigInt::zero().to_i128(), Some(0));
+        assert_eq!(format!("{}", BigInt::zero()), "0");
+    }
+
+    #[test]
+    fn negation_of_zero_is_zero() {
+        assert_eq!(-BigInt::zero(), BigInt::zero());
+        assert!(!(-BigInt::zero()).is_negative());
+    }
+
+    #[test]
+    fn display_multi_limb() {
+        // 2^128 = 340282366920938463463374607431768211456
+        let v = BigInt::pow_u64(2, 128);
+        assert_eq!(format!("{v}"), "340282366920938463463374607431768211456");
+        assert_eq!(format!("{}", -v), "-340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn bits_of_powers_of_two() {
+        for e in 0..300u32 {
+            let v = BigInt::pow_u64(2, e);
+            assert_eq!(v.bits(), e as u64 + 1, "2^{e}");
+        }
+        assert_eq!(BigInt::zero().bits(), 0);
+    }
+
+    #[test]
+    fn div_rem_small_matches_i128() {
+        let v = big(1_000_000_007i128 * 998_244_353);
+        let (q, r) = v.div_rem_u64(12345);
+        assert_eq!(q.to_i128().unwrap(), (1_000_000_007i128 * 998_244_353) / 12345);
+        assert_eq!(r, (1_000_000_007i128 * 998_244_353) % 12345);
+    }
+
+    #[test]
+    fn div_rem_negative_dividend() {
+        let v = big(-100);
+        let (q, r) = v.div_rem_u64(7);
+        // Rust semantics: -100 / 7 = -14 rem -2.
+        assert_eq!(q.to_i128().unwrap(), -14);
+        assert_eq!(r, -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-exact")]
+    fn div_exact_panics_on_remainder() {
+        big(10).div_exact_u64(3);
+    }
+
+    #[test]
+    fn pow_u64_large() {
+        // 10^40 needs 3 limbs; check against string.
+        let v = BigInt::pow_u64(10, 40);
+        assert_eq!(format!("{v}"), format!("1{}", "0".repeat(40)));
+    }
+
+    #[test]
+    fn i128_round_trip_extremes() {
+        for v in [i128::MAX, i128::MIN, 0, 1, -1, i64::MAX as i128, i64::MIN as i128] {
+            assert_eq!(BigInt::from(v).to_i128(), Some(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn ordering_mixed_signs() {
+        assert!(big(-5) < big(3));
+        assert!(big(-5) < big(-3));
+        assert!(big(5) > big(3));
+        assert!(BigInt::zero() > big(-1));
+        assert!(BigInt::zero() < big(1));
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            prop_assert_eq!((&big(a) + &big(b)).to_i128(), Some(a + b));
+        }
+
+        #[test]
+        fn sub_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            prop_assert_eq!((&big(a) - &big(b)).to_i128(), Some(a - b));
+        }
+
+        #[test]
+        fn mul_matches_i128(a in -(1i128<<62)..(1i128<<62), b in -(1i128<<62)..(1i128<<62)) {
+            prop_assert_eq!((&big(a) * &big(b)).to_i128(), Some(a * b));
+        }
+
+        #[test]
+        fn div_rem_matches_i128(a in -(1i128<<100)..(1i128<<100), d in 1u64..u64::MAX) {
+            let (q, r) = big(a).div_rem_u64(d);
+            prop_assert_eq!(q.to_i128(), Some(a / d as i128));
+            prop_assert_eq!(r, a % d as i128);
+        }
+
+        #[test]
+        fn add_commutes(a in any::<i128>(), b in any::<i128>()) {
+            let (a, b) = (a >> 1, b >> 1); // avoid i128 overflow in the reference
+            prop_assert_eq!(&big(a) + &big(b), &big(b) + &big(a));
+        }
+
+        #[test]
+        fn mul_distributes(a in -(1i128<<40)..(1i128<<40), b in -(1i128<<40)..(1i128<<40), c in -(1i128<<40)..(1i128<<40)) {
+            let lhs = &big(a) * &(&big(b) + &big(c));
+            let rhs = &(&big(a) * &big(b)) + &(&big(a) * &big(c));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn sum_then_sub_round_trips(vals in proptest::collection::vec(-(1i128<<90)..(1i128<<90), 0..20)) {
+            let total: BigInt = vals.iter().map(|&v| big(v)).sum();
+            let mut back = total;
+            for &v in &vals {
+                back = &back - &big(v);
+            }
+            prop_assert!(back.is_zero());
+        }
+
+        #[test]
+        fn display_matches_i128(a in any::<i128>()) {
+            prop_assert_eq!(format!("{}", big(a)), format!("{}", a));
+        }
+
+        #[test]
+        fn ord_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+            prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn pow_matches_u128(base in 1u64..1000, exp in 0u32..10) {
+            let expect = (base as u128).checked_pow(exp);
+            if let Some(e) = expect {
+                prop_assert_eq!(BigInt::pow_u64(base, exp).to_u128(), Some(e));
+            }
+        }
+    }
+}

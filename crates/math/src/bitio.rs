@@ -1,0 +1,345 @@
+//! Bit-exact message encoding.
+//!
+//! The whiteboard models charge each node for the *bits* it writes, so messages
+//! are genuine bit strings. [`BitVec`] is a packed bit vector; [`BitWriter`] and
+//! [`BitReader`] stream fixed-width unsigned fields (including multi-limb
+//! [`BigInt`] fields for the power-sum codes of §3.3).
+
+use crate::bigint::BigInt;
+use std::fmt;
+
+/// A packed, append-only bit string (LSB-first within `u64` words).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// The empty bit string (the paper's empty word `ε`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether this is the empty word.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a single bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Read bit `i` (panics out of range).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Append `width` bits of `value`, LSB first. Bits of `value` above `width`
+    /// must be zero.
+    pub fn push_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64);
+        if width < 64 {
+            assert!(value < (1u64 << width), "value {value} does not fit in {width} bits");
+        }
+        for i in 0..width {
+            self.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Extract `width` bits starting at `pos` as a `u64`, LSB first.
+    pub fn get_bits(&self, pos: usize, width: u32) -> u64 {
+        assert!(width <= 64);
+        let mut out = 0u64;
+        for i in 0..width as usize {
+            if self.get(pos + i) {
+                out |= 1u64 << i;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}b ", self.len)?;
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        if self.len > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Streaming writer of fixed-width fields into a [`BitVec`].
+#[derive(Default)]
+pub struct BitWriter {
+    bv: BitVec,
+}
+
+impl BitWriter {
+    /// Start an empty message.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write `width` bits of `value`.
+    pub fn write_bits(&mut self, value: u64, width: u32) -> &mut Self {
+        self.bv.push_bits(value, width);
+        self
+    }
+
+    /// Write a single flag bit.
+    pub fn write_bool(&mut self, value: bool) -> &mut Self {
+        self.bv.push(value);
+        self
+    }
+
+    /// Append every bit of another bit string (used by protocol
+    /// transformations that embed a simulated protocol's messages).
+    pub fn write_bitvec(&mut self, bv: &BitVec) -> &mut Self {
+        for i in 0..bv.len() {
+            self.bv.push(bv.get(i));
+        }
+        self
+    }
+
+    /// Write a non-negative [`BigInt`] in exactly `width` bits (panics if it does
+    /// not fit — protocols size fields from Lemma 1's bound, so overflow is a bug).
+    pub fn write_big(&mut self, value: &BigInt, width: u32) -> &mut Self {
+        assert!(!value.is_negative(), "cannot encode negative field");
+        assert!(value.bits() <= width as u64, "BigInt needs {} bits > field width {width}", value.bits());
+        let limbs = value.limbs();
+        let mut remaining = width;
+        let mut idx = 0;
+        while remaining > 0 {
+            let w = remaining.min(64);
+            let limb = limbs.get(idx).copied().unwrap_or(0);
+            let limb = if w == 64 { limb } else { limb & ((1u64 << w) - 1) };
+            self.bv.push_bits(limb, w);
+            remaining -= w;
+            idx += 1;
+        }
+        self
+    }
+
+    /// Current length in bits.
+    pub fn len(&self) -> usize {
+        self.bv.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bv.is_empty()
+    }
+
+    /// Finish and return the message.
+    pub fn finish(self) -> BitVec {
+        self.bv
+    }
+}
+
+/// Streaming reader of fixed-width fields from a [`BitVec`].
+pub struct BitReader<'a> {
+    bv: &'a BitVec,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `bv`.
+    pub fn new(bv: &'a BitVec) -> Self {
+        BitReader { bv, pos: 0 }
+    }
+
+    /// Read `width` bits as a `u64`.
+    pub fn read_bits(&mut self, width: u32) -> u64 {
+        let v = self.bv.get_bits(self.pos, width);
+        self.pos += width as usize;
+        v
+    }
+
+    /// Read one flag bit.
+    pub fn read_bool(&mut self) -> bool {
+        let v = self.bv.get(self.pos);
+        self.pos += 1;
+        v
+    }
+
+    /// Read `len` bits out as a standalone bit string.
+    pub fn read_bitvec(&mut self, len: usize) -> BitVec {
+        let mut out = BitVec::new();
+        for _ in 0..len {
+            out.push(self.read_bool());
+        }
+        out
+    }
+
+    /// Read a `width`-bit non-negative [`BigInt`].
+    pub fn read_big(&mut self, width: u32) -> BigInt {
+        let mut limbs = Vec::with_capacity((width as usize + 63) / 64);
+        let mut remaining = width;
+        while remaining > 0 {
+            let w = remaining.min(64);
+            limbs.push(self.read_bits(w));
+            remaining -= w;
+        }
+        BigInt::from_limbs(limbs)
+    }
+
+    /// Bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bv.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_word() {
+        let bv = BitVec::new();
+        assert!(bv.is_empty());
+        assert_eq!(bv.len(), 0);
+    }
+
+    #[test]
+    fn push_and_get_across_word_boundary() {
+        let mut bv = BitVec::new();
+        for i in 0..130 {
+            bv.push(i % 3 == 0);
+        }
+        assert_eq!(bv.len(), 130);
+        for i in 0..130 {
+            assert_eq!(bv.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn writer_reader_round_trip_fields() {
+        let mut w = BitWriter::new();
+        w.write_bits(5, 3).write_bool(true).write_bits(1023, 10).write_bits(0, 1);
+        let bv = w.finish();
+        assert_eq!(bv.len(), 15);
+        let mut r = BitReader::new(&bv);
+        assert_eq!(r.read_bits(3), 5);
+        assert!(r.read_bool());
+        assert_eq!(r.read_bits(10), 1023);
+        assert_eq!(r.read_bits(1), 0);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn big_field_round_trip() {
+        let v = BigInt::pow_u64(7, 31); // ~87 bits
+        let mut w = BitWriter::new();
+        w.write_big(&v, 100);
+        let bv = w.finish();
+        assert_eq!(bv.len(), 100);
+        let mut r = BitReader::new(&bv);
+        assert_eq!(r.read_big(100), v);
+    }
+
+    #[test]
+    fn bitvec_embedding_round_trips() {
+        // Protocol transformations embed whole messages inside messages.
+        let mut inner = BitWriter::new();
+        inner.write_bits(0b1011, 4).write_bool(true);
+        let inner = inner.finish();
+        let mut outer = BitWriter::new();
+        outer.write_bits(7, 3).write_bitvec(&inner).write_bits(2, 2);
+        let outer = outer.finish();
+        assert_eq!(outer.len(), 3 + 5 + 2);
+        let mut r = BitReader::new(&outer);
+        assert_eq!(r.read_bits(3), 7);
+        assert_eq!(r.read_bitvec(5), inner);
+        assert_eq!(r.read_bits(2), 2);
+    }
+
+    #[test]
+    fn empty_bitvec_embeds_as_nothing() {
+        let mut w = BitWriter::new();
+        w.write_bitvec(&BitVec::new());
+        assert!(w.is_empty());
+        let done = w.finish();
+        let mut r = BitReader::new(&done);
+        assert_eq!(r.read_bitvec(0), BitVec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflowing_field_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "field width")]
+    fn overflowing_big_field_panics() {
+        let mut w = BitWriter::new();
+        w.write_big(&BigInt::pow_u64(2, 40), 40); // needs 41 bits
+    }
+
+    proptest! {
+        #[test]
+        fn bits_round_trip(value in any::<u64>(), width in 1u32..=64) {
+            let value = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+            let mut w = BitWriter::new();
+            w.write_bits(value, width);
+            let bv = w.finish();
+            prop_assert_eq!(bv.len(), width as usize);
+            prop_assert_eq!(BitReader::new(&bv).read_bits(width), value);
+        }
+
+        #[test]
+        fn mixed_sequence_round_trips(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..20)) {
+            let mut w = BitWriter::new();
+            let masked: Vec<(u64, u32)> = fields
+                .iter()
+                .map(|&(v, width)| (if width == 64 { v } else { v & ((1u64 << width) - 1) }, width))
+                .collect();
+            for &(v, width) in &masked {
+                w.write_bits(v, width);
+            }
+            let bv = w.finish();
+            let mut r = BitReader::new(&bv);
+            for &(v, width) in &masked {
+                prop_assert_eq!(r.read_bits(width), v);
+            }
+            prop_assert_eq!(r.remaining(), 0);
+        }
+
+        #[test]
+        fn big_round_trips(limbs in proptest::collection::vec(any::<u64>(), 0..5), pad in 0u32..70) {
+            let v = BigInt::from_limbs(limbs);
+            let width = v.bits() as u32 + pad;
+            if width > 0 {
+                let mut w = BitWriter::new();
+                w.write_big(&v, width);
+                let bv = w.finish();
+                prop_assert_eq!(BitReader::new(&bv).read_big(width), v);
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Counting machinery behind the paper's impossibility results.
+//!
+//! Lemma 3: if BUILD restricted to a family `G` of n-node graphs is solvable in
+//! any of the four models with message size `f(n)`, then
+//! `log₂ g(n) = O(n·f(n))` where `g(n) = |G|` — the final whiteboard must
+//! distinguish all members of the family. Every "no" cell of Table 2 is a
+//! reduction to BUILD plus this inequality. This module computes both sides
+//! *exactly*: family cardinalities in bits, and whiteboard capacity.
+
+use crate::bigint::BigInt;
+
+/// Exact binomial coefficient `C(n, k)`.
+pub fn binomial(n: u64, k: u64) -> BigInt {
+    if k > n {
+        return BigInt::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = BigInt::one();
+    for i in 1..=k {
+        acc = &acc * &BigInt::from(n - k + i);
+        acc = acc.div_exact_u64(i); // exact at every step: C(n-k+i, i) is integral
+    }
+    acc
+}
+
+/// `log₂` of the number of *all* labeled graphs on `n` nodes: `C(n,2)`.
+pub fn log2_all_graphs(n: u64) -> u64 {
+    n * (n - 1) / 2
+}
+
+/// `log₂` of the number of bipartite graphs with **fixed** parts
+/// `{v₁..v_a} ∪ {v_{a+1}..v_{a+b}}`: `a·b`.
+///
+/// Theorem 3 uses parts of size `n/2` each: `Ω(2^{(n/2)²})` graphs.
+pub fn log2_bipartite_fixed(a: u64, b: u64) -> u64 {
+    a * b
+}
+
+/// `log₂` of the number of even-odd-bipartite graphs on `n` nodes (no edge joins
+/// two IDs of equal parity): `⌈n/2⌉·⌊n/2⌋`. Theorem 8's family.
+pub fn log2_even_odd_bipartite(n: u64) -> u64 {
+    (n / 2) * n.div_ceil(2)
+}
+
+/// Cayley's formula: the number of labeled trees on `n` nodes, `n^{n−2}`.
+///
+/// A lower bound on the number of labeled forests — enough to show the BUILD
+/// protocol for forests (§3.1) must spend `Ω(log n)` bits per node.
+pub fn labeled_trees(n: u64) -> BigInt {
+    match n {
+        0 => BigInt::zero(),
+        1 | 2 => BigInt::one(),
+        _ => BigInt::pow_u64(n, (n - 2) as u32),
+    }
+}
+
+/// Number of graphs needed by Theorem 9's argument: graphs on `n` nodes where
+/// `v_{f(n)+1}..v_n` are isolated, described by `n log n + f(n)²`-ish bits; we
+/// return the exact `log₂` of the count: `C(f,2)` free edge slots.
+pub fn log2_subgraph_family(f: u64) -> u64 {
+    log2_all_graphs(f)
+}
+
+/// Whiteboard capacity in bits: `n` messages of at most `per_msg_bits` bits.
+pub fn board_capacity_bits(n: u64, per_msg_bits: u64) -> u64 {
+    n * per_msg_bits
+}
+
+/// Outcome of the Lemma 3 test for one `(family, n, f)` point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapacityVerdict {
+    /// `log₂ g(n)` — bits required to name a member of the family.
+    pub required_bits: u64,
+    /// `n · f(n)` — bits the final whiteboard can hold.
+    pub capacity_bits: u64,
+}
+
+impl CapacityVerdict {
+    /// True iff the whiteboard *cannot* distinguish the family — i.e. BUILD on
+    /// this family is impossible with this message size (the Lemma 3
+    /// contradiction fires).
+    pub fn impossible(&self) -> bool {
+        self.capacity_bits < self.required_bits
+    }
+}
+
+/// Evaluate Lemma 3 for a family with `log₂ g(n) = required_bits`.
+pub fn lemma3(required_bits: u64, n: u64, per_msg_bits: u64) -> CapacityVerdict {
+    CapacityVerdict { required_bits, capacity_bits: board_capacity_bits(n, per_msg_bits) }
+}
+
+/// Message-size regimes used in the sweep experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageRegime {
+    /// `f(n) = c·⌈log₂ n⌉`.
+    LogN {
+        /// multiplicative constant
+        c: u64,
+    },
+    /// `f(n) = ⌈√n⌉`.
+    SqrtN,
+    /// `f(n) = ⌈n / log₂ n⌉` — still `o(n)`.
+    NOverLogN,
+    /// `f(n) = n` — the trivial regime in which everything is solvable.
+    Linear,
+}
+
+impl MessageRegime {
+    /// Evaluate the regime at `n`.
+    pub fn bits(&self, n: u64) -> u64 {
+        match *self {
+            MessageRegime::LogN { c } => c * crate::bits_for(n) as u64,
+            MessageRegime::SqrtN => (n as f64).sqrt().ceil() as u64,
+            MessageRegime::NOverLogN => n.div_ceil(crate::bits_for(n) as u64),
+            MessageRegime::Linear => n,
+        }
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(&self) -> String {
+        match *self {
+            MessageRegime::LogN { c } => format!("{c}·log n"),
+            MessageRegime::SqrtN => "√n".into(),
+            MessageRegime::NOverLogN => "n/log n".into(),
+            MessageRegime::Linear => "n".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binomial_small_table() {
+        assert_eq!(binomial(0, 0).to_u64(), Some(1));
+        assert_eq!(binomial(5, 2).to_u64(), Some(10));
+        assert_eq!(binomial(10, 5).to_u64(), Some(252));
+        assert_eq!(binomial(10, 11).to_u64(), Some(0));
+        assert_eq!(binomial(52, 5).to_u64(), Some(2_598_960));
+    }
+
+    #[test]
+    fn binomial_large_exact() {
+        // C(100, 50) known value.
+        assert_eq!(
+            format!("{}", binomial(100, 50)),
+            "100891344545564193334812497256"
+        );
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = &binomial(n - 1, k - 1) + &binomial(n - 1, k);
+                assert_eq!(lhs, rhs, "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn cayley_small() {
+        assert_eq!(labeled_trees(1).to_u64(), Some(1));
+        assert_eq!(labeled_trees(2).to_u64(), Some(1));
+        assert_eq!(labeled_trees(3).to_u64(), Some(3));
+        assert_eq!(labeled_trees(4).to_u64(), Some(16));
+        assert_eq!(labeled_trees(5).to_u64(), Some(125));
+    }
+
+    #[test]
+    fn lemma3_triangle_family_is_infeasible_at_log_n() {
+        // Theorem 3: bipartite graphs with fixed halves need (n/2)² bits but a
+        // log-n whiteboard holds only n·O(log n). (The asymptotics kick in once
+        // n/4 > c·log n, i.e. n ≥ 256 for c = 4.)
+        for n in [256u64, 1024, 4096] {
+            let required = log2_bipartite_fixed(n / 2, n / 2);
+            let verdict = lemma3(required, n, MessageRegime::LogN { c: 4 }.bits(n));
+            assert!(verdict.impossible(), "n={n}: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn lemma3_forest_family_is_feasible_at_log_n() {
+        // Forests carry ~n log n bits of information; a 4·log n whiteboard
+        // suffices — consistent with the §3.1 protocol existing.
+        for n in [64u64, 256, 1024, 4096] {
+            let required = labeled_trees(n).bits();
+            let verdict = lemma3(required, n, MessageRegime::LogN { c: 4 }.bits(n));
+            assert!(!verdict.impossible(), "n={n}: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn lemma3_linear_messages_always_feasible_for_all_graphs() {
+        for n in [8u64, 64, 512] {
+            let verdict = lemma3(log2_all_graphs(n), n, MessageRegime::Linear.bits(n));
+            assert!(!verdict.impossible(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn eob_count_matches_fixed_parts() {
+        // ⌈n/2⌉ odd IDs, ⌊n/2⌋ even IDs.
+        assert_eq!(log2_even_odd_bipartite(6), 9);
+        assert_eq!(log2_even_odd_bipartite(7), 12);
+        assert_eq!(log2_even_odd_bipartite(2), 1);
+    }
+
+    #[test]
+    fn regime_ordering_at_large_n() {
+        let n = 1u64 << 20;
+        let log = MessageRegime::LogN { c: 1 }.bits(n);
+        let sqrt = MessageRegime::SqrtN.bits(n);
+        let nlog = MessageRegime::NOverLogN.bits(n);
+        let lin = MessageRegime::Linear.bits(n);
+        assert!(log < sqrt && sqrt < nlog && nlog < lin);
+    }
+
+    proptest! {
+        #[test]
+        fn binomial_symmetry(n in 0u64..80, k in 0u64..80) {
+            if k <= n {
+                prop_assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+
+        #[test]
+        fn binomial_row_sums_to_pow2(n in 0u64..50) {
+            let total: BigInt = (0..=n).map(|k| binomial(n, k)).sum();
+            prop_assert_eq!(total, BigInt::pow_u64(2, n as u32));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Exact arithmetic and information-theoretic machinery for the shared-whiteboard
+//! models of Becker et al. (SPAA 2012).
+//!
+//! This crate is a *substrate*: the paper's positive results rest on exact integer
+//! arithmetic (power-sum neighborhood codes, Newton's identities, Wright's theorem
+//! on equal sums of like powers) and its negative results rest on counting
+//! (`log₂ |family|` versus whiteboard capacity `n·f(n)`). Both are implemented here
+//! from scratch:
+//!
+//! - [`bigint`] — arbitrary-precision signed integers (sign + magnitude over `u64`
+//!   limbs). Required because decoding a degree-`k` neighborhood via Newton's
+//!   identities produces intermediates of order `n^(2k)`, which overflows `u128`
+//!   already at `n = 10⁴, k = 5`. No external bignum crate is on the approved
+//!   dependency list, so this is hand-rolled and heavily tested.
+//! - [`bitio`] — bit-exact message encoding ([`bitio::BitVec`], writers/readers).
+//!   Message *size in bits* is the central resource of the paper, so messages are
+//!   real bit strings, not structs; the runtime charges protocols per bit.
+//! - [`powersum`] — the §3.3 neighborhood code `b_p(x) = Σ_{w∈N(x)} ID(w)^p` for
+//!   `p = 1..k`, with two decoders: the paper's literal Lemma 2 lookup table and a
+//!   production decoder via Newton's identities + integer root extraction.
+//! - [`counting`] — exact binomials, graph-family cardinalities and the Lemma 3
+//!   capacity check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod bitio;
+pub mod counting;
+pub mod powersum;
+
+pub use bigint::BigInt;
+pub use bitio::{BitReader, BitVec, BitWriter};
+
+/// Number of bits needed to store any value in `0..=max` (at least 1).
+///
+/// This is the fixed-width field size used throughout the protocols: IDs in
+/// `1..=n` are written with `bits_for(n)` bits, matching the paper's `log n`
+/// accounting up to the usual ceiling.
+#[inline]
+pub fn bits_for(max: u64) -> u32 {
+    (64 - max.leading_zeros()).max(1)
+}
+
+/// `⌈log₂(n+1)⌉`-style field width for node identifiers in `1..=n`.
+#[inline]
+pub fn id_bits(n: usize) -> u32 {
+    bits_for(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_small_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn id_bits_matches_bits_for() {
+        for n in 1..2000usize {
+            assert_eq!(id_bits(n), bits_for(n as u64));
+        }
+    }
+}

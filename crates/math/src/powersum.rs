@@ -1,0 +1,425 @@
+//! The §3.3 power-sum neighborhood code and its decoders.
+//!
+//! A node `x` with neighborhood `N(x) ⊆ {1..n}` encodes its neighbors as the
+//! vector `b(x) = A(k,n)·x` where `A_{p,i} = i^p`, i.e. the `k` power sums
+//! `b_p = Σ_{w∈N(x)} ID(w)^p`, `p = 1..k`. By Wright's theorem (the paper's
+//! Theorem 1, "equal sums of like powers"), the power sums of a set of at most
+//! `k` distinct positive integers determine the set uniquely — so any node of
+//! degree ≤ k can be decoded exactly.
+//!
+//! Two decoders are provided:
+//!
+//! - [`NewtonDecoder`] — the production decoder: Newton's identities convert the
+//!   power sums `p_1..p_d` into elementary symmetric polynomials `e_1..e_d`; the
+//!   neighbor IDs are then the integer roots of
+//!   `x^d − e₁x^{d−1} + e₂x^{d−2} − … ± e_d`, recovered by trial synthetic
+//!   division over the candidates `1..=n`. Runs in `O(n·d)` bignum operations
+//!   and needs no preprocessing.
+//! - [`LookupDecoder`] — the paper's literal Lemma 2 construction: a
+//!   precomputed table of all `≤ k`-subsets of `{1..n}` keyed by their power-sum
+//!   vector. `O(n^k)` space, `O(k log n)`-ish lookups; used to cross-validate
+//!   the Newton decoder on small instances.
+//!
+//! Both decoders return `None` for vectors that are not the image of any
+//! `≤ k`-subset; the BUILD protocol uses this for its *robust rejection* of
+//! graphs that are not `k`-degenerate (Theorem 2's recognition variant).
+
+use crate::bigint::BigInt;
+use std::collections::HashMap;
+
+/// Compute the power sums `p = 1..=k` of a set of IDs.
+///
+/// This is the message body of the §3.3 protocol (`b(x) = A(k,n)·x`).
+///
+/// ```
+/// use wb_math::powersum::{power_sums, NewtonDecoder};
+///
+/// let sums = power_sums(&[3, 19, 42], 3);
+/// assert_eq!(sums[0].to_u64(), Some(3 + 19 + 42));
+/// // Wright's theorem: the sums identify the set uniquely — and the
+/// // decoder recovers it.
+/// let decoder = NewtonDecoder::new(100);
+/// assert_eq!(decoder.decode(&sums, 3), Some(vec![3, 19, 42]));
+/// ```
+pub fn power_sums(ids: &[u32], k: usize) -> Vec<BigInt> {
+    let mut sums = vec![BigInt::zero(); k];
+    for &id in ids {
+        debug_assert!(id >= 1, "IDs are 1-based");
+        let mut pw = BigInt::one();
+        let base = BigInt::from(id);
+        for s in sums.iter_mut() {
+            pw = &pw * &base;
+            *s += &pw;
+        }
+    }
+    sums
+}
+
+/// Add `id`'s contribution to an existing power-sum vector (incremental encode).
+pub fn add_neighbor(sums: &mut [BigInt], id: u32) {
+    let mut pw = BigInt::one();
+    let base = BigInt::from(id);
+    for s in sums.iter_mut() {
+        pw = &pw * &base;
+        *s += &pw;
+    }
+}
+
+/// Remove `id`'s contribution from a power-sum vector.
+///
+/// This is the whiteboard update of Algorithm 1: when the output function prunes
+/// node `x`, each neighbor's tuple is updated "according to the removal of `x`".
+pub fn remove_neighbor(sums: &mut [BigInt], id: u32) {
+    let mut pw = BigInt::one();
+    let base = BigInt::from(id);
+    for s in sums.iter_mut() {
+        pw = &pw * &base;
+        *s -= &pw;
+    }
+}
+
+/// Upper bound (in bits) of the `p`-th power sum over `{1..n}`: `n·n^p = n^{p+1}`.
+///
+/// Used to size the fixed-width message fields; summing over `p = 1..k` gives
+/// Lemma 1's `k(k+1)·log n` bound.
+pub fn power_sum_field_bits(n: usize, p: u32) -> u32 {
+    // bits(n^{p+1}) ≤ (p+1)·bits(n)
+    (p + 1) * crate::bits_for(n as u64)
+}
+
+/// Total bits for the `b(x)` vector, `Σ_{p=1..k} bits(n^{p+1})`.
+pub fn power_sum_vector_bits(n: usize, k: usize) -> u32 {
+    (1..=k as u32).map(|p| power_sum_field_bits(n, p)).sum()
+}
+
+/// Production decoder: Newton's identities + integer root extraction.
+#[derive(Clone, Debug)]
+pub struct NewtonDecoder {
+    n: usize,
+}
+
+impl NewtonDecoder {
+    /// Decoder for ID domain `{1..n}`.
+    pub fn new(n: usize) -> Self {
+        NewtonDecoder { n }
+    }
+
+    /// Recover the unique set of `degree` distinct IDs in `1..=n` whose power
+    /// sums are `sums[0..degree]` (`sums[p-1]` = p-th power sum). Returns
+    /// `None` if no such set exists.
+    ///
+    /// Requires `sums.len() >= degree`.
+    pub fn decode(&self, sums: &[BigInt], degree: usize) -> Option<Vec<u32>> {
+        let d = degree;
+        assert!(sums.len() >= d, "need at least {d} power sums, got {}", sums.len());
+        if d == 0 {
+            return if sums.iter().all(|s| s.is_zero()) { Some(Vec::new()) } else { None };
+        }
+        // Newton's identities: e_m = (1/m)·Σ_{i=1..m} (−1)^{i−1} e_{m−i} p_i.
+        let mut e = Vec::with_capacity(d + 1);
+        e.push(BigInt::one()); // e_0
+        for m in 1..=d {
+            let mut acc = BigInt::zero();
+            for i in 1..=m {
+                let term = &e[m - i] * &sums[i - 1];
+                if i % 2 == 1 {
+                    acc += &term;
+                } else {
+                    acc -= &term;
+                }
+            }
+            let (q, r) = acc.div_rem_u64(m as u64);
+            if r != 0 {
+                return None; // not an integer symmetric function: invalid image
+            }
+            if q.is_negative() {
+                return None; // elementary symmetric of positive roots must be ≥ 0
+            }
+            e.push(q);
+        }
+        // Monic polynomial with the neighbor IDs as roots:
+        //   P(x) = Σ_{j=0..d} (−1)^j e_j x^{d−j};   coeffs[i] = coefficient of x^i.
+        let mut coeffs: Vec<BigInt> = (0..=d)
+            .map(|i| {
+                let j = d - i;
+                if j % 2 == 0 {
+                    e[j].clone()
+                } else {
+                    -e[j].clone()
+                }
+            })
+            .collect();
+        let mut roots = Vec::with_capacity(d);
+        let mut deg = d;
+        'candidates: for r in 1..=self.n as u64 {
+            if deg == 0 {
+                break;
+            }
+            // Quick filter: r must divide the (nonzero) constant term.
+            if !coeffs[0].is_zero() {
+                let (_, rem) = coeffs[0].div_rem_u64(r);
+                if rem != 0 {
+                    continue 'candidates;
+                }
+            } else {
+                // 0 is a root of the remaining polynomial, but 0 is not a valid
+                // ID — the image is invalid.
+                return None;
+            }
+            // Horner evaluation at r.
+            let rb = BigInt::from(r);
+            let mut val = coeffs[deg].clone();
+            for i in (0..deg).rev() {
+                val = &(&val * &rb) + &coeffs[i];
+            }
+            if val.is_zero() {
+                // Synthetic division by (x − r): roots are distinct, so each
+                // candidate divides at most once.
+                let mut next = vec![BigInt::zero(); deg];
+                next[deg - 1] = coeffs[deg].clone();
+                for i in (0..deg - 1).rev() {
+                    next[i] = &(&next[i + 1] * &rb) + &coeffs[i + 1];
+                }
+                coeffs = next;
+                deg -= 1;
+                roots.push(r as u32);
+            }
+        }
+        if deg != 0 {
+            return None; // fewer than d roots in {1..n}: invalid image
+        }
+        Some(roots) // ascending by construction
+    }
+}
+
+/// The paper's Lemma 2 lookup table: all `≤ k`-subsets of `{1..n}` indexed by
+/// their power-sum vectors.
+pub struct LookupDecoder {
+    n: usize,
+    k: usize,
+    table: HashMap<Vec<BigInt>, Vec<u32>>,
+}
+
+impl LookupDecoder {
+    /// Safety valve for the `O(n^k)` table.
+    const MAX_ENTRIES: u64 = 4_000_000;
+
+    /// Precompute the table. Panics if `Σ_{d≤k} C(n,d)` exceeds an internal
+    /// limit — the lookup decoder is a small-instance cross-check; use
+    /// [`NewtonDecoder`] in production.
+    pub fn new(n: usize, k: usize) -> Self {
+        let total: u64 = (0..=k)
+            .map(|d| {
+                crate::counting::binomial(n as u64, d as u64)
+                    .to_u64()
+                    .unwrap_or(u64::MAX)
+            })
+            .fold(0u64, |a, b| a.saturating_add(b));
+        assert!(
+            total <= Self::MAX_ENTRIES,
+            "lookup table would need {total} entries (> {}); use NewtonDecoder",
+            Self::MAX_ENTRIES
+        );
+        let mut table = HashMap::with_capacity(total as usize);
+        let mut subset: Vec<u32> = Vec::with_capacity(k);
+        fn rec(
+            start: u32,
+            n: u32,
+            k: usize,
+            subset: &mut Vec<u32>,
+            table: &mut HashMap<Vec<BigInt>, Vec<u32>>,
+        ) {
+            table.insert(power_sums(subset, k), subset.clone());
+            if subset.len() == k {
+                return;
+            }
+            for next in start..=n {
+                subset.push(next);
+                rec(next + 1, n, k, subset, table);
+                subset.pop();
+            }
+        }
+        rec(1, n as u32, k, &mut subset, &mut table);
+        LookupDecoder { n, k, table }
+    }
+
+    /// Number of stored subsets.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// ID domain size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum decodable degree.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Look up the subset with the given power sums (first `k` entries used).
+    pub fn decode(&self, sums: &[BigInt], degree: usize) -> Option<Vec<u32>> {
+        let key: Vec<BigInt> = sums[..self.k.min(sums.len())].to_vec();
+        let found = self.table.get(&key)?;
+        if found.len() != degree {
+            return None;
+        }
+        Some(found.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn power_sums_of_empty_set_are_zero() {
+        assert!(power_sums(&[], 4).iter().all(|s| s.is_zero()));
+    }
+
+    #[test]
+    fn power_sums_example() {
+        // {2, 3}: p1 = 5, p2 = 13, p3 = 35.
+        let s = power_sums(&[2, 3], 3);
+        assert_eq!(s[0].to_u64(), Some(5));
+        assert_eq!(s[1].to_u64(), Some(13));
+        assert_eq!(s[2].to_u64(), Some(35));
+    }
+
+    #[test]
+    fn add_then_remove_is_identity() {
+        let mut sums = power_sums(&[4, 9, 17], 5);
+        let orig = sums.clone();
+        add_neighbor(&mut sums, 23);
+        remove_neighbor(&mut sums, 23);
+        assert_eq!(sums, orig);
+    }
+
+    #[test]
+    fn newton_decodes_known_sets() {
+        let dec = NewtonDecoder::new(50);
+        for set in [vec![], vec![7], vec![1, 2], vec![3, 19, 42], vec![1, 2, 3, 4, 5]] {
+            let k = set.len().max(1);
+            let sums = power_sums(&set, k);
+            assert_eq!(dec.decode(&sums, set.len()), Some(set.clone()), "{set:?}");
+        }
+    }
+
+    #[test]
+    fn newton_rejects_wrong_degree() {
+        let dec = NewtonDecoder::new(50);
+        let sums = power_sums(&[3, 19], 3);
+        // Claiming degree 3 with the power sums of a 2-set must fail.
+        assert_eq!(dec.decode(&sums, 3), None);
+    }
+
+    #[test]
+    fn newton_rejects_out_of_range_roots() {
+        // Sums of {3, 19} but ID domain only {1..10}.
+        let dec = NewtonDecoder::new(10);
+        let sums = power_sums(&[3, 19], 2);
+        assert_eq!(dec.decode(&sums, 2), None);
+    }
+
+    #[test]
+    fn newton_rejects_garbage() {
+        let dec = NewtonDecoder::new(20);
+        let sums = vec![BigInt::from(7u64), BigInt::from(8u64)];
+        assert_eq!(dec.decode(&sums, 2), None);
+    }
+
+    #[test]
+    fn lookup_matches_newton_exhaustively_small() {
+        let (n, k) = (9, 3);
+        let lookup = LookupDecoder::new(n, k);
+        let newton = NewtonDecoder::new(n);
+        // all subsets of size ≤ 3 of {1..9}
+        for mask in 0u32..(1 << n) {
+            let set: Vec<u32> = (0..n as u32).filter(|i| mask >> i & 1 == 1).map(|i| i + 1).collect();
+            if set.len() > k {
+                continue;
+            }
+            let sums = power_sums(&set, k);
+            assert_eq!(lookup.decode(&sums, set.len()).as_ref(), Some(&set));
+            assert_eq!(newton.decode(&sums, set.len()).as_ref(), Some(&set));
+        }
+    }
+
+    /// Wright's theorem (paper Theorem 1): the map from ≤k-subsets to power-sum
+    /// vectors is injective. Checked exhaustively for a small domain.
+    #[test]
+    fn wright_injectivity_exhaustive() {
+        let (n, k) = (10, 3);
+        let mut seen: HashMap<Vec<BigInt>, Vec<u32>> = HashMap::new();
+        for mask in 0u32..(1 << n) {
+            let set: Vec<u32> = (0..n as u32).filter(|i| mask >> i & 1 == 1).map(|i| i + 1).collect();
+            if set.len() > k {
+                continue;
+            }
+            let sums = power_sums(&set, k);
+            if let Some(prev) = seen.insert(sums, set.clone()) {
+                panic!("power-sum collision between {prev:?} and {set:?}");
+            }
+        }
+    }
+
+    proptest! {
+        /// Round-trip through the Newton decoder for random subsets and domains.
+        #[test]
+        fn newton_round_trips(
+            n in 1usize..600,
+            raw in proptest::collection::hash_set(1u32..=600, 0..6),
+        ) {
+            let set: Vec<u32> = {
+                let mut v: Vec<u32> = raw.into_iter().map(|x| (x - 1) % n as u32 + 1).collect::<HashSet<_>>().into_iter().collect();
+                v.sort_unstable();
+                v
+            };
+            let k = set.len().max(1);
+            let sums = power_sums(&set, k);
+            let dec = NewtonDecoder::new(n);
+            prop_assert_eq!(dec.decode(&sums, set.len()), Some(set));
+        }
+
+        /// Wright's theorem, randomized: distinct sets never share power sums.
+        #[test]
+        fn wright_no_collisions(
+            a in proptest::collection::hash_set(1u32..=1000, 1..6),
+            b in proptest::collection::hash_set(1u32..=1000, 1..6),
+        ) {
+            let mut av: Vec<u32> = a.into_iter().collect();
+            let mut bv: Vec<u32> = b.into_iter().collect();
+            av.sort_unstable();
+            bv.sort_unstable();
+            let k = av.len().max(bv.len());
+            if av != bv {
+                prop_assert_ne!(power_sums(&av, k), power_sums(&bv, k));
+            }
+        }
+
+        /// Field-width bound of Lemma 1: every p-th power sum of any set fits in
+        /// the declared field.
+        #[test]
+        fn field_bits_bound_holds(
+            n in 1usize..300,
+            seed in proptest::collection::hash_set(1u32..=300, 0..10),
+        ) {
+            let set: Vec<u32> = seed.into_iter().map(|x| (x - 1) % n as u32 + 1).collect::<HashSet<_>>().into_iter().collect();
+            let k = 5usize.min(set.len().max(1));
+            let sums = power_sums(&set, k);
+            for (idx, s) in sums.iter().enumerate() {
+                let p = idx as u32 + 1;
+                prop_assert!(s.bits() <= power_sum_field_bits(n, p) as u64 + 1,
+                    "p={p} sum={s} bits={} field={}", s.bits(), power_sum_field_bits(n, p));
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimal data-parallel toolkit for the experiment harness.
+//!
+//! The benchmark binaries sweep grids of `(graph family × size × adversary
+//! seed)` — embarrassingly parallel work. Rather than pull in a full
+//! work-stealing runtime, this crate offers the few primitives the harness
+//! needs, built on `crossbeam`'s scoped threads (structured concurrency: no
+//! `'static` bounds, joins on scope exit) and `parking_lot` locks, following
+//! the project's HPC guides:
+//!
+//! - [`par_map`] — parallel map over a slice with deterministic output order;
+//! - [`par_for_each`] — parallel consumption of an index range with a shared
+//!   atomic cursor (dynamic load balancing for skewed work);
+//! - [`par_reduce`] — map + associative fold;
+//! - [`num_threads`] — the pool width (respects `WB_THREADS`).
+//!
+//! All functions fall back to sequential execution for tiny inputs, so tests
+//! and benches can call them unconditionally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads: `WB_THREADS` if set, else available parallelism,
+/// else 4.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("WB_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Parallel map with output order matching input order.
+///
+/// `f` runs on borrowed items across `num_threads()` scoped workers pulling
+/// indices from a shared cursor; results land in a pre-sized buffer guarded by
+/// a single mutex (contention is negligible because `f` dominates).
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots.into_inner().into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Run `f(i)` for every `i in 0..count` across the pool (no result order —
+/// use for side-effecting sweeps that accumulate into their own sinks).
+pub fn par_for_each(count: usize, f: impl Fn(usize) + Sync) {
+    let threads = num_threads().min(count.max(1));
+    if threads <= 1 || count <= 1 {
+        for i in 0..count {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                f(i);
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// Parallel map-reduce with an associative, commutative `fold`.
+pub fn par_reduce<T: Sync, R: Send>(
+    items: &[T],
+    map: impl Fn(&T) -> R + Sync,
+    identity: impl Fn() -> R + Sync,
+    fold: impl Fn(R, R) -> R + Sync,
+) -> R {
+    let partials = Mutex::new(Vec::with_capacity(num_threads()));
+    let cursor = AtomicUsize::new(0);
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(map).fold(identity(), &fold);
+    }
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut acc = identity();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    acc = fold(acc, map(&items[i]));
+                }
+                partials.lock().push(acc);
+            });
+        }
+    })
+    .expect("worker panicked");
+    partials.into_inner().into_iter().fold(identity(), fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out = par_map(&input, |&x| x * x);
+        let expected: Vec<u64> = input.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_for_each_visits_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        par_for_each(500, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_reduce_matches_sequential() {
+        let input: Vec<u64> = (1..=2000).collect();
+        let total = par_reduce(&input, |&x| x, || 0u64, |a, b| a + b);
+        assert_eq!(total, 2000 * 2001 / 2);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Skewed workload: ensure completion (dynamic cursor prevents one
+        // thread from owning all the heavy tail items).
+        let input: Vec<u64> = (0..64).collect();
+        let out = par_map(&input, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! Theorem 8 / Figure 2, executable: a `SIMSYNC` EOB-BFS oracle yields a
+//! `SIMSYNC` BUILD protocol for even-odd-bipartite graphs.
+//!
+//! **Coordinates.** The paper places the hidden graph `G` on nodes
+//! `{v_2 … v_n}` (`n` odd) and builds, for each odd `3 ≤ i ≤ n`, the gadget
+//! `G_i` on `{v_1} ∪ {v_2 … v_n} ∪ {v_{n+1} … v_{2n−1}}`:
+//!
+//! - `v_j — v_{j+n−2}` for every odd `3 ≤ j ≤ n` (an "anchor" per odd node),
+//! - `v_j — v_{j+n}` for every even `2 ≤ j ≤ n−1` (an anchor per even node),
+//! - `v_1 — v_{i+n−2}` (the probe: `v_1` hooks onto `v_i`'s anchor).
+//!
+//! Then `v_j` lies in layer 3 of the BFS tree rooted at `v_1` **iff**
+//! `{v_i, v_j} ∈ E(G)`. Our API graphs are `1..h`, so the hidden graph `H`
+//! (`h = n−1` nodes, `h` odd… `h` even) maps via `H`-node `u ↔ v_{u+1}`;
+//! `H` is even-odd-bipartite iff the paper's `G` is.
+//!
+//! **The transformation.** A `V`-node's neighborhood is the same in every
+//! `G_i`, so when the adversary picks it, it feeds its observed board prefix
+//! into the oracle node for `v_{u+1}` and writes that oracle message —
+//! *one* message serving all `n/2` gadgets. The referee extends the board:
+//! the anchors' and `v_1`'s neighborhoods in each `G_i` are public, so it
+//! composes their oracle messages in sequence (the oracle, being correct for
+//! *every* adversary order, is in particular correct for "the real order,
+//! then anchors, then `v_1`"), runs the oracle's output function, and reads
+//! layer 3 of `v_1`'s tree. Lemma 3 (`2^{Ω(n²)}` EOB graphs) finishes the
+//! impossibility.
+
+use wb_graph::checks::BfsForest;
+use wb_graph::{Graph, NodeId};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+use wb_math::BitVec;
+
+/// Build the Figure 2 gadget `G_i` (paper coordinates) from the hidden graph
+/// `H` on `h` nodes (`H`-node `u` is the paper's `v_{u+1}`); `i` is an odd
+/// paper index with `3 ≤ i ≤ n`, `n = h+1`.
+pub fn fig2_gadget(h_graph: &Graph, i: NodeId) -> Graph {
+    let h = h_graph.n();
+    let n = h + 1; // paper's n; nodes v_2..v_n host H
+    assert!(n % 2 == 1, "the construction needs paper-n odd (h = {h} even)");
+    assert!(i % 2 == 1 && i >= 3 && (i as usize) <= n, "i must be an odd paper index in 3..=n");
+    let total = 2 * n - 1;
+    let mut g = Graph::empty(total);
+    // H's edges, shifted by +1.
+    for (a, b) in h_graph.edges() {
+        g.add_edge(a + 1, b + 1);
+    }
+    // Anchors.
+    for j in (3..=n).step_by(2) {
+        g.add_edge(j as NodeId, (j + n - 2) as NodeId);
+    }
+    for j in (2..n).step_by(2) {
+        g.add_edge(j as NodeId, (j + n) as NodeId);
+    }
+    // The probe.
+    g.add_edge(1, (i as usize + n - 2) as NodeId);
+    g
+}
+
+/// Neighborhood of paper-node `v_q` in `G_i`, for the gadget nodes whose
+/// neighborhoods the referee must know (`q = 1` or `q > n`). Depends only on
+/// the hidden graph's size `h`, never its edges — that is the point of the
+/// construction.
+fn gadget_view(h: usize, i: NodeId, q: NodeId) -> LocalView {
+    let n = h + 1;
+    let total = 2 * n - 1;
+    let q_us = q as usize;
+    let mut neighbors: Vec<NodeId> = Vec::new();
+    if q_us == 1 {
+        neighbors.push((i as usize + n - 2) as NodeId);
+    } else {
+        debug_assert!(q_us > n);
+        // Anchor q serves exactly one V-node: odd j = q−n+2 or even j = q−n.
+        let jo = q_us + 2 - n;
+        let je = q_us.wrapping_sub(n);
+        if (3..=n).contains(&jo) && jo % 2 == 1 {
+            neighbors.push(jo as NodeId);
+        } else if (2..n).contains(&je) && je % 2 == 0 {
+            neighbors.push(je as NodeId);
+        }
+        if q_us == i as usize + n - 2 {
+            neighbors.push(1);
+        }
+        neighbors.sort_unstable();
+    }
+    LocalView { id: q, n: total, neighbors }
+}
+
+/// Neighborhood of a `V`-node `v_{u+1}` (`u` an `H`-node) in every `G_i`.
+fn v_node_view(h_view: &LocalView) -> LocalView {
+    let h = h_view.n;
+    let n = h + 1;
+    let j = h_view.id as usize + 1; // paper index
+    let mut neighbors: Vec<NodeId> = h_view.neighbors.iter().map(|&w| w + 1).collect();
+    if j % 2 == 1 {
+        neighbors.push((j + n - 2) as NodeId);
+    } else {
+        neighbors.push((j + n) as NodeId);
+    }
+    neighbors.sort_unstable();
+    LocalView { id: j as NodeId, n: 2 * n - 1, neighbors }
+}
+
+/// The Theorem 8 transformation: BUILD on even-odd-bipartite graphs from a
+/// `SIMSYNC` BFS oracle.
+#[derive(Clone, Debug)]
+pub struct EobBfsToBuild<P> {
+    oracle: P,
+}
+
+impl<P> EobBfsToBuild<P>
+where
+    P: Protocol<Output = BfsForest>,
+{
+    /// Wrap a `SIMSYNC` (or weaker) BFS oracle.
+    pub fn new(oracle: P) -> Self {
+        assert!(
+            matches!(oracle.model(), Model::SimSync | Model::SimAsync),
+            "Theorem 8 transforms simultaneous oracles"
+        );
+        EobBfsToBuild { oracle }
+    }
+}
+
+/// Transformed-protocol node: an embedded oracle node for `v_{u+1}`, fed the
+/// observed prefix.
+#[derive(Clone)]
+pub struct EobPairNode<N> {
+    inner: N,
+    inner_view: LocalView,
+}
+
+impl<N: Node> Node for EobPairNode<N> {
+    fn observe(&mut self, _view: &LocalView, seq: usize, writer: NodeId, msg: &BitVec) {
+        // Forward with the writer mapped into paper coordinates.
+        self.inner.observe(&self.inner_view, seq, writer + 1, msg);
+    }
+
+    fn compose(&mut self, _view: &LocalView) -> BitVec {
+        self.inner.compose(&self.inner_view)
+    }
+}
+
+impl<P> Protocol for EobBfsToBuild<P>
+where
+    P: Protocol<Output = BfsForest>,
+{
+    type Node = EobPairNode<P::Node>;
+    type Output = Graph;
+
+    fn model(&self) -> Model {
+        Model::SimSync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        // A' writes raw oracle messages for the (2n+1)-node gadget
+        // (paper: f(2·(n+1) − 1) bits — no overhead at all).
+        self.oracle.budget_bits(2 * (n + 1) - 1)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        let inner_view = v_node_view(view);
+        EobPairNode { inner: self.oracle.spawn(&inner_view), inner_view }
+    }
+
+    fn output(&self, h: usize, board: &Whiteboard) -> Graph {
+        let n = h + 1;
+        let total = 2 * n - 1;
+        let mut g = Graph::empty(h);
+        // The H-side prefix, in real write order, with paper writer IDs.
+        let prefix: Vec<(NodeId, BitVec)> =
+            board.entries().iter().map(|e| (e.writer + 1, e.msg.clone())).collect();
+        for i in (3..=n).step_by(2) {
+            let i = i as NodeId;
+            // Continue the run: anchors v_{n+1}..v_{2n−1}, then v_1.
+            let mut entries = prefix.clone();
+            let continuation: Vec<NodeId> = ((n + 1)..=total)
+                .map(|q| q as NodeId)
+                .chain(std::iter::once(1))
+                .collect();
+            for q in continuation {
+                let view = gadget_view(h, i, q);
+                let mut node = self.oracle.spawn(&view);
+                for (seq, (writer, msg)) in entries.iter().enumerate() {
+                    node.observe(&view, seq, *writer, msg);
+                }
+                entries.push((q, node.compose(&view)));
+            }
+            let full_board = Whiteboard::from_messages(entries);
+            let forest = self.oracle.output(total, &full_board);
+            // H-neighbors of H-node (i−1): even paper-j in layer 3 of v_1's
+            // tree (trace parents to confirm the component root is v_1).
+            for j in (2..=n).step_by(2) {
+                let j = j as NodeId;
+                if forest.layer[j as usize - 1] != 3 {
+                    continue;
+                }
+                let mut cur = j;
+                let mut root = j;
+                let mut hops = 0;
+                while let Some(p) = forest.parent[cur as usize - 1] {
+                    root = p;
+                    cur = p;
+                    hops += 1;
+                    if hops > total {
+                        break; // malformed forest; treat as non-edge
+                    }
+                }
+                if root == 1 {
+                    g.add_edge(i - 1, j - 1);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracles::BfsFullRowOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::{checks, generators};
+    use wb_runtime::{run, MaxIdAdversary, Outcome, RandomAdversary};
+
+    /// Fig 2's worked example: the paper's n = 7, G on {v₂..v₇}.
+    #[test]
+    fn fig2_gadget_layer3_property() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Hidden graph H on 6 nodes (paper's v₂..v₇), even-odd bipartite,
+        // connected so that BFS layers are well-defined through v₁'s tree.
+        for _ in 0..10 {
+            let h = generators::even_odd_bipartite_connected(6, 0.4, &mut rng);
+            for i in [3 as NodeId, 5, 7] {
+                let gadget = fig2_gadget(&h, i);
+                assert!(checks::is_even_odd_bipartite(&gadget), "gadget stays EOB");
+                let forest = checks::bfs_forest(&gadget);
+                for j in [2 as NodeId, 4, 6] {
+                    let expected = h.has_edge(i - 1, j - 1);
+                    let in_layer3 = forest.layer[j as usize - 1] == 3;
+                    assert_eq!(in_layer3, expected, "i={i} j={j} in {h:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transformation_rebuilds_eob_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = EobBfsToBuild::new(BfsFullRowOracle);
+        for trial in 0..8 {
+            let h = generators::even_odd_bipartite_connected(8, 0.5, &mut rng);
+            let report = run(&t, &h, &mut RandomAdversary::new(trial));
+            match report.outcome {
+                Outcome::Success(rebuilt) => assert_eq!(rebuilt, h, "trial {trial}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transformation_is_order_insensitive() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let h = generators::even_odd_bipartite_connected(6, 0.5, &mut rng);
+        let t = EobBfsToBuild::new(BfsFullRowOracle);
+        let a = run(&t, &h, &mut MaxIdAdversary);
+        let b = run(&t, &h, &mut RandomAdversary::new(99));
+        match (a.outcome, b.outcome) {
+            (Outcome::Success(x), Outcome::Success(y)) => {
+                assert_eq!(x, h);
+                assert_eq!(y, h);
+            }
+            _ => panic!("expected success"),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Lemma 3, joined to concrete graph families.
+//!
+//! > Let `G` be a family of n-node graphs with `g(n)` members. If BUILD
+//! > restricted to `G` is solvable in any of the four models with message
+//! > size `f(n)`, then `log g(n) = O(n·f(n))`.
+//!
+//! [`Family`] enumerates the families the paper's proofs use; `log₂ g(n)` is
+//! computed exactly and compared with the whiteboard capacity `n·f(n)`.
+
+use wb_math::counting::{self, CapacityVerdict, MessageRegime};
+
+/// The graph families appearing in the paper's counting arguments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// All labeled graphs on `n` nodes (`2^C(n,2)`).
+    AllGraphs,
+    /// Bipartite graphs with fixed halves `{v_1..v_{n/2}} ∪ {v_{n/2+1}..v_n}`
+    /// — Theorem 3's family (`2^{(n/2)·⌈n/2⌉}`).
+    BipartiteFixedHalves,
+    /// Even-odd-bipartite graphs — Theorem 8's family (`2^{⌊n/2⌋·⌈n/2⌉}`).
+    EvenOddBipartite,
+    /// Labeled trees (Cayley: `n^{n−2}`) — the family §3.1 reconstructs, whose
+    /// size is small enough that `O(log n)` messages suffice.
+    LabeledTrees,
+    /// Graphs whose edges all lie among the first `f` nodes — Theorem 9's
+    /// family (`2^C(f,2)`).
+    PrefixOnly(u64),
+}
+
+impl Family {
+    /// Exact `log₂` of the family's cardinality at size `n`.
+    pub fn log2_count(&self, n: u64) -> u64 {
+        match *self {
+            Family::AllGraphs => counting::log2_all_graphs(n),
+            Family::BipartiteFixedHalves => counting::log2_bipartite_fixed(n / 2, n.div_ceil(2)),
+            Family::EvenOddBipartite => counting::log2_even_odd_bipartite(n),
+            Family::LabeledTrees => counting::labeled_trees(n).bits(),
+            Family::PrefixOnly(f) => counting::log2_all_graphs(f.min(n)),
+        }
+    }
+
+    /// Display name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Family::AllGraphs => "all graphs".into(),
+            Family::BipartiteFixedHalves => "bipartite (fixed halves)".into(),
+            Family::EvenOddBipartite => "even-odd bipartite".into(),
+            Family::LabeledTrees => "labeled trees".into(),
+            Family::PrefixOnly(f) => format!("edges among first {f}"),
+        }
+    }
+}
+
+/// `log₂ |family|` at size `n` (convenience form).
+pub fn family_log2_bits(family: Family, n: u64) -> u64 {
+    family.log2_count(n)
+}
+
+/// Evaluate Lemma 3 for `(family, n, regime)`.
+pub fn verdict(family: Family, n: u64, regime: MessageRegime) -> CapacityVerdict {
+    counting::lemma3(family.log2_count(n), n, regime.bits(n))
+}
+
+/// One row of the capacity-sweep tables printed by the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Number of nodes.
+    pub n: u64,
+    /// Family under consideration.
+    pub family: Family,
+    /// Message-size regime.
+    pub regime: MessageRegime,
+    /// The two sides of the Lemma 3 inequality.
+    pub verdict: CapacityVerdict,
+}
+
+/// Cross product of families × regimes × sizes.
+pub fn sweep(families: &[Family], regimes: &[MessageRegime], ns: &[u64]) -> Vec<SweepRow> {
+    let mut rows = Vec::with_capacity(families.len() * regimes.len() * ns.len());
+    for &family in families {
+        for &regime in regimes {
+            for &n in ns {
+                rows.push(SweepRow { n, family, regime, verdict: verdict(family, n, regime) });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem3_family_infeasible_at_log_n() {
+        // TRIANGLE ∉ SIMASYNC[o(n)]: the bipartite family outgrows any
+        // polylogarithmic whiteboard.
+        for n in [512u64, 2048, 1 << 14] {
+            assert!(verdict(Family::BipartiteFixedHalves, n, MessageRegime::LogN { c: 8 }).impossible());
+        }
+    }
+
+    #[test]
+    fn theorem8_family_infeasible_at_log_n() {
+        for n in [512u64, 2048] {
+            assert!(verdict(Family::EvenOddBipartite, n, MessageRegime::LogN { c: 8 }).impossible());
+        }
+    }
+
+    #[test]
+    fn trees_feasible_at_log_n() {
+        // Consistent with Theorem 2: the forest family is reconstructible.
+        for n in [64u64, 1024, 1 << 16] {
+            assert!(!verdict(Family::LabeledTrees, n, MessageRegime::LogN { c: 4 }).impossible());
+        }
+    }
+
+    #[test]
+    fn everything_feasible_with_linear_messages() {
+        for n in [16u64, 256, 4096] {
+            for family in [Family::AllGraphs, Family::BipartiteFixedHalves, Family::EvenOddBipartite] {
+                assert!(!verdict(family, n, MessageRegime::Linear).impossible(), "{family:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_exists_for_sqrt_regime() {
+        // √n-bit messages: capacity n^1.5 loses to (n/2)² once n is large.
+        let small = verdict(Family::BipartiteFixedHalves, 16, MessageRegime::SqrtN);
+        let large = verdict(Family::BipartiteFixedHalves, 1 << 16, MessageRegime::SqrtN);
+        assert!(!small.impossible());
+        assert!(large.impossible());
+    }
+
+    #[test]
+    fn prefix_family_fires_only_for_large_f() {
+        // Theorem 9's counting: with f = n the family beats n·g for g = o(n);
+        // with f = √n it does not — the separation needs the linear regime.
+        let n = 1 << 12;
+        assert!(verdict(Family::PrefixOnly(n), n, MessageRegime::LogN { c: 4 }).impossible());
+        assert!(!verdict(Family::PrefixOnly(64), n, MessageRegime::LogN { c: 4 }).impossible());
+    }
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let rows = sweep(
+            &[Family::AllGraphs, Family::LabeledTrees],
+            &[MessageRegime::LogN { c: 2 }, MessageRegime::Linear],
+            &[8, 64],
+        );
+        assert_eq!(rows.len(), 8);
+    }
+}

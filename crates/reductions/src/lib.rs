@@ -1,0 +1,38 @@
+//! Executable lower-bound machinery: the reductions and counting arguments
+//! behind every "no" cell of the paper's Table 2.
+//!
+//! The impossibility proofs all share one skeleton: *if problem P were
+//! solvable with small messages, then BUILD on a large graph family would be
+//! too* (a protocol transformation), *but the final whiteboard cannot hold
+//! enough bits to distinguish that family* (Lemma 3). Both halves are code
+//! here:
+//!
+//! - [`lemma3`] — the counting half, joining `wb_math::counting` to concrete
+//!   families and message regimes;
+//! - [`triangle_to_build`] — Theorem 3 / Figure 1: a `SIMASYNC` TRIANGLE
+//!   oracle becomes a `SIMASYNC` BUILD protocol for triangle-free (e.g.
+//!   bipartite) graphs via the `G'_{s,t}` gadget;
+//! - [`mis_to_build`] — Theorem 6: a `SIMASYNC` rooted-MIS oracle becomes a
+//!   BUILD protocol for *arbitrary* graphs via the `G^{(x)}_{i,j}` gadget;
+//! - [`eobbfs_to_build`] — Theorem 8 / Figure 2: a `SIMSYNC` EOB-BFS oracle
+//!   becomes a `SIMSYNC` BUILD protocol for even-odd-bipartite graphs via the
+//!   `G_i` gadget;
+//! - [`subgraph_bound`] — Theorem 9: the counting side of the
+//!   `SUBGRAPH_f ∈ PSIMASYNC[f] \ PSYNC[g]` orthogonality result;
+//! - [`oracles`] — large-message (`Θ(n)`-bit) oracle protocols used to
+//!   *instantiate* the transformations end-to-end: the theorems say no
+//!   small-message oracle exists, and running the transformation against a
+//!   big-message oracle demonstrates the machinery while the Lemma 3 curve
+//!   shows why shrinking the oracle is impossible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eobbfs_to_build;
+pub mod lemma3;
+pub mod mis_to_build;
+pub mod oracles;
+pub mod subgraph_bound;
+pub mod triangle_to_build;
+
+pub use lemma3::{family_log2_bits, Family};

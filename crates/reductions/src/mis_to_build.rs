@@ -1,0 +1,216 @@
+//! Theorem 6, executable: a `SIMASYNC` rooted-MIS oracle yields a `SIMASYNC`
+//! BUILD protocol for **arbitrary** graphs.
+//!
+//! The gadget `G^{(x)}_{i,j}` adds a node `x = v_{n+1}` adjacent to everyone
+//! except `v_i` and `v_j`. Then `{x, v_i, v_j}` is the unique maximal
+//! independent set containing `x` iff `{v_i, v_j} ∉ E`. Since a SIMASYNC
+//! node's message depends only on its neighborhood, node `v_k` sends only two
+//! distinct messages across all gadgets — `m_k` ("x is not my neighbor",
+//! `k ∈ {i,j}`) and `m'_k` ("x is my neighbor") — so the transformed protocol
+//! writes the pair and the referee replays the oracle's output function on
+//! every `G^{(x)}_{s,t}`. BUILD on all graphs from `O(n·f(n))` board bits
+//! contradicts Lemma 3, hence MIS ∉ `PSIMASYNC[o(n)]`.
+
+use wb_graph::{Graph, NodeId};
+use wb_math::{bits_for, id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// Build the Theorem 6 gadget `G^{(x)}_{i,j}` (x = `n+1`, non-adjacent to
+/// `i`, `j`).
+pub fn thm6_gadget(g: &Graph, i: NodeId, j: NodeId) -> Graph {
+    assert!(i != j);
+    let attach: Vec<NodeId> =
+        (1..=g.n() as NodeId).filter(|&v| v != i && v != j).collect();
+    g.with_extra_node(&attach)
+}
+
+/// The Theorem 6 transformation: BUILD from a rooted-MIS oracle factory.
+///
+/// `make_oracle(root)` must return a `SIMASYNC` protocol whose output on any
+/// graph containing `root` is a maximal independent set containing `root`.
+#[derive(Clone, Debug)]
+pub struct MisToBuild<P, F> {
+    make_oracle: F,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P, F> MisToBuild<P, F>
+where
+    P: Protocol<Output = Vec<NodeId>>,
+    F: Fn(NodeId) -> P,
+{
+    /// Wrap a rooted-MIS oracle factory.
+    pub fn new(make_oracle: F) -> Self {
+        let probe = make_oracle(1);
+        assert_eq!(probe.model(), Model::SimAsync, "Theorem 6 transforms SIMASYNC oracles");
+        MisToBuild { make_oracle, _marker: std::marker::PhantomData }
+    }
+
+    fn oracle_for(&self, n: usize) -> P {
+        (self.make_oracle)((n + 1) as NodeId)
+    }
+
+    fn len_field_bits(&self, n: usize) -> u32 {
+        bits_for(self.oracle_for(n).budget_bits(n + 1) as u64)
+    }
+}
+
+/// Transformed-protocol node: writes `(ID, m_k, m'_k)`.
+#[derive(Clone)]
+pub struct MisPairNode<P> {
+    oracle: P,
+    len_field: u32,
+}
+
+impl<P> Node for MisPairNode<P>
+where
+    P: Protocol<Output = Vec<NodeId>> + Clone,
+{
+    fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {
+        unreachable!("SIMASYNC nodes are never shown the board");
+    }
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let n1 = view.n + 1;
+        // m_k: x not adjacent (k is one of the two excluded nodes).
+        let plain = LocalView { id: view.id, n: n1, neighbors: view.neighbors.clone() };
+        // m'_k: x adjacent.
+        let mut with_x = view.neighbors.clone();
+        with_x.push(n1 as NodeId);
+        let attached = LocalView { id: view.id, n: n1, neighbors: with_x };
+        let m1 = self.oracle.spawn(&plain).compose(&plain);
+        let m2 = self.oracle.spawn(&attached).compose(&attached);
+        let mut w = BitWriter::new();
+        w.write_bits(view.id as u64, id_bits(view.n));
+        w.write_bits(m1.len() as u64, self.len_field);
+        w.write_bitvec(&m1);
+        w.write_bits(m2.len() as u64, self.len_field);
+        w.write_bitvec(&m2);
+        w.finish()
+    }
+}
+
+impl<P, F> Protocol for MisToBuild<P, F>
+where
+    P: Protocol<Output = Vec<NodeId>> + Clone,
+    F: Fn(NodeId) -> P,
+{
+    type Node = MisPairNode<P>;
+    type Output = Graph;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        id_bits(n) + 2 * (self.len_field_bits(n) + self.oracle_for(n).budget_bits(n + 1))
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        MisPairNode {
+            oracle: self.oracle_for(view.n),
+            len_field: self.len_field_bits(view.n),
+        }
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> Graph {
+        let len_field = self.len_field_bits(n);
+        let oracle = self.oracle_for(n);
+        let mut pairs: Vec<Option<(BitVec, BitVec)>> = vec![None; n];
+        for e in board.entries() {
+            let mut r = BitReader::new(&e.msg);
+            let id = r.read_bits(id_bits(n)) as usize;
+            let l1 = r.read_bits(len_field) as usize;
+            let m1 = r.read_bitvec(l1);
+            let l2 = r.read_bits(len_field) as usize;
+            let m2 = r.read_bitvec(l2);
+            pairs[id - 1] = Some((m1, m2));
+        }
+        let pairs: Vec<(BitVec, BitVec)> =
+            pairs.into_iter().map(|p| p.expect("missing message")).collect();
+
+        let n1 = n + 1;
+        let x = n1 as NodeId;
+        let mut g = Graph::empty(n);
+        for s in 1..=n as NodeId {
+            for t in (s + 1)..=n as NodeId {
+                // x's own message in G^{(x)}_{s,t}: adjacent to all but s, t.
+                let x_view = LocalView {
+                    id: x,
+                    n: n1,
+                    neighbors: (1..=n as NodeId).filter(|&v| v != s && v != t).collect(),
+                };
+                let x_msg = oracle.spawn(&x_view).compose(&x_view);
+                let board = Whiteboard::from_messages(
+                    (1..=n as NodeId)
+                        .map(|i| {
+                            let (m1, m2) = &pairs[i as usize - 1];
+                            (i, if i == s || i == t { m1.clone() } else { m2.clone() })
+                        })
+                        .chain(std::iter::once((x, x_msg))),
+                );
+                let mis = oracle.output(n1, &board);
+                // {s,t} ∉ E  ⟺  the unique MIS containing x is {x, s, t}.
+                if mis != vec![s, t, x] {
+                    g.add_edge(s, t);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracles::MisFullRowOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::{checks, generators};
+    use wb_runtime::{run, Outcome, RandomAdversary};
+
+    #[test]
+    fn gadget_mis_uniqueness_property() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp(7, 0.4, &mut rng);
+        let x = 8 as NodeId;
+        for i in 1..=7 {
+            for j in (i + 1)..=7 {
+                let gadget = thm6_gadget(&g, i, j);
+                // {x, i, j} is independent in the gadget iff {i,j} ∉ E.
+                let candidate = [x, i, j];
+                assert_eq!(
+                    checks::is_independent_set(&gadget, &candidate),
+                    !g.has_edge(i, j),
+                    "i={i} j={j}"
+                );
+                if !g.has_edge(i, j) {
+                    assert!(checks::is_rooted_mis(&gadget, &candidate, x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transformation_rebuilds_arbitrary_graphs() {
+        // Theorem 6 reconstructs *all* graphs — not just bipartite ones.
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = MisToBuild::new(MisFullRowOracle::new);
+        for p_edge in [0.0, 0.3, 0.7, 1.0] {
+            let g = generators::gnp(8, p_edge, &mut rng);
+            let report = run(&t, &g, &mut RandomAdversary::new((p_edge * 100.0) as u64));
+            match report.outcome {
+                Outcome::Success(h) => assert_eq!(h, g, "p={p_edge}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transformation_handles_triangles_unlike_theorem3() {
+        let g = generators::clique(5);
+        let t = MisToBuild::new(MisFullRowOracle::new);
+        let report = run(&t, &g, &mut RandomAdversary::new(1));
+        assert_eq!(report.outcome, Outcome::Success(g));
+    }
+}

@@ -1,0 +1,151 @@
+//! Large-message oracle protocols used to instantiate the reductions.
+//!
+//! Theorems 3, 6 and 8 are of the form "a small-message oracle for P would
+//! yield an impossible BUILD protocol". The transformations in this crate are
+//! generic over the oracle; to *run* them end-to-end we instantiate them with
+//! the `Θ(n)`-bit full-row oracles below (which trivially exist). The Lemma 3
+//! sweep then shows exactly why an `o(n)`-bit oracle cannot exist: the
+//! transformed protocol's board capacity falls below the family entropy.
+
+use wb_graph::checks;
+use wb_graph::{Graph, NodeId};
+use wb_math::{id_bits, BitReader, BitVec, BitWriter};
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+
+/// A full-adjacency-row node whose `observe` is a no-op, so it can be driven
+/// by any model's engine and by the manual simulations in the reductions.
+#[derive(Clone)]
+pub struct FullRowNode;
+
+impl Node for FullRowNode {
+    fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {}
+
+    fn compose(&mut self, view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        w.write_bits(view.id as u64, id_bits(view.n));
+        for u in 1..=view.n as NodeId {
+            w.write_bool(view.is_neighbor(u));
+        }
+        w.finish()
+    }
+}
+
+fn decode_rows(n: usize, board: &Whiteboard) -> Graph {
+    let mut g = Graph::empty(n);
+    for e in board.entries() {
+        let mut r = BitReader::new(&e.msg);
+        let id = r.read_bits(id_bits(n)) as NodeId;
+        for u in 1..=n as NodeId {
+            if r.read_bool() && u != id {
+                g.add_edge(id, u);
+            }
+        }
+    }
+    g
+}
+
+/// `SIMASYNC[n]` rooted-MIS oracle: full rows, then a deterministic greedy MIS
+/// containing the root, computed by the referee.
+#[derive(Clone, Debug)]
+pub struct MisFullRowOracle {
+    root: NodeId,
+}
+
+impl MisFullRowOracle {
+    /// Oracle answering rooted-MIS queries for `root`.
+    pub fn new(root: NodeId) -> Self {
+        MisFullRowOracle { root }
+    }
+}
+
+impl Protocol for MisFullRowOracle {
+    type Node = FullRowNode;
+    type Output = Vec<NodeId>;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        id_bits(n) + n as u32
+    }
+
+    fn spawn(&self, _view: &LocalView) -> FullRowNode {
+        FullRowNode
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> Vec<NodeId> {
+        let g = decode_rows(n, board);
+        let mut set = vec![self.root];
+        for v in 1..=n as NodeId {
+            if v == self.root {
+                continue;
+            }
+            if set.iter().all(|&u| !g.has_edge(u, v)) {
+                set.push(v);
+            }
+        }
+        set.sort_unstable();
+        debug_assert!(checks::is_rooted_mis(&g, &set, self.root));
+        set
+    }
+}
+
+/// `SIMSYNC[n]` BFS oracle: full rows, then the canonical min-ID-rooted BFS
+/// forest computed by the referee. (Declared SIMSYNC because Theorem 8's
+/// transformation consumes a SIMSYNC oracle; the messages happen not to use
+/// the board, which any SIMSYNC protocol is allowed to do.)
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BfsFullRowOracle;
+
+impl Protocol for BfsFullRowOracle {
+    type Node = FullRowNode;
+    type Output = checks::BfsForest;
+
+    fn model(&self) -> Model {
+        Model::SimSync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        id_bits(n) + n as u32
+    }
+
+    fn spawn(&self, _view: &LocalView) -> FullRowNode {
+        FullRowNode
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> checks::BfsForest {
+        checks::bfs_forest(&decode_rows(n, board))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::generators;
+    use wb_runtime::{run, Outcome, RandomAdversary};
+
+    #[test]
+    fn mis_oracle_is_correct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..10 {
+            let g = generators::gnp(20, 0.25, &mut rng);
+            let root = (trial % 20 + 1) as NodeId;
+            let report = run(&MisFullRowOracle::new(root), &g, &mut RandomAdversary::new(trial));
+            match report.outcome {
+                Outcome::Success(set) => assert!(checks::is_rooted_mis(&g, &set, root)),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_oracle_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp(18, 0.2, &mut rng);
+        let report = run(&BfsFullRowOracle, &g, &mut RandomAdversary::new(1));
+        assert_eq!(report.outcome, Outcome::Success(checks::bfs_forest(&g)));
+    }
+}

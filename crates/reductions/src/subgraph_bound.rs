@@ -1,0 +1,127 @@
+//! Theorem 9, both halves: message size and synchronization power are
+//! orthogonal resources.
+//!
+//! Positive half (in `wb-core`): `SUBGRAPH_f ∈ PSIMASYNC[f(n)]`. Negative
+//! half: a `SYNC[g]` protocol for SUBGRAPH_f would solve BUILD on the family
+//! of graphs whose edges lie among `{v_1..v_{f(n)}}` (pad the remaining nodes
+//! as isolated); [`PrefixBuild`] is that argument as a runnable protocol
+//! wrapper, and [`separation`] is the Lemma 3 counting that rules out
+//! `g = o(f)` whenever `f(n)² ≫ n·g(n)` (the regime the paper's proof
+//! appeals to — at `f(n) = Θ(n)` it fires for every `g = o(n)`; for strongly
+//! sublinear `f` the stated counting is *insufficient*, which EXPERIMENTS.md
+//! records honestly).
+
+use crate::lemma3::Family;
+use wb_core::SubgraphPrefix;
+use wb_graph::Graph;
+use wb_math::counting::{lemma3, CapacityVerdict};
+use wb_runtime::{LocalView, Model, Protocol, Whiteboard};
+
+/// BUILD on the "edges only among the first `f` nodes" family, implemented by
+/// running SUBGRAPH_f and padding the output with isolated nodes — the exact
+/// protocol Theorem 9's impossibility argument constructs.
+#[derive(Clone, Debug)]
+pub struct PrefixBuild {
+    inner: SubgraphPrefix,
+}
+
+impl PrefixBuild {
+    /// BUILD for graphs whose edges lie among `{v_1..v_f}`.
+    pub fn new(f: usize) -> Self {
+        PrefixBuild { inner: SubgraphPrefix::new(f) }
+    }
+}
+
+impl Protocol for PrefixBuild {
+    type Node = <SubgraphPrefix as Protocol>::Node;
+    type Output = Graph;
+
+    fn model(&self) -> Model {
+        self.inner.model()
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        self.inner.budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        self.inner.spawn(view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> Graph {
+        let prefix = self.inner.output(n, board);
+        // Pad back to n nodes; the family promises no other edges exist.
+        let mut g = Graph::empty(n);
+        for (u, v) in prefix.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+/// The Theorem 9 counting at one point: does BUILD on the prefix family
+/// with `g_bits`-bit messages contradict Lemma 3?
+pub fn separation(n: u64, f: u64, g_bits: u64) -> CapacityVerdict {
+    lemma3(Family::PrefixOnly(f).log2_count(n), n, g_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wb_graph::generators;
+    use wb_math::counting::MessageRegime;
+    use wb_runtime::{run, Outcome, RandomAdversary};
+
+    fn prefix_family_instance(n: usize, f: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense = generators::gnp(f, 0.5, &mut rng);
+        let mut g = Graph::empty(n);
+        for (u, v) in dense.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn prefix_build_reconstructs_family_members() {
+        for (n, f) in [(20usize, 5usize), (30, 10), (12, 12)] {
+            let g = prefix_family_instance(n, f, (n + f) as u64);
+            let p = PrefixBuild::new(f);
+            let report = run(&p, &g, &mut RandomAdversary::new(3));
+            match report.outcome {
+                Outcome::Success(h) => assert_eq!(h, g, "n={n} f={f}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn separation_fires_in_the_linear_regime() {
+        // f(n) = n: any g = o(n) is ruled out.
+        for n in [256u64, 4096] {
+            let g_bits = MessageRegime::LogN { c: 8 }.bits(n);
+            assert!(separation(n, n, g_bits).impossible(), "n={n}");
+            let g_sqrt = MessageRegime::SqrtN.bits(n);
+            assert!(separation(n, n, g_sqrt).impossible(), "n={n} sqrt");
+        }
+    }
+
+    #[test]
+    fn separation_does_not_fire_for_sublinear_f() {
+        // Honest negative: with f = √n the counting bound C(f,2) ≈ n/2 is
+        // below the n·g capacity for any g ≥ 1 — the paper's argument needs
+        // larger f.
+        let n = 1u64 << 14;
+        let f = MessageRegime::SqrtN.bits(n);
+        assert!(!separation(n, f, 1).impossible());
+    }
+
+    #[test]
+    fn positive_side_budget_is_f_not_n() {
+        let n = 100usize;
+        let p = PrefixBuild::new(10);
+        assert!(p.budget_bits(n) <= 10 + 7 + 1);
+    }
+}

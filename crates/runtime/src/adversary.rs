@@ -1,0 +1,172 @@
+//! Write schedulers ("an external entity, an adversary, adds to the whiteboard
+//! the message … of some active node").
+//!
+//! Adversaries are omniscient: they see the full board (including writer
+//! metadata) and the current active set. Positive results in the paper
+//! quantify over all adversaries; tests combine the samplers here with the
+//! exhaustive executor in [`crate::exhaustive`].
+
+use crate::board::Whiteboard;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wb_graph::NodeId;
+
+/// A scheduler choosing, each round, which active node writes.
+pub trait Adversary {
+    /// Pick one of `active` (non-empty, sorted ascending).
+    fn pick(&mut self, active: &[NodeId], board: &Whiteboard) -> NodeId;
+}
+
+/// Always picks the smallest active ID.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinIdAdversary;
+
+impl Adversary for MinIdAdversary {
+    fn pick(&mut self, active: &[NodeId], _board: &Whiteboard) -> NodeId {
+        active[0]
+    }
+}
+
+/// Always picks the largest active ID.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxIdAdversary;
+
+impl Adversary for MaxIdAdversary {
+    fn pick(&mut self, active: &[NodeId], _board: &Whiteboard) -> NodeId {
+        *active.last().unwrap()
+    }
+}
+
+/// Picks uniformly at random from the active set (seeded, reproducible).
+#[derive(Clone, Debug)]
+pub struct RandomAdversary {
+    rng: StdRng,
+}
+
+impl RandomAdversary {
+    /// A reproducible random adversary.
+    pub fn new(seed: u64) -> Self {
+        RandomAdversary { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn pick(&mut self, active: &[NodeId], _board: &Whiteboard) -> NodeId {
+        active[self.rng.gen_range(0..active.len())]
+    }
+}
+
+/// Picks according to a fixed priority permutation: the active node appearing
+/// earliest in `priority` wins. With `priority = [σ(1)…σ(n)]` this realizes the
+/// "fix an order and activate sequentially" constructions of Lemma 4.
+#[derive(Clone, Debug)]
+pub struct PriorityAdversary {
+    rank: Vec<u32>,
+}
+
+impl PriorityAdversary {
+    /// Build from a permutation of `1..=n` (highest priority first).
+    pub fn new(priority: &[NodeId]) -> Self {
+        let n = priority.len();
+        let mut rank = vec![u32::MAX; n + 1];
+        for (i, &v) in priority.iter().enumerate() {
+            assert!(v >= 1 && (v as usize) <= n, "priority entry {v} out of range");
+            assert!(rank[v as usize] == u32::MAX, "duplicate priority entry {v}");
+            rank[v as usize] = i as u32;
+        }
+        PriorityAdversary { rank }
+    }
+
+    /// A uniformly random priority permutation (seeded).
+    pub fn random(n: usize, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<NodeId> = (1..=n as NodeId).collect();
+        perm.shuffle(&mut rng);
+        Self::new(&perm)
+    }
+}
+
+impl Adversary for PriorityAdversary {
+    fn pick(&mut self, active: &[NodeId], _board: &Whiteboard) -> NodeId {
+        *active
+            .iter()
+            .min_by_key(|&&v| self.rank.get(v as usize).copied().unwrap_or(u32::MAX))
+            .unwrap()
+    }
+}
+
+/// An adversary from a closure — for one-off malicious strategies in tests
+/// and experiments without a dedicated type.
+pub struct FnAdversary<F>(pub F);
+
+impl<F> Adversary for FnAdversary<F>
+where
+    F: FnMut(&[NodeId], &Whiteboard) -> NodeId,
+{
+    fn pick(&mut self, active: &[NodeId], board: &Whiteboard) -> NodeId {
+        let choice = (self.0)(active, board);
+        debug_assert!(active.contains(&choice), "FnAdversary chose a non-active node");
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board() -> Whiteboard {
+        Whiteboard::new()
+    }
+
+    #[test]
+    fn fn_adversary_wraps_closures() {
+        // "Pick the median active node."
+        let mut adv = FnAdversary(|active: &[NodeId], _: &Whiteboard| active[active.len() / 2]);
+        assert_eq!(adv.pick(&[1, 5, 9], &board()), 5);
+        assert_eq!(adv.pick(&[2, 4], &board()), 4);
+    }
+
+    #[test]
+    fn min_max_pick_extremes() {
+        let active = vec![2, 5, 9];
+        assert_eq!(MinIdAdversary.pick(&active, &board()), 2);
+        assert_eq!(MaxIdAdversary.pick(&active, &board()), 9);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_range() {
+        let active = vec![1, 4, 7, 8];
+        let picks1: Vec<NodeId> =
+            (0..20).scan(RandomAdversary::new(42), |a, _| Some(a.pick(&active, &board()))).collect();
+        let picks2: Vec<NodeId> =
+            (0..20).scan(RandomAdversary::new(42), |a, _| Some(a.pick(&active, &board()))).collect();
+        assert_eq!(picks1, picks2);
+        assert!(picks1.iter().all(|p| active.contains(p)));
+        // Not constant (overwhelmingly likely with 20 draws from 4 options).
+        assert!(picks1.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn priority_respects_permutation() {
+        let mut adv = PriorityAdversary::new(&[3, 1, 4, 2]);
+        assert_eq!(adv.pick(&[1, 2, 3, 4], &board()), 3);
+        assert_eq!(adv.pick(&[1, 2, 4], &board()), 1);
+        assert_eq!(adv.pick(&[2, 4], &board()), 4);
+        assert_eq!(adv.pick(&[2], &board()), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn priority_rejects_duplicates() {
+        PriorityAdversary::new(&[1, 1, 2]);
+    }
+
+    #[test]
+    fn random_priority_is_permutation() {
+        let adv = PriorityAdversary::random(6, 7);
+        let mut seen: Vec<u32> = adv.rank[1..].to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

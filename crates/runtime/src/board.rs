@@ -1,0 +1,122 @@
+//! The shared whiteboard: an append-only sequence of bit-string messages.
+
+use wb_graph::NodeId;
+use wb_math::BitVec;
+
+/// One written message. The `writer` field is engine metadata used by the
+/// invariant checker and by adversaries (which are omniscient); protocols read
+/// IDs from the message *bits* themselves, as in the paper where every message
+/// starts with `ID(v)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Engine metadata: who wrote this message.
+    pub writer: NodeId,
+    /// The message bits.
+    pub msg: BitVec,
+}
+
+/// The whiteboard state `W`: the messages written so far, in write order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Whiteboard {
+    entries: Vec<Entry>,
+}
+
+impl Whiteboard {
+    /// The empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Messages written so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the board is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in write order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// The `i`-th entry.
+    pub fn entry(&self, i: usize) -> &Entry {
+        &self.entries[i]
+    }
+
+    /// Assemble a board from `(writer, message)` pairs.
+    ///
+    /// This is **not** part of the node-facing model — it exists so that
+    /// reductions (Theorems 3, 6, 8) can synthesize the whiteboard a simulated
+    /// protocol *would* have produced and feed it to that protocol's output
+    /// function.
+    pub fn from_messages(entries: impl IntoIterator<Item = (NodeId, BitVec)>) -> Self {
+        Whiteboard {
+            entries: entries.into_iter().map(|(writer, msg)| Entry { writer, msg }).collect(),
+        }
+    }
+
+    /// Append a message (engine use).
+    pub(crate) fn push(&mut self, writer: NodeId, msg: BitVec) {
+        self.entries.push(Entry { writer, msg });
+    }
+
+    /// Total bits on the board — the quantity Lemma 3 bounds by `n·f(n)`.
+    pub fn total_bits(&self) -> usize {
+        self.entries.iter().map(|e| e.msg.len()).sum()
+    }
+
+    /// Largest single message in bits.
+    pub fn max_message_bits(&self) -> usize {
+        self.entries.iter().map(|e| e.msg.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_math::BitWriter;
+
+    fn msg(bits: u64, width: u32) -> BitVec {
+        let mut w = BitWriter::new();
+        w.write_bits(bits, width);
+        w.finish()
+    }
+
+    #[test]
+    fn board_accumulates_in_order() {
+        let mut b = Whiteboard::new();
+        assert!(b.is_empty());
+        b.push(3, msg(5, 4));
+        b.push(1, msg(2, 8));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.entry(0).writer, 3);
+        assert_eq!(b.entry(1).writer, 1);
+        assert_eq!(b.total_bits(), 12);
+        assert_eq!(b.max_message_bits(), 8);
+    }
+
+    #[test]
+    fn empty_board_stats() {
+        let b = Whiteboard::new();
+        assert_eq!(b.total_bits(), 0);
+        assert_eq!(b.max_message_bits(), 0);
+    }
+
+    #[test]
+    fn from_messages_builds_simulation_boards() {
+        let b = Whiteboard::from_messages(vec![(2, msg(1, 3)), (7, msg(0, 5))]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.entry(0).writer, 2);
+        assert_eq!(b.entry(1).writer, 7);
+        assert_eq!(b.entry(1).msg.len(), 5);
+        // Equal content compares equal regardless of construction path.
+        let mut manual = Whiteboard::new();
+        manual.push(2, msg(1, 3));
+        manual.push(7, msg(0, 5));
+        assert_eq!(b, manual);
+    }
+}

@@ -1,0 +1,651 @@
+//! The round loop of the whiteboard machine.
+//!
+//! Each round: (1) every awake node may become active (free models poll
+//! `wants_to_activate`; simultaneous models activated everyone up front); in
+//! asynchronous models the node's message is frozen at this moment; (2) the
+//! adversary picks one active node; (3) its message — frozen, or composed now
+//! in synchronous models — is appended to the board and the node terminates;
+//! (4) surviving nodes observe the new entry.
+//!
+//! Differences from the paper's letter, none observable: the paper has a
+//! written node terminate one round *after* its message appears; since a
+//! written node can never be picked again ("no message of node v_j appears on
+//! W" is required for writing) nor act on anything, we terminate it
+//! immediately. Round indices shift by one; the set of reachable boards,
+//! outputs and deadlocks is identical.
+
+use crate::adversary::Adversary;
+use crate::board::Whiteboard;
+use crate::model::Model;
+use crate::protocol::{LocalView, Node, Protocol};
+use wb_graph::{Graph, NodeId};
+use wb_math::BitVec;
+
+/// Terminal result of an execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome<O> {
+    /// All nodes terminated; the output function was applied to the final
+    /// board (a *successful configuration*).
+    Success(O),
+    /// No node is active but some never wrote (a *corrupted configuration* /
+    /// deadlock).
+    Deadlock {
+        /// Nodes still awake when the system stalled.
+        awake: Vec<NodeId>,
+    },
+}
+
+impl<O> Outcome<O> {
+    /// The success value, panicking on deadlock.
+    pub fn unwrap(self) -> O {
+        match self {
+            Outcome::Success(o) => o,
+            Outcome::Deadlock { awake } => panic!("deadlock with awake nodes {awake:?}"),
+        }
+    }
+
+    /// Whether the run reached a successful configuration.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success(_))
+    }
+}
+
+/// Full record of one execution.
+#[derive(Clone, Debug)]
+pub struct RunReport<O> {
+    /// Success with output, or deadlock.
+    pub outcome: Outcome<O>,
+    /// Writers in write order (length = number of rounds executed).
+    pub write_order: Vec<NodeId>,
+    /// The final whiteboard (message-size ledger included).
+    pub board: Whiteboard,
+}
+
+impl<O> RunReport<O> {
+    /// Largest message written, in bits.
+    pub fn max_message_bits(&self) -> usize {
+        self.board.max_message_bits()
+    }
+
+    /// Total bits on the final board.
+    pub fn total_bits(&self) -> usize {
+        self.board.total_bits()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Awake,
+    Active,
+    Terminated,
+}
+
+/// The stepwise machine. Most callers use [`run`]; the exhaustive executor
+/// drives `Engine` directly, cloning it at branch points.
+pub struct Engine<'a, P: Protocol> {
+    protocol: &'a P,
+    model: Model,
+    budget: u32,
+    views: Vec<LocalView>,
+    nodes: Vec<P::Node>,
+    status: Vec<Status>,
+    frozen: Vec<Option<BitVec>>,
+    board: Whiteboard,
+    write_order: Vec<NodeId>,
+}
+
+impl<'a, P: Protocol> Clone for Engine<'a, P> {
+    fn clone(&self) -> Self {
+        Engine {
+            protocol: self.protocol,
+            model: self.model,
+            budget: self.budget,
+            views: self.views.clone(),
+            nodes: self.nodes.clone(),
+            status: self.status.clone(),
+            frozen: self.frozen.clone(),
+            board: self.board.clone(),
+            write_order: self.write_order.clone(),
+        }
+    }
+}
+
+impl<'a, P: Protocol> Engine<'a, P> {
+    /// Initialize the machine on `g`: spawn one node per vertex; in
+    /// simultaneous models activate everyone (freezing messages in
+    /// `SIMASYNC`, where `compose` precedes every observation).
+    pub fn new(protocol: &'a P, g: &Graph) -> Self {
+        let n = g.n();
+        assert!(n >= 1, "whiteboard protocols need at least one node");
+        let model = protocol.model();
+        let views = LocalView::all_of(g);
+        let mut nodes: Vec<P::Node> = views.iter().map(|v| protocol.spawn(v)).collect();
+        let mut frozen: Vec<Option<BitVec>> = vec![None; n];
+        let status = if model.is_simultaneous() {
+            if model.is_asynchronous() {
+                for (i, node) in nodes.iter_mut().enumerate() {
+                    frozen[i] = Some(node.compose(&views[i]));
+                }
+            }
+            vec![Status::Active; n]
+        } else {
+            vec![Status::Awake; n]
+        };
+        Engine {
+            protocol,
+            model,
+            budget: protocol.budget_bits(n),
+            views,
+            nodes,
+            status,
+            frozen,
+            board: Whiteboard::new(),
+            write_order: Vec::with_capacity(n),
+        }
+    }
+
+    /// Poll all awake nodes' activation predicates (free models). Must be
+    /// called once per round, before [`Self::active_set`]/[`Self::step`].
+    pub fn activation_phase(&mut self) {
+        if self.model.is_simultaneous() {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            if self.status[i] == Status::Awake && self.nodes[i].wants_to_activate(&self.views[i]) {
+                self.status[i] = Status::Active;
+                if self.model.is_asynchronous() {
+                    // "nodes create their final messages as soon as they
+                    // become active" — freeze now.
+                    self.frozen[i] = Some(self.nodes[i].compose(&self.views[i]));
+                }
+            }
+        }
+    }
+
+    /// Currently active node IDs, ascending.
+    pub fn active_set(&self) -> Vec<NodeId> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Active)
+            .map(|(i, _)| i as NodeId + 1)
+            .collect()
+    }
+
+    /// The board so far.
+    pub fn board(&self) -> &Whiteboard {
+        &self.board
+    }
+
+    /// Execute one write: `pick` (which must be active) writes its message,
+    /// terminates, and all surviving nodes observe the new entry.
+    pub fn step(&mut self, pick: NodeId) {
+        let i = pick as usize - 1;
+        assert_eq!(self.status[i], Status::Active, "adversary picked non-active node {pick}");
+        let msg = if self.model.is_asynchronous() {
+            self.frozen[i].take().expect("asynchronous node has no frozen message")
+        } else {
+            self.nodes[i].compose(&self.views[i])
+        };
+        assert!(
+            !msg.is_empty(),
+            "node {pick} produced the empty word; a write must change the board"
+        );
+        assert!(
+            msg.len() <= self.budget as usize,
+            "node {pick} wrote {} bits, exceeding the declared budget of {} bits",
+            msg.len(),
+            self.budget
+        );
+        self.status[i] = Status::Terminated;
+        self.board.push(pick, msg);
+        self.write_order.push(pick);
+        let seq = self.board.len() - 1;
+        let entry_msg = self.board.entry(seq).msg.clone();
+        for j in 0..self.nodes.len() {
+            match self.status[j] {
+                Status::Terminated => {}
+                // An active asynchronous node's message is frozen; later
+                // observations cannot influence it, so skip delivery.
+                Status::Active if self.model.is_asynchronous() => {}
+                _ => self.nodes[j].observe(&self.views[j], seq, pick, &entry_msg),
+            }
+        }
+    }
+
+    /// Whether every node has terminated.
+    pub fn is_complete(&self) -> bool {
+        self.status.iter().all(|s| *s == Status::Terminated)
+    }
+
+    /// Consume the engine into a report (call when the active set is empty).
+    pub fn finish(self) -> RunReport<P::Output> {
+        let outcome = if self.is_complete() {
+            Outcome::Success(self.protocol.output(self.views.len(), &self.board))
+        } else {
+            Outcome::Deadlock {
+                awake: self
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s != Status::Terminated)
+                    .map(|(i, _)| i as NodeId + 1)
+                    .collect(),
+            }
+        };
+        RunReport { outcome, write_order: self.write_order, board: self.board }
+    }
+}
+
+/// Run `protocol` on `g` to completion under `adversary`.
+pub fn run<P: Protocol, A: Adversary + ?Sized>(
+    protocol: &P,
+    g: &Graph,
+    adversary: &mut A,
+) -> RunReport<P::Output> {
+    let mut engine = Engine::new(protocol, g);
+    loop {
+        engine.activation_phase();
+        let active = engine.active_set();
+        if active.is_empty() {
+            return engine.finish();
+        }
+        let pick = adversary.pick(&active, engine.board());
+        engine.step(pick);
+    }
+}
+
+/// One round of an execution timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRow {
+    /// Round number (1-based; one write per round).
+    pub round: usize,
+    /// How many nodes were active when the adversary chose.
+    pub active_before: usize,
+    /// The node whose message was written.
+    pub writer: NodeId,
+    /// That message's length in bits.
+    pub message_bits: usize,
+}
+
+/// Like [`run`], additionally recording a per-round timeline — useful for the
+/// CLI, the examples, and for inspecting certificate-driven activation waves
+/// (e.g. BFS layers opening all at once).
+pub fn run_traced<P: Protocol, A: Adversary + ?Sized>(
+    protocol: &P,
+    g: &Graph,
+    adversary: &mut A,
+) -> (RunReport<P::Output>, Vec<TraceRow>) {
+    let mut engine = Engine::new(protocol, g);
+    let mut trace = Vec::with_capacity(g.n());
+    loop {
+        engine.activation_phase();
+        let active = engine.active_set();
+        if active.is_empty() {
+            return (engine.finish(), trace);
+        }
+        let pick = adversary.pick(&active, engine.board());
+        engine.step(pick);
+        trace.push(TraceRow {
+            round: trace.len() + 1,
+            active_before: active.len(),
+            writer: pick,
+            message_bits: engine.board().entry(engine.board().len() - 1).msg.len(),
+        });
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod toys {
+    //! Tiny protocols exercising each model's semantics; shared with the
+    //! adapter and exhaustive tests.
+    use super::*;
+    use wb_math::{id_bits, BitReader, BitWriter};
+
+    /// SIMASYNC: everyone writes its ID; output = sorted IDs from the board.
+    pub struct EchoId;
+
+    #[derive(Clone)]
+    pub struct EchoNode {
+        id: NodeId,
+    }
+
+    impl Node for EchoNode {
+        fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {
+            // SIMASYNC nodes never observe; reaching here under promotion is
+            // fine because compose was cached at spawn.
+        }
+        fn compose(&mut self, view: &LocalView) -> BitVec {
+            let mut w = BitWriter::new();
+            w.write_bits(self.id as u64, id_bits(view.n));
+            w.finish()
+        }
+    }
+
+    impl Protocol for EchoId {
+        type Node = EchoNode;
+        type Output = Vec<NodeId>;
+        fn model(&self) -> Model {
+            Model::SimAsync
+        }
+        fn budget_bits(&self, n: usize) -> u32 {
+            id_bits(n)
+        }
+        fn spawn(&self, view: &LocalView) -> EchoNode {
+            EchoNode { id: view.id }
+        }
+        fn output(&self, n: usize, board: &Whiteboard) -> Vec<NodeId> {
+            let mut ids: Vec<NodeId> = board
+                .entries()
+                .iter()
+                .map(|e| BitReader::new(&e.msg).read_bits(id_bits(n)) as NodeId)
+                .collect();
+            ids.sort_unstable();
+            ids
+        }
+    }
+
+    /// SIMSYNC: message = (id, number of messages observed so far). Output:
+    /// `(id, rank)` pairs in write order.
+    pub struct SeenCount;
+
+    #[derive(Clone, Default)]
+    pub struct SeenNode {
+        id: NodeId,
+        seen: u64,
+    }
+
+    impl Node for SeenNode {
+        fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {
+            self.seen += 1;
+        }
+        fn compose(&mut self, view: &LocalView) -> BitVec {
+            let mut w = BitWriter::new();
+            w.write_bits(self.id as u64, id_bits(view.n));
+            w.write_bits(self.seen, id_bits(view.n) + 1);
+            w.finish()
+        }
+    }
+
+    impl Protocol for SeenCount {
+        type Node = SeenNode;
+        type Output = Vec<(NodeId, u64)>;
+        fn model(&self) -> Model {
+            Model::SimSync
+        }
+        fn budget_bits(&self, n: usize) -> u32 {
+            2 * id_bits(n) + 1
+        }
+        fn spawn(&self, view: &LocalView) -> SeenNode {
+            SeenNode { id: view.id, seen: 0 }
+        }
+        fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
+            board
+                .entries()
+                .iter()
+                .map(|e| {
+                    let mut r = BitReader::new(&e.msg);
+                    let id = r.read_bits(id_bits(n)) as NodeId;
+                    let seen = r.read_bits(id_bits(n) + 1);
+                    (id, seen)
+                })
+                .collect()
+        }
+    }
+
+    /// Same message function as [`SeenCount`] but declared ASYNC with
+    /// immediate activation: everyone freezes `seen = 0` in round 1. The
+    /// contrast with `SeenCount` is exactly the SIMSYNC/ASYNC semantic split.
+    pub struct FrozenSeenCount;
+
+    impl Protocol for FrozenSeenCount {
+        type Node = SeenNode;
+        type Output = Vec<(NodeId, u64)>;
+        fn model(&self) -> Model {
+            Model::Async
+        }
+        fn budget_bits(&self, n: usize) -> u32 {
+            2 * id_bits(n) + 1
+        }
+        fn spawn(&self, view: &LocalView) -> SeenNode {
+            SeenNode { id: view.id, seen: 0 }
+        }
+        fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
+            SeenCount.output(n, board)
+        }
+    }
+
+    /// SYNC, free: node `v_i` activates once `i−1` messages are on the board,
+    /// forcing the write order `v_1, …, v_n` against any adversary.
+    pub struct Chain;
+
+    #[derive(Clone)]
+    pub struct ChainNode {
+        id: NodeId,
+        seen: usize,
+    }
+
+    impl Node for ChainNode {
+        fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {
+            self.seen += 1;
+        }
+        fn wants_to_activate(&mut self, _view: &LocalView) -> bool {
+            self.seen == self.id as usize - 1
+        }
+        fn compose(&mut self, view: &LocalView) -> BitVec {
+            let mut w = BitWriter::new();
+            w.write_bits(self.id as u64, id_bits(view.n));
+            w.finish()
+        }
+    }
+
+    impl Protocol for Chain {
+        type Node = ChainNode;
+        type Output = Vec<NodeId>;
+        fn model(&self) -> Model {
+            Model::Sync
+        }
+        fn budget_bits(&self, n: usize) -> u32 {
+            id_bits(n)
+        }
+        fn spawn(&self, view: &LocalView) -> ChainNode {
+            ChainNode { id: view.id, seen: 0 }
+        }
+        fn output(&self, n: usize, board: &Whiteboard) -> Vec<NodeId> {
+            board
+                .entries()
+                .iter()
+                .map(|e| BitReader::new(&e.msg).read_bits(id_bits(n)) as NodeId)
+                .collect()
+        }
+    }
+
+    /// Free protocol whose nodes never activate: guaranteed deadlock.
+    pub struct NeverActivate;
+
+    #[derive(Clone)]
+    pub struct InertNode;
+
+    impl Node for InertNode {
+        fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {}
+        fn wants_to_activate(&mut self, _view: &LocalView) -> bool {
+            false
+        }
+        fn compose(&mut self, _view: &LocalView) -> BitVec {
+            unreachable!("never active")
+        }
+    }
+
+    impl Protocol for NeverActivate {
+        type Node = InertNode;
+        type Output = ();
+        fn model(&self) -> Model {
+            Model::Sync
+        }
+        fn budget_bits(&self, _n: usize) -> u32 {
+            1
+        }
+        fn spawn(&self, _view: &LocalView) -> InertNode {
+            InertNode
+        }
+        fn output(&self, _n: usize, _board: &Whiteboard) {}
+    }
+
+    /// Declares a 1-bit budget but writes 5 bits: must trip the engine.
+    pub struct BudgetBuster;
+
+    #[derive(Clone)]
+    pub struct BustNode;
+
+    impl Node for BustNode {
+        fn observe(&mut self, _v: &LocalView, _s: usize, _w: NodeId, _m: &BitVec) {}
+        fn compose(&mut self, _view: &LocalView) -> BitVec {
+            let mut w = BitWriter::new();
+            w.write_bits(0b10110, 5);
+            w.finish()
+        }
+    }
+
+    impl Protocol for BudgetBuster {
+        type Node = BustNode;
+        type Output = ();
+        fn model(&self) -> Model {
+            Model::SimAsync
+        }
+        fn budget_bits(&self, _n: usize) -> u32 {
+            1
+        }
+        fn spawn(&self, _view: &LocalView) -> BustNode {
+            BustNode
+        }
+        fn output(&self, _n: usize, _board: &Whiteboard) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::toys::*;
+    use super::*;
+    use crate::adversary::{MaxIdAdversary, MinIdAdversary, PriorityAdversary, RandomAdversary};
+    use wb_graph::generators;
+
+    fn path(n: usize) -> Graph {
+        generators::path(n)
+    }
+
+    #[test]
+    fn echo_succeeds_under_any_adversary() {
+        let g = path(5);
+        for report in [
+            run(&EchoId, &g, &mut MinIdAdversary),
+            run(&EchoId, &g, &mut MaxIdAdversary),
+            run(&EchoId, &g, &mut RandomAdversary::new(1)),
+            run(&EchoId, &g, &mut PriorityAdversary::random(5, 9)),
+        ] {
+            assert_eq!(report.outcome, Outcome::Success(vec![1, 2, 3, 4, 5]));
+            assert_eq!(report.write_order.len(), 5);
+            assert_eq!(report.max_message_bits(), 3);
+            assert_eq!(report.total_bits(), 15);
+        }
+    }
+
+    #[test]
+    fn simsync_sees_growing_board() {
+        let g = path(4);
+        let report = run(&SeenCount, &g, &mut MinIdAdversary);
+        let out = report.outcome.unwrap();
+        // Under min-ID: nodes 1,2,3,4 write in order, observing 0,1,2,3 prior
+        // messages respectively.
+        assert_eq!(out, vec![(1, 0), (2, 1), (3, 2), (4, 3)]);
+    }
+
+    #[test]
+    fn async_freezes_at_activation() {
+        let g = path(4);
+        let report = run(&FrozenSeenCount, &g, &mut MinIdAdversary);
+        let out = report.outcome.unwrap();
+        // Everyone activated on the empty board: all frozen with seen = 0.
+        assert_eq!(out, vec![(1, 0), (2, 0), (3, 0), (4, 0)]);
+    }
+
+    #[test]
+    fn chain_forces_write_order_against_all_adversaries() {
+        let g = path(6);
+        for report in [
+            run(&Chain, &g, &mut MinIdAdversary),
+            run(&Chain, &g, &mut MaxIdAdversary),
+            run(&Chain, &g, &mut RandomAdversary::new(7)),
+            run(&Chain, &g, &mut PriorityAdversary::new(&[6, 5, 4, 3, 2, 1])),
+        ] {
+            assert_eq!(report.write_order, vec![1, 2, 3, 4, 5, 6]);
+            assert_eq!(report.outcome, Outcome::Success(vec![1, 2, 3, 4, 5, 6]));
+        }
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_awake_set() {
+        let g = path(3);
+        let report = run(&NeverActivate, &g, &mut MinIdAdversary);
+        assert_eq!(report.outcome, Outcome::Deadlock { awake: vec![1, 2, 3] });
+        assert!(report.write_order.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding the declared budget")]
+    fn budget_violation_panics() {
+        run(&BudgetBuster, &path(2), &mut MinIdAdversary);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_graph_rejected() {
+        Engine::new(&EchoId, &Graph::empty(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-active")]
+    fn stepping_non_active_node_panics() {
+        let g = path(3);
+        let mut engine = Engine::new(&Chain, &g);
+        engine.activation_phase();
+        engine.step(3); // only node 1 is active
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        let g = path(5);
+        let plain = run(&SeenCount, &g, &mut MinIdAdversary);
+        let (traced, trace) = run_traced(&SeenCount, &g, &mut MinIdAdversary);
+        assert_eq!(plain.write_order, traced.write_order);
+        assert_eq!(trace.len(), 5);
+        for (i, row) in trace.iter().enumerate() {
+            assert_eq!(row.round, i + 1);
+            assert_eq!(row.writer, traced.write_order[i]);
+            // SIMSYNC: actives shrink by one per round.
+            assert_eq!(row.active_before, 5 - i);
+            assert!(row.message_bits > 0);
+        }
+    }
+
+    #[test]
+    fn traced_chain_has_singleton_active_sets() {
+        let g = path(4);
+        let (_, trace) = run_traced(&Chain, &g, &mut MaxIdAdversary);
+        assert!(trace.iter().all(|r| r.active_before == 1));
+    }
+
+    #[test]
+    fn single_node_graph_runs() {
+        let g = Graph::empty(1);
+        let report = run(&EchoId, &g, &mut MinIdAdversary);
+        assert_eq!(report.outcome, Outcome::Success(vec![1]));
+    }
+
+    #[test]
+    fn outcome_unwrap_panics_on_deadlock() {
+        let outcome: Outcome<()> = Outcome::Deadlock { awake: vec![2] };
+        assert!(!outcome.is_success());
+        let r = std::panic::catch_unwind(|| outcome.unwrap());
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Model checking: run a protocol under **every** adversary choice sequence.
+//!
+//! The paper's positive results are universally quantified over adversaries
+//! ("no matter the order chosen by the adversary"). For small instances the
+//! quantifier is finite: at each round the adversary picks one of the active
+//! nodes, so the choice tree has at most `n!` leaves. This module walks that
+//! tree exhaustively (depth-first, cloning the engine at branch points) and
+//! hands every leaf's [`RunReport`] to a callback.
+
+use crate::engine::{Engine, RunReport};
+use crate::protocol::Protocol;
+use wb_graph::Graph;
+
+/// Walk every schedule of `protocol` on `g`, calling `visit` with each leaf
+/// report. Returns the number of schedules explored.
+///
+/// Panics if more than `max_schedules` leaves would be produced — an
+/// incomplete exhaustive check must never masquerade as a complete one.
+pub fn for_each_schedule<P, F>(protocol: &P, g: &Graph, max_schedules: u64, mut visit: F) -> u64
+where
+    P: Protocol,
+    F: FnMut(&RunReport<P::Output>),
+{
+    let mut count = 0u64;
+    let mut engine = Engine::new(protocol, g);
+    engine.activation_phase();
+    dfs(engine, max_schedules, &mut count, &mut visit);
+    count
+}
+
+fn dfs<P, F>(engine: Engine<'_, P>, cap: u64, count: &mut u64, visit: &mut F)
+where
+    P: Protocol,
+    F: FnMut(&RunReport<P::Output>),
+{
+    let active = engine.active_set();
+    if active.is_empty() {
+        *count += 1;
+        assert!(
+            *count <= cap,
+            "exhaustive schedule exploration exceeded the cap of {cap}; \
+             shrink the instance or raise the cap"
+        );
+        visit(&engine.finish());
+        return;
+    }
+    for &pick in &active {
+        let mut branch = engine.clone();
+        branch.step(pick);
+        branch.activation_phase();
+        dfs(branch, cap, count, visit);
+    }
+}
+
+/// Assert `pred` on the output of **every** schedule; panics with the failing
+/// write order otherwise (deadlocks always fail — protocols whose spec allows
+/// deadlock should use [`find_failing_schedule`] instead). Returns the number
+/// of schedules checked.
+pub fn assert_all_schedules<P, F>(protocol: &P, g: &Graph, max_schedules: u64, mut pred: F) -> u64
+where
+    P: Protocol,
+    F: FnMut(&P::Output) -> bool,
+{
+    for_each_schedule(protocol, g, max_schedules, |report| match &report.outcome {
+        crate::engine::Outcome::Success(out) => {
+            assert!(
+                pred(out),
+                "predicate failed for write order {:?} on {:?}",
+                report.write_order,
+                g
+            );
+        }
+        crate::engine::Outcome::Deadlock { awake } => {
+            panic!(
+                "deadlock (awake {:?}) under write order {:?} on {:?}",
+                awake, report.write_order, g
+            );
+        }
+    })
+}
+
+/// Search for a schedule whose outcome violates `pred` (deadlocks count as
+/// violations). Returns the adversary's write order as a counterexample, or
+/// `None` if all schedules (up to `max_schedules`) satisfy the predicate.
+///
+/// This is the "attack" direction of model checking: where
+/// [`assert_all_schedules`] certifies a positive theorem,
+/// `find_failing_schedule` *exhibits* the bad run behind a negative one
+/// (e.g. the adversary defeating a protocol run outside its model).
+pub fn find_failing_schedule<P, F>(
+    protocol: &P,
+    g: &Graph,
+    max_schedules: u64,
+    mut pred: F,
+) -> Option<Vec<wb_graph::NodeId>>
+where
+    P: Protocol,
+    F: FnMut(&crate::engine::Outcome<P::Output>) -> bool,
+{
+    let mut found = None;
+    for_each_schedule(protocol, g, max_schedules, |report| {
+        if found.is_none() && !pred(&report.outcome) {
+            found = Some(report.write_order.clone());
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::toys::*;
+    use crate::engine::Outcome;
+    use wb_graph::generators;
+
+    #[test]
+    fn echo_explores_factorially_many_schedules() {
+        let g = generators::path(4);
+        let mut orders = std::collections::HashSet::new();
+        let count = for_each_schedule(&EchoId, &g, 100, |report| {
+            assert_eq!(report.outcome, Outcome::Success(vec![1, 2, 3, 4]));
+            orders.insert(report.write_order.clone());
+        });
+        assert_eq!(count, 24);
+        assert_eq!(orders.len(), 24, "all 4! write orders distinct");
+    }
+
+    #[test]
+    fn chain_has_single_schedule() {
+        let g = generators::path(5);
+        let count = for_each_schedule(&Chain, &g, 100, |report| {
+            assert_eq!(report.write_order, vec![1, 2, 3, 4, 5]);
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn simsync_outputs_depend_on_schedule() {
+        let g = generators::path(3);
+        let mut outputs = std::collections::HashSet::new();
+        for_each_schedule(&SeenCount, &g, 100, |report| match &report.outcome {
+            Outcome::Success(out) => {
+                outputs.insert(out.clone());
+            }
+            _ => panic!("unexpected deadlock"),
+        });
+        // Ranks are always 0,1,2 but the id sequence varies: 6 outputs.
+        assert_eq!(outputs.len(), 6);
+        for out in &outputs {
+            assert_eq!(out.iter().map(|&(_, s)| s).collect::<Vec<_>>(), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn assert_all_schedules_counts() {
+        let g = generators::path(3);
+        let count = assert_all_schedules(&EchoId, &g, 100, |out| out == &vec![1, 2, 3]);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn assert_all_schedules_flags_deadlock() {
+        assert_all_schedules(&NeverActivate, &generators::path(2), 10, |_| true);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded the cap")]
+    fn cap_is_enforced() {
+        for_each_schedule(&EchoId, &generators::path(5), 10, |_| {});
+    }
+
+    #[test]
+    fn find_failing_schedule_returns_none_for_correct_protocols() {
+        let g = generators::path(3);
+        let found = find_failing_schedule(&EchoId, &g, 100, |o| match o {
+            Outcome::Success(ids) => ids == &vec![1, 2, 3],
+            _ => false,
+        });
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn find_failing_schedule_exhibits_deadlocks() {
+        let g = generators::path(2);
+        let found =
+            find_failing_schedule(&NeverActivate, &g, 100, |o| matches!(o, Outcome::Success(())));
+        assert_eq!(found, Some(vec![]), "deadlock happens before any write");
+    }
+
+    #[test]
+    fn find_failing_schedule_pinpoints_order_dependent_outputs() {
+        // SeenCount's output depends on the order: ask for the min-ID
+        // transcript and get a counterexample order back otherwise.
+        let g = generators::path(3);
+        let found = find_failing_schedule(&SeenCount, &g, 100, |o| match o {
+            Outcome::Success(rows) => rows.iter().map(|&(id, _)| id).eq(1..=3),
+            _ => false,
+        });
+        let order = found.expect("non-identity orders exist");
+        assert_ne!(order, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Execution engine for the four shared-whiteboard models of Becker et al.
+//!
+//! The paper (§2) defines a machine in which each node of a labeled graph
+//! writes **exactly one** bounded-size message on a shared whiteboard, under an
+//! adversarial scheduler, with four synchronization disciplines:
+//!
+//! | | frozen at activation | composed at write time |
+//! |---|---|---|
+//! | simultaneous | `SIMASYNC` | `SIMSYNC` |
+//! | free | `ASYNC` | `SYNC` |
+//!
+//! This crate is that machine:
+//!
+//! - [`protocol`] — the [`Protocol`]/[`Node`] traits (what a protocol author
+//!   implements) and the [`LocalView`] a node is allowed to see;
+//! - [`board`] — the whiteboard: an append-only sequence of bit-string
+//!   messages;
+//! - [`model`] — the four models and their capability lattice;
+//! - [`engine`] — the round loop: activation phase, adversarial pick, write,
+//!   observation; bit-budget enforcement; deadlock (corrupted-configuration)
+//!   detection; execution reports;
+//! - [`adversary`] — schedulers: min/max-ID, seeded-random, priority
+//!   permutations;
+//! - [`exhaustive`] — model checking: runs a protocol under *every* adversary
+//!   choice sequence (the paper's ∀-adversary quantifier, made executable for
+//!   small instances);
+//! - [`adapt`] — the Lemma 4 inclusions as executable wrappers: any protocol of
+//!   a weaker model runs unchanged (same outputs) in every stronger model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod adversary;
+pub mod board;
+pub mod engine;
+pub mod exhaustive;
+pub mod model;
+pub mod protocol;
+
+pub use adversary::{
+    Adversary, FnAdversary, MaxIdAdversary, MinIdAdversary, PriorityAdversary, RandomAdversary,
+};
+pub use board::{Entry, Whiteboard};
+pub use engine::{run, run_traced, Engine, Outcome, RunReport, TraceRow};
+pub use model::Model;
+pub use protocol::{LocalView, Node, Protocol};

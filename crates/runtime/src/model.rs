@@ -1,0 +1,96 @@
+//! The four computation models and their lattice (paper Table 1 / Theorem 4).
+
+use std::fmt;
+
+/// One of the four shared-whiteboard models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Model {
+    /// Simultaneous + asynchronous: every node composes its message from its
+    /// local view only, before observing anything. Equivalent to a one-shot
+    /// "simultaneous messages" protocol.
+    SimAsync,
+    /// Simultaneous + synchronous: all nodes are active from the first round;
+    /// the message is composed at write time and may depend on the board.
+    SimSync,
+    /// Free + asynchronous: nodes choose when to activate; the message is
+    /// frozen at activation and written (possibly much) later.
+    Async,
+    /// Free + synchronous: nodes choose when to activate and compose their
+    /// message at write time.
+    Sync,
+}
+
+impl Model {
+    /// All four models, weakest first.
+    pub const ALL: [Model; 4] = [Model::SimAsync, Model::SimSync, Model::Async, Model::Sync];
+
+    /// Whether all nodes are active from the first round.
+    pub fn is_simultaneous(self) -> bool {
+        matches!(self, Model::SimAsync | Model::SimSync)
+    }
+
+    /// Whether messages are frozen at activation time.
+    pub fn is_asynchronous(self) -> bool {
+        matches!(self, Model::SimAsync | Model::Async)
+    }
+
+    /// The ⊆ relation of Lemma 4:
+    /// `SIMASYNC ⊆ SIMSYNC ⊆ ASYNC ⊆ SYNC` (a chain in this formulation —
+    /// the paper proves `SIMSYNC ⊆ ASYNC` via sequential activation).
+    pub fn includes(self, weaker: Model) -> bool {
+        weaker.rank() <= self.rank()
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Model::SimAsync => 0,
+            Model::SimSync => 1,
+            Model::Async => 2,
+            Model::Sync => 3,
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Model::SimAsync => "SIMASYNC",
+            Model::SimSync => "SIMSYNC",
+            Model::Async => "ASYNC",
+            Model::Sync => "SYNC",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_chain() {
+        assert!(Model::Sync.includes(Model::Async));
+        assert!(Model::Async.includes(Model::SimSync));
+        assert!(Model::SimSync.includes(Model::SimAsync));
+        assert!(Model::Sync.includes(Model::SimAsync));
+        assert!(!Model::SimAsync.includes(Model::SimSync));
+        assert!(!Model::Async.includes(Model::Sync));
+        for m in Model::ALL {
+            assert!(m.includes(m));
+        }
+    }
+
+    #[test]
+    fn quadrant_flags() {
+        assert!(Model::SimAsync.is_simultaneous() && Model::SimAsync.is_asynchronous());
+        assert!(Model::SimSync.is_simultaneous() && !Model::SimSync.is_asynchronous());
+        assert!(!Model::Async.is_simultaneous() && Model::Async.is_asynchronous());
+        assert!(!Model::Sync.is_simultaneous() && !Model::Sync.is_asynchronous());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Model::SimAsync.to_string(), "SIMASYNC");
+        assert_eq!(Model::Sync.to_string(), "SYNC");
+    }
+}

@@ -1,0 +1,136 @@
+//! The protocol author's interface.
+//!
+//! A protocol is a family of per-node state machines plus an output function
+//! computed from the final whiteboard. The paper's `act`/`msg` are pure
+//! functions of `(v, N(v), W, state, memory)`; our [`Node`] is the memoized
+//! form — `observe` feeds board entries one at a time, and the node's state
+//! must remain a deterministic function of (local view, observed prefix).
+//! The engine drives these callbacks with model-specific timing, so a node
+//! written for `SIMASYNC` literally never observes anything before composing.
+
+use crate::board::Whiteboard;
+use crate::model::Model;
+use wb_graph::{Graph, NodeId};
+use wb_math::BitVec;
+
+/// Everything a node knows at start-up (paper §2): its identifier, the total
+/// number of nodes `n`, and the identifiers of its neighbors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalView {
+    /// This node's identifier (`1..=n`).
+    pub id: NodeId,
+    /// Total number of nodes.
+    pub n: usize,
+    /// Sorted neighbor identifiers.
+    pub neighbors: Vec<NodeId>,
+}
+
+impl LocalView {
+    /// Build the views for every node of `g`.
+    pub fn all_of(g: &Graph) -> Vec<LocalView> {
+        g.nodes()
+            .map(|id| LocalView { id, n: g.n(), neighbors: g.neighbors(id).to_vec() })
+            .collect()
+    }
+
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether `other` is a neighbor.
+    pub fn is_neighbor(&self, other: NodeId) -> bool {
+        self.neighbors.binary_search(&other).is_ok()
+    }
+}
+
+/// The per-node state machine.
+///
+/// Call discipline (enforced by the engine, per model):
+///
+/// 1. `observe(seq, writer, msg)` is invoked once for every board entry, in
+///    write order, on every node that has not yet terminated — *except* that a
+///    `SIMASYNC` node's `compose` precedes all observations.
+/// 2. `wants_to_activate` is polled each round while the node is awake (free
+///    models only; simultaneous models activate everyone in round 1). Once it
+///    returns `true` the node is active forever.
+/// 3. `compose` is called exactly once: at activation (asynchronous models) or
+///    at write time (synchronous models).
+pub trait Node: Clone {
+    /// Digest one new board entry. `writer` is engine metadata exposed for
+    /// convenience; faithful protocols encode the ID in the message bits and
+    /// may ignore it.
+    fn observe(&mut self, view: &LocalView, seq: usize, writer: NodeId, msg: &BitVec);
+
+    /// Awake → active decision. Free-model protocols override this; the
+    /// default (`true`) makes the node behave simultaneously.
+    fn wants_to_activate(&mut self, _view: &LocalView) -> bool {
+        true
+    }
+
+    /// Produce this node's single message.
+    fn compose(&mut self, view: &LocalView) -> BitVec;
+}
+
+/// A whiteboard protocol: node factory, model declaration, bit budget and the
+/// output function.
+pub trait Protocol {
+    /// The per-node state machine type.
+    type Node: Node;
+    /// The problem's answer type.
+    type Output;
+
+    /// Which model this protocol is designed for.
+    fn model(&self) -> Model;
+
+    /// Maximum message size in bits on `n`-node inputs. The engine *enforces*
+    /// this (a violation is a protocol bug and panics), making the paper's
+    /// `O(f(n))` accounting a runtime invariant.
+    fn budget_bits(&self, n: usize) -> u32;
+
+    /// Create the state machine for one node.
+    fn spawn(&self, view: &LocalView) -> Self::Node;
+
+    /// The output function `out(W)`, evaluated by the last node to terminate —
+    /// it sees only the final whiteboard (plus `n`).
+    fn output(&self, n: usize, board: &Whiteboard) -> Self::Output;
+}
+
+impl<P: Protocol> Protocol for &P {
+    type Node = P::Node;
+    type Output = P::Output;
+
+    fn model(&self) -> Model {
+        (**self).model()
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        (**self).budget_bits(n)
+    }
+
+    fn spawn(&self, view: &LocalView) -> Self::Node {
+        (**self).spawn(view)
+    }
+
+    fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
+        (**self).output(n, board)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_match_graph() {
+        let g = Graph::from_edges(4, &[(1, 2), (2, 4)]);
+        let views = LocalView::all_of(&g);
+        assert_eq!(views.len(), 4);
+        assert_eq!(views[1].id, 2);
+        assert_eq!(views[1].neighbors, vec![1, 4]);
+        assert_eq!(views[1].degree(), 2);
+        assert!(views[1].is_neighbor(4));
+        assert!(!views[1].is_neighbor(3));
+        assert_eq!(views[2].degree(), 0);
+    }
+}

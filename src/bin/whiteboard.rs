@@ -1,0 +1,411 @@
+//! `whiteboard` — command-line driver for the shared-whiteboard protocols.
+//!
+//! ```text
+//! whiteboard run   --protocol build:2 --workload kdeg:2 --n 200 [--seed S] [--adversary random:7] [--trace]
+//! whiteboard check --protocol mis:1 --n 4            # exhaustive schedules on all n-node graphs
+//! whiteboard capacity --n 1024,4096                  # Lemma 3 table
+//! whiteboard list                                    # protocols & workloads
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI crate on the approved dependency
+//! list); every run is reproducible from `--seed`.
+
+use shared_whiteboard::prelude::*;
+use std::process::ExitCode;
+use wb_math::counting::MessageRegime;
+use wb_reductions::lemma3::{verdict, Family};
+use wb_runtime::run_traced;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "check" => cmd_check(&opts),
+        "capacity" => cmd_capacity(&opts),
+        "dot" => cmd_dot(&opts),
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: whiteboard <run|check|capacity|dot|list> [--protocol P] [--workload W] \
+         [--n N[,N..]] [--seed S] [--adversary min|max|random:S] [--trace]"
+    );
+}
+
+struct Opts {
+    protocol: String,
+    workload: String,
+    ns: Vec<usize>,
+    seed: u64,
+    adversary: String,
+    trace: bool,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts {
+            protocol: "build:1".into(),
+            workload: "tree".into(),
+            ns: vec![100],
+            seed: 1,
+            adversary: "random:1".into(),
+            trace: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| {
+                it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
+            };
+            match a.as_str() {
+                "--protocol" => o.protocol = value("--protocol")?,
+                "--workload" => o.workload = value("--workload")?,
+                "--n" => {
+                    o.ns = value("--n")?
+                        .split(',')
+                        .map(|s| s.trim().parse::<usize>().map_err(|e| e.to_string()))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--seed" => o.seed = value("--seed")?.parse().map_err(|e: std::num::ParseIntError| e.to_string())?,
+                "--adversary" => o.adversary = value("--adversary")?,
+                "--trace" => o.trace = true,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn make_adversary(&self) -> Result<Box<dyn Adversary>, String> {
+        let (kind, arg) = split_spec(&self.adversary);
+        Ok(match kind {
+            "min" => Box::new(MinIdAdversary),
+            "max" => Box::new(MaxIdAdversary),
+            "random" => Box::new(RandomAdversary::new(arg.unwrap_or(self.seed))),
+            other => return Err(format!("unknown adversary '{other}'")),
+        })
+    }
+}
+
+fn split_spec(spec: &str) -> (&str, Option<u64>) {
+    match spec.split_once(':') {
+        Some((k, v)) => (k, v.parse().ok()),
+        None => (spec, None),
+    }
+}
+
+fn make_workload(spec: &str, n: usize, seed: u64) -> Result<Graph, String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    // `file:PATH` loads an edge list (the path may contain ':').
+    if let Some(path) = spec.strip_prefix("file:") {
+        return wb_graph::io::load_edge_list(std::path::Path::new(path))
+            .map_err(|e| format!("cannot load '{path}': {e}"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (kind, arg) = split_spec(spec);
+    let k = arg.unwrap_or(2) as usize;
+    Ok(match kind {
+        "tree" => generators::random_tree(n, &mut rng),
+        "forest" => generators::random_forest(n, 0.8, &mut rng),
+        "ktree" => generators::k_tree(n.max(k + 1), k, &mut rng),
+        "kdeg" => generators::k_degenerate(n, k, true, &mut rng),
+        "mixed" => generators::mixed_low_high(n, k, &mut rng),
+        "gnp" => generators::gnp(n, arg.unwrap_or(4) as f64 / n.max(2) as f64, &mut rng),
+        "eob" => generators::even_odd_bipartite_connected(n, 0.2, &mut rng),
+        "bipartite" => generators::bipartite_fixed(n / 2, n - n / 2, 0.2, &mut rng),
+        "two-cliques" => generators::two_cliques(n / 2),
+        "impostor" => generators::connected_regular_impostor((n / 2).max(3), &mut rng),
+        "clique" => generators::clique(n),
+        "cycle" => generators::cycle(n.max(3)),
+        "path" => generators::path(n),
+        other => return Err(format!("unknown workload '{other}'")),
+    })
+}
+
+/// Run one protocol and summarize; returns a one-line verdict.
+fn run_one(
+    proto_spec: &str,
+    g: &Graph,
+    adversary: &mut dyn Adversary,
+    trace: bool,
+) -> Result<String, String> {
+    let n = g.n();
+    let (kind, arg) = split_spec(proto_spec);
+    let k = arg.unwrap_or(2) as usize;
+    macro_rules! drive {
+        ($p:expr, $fmt:expr) => {{
+            let p = $p;
+            let (report, rows) = run_traced(&p, g, adversary);
+            if trace {
+                print_trace(&rows);
+            }
+            let budget = p.budget_bits(n);
+            let stats = format!(
+                "[{} bits/msg max, budget {budget}, {} rounds]",
+                report.max_message_bits(),
+                report.write_order.len()
+            );
+            let verdict: String = $fmt(report);
+            Ok(format!("{verdict} {stats}"))
+        }};
+    }
+    match kind {
+        "build" => drive!(BuildDegenerate::new(k.max(1)), |r: RunReport<Result<Graph, BuildError>>| {
+            match r.outcome {
+                Outcome::Success(Ok(h)) => format!("BUILD ok: rebuilt exactly = {}", &h == g),
+                Outcome::Success(Err(e)) => format!("BUILD rejected: {e:?}"),
+                Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
+            }
+        }),
+        "build-mixed" => drive!(wb_core::BuildMixed::new(k.max(1)), |r: RunReport<Result<Graph, BuildError>>| {
+            match r.outcome {
+                Outcome::Success(Ok(h)) => format!("BUILD-MIXED ok: rebuilt exactly = {}", &h == g),
+                Outcome::Success(Err(e)) => format!("BUILD-MIXED rejected: {e:?}"),
+                Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
+            }
+        }),
+        "naive" => drive!(NaiveBuild, |r: RunReport<Graph>| {
+            format!("NAIVE BUILD: rebuilt exactly = {}", matches!(r.outcome, Outcome::Success(ref h) if h == g))
+        }),
+        "mis" => {
+            let root = (arg.unwrap_or(1) as NodeId).clamp(1, n as NodeId);
+            drive!(MisGreedy::new(root), |r: RunReport<Vec<NodeId>>| {
+                match r.outcome {
+                    Outcome::Success(set) => format!(
+                        "MIS(root {root}): |S| = {}, valid = {}",
+                        set.len(),
+                        checks::is_rooted_mis(g, &set, root)
+                    ),
+                    Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
+                }
+            })
+        }
+        "bfs" => drive!(SyncBfs, |r: RunReport<checks::BfsForest>| {
+            match r.outcome {
+                Outcome::Success(f) => format!(
+                    "SYNC BFS: {} roots, max layer {}, matches reference = {}",
+                    f.roots.len(),
+                    f.layer.iter().max().copied().unwrap_or(0),
+                    f == checks::bfs_forest(g)
+                ),
+                Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
+            }
+        }),
+        "eob-bfs" => drive!(EobBfs, |r: RunReport<BfsOutput>| {
+            match r.outcome {
+                Outcome::Success(BfsOutput::Forest(f)) => format!(
+                    "EOB-BFS: forest ok = {}",
+                    f == checks::bfs_forest(g)
+                ),
+                Outcome::Success(BfsOutput::NotEvenOddBipartite) => {
+                    "EOB-BFS: input is not even-odd bipartite".into()
+                }
+                Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
+            }
+        }),
+        "spanning" => drive!(wb_core::SpanningForestSync, |r: RunReport<wb_core::SpanningForest>| {
+            match r.outcome {
+                Outcome::Success(sf) => format!(
+                    "SPANNING-FOREST: {} tree edges, {} roots",
+                    sf.edges.len(),
+                    sf.roots.len()
+                ),
+                Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
+            }
+        }),
+        "two-cliques" => drive!(TwoCliques, |r: RunReport<wb_core::two_cliques::TwoCliquesVerdict>| {
+            format!("2-CLIQUES: {:?} (truth: {})", r.outcome.unwrap(), checks::is_two_cliques(g))
+        }),
+        "two-cliques-rand" => {
+            drive!(TwoCliquesRandomized::new(arg.unwrap_or(7), 24), |r: RunReport<wb_core::two_cliques::TwoCliquesVerdict>| {
+                format!("2-CLIQUES (randomized): {:?} (truth: {})", r.outcome.unwrap(), checks::is_two_cliques(g))
+            })
+        }
+        "subgraph" => drive!(SubgraphPrefix::new(k.max(1)), |r: RunReport<Graph>| {
+            format!(
+                "SUBGRAPH_{k}: exact = {}",
+                matches!(r.outcome, Outcome::Success(ref h) if *h == g.induced_prefix(k.max(1).min(n)))
+            )
+        }),
+        "triangle" => drive!(TriangleFullRow, |r: RunReport<bool>| {
+            format!("TRIANGLE (Θ(n) bits): {:?} (truth: {})", r.outcome.unwrap(), checks::has_triangle(g))
+        }),
+        "square" => drive!(SquareFullRow, |r: RunReport<bool>| {
+            format!("SQUARE (Θ(n) bits): {:?} (truth: {})", r.outcome.unwrap(), checks::has_square(g))
+        }),
+        "diameter3" => drive!(DiameterAtMost3FullRow, |r: RunReport<bool>| {
+            format!("DIAMETER ≤ 3 (Θ(n) bits): {:?}", r.outcome.unwrap())
+        }),
+        "connectivity" => drive!(ConnectivitySync, |r: RunReport<ConnectivityReport>| {
+            match r.outcome {
+                Outcome::Success(rep) => format!(
+                    "CONNECTIVITY: connected = {} ({} components; truth: {})",
+                    rep.connected,
+                    rep.components,
+                    checks::is_connected(g)
+                ),
+                Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
+            }
+        }),
+        "edge-count" => drive!(EdgeCount, |r: RunReport<usize>| {
+            format!("EDGE-COUNT: m = {:?} (truth: {})", r.outcome.unwrap(), g.m())
+        }),
+        "degree-stats" => drive!(DegreeStats, |r: RunReport<DegreeSummary>| {
+            let s = r.outcome.unwrap();
+            format!(
+                "DEGREE-STATS: max {} isolated {} regular {:?}",
+                s.max_degree, s.isolated, s.regular
+            )
+        }),
+        other => Err(format!("unknown protocol '{other}'")),
+    }
+}
+
+fn cmd_dot(o: &Opts) -> Result<(), String> {
+    let n = *o.ns.first().unwrap_or(&20);
+    let g = make_workload(&o.workload, n, o.seed)?;
+    if o.protocol.starts_with("bfs") {
+        let forest = checks::bfs_forest(&g);
+        print!("{}", wb_graph::dot::forest_to_dot(&g, &forest, "whiteboard"));
+    } else {
+        print!("{}", wb_graph::dot::graph_to_dot(&g, "whiteboard"));
+    }
+    Ok(())
+}
+
+fn print_trace(rows: &[wb_runtime::TraceRow]) {
+    println!("  round  active  writer  bits");
+    for r in rows.iter().take(60) {
+        println!("  {:>5}  {:>6}  {:>6}  {:>4}", r.round, r.active_before, r.writer, r.message_bits);
+    }
+    if rows.len() > 60 {
+        println!("  … ({} more rounds)", rows.len() - 60);
+    }
+}
+
+fn cmd_run(o: &Opts) -> Result<(), String> {
+    for &n in &o.ns {
+        let g = make_workload(&o.workload, n, o.seed)?;
+        let mut adv = o.make_adversary()?;
+        let line = run_one(&o.protocol, &g, adv.as_mut(), o.trace)?;
+        println!("n={n:>6} {}: {line}", o.workload);
+    }
+    Ok(())
+}
+
+fn cmd_check(o: &Opts) -> Result<(), String> {
+    // Exhaustive model checking over all labeled graphs on n nodes.
+    let n = *o.ns.first().unwrap_or(&4);
+    if n > 5 {
+        return Err("check enumerates all graphs; use --n ≤ 5".into());
+    }
+    let (kind, arg) = split_spec(&o.protocol);
+    const CAP: u64 = 2_000_000;
+    let mut graphs = 0u64;
+    let mut schedules = 0u64;
+    for g in enumerate::all_graphs(n) {
+        graphs += 1;
+        schedules += match kind {
+            "bfs" => assert_all_schedules(&SyncBfs, &g, CAP, |f| *f == checks::bfs_forest(&g)),
+            "mis" => {
+                let root = (arg.unwrap_or(1) as NodeId).clamp(1, n as NodeId);
+                assert_all_schedules(&MisGreedy::new(root), &g, CAP, |s| {
+                    checks::is_rooted_mis(&g, s, root)
+                })
+            }
+            "eob-bfs" => assert_all_schedules(&EobBfs, &g, CAP, |out| match out {
+                BfsOutput::Forest(f) => {
+                    checks::is_even_odd_bipartite(&g) && *f == checks::bfs_forest(&g)
+                }
+                BfsOutput::NotEvenOddBipartite => !checks::is_even_odd_bipartite(&g),
+            }),
+            "build" => {
+                let k = arg.unwrap_or(2) as usize;
+                let p = BuildDegenerate::new(k.max(1));
+                assert_all_schedules(&p, &g, CAP, |out| match out {
+                    Ok(h) => *h == g,
+                    Err(_) => checks::degeneracy(&g).0 > k,
+                })
+            }
+            other => return Err(format!("check does not support protocol '{other}'")),
+        };
+    }
+    println!(
+        "exhaustive check passed: protocol {} on all {graphs} graphs (n = {n}), {schedules} schedules",
+        o.protocol
+    );
+    Ok(())
+}
+
+fn cmd_capacity(o: &Opts) -> Result<(), String> {
+    println!("{:>28} {:>9} {:>8} {:>14} {:>14} {:>11}", "family", "f(n)", "n", "required", "capacity", "verdict");
+    for family in [
+        Family::LabeledTrees,
+        Family::BipartiteFixedHalves,
+        Family::EvenOddBipartite,
+        Family::AllGraphs,
+    ] {
+        for regime in [MessageRegime::LogN { c: 4 }, MessageRegime::SqrtN, MessageRegime::Linear] {
+            for &n in &o.ns {
+                let v = verdict(family, n as u64, regime);
+                println!(
+                    "{:>28} {:>9} {:>8} {:>14} {:>14} {:>11}",
+                    family.name(),
+                    regime.name(),
+                    n,
+                    v.required_bits,
+                    v.capacity_bits,
+                    if v.impossible() { "IMPOSSIBLE" } else { "open" }
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_list() {
+    println!("protocols:");
+    println!("  build:K         BUILD, degeneracy ≤ K (SIMASYNC, Thm 2)");
+    println!("  build-mixed:K   BUILD, low-or-high class (SIMASYNC, §3 extension)");
+    println!("  naive           BUILD, Θ(n)-bit baseline (SIMASYNC)");
+    println!("  mis:ROOT        rooted MIS (SIMSYNC, Thm 5)");
+    println!("  bfs             BFS forest, any graph (SYNC, Thm 10)");
+    println!("  eob-bfs         BFS forest, even-odd bipartite (ASYNC, Thm 7)");
+    println!("  spanning        spanning forest (SYNC, §6)");
+    println!("  two-cliques     2-CLIQUES (SIMSYNC, §5.1)");
+    println!("  two-cliques-rand:SEED  randomized 2-CLIQUES (SIMASYNC, Open Pb 4)");
+    println!("  subgraph:F      SUBGRAPH_F (SIMASYNC, Thm 9)");
+    println!("  triangle        TRIANGLE, Θ(n)-bit bracket (SIMASYNC)");
+    println!("  square          SQUARE, Θ(n)-bit bracket (SIMASYNC)");
+    println!("  diameter3       DIAMETER ≤ 3, Θ(n)-bit bracket (SIMASYNC)");
+    println!("  connectivity    CONNECTIVITY + components (SYNC, §6)");
+    println!("  edge-count      |E| from degrees (SIMASYNC[2 log n])");
+    println!("  degree-stats    degree sequence statistics (SIMASYNC[2 log n])");
+    println!("workloads: tree forest ktree:K kdeg:K mixed:K gnp:DEG eob bipartite");
+    println!("           two-cliques impostor clique cycle path file:PATH (edge list)");
+    println!("adversaries: min max random:SEED");
+}

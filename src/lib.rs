@@ -1,0 +1,70 @@
+//! # shared-whiteboard
+//!
+//! A full implementation of the *shared whiteboard* models of distributed
+//! computing introduced by Becker, Kosowski, Matamala, Nisse, Rapaport,
+//! Suchan and Todinca (SPAA 2012 / Distributed Computing 2015): each node of
+//! a labeled graph writes **exactly one** small message on a shared
+//! whiteboard under an adversarial scheduler, and the answer must be read off
+//! the final board.
+//!
+//! The workspace provides, and this crate re-exports:
+//!
+//! - [`runtime`] — the four models (`SIMASYNC`, `SIMSYNC`, `ASYNC`, `SYNC`),
+//!   the execution engine, adversaries, exhaustive model checking, and the
+//!   Lemma 4 model-promotion adapters;
+//! - [`core`] — the paper's protocols: BUILD for bounded-degeneracy graphs,
+//!   rooted MIS, 2-CLIQUES (deterministic and randomized), EOB-BFS, general
+//!   BFS, SUBGRAPH_f, TRIANGLE brackets, and the naive baseline;
+//! - [`reductions`] — Theorems 3/6/8/9 as executable protocol
+//!   transformations plus the Lemma 3 counting machinery;
+//! - [`graph`] — labeled graphs, generators, reference oracles, enumeration;
+//! - [`math`] — exact bignum arithmetic, power-sum codes, bit-level messages;
+//! - [`par`] — the small data-parallel toolkit used by the benchmark harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use shared_whiteboard::prelude::*;
+//!
+//! // A random forest: every node writes (ID, degree, Σ neighbor IDs) —
+//! // O(log n) bits — with *no* communication, and the referee rebuilds the
+//! // entire graph from the final whiteboard (paper §3.1).
+//! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+//! let forest = wb_graph::generators::random_forest(64, 0.7, &mut rng);
+//! let protocol = BuildDegenerate::forests();
+//! let report = run(&protocol, &forest, &mut RandomAdversary::new(7));
+//! assert!(report.max_message_bits() <= 4 * 7); // the paper's "< 4 log n bits"
+//! match report.outcome {
+//!     Outcome::Success(Ok(rebuilt)) => assert_eq!(rebuilt, forest),
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wb_core as core;
+pub use wb_graph as graph;
+pub use wb_math as math;
+pub use wb_par as par;
+pub use wb_reductions as reductions;
+pub use wb_runtime as runtime;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use wb_core::{
+        AsyncBipartiteBfs, BfsOutput, BuildDegenerate, BuildError, BuildMixed,
+        ConnectivityReport, ConnectivitySync, DegreeStats, DegreeSummary, DiameterAtMost3FullRow,
+        EdgeCount, EobBfs, MisGreedy, NaiveBuild, SpanningForest, SpanningForestSync,
+        SquareFullRow, SquareViaBuild, SubgraphPrefix, SyncBfs, TriangleFullRow, TriangleViaBuild,
+        TwoCliques, TwoCliquesRandomized,
+    };
+    pub use wb_graph::{checks, enumerate, generators, AdjMatrix, Graph, NodeId};
+    pub use wb_math::{bits_for, id_bits, BigInt, BitReader, BitVec, BitWriter};
+    pub use wb_runtime::adapt::Promote;
+    pub use wb_runtime::exhaustive::{assert_all_schedules, for_each_schedule};
+    pub use wb_runtime::{
+        run, Adversary, Engine, LocalView, MaxIdAdversary, MinIdAdversary, Model, Node, Outcome,
+        PriorityAdversary, Protocol, RandomAdversary, RunReport, Whiteboard,
+    };
+}

@@ -1,0 +1,130 @@
+//! Protocol correctness under *structured* malicious schedulers, built with
+//! [`FnAdversary`] — strategies that target each protocol's weak spot rather
+//! than sampling uniformly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shared_whiteboard::prelude::*;
+use wb_core::two_cliques::TwoCliquesVerdict;
+use wb_runtime::FnAdversary;
+
+/// Pick the active node with the largest degree (floods high-information
+/// writers first).
+fn highest_degree_first(g: &Graph) -> impl FnMut(&[NodeId], &Whiteboard) -> NodeId + '_ {
+    move |active, _| *active.iter().max_by_key(|&&v| g.degree(v)).unwrap()
+}
+
+/// Pick the active node with the smallest degree (starves the referee of
+/// hubs for as long as possible).
+fn lowest_degree_first(g: &Graph) -> impl FnMut(&[NodeId], &Whiteboard) -> NodeId + '_ {
+    move |active, _| *active.iter().min_by_key(|&&v| g.degree(v)).unwrap()
+}
+
+/// Alternate between the extremes of the active set.
+fn zigzag() -> impl FnMut(&[NodeId], &Whiteboard) -> NodeId {
+    let mut flip = false;
+    move |active, _| {
+        flip = !flip;
+        if flip {
+            active[0]
+        } else {
+            *active.last().unwrap()
+        }
+    }
+}
+
+#[test]
+fn mis_survives_degree_targeted_schedules() {
+    let mut rng = StdRng::seed_from_u64(21);
+    for trial in 0..10 {
+        let g = generators::gnp(30, 0.2, &mut rng);
+        let root = (trial % 30 + 1) as NodeId;
+        let p = MisGreedy::new(root);
+        for mode in 0..3 {
+            let report = match mode {
+                0 => run(&p, &g, &mut FnAdversary(highest_degree_first(&g))),
+                1 => run(&p, &g, &mut FnAdversary(lowest_degree_first(&g))),
+                _ => run(&p, &g, &mut FnAdversary(zigzag())),
+            };
+            match report.outcome {
+                Outcome::Success(set) => assert!(checks::is_rooted_mis(&g, &set, root)),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn sync_bfs_survives_degree_targeted_schedules() {
+    let mut rng = StdRng::seed_from_u64(22);
+    for trial in 0..10 {
+        let g = generators::gnp(25, 0.15, &mut rng);
+        for mode in 0..3 {
+            let report = match mode {
+                0 => run(&SyncBfs, &g, &mut FnAdversary(highest_degree_first(&g))),
+                1 => run(&SyncBfs, &g, &mut FnAdversary(lowest_degree_first(&g))),
+                _ => run(&SyncBfs, &g, &mut FnAdversary(zigzag())),
+            };
+            match report.outcome {
+                Outcome::Success(f) => assert_eq!(f, checks::bfs_forest(&g), "trial {trial} mode {mode}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn eob_bfs_survives_withholding_schedules() {
+    // Within each certificate wave, release the *largest* IDs first so the
+    // min-ID bookkeeping (roots, parents) is maximally stressed.
+    let mut rng = StdRng::seed_from_u64(23);
+    for n in [15usize, 30] {
+        let g = generators::even_odd_bipartite_connected(n, 0.25, &mut rng);
+        let report = run(&EobBfs, &g, &mut FnAdversary(|a: &[NodeId], _: &Whiteboard| *a.last().unwrap()));
+        match report.outcome {
+            Outcome::Success(BfsOutput::Forest(f)) => assert_eq!(f, checks::bfs_forest(&g)),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn two_cliques_survives_boundary_first_schedules() {
+    // Schedule the nodes incident to the crossing edges first — the hardest
+    // order for label consistency.
+    let mut rng = StdRng::seed_from_u64(24);
+    for half in [4usize, 8] {
+        let g = generators::connected_regular_impostor(half, &mut rng);
+        let crossing: Vec<NodeId> = g
+            .edges()
+            .filter(|&(u, v)| (u as usize <= half) != (v as usize <= half))
+            .flat_map(|(u, v)| [u, v])
+            .collect();
+        let mut priority = crossing.clone();
+        for v in 1..=g.n() as NodeId {
+            if !priority.contains(&v) {
+                priority.push(v);
+            }
+        }
+        let report = run(&TwoCliques, &g, &mut PriorityAdversary::new(&priority));
+        assert_eq!(report.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+    }
+}
+
+#[test]
+fn board_aware_adversary_cannot_break_build() {
+    // An adversary reading the board (delays the writer whose message would
+    // reveal the most edges, i.e. highest encoded degree so far).
+    let mut rng = StdRng::seed_from_u64(25);
+    let g = generators::k_degenerate(25, 3, true, &mut rng);
+    let p = BuildDegenerate::new(3);
+    let report = run(
+        &p,
+        &g,
+        &mut FnAdversary(|active: &[NodeId], board: &Whiteboard| {
+            // Pseudo-malicious: pick based on current board parity.
+            active[board.len() % active.len()]
+        }),
+    );
+    assert_eq!(report.outcome, Outcome::Success(Ok(g)));
+}

@@ -1,0 +1,145 @@
+//! End-to-end tests of the `whiteboard` CLI binary.
+
+use std::process::Command;
+
+fn whiteboard(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_whiteboard"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn run_build_on_tree() {
+    let (ok, out) = whiteboard(&["run", "--protocol", "build:1", "--workload", "tree", "--n", "64"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("rebuilt exactly = true"), "{out}");
+}
+
+#[test]
+fn run_rejects_cycle_under_forest_protocol() {
+    let (ok, out) =
+        whiteboard(&["run", "--protocol", "build:1", "--workload", "cycle", "--n", "30"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("rejected"), "{out}");
+}
+
+#[test]
+fn run_mis_reports_validity() {
+    let (ok, out) = whiteboard(&[
+        "run", "--protocol", "mis:3", "--workload", "gnp:4", "--n", "50", "--adversary", "max",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("valid = true"), "{out}");
+}
+
+#[test]
+fn run_sweeps_multiple_sizes() {
+    let (ok, out) =
+        whiteboard(&["run", "--protocol", "bfs", "--workload", "gnp:3", "--n", "20,40,80"]);
+    assert!(ok, "{out}");
+    assert_eq!(out.matches("matches reference = true").count(), 3, "{out}");
+}
+
+#[test]
+fn trace_flag_prints_rounds() {
+    let (ok, out) = whiteboard(&[
+        "run", "--protocol", "eob-bfs", "--workload", "eob", "--n", "21", "--trace",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("round  active  writer  bits"), "{out}");
+}
+
+#[test]
+fn check_is_exhaustive_and_bounded() {
+    let (ok, out) = whiteboard(&["check", "--protocol", "mis:2", "--n", "3"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("exhaustive check passed"), "{out}");
+    let (ok, out) = whiteboard(&["check", "--protocol", "bfs", "--n", "9"]);
+    assert!(!ok);
+    assert!(out.contains("--n ≤ 5"), "{out}");
+}
+
+#[test]
+fn capacity_table_prints_verdicts() {
+    let (ok, out) = whiteboard(&["capacity", "--n", "4096"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("IMPOSSIBLE"), "{out}");
+    assert!(out.contains("labeled trees"), "{out}");
+}
+
+#[test]
+fn list_shows_protocols() {
+    let (ok, out) = whiteboard(&["list"]);
+    assert!(ok);
+    assert!(out.contains("build:K") && out.contains("eob-bfs"), "{out}");
+}
+
+#[test]
+fn connectivity_and_statistics_protocols() {
+    let (ok, out) =
+        whiteboard(&["run", "--protocol", "connectivity", "--workload", "two-cliques", "--n", "12"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("connected = false (2 components; truth: false)"), "{out}");
+    let (ok, out) =
+        whiteboard(&["run", "--protocol", "edge-count", "--workload", "clique", "--n", "10"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("m = 45 (truth: 45)"), "{out}");
+    let (ok, out) = whiteboard(&[
+        "run", "--protocol", "degree-stats", "--workload", "cycle", "--n", "9",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("regular Some(2)"), "{out}");
+}
+
+#[test]
+fn mixed_build_handles_dense_inputs() {
+    let (ok, out) = whiteboard(&[
+        "run", "--protocol", "build-mixed:2", "--workload", "mixed:2", "--n", "60",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("rebuilt exactly = true"), "{out}");
+}
+
+#[test]
+fn file_workload_loads_edge_lists() {
+    let dir = std::env::temp_dir().join("wb_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("input.txt");
+    std::fs::write(&path, "5\n1 2\n2 3\n3 4\n4 5\n").unwrap();
+    let spec = format!("file:{}", path.display());
+    let (ok, out) = whiteboard(&["run", "--protocol", "bfs", "--workload", &spec, "--n", "0"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("matches reference = true"), "{out}");
+    let (ok, out) = whiteboard(&["run", "--protocol", "bfs", "--workload", "file:/nonexistent"]);
+    assert!(!ok);
+    assert!(out.contains("cannot load"), "{out}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dot_subcommand_emits_graphviz() {
+    let (ok, out) = whiteboard(&["dot", "--workload", "cycle", "--n", "6"]);
+    assert!(ok, "{out}");
+    assert!(out.starts_with("graph whiteboard {"), "{out}");
+    assert_eq!(out.matches(" -- ").count(), 6, "{out}");
+    let (ok, out) = whiteboard(&["dot", "--workload", "path", "--n", "4", "--protocol", "bfs"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("doublecircle"), "{out}");
+}
+
+#[test]
+fn unknown_flags_fail_cleanly() {
+    let (ok, out) = whiteboard(&["run", "--bogus"]);
+    assert!(!ok);
+    assert!(out.contains("unknown flag"), "{out}");
+    let (ok, out) = whiteboard(&["frobnicate"]);
+    assert!(!ok);
+    assert!(out.contains("unknown command"), "{out}");
+}

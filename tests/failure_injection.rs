@@ -1,0 +1,123 @@
+//! Failure injection: output functions and decoders confronted with corrupt
+//! or adversarially assembled whiteboards.
+//!
+//! In the model these states are unreachable (the engine guarantees one
+//! well-formed message per node), but the output functions are *referee*
+//! code — defense in depth matters for a library, and the `BuildError`
+//! variants must actually be reachable.
+
+use shared_whiteboard::prelude::*;
+use wb_core::build::BuildError;
+use wb_math::powersum::{power_sums, NewtonDecoder};
+
+/// Assemble a fake BUILD board: (id, degree, power sums) triples.
+fn forge_build_board(n: usize, k: usize, rows: &[(NodeId, u64, Vec<u32>)]) -> Whiteboard {
+    use wb_math::powersum::power_sum_field_bits;
+    Whiteboard::from_messages(rows.iter().map(|(id, degree, nbrs)| {
+        let mut w = BitWriter::new();
+        w.write_bits(*id as u64, id_bits(n));
+        w.write_bits(*degree, id_bits(n));
+        let sums = power_sums(nbrs, k);
+        for (idx, s) in sums.iter().enumerate() {
+            w.write_big(s, power_sum_field_bits(n, idx as u32 + 1));
+        }
+        (*id, w.finish())
+    }))
+}
+
+#[test]
+fn build_detects_degree_sum_mismatch() {
+    // Node 1 claims degree 1 toward node 2, but node 2 claims degree 0:
+    // pruning 2 first leaves 1 pointing at a dead neighbor; pruning 1 first
+    // drives node 2's degree negative. Either way: rejection, not panic.
+    let p = BuildDegenerate::new(1);
+    let board = forge_build_board(2, 1, &[(1, 1, vec![2]), (2, 0, vec![])]);
+    let out = p.output(2, &board);
+    assert!(out.is_err(), "{out:?}");
+}
+
+#[test]
+fn build_detects_self_loop_claims() {
+    // Node 1 claims itself as neighbor — the decode succeeds (1 is a valid
+    // root) but the self-edge must be caught.
+    let p = BuildDegenerate::new(1);
+    let board = forge_build_board(2, 1, &[(1, 1, vec![1]), (2, 0, vec![])]);
+    assert!(p.output(2, &board).is_err());
+}
+
+#[test]
+fn build_detects_garbage_power_sums() {
+    // Degree 2 with power sums of a single node: Newton's identities cannot
+    // produce two distinct positive roots.
+    let p = BuildDegenerate::new(2);
+    let rows = vec![(1 as NodeId, 2u64, vec![2u32]), (2, 0, vec![]), (3, 0, vec![])];
+    let board = forge_build_board(3, 2, &rows);
+    assert_eq!(p.output(3, &board), Err(BuildError::Undecodable { node: 1 }));
+}
+
+#[test]
+fn build_detects_asymmetric_adjacency() {
+    // 1 claims {2}, 2 claims {3}, 3 claims {1}: every pruning order hits a
+    // contradiction (a neighbor whose degree is already exhausted).
+    let p = BuildDegenerate::new(1);
+    let board = forge_build_board(3, 1, &[(1, 1, vec![2]), (2, 1, vec![3]), (3, 1, vec![1])]);
+    assert!(p.output(3, &board).is_err());
+}
+
+#[test]
+fn newton_decoder_rejects_all_garbage_inputs() {
+    let dec = NewtonDecoder::new(30);
+    // Non-integer elementary symmetric functions.
+    assert_eq!(dec.decode(&[BigInt::from(3u64), BigInt::from(2u64)], 2), None);
+    // Roots out of range.
+    let sums = power_sums(&[40, 41], 2);
+    assert_eq!(dec.decode(&sums, 2), None);
+    // Repeated roots (power sums of a multiset are not a set image).
+    let doubled: Vec<BigInt> = power_sums(&[5], 2).iter().map(|s| s + s).collect();
+    assert_eq!(dec.decode(&doubled, 2), None);
+}
+
+#[test]
+fn bfs_output_tolerates_unknown_graphs() {
+    // The SYNC BFS output function only reads (id, layer, parent) fields; a
+    // forged consistent board must decode without panicking.
+    use wb_core::SyncBfs;
+    let g = generators::path(4);
+    let report = run(&SyncBfs, &g, &mut MinIdAdversary);
+    // Shuffle the entries: output must not depend on board order beyond the
+    // fields themselves (the forest is reconstructed per-id).
+    let mut entries: Vec<(NodeId, BitVec)> =
+        report.board.entries().iter().map(|e| (e.writer, e.msg.clone())).collect();
+    entries.reverse();
+    let shuffled = Whiteboard::from_messages(entries);
+    let f = SyncBfs.output(4, &shuffled);
+    assert_eq!(f, checks::bfs_forest(&g));
+}
+
+#[test]
+fn mixed_build_rejects_forged_boards_too() {
+    use wb_core::BuildMixed;
+    use wb_math::powersum::power_sum_field_bits;
+    // Node 1 claims degree 2 on a 3-node board but provides co-sums that
+    // decode to an alive node it also counts as neighbor.
+    let n = 3;
+    let k = 1;
+    let board = Whiteboard::from_messages((1..=3 as NodeId).map(|id| {
+        let mut w = BitWriter::new();
+        w.write_bits(id as u64, id_bits(n));
+        w.write_bits(2, id_bits(n)); // everyone claims degree 2 (triangle)…
+        let nbrs: Vec<u32> = (1..=3).filter(|&u| u != id).collect();
+        let sums = power_sums(&nbrs, k);
+        for (idx, s) in sums.iter().enumerate() {
+            w.write_big(s, power_sum_field_bits(n, idx as u32 + 1));
+        }
+        // …but provides the *wrong* co-sums (claims itself as non-neighbor).
+        let cosums = power_sums(&[id], k);
+        for (idx, s) in cosums.iter().enumerate() {
+            w.write_big(s, power_sum_field_bits(n, idx as u32 + 1));
+        }
+        (id, w.finish())
+    }));
+    let p = BuildMixed::new(k);
+    assert!(p.output(n, &board).is_err());
+}

@@ -1,0 +1,107 @@
+//! Theorem 4's lattice, executed: every protocol of a weaker model runs
+//! unchanged — with problem-level correct outputs — in every stronger model
+//! through the Lemma 4 adapters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shared_whiteboard::prelude::*;
+use wb_core::two_cliques::TwoCliquesVerdict;
+
+#[test]
+fn build_degenerate_promotes_to_all_four_models() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = wb_graph::generators::k_degenerate(18, 2, true, &mut rng);
+    for target in Model::ALL {
+        let p = Promote::new(BuildDegenerate::new(2), target);
+        for seed in 0..3 {
+            let report = run(&p, &g, &mut RandomAdversary::new(seed));
+            match &report.outcome {
+                Outcome::Success(Ok(h)) => assert_eq!(h, &g, "{target}"),
+                other => panic!("{target}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn mis_promotes_to_async_and_sync() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let g = wb_graph::generators::gnp(14, 0.3, &mut rng);
+    for target in [Model::Async, Model::Sync] {
+        for root in [1 as NodeId, 7, 14] {
+            let p = Promote::new(MisGreedy::new(root), target);
+            for seed in 0..3 {
+                let report = run(&p, &g, &mut RandomAdversary::new(seed + root as u64));
+                match &report.outcome {
+                    Outcome::Success(set) => {
+                        assert!(checks::is_rooted_mis(&g, set, root), "{target} root={root}")
+                    }
+                    other => panic!("{target}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mis_promoted_to_async_forces_sequential_order_and_matches_native() {
+    // The Lemma 4 construction: SIMSYNC → ASYNC via sequential activation.
+    // The promoted run must equal the native run under the identity order.
+    let mut rng = StdRng::seed_from_u64(13);
+    let g = wb_graph::generators::gnp(10, 0.4, &mut rng);
+    let root = 3;
+    let native = run(&MisGreedy::new(root), &g, &mut MinIdAdversary);
+    let promoted = run(&Promote::new(MisGreedy::new(root), Model::Async), &g, &mut MaxIdAdversary);
+    assert_eq!(promoted.write_order, (1..=10).collect::<Vec<_>>());
+    match (native.outcome, promoted.outcome) {
+        (Outcome::Success(a), Outcome::Success(b)) => assert_eq!(a, b),
+        _ => panic!("expected success"),
+    }
+}
+
+#[test]
+fn two_cliques_promotes_exhaustively() {
+    let yes = wb_graph::generators::two_cliques(3);
+    for target in [Model::Async, Model::Sync] {
+        let p = Promote::new(TwoCliques, target);
+        assert_all_schedules(&p, &yes, 1000, |v| *v == TwoCliquesVerdict::TwoCliques);
+    }
+}
+
+#[test]
+fn eob_bfs_promotes_to_sync() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let g = wb_graph::generators::even_odd_bipartite_connected(15, 0.3, &mut rng);
+    let p = Promote::new(EobBfs, Model::Sync);
+    let report = run(&p, &g, &mut RandomAdversary::new(2));
+    match report.outcome {
+        Outcome::Success(wb_core::bfs::BfsOutput::Forest(f)) => {
+            assert_eq!(f, checks::bfs_forest(&g))
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn promoted_budgets_are_unchanged() {
+    // Lemma 4 inclusions hold at the *same* message size f(n).
+    for target in Model::ALL {
+        let p = Promote::new(BuildDegenerate::new(3), target);
+        assert_eq!(p.budget_bits(100), BuildDegenerate::new(3).budget_bits(100));
+    }
+}
+
+#[test]
+fn model_lattice_relations_match_paper() {
+    use Model::*;
+    // PSIMASYNC ⊆ PSIMSYNC ⊆ PASYNC ⊆ PSYNC (Lemma 4).
+    let chain = [SimAsync, SimSync, Async, Sync];
+    for (i, &weak) in chain.iter().enumerate() {
+        for &strong in &chain[i..] {
+            assert!(strong.includes(weak));
+        }
+    }
+    assert!(!SimAsync.includes(SimSync));
+    assert!(!SimSync.includes(Async));
+    assert!(!Async.includes(Sync));
+}

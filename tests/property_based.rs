@@ -1,0 +1,176 @@
+//! Cross-crate property tests: protocol outputs against reference oracles on
+//! randomized instances, schedules and parameters.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shared_whiteboard::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BUILD round-trips on random k-degenerate graphs under random
+    /// adversaries, and the Lemma 1 bit bound holds.
+    #[test]
+    fn build_round_trips(n in 1usize..40, k in 1usize..5, seed in any::<u64>(), exact in any::<bool>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::k_degenerate(n, k, exact, &mut rng);
+        let p = BuildDegenerate::new(k);
+        let report = run(&p, &g, &mut RandomAdversary::new(seed ^ 0xABCD));
+        let bound = (k * (k + 1) + 2) * id_bits(n) as usize;
+        prop_assert!(report.max_message_bits() <= bound);
+        match report.outcome {
+            Outcome::Success(Ok(h)) => prop_assert_eq!(h, g),
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    /// The SYNC BFS forest equals the deterministic reference forest no
+    /// matter the adversary (Theorem 10).
+    #[test]
+    fn sync_bfs_matches_reference(n in 1usize..28, p_edge in 0.0f64..0.5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let report = run(&SyncBfs, &g, &mut RandomAdversary::new(seed ^ 0x1234));
+        match report.outcome {
+            Outcome::Success(f) => prop_assert_eq!(f, checks::bfs_forest(&g)),
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    /// MIS outputs are always maximal independent sets containing the root
+    /// (Theorem 5).
+    #[test]
+    fn mis_is_always_valid(n in 1usize..30, p_edge in 0.0f64..0.6, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let root = (seed % n as u64 + 1) as NodeId;
+        let report = run(&MisGreedy::new(root), &g, &mut RandomAdversary::new(seed ^ 0x77));
+        match report.outcome {
+            Outcome::Success(set) => prop_assert!(checks::is_rooted_mis(&g, &set, root)),
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    /// EOB-BFS: forest on valid inputs, NotEvenOddBipartite on invalid ones,
+    /// never a deadlock (Theorem 7 + the drain completion).
+    #[test]
+    fn eob_bfs_total_on_all_inputs(n in 1usize..24, p_edge in 0.0f64..0.4, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let report = run(&EobBfs, &g, &mut RandomAdversary::new(seed ^ 0x55));
+        match report.outcome {
+            Outcome::Success(wb_core::bfs::BfsOutput::Forest(f)) => {
+                prop_assert!(checks::is_even_odd_bipartite(&g));
+                prop_assert_eq!(f, checks::bfs_forest(&g));
+            }
+            Outcome::Success(wb_core::bfs::BfsOutput::NotEvenOddBipartite) => {
+                prop_assert!(!checks::is_even_odd_bipartite(&g));
+            }
+            Outcome::Deadlock { awake } => {
+                return Err(TestCaseError::fail(format!("deadlock: {awake:?}")));
+            }
+        }
+    }
+
+    /// SUBGRAPH_f recovers exactly the prefix-induced subgraph.
+    #[test]
+    fn subgraph_prefix_is_exact(n in 2usize..30, f in 1usize..30, p_edge in 0.0f64..0.7, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let p = SubgraphPrefix::new(f);
+        let report = run(&p, &g, &mut RandomAdversary::new(seed ^ 0x99));
+        match report.outcome {
+            Outcome::Success(h) => prop_assert_eq!(h, g.induced_prefix(f.min(n))),
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    /// The mixed (low-or-high) BUILD protocol round-trips on its class —
+    /// including dense complements — at twice the plain budget.
+    #[test]
+    fn build_mixed_round_trips(n in 1usize..26, k in 1usize..4, seed in any::<u64>(), complement in any::<bool>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = {
+            let base = wb_graph::generators::mixed_low_high(n, k, &mut rng);
+            if complement { base.complement() } else { base }
+        };
+        // The class is closed under complement (low ↔ high swap).
+        prop_assert!(checks::mixed_elimination(&g, k).is_some());
+        let p = BuildMixed::new(k);
+        let report = run(&p, &g, &mut RandomAdversary::new(seed ^ 0x42));
+        match report.outcome {
+            Outcome::Success(Ok(h)) => prop_assert_eq!(h, g),
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    /// Connectivity and spanning-forest protocols agree with each other and
+    /// with the oracles.
+    #[test]
+    fn connectivity_and_spanning_agree(n in 1usize..24, p_edge in 0.0f64..0.4, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let conn = match run(&ConnectivitySync, &g, &mut RandomAdversary::new(seed)).outcome {
+            Outcome::Success(c) => c,
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        };
+        let sf = match run(&SpanningForestSync, &g, &mut RandomAdversary::new(seed)).outcome {
+            Outcome::Success(s) => s,
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        };
+        prop_assert_eq!(conn.connected, checks::is_connected(&g));
+        prop_assert_eq!(conn.components, sf.roots.len());
+        prop_assert_eq!(sf.edges.len(), n - conn.components);
+    }
+
+    /// EdgeCount equals m on arbitrary graphs under arbitrary adversaries.
+    #[test]
+    fn edge_count_is_exact(n in 1usize..40, p_edge in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let report = run(&EdgeCount, &g, &mut RandomAdversary::new(seed ^ 0x11));
+        prop_assert_eq!(report.outcome, Outcome::Success(g.m()));
+    }
+
+    /// Runs are deterministic given the adversary seed: same seed → identical
+    /// write order and board.
+    #[test]
+    fn runs_are_reproducible(n in 1usize..20, p_edge in 0.0f64..0.5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let a = run(&SyncBfs, &g, &mut RandomAdversary::new(seed));
+        let b = run(&SyncBfs, &g, &mut RandomAdversary::new(seed));
+        prop_assert_eq!(a.write_order, b.write_order);
+        prop_assert_eq!(a.board, b.board);
+    }
+
+    /// SIMASYNC messages are order-oblivious: the multiset of messages on the
+    /// final board is the same under any two adversaries.
+    #[test]
+    fn simasync_boards_are_permutations(n in 1usize..20, k in 1usize..4, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::k_degenerate(n, k, false, &mut rng);
+        let p = BuildDegenerate::new(k);
+        let a = run(&p, &g, &mut MinIdAdversary);
+        let b = run(&p, &g, &mut MaxIdAdversary);
+        let mut ma: Vec<_> = a.board.entries().iter().map(|e| (e.writer, e.msg.clone())).collect();
+        let mut mb: Vec<_> = b.board.entries().iter().map(|e| (e.writer, e.msg.clone())).collect();
+        ma.sort_by_key(|(w, _)| *w);
+        mb.sort_by_key(|(w, _)| *w);
+        prop_assert_eq!(ma, mb);
+    }
+
+    /// Every successful run writes exactly n messages, one per node.
+    #[test]
+    fn exactly_one_message_per_node(n in 1usize..20, p_edge in 0.0f64..0.6, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let report = run(&SyncBfs, &g, &mut RandomAdversary::new(seed));
+        prop_assert!(report.outcome.is_success());
+        let mut writers: Vec<NodeId> = report.write_order.clone();
+        writers.sort_unstable();
+        writers.dedup();
+        prop_assert_eq!(writers.len(), n);
+    }
+}

@@ -1,0 +1,83 @@
+//! Replay consistency: node state is a pure function of (local view, observed
+//! prefix).
+//!
+//! DESIGN.md claims our incremental `Node::observe` interface is memoization
+//! of the paper's pure `msg(v, N(v), W, …)` functions. This test *checks*
+//! that: after a live run, every written message must be reproducible by a
+//! freshly spawned node that is fed exactly the board prefix preceding the
+//! write. (Valid for write-time-composing protocols, i.e. SIMSYNC and SYNC.)
+
+use shared_whiteboard::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Recompose each message from a fresh node + prefix and compare.
+fn assert_replay_consistent<P>(p: &P, g: &Graph, seed: u64)
+where
+    P: Protocol,
+{
+    assert!(
+        !p.model().is_asynchronous(),
+        "replay covers write-time composition (SIMSYNC/SYNC)"
+    );
+    let views = LocalView::all_of(g);
+    let report = run(p, g, &mut RandomAdversary::new(seed));
+    assert!(report.outcome.is_success());
+    for (i, entry) in report.board.entries().iter().enumerate() {
+        let view = &views[entry.writer as usize - 1];
+        let mut fresh = p.spawn(view);
+        let mut activated = fresh.wants_to_activate(view);
+        for (seq, prior) in report.board.entries()[..i].iter().enumerate() {
+            fresh.observe(view, seq, prior.writer, &prior.msg);
+            if !activated {
+                activated = fresh.wants_to_activate(view);
+            }
+        }
+        assert!(activated, "writer {} must have been activatable", entry.writer);
+        let recomposed = fresh.compose(view);
+        assert_eq!(
+            recomposed, entry.msg,
+            "node {} message differs on replay (round {})",
+            entry.writer,
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn mis_messages_replay() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..10 {
+        let g = generators::gnp(20, 0.25, &mut rng);
+        assert_replay_consistent(&MisGreedy::new((trial % 20 + 1) as NodeId), &g, trial);
+    }
+}
+
+#[test]
+fn two_cliques_messages_replay() {
+    for half in [3usize, 6, 10] {
+        let g = generators::two_cliques(half);
+        assert_replay_consistent(&TwoCliques, &g, half as u64);
+        let mut rng = StdRng::seed_from_u64(half as u64);
+        let no = generators::connected_regular_impostor(half, &mut rng);
+        assert_replay_consistent(&TwoCliques, &no, half as u64 + 1);
+    }
+}
+
+#[test]
+fn sync_bfs_messages_replay() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for trial in 0..10 {
+        let g = generators::gnp(18, 0.2, &mut rng);
+        assert_replay_consistent(&SyncBfs, &g, trial);
+    }
+}
+
+#[test]
+fn sync_bfs_replay_on_structured_inputs() {
+    assert_replay_consistent(&SyncBfs, &generators::clique(8), 3);
+    assert_replay_consistent(&SyncBfs, &generators::cycle(9), 4);
+    assert_replay_consistent(&SyncBfs, &generators::star(12), 5);
+    let multi = generators::path(5).disjoint_union(&generators::cycle(4));
+    assert_replay_consistent(&SyncBfs, &multi, 6);
+}

@@ -1,0 +1,87 @@
+//! Heavier model-checking runs, ignored by default. Run with
+//! `cargo test --release --test stress -- --ignored` (minutes, not seconds).
+
+use shared_whiteboard::prelude::*;
+use wb_core::bfs::BfsOutput;
+
+/// Theorem 10 over *all* 1024 labeled graphs on 5 nodes and every adversary
+/// schedule.
+#[test]
+#[ignore = "minutes-long exhaustive sweep; run with --ignored"]
+fn sync_bfs_exhaustive_all_graphs_n5() {
+    let mut schedules = 0u64;
+    for g in enumerate::all_graphs(5) {
+        schedules += assert_all_schedules(&SyncBfs, &g, 50_000, |f| *f == checks::bfs_forest(&g));
+    }
+    println!("n = 5: {schedules} schedules across 1024 graphs");
+}
+
+/// Theorem 7 totality over all 5-node graphs (valid and invalid inputs).
+#[test]
+#[ignore = "minutes-long exhaustive sweep; run with --ignored"]
+fn eob_bfs_exhaustive_all_graphs_n5() {
+    for g in enumerate::all_graphs(5) {
+        let valid = checks::is_even_odd_bipartite(&g);
+        assert_all_schedules(&EobBfs, &g, 500_000, |out| match out {
+            BfsOutput::Forest(f) => valid && *f == checks::bfs_forest(&g),
+            BfsOutput::NotEvenOddBipartite => !valid,
+        });
+    }
+}
+
+/// Theorem 5 over all 5-node connected graphs, every root, every schedule.
+#[test]
+#[ignore = "minutes-long exhaustive sweep; run with --ignored"]
+fn mis_exhaustive_connected_n5_all_roots() {
+    for g in enumerate::all_connected_graphs(5) {
+        for root in 1..=5 {
+            assert_all_schedules(&MisGreedy::new(root), &g, 200, |set| {
+                checks::is_rooted_mis(&g, set, root)
+            });
+        }
+    }
+}
+
+/// BUILD recognition dichotomy on all 5-node graphs: reconstruct members,
+/// reject non-members — under every schedule.
+#[test]
+#[ignore = "minutes-long exhaustive sweep; run with --ignored"]
+fn build_recognition_dichotomy_n5() {
+    for k in 1..=2usize {
+        let p = BuildDegenerate::new(k);
+        for g in enumerate::all_graphs(5) {
+            let in_class = checks::degeneracy(&g).0 <= k;
+            assert_all_schedules(&p, &g, 200, |out| match out {
+                Ok(h) => in_class && *h == g,
+                Err(_) => !in_class,
+            });
+        }
+    }
+}
+
+/// Large-scale randomized soak: every protocol at n ≈ 2000 under three
+/// adversaries.
+#[test]
+#[ignore = "large-n soak test; run with --ignored"]
+fn soak_large_instances() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(99);
+    let n = 2000;
+
+    let g = wb_graph::generators::k_degenerate(n, 4, true, &mut rng);
+    let report = run(&BuildDegenerate::new(4), &g, &mut RandomAdversary::new(1));
+    assert!(matches!(report.outcome, Outcome::Success(Ok(ref h)) if h == &g));
+
+    let g = wb_graph::generators::gnp(n, 4.0 / n as f64, &mut rng);
+    let report = run(&SyncBfs, &g, &mut RandomAdversary::new(2));
+    assert!(matches!(report.outcome, Outcome::Success(ref f) if *f == checks::bfs_forest(&g)));
+
+    let g = wb_graph::generators::even_odd_bipartite_connected(n + 1, 0.003, &mut rng);
+    let report = run(&EobBfs, &g, &mut RandomAdversary::new(3));
+    assert!(matches!(report.outcome, Outcome::Success(BfsOutput::Forest(ref f)) if *f == checks::bfs_forest(&g)));
+
+    let g = wb_graph::generators::gnp(n, 0.002, &mut rng);
+    let report = run(&MisGreedy::new(7), &g, &mut RandomAdversary::new(4));
+    assert!(matches!(report.outcome, Outcome::Success(ref s) if checks::is_rooted_mis(&g, s, 7)));
+}

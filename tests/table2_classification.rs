@@ -1,0 +1,143 @@
+//! Integration test regenerating the paper's Table 2 at test scale: every
+//! positive cell is exercised by running the protocol in its own model under
+//! exhaustive or randomized adversaries; every negative cell is backed by its
+//! reduction + Lemma 3 counting verdict.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shared_whiteboard::prelude::*;
+use wb_core::bfs::BfsOutput as Eob;
+use wb_core::two_cliques::TwoCliquesVerdict;
+use wb_math::counting::MessageRegime;
+use wb_reductions::lemma3::{verdict, Family};
+
+/// Row 1: BUILD on k-degenerate graphs — **yes** in SIMASYNC (hence, by
+/// Lemma 4, in all four models).
+#[test]
+fn build_degenerate_yes_in_simasync() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for k in [1usize, 2, 3] {
+        let g = wb_graph::generators::k_degenerate(24, k, true, &mut rng);
+        let p = BuildDegenerate::new(k);
+        let report = run(&p, &g, &mut RandomAdversary::new(k as u64));
+        assert_eq!(report.outcome, Outcome::Success(Ok(g)));
+    }
+}
+
+/// Row 2: rooted MIS — **yes** in SIMSYNC (Theorem 5)…
+#[test]
+fn mis_yes_in_simsync() {
+    for g in enumerate::all_connected_graphs(4) {
+        for root in 1..=4 {
+            assert_all_schedules(&MisGreedy::new(root), &g, 30, |set| {
+                checks::is_rooted_mis(&g, set, root)
+            });
+        }
+    }
+}
+
+/// …and **no** in SIMASYNC (Theorem 6): the transformation turns any such
+/// protocol into BUILD for all graphs, whose family outgrows the board.
+#[test]
+fn mis_no_in_simasync_counting() {
+    for n in [256u64, 1024, 1 << 13] {
+        let v = verdict(Family::AllGraphs, n, MessageRegime::LogN { c: 8 });
+        assert!(v.impossible(), "n={n}: {v:?}");
+        // even √n-bit messages are eventually insufficient
+        let v2 = verdict(Family::AllGraphs, n * n, MessageRegime::SqrtN);
+        assert!(v2.impossible());
+    }
+    // And the transformation itself reconstructs graphs end-to-end:
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = wb_graph::generators::gnp(7, 0.4, &mut rng);
+    let t = wb_reductions::mis_to_build::MisToBuild::new(
+        wb_reductions::oracles::MisFullRowOracle::new,
+    );
+    let report = run(&t, &g, &mut MinIdAdversary);
+    assert_eq!(report.outcome, Outcome::Success(g));
+}
+
+/// Row 3: TRIANGLE — **no** in SIMASYNC (Theorem 3); the positive brackets we
+/// ship are the degenerate-class and Θ(n)-bit protocols.
+#[test]
+fn triangle_no_in_simasync_counting_and_brackets() {
+    for n in [1024u64, 4096] {
+        assert!(verdict(Family::BipartiteFixedHalves, n, MessageRegime::LogN { c: 8 }).impossible());
+    }
+    for g in enumerate::all_graphs(4) {
+        let report = run(&TriangleFullRow, &g, &mut MaxIdAdversary);
+        assert_eq!(report.outcome, Outcome::Success(checks::has_triangle(&g)));
+    }
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = wb_graph::generators::k_degenerate(18, 2, true, &mut rng);
+    let p = TriangleViaBuild::new(2);
+    let report = run(&p, &g, &mut RandomAdversary::new(5));
+    assert_eq!(report.outcome, Outcome::Success(Ok(checks::has_triangle(&g))));
+}
+
+/// Row 4: EOB-BFS — **yes** in ASYNC (Theorem 7)…
+#[test]
+fn eob_bfs_yes_in_async() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for n in [9usize, 16, 33] {
+        let g = wb_graph::generators::even_odd_bipartite_connected(n, 0.3, &mut rng);
+        let report = run(&EobBfs, &g, &mut RandomAdversary::new(n as u64));
+        assert_eq!(report.outcome, Outcome::Success(Eob::Forest(checks::bfs_forest(&g))));
+    }
+}
+
+/// …and **no** in SIMSYNC (Theorem 8): counting over the EOB family plus the
+/// executable Fig 2 transformation.
+#[test]
+fn eob_bfs_no_in_simsync_counting_and_reduction() {
+    for n in [1024u64, 4096] {
+        assert!(verdict(Family::EvenOddBipartite, n, MessageRegime::LogN { c: 8 }).impossible());
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let h = wb_graph::generators::even_odd_bipartite_connected(6, 0.5, &mut rng);
+    let t = wb_reductions::eobbfs_to_build::EobBfsToBuild::new(
+        wb_reductions::oracles::BfsFullRowOracle,
+    );
+    let report = run(&t, &h, &mut RandomAdversary::new(11));
+    assert_eq!(report.outcome, Outcome::Success(h));
+}
+
+/// Row 5: BFS — **yes** in SYNC (Theorem 10); the other three cells are the
+/// paper's open problem, evidenced by the frozen-message ablation.
+#[test]
+fn bfs_yes_in_sync_open_elsewhere() {
+    for g in enumerate::all_graphs(4) {
+        assert_all_schedules(&SyncBfs, &g, 100, |f| *f == checks::bfs_forest(&g));
+    }
+    // Ablation: async freezing deadlocks on a triangle-with-tail.
+    let g = Graph::from_edges(5, &[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
+    let report = run(&AsyncBipartiteBfs, &g, &mut MinIdAdversary);
+    assert!(matches!(report.outcome, Outcome::Deadlock { .. }));
+}
+
+/// §5.1: 2-CLIQUES — yes in SIMSYNC; randomized yes in SIMASYNC (public coin).
+#[test]
+fn two_cliques_yes_simsync_and_randomized_simasync() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let yes = wb_graph::generators::two_cliques(5);
+    let no = wb_graph::generators::connected_regular_impostor(5, &mut rng);
+    for seed in 0..5 {
+        let ry = run(&TwoCliques, &yes, &mut RandomAdversary::new(seed));
+        assert_eq!(ry.outcome, Outcome::Success(TwoCliquesVerdict::TwoCliques));
+        let rn = run(&TwoCliques, &no, &mut RandomAdversary::new(seed));
+        assert_eq!(rn.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+        let pr = TwoCliquesRandomized::new(seed, 30);
+        assert_eq!(run(&pr, &yes, &mut MinIdAdversary).outcome.unwrap(), TwoCliquesVerdict::TwoCliques);
+        assert_eq!(run(&pr, &no, &mut MinIdAdversary).outcome.unwrap(), TwoCliquesVerdict::NotTwoCliques);
+    }
+}
+
+/// SUBGRAPH_f (Theorem 9): positive half at f(n) bits.
+#[test]
+fn subgraph_yes_in_simasync() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = wb_graph::generators::gnp(36, 0.3, &mut rng);
+    let p = SubgraphPrefix::sqrt_of(36);
+    let report = run(&p, &g, &mut RandomAdversary::new(1));
+    assert_eq!(report.outcome, Outcome::Success(g.induced_prefix(6)));
+}
