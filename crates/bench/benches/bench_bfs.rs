@@ -9,7 +9,10 @@ use wb_runtime::{run, RandomAdversary};
 
 fn bench_sync_bfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("bfs_sync");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &(n, d) in &[(100usize, 4usize), (400, 4), (400, 12), (1000, 4)] {
         let g = Workload::GnpAvgDeg(d).generate(n, wb_bench::SEED);
         group.bench_function(format!("n{n}_deg{d}"), |b| {
@@ -21,7 +24,10 @@ fn bench_sync_bfs(c: &mut Criterion) {
 
 fn bench_eob_bfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("bfs_eob_async");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &n in &[101usize, 401, 1001] {
         let g = Workload::EobConnected.generate(n, wb_bench::SEED);
         group.bench_function(format!("n{n}"), |b| {

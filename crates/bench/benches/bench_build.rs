@@ -9,7 +9,10 @@ use wb_runtime::{run, Protocol, RandomAdversary};
 
 fn bench_full_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_full_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &(n, k) in &[(100usize, 1usize), (100, 3), (400, 3), (400, 5)] {
         let g = Workload::KDegenerate(k).generate(n, wb_bench::SEED);
         let p = BuildDegenerate::new(k);
@@ -22,7 +25,10 @@ fn bench_full_run(c: &mut Criterion) {
 
 fn bench_decode_only(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_output_fn");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &(n, k) in &[(200usize, 2usize), (400, 4)] {
         let g = Workload::KDegenerate(k).generate(n, wb_bench::SEED);
         let p = BuildDegenerate::new(k);
@@ -36,7 +42,10 @@ fn bench_decode_only(c: &mut Criterion) {
 
 fn bench_mixed_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_mixed_full_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &(n, k) in &[(100usize, 2usize), (200, 2)] {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(wb_bench::SEED);
         // Dense complement: the workload only the mixed protocol handles.
@@ -51,7 +60,10 @@ fn bench_mixed_build(c: &mut Criterion) {
 
 fn bench_naive_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_naive_baseline");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &n in &[100usize, 400] {
         let g = Workload::KDegenerate(3).generate(n, wb_bench::SEED);
         group.bench_function(format!("n{n}"), |b| {
@@ -61,5 +73,11 @@ fn bench_naive_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_run, bench_decode_only, bench_mixed_build, bench_naive_baseline);
+criterion_group!(
+    benches,
+    bench_full_run,
+    bench_decode_only,
+    bench_mixed_build,
+    bench_naive_baseline
+);
 criterion_main!(benches);

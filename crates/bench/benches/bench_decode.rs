@@ -8,9 +8,14 @@ use wb_math::powersum::{power_sums, LookupDecoder, NewtonDecoder};
 
 fn bench_newton(c: &mut Criterion) {
     let mut group = c.benchmark_group("decode_newton");
-    group.sample_size(15).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     for &(n, k) in &[(100usize, 3usize), (1_000, 3), (10_000, 3), (1_000, 5)] {
-        let set: Vec<u32> = (1..=k as u32).map(|i| i * (n as u32 / (k as u32 + 1))).collect();
+        let set: Vec<u32> = (1..=k as u32)
+            .map(|i| i * (n as u32 / (k as u32 + 1)))
+            .collect();
         let sums = power_sums(&set, k);
         let dec = NewtonDecoder::new(n);
         group.bench_function(format!("n{n}_k{k}"), |b| {
@@ -22,7 +27,10 @@ fn bench_newton(c: &mut Criterion) {
 
 fn bench_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("decode_lookup");
-    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
     // Small domain only: the table is O(n^k).
     let (n, k) = (60usize, 3usize);
     let dec = LookupDecoder::new(n, k);
@@ -36,10 +44,20 @@ fn bench_lookup(c: &mut Criterion) {
 
 fn bench_table_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("decode_lookup_build");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(100));
-    group.bench_function("n40_k3", |b| b.iter(|| LookupDecoder::new(black_box(40), 3).len()));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(100));
+    group.bench_function("n40_k3", |b| {
+        b.iter(|| LookupDecoder::new(black_box(40), 3).len())
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_newton, bench_lookup, bench_table_construction);
+criterion_group!(
+    benches,
+    bench_newton,
+    bench_lookup,
+    bench_table_construction
+);
 criterion_main!(benches);

@@ -11,7 +11,10 @@ use wb_runtime::{run, Model, RandomAdversary};
 
 fn bench_engine_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_rounds");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &n in &[100usize, 1000, 4000] {
         let g = generators::path(n);
         for model in [Model::SimAsync, Model::SimSync, Model::Sync] {
@@ -26,7 +29,10 @@ fn bench_engine_rounds(c: &mut Criterion) {
 
 fn bench_exhaustive_executor(c: &mut Criterion) {
     let mut group = c.benchmark_group("exhaustive_schedules");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &n in &[5usize, 6] {
         let g = generators::path(n);
         let p = Probe::new(Model::SimSync, Activation::Immediate);

@@ -8,7 +8,10 @@ use wb_graph::{checks, generators};
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("graphgen");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("tree_n10000", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
@@ -38,12 +41,21 @@ fn bench_generators(c: &mut Criterion) {
 
 fn bench_reference_oracles(c: &mut Criterion) {
     let mut group = c.benchmark_group("reference_oracles");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let mut rng = StdRng::seed_from_u64(2);
     let g = generators::gnp(2_000, 0.005, &mut rng);
-    group.bench_function("bfs_forest_n2000", |b| b.iter(|| checks::bfs_forest(black_box(&g))));
-    group.bench_function("degeneracy_n2000", |b| b.iter(|| checks::degeneracy(black_box(&g))));
-    group.bench_function("triangle_count_n2000", |b| b.iter(|| checks::triangle_count(black_box(&g))));
+    group.bench_function("bfs_forest_n2000", |b| {
+        b.iter(|| checks::bfs_forest(black_box(&g)))
+    });
+    group.bench_function("degeneracy_n2000", |b| {
+        b.iter(|| checks::degeneracy(black_box(&g)))
+    });
+    group.bench_function("triangle_count_n2000", |b| {
+        b.iter(|| checks::triangle_count(black_box(&g)))
+    });
     group.finish();
 }
 

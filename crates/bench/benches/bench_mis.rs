@@ -9,7 +9,10 @@ use wb_runtime::{run, RandomAdversary};
 
 fn bench_mis(c: &mut Criterion) {
     let mut group = c.benchmark_group("mis_greedy");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &(n, d) in &[(100usize, 4usize), (400, 4), (1000, 4), (1000, 20)] {
         let g = Workload::GnpAvgDeg(d).generate(n, wb_bench::SEED);
         let p = MisGreedy::new(1);

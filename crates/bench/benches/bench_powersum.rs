@@ -7,13 +7,24 @@ use wb_math::powersum::{add_neighbor, power_sums, remove_neighbor};
 
 fn neighbors(n: u32, degree: u32) -> Vec<u32> {
     // Deterministic spread-out neighborhood.
-    (0..degree).map(|i| (i * (n / degree.max(1)).max(1)) % n + 1).collect::<std::collections::BTreeSet<_>>().into_iter().collect()
+    (0..degree)
+        .map(|i| (i * (n / degree.max(1)).max(1)) % n + 1)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect()
 }
 
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("powersum_encode");
-    group.sample_size(20).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
-    for &(n, deg, k) in &[(1_000u32, 50u32, 2usize), (10_000, 200, 3), (100_000, 500, 5)] {
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    for &(n, deg, k) in &[
+        (1_000u32, 50u32, 2usize),
+        (10_000, 200, 3),
+        (100_000, 500, 5),
+    ] {
         let ids = neighbors(n, deg);
         group.bench_with_input(
             BenchmarkId::new(format!("n{n}_k{k}"), deg),
@@ -26,7 +37,10 @@ fn bench_encode(c: &mut Criterion) {
 
 fn bench_incremental_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("powersum_update");
-    group.sample_size(20).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
     for &k in &[1usize, 3, 5] {
         let base = power_sums(&neighbors(10_000, 100), k);
         group.bench_function(format!("add_remove_k{k}"), |b| {

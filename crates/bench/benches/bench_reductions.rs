@@ -17,7 +17,10 @@ use wb_runtime::{run, RandomAdversary};
 
 fn bench_triangle_to_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduction_thm3");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let mut rng = StdRng::seed_from_u64(1);
     for &n in &[8usize, 12, 16] {
         let g = generators::bipartite_fixed(n / 2, n - n / 2, 0.4, &mut rng);
@@ -31,7 +34,10 @@ fn bench_triangle_to_build(c: &mut Criterion) {
 
 fn bench_mis_to_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduction_thm6");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let mut rng = StdRng::seed_from_u64(2);
     for &n in &[6usize, 8, 10] {
         let g = generators::gnp(n, 0.5, &mut rng);
@@ -45,7 +51,10 @@ fn bench_mis_to_build(c: &mut Criterion) {
 
 fn bench_eobbfs_to_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduction_thm8");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let mut rng = StdRng::seed_from_u64(3);
     for &hn in &[6usize, 8, 10] {
         let h = generators::even_odd_bipartite_connected(hn, 0.4, &mut rng);
@@ -57,5 +66,10 @@ fn bench_eobbfs_to_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_triangle_to_build, bench_mis_to_build, bench_eobbfs_to_build);
+criterion_group!(
+    benches,
+    bench_triangle_to_build,
+    bench_mis_to_build,
+    bench_eobbfs_to_build
+);
 criterion_main!(benches);

@@ -75,7 +75,10 @@ fn main() {
         || 0u64,
         |a, b| a + b,
     );
-    println!("32/32 planted-violation runs returned NotEvenOddBipartite: {}", verdicts == 32);
+    println!(
+        "32/32 planted-violation runs returned NotEvenOddBipartite: {}",
+        verdicts == 32
+    );
     assert_eq!(verdicts, 32);
 
     banner("Corollary 4: ASYNC BFS on bipartite (non-EOB) graphs");

@@ -18,7 +18,14 @@ use wb_runtime::{run, Outcome, Protocol, RandomAdversary};
 fn main() {
     banner("Theorem 2 / Lemma 1: message bits vs k(k+1)·log n (measured over runs)");
     let t = TablePrinter::new(
-        &["workload", "n", "k", "max bits", "k(k+1)+2 ·⌈lg n⌉", "rebuilt"],
+        &[
+            "workload",
+            "n",
+            "k",
+            "max bits",
+            "k(k+1)+2 ·⌈lg n⌉",
+            "rebuilt",
+        ],
         &[26, 7, 3, 9, 17, 8],
     );
     let cases: Vec<(Workload, usize, usize)> = vec![
@@ -58,7 +65,11 @@ fn main() {
     for (name, g, k) in [
         ("cycle C100", generators::cycle(100), 1usize),
         ("clique K6", generators::clique(6), 3),
-        ("K5 + forest", generators::clique(5).disjoint_union(&Workload::Forest.generate(20, 1)), 2),
+        (
+            "K5 + forest",
+            generators::clique(5).disjoint_union(&Workload::Forest.generate(20, 1)),
+            2,
+        ),
     ] {
         let p = BuildDegenerate::new(k);
         let report = run(&p, &g, &mut RandomAdversary::new(3));

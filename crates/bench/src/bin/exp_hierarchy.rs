@@ -17,7 +17,13 @@ use wb_runtime::{run, Model, Outcome, Protocol, RandomAdversary};
 fn main() {
     banner("Lemma 4: weak protocols run unchanged in strong models");
     let t = TablePrinter::new(
-        &["protocol", "native model", "target", "output intact", "budget intact"],
+        &[
+            "protocol",
+            "native model",
+            "target",
+            "output intact",
+            "budget intact",
+        ],
         &[20, 13, 10, 14, 14],
     );
     let g2 = Workload::KDegenerate(2).generate(18, 4);
@@ -85,7 +91,11 @@ fn main() {
             "EOB-BFS (Thm 7/8)",
             verdict(Family::EvenOddBipartite, n, regime).impossible(),
         ),
-        ("PASYNC ⊆ PSYNC", "BFS in SYNC; strictness open (Open Pb 3)", false),
+        (
+            "PASYNC ⊆ PSYNC",
+            "BFS in SYNC; strictness open (Open Pb 3)",
+            false,
+        ),
     ];
     let t = TablePrinter::new(&["inclusion", "separator", "counting fires"], &[22, 38, 15]);
     for (inc, sep, fires) in rows {

@@ -2,6 +2,7 @@
 //! plus all three executable reductions run end-to-end.
 
 use wb_bench::table::{banner, TablePrinter};
+use wb_core::TriangleFullRow;
 use wb_graph::generators;
 use wb_math::counting::MessageRegime;
 use wb_reductions::eobbfs_to_build::EobBfsToBuild;
@@ -9,7 +10,6 @@ use wb_reductions::lemma3::{sweep, Family};
 use wb_reductions::mis_to_build::MisToBuild;
 use wb_reductions::oracles::{BfsFullRowOracle, MisFullRowOracle};
 use wb_reductions::triangle_to_build::TriangleToBuild;
-use wb_core::TriangleFullRow;
 use wb_runtime::{run, Outcome, RandomAdversary};
 
 fn main() {
@@ -46,7 +46,11 @@ fn main() {
             format!("{}", row.n),
             format!("{}", row.verdict.required_bits),
             format!("{}", row.verdict.capacity_bits),
-            if row.verdict.impossible() { "IMPOSSIBLE".into() } else { "open".to_string() },
+            if row.verdict.impossible() {
+                "IMPOSSIBLE".into()
+            } else {
+                "open".to_string()
+            },
         ]);
     }
     t.rule();
@@ -58,28 +62,43 @@ fn main() {
 
     banner("Executable reductions (oracle = Θ(n)-bit full-row protocols)");
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(wb_bench::SEED ^ 3);
-    let t = TablePrinter::new(&["theorem", "hidden input", "rebuilt exactly"], &[9, 30, 16]);
+    let t = TablePrinter::new(
+        &["theorem", "hidden input", "rebuilt exactly"],
+        &[9, 30, 16],
+    );
 
     let g = generators::bipartite_fixed(6, 6, 0.45, &mut rng);
     let tri = TriangleToBuild::new(TriangleFullRow);
     let ok = matches!(run(&tri, &g, &mut RandomAdversary::new(1)).outcome,
                       Outcome::Success(ref h) if *h == g);
     assert!(ok);
-    t.row(&["Thm 3", "bipartite 6+6, p=0.45", if ok { "yes" } else { "NO" }]);
+    t.row(&[
+        "Thm 3",
+        "bipartite 6+6, p=0.45",
+        if ok { "yes" } else { "NO" },
+    ]);
 
     let g = generators::gnp(9, 0.5, &mut rng);
     let mis = MisToBuild::new(MisFullRowOracle::new);
     let ok = matches!(run(&mis, &g, &mut RandomAdversary::new(2)).outcome,
                       Outcome::Success(ref h) if *h == g);
     assert!(ok);
-    t.row(&["Thm 6", "arbitrary G(9, 0.5)", if ok { "yes" } else { "NO" }]);
+    t.row(&[
+        "Thm 6",
+        "arbitrary G(9, 0.5)",
+        if ok { "yes" } else { "NO" },
+    ]);
 
     let h = generators::even_odd_bipartite_connected(10, 0.4, &mut rng);
     let eob = EobBfsToBuild::new(BfsFullRowOracle);
     let ok = matches!(run(&eob, &h, &mut RandomAdversary::new(3)).outcome,
                       Outcome::Success(ref g2) if *g2 == h);
     assert!(ok);
-    t.row(&["Thm 8", "EOB connected, n=10", if ok { "yes" } else { "NO" }]);
+    t.row(&[
+        "Thm 8",
+        "EOB connected, n=10",
+        if ok { "yes" } else { "NO" },
+    ]);
     t.rule();
     println!(
         "Each reduction converts a problem oracle into BUILD on its family; the sweep\n\

@@ -26,7 +26,13 @@ fn main() {
 
     banner("Randomized sweep (G(n,p) × seeds × roots), parallel");
     let t = TablePrinter::new(&["n", "p", "runs", "valid", "avg |MIS|"], &[7, 6, 7, 7, 10]);
-    for (n, p) in [(50usize, 0.05f64), (50, 0.3), (200, 0.02), (200, 0.2), (500, 0.01)] {
+    for (n, p) in [
+        (50usize, 0.05f64),
+        (50, 0.3),
+        (200, 0.02),
+        (200, 0.2),
+        (500, 0.01),
+    ] {
         let cases: Vec<u64> = (0..64).collect();
         let (valid, size_sum) = par_reduce(
             &cases,
@@ -34,7 +40,11 @@ fn main() {
                 let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
                 let g = generators::gnp(n, p, &mut rng);
                 let root = (seed % n as u64 + 1) as NodeId;
-                let report = run(&MisGreedy::new(root), &g, &mut RandomAdversary::new(seed ^ 0xF00));
+                let report = run(
+                    &MisGreedy::new(root),
+                    &g,
+                    &mut RandomAdversary::new(seed ^ 0xF00),
+                );
                 match report.outcome {
                     Outcome::Success(set) => {
                         assert!(checks::is_rooted_mis(&g, &set, root));
@@ -68,10 +78,17 @@ fn main() {
                 v
             }),
         ] {
-            let report = run(&MisGreedy::new(root), &g, &mut PriorityAdversary::new(&priority));
+            let report = run(
+                &MisGreedy::new(root),
+                &g,
+                &mut PriorityAdversary::new(&priority),
+            );
             let set = report.outcome.unwrap();
             assert!(checks::is_rooted_mis(&g, &set, root));
-            println!("  star K_1,63, root {root}, order {tag}: |MIS| = {}", set.len());
+            println!(
+                "  star K_1,63, root {root}, order {tag}: |MIS| = {}",
+                set.len()
+            );
         }
     }
 

@@ -54,7 +54,10 @@ fn main() {
         let p = PrefixBuild::new(f);
         let report = run(&p, &g, &mut RandomAdversary::new(1));
         let ok = matches!(report.outcome, Outcome::Success(ref h) if *h == g);
-        println!("  n = {n}, f = {f}: family member rebuilt exactly = {ok} ({} bits/node)", p.budget_bits(n));
+        println!(
+            "  n = {n}, f = {f}: family member rebuilt exactly = {ok} ({} bits/node)",
+            p.budget_bits(n)
+        );
         assert!(ok);
     }
 
@@ -76,7 +79,11 @@ fn main() {
                     gname.to_string(),
                     format!("{}", v.required_bits),
                     format!("{}", v.capacity_bits),
-                    if v.impossible() { "IMPOSSIBLE".to_string() } else { "open".into() },
+                    if v.impossible() {
+                        "IMPOSSIBLE".to_string()
+                    } else {
+                        "open".into()
+                    },
                 ]);
             }
         }

@@ -18,13 +18,17 @@ use wb_runtime::{run, MinIdAdversary, PriorityAdversary, RandomAdversary};
 fn main() {
     banner("Deterministic SIMSYNC protocol: exhaustive schedules (n = 6)");
     let yes = Workload::TwoCliques.generate(6, 0);
-    let c1 = assert_all_schedules(&TwoCliques, &yes, 1000, |v| *v == TwoCliquesVerdict::TwoCliques);
+    let c1 = assert_all_schedules(&TwoCliques, &yes, 1000, |v| {
+        *v == TwoCliquesVerdict::TwoCliques
+    });
     let no = Workload::Impostor.generate(6, 1);
-    let c2 = assert_all_schedules(&TwoCliques, &no, 1000, |v| *v == TwoCliquesVerdict::NotTwoCliques);
+    let c2 = assert_all_schedules(&TwoCliques, &no, 1000, |v| {
+        *v == TwoCliquesVerdict::NotTwoCliques
+    });
     println!("two cliques 2×K3: {c1} schedules all accept; impostor: {c2} schedules all reject");
 
     banner("Creeping adversary (BFS expansion order) on larger impostors");
-    let t = TablePrinter::new(&["2n", "order", "verdict"], &[6, 12, 16], );
+    let t = TablePrinter::new(&["2n", "order", "verdict"], &[6, 12, 16]);
     for half in [5usize, 10, 25, 50] {
         let g = Workload::Impostor.generate(2 * half, half as u64);
         let order: Vec<NodeId> = {
@@ -36,7 +40,11 @@ fn main() {
         let report = run(&TwoCliques, &g, &mut PriorityAdversary::new(&order));
         let v = report.outcome.unwrap();
         assert_eq!(v, TwoCliquesVerdict::NotTwoCliques);
-        t.row(&[format!("{}", 2 * half), "creeping".to_string(), format!("{v:?}")]);
+        t.row(&[
+            format!("{}", 2 * half),
+            "creeping".to_string(),
+            format!("{v:?}"),
+        ]);
     }
     t.rule();
     println!(
@@ -50,8 +58,13 @@ fn main() {
             (Workload::TwoCliques.generate(2 * half, 0), "two cliques"),
             (Workload::Impostor.generate(2 * half, 3), "impostor"),
         ] {
-            let verdict = run(&TwoCliques, &g, &mut RandomAdversary::new(7)).outcome.unwrap();
-            assert_eq!(verdict == TwoCliquesVerdict::TwoCliques, !checks::is_connected(&g));
+            let verdict = run(&TwoCliques, &g, &mut RandomAdversary::new(7))
+                .outcome
+                .unwrap();
+            assert_eq!(
+                verdict == TwoCliquesVerdict::TwoCliques,
+                !checks::is_connected(&g)
+            );
             println!(
                 "  2n = {:3} {desc:12} connected = {:5} verdict = {verdict:?}",
                 2 * half,
@@ -109,6 +122,9 @@ fn main() {
         || 0u64,
         |a, b| a + b,
     );
-    println!("{} trials at b = 2 bits: {rejects} rejections (must be 0)", seeds.len());
+    println!(
+        "{} trials at b = 2 bits: {rejects} rejections (must be 0)",
+        seeds.len()
+    );
     assert_eq!(rejects, 0);
 }

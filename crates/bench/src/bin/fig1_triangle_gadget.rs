@@ -16,9 +16,27 @@ fn main() {
     banner("Figure 1: G'_{s,t} — triangle ⟺ edge, on the paper's example");
     // The figure's graph: circled nodes 1..7, bipartite-ish; we use the
     // figure's test pair (2,7) plus every other pair on a random instance.
-    let g = Graph::from_edges(7, &[(1, 4), (1, 5), (2, 5), (2, 6), (3, 6), (3, 7), (4, 7), (2, 7)]);
-    assert!(!checks::has_triangle(&g), "the base graph must be triangle-free");
-    let t = TablePrinter::new(&["pair (s,t)", "edge in G", "triangle in G'"], &[11, 10, 15]);
+    let g = Graph::from_edges(
+        7,
+        &[
+            (1, 4),
+            (1, 5),
+            (2, 5),
+            (2, 6),
+            (3, 6),
+            (3, 7),
+            (4, 7),
+            (2, 7),
+        ],
+    );
+    assert!(
+        !checks::has_triangle(&g),
+        "the base graph must be triangle-free"
+    );
+    let t = TablePrinter::new(
+        &["pair (s,t)", "edge in G", "triangle in G'"],
+        &[11, 10, 15],
+    );
     for (s, tt) in [(2u32, 7u32), (1, 2), (4, 7), (5, 6)] {
         let gadget = fig1_gadget(&g, s, tt);
         t.row(&[
@@ -37,7 +55,10 @@ fn main() {
         let g = generators::bipartite_fixed(6, 6, 0.3 + 0.02 * trial as f64, &mut rng);
         for s in 1..=12u32 {
             for t2 in (s + 1)..=12u32 {
-                assert_eq!(checks::has_triangle(&fig1_gadget(&g, s, t2)), g.has_edge(s, t2));
+                assert_eq!(
+                    checks::has_triangle(&fig1_gadget(&g, s, t2)),
+                    g.has_edge(s, t2)
+                );
                 pairs_checked += 1;
             }
         }
@@ -47,7 +68,13 @@ fn main() {
     banner("Theorem 3 transformation: TRIANGLE oracle ⇒ BUILD (bipartite)");
     let transform = TriangleToBuild::new(TriangleFullRow);
     let t = TablePrinter::new(
-        &["n", "oracle bits f(n+1)", "transformed bits", "paper bound 2f+O(log n)", "rebuilt"],
+        &[
+            "n",
+            "oracle bits f(n+1)",
+            "transformed bits",
+            "paper bound 2f+O(log n)",
+            "rebuilt",
+        ],
         &[5, 19, 17, 24, 8],
     );
     for n in [6usize, 10, 14, 18] {

@@ -19,10 +19,19 @@ fn main() {
     let h = generators::even_odd_bipartite_connected(6, 0.35, &mut rng);
     let gadget = fig2_gadget(&h, 5);
     println!("hidden H: {h:?}");
-    println!("gadget G_5: 13 nodes, {} edges, EOB = {}", gadget.m(), checks::is_even_odd_bipartite(&gadget));
+    println!(
+        "gadget G_5: 13 nodes, {} edges, EOB = {}",
+        gadget.m(),
+        checks::is_even_odd_bipartite(&gadget)
+    );
     let forest = checks::bfs_forest(&gadget);
     let t = TablePrinter::new(
-        &["paper node v_j", "H node", "layer in BFS(G_5)", "edge {v5,vj} in G?"],
+        &[
+            "paper node v_j",
+            "H node",
+            "layer in BFS(G_5)",
+            "edge {v5,vj} in G?",
+        ],
         &[14, 7, 18, 19],
     );
     for j in [2u32, 4, 6] {
@@ -61,7 +70,10 @@ fn main() {
 
     banner("Theorem 8 transformation: BFS oracle ⇒ BUILD (EOB)");
     let transform = EobBfsToBuild::new(BfsFullRowOracle);
-    let t = TablePrinter::new(&["hidden n", "gadget size 2n-1", "bits/message", "rebuilt"], &[9, 17, 13, 8]);
+    let t = TablePrinter::new(
+        &["hidden n", "gadget size 2n-1", "bits/message", "rebuilt"],
+        &[9, 17, 13, 8],
+    );
     for hn in [4usize, 6, 8, 10] {
         let h = generators::even_odd_bipartite_connected(hn, 0.4, &mut rng);
         let report = run(&transform, &h, &mut RandomAdversary::new(hn as u64));

@@ -13,11 +13,21 @@ fn main() {
     let g = generators::path(6);
     banner("Table 1: four families of protocols (probe: seen-count at message-fix time)");
     let t = TablePrinter::new(
-        &["model", "activation", "write order", "seen counts", "reading"],
+        &[
+            "model",
+            "activation",
+            "write order",
+            "seen counts",
+            "reading",
+        ],
         &[9, 11, 20, 20, 34],
     );
     for model in Model::ALL {
-        let report = run(&Probe::new(model, Activation::Immediate), &g, &mut MaxIdAdversary);
+        let report = run(
+            &Probe::new(model, Activation::Immediate),
+            &g,
+            &mut MaxIdAdversary,
+        );
         let rows = match report.outcome {
             Outcome::Success(rows) => rows,
             other => panic!("{other:?}"),
@@ -40,7 +50,11 @@ fn main() {
     // Free models can gate activation: sequential gating defeats the max-ID
     // adversary entirely.
     for model in [Model::Async, Model::Sync] {
-        let report = run(&Probe::new(model, Activation::Sequential), &g, &mut MaxIdAdversary);
+        let report = run(
+            &Probe::new(model, Activation::Sequential),
+            &g,
+            &mut MaxIdAdversary,
+        );
         let rows = match report.outcome {
             Outcome::Success(rows) => rows,
             other => panic!("{other:?}"),

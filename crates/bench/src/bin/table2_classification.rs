@@ -23,7 +23,9 @@ use wb_runtime::{run, Model, Outcome, RandomAdversary};
 
 /// Verify BUILD-k-degenerate positively in every model via promotion.
 fn build_row() -> [&'static str; 4] {
-    let graphs: Vec<_> = (0..8).map(|s| Workload::KDegenerate(2).generate(20, s)).collect();
+    let graphs: Vec<_> = (0..8)
+        .map(|s| Workload::KDegenerate(2).generate(20, s))
+        .collect();
     let ok = par_map(&graphs, |g| {
         Model::ALL.iter().all(|&m| {
             let p = Promote::new(BuildDegenerate::new(2), m);
@@ -54,7 +56,12 @@ fn mis_row() -> [&'static str; 4] {
 /// claimed in the paper without an in-text protocol (DESIGN.md §5) — we print
 /// the claim with a footnote marker.
 fn triangle_row() -> [&'static str; 4] {
-    assert!(verdict(Family::BipartiteFixedHalves, 1 << 12, MessageRegime::LogN { c: 8 }).impossible());
+    assert!(verdict(
+        Family::BipartiteFixedHalves,
+        1 << 12,
+        MessageRegime::LogN { c: 8 }
+    )
+    .impossible());
     ["no", "yes*", "yes*", "yes*"]
 }
 
@@ -64,7 +71,12 @@ fn eob_row() -> [&'static str; 4] {
     assert_all_schedules(&EobBfs, &valid, 2_000_000, |out| {
         *out == BfsOutput::Forest(checks::bfs_forest(&valid))
     });
-    assert!(verdict(Family::EvenOddBipartite, 1 << 12, MessageRegime::LogN { c: 8 }).impossible());
+    assert!(verdict(
+        Family::EvenOddBipartite,
+        1 << 12,
+        MessageRegime::LogN { c: 8 }
+    )
+    .impossible());
     ["no", "no", "yes", "yes"]
 }
 
@@ -79,9 +91,13 @@ fn bfs_row() -> [&'static str; 4] {
 /// 2-CLIQUES: exhaustive in SIMSYNC on 6-node instances.
 fn two_cliques_row() -> [&'static str; 4] {
     let yes = Workload::TwoCliques.generate(6, 0);
-    assert_all_schedules(&TwoCliques, &yes, 1000, |v| *v == TwoCliquesVerdict::TwoCliques);
+    assert_all_schedules(&TwoCliques, &yes, 1000, |v| {
+        *v == TwoCliquesVerdict::TwoCliques
+    });
     let no = Workload::Impostor.generate(6, 1);
-    assert_all_schedules(&TwoCliques, &no, 1000, |v| *v == TwoCliquesVerdict::NotTwoCliques);
+    assert_all_schedules(&TwoCliques, &no, 1000, |v| {
+        *v == TwoCliquesVerdict::NotTwoCliques
+    });
     ["?", "yes", "yes", "yes"]
 }
 

@@ -82,7 +82,11 @@ impl Protocol for Probe {
     }
 
     fn spawn(&self, view: &LocalView) -> ProbeNode {
-        ProbeNode { id: view.id, seen: 0, activation: self.activation }
+        ProbeNode {
+            id: view.id,
+            seen: 0,
+            activation: self.activation,
+        }
     }
 
     fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
@@ -115,13 +119,29 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         };
-        assert_eq!(freeze_counts(Model::SimAsync, Activation::Immediate), vec![0, 0, 0, 0]);
-        assert_eq!(freeze_counts(Model::SimSync, Activation::Immediate), vec![0, 1, 2, 3]);
-        assert_eq!(freeze_counts(Model::Async, Activation::Immediate), vec![0, 0, 0, 0]);
-        assert_eq!(freeze_counts(Model::Sync, Activation::Immediate), vec![0, 1, 2, 3]);
+        assert_eq!(
+            freeze_counts(Model::SimAsync, Activation::Immediate),
+            vec![0, 0, 0, 0]
+        );
+        assert_eq!(
+            freeze_counts(Model::SimSync, Activation::Immediate),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            freeze_counts(Model::Async, Activation::Immediate),
+            vec![0, 0, 0, 0]
+        );
+        assert_eq!(
+            freeze_counts(Model::Sync, Activation::Immediate),
+            vec![0, 1, 2, 3]
+        );
         // Sequential gating forces identity order regardless of the max-ID
         // adversary.
-        let report = run(&Probe::new(Model::Sync, Activation::Sequential), &g, &mut MaxIdAdversary);
+        let report = run(
+            &Probe::new(Model::Sync, Activation::Sequential),
+            &g,
+            &mut MaxIdAdversary,
+        );
         assert_eq!(report.write_order, vec![1, 2, 3, 4]);
     }
 }

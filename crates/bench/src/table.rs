@@ -12,7 +12,9 @@ impl TablePrinter {
     /// Start a table and print the header.
     pub fn new(headers: &[&str], widths: &[usize]) -> Self {
         assert_eq!(headers.len(), widths.len());
-        let t = TablePrinter { widths: widths.to_vec() };
+        let t = TablePrinter {
+            widths: widths.to_vec(),
+        };
         t.row(headers);
         t.rule();
         t

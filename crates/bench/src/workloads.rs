@@ -73,8 +73,12 @@ mod tests {
         assert!(checks::degeneracy(&Workload::Tree.generate(40, 1)).0 <= 1);
         assert_eq!(checks::degeneracy(&Workload::KTree(3).generate(40, 1)).0, 3);
         assert!(checks::degeneracy(&Workload::KDegenerate(4).generate(40, 1)).0 <= 4);
-        assert!(checks::is_even_odd_bipartite(&Workload::EobConnected.generate(30, 1)));
-        assert!(checks::is_two_cliques(&Workload::TwoCliques.generate(12, 1)));
+        assert!(checks::is_even_odd_bipartite(
+            &Workload::EobConnected.generate(30, 1)
+        ));
+        assert!(checks::is_two_cliques(
+            &Workload::TwoCliques.generate(12, 1)
+        ));
         assert!(!checks::is_two_cliques(&Workload::Impostor.generate(12, 1)));
     }
 

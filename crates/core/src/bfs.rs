@@ -90,8 +90,8 @@ pub struct BfsNode {
 
 impl BfsNode {
     fn new(variant: Variant, view: &LocalView) -> Self {
-        let parity_violation = variant == Variant::Eob
-            && view.neighbors.iter().any(|&w| w % 2 == view.id % 2);
+        let parity_violation =
+            variant == Variant::Eob && view.neighbors.iter().any(|&w| w % 2 == view.id % 2);
         BfsNode {
             variant,
             parity_violation,
@@ -157,11 +157,19 @@ impl BfsNode {
             return (0, None, 0, 0, view.degree() as u64);
         }
         let l = self.written_nbrs.iter().map(|&(_, lw)| lw).min().unwrap() + 1;
-        let dminus = self.written_nbrs.iter().filter(|&&(_, lw)| lw == l - 1).count() as u64;
+        let dminus = self
+            .written_nbrs
+            .iter()
+            .filter(|&&(_, lw)| lw == l - 1)
+            .count() as u64;
         let d0 = self.written_nbrs.iter().filter(|&&(_, lw)| lw == l).count() as u64;
         let dplus = view.degree() as u64 - dminus;
-        let parent =
-            self.written_nbrs.iter().filter(|&&(_, lw)| lw == l - 1).map(|&(w, _)| w).min();
+        let parent = self
+            .written_nbrs
+            .iter()
+            .filter(|&&(_, lw)| lw == l - 1)
+            .map(|&(w, _)| w)
+            .min();
         (l, parent, dminus, d0, dplus)
     }
 }
@@ -282,7 +290,11 @@ fn decode_forest(n: usize, board: &Whiteboard) -> Option<BfsForest> {
         }
     }
     roots.sort_unstable();
-    Some(BfsForest { layer, parent, roots })
+    Some(BfsForest {
+        layer,
+        parent,
+        roots,
+    })
 }
 
 /// Theorem 10: BFS forests on **arbitrary** graphs in `SYNC[log n]`.
@@ -415,7 +427,11 @@ mod tests {
 
     #[test]
     fn sync_bfs_odd_cycles_and_cliques() {
-        for g in [generators::cycle(7), generators::clique(6), generators::cycle(5)] {
+        for g in [
+            generators::cycle(7),
+            generators::clique(6),
+            generators::cycle(5),
+        ] {
             let report = run(&SyncBfs, &g, &mut MaxIdAdversary);
             assert_forest(&g, &report.outcome.unwrap());
         }
@@ -437,7 +453,11 @@ mod tests {
         for trial in 0..20 {
             let g = generators::bipartite_fixed(12, 9, 0.2, &mut rng);
             for seed in 0..3 {
-                let report = run(&AsyncBipartiteBfs, &g, &mut RandomAdversary::new(seed + trial));
+                let report = run(
+                    &AsyncBipartiteBfs,
+                    &g,
+                    &mut RandomAdversary::new(seed + trial),
+                );
                 match &report.outcome {
                     Outcome::Success(f) => assert_forest(&g, f),
                     other => panic!("deadlock on bipartite {g:?}: {other:?}"),
@@ -455,7 +475,9 @@ mod tests {
             Graph::from_edges(5, &[(1, 2), (3, 4)]),
         ] {
             assert!(checks::is_bipartite(&g));
-            assert_all_schedules(&AsyncBipartiteBfs, &g, 20_000, |f| *f == checks::bfs_forest(&g));
+            assert_all_schedules(&AsyncBipartiteBfs, &g, 20_000, |f| {
+                *f == checks::bfs_forest(&g)
+            });
         }
     }
 
@@ -489,9 +511,9 @@ mod tests {
     #[test]
     fn eob_bfs_accepts_valid_inputs_exhaustively() {
         for g in [
-            generators::path(5),                                     // parity-alternating path
+            generators::path(5), // parity-alternating path
             Graph::from_edges(6, &[(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]),
-            Graph::from_edges(5, &[(1, 2), (2, 5), (3, 4)]),         // two components
+            Graph::from_edges(5, &[(1, 2), (2, 5), (3, 4)]), // two components
         ] {
             assert!(checks::is_even_odd_bipartite(&g));
             assert_all_schedules(&EobBfs, &g, 20_000, |out| {
@@ -538,7 +560,9 @@ mod tests {
             generators::clique(4),
         ] {
             assert!(!checks::is_even_odd_bipartite(&g));
-            assert_all_schedules(&EobBfs, &g, 20_000, |out| *out == BfsOutput::NotEvenOddBipartite);
+            assert_all_schedules(&EobBfs, &g, 20_000, |out| {
+                *out == BfsOutput::NotEvenOddBipartite
+            });
         }
     }
 
@@ -549,7 +573,10 @@ mod tests {
         g.add_edge(3, 7); // plant one odd-odd edge
         for seed in 0..5 {
             let report = run(&EobBfs, &g, &mut RandomAdversary::new(seed));
-            assert_eq!(report.outcome, Outcome::Success(BfsOutput::NotEvenOddBipartite));
+            assert_eq!(
+                report.outcome,
+                Outcome::Success(BfsOutput::NotEvenOddBipartite)
+            );
         }
     }
 
@@ -584,8 +611,12 @@ mod tests {
             Outcome::Success(f) => f.clone(),
             other => panic!("{other:?}"),
         };
-        let pos: std::collections::HashMap<NodeId, usize> =
-            report.write_order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let pos: std::collections::HashMap<NodeId, usize> = report
+            .write_order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
         for v in 1..=g.n() as NodeId {
             if let Some(p) = f.parent[v as usize - 1] {
                 assert!(pos[&p] < pos[&v], "parent {p} wrote after child {v}");

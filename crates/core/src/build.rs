@@ -117,9 +117,7 @@ impl Protocol for BuildDegenerate {
     }
 
     fn budget_bits(&self, n: usize) -> u32 {
-        id_bits(n)
-            + Self::degree_bits(n)
-            + powersum::power_sum_vector_bits(n, self.k)
+        id_bits(n) + Self::degree_bits(n) + powersum::power_sum_vector_bits(n, self.k)
     }
 
     fn spawn(&self, _view: &LocalView) -> BuildNode {
@@ -137,17 +135,22 @@ impl Protocol for BuildDegenerate {
             let sums: Vec<BigInt> = (1..=self.k as u32)
                 .map(|p| r.read_big(powersum::power_sum_field_bits(n, p)))
                 .collect();
-            tuples[id as usize - 1] = Some(Tuple { degree, sums, alive: true });
+            tuples[id as usize - 1] = Some(Tuple {
+                degree,
+                sums,
+                alive: true,
+            });
         }
-        let mut tuples: Vec<Tuple> =
-            tuples.into_iter().map(|t| t.expect("missing message")).collect();
+        let mut tuples: Vec<Tuple> = tuples
+            .into_iter()
+            .map(|t| t.expect("missing message"))
+            .collect();
 
         let decoder = NewtonDecoder::new(n);
         let mut g = Graph::empty(n);
         // Worklist of candidate low-degree nodes; stale entries are re-checked
         // on pop, so pushing duplicates is harmless.
-        let mut stack: Vec<usize> =
-            (0..n).filter(|&i| tuples[i].degree <= self.k).collect();
+        let mut stack: Vec<usize> = (0..n).filter(|&i| tuples[i].degree <= self.k).collect();
         let mut remaining = n;
         while remaining > 0 {
             let x = loop {
@@ -243,7 +246,11 @@ mod tests {
             let g = generators::clique(k + 2);
             let p = BuildDegenerate::new(k);
             let report = run(&p, &g, &mut MinIdAdversary);
-            assert_eq!(report.outcome, Outcome::Success(Err(BuildError::NotKDegenerate)), "k={k}");
+            assert_eq!(
+                report.outcome,
+                Outcome::Success(Err(BuildError::NotKDegenerate)),
+                "k={k}"
+            );
         }
     }
 
@@ -252,7 +259,10 @@ mod tests {
         let p = BuildDegenerate::forests();
         let g = generators::cycle(6);
         let report = run(&p, &g, &mut MinIdAdversary);
-        assert_eq!(report.outcome, Outcome::Success(Err(BuildError::NotKDegenerate)));
+        assert_eq!(
+            report.outcome,
+            Outcome::Success(Err(BuildError::NotKDegenerate))
+        );
     }
 
     #[test]

@@ -105,10 +105,17 @@ impl Protocol for BuildMixed {
             let co_sums: Vec<BigInt> = (1..=self.k as u32)
                 .map(|p| r.read_big(powersum::power_sum_field_bits(n, p)))
                 .collect();
-            tuples[id as usize - 1] = Some(MixedTuple { degree, nbr_sums, co_sums, alive: true });
+            tuples[id as usize - 1] = Some(MixedTuple {
+                degree,
+                nbr_sums,
+                co_sums,
+                alive: true,
+            });
         }
-        let mut tuples: Vec<MixedTuple> =
-            tuples.into_iter().map(|t| t.expect("missing message")).collect();
+        let mut tuples: Vec<MixedTuple> = tuples
+            .into_iter()
+            .map(|t| t.expect("missing message"))
+            .collect();
 
         let decoder = NewtonDecoder::new(n);
         let mut g = Graph::empty(n);
@@ -247,12 +254,28 @@ mod tests {
         // The 3-cube: 3-regular on 8 nodes, neither low nor high at k = 1.
         let cube = Graph::from_edges(
             8,
-            &[(1, 2), (2, 3), (3, 4), (4, 1), (5, 6), (6, 7), (7, 8), (8, 5), (1, 5), (2, 6), (3, 7), (4, 8)],
+            &[
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 1),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 5),
+                (1, 5),
+                (2, 6),
+                (3, 7),
+                (4, 8),
+            ],
         );
         assert!(checks::mixed_elimination(&cube, 1).is_none());
         let p = BuildMixed::new(1);
         let report = run(&p, &cube, &mut MinIdAdversary);
-        assert_eq!(report.outcome, Outcome::Success(Err(BuildError::NotKDegenerate)));
+        assert_eq!(
+            report.outcome,
+            Outcome::Success(Err(BuildError::NotKDegenerate))
+        );
     }
 
     #[test]

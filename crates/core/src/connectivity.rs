@@ -106,9 +106,16 @@ mod tests {
         // SIMSYNC 2-CLIQUES protocol.
         use crate::two_cliques::{TwoCliques, TwoCliquesVerdict};
         let mut rng = StdRng::seed_from_u64(6);
-        for g in [generators::two_cliques(6), generators::connected_regular_impostor(6, &mut rng)] {
-            let conn = run(&ConnectivitySync, &g, &mut RandomAdversary::new(1)).outcome.unwrap();
-            let tc = run(&TwoCliques, &g, &mut RandomAdversary::new(1)).outcome.unwrap();
+        for g in [
+            generators::two_cliques(6),
+            generators::connected_regular_impostor(6, &mut rng),
+        ] {
+            let conn = run(&ConnectivitySync, &g, &mut RandomAdversary::new(1))
+                .outcome
+                .unwrap();
+            let tc = run(&TwoCliques, &g, &mut RandomAdversary::new(1))
+                .outcome
+                .unwrap();
             assert_eq!(tc == TwoCliquesVerdict::TwoCliques, !conn.connected);
         }
     }
@@ -116,7 +123,9 @@ mod tests {
     #[test]
     fn edgeless_graph_has_n_components() {
         let g = Graph::empty(6);
-        let rep = run(&ConnectivitySync, &g, &mut RandomAdversary::new(2)).outcome.unwrap();
+        let rep = run(&ConnectivitySync, &g, &mut RandomAdversary::new(2))
+            .outcome
+            .unwrap();
         assert!(!rep.connected);
         assert_eq!(rep.components, 6);
         assert_eq!(rep.component_of, vec![1, 2, 3, 4, 5, 6]);

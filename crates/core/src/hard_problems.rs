@@ -2,7 +2,7 @@
 //!
 //! "Questions like 'Does G contain a square?' or 'Is the diameter of G at
 //! most 3?' cannot be solved by a protocol using o(n) bits" — results of the
-//! IPDPS 2011 companion paper [2], quoted in §1 and §4 of the journal text.
+//! IPDPS 2011 companion paper \[2\], quoted in §1 and §4 of the journal text.
 //! As with TRIANGLE, we ship the two provable brackets:
 //!
 //! - the trivial `SIMASYNC[n]` upper bounds (full adjacency rows, then the
@@ -77,7 +77,9 @@ pub struct SquareViaBuild {
 impl SquareViaBuild {
     /// Protocol for degeneracy bound `k`.
     pub fn new(k: usize) -> Self {
-        SquareViaBuild { build: BuildDegenerate::new(k) }
+        SquareViaBuild {
+            build: BuildDegenerate::new(k),
+        }
     }
 }
 
@@ -149,6 +151,9 @@ mod tests {
     fn square_via_build_rejects_dense_inputs() {
         let p = SquareViaBuild::new(1);
         let report = run(&p, &generators::clique(5), &mut MinIdAdversary);
-        assert_eq!(report.outcome, Outcome::Success(Err(BuildError::NotKDegenerate)));
+        assert_eq!(
+            report.outcome,
+            Outcome::Success(Err(BuildError::NotKDegenerate))
+        );
     }
 }

@@ -14,7 +14,7 @@
 //! | [`connectivity`] | §6 / Open Pb 2 | `SYNC[log n]` | connectivity + component map |
 //! | [`subgraph`] | Thm 9 | `SIMASYNC[f(n)]` | subgraph induced by `{v_1..v_f(n)}` |
 //! | [`triangle`] | Thm 3 context | `SIMASYNC` | triangle detection (degenerate / Θ(n)-bit) |
-//! | [`hard_problems`] | §1, §4, [2] | `SIMASYNC` | SQUARE, DIAMETER ≤ 3 brackets |
+//! | [`hard_problems`] | §1, §4, \[2\] | `SIMASYNC` | SQUARE, DIAMETER ≤ 3 brackets |
 //! | [`statistics`] | §1 motivation | `SIMASYNC[2 log n]` | edge count, degree statistics |
 //! | [`naive`] | §1 | `SIMASYNC[n]` | BUILD by writing whole neighborhoods |
 //!
@@ -43,11 +43,11 @@ pub use bfs::{AsyncBipartiteBfs, BfsOutput, EobBfs, SyncBfs};
 pub use build::{BuildDegenerate, BuildError};
 pub use build_mixed::BuildMixed;
 pub use connectivity::{ConnectivityReport, ConnectivitySync};
-pub use statistics::{DegreeStats, DegreeSummary, EdgeCount};
 pub use hard_problems::{DiameterAtMost3FullRow, SquareFullRow, SquareViaBuild};
 pub use mis::MisGreedy;
 pub use naive::NaiveBuild;
 pub use spanning::{SpanningForest, SpanningForestSync};
+pub use statistics::{DegreeStats, DegreeSummary, EdgeCount};
 pub use subgraph::SubgraphPrefix;
 pub use triangle::{TriangleFullRow, TriangleViaBuild};
 pub use two_cliques::TwoCliques;

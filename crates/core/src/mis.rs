@@ -58,8 +58,7 @@ impl Node for MisNode {
     }
 
     fn compose(&mut self, view: &LocalView) -> BitVec {
-        let join = view.id == self.root
-            || (!view.is_neighbor(self.root) && !self.neighbor_joined);
+        let join = view.id == self.root || (!view.is_neighbor(self.root) && !self.neighbor_joined);
         let mut w = BitWriter::new();
         write_id(&mut w, view.id, view.n);
         w.write_bool(join);
@@ -80,7 +79,10 @@ impl Protocol for MisGreedy {
     }
 
     fn spawn(&self, _view: &LocalView) -> MisNode {
-        MisNode { root: self.root, neighbor_joined: false }
+        MisNode {
+            root: self.root,
+            neighbor_joined: false,
+        }
     }
 
     /// "The set of nodes with their IDs on the whiteboard."
@@ -140,7 +142,10 @@ mod tests {
                 let report = run(&p, &g, &mut RandomAdversary::new(seed * 71 + trial));
                 match &report.outcome {
                     Outcome::Success(set) => {
-                        assert!(checks::is_rooted_mis(&g, set, root), "root {root} set {set:?}")
+                        assert!(
+                            checks::is_rooted_mis(&g, set, root),
+                            "root {root} set {set:?}"
+                        )
                     }
                     other => panic!("{other:?}"),
                 }
@@ -165,7 +170,10 @@ mod tests {
                     Outcome::Success(s) => s,
                     other => panic!("{other:?}"),
                 };
-                assert!(checks::is_rooted_mis(&g, &set, root), "{priority:?} -> {set:?}");
+                assert!(
+                    checks::is_rooted_mis(&g, &set, root),
+                    "{priority:?} -> {set:?}"
+                );
             }
         }
     }
@@ -186,7 +194,10 @@ mod tests {
         let g = Graph::from_edges(5, &[(1, 2)]);
         let p = MisGreedy::new(1);
         assert_all_schedules(&p, &g, 200, |set| {
-            set.contains(&3) && set.contains(&4) && set.contains(&5) && checks::is_rooted_mis(&g, set, 1)
+            set.contains(&3)
+                && set.contains(&4)
+                && set.contains(&5)
+                && checks::is_rooted_mis(&g, set, 1)
         });
     }
 

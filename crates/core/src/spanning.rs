@@ -48,7 +48,10 @@ impl Protocol for SpanningForestSync {
             .enumerate()
             .filter_map(|(i, p)| p.map(|p| (i as NodeId + 1, p)))
             .collect();
-        SpanningForest { edges, roots: forest.roots }
+        SpanningForest {
+            edges,
+            roots: forest.roots,
+        }
     }
 }
 

@@ -111,7 +111,12 @@ impl Protocol for DegreeStats {
             Some(d) if degrees.iter().all(|&x| x == d) => Some(d),
             _ => None,
         };
-        DegreeSummary { degrees, max_degree, isolated, regular }
+        DegreeSummary {
+            degrees,
+            max_degree,
+            isolated,
+            regular,
+        }
     }
 }
 
@@ -153,19 +158,29 @@ mod tests {
         assert_eq!(s.degrees[0], 8);
 
         let cyc = generators::cycle(6);
-        let s = run(&DegreeStats, &cyc, &mut RandomAdversary::new(2)).outcome.unwrap();
+        let s = run(&DegreeStats, &cyc, &mut RandomAdversary::new(2))
+            .outcome
+            .unwrap();
         assert_eq!(s.regular, Some(2));
 
         let promise = generators::two_cliques(5);
-        let s = run(&DegreeStats, &promise, &mut RandomAdversary::new(3)).outcome.unwrap();
-        assert_eq!(s.regular, Some(4), "the §5.1 (n−1)-regular promise is checkable");
+        let s = run(&DegreeStats, &promise, &mut RandomAdversary::new(3))
+            .outcome
+            .unwrap();
+        assert_eq!(
+            s.regular,
+            Some(4),
+            "the §5.1 (n−1)-regular promise is checkable"
+        );
     }
 
     #[test]
     fn degree_stats_counts_isolated() {
         let mut g = generators::path(3).disjoint_union(&wb_graph::Graph::empty(4));
         g.add_edge(1, 2);
-        let s = run(&DegreeStats, &g, &mut RandomAdversary::new(4)).outcome.unwrap();
+        let s = run(&DegreeStats, &g, &mut RandomAdversary::new(4))
+            .outcome
+            .unwrap();
         assert_eq!(s.isolated, 4);
     }
 }

@@ -28,7 +28,9 @@ pub struct TriangleViaBuild {
 impl TriangleViaBuild {
     /// Protocol for degeneracy bound `k`.
     pub fn new(k: usize) -> Self {
-        TriangleViaBuild { build: BuildDegenerate::new(k) }
+        TriangleViaBuild {
+            build: BuildDegenerate::new(k),
+        }
     }
 }
 
@@ -49,7 +51,9 @@ impl Protocol for TriangleViaBuild {
     }
 
     fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
-        self.build.output(n, board).map(|g| checks::has_triangle(&g))
+        self.build
+            .output(n, board)
+            .map(|g| checks::has_triangle(&g))
     }
 }
 
@@ -102,7 +106,11 @@ mod tests {
                 let g = generators::k_degenerate(25, k, trial % 2 == 0, &mut rng);
                 let p = TriangleViaBuild::new(k);
                 let report = run(&p, &g, &mut RandomAdversary::new(trial));
-                assert_eq!(report.outcome, Outcome::Success(Ok(checks::has_triangle(&g))), "k={k}");
+                assert_eq!(
+                    report.outcome,
+                    Outcome::Success(Ok(checks::has_triangle(&g))),
+                    "k={k}"
+                );
             }
         }
     }
@@ -112,7 +120,10 @@ mod tests {
         let g = generators::clique(5); // degeneracy 4
         let p = TriangleViaBuild::new(2);
         let report = run(&p, &g, &mut RandomAdversary::new(0));
-        assert_eq!(report.outcome, Outcome::Success(Err(BuildError::NotKDegenerate)));
+        assert_eq!(
+            report.outcome,
+            Outcome::Success(Err(BuildError::NotKDegenerate))
+        );
     }
 
     #[test]

@@ -126,7 +126,9 @@ mod tests {
     fn accepts_two_cliques_under_every_schedule() {
         // 2×K₃ on 6 nodes: all 720 schedules.
         let g = generators::two_cliques(3);
-        assert_all_schedules(&TwoCliques, &g, 1000, |v| *v == TwoCliquesVerdict::TwoCliques);
+        assert_all_schedules(&TwoCliques, &g, 1000, |v| {
+            *v == TwoCliquesVerdict::TwoCliques
+        });
     }
 
     #[test]
@@ -137,7 +139,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::connected_regular_impostor(3, &mut rng);
         assert!(checks::is_connected(&g));
-        assert_all_schedules(&TwoCliques, &g, 1000, |v| *v == TwoCliquesVerdict::NotTwoCliques);
+        assert_all_schedules(&TwoCliques, &g, 1000, |v| {
+            *v == TwoCliquesVerdict::NotTwoCliques
+        });
     }
 
     #[test]
@@ -154,7 +158,10 @@ mod tests {
                 ids
             };
             let report = run(&TwoCliques, &g, &mut PriorityAdversary::new(&order));
-            assert_eq!(report.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+            assert_eq!(
+                report.outcome,
+                Outcome::Success(TwoCliquesVerdict::NotTwoCliques)
+            );
         }
     }
 
@@ -168,7 +175,10 @@ mod tests {
                 let ry = run(&TwoCliques, &yes, &mut RandomAdversary::new(seed));
                 assert_eq!(ry.outcome, Outcome::Success(TwoCliquesVerdict::TwoCliques));
                 let rn = run(&TwoCliques, &no, &mut RandomAdversary::new(seed));
-                assert_eq!(rn.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+                assert_eq!(
+                    rn.outcome,
+                    Outcome::Success(TwoCliquesVerdict::NotTwoCliques)
+                );
             }
         }
     }
@@ -180,7 +190,10 @@ mod tests {
         // promise class.
         let mut rng = StdRng::seed_from_u64(4);
         for half in [3usize, 4, 6] {
-            for g in [generators::two_cliques(half), generators::connected_regular_impostor(half, &mut rng)] {
+            for g in [
+                generators::two_cliques(half),
+                generators::connected_regular_impostor(half, &mut rng),
+            ] {
                 let report = run(&TwoCliques, &g, &mut RandomAdversary::new(7));
                 let verdict = report.outcome.unwrap();
                 assert_eq!(

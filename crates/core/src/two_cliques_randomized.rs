@@ -101,14 +101,18 @@ impl Protocol for TwoCliquesRandomized {
     }
 
     fn spawn(&self, view: &LocalView) -> RandomizedNode {
-        RandomizedNode { fingerprint: self.hash_closed_neighborhood(view), bits: self.bits }
+        RandomizedNode {
+            fingerprint: self.hash_closed_neighborhood(view),
+            bits: self.bits,
+        }
     }
 
     fn output(&self, n: usize, board: &Whiteboard) -> TwoCliquesVerdict {
         if n % 2 != 0 {
             return TwoCliquesVerdict::NotTwoCliques;
         }
-        let mut groups: std::collections::HashMap<u64, Vec<NodeId>> = std::collections::HashMap::new();
+        let mut groups: std::collections::HashMap<u64, Vec<NodeId>> =
+            std::collections::HashMap::new();
         for e in board.entries() {
             let mut r = BitReader::new(&e.msg);
             let id = read_id(&mut r, n);
@@ -122,8 +126,9 @@ impl Protocol for TwoCliquesRandomized {
             // collided — folded into the union bound.
             1 => TwoCliquesVerdict::TwoCliques,
             2 => {
-                let ok =
-                    groups.iter().all(|(&fp, ids)| ids.len() == n / 2 && self.hash_set(ids) == fp);
+                let ok = groups
+                    .iter()
+                    .all(|(&fp, ids)| ids.len() == n / 2 && self.hash_set(ids) == fp);
                 if ok {
                     TwoCliquesVerdict::TwoCliques
                 } else {
@@ -152,7 +157,10 @@ mod tests {
             for seed in 0..50 {
                 let p = TwoCliquesRandomized::new(seed, 24);
                 let report = run(&p, &g, &mut MinIdAdversary);
-                assert_eq!(report.outcome, Outcome::Success(TwoCliquesVerdict::TwoCliques));
+                assert_eq!(
+                    report.outcome,
+                    Outcome::Success(TwoCliquesVerdict::TwoCliques)
+                );
             }
         }
     }
@@ -184,11 +192,16 @@ mod tests {
         let mut narrow_accepts = 0u32;
         for seed in 0..200 {
             let narrow = TwoCliquesRandomized::new(seed, 1);
-            if run(&narrow, &g, &mut MinIdAdversary).outcome.unwrap() == TwoCliquesVerdict::TwoCliques {
+            if run(&narrow, &g, &mut MinIdAdversary).outcome.unwrap()
+                == TwoCliquesVerdict::TwoCliques
+            {
                 narrow_accepts += 1;
             }
             let wide = TwoCliquesRandomized::new(seed, 32);
-            assert_eq!(run(&wide, &g, &mut MinIdAdversary).outcome.unwrap(), TwoCliquesVerdict::NotTwoCliques);
+            assert_eq!(
+                run(&wide, &g, &mut MinIdAdversary).outcome.unwrap(),
+                TwoCliquesVerdict::NotTwoCliques
+            );
         }
         // Informational: narrow fingerprints may or may not produce false
         // accepts on this instance; the test asserts only that widening never
@@ -201,7 +214,10 @@ mod tests {
         let g = generators::clique(5);
         let p = TwoCliquesRandomized::new(1, 16);
         let report = run(&p, &g, &mut MinIdAdversary);
-        assert_eq!(report.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+        assert_eq!(
+            report.outcome,
+            Outcome::Success(TwoCliquesVerdict::NotTwoCliques)
+        );
     }
 
     #[test]

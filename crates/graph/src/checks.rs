@@ -71,10 +71,17 @@ pub fn bfs_forest(g: &Graph) -> BfsForest {
         if lv == 0 {
             continue;
         }
-        parent[v as usize - 1] =
-            g.neighbors(v).iter().copied().find(|&w| layer[w as usize - 1] == lv - 1);
+        parent[v as usize - 1] = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .find(|&w| layer[w as usize - 1] == lv - 1);
     }
-    BfsForest { layer, parent, roots }
+    BfsForest {
+        layer,
+        parent,
+        roots,
+    }
 }
 
 /// BFS distances from a single source (`u32::MAX` for unreachable nodes).
@@ -306,8 +313,7 @@ pub fn mixed_elimination(g: &Graph, k: usize) -> Option<Vec<NodeId>> {
     while remaining > 0 {
         let candidate = (1..=n as NodeId).find(|&v| {
             alive[v as usize - 1]
-                && (deg[v as usize - 1] <= k
-                    || deg[v as usize - 1] + k + 1 >= remaining)
+                && (deg[v as usize - 1] <= k || deg[v as usize - 1] + k + 1 >= remaining)
         })?;
         alive[candidate as usize - 1] = false;
         remaining -= 1;
@@ -348,7 +354,8 @@ pub fn is_rooted_mis(g: &Graph, set: &[NodeId], root: NodeId) -> bool {
         }
         b
     };
-    g.nodes().all(|v| inside[v as usize - 1] || g.neighbors(v).iter().any(|&w| inside[w as usize - 1]))
+    g.nodes()
+        .all(|v| inside[v as usize - 1] || g.neighbors(v).iter().any(|&w| inside[w as usize - 1]))
 }
 
 /// Whether `g` is the disjoint union of two n-cliques on 2n nodes (the
@@ -360,9 +367,9 @@ pub fn is_two_cliques(g: &Graph) -> bool {
     let half = g.n() / 2;
     let comps = components(g);
     comps.len() == 2
-        && comps.iter().all(|c| {
-            c.len() == half && c.iter().all(|&v| g.degree(v) == half - 1)
-        })
+        && comps
+            .iter()
+            .all(|c| c.len() == half && c.iter().all(|&v| g.degree(v) == half - 1))
 }
 
 #[cfg(test)]
@@ -432,7 +439,10 @@ mod tests {
 
     #[test]
     fn eob_requires_parity_respecting_edges() {
-        assert!(is_even_odd_bipartite(&Graph::from_edges(4, &[(1, 2), (2, 3), (3, 4)])));
+        assert!(is_even_odd_bipartite(&Graph::from_edges(
+            4,
+            &[(1, 2), (2, 3), (3, 4)]
+        )));
         assert!(!is_even_odd_bipartite(&Graph::from_edges(4, &[(1, 3)])));
         // bipartite but not even-odd-bipartite:
         let g = Graph::from_edges(4, &[(1, 3), (3, 2), (2, 4)]);
@@ -491,7 +501,11 @@ mod tests {
                 pos[v as usize - 1] = i;
             }
             for (i, &v) in order.iter().enumerate() {
-                let later = g.neighbors(v).iter().filter(|&&w| pos[w as usize - 1] > i).count();
+                let later = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| pos[w as usize - 1] > i)
+                    .count();
                 assert!(later <= k, "node {v} has {later} later neighbors > k={k}");
             }
         }
@@ -528,7 +542,20 @@ mod tests {
         // A 3-regular bipartite-ish graph with n = 8 is in neither side at k = 1:
         let cube = Graph::from_edges(
             8,
-            &[(1, 2), (2, 3), (3, 4), (4, 1), (5, 6), (6, 7), (7, 8), (8, 5), (1, 5), (2, 6), (3, 7), (4, 8)],
+            &[
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 1),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 5),
+                (1, 5),
+                (2, 6),
+                (3, 7),
+                (4, 8),
+            ],
         );
         assert!(mixed_elimination(&cube, 1).is_none());
         assert!(mixed_elimination(&cube, 3).is_some());
@@ -546,8 +573,11 @@ mod tests {
                 pos[v as usize - 1] = i;
             }
             for (i, &v) in order.iter().enumerate() {
-                let later =
-                    g.neighbors(v).iter().filter(|&&w| pos[w as usize - 1] > i).count();
+                let later = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| pos[w as usize - 1] > i)
+                    .count();
                 let survivors = g.n() - i;
                 assert!(
                     later <= k || later + k + 1 >= survivors,

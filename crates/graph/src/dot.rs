@@ -30,7 +30,11 @@ pub fn forest_to_dot(g: &Graph, forest: &BfsForest, name: &str) -> String {
     let _ = writeln!(out, "  node [shape=circle];");
     for v in g.nodes() {
         let layer = forest.layer[v as usize - 1];
-        let shape = if forest.roots.contains(&v) { "doublecircle" } else { "circle" };
+        let shape = if forest.roots.contains(&v) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
         let _ = writeln!(out, "  {v} [shape={shape}, label=\"{v}\\nl={layer}\"];");
     }
     // Group nodes of equal layer on one rank.
@@ -49,7 +53,11 @@ pub fn forest_to_dot(g: &Graph, forest: &BfsForest, name: &str) -> String {
         forest.parent[u as usize - 1] == Some(v) || forest.parent[v as usize - 1] == Some(u)
     };
     for (u, v) in g.edges() {
-        let style = if is_tree_edge(u, v) { "solid" } else { "dashed" };
+        let style = if is_tree_edge(u, v) {
+            "solid"
+        } else {
+            "dashed"
+        };
         let _ = writeln!(out, "  {u} -- {v} [style={style}];");
     }
     let _ = writeln!(out, "}}");

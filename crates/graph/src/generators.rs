@@ -320,7 +320,10 @@ mod tests {
         let mut r = rng();
         let a = random_tree(30, &mut r);
         let b = random_tree(30, &mut r);
-        assert_ne!(a, b, "two random trees should differ with overwhelming probability");
+        assert_ne!(
+            a, b,
+            "two random trees should differ with overwhelming probability"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct Graph {
 impl Graph {
     /// The empty graph on `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
-        Graph { n, adj: vec![Vec::new(); n] }
+        Graph {
+            n,
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Build from an edge list. Duplicate edges are merged; panics on
@@ -102,7 +105,10 @@ impl Graph {
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(i, a)| {
             let u = i as NodeId + 1;
-            a.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            a.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -214,7 +220,10 @@ pub struct AdjMatrix {
 impl AdjMatrix {
     /// All-zero matrix.
     pub fn new(n: usize) -> Self {
-        AdjMatrix { n, bits: vec![0; (n * n + 63) / 64] }
+        AdjMatrix {
+            n,
+            bits: vec![0; (n * n + 63) / 64],
+        }
     }
 
     /// Matrix size.

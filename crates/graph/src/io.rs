@@ -49,9 +49,9 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
         }
         match &mut g {
             None => {
-                let n: usize = trimmed
-                    .parse()
-                    .map_err(|_| ParseError::Malformed(lineno, format!("expected node count, got '{trimmed}'")))?;
+                let n: usize = trimmed.parse().map_err(|_| {
+                    ParseError::Malformed(lineno, format!("expected node count, got '{trimmed}'"))
+                })?;
                 g = Some(Graph::empty(n));
             }
             Some(g) => {
@@ -96,7 +96,10 @@ pub fn load_edge_list(path: &std::path::Path) -> Result<Graph, ParseError> {
 
 /// Write `g` in the same format.
 pub fn write_edge_list<W: Write>(g: &Graph, mut out: W) -> std::io::Result<()> {
-    writeln!(out, "# shared-whiteboard edge list: n then one 'u v' per edge")?;
+    writeln!(
+        out,
+        "# shared-whiteboard edge list: n then one 'u v' per edge"
+    )?;
     writeln!(out, "{}", g.n())?;
     for (u, v) in g.edges() {
         writeln!(out, "{u} {v}")?;
@@ -140,13 +143,34 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(matches!(parse_edge_list(""), Err(ParseError::MissingHeader)));
-        assert!(matches!(parse_edge_list("x"), Err(ParseError::Malformed(1, _))));
-        assert!(matches!(parse_edge_list("3\n1"), Err(ParseError::Malformed(2, _))));
-        assert!(matches!(parse_edge_list("3\n1 2 3"), Err(ParseError::Malformed(2, _))));
-        assert!(matches!(parse_edge_list("3\n1 4"), Err(ParseError::Malformed(2, _))));
-        assert!(matches!(parse_edge_list("3\n2 2"), Err(ParseError::Malformed(2, _))));
-        assert!(matches!(parse_edge_list("3\n0 1"), Err(ParseError::Malformed(2, _))));
+        assert!(matches!(
+            parse_edge_list(""),
+            Err(ParseError::MissingHeader)
+        ));
+        assert!(matches!(
+            parse_edge_list("x"),
+            Err(ParseError::Malformed(1, _))
+        ));
+        assert!(matches!(
+            parse_edge_list("3\n1"),
+            Err(ParseError::Malformed(2, _))
+        ));
+        assert!(matches!(
+            parse_edge_list("3\n1 2 3"),
+            Err(ParseError::Malformed(2, _))
+        ));
+        assert!(matches!(
+            parse_edge_list("3\n1 4"),
+            Err(ParseError::Malformed(2, _))
+        ));
+        assert!(matches!(
+            parse_edge_list("3\n2 2"),
+            Err(ParseError::Malformed(2, _))
+        ));
+        assert!(matches!(
+            parse_edge_list("3\n0 1"),
+            Err(ParseError::Malformed(2, _))
+        ));
     }
 
     #[test]

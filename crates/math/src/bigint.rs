@@ -45,7 +45,10 @@ impl BigInt {
     /// The value `0`.
     #[inline]
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Plus, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: Vec::new(),
+        }
     }
 
     /// The value `1`.
@@ -78,7 +81,10 @@ impl BigInt {
 
     /// `|self|` as a new value.
     pub fn abs(&self) -> BigInt {
-        BigInt { sign: Sign::Plus, mag: self.mag.clone() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: self.mag.clone(),
+        }
     }
 
     /// Construct `base^exp` for machine-word `base`.
@@ -121,7 +127,11 @@ impl BigInt {
             q[i] = (cur / div as u128) as u64;
             rem = cur % div as u128;
         }
-        let quotient = BigInt { sign: self.sign, mag: q }.normalized();
+        let quotient = BigInt {
+            sign: self.sign,
+            mag: q,
+        }
+        .normalized();
         let rem = rem as i128;
         let rem = if self.sign == Sign::Minus { -rem } else { rem };
         (quotient, rem)
@@ -188,7 +198,11 @@ impl BigInt {
 
     /// Build a non-negative value from little-endian limbs.
     pub fn from_limbs(limbs: Vec<u64>) -> BigInt {
-        BigInt { sign: Sign::Plus, mag: limbs }.normalized()
+        BigInt {
+            sign: Sign::Plus,
+            mag: limbs,
+        }
+        .normalized()
     }
 
     fn normalized(mut self) -> Self {
@@ -284,16 +298,24 @@ impl BigInt {
             rhs.sign
         };
         if lhs.sign == rhs_sign {
-            BigInt { sign: lhs.sign, mag: Self::add_mag(&lhs.mag, &rhs.mag) }.normalized()
+            BigInt {
+                sign: lhs.sign,
+                mag: Self::add_mag(&lhs.mag, &rhs.mag),
+            }
+            .normalized()
         } else {
             match Self::cmp_mag(&lhs.mag, &rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt { sign: lhs.sign, mag: Self::sub_mag(&lhs.mag, &rhs.mag) }.normalized()
+                Ordering::Greater => BigInt {
+                    sign: lhs.sign,
+                    mag: Self::sub_mag(&lhs.mag, &rhs.mag),
                 }
-                Ordering::Less => {
-                    BigInt { sign: rhs_sign, mag: Self::sub_mag(&rhs.mag, &lhs.mag) }.normalized()
+                .normalized(),
+                Ordering::Less => BigInt {
+                    sign: rhs_sign,
+                    mag: Self::sub_mag(&rhs.mag, &lhs.mag),
                 }
+                .normalized(),
             }
         }
     }
@@ -301,7 +323,10 @@ impl BigInt {
 
 impl From<u64> for BigInt {
     fn from(v: u64) -> Self {
-        BigInt { sign: Sign::Plus, mag: if v == 0 { Vec::new() } else { vec![v] } }
+        BigInt {
+            sign: Sign::Plus,
+            mag: if v == 0 { Vec::new() } else { vec![v] },
+        }
     }
 }
 
@@ -326,7 +351,10 @@ impl From<u128> for BigInt {
 impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
         if v < 0 {
-            BigInt { sign: Sign::Minus, mag: vec![v.unsigned_abs()] }
+            BigInt {
+                sign: Sign::Minus,
+                mag: vec![v.unsigned_abs()],
+            }
         } else {
             BigInt::from(v as u64)
         }
@@ -385,8 +413,16 @@ impl Mul for &BigInt {
         if self.is_zero() || rhs.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
-        BigInt { sign, mag: BigInt::mul_mag(&self.mag, &rhs.mag) }.normalized()
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        BigInt {
+            sign,
+            mag: BigInt::mul_mag(&self.mag, &rhs.mag),
+        }
+        .normalized()
     }
 }
 
@@ -514,7 +550,10 @@ mod tests {
         // 2^128 = 340282366920938463463374607431768211456
         let v = BigInt::pow_u64(2, 128);
         assert_eq!(format!("{v}"), "340282366920938463463374607431768211456");
-        assert_eq!(format!("{}", -v), "-340282366920938463463374607431768211456");
+        assert_eq!(
+            format!("{}", -v),
+            "-340282366920938463463374607431768211456"
+        );
     }
 
     #[test]
@@ -530,7 +569,10 @@ mod tests {
     fn div_rem_small_matches_i128() {
         let v = big(1_000_000_007i128 * 998_244_353);
         let (q, r) = v.div_rem_u64(12345);
-        assert_eq!(q.to_i128().unwrap(), (1_000_000_007i128 * 998_244_353) / 12345);
+        assert_eq!(
+            q.to_i128().unwrap(),
+            (1_000_000_007i128 * 998_244_353) / 12345
+        );
         assert_eq!(r, (1_000_000_007i128 * 998_244_353) % 12345);
     }
 
@@ -558,7 +600,15 @@ mod tests {
 
     #[test]
     fn i128_round_trip_extremes() {
-        for v in [i128::MAX, i128::MIN, 0, 1, -1, i64::MAX as i128, i64::MIN as i128] {
+        for v in [
+            i128::MAX,
+            i128::MIN,
+            0,
+            1,
+            -1,
+            i64::MAX as i128,
+            i64::MIN as i128,
+        ] {
             assert_eq!(BigInt::from(v).to_i128(), Some(v), "{v}");
         }
     }

@@ -49,7 +49,11 @@ impl BitVec {
     /// Read bit `i` (panics out of range).
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -58,7 +62,10 @@ impl BitVec {
     pub fn push_bits(&mut self, value: u64, width: u32) {
         assert!(width <= 64);
         if width < 64 {
-            assert!(value < (1u64 << width), "value {value} does not fit in {width} bits");
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
         }
         for i in 0..width {
             self.push((value >> i) & 1 == 1);
@@ -128,14 +135,22 @@ impl BitWriter {
     /// not fit — protocols size fields from Lemma 1's bound, so overflow is a bug).
     pub fn write_big(&mut self, value: &BigInt, width: u32) -> &mut Self {
         assert!(!value.is_negative(), "cannot encode negative field");
-        assert!(value.bits() <= width as u64, "BigInt needs {} bits > field width {width}", value.bits());
+        assert!(
+            value.bits() <= width as u64,
+            "BigInt needs {} bits > field width {width}",
+            value.bits()
+        );
         let limbs = value.limbs();
         let mut remaining = width;
         let mut idx = 0;
         while remaining > 0 {
             let w = remaining.min(64);
             let limb = limbs.get(idx).copied().unwrap_or(0);
-            let limb = if w == 64 { limb } else { limb & ((1u64 << w) - 1) };
+            let limb = if w == 64 {
+                limb
+            } else {
+                limb & ((1u64 << w) - 1)
+            };
             self.bv.push_bits(limb, w);
             remaining -= w;
             idx += 1;
@@ -239,7 +254,10 @@ mod tests {
     #[test]
     fn writer_reader_round_trip_fields() {
         let mut w = BitWriter::new();
-        w.write_bits(5, 3).write_bool(true).write_bits(1023, 10).write_bits(0, 1);
+        w.write_bits(5, 3)
+            .write_bool(true)
+            .write_bits(1023, 10)
+            .write_bits(0, 1);
         let bv = w.finish();
         assert_eq!(bv.len(), 15);
         let mut r = BitReader::new(&bv);

@@ -86,7 +86,10 @@ impl CapacityVerdict {
 
 /// Evaluate Lemma 3 for a family with `log₂ g(n) = required_bits`.
 pub fn lemma3(required_bits: u64, n: u64, per_msg_bits: u64) -> CapacityVerdict {
-    CapacityVerdict { required_bits, capacity_bits: board_capacity_bits(n, per_msg_bits) }
+    CapacityVerdict {
+        required_bits,
+        capacity_bits: board_capacity_bits(n, per_msg_bits),
+    }
 }
 
 /// Message-size regimes used in the sweep experiments.

@@ -111,9 +111,17 @@ impl NewtonDecoder {
     /// Requires `sums.len() >= degree`.
     pub fn decode(&self, sums: &[BigInt], degree: usize) -> Option<Vec<u32>> {
         let d = degree;
-        assert!(sums.len() >= d, "need at least {d} power sums, got {}", sums.len());
+        assert!(
+            sums.len() >= d,
+            "need at least {d} power sums, got {}",
+            sums.len()
+        );
         if d == 0 {
-            return if sums.iter().all(|s| s.is_zero()) { Some(Vec::new()) } else { None };
+            return if sums.iter().all(|s| s.is_zero()) {
+                Some(Vec::new())
+            } else {
+                None
+            };
         }
         // Newton's identities: e_m = (1/m)·Σ_{i=1..m} (−1)^{i−1} e_{m−i} p_i.
         let mut e = Vec::with_capacity(d + 1);
@@ -306,7 +314,13 @@ mod tests {
     #[test]
     fn newton_decodes_known_sets() {
         let dec = NewtonDecoder::new(50);
-        for set in [vec![], vec![7], vec![1, 2], vec![3, 19, 42], vec![1, 2, 3, 4, 5]] {
+        for set in [
+            vec![],
+            vec![7],
+            vec![1, 2],
+            vec![3, 19, 42],
+            vec![1, 2, 3, 4, 5],
+        ] {
             let k = set.len().max(1);
             let sums = power_sums(&set, k);
             assert_eq!(dec.decode(&sums, set.len()), Some(set.clone()), "{set:?}");
@@ -343,7 +357,10 @@ mod tests {
         let newton = NewtonDecoder::new(n);
         // all subsets of size ≤ 3 of {1..9}
         for mask in 0u32..(1 << n) {
-            let set: Vec<u32> = (0..n as u32).filter(|i| mask >> i & 1 == 1).map(|i| i + 1).collect();
+            let set: Vec<u32> = (0..n as u32)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| i + 1)
+                .collect();
             if set.len() > k {
                 continue;
             }
@@ -360,7 +377,10 @@ mod tests {
         let (n, k) = (10, 3);
         let mut seen: HashMap<Vec<BigInt>, Vec<u32>> = HashMap::new();
         for mask in 0u32..(1 << n) {
-            let set: Vec<u32> = (0..n as u32).filter(|i| mask >> i & 1 == 1).map(|i| i + 1).collect();
+            let set: Vec<u32> = (0..n as u32)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| i + 1)
+                .collect();
             if set.len() > k {
                 continue;
             }

@@ -3,7 +3,7 @@
 //! The benchmark binaries sweep grids of `(graph family × size × adversary
 //! seed)` — embarrassingly parallel work. Rather than pull in a full
 //! work-stealing runtime, this crate offers the few primitives the harness
-//! needs, built on `crossbeam`'s scoped threads (structured concurrency: no
+//! needs, built on `std::thread::scope` (structured concurrency: no
 //! `'static` bounds, joins on scope exit) and `parking_lot` locks, following
 //! the project's HPC guides:
 //!
@@ -30,7 +30,9 @@ pub fn num_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Parallel map with output order matching input order.
@@ -45,9 +47,9 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
     }
     let cursor = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -56,9 +58,12 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
                 slots.lock()[i] = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
-    slots.into_inner().into_iter().map(|r| r.expect("slot filled")).collect()
+    });
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("slot filled"))
+        .collect()
 }
 
 /// Run `f(i)` for every `i in 0..count` across the pool (no result order —
@@ -72,9 +77,9 @@ pub fn par_for_each(count: usize, f: impl Fn(usize) + Sync) {
         return;
     }
     let cursor = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
@@ -82,8 +87,7 @@ pub fn par_for_each(count: usize, f: impl Fn(usize) + Sync) {
                 f(i);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
 /// Parallel map-reduce with an associative, commutative `fold`.
@@ -99,9 +103,9 @@ pub fn par_reduce<T: Sync, R: Send>(
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(map).fold(identity(), &fold);
     }
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut acc = identity();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -113,8 +117,7 @@ pub fn par_reduce<T: Sync, R: Send>(
                 partials.lock().push(acc);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     partials.into_inner().into_iter().fold(identity(), fold)
 }
 

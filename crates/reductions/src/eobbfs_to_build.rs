@@ -27,8 +27,8 @@
 
 use wb_graph::checks::BfsForest;
 use wb_graph::{Graph, NodeId};
-use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
 use wb_math::BitVec;
+use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
 
 /// Build the Figure 2 gadget `G_i` (paper coordinates) from the hidden graph
 /// `H` on `h` nodes (`H`-node `u` is the paper's `v_{u+1}`); `i` is an odd
@@ -36,8 +36,14 @@ use wb_math::BitVec;
 pub fn fig2_gadget(h_graph: &Graph, i: NodeId) -> Graph {
     let h = h_graph.n();
     let n = h + 1; // paper's n; nodes v_2..v_n host H
-    assert!(n % 2 == 1, "the construction needs paper-n odd (h = {h} even)");
-    assert!(i % 2 == 1 && i >= 3 && (i as usize) <= n, "i must be an odd paper index in 3..=n");
+    assert!(
+        n % 2 == 1,
+        "the construction needs paper-n odd (h = {h} even)"
+    );
+    assert!(
+        i % 2 == 1 && i >= 3 && (i as usize) <= n,
+        "i must be an odd paper index in 3..=n"
+    );
     let total = 2 * n - 1;
     let mut g = Graph::empty(total);
     // H's edges, shifted by +1.
@@ -82,7 +88,11 @@ fn gadget_view(h: usize, i: NodeId, q: NodeId) -> LocalView {
         }
         neighbors.sort_unstable();
     }
-    LocalView { id: q, n: total, neighbors }
+    LocalView {
+        id: q,
+        n: total,
+        neighbors,
+    }
 }
 
 /// Neighborhood of a `V`-node `v_{u+1}` (`u` an `H`-node) in every `G_i`.
@@ -97,7 +107,11 @@ fn v_node_view(h_view: &LocalView) -> LocalView {
         neighbors.push((j + n) as NodeId);
     }
     neighbors.sort_unstable();
-    LocalView { id: j as NodeId, n: 2 * n - 1, neighbors }
+    LocalView {
+        id: j as NodeId,
+        n: 2 * n - 1,
+        neighbors,
+    }
 }
 
 /// The Theorem 8 transformation: BUILD on even-odd-bipartite graphs from a
@@ -159,7 +173,10 @@ where
 
     fn spawn(&self, view: &LocalView) -> Self::Node {
         let inner_view = v_node_view(view);
-        EobPairNode { inner: self.oracle.spawn(&inner_view), inner_view }
+        EobPairNode {
+            inner: self.oracle.spawn(&inner_view),
+            inner_view,
+        }
     }
 
     fn output(&self, h: usize, board: &Whiteboard) -> Graph {
@@ -167,8 +184,11 @@ where
         let total = 2 * n - 1;
         let mut g = Graph::empty(h);
         // The H-side prefix, in real write order, with paper writer IDs.
-        let prefix: Vec<(NodeId, BitVec)> =
-            board.entries().iter().map(|e| (e.writer + 1, e.msg.clone())).collect();
+        let prefix: Vec<(NodeId, BitVec)> = board
+            .entries()
+            .iter()
+            .map(|e| (e.writer + 1, e.msg.clone()))
+            .collect();
         for i in (3..=n).step_by(2) {
             let i = i as NodeId;
             // Continue the run: anchors v_{n+1}..v_{2n−1}, then v_1.

@@ -80,7 +80,12 @@ pub fn sweep(families: &[Family], regimes: &[MessageRegime], ns: &[u64]) -> Vec<
     for &family in families {
         for &regime in regimes {
             for &n in ns {
-                rows.push(SweepRow { n, family, regime, verdict: verdict(family, n, regime) });
+                rows.push(SweepRow {
+                    n,
+                    family,
+                    regime,
+                    verdict: verdict(family, n, regime),
+                });
             }
         }
     }
@@ -96,14 +101,21 @@ mod tests {
         // TRIANGLE ∉ SIMASYNC[o(n)]: the bipartite family outgrows any
         // polylogarithmic whiteboard.
         for n in [512u64, 2048, 1 << 14] {
-            assert!(verdict(Family::BipartiteFixedHalves, n, MessageRegime::LogN { c: 8 }).impossible());
+            assert!(verdict(
+                Family::BipartiteFixedHalves,
+                n,
+                MessageRegime::LogN { c: 8 }
+            )
+            .impossible());
         }
     }
 
     #[test]
     fn theorem8_family_infeasible_at_log_n() {
         for n in [512u64, 2048] {
-            assert!(verdict(Family::EvenOddBipartite, n, MessageRegime::LogN { c: 8 }).impossible());
+            assert!(
+                verdict(Family::EvenOddBipartite, n, MessageRegime::LogN { c: 8 }).impossible()
+            );
         }
     }
 
@@ -118,8 +130,15 @@ mod tests {
     #[test]
     fn everything_feasible_with_linear_messages() {
         for n in [16u64, 256, 4096] {
-            for family in [Family::AllGraphs, Family::BipartiteFixedHalves, Family::EvenOddBipartite] {
-                assert!(!verdict(family, n, MessageRegime::Linear).impossible(), "{family:?} n={n}");
+            for family in [
+                Family::AllGraphs,
+                Family::BipartiteFixedHalves,
+                Family::EvenOddBipartite,
+            ] {
+                assert!(
+                    !verdict(family, n, MessageRegime::Linear).impossible(),
+                    "{family:?} n={n}"
+                );
             }
         }
     }

@@ -19,8 +19,9 @@ use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
 /// `i`, `j`).
 pub fn thm6_gadget(g: &Graph, i: NodeId, j: NodeId) -> Graph {
     assert!(i != j);
-    let attach: Vec<NodeId> =
-        (1..=g.n() as NodeId).filter(|&v| v != i && v != j).collect();
+    let attach: Vec<NodeId> = (1..=g.n() as NodeId)
+        .filter(|&v| v != i && v != j)
+        .collect();
     g.with_extra_node(&attach)
 }
 
@@ -42,8 +43,15 @@ where
     /// Wrap a rooted-MIS oracle factory.
     pub fn new(make_oracle: F) -> Self {
         let probe = make_oracle(1);
-        assert_eq!(probe.model(), Model::SimAsync, "Theorem 6 transforms SIMASYNC oracles");
-        MisToBuild { make_oracle, _marker: std::marker::PhantomData }
+        assert_eq!(
+            probe.model(),
+            Model::SimAsync,
+            "Theorem 6 transforms SIMASYNC oracles"
+        );
+        MisToBuild {
+            make_oracle,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     fn oracle_for(&self, n: usize) -> P {
@@ -73,11 +81,19 @@ where
     fn compose(&mut self, view: &LocalView) -> BitVec {
         let n1 = view.n + 1;
         // m_k: x not adjacent (k is one of the two excluded nodes).
-        let plain = LocalView { id: view.id, n: n1, neighbors: view.neighbors.clone() };
+        let plain = LocalView {
+            id: view.id,
+            n: n1,
+            neighbors: view.neighbors.clone(),
+        };
         // m'_k: x adjacent.
         let mut with_x = view.neighbors.clone();
         with_x.push(n1 as NodeId);
-        let attached = LocalView { id: view.id, n: n1, neighbors: with_x };
+        let attached = LocalView {
+            id: view.id,
+            n: n1,
+            neighbors: with_x,
+        };
         let m1 = self.oracle.spawn(&plain).compose(&plain);
         let m2 = self.oracle.spawn(&attached).compose(&attached);
         let mut w = BitWriter::new();
@@ -126,8 +142,10 @@ where
             let m2 = r.read_bitvec(l2);
             pairs[id - 1] = Some((m1, m2));
         }
-        let pairs: Vec<(BitVec, BitVec)> =
-            pairs.into_iter().map(|p| p.expect("missing message")).collect();
+        let pairs: Vec<(BitVec, BitVec)> = pairs
+            .into_iter()
+            .map(|p| p.expect("missing message"))
+            .collect();
 
         let n1 = n + 1;
         let x = n1 as NodeId;
@@ -145,7 +163,14 @@ where
                     (1..=n as NodeId)
                         .map(|i| {
                             let (m1, m2) = &pairs[i as usize - 1];
-                            (i, if i == s || i == t { m1.clone() } else { m2.clone() })
+                            (
+                                i,
+                                if i == s || i == t {
+                                    m1.clone()
+                                } else {
+                                    m2.clone()
+                                },
+                            )
                         })
                         .chain(std::iter::once((x, x_msg))),
                 );

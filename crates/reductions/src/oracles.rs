@@ -133,7 +133,11 @@ mod tests {
         for trial in 0..10 {
             let g = generators::gnp(20, 0.25, &mut rng);
             let root = (trial % 20 + 1) as NodeId;
-            let report = run(&MisFullRowOracle::new(root), &g, &mut RandomAdversary::new(trial));
+            let report = run(
+                &MisFullRowOracle::new(root),
+                &g,
+                &mut RandomAdversary::new(trial),
+            );
             match report.outcome {
                 Outcome::Success(set) => assert!(checks::is_rooted_mis(&g, &set, root)),
                 other => panic!("{other:?}"),

@@ -28,7 +28,9 @@ pub struct PrefixBuild {
 impl PrefixBuild {
     /// BUILD for graphs whose edges lie among `{v_1..v_f}`.
     pub fn new(f: usize) -> Self {
-        PrefixBuild { inner: SubgraphPrefix::new(f) }
+        PrefixBuild {
+            inner: SubgraphPrefix::new(f),
+        }
     }
 }
 

@@ -49,7 +49,11 @@ where
     /// The oracle's message for a node with identifier `id` and neighborhood
     /// `neighbors` in an (n+1)-node gadget.
     fn oracle_message(&self, id: NodeId, n1: usize, neighbors: Vec<NodeId>) -> BitVec {
-        let view = LocalView { id, n: n1, neighbors };
+        let view = LocalView {
+            id,
+            n: n1,
+            neighbors,
+        };
         self.oracle.spawn(&view).compose(&view)
     }
 }
@@ -71,10 +75,18 @@ where
 
     fn compose(&mut self, view: &LocalView) -> BitVec {
         let n1 = view.n + 1;
-        let plain = LocalView { id: view.id, n: n1, neighbors: view.neighbors.clone() };
+        let plain = LocalView {
+            id: view.id,
+            n: n1,
+            neighbors: view.neighbors.clone(),
+        };
         let mut with_x = view.neighbors.clone();
         with_x.push(n1 as NodeId);
-        let attached = LocalView { id: view.id, n: n1, neighbors: with_x };
+        let attached = LocalView {
+            id: view.id,
+            n: n1,
+            neighbors: with_x,
+        };
         let m1 = self.oracle.spawn(&plain).compose(&plain);
         let m2 = self.oracle.spawn(&attached).compose(&attached);
         let mut w = BitWriter::new();
@@ -104,7 +116,10 @@ where
     }
 
     fn spawn(&self, view: &LocalView) -> Self::Node {
-        PairNode { oracle: self.oracle.clone(), len_field: self.len_field_bits(view.n) }
+        PairNode {
+            oracle: self.oracle.clone(),
+            len_field: self.len_field_bits(view.n),
+        }
     }
 
     fn output(&self, n: usize, board: &Whiteboard) -> Graph {
@@ -120,8 +135,10 @@ where
             let m2 = r.read_bitvec(l2);
             pairs[id - 1] = Some((m1, m2));
         }
-        let pairs: Vec<(BitVec, BitVec)> =
-            pairs.into_iter().map(|p| p.expect("missing message")).collect();
+        let pairs: Vec<(BitVec, BitVec)> = pairs
+            .into_iter()
+            .map(|p| p.expect("missing message"))
+            .collect();
 
         let n1 = n + 1;
         let mut g = Graph::empty(n);
@@ -133,7 +150,14 @@ where
                     (1..=n as NodeId)
                         .map(|i| {
                             let (m1, m2) = &pairs[i as usize - 1];
-                            (i, if i == s || i == t { m2.clone() } else { m1.clone() })
+                            (
+                                i,
+                                if i == s || i == t {
+                                    m2.clone()
+                                } else {
+                                    m1.clone()
+                                },
+                            )
                         })
                         .chain(std::iter::once((n1 as NodeId, x_msg))),
                 );
@@ -163,7 +187,11 @@ mod tests {
         for s in 1..=10 {
             for t in (s + 1)..=10 {
                 let gadget = fig1_gadget(&g, s, t);
-                assert_eq!(checks::has_triangle(&gadget), g.has_edge(s, t), "s={s} t={t}");
+                assert_eq!(
+                    checks::has_triangle(&gadget),
+                    g.has_edge(s, t),
+                    "s={s} t={t}"
+                );
             }
         }
     }

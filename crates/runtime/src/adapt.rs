@@ -148,8 +148,19 @@ impl<P: Protocol> Protocol for Promote<P> {
         let mut inner = self.inner.spawn(view);
         // SIMASYNC nodes compose before observing anything; cache now so the
         // stronger engine (which may compose at write time) replays it.
-        let cached = if source == Model::SimAsync { Some(inner.compose(view)) } else { None };
-        PromotedNode { inner, id: view.id, source, target: self.target, seen: 0, cached }
+        let cached = if source == Model::SimAsync {
+            Some(inner.compose(view))
+        } else {
+            None
+        };
+        PromotedNode {
+            inner,
+            id: view.id,
+            source,
+            target: self.target,
+            seen: 0,
+            cached,
+        }
     }
 
     fn output(&self, n: usize, board: &Whiteboard) -> P::Output {
@@ -174,7 +185,11 @@ mod tests {
             assert_eq!(p.model(), target);
             for adv_seed in 0..3 {
                 let report = run(&p, &g, &mut RandomAdversary::new(adv_seed));
-                assert_eq!(report.outcome, Outcome::Success(vec![1, 2, 3, 4, 5, 6]), "{target}");
+                assert_eq!(
+                    report.outcome,
+                    Outcome::Success(vec![1, 2, 3, 4, 5, 6]),
+                    "{target}"
+                );
             }
         }
     }

@@ -46,7 +46,9 @@ pub struct RandomAdversary {
 impl RandomAdversary {
     /// A reproducible random adversary.
     pub fn new(seed: u64) -> Self {
-        RandomAdversary { rng: StdRng::seed_from_u64(seed) }
+        RandomAdversary {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -70,7 +72,10 @@ impl PriorityAdversary {
         let n = priority.len();
         let mut rank = vec![u32::MAX; n + 1];
         for (i, &v) in priority.iter().enumerate() {
-            assert!(v >= 1 && (v as usize) <= n, "priority entry {v} out of range");
+            assert!(
+                v >= 1 && (v as usize) <= n,
+                "priority entry {v} out of range"
+            );
             assert!(rank[v as usize] == u32::MAX, "duplicate priority entry {v}");
             rank[v as usize] = i as u32;
         }
@@ -106,7 +111,10 @@ where
 {
     fn pick(&mut self, active: &[NodeId], board: &Whiteboard) -> NodeId {
         let choice = (self.0)(active, board);
-        debug_assert!(active.contains(&choice), "FnAdversary chose a non-active node");
+        debug_assert!(
+            active.contains(&choice),
+            "FnAdversary chose a non-active node"
+        );
         choice
     }
 }
@@ -137,10 +145,16 @@ mod tests {
     #[test]
     fn random_is_reproducible_and_in_range() {
         let active = vec![1, 4, 7, 8];
-        let picks1: Vec<NodeId> =
-            (0..20).scan(RandomAdversary::new(42), |a, _| Some(a.pick(&active, &board()))).collect();
-        let picks2: Vec<NodeId> =
-            (0..20).scan(RandomAdversary::new(42), |a, _| Some(a.pick(&active, &board()))).collect();
+        let picks1: Vec<NodeId> = (0..20)
+            .scan(RandomAdversary::new(42), |a, _| {
+                Some(a.pick(&active, &board()))
+            })
+            .collect();
+        let picks2: Vec<NodeId> = (0..20)
+            .scan(RandomAdversary::new(42), |a, _| {
+                Some(a.pick(&active, &board()))
+            })
+            .collect();
         assert_eq!(picks1, picks2);
         assert!(picks1.iter().all(|p| active.contains(p)));
         // Not constant (overwhelmingly likely with 20 draws from 4 options).

@@ -55,7 +55,10 @@ impl Whiteboard {
     /// function.
     pub fn from_messages(entries: impl IntoIterator<Item = (NodeId, BitVec)>) -> Self {
         Whiteboard {
-            entries: entries.into_iter().map(|(writer, msg)| Entry { writer, msg }).collect(),
+            entries: entries
+                .into_iter()
+                .map(|(writer, msg)| Entry { writer, msg })
+                .collect(),
         }
     }
 

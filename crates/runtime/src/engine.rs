@@ -181,9 +181,15 @@ impl<'a, P: Protocol> Engine<'a, P> {
     /// terminates, and all surviving nodes observe the new entry.
     pub fn step(&mut self, pick: NodeId) {
         let i = pick as usize - 1;
-        assert_eq!(self.status[i], Status::Active, "adversary picked non-active node {pick}");
+        assert_eq!(
+            self.status[i],
+            Status::Active,
+            "adversary picked non-active node {pick}"
+        );
         let msg = if self.model.is_asynchronous() {
-            self.frozen[i].take().expect("asynchronous node has no frozen message")
+            self.frozen[i]
+                .take()
+                .expect("asynchronous node has no frozen message")
         } else {
             self.nodes[i].compose(&self.views[i])
         };
@@ -233,7 +239,11 @@ impl<'a, P: Protocol> Engine<'a, P> {
                     .collect(),
             }
         };
-        RunReport { outcome, write_order: self.write_order, board: self.board }
+        RunReport {
+            outcome,
+            write_order: self.write_order,
+            board: self.board,
+        }
     }
 }
 
@@ -377,7 +387,10 @@ pub(crate) mod toys {
             2 * id_bits(n) + 1
         }
         fn spawn(&self, view: &LocalView) -> SeenNode {
-            SeenNode { id: view.id, seen: 0 }
+            SeenNode {
+                id: view.id,
+                seen: 0,
+            }
         }
         fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
             board
@@ -408,7 +421,10 @@ pub(crate) mod toys {
             2 * id_bits(n) + 1
         }
         fn spawn(&self, view: &LocalView) -> SeenNode {
-            SeenNode { id: view.id, seen: 0 }
+            SeenNode {
+                id: view.id,
+                seen: 0,
+            }
         }
         fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
             SeenCount.output(n, board)
@@ -449,7 +465,10 @@ pub(crate) mod toys {
             id_bits(n)
         }
         fn spawn(&self, view: &LocalView) -> ChainNode {
-            ChainNode { id: view.id, seen: 0 }
+            ChainNode {
+                id: view.id,
+                seen: 0,
+            }
         }
         fn output(&self, n: usize, board: &Whiteboard) -> Vec<NodeId> {
             board
@@ -586,7 +605,12 @@ mod tests {
     fn deadlock_is_reported_with_awake_set() {
         let g = path(3);
         let report = run(&NeverActivate, &g, &mut MinIdAdversary);
-        assert_eq!(report.outcome, Outcome::Deadlock { awake: vec![1, 2, 3] });
+        assert_eq!(
+            report.outcome,
+            Outcome::Deadlock {
+                awake: vec![1, 2, 3]
+            }
+        );
         assert!(report.write_order.is_empty());
     }
 

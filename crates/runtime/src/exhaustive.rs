@@ -147,7 +147,10 @@ mod tests {
         // Ranks are always 0,1,2 but the id sequence varies: 6 outputs.
         assert_eq!(outputs.len(), 6);
         for out in &outputs {
-            assert_eq!(out.iter().map(|&(_, s)| s).collect::<Vec<_>>(), vec![0, 1, 2]);
+            assert_eq!(
+                out.iter().map(|&(_, s)| s).collect::<Vec<_>>(),
+                vec![0, 1, 2]
+            );
         }
     }
 
@@ -183,8 +186,9 @@ mod tests {
     #[test]
     fn find_failing_schedule_exhibits_deadlocks() {
         let g = generators::path(2);
-        let found =
-            find_failing_schedule(&NeverActivate, &g, 100, |o| matches!(o, Outcome::Success(())));
+        let found = find_failing_schedule(&NeverActivate, &g, 100, |o| {
+            matches!(o, Outcome::Success(()))
+        });
         assert_eq!(found, Some(vec![]), "deadlock happens before any write");
     }
 

@@ -29,7 +29,11 @@ impl LocalView {
     /// Build the views for every node of `g`.
     pub fn all_of(g: &Graph) -> Vec<LocalView> {
         g.nodes()
-            .map(|id| LocalView { id, n: g.n(), neighbors: g.neighbors(id).to_vec() })
+            .map(|id| LocalView {
+                id,
+                n: g.n(),
+                neighbors: g.neighbors(id).to_vec(),
+            })
             .collect()
     }
 

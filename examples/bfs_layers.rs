@@ -14,7 +14,12 @@ use shared_whiteboard::prelude::*;
 use wb_core::bfs::BfsOutput;
 
 fn show_forest(tag: &str, g: &Graph, f: &checks::BfsForest, order: &[NodeId]) {
-    println!("— {tag}: n = {}, m = {}, roots = {:?}", g.n(), g.m(), f.roots);
+    println!(
+        "— {tag}: n = {}, m = {}, roots = {:?}",
+        g.n(),
+        g.m(),
+        f.roots
+    );
     let max_layer = f.layer.iter().copied().max().unwrap_or(0);
     for l in 0..=max_layer {
         let members: Vec<NodeId> = (1..=g.n() as NodeId)
@@ -68,7 +73,10 @@ fn main() {
     let report = run(&EobBfs, &bad, &mut RandomAdversary::new(7));
     match report.outcome {
         Outcome::Success(BfsOutput::NotEvenOddBipartite) => {
-            println!("— invalid input detected: odd-odd edge {{1,3}} caught, all {} nodes still wrote", report.write_order.len());
+            println!(
+                "— invalid input detected: odd-odd edge {{1,3}} caught, all {} nodes still wrote",
+                report.write_order.len()
+            );
         }
         other => panic!("{other:?}"),
     }
@@ -80,7 +88,9 @@ fn main() {
     let synced = run(&SyncBfs, &hard, &mut MinIdAdversary);
     println!(
         "— ablation (triangle + tail): ASYNC ⇒ {:?}; SYNC ⇒ success = {}",
-        matches!(frozen.outcome, Outcome::Deadlock { .. }).then_some("deadlock").unwrap(),
+        matches!(frozen.outcome, Outcome::Deadlock { .. })
+            .then_some("deadlock")
+            .unwrap(),
         synced.outcome.is_success()
     );
 }

@@ -33,7 +33,10 @@ fn main() {
     let report = run(&plain, &dense, &mut RandomAdversary::new(1));
     match report.outcome {
         Outcome::Success(Err(BuildError::NotKDegenerate)) => {
-            println!("plain Theorem 2 protocol: rejected (degeneracy {} > {k})", checks::degeneracy(&dense).0)
+            println!(
+                "plain Theorem 2 protocol: rejected (degeneracy {} > {k})",
+                checks::degeneracy(&dense).0
+            )
         }
         other => panic!("{other:?}"),
     }

@@ -50,9 +50,16 @@ fn main() {
 
     // ── Lower bound, step 2 (Lemma 3): BUILD-for-all-graphs cannot fit ────
     println!("\nLemma 3 capacity table (family: all graphs, 2^C(n,2) members):");
-    println!("{:>8} {:>12} {:>16} {:>16} {:>12}", "n", "f(n)", "required bits", "capacity bits", "verdict");
+    println!(
+        "{:>8} {:>12} {:>16} {:>16} {:>12}",
+        "n", "f(n)", "required bits", "capacity bits", "verdict"
+    );
     for n in [64u64, 256, 1024, 4096, 1 << 14] {
-        for regime in [MessageRegime::LogN { c: 4 }, MessageRegime::SqrtN, MessageRegime::Linear] {
+        for regime in [
+            MessageRegime::LogN { c: 4 },
+            MessageRegime::SqrtN,
+            MessageRegime::Linear,
+        ] {
             let v = verdict(Family::AllGraphs, n, regime);
             println!(
                 "{:>8} {:>12} {:>16} {:>16} {:>12}",

@@ -79,7 +79,9 @@ impl Opts {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let mut value = |name: &str| {
-                it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} expects a value"))
             };
             match a.as_str() {
                 "--protocol" => o.protocol = value("--protocol")?,
@@ -90,7 +92,11 @@ impl Opts {
                         .map(|s| s.trim().parse::<usize>().map_err(|e| e.to_string()))
                         .collect::<Result<_, _>>()?;
                 }
-                "--seed" => o.seed = value("--seed")?.parse().map_err(|e: std::num::ParseIntError| e.to_string())?,
+                "--seed" => {
+                    o.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?
+                }
                 "--adversary" => o.adversary = value("--adversary")?,
                 "--trace" => o.trace = true,
                 other => return Err(format!("unknown flag '{other}'")),
@@ -174,14 +180,18 @@ fn run_one(
         }};
     }
     match kind {
-        "build" => drive!(BuildDegenerate::new(k.max(1)), |r: RunReport<Result<Graph, BuildError>>| {
+        "build" => drive!(BuildDegenerate::new(k.max(1)), |r: RunReport<
+            Result<Graph, BuildError>,
+        >| {
             match r.outcome {
                 Outcome::Success(Ok(h)) => format!("BUILD ok: rebuilt exactly = {}", &h == g),
                 Outcome::Success(Err(e)) => format!("BUILD rejected: {e:?}"),
                 Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
             }
         }),
-        "build-mixed" => drive!(wb_core::BuildMixed::new(k.max(1)), |r: RunReport<Result<Graph, BuildError>>| {
+        "build-mixed" => drive!(wb_core::BuildMixed::new(k.max(1)), |r: RunReport<
+            Result<Graph, BuildError>,
+        >| {
             match r.outcome {
                 Outcome::Success(Ok(h)) => format!("BUILD-MIXED ok: rebuilt exactly = {}", &h == g),
                 Outcome::Success(Err(e)) => format!("BUILD-MIXED rejected: {e:?}"),
@@ -189,7 +199,10 @@ fn run_one(
             }
         }),
         "naive" => drive!(NaiveBuild, |r: RunReport<Graph>| {
-            format!("NAIVE BUILD: rebuilt exactly = {}", matches!(r.outcome, Outcome::Success(ref h) if h == g))
+            format!(
+                "NAIVE BUILD: rebuilt exactly = {}",
+                matches!(r.outcome, Outcome::Success(ref h) if h == g)
+            )
         }),
         "mis" => {
             let root = (arg.unwrap_or(1) as NodeId).clamp(1, n as NodeId);
@@ -217,17 +230,18 @@ fn run_one(
         }),
         "eob-bfs" => drive!(EobBfs, |r: RunReport<BfsOutput>| {
             match r.outcome {
-                Outcome::Success(BfsOutput::Forest(f)) => format!(
-                    "EOB-BFS: forest ok = {}",
-                    f == checks::bfs_forest(g)
-                ),
+                Outcome::Success(BfsOutput::Forest(f)) => {
+                    format!("EOB-BFS: forest ok = {}", f == checks::bfs_forest(g))
+                }
                 Outcome::Success(BfsOutput::NotEvenOddBipartite) => {
                     "EOB-BFS: input is not even-odd bipartite".into()
                 }
                 Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
             }
         }),
-        "spanning" => drive!(wb_core::SpanningForestSync, |r: RunReport<wb_core::SpanningForest>| {
+        "spanning" => drive!(wb_core::SpanningForestSync, |r: RunReport<
+            wb_core::SpanningForest,
+        >| {
             match r.outcome {
                 Outcome::Success(sf) => format!(
                     "SPANNING-FOREST: {} tree edges, {} roots",
@@ -237,13 +251,26 @@ fn run_one(
                 Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
             }
         }),
-        "two-cliques" => drive!(TwoCliques, |r: RunReport<wb_core::two_cliques::TwoCliquesVerdict>| {
-            format!("2-CLIQUES: {:?} (truth: {})", r.outcome.unwrap(), checks::is_two_cliques(g))
+        "two-cliques" => drive!(TwoCliques, |r: RunReport<
+            wb_core::two_cliques::TwoCliquesVerdict,
+        >| {
+            format!(
+                "2-CLIQUES: {:?} (truth: {})",
+                r.outcome.unwrap(),
+                checks::is_two_cliques(g)
+            )
         }),
         "two-cliques-rand" => {
-            drive!(TwoCliquesRandomized::new(arg.unwrap_or(7), 24), |r: RunReport<wb_core::two_cliques::TwoCliquesVerdict>| {
-                format!("2-CLIQUES (randomized): {:?} (truth: {})", r.outcome.unwrap(), checks::is_two_cliques(g))
-            })
+            drive!(
+                TwoCliquesRandomized::new(arg.unwrap_or(7), 24),
+                |r: RunReport<wb_core::two_cliques::TwoCliquesVerdict>| {
+                    format!(
+                        "2-CLIQUES (randomized): {:?} (truth: {})",
+                        r.outcome.unwrap(),
+                        checks::is_two_cliques(g)
+                    )
+                }
+            )
         }
         "subgraph" => drive!(SubgraphPrefix::new(k.max(1)), |r: RunReport<Graph>| {
             format!(
@@ -252,10 +279,18 @@ fn run_one(
             )
         }),
         "triangle" => drive!(TriangleFullRow, |r: RunReport<bool>| {
-            format!("TRIANGLE (Θ(n) bits): {:?} (truth: {})", r.outcome.unwrap(), checks::has_triangle(g))
+            format!(
+                "TRIANGLE (Θ(n) bits): {:?} (truth: {})",
+                r.outcome.unwrap(),
+                checks::has_triangle(g)
+            )
         }),
         "square" => drive!(SquareFullRow, |r: RunReport<bool>| {
-            format!("SQUARE (Θ(n) bits): {:?} (truth: {})", r.outcome.unwrap(), checks::has_square(g))
+            format!(
+                "SQUARE (Θ(n) bits): {:?} (truth: {})",
+                r.outcome.unwrap(),
+                checks::has_square(g)
+            )
         }),
         "diameter3" => drive!(DiameterAtMost3FullRow, |r: RunReport<bool>| {
             format!("DIAMETER ≤ 3 (Θ(n) bits): {:?}", r.outcome.unwrap())
@@ -272,7 +307,11 @@ fn run_one(
             }
         }),
         "edge-count" => drive!(EdgeCount, |r: RunReport<usize>| {
-            format!("EDGE-COUNT: m = {:?} (truth: {})", r.outcome.unwrap(), g.m())
+            format!(
+                "EDGE-COUNT: m = {:?} (truth: {})",
+                r.outcome.unwrap(),
+                g.m()
+            )
         }),
         "degree-stats" => drive!(DegreeStats, |r: RunReport<DegreeSummary>| {
             let s = r.outcome.unwrap();
@@ -290,7 +329,10 @@ fn cmd_dot(o: &Opts) -> Result<(), String> {
     let g = make_workload(&o.workload, n, o.seed)?;
     if o.protocol.starts_with("bfs") {
         let forest = checks::bfs_forest(&g);
-        print!("{}", wb_graph::dot::forest_to_dot(&g, &forest, "whiteboard"));
+        print!(
+            "{}",
+            wb_graph::dot::forest_to_dot(&g, &forest, "whiteboard")
+        );
     } else {
         print!("{}", wb_graph::dot::graph_to_dot(&g, "whiteboard"));
     }
@@ -300,7 +342,10 @@ fn cmd_dot(o: &Opts) -> Result<(), String> {
 fn print_trace(rows: &[wb_runtime::TraceRow]) {
     println!("  round  active  writer  bits");
     for r in rows.iter().take(60) {
-        println!("  {:>5}  {:>6}  {:>6}  {:>4}", r.round, r.active_before, r.writer, r.message_bits);
+        println!(
+            "  {:>5}  {:>6}  {:>6}  {:>4}",
+            r.round, r.active_before, r.writer, r.message_bits
+        );
     }
     if rows.len() > 60 {
         println!("  … ({} more rounds)", rows.len() - 60);
@@ -362,14 +407,21 @@ fn cmd_check(o: &Opts) -> Result<(), String> {
 }
 
 fn cmd_capacity(o: &Opts) -> Result<(), String> {
-    println!("{:>28} {:>9} {:>8} {:>14} {:>14} {:>11}", "family", "f(n)", "n", "required", "capacity", "verdict");
+    println!(
+        "{:>28} {:>9} {:>8} {:>14} {:>14} {:>11}",
+        "family", "f(n)", "n", "required", "capacity", "verdict"
+    );
     for family in [
         Family::LabeledTrees,
         Family::BipartiteFixedHalves,
         Family::EvenOddBipartite,
         Family::AllGraphs,
     ] {
-        for regime in [MessageRegime::LogN { c: 4 }, MessageRegime::SqrtN, MessageRegime::Linear] {
+        for regime in [
+            MessageRegime::LogN { c: 4 },
+            MessageRegime::SqrtN,
+            MessageRegime::Linear,
+        ] {
             for &n in &o.ns {
                 let v = verdict(family, n as u64, regime);
                 println!(

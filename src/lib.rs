@@ -53,11 +53,11 @@ pub use wb_runtime as runtime;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use wb_core::{
-        AsyncBipartiteBfs, BfsOutput, BuildDegenerate, BuildError, BuildMixed,
-        ConnectivityReport, ConnectivitySync, DegreeStats, DegreeSummary, DiameterAtMost3FullRow,
-        EdgeCount, EobBfs, MisGreedy, NaiveBuild, SpanningForest, SpanningForestSync,
-        SquareFullRow, SquareViaBuild, SubgraphPrefix, SyncBfs, TriangleFullRow, TriangleViaBuild,
-        TwoCliques, TwoCliquesRandomized,
+        AsyncBipartiteBfs, BfsOutput, BuildDegenerate, BuildError, BuildMixed, ConnectivityReport,
+        ConnectivitySync, DegreeStats, DegreeSummary, DiameterAtMost3FullRow, EdgeCount, EobBfs,
+        MisGreedy, NaiveBuild, SpanningForest, SpanningForestSync, SquareFullRow, SquareViaBuild,
+        SubgraphPrefix, SyncBfs, TriangleFullRow, TriangleViaBuild, TwoCliques,
+        TwoCliquesRandomized,
     };
     pub use wb_graph::{checks, enumerate, generators, AdjMatrix, Graph, NodeId};
     pub use wb_math::{bits_for, id_bits, BigInt, BitReader, BitVec, BitWriter};

@@ -66,7 +66,9 @@ fn sync_bfs_survives_degree_targeted_schedules() {
                 _ => run(&SyncBfs, &g, &mut FnAdversary(zigzag())),
             };
             match report.outcome {
-                Outcome::Success(f) => assert_eq!(f, checks::bfs_forest(&g), "trial {trial} mode {mode}"),
+                Outcome::Success(f) => {
+                    assert_eq!(f, checks::bfs_forest(&g), "trial {trial} mode {mode}")
+                }
                 other => panic!("{other:?}"),
             }
         }
@@ -80,7 +82,11 @@ fn eob_bfs_survives_withholding_schedules() {
     let mut rng = StdRng::seed_from_u64(23);
     for n in [15usize, 30] {
         let g = generators::even_odd_bipartite_connected(n, 0.25, &mut rng);
-        let report = run(&EobBfs, &g, &mut FnAdversary(|a: &[NodeId], _: &Whiteboard| *a.last().unwrap()));
+        let report = run(
+            &EobBfs,
+            &g,
+            &mut FnAdversary(|a: &[NodeId], _: &Whiteboard| *a.last().unwrap()),
+        );
         match report.outcome {
             Outcome::Success(BfsOutput::Forest(f)) => assert_eq!(f, checks::bfs_forest(&g)),
             other => panic!("{other:?}"),
@@ -107,7 +113,10 @@ fn two_cliques_survives_boundary_first_schedules() {
             }
         }
         let report = run(&TwoCliques, &g, &mut PriorityAdversary::new(&priority));
-        assert_eq!(report.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+        assert_eq!(
+            report.outcome,
+            Outcome::Success(TwoCliquesVerdict::NotTwoCliques)
+        );
     }
 }
 

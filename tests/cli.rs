@@ -17,15 +17,30 @@ fn whiteboard(args: &[&str]) -> (bool, String) {
 
 #[test]
 fn run_build_on_tree() {
-    let (ok, out) = whiteboard(&["run", "--protocol", "build:1", "--workload", "tree", "--n", "64"]);
+    let (ok, out) = whiteboard(&[
+        "run",
+        "--protocol",
+        "build:1",
+        "--workload",
+        "tree",
+        "--n",
+        "64",
+    ]);
     assert!(ok, "{out}");
     assert!(out.contains("rebuilt exactly = true"), "{out}");
 }
 
 #[test]
 fn run_rejects_cycle_under_forest_protocol() {
-    let (ok, out) =
-        whiteboard(&["run", "--protocol", "build:1", "--workload", "cycle", "--n", "30"]);
+    let (ok, out) = whiteboard(&[
+        "run",
+        "--protocol",
+        "build:1",
+        "--workload",
+        "cycle",
+        "--n",
+        "30",
+    ]);
     assert!(ok, "{out}");
     assert!(out.contains("rejected"), "{out}");
 }
@@ -33,7 +48,15 @@ fn run_rejects_cycle_under_forest_protocol() {
 #[test]
 fn run_mis_reports_validity() {
     let (ok, out) = whiteboard(&[
-        "run", "--protocol", "mis:3", "--workload", "gnp:4", "--n", "50", "--adversary", "max",
+        "run",
+        "--protocol",
+        "mis:3",
+        "--workload",
+        "gnp:4",
+        "--n",
+        "50",
+        "--adversary",
+        "max",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("valid = true"), "{out}");
@@ -41,8 +64,15 @@ fn run_mis_reports_validity() {
 
 #[test]
 fn run_sweeps_multiple_sizes() {
-    let (ok, out) =
-        whiteboard(&["run", "--protocol", "bfs", "--workload", "gnp:3", "--n", "20,40,80"]);
+    let (ok, out) = whiteboard(&[
+        "run",
+        "--protocol",
+        "bfs",
+        "--workload",
+        "gnp:3",
+        "--n",
+        "20,40,80",
+    ]);
     assert!(ok, "{out}");
     assert_eq!(out.matches("matches reference = true").count(), 3, "{out}");
 }
@@ -50,7 +80,14 @@ fn run_sweeps_multiple_sizes() {
 #[test]
 fn trace_flag_prints_rounds() {
     let (ok, out) = whiteboard(&[
-        "run", "--protocol", "eob-bfs", "--workload", "eob", "--n", "21", "--trace",
+        "run",
+        "--protocol",
+        "eob-bfs",
+        "--workload",
+        "eob",
+        "--n",
+        "21",
+        "--trace",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("round  active  writer  bits"), "{out}");
@@ -83,16 +120,39 @@ fn list_shows_protocols() {
 
 #[test]
 fn connectivity_and_statistics_protocols() {
-    let (ok, out) =
-        whiteboard(&["run", "--protocol", "connectivity", "--workload", "two-cliques", "--n", "12"]);
+    let (ok, out) = whiteboard(&[
+        "run",
+        "--protocol",
+        "connectivity",
+        "--workload",
+        "two-cliques",
+        "--n",
+        "12",
+    ]);
     assert!(ok, "{out}");
-    assert!(out.contains("connected = false (2 components; truth: false)"), "{out}");
-    let (ok, out) =
-        whiteboard(&["run", "--protocol", "edge-count", "--workload", "clique", "--n", "10"]);
+    assert!(
+        out.contains("connected = false (2 components; truth: false)"),
+        "{out}"
+    );
+    let (ok, out) = whiteboard(&[
+        "run",
+        "--protocol",
+        "edge-count",
+        "--workload",
+        "clique",
+        "--n",
+        "10",
+    ]);
     assert!(ok, "{out}");
     assert!(out.contains("m = 45 (truth: 45)"), "{out}");
     let (ok, out) = whiteboard(&[
-        "run", "--protocol", "degree-stats", "--workload", "cycle", "--n", "9",
+        "run",
+        "--protocol",
+        "degree-stats",
+        "--workload",
+        "cycle",
+        "--n",
+        "9",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("regular Some(2)"), "{out}");
@@ -101,7 +161,13 @@ fn connectivity_and_statistics_protocols() {
 #[test]
 fn mixed_build_handles_dense_inputs() {
     let (ok, out) = whiteboard(&[
-        "run", "--protocol", "build-mixed:2", "--workload", "mixed:2", "--n", "60",
+        "run",
+        "--protocol",
+        "build-mixed:2",
+        "--workload",
+        "mixed:2",
+        "--n",
+        "60",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("rebuilt exactly = true"), "{out}");
@@ -117,7 +183,13 @@ fn file_workload_loads_edge_lists() {
     let (ok, out) = whiteboard(&["run", "--protocol", "bfs", "--workload", &spec, "--n", "0"]);
     assert!(ok, "{out}");
     assert!(out.contains("matches reference = true"), "{out}");
-    let (ok, out) = whiteboard(&["run", "--protocol", "bfs", "--workload", "file:/nonexistent"]);
+    let (ok, out) = whiteboard(&[
+        "run",
+        "--protocol",
+        "bfs",
+        "--workload",
+        "file:/nonexistent",
+    ]);
     assert!(!ok);
     assert!(out.contains("cannot load"), "{out}");
     let _ = std::fs::remove_file(&path);

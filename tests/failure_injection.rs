@@ -50,9 +50,16 @@ fn build_detects_garbage_power_sums() {
     // Degree 2 with power sums of a single node: Newton's identities cannot
     // produce two distinct positive roots.
     let p = BuildDegenerate::new(2);
-    let rows = vec![(1 as NodeId, 2u64, vec![2u32]), (2, 0, vec![]), (3, 0, vec![])];
+    let rows = vec![
+        (1 as NodeId, 2u64, vec![2u32]),
+        (2, 0, vec![]),
+        (3, 0, vec![]),
+    ];
     let board = forge_build_board(3, 2, &rows);
-    assert_eq!(p.output(3, &board), Err(BuildError::Undecodable { node: 1 }));
+    assert_eq!(
+        p.output(3, &board),
+        Err(BuildError::Undecodable { node: 1 })
+    );
 }
 
 #[test]
@@ -68,7 +75,10 @@ fn build_detects_asymmetric_adjacency() {
 fn newton_decoder_rejects_all_garbage_inputs() {
     let dec = NewtonDecoder::new(30);
     // Non-integer elementary symmetric functions.
-    assert_eq!(dec.decode(&[BigInt::from(3u64), BigInt::from(2u64)], 2), None);
+    assert_eq!(
+        dec.decode(&[BigInt::from(3u64), BigInt::from(2u64)], 2),
+        None
+    );
     // Roots out of range.
     let sums = power_sums(&[40, 41], 2);
     assert_eq!(dec.decode(&sums, 2), None);
@@ -86,8 +96,12 @@ fn bfs_output_tolerates_unknown_graphs() {
     let report = run(&SyncBfs, &g, &mut MinIdAdversary);
     // Shuffle the entries: output must not depend on board order beyond the
     // fields themselves (the forest is reconstructed per-id).
-    let mut entries: Vec<(NodeId, BitVec)> =
-        report.board.entries().iter().map(|e| (e.writer, e.msg.clone())).collect();
+    let mut entries: Vec<(NodeId, BitVec)> = report
+        .board
+        .entries()
+        .iter()
+        .map(|e| (e.writer, e.msg.clone()))
+        .collect();
     entries.reverse();
     let shuffled = Whiteboard::from_messages(entries);
     let f = SyncBfs.output(4, &shuffled);

@@ -51,7 +51,11 @@ fn mis_promoted_to_async_forces_sequential_order_and_matches_native() {
     let g = wb_graph::generators::gnp(10, 0.4, &mut rng);
     let root = 3;
     let native = run(&MisGreedy::new(root), &g, &mut MinIdAdversary);
-    let promoted = run(&Promote::new(MisGreedy::new(root), Model::Async), &g, &mut MaxIdAdversary);
+    let promoted = run(
+        &Promote::new(MisGreedy::new(root), Model::Async),
+        &g,
+        &mut MaxIdAdversary,
+    );
     assert_eq!(promoted.write_order, (1..=10).collect::<Vec<_>>());
     match (native.outcome, promoted.outcome) {
         (Outcome::Success(a), Outcome::Success(b)) => assert_eq!(a, b),

@@ -7,9 +7,9 @@
 //! freshly spawned node that is fed exactly the board prefix preceding the
 //! write. (Valid for write-time-composing protocols, i.e. SIMSYNC and SYNC.)
 
-use shared_whiteboard::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use shared_whiteboard::prelude::*;
 
 /// Recompose each message from a fresh node + prefix and compare.
 fn assert_replay_consistent<P>(p: &P, g: &Graph, seed: u64)
@@ -33,10 +33,15 @@ where
                 activated = fresh.wants_to_activate(view);
             }
         }
-        assert!(activated, "writer {} must have been activatable", entry.writer);
+        assert!(
+            activated,
+            "writer {} must have been activatable",
+            entry.writer
+        );
         let recomposed = fresh.compose(view);
         assert_eq!(
-            recomposed, entry.msg,
+            recomposed,
+            entry.msg,
             "node {} message differs on replay (round {})",
             entry.writer,
             i + 1

@@ -79,7 +79,9 @@ fn soak_large_instances() {
 
     let g = wb_graph::generators::even_odd_bipartite_connected(n + 1, 0.003, &mut rng);
     let report = run(&EobBfs, &g, &mut RandomAdversary::new(3));
-    assert!(matches!(report.outcome, Outcome::Success(BfsOutput::Forest(ref f)) if *f == checks::bfs_forest(&g)));
+    assert!(
+        matches!(report.outcome, Outcome::Success(BfsOutput::Forest(ref f)) if *f == checks::bfs_forest(&g))
+    );
 
     let g = wb_graph::generators::gnp(n, 0.002, &mut rng);
     let report = run(&MisGreedy::new(7), &g, &mut RandomAdversary::new(4));

@@ -50,9 +50,8 @@ fn mis_no_in_simasync_counting() {
     // And the transformation itself reconstructs graphs end-to-end:
     let mut rng = StdRng::seed_from_u64(2);
     let g = wb_graph::generators::gnp(7, 0.4, &mut rng);
-    let t = wb_reductions::mis_to_build::MisToBuild::new(
-        wb_reductions::oracles::MisFullRowOracle::new,
-    );
+    let t =
+        wb_reductions::mis_to_build::MisToBuild::new(wb_reductions::oracles::MisFullRowOracle::new);
     let report = run(&t, &g, &mut MinIdAdversary);
     assert_eq!(report.outcome, Outcome::Success(g));
 }
@@ -62,7 +61,12 @@ fn mis_no_in_simasync_counting() {
 #[test]
 fn triangle_no_in_simasync_counting_and_brackets() {
     for n in [1024u64, 4096] {
-        assert!(verdict(Family::BipartiteFixedHalves, n, MessageRegime::LogN { c: 8 }).impossible());
+        assert!(verdict(
+            Family::BipartiteFixedHalves,
+            n,
+            MessageRegime::LogN { c: 8 }
+        )
+        .impossible());
     }
     for g in enumerate::all_graphs(4) {
         let report = run(&TriangleFullRow, &g, &mut MaxIdAdversary);
@@ -72,7 +76,10 @@ fn triangle_no_in_simasync_counting_and_brackets() {
     let g = wb_graph::generators::k_degenerate(18, 2, true, &mut rng);
     let p = TriangleViaBuild::new(2);
     let report = run(&p, &g, &mut RandomAdversary::new(5));
-    assert_eq!(report.outcome, Outcome::Success(Ok(checks::has_triangle(&g))));
+    assert_eq!(
+        report.outcome,
+        Outcome::Success(Ok(checks::has_triangle(&g)))
+    );
 }
 
 /// Row 4: EOB-BFS — **yes** in ASYNC (Theorem 7)…
@@ -82,7 +89,10 @@ fn eob_bfs_yes_in_async() {
     for n in [9usize, 16, 33] {
         let g = wb_graph::generators::even_odd_bipartite_connected(n, 0.3, &mut rng);
         let report = run(&EobBfs, &g, &mut RandomAdversary::new(n as u64));
-        assert_eq!(report.outcome, Outcome::Success(Eob::Forest(checks::bfs_forest(&g))));
+        assert_eq!(
+            report.outcome,
+            Outcome::Success(Eob::Forest(checks::bfs_forest(&g)))
+        );
     }
 }
 
@@ -125,10 +135,19 @@ fn two_cliques_yes_simsync_and_randomized_simasync() {
         let ry = run(&TwoCliques, &yes, &mut RandomAdversary::new(seed));
         assert_eq!(ry.outcome, Outcome::Success(TwoCliquesVerdict::TwoCliques));
         let rn = run(&TwoCliques, &no, &mut RandomAdversary::new(seed));
-        assert_eq!(rn.outcome, Outcome::Success(TwoCliquesVerdict::NotTwoCliques));
+        assert_eq!(
+            rn.outcome,
+            Outcome::Success(TwoCliquesVerdict::NotTwoCliques)
+        );
         let pr = TwoCliquesRandomized::new(seed, 30);
-        assert_eq!(run(&pr, &yes, &mut MinIdAdversary).outcome.unwrap(), TwoCliquesVerdict::TwoCliques);
-        assert_eq!(run(&pr, &no, &mut MinIdAdversary).outcome.unwrap(), TwoCliquesVerdict::NotTwoCliques);
+        assert_eq!(
+            run(&pr, &yes, &mut MinIdAdversary).outcome.unwrap(),
+            TwoCliquesVerdict::TwoCliques
+        );
+        assert_eq!(
+            run(&pr, &no, &mut MinIdAdversary).outcome.unwrap(),
+            TwoCliquesVerdict::NotTwoCliques
+        );
     }
 }
 

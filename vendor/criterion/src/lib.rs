@@ -1,0 +1,312 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API used
+//! by this workspace: `criterion_group!`/`criterion_main!`, [`Criterion`],
+//! [`BenchmarkGroup`] (with `sample_size`/`measurement_time`/`warm_up_time`),
+//! [`BenchmarkId`], [`Bencher::iter`], and [`black_box`].
+//!
+//! It performs a real (if statistically unsophisticated) measurement: each
+//! benchmark is warmed up for the configured warm-up time, then timed in
+//! batches until the measurement time elapses, and the mean/min per-iteration
+//! wall time is printed. There is no outlier analysis, no HTML report, and no
+//! baseline comparison — swap in the real crate for those.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the benchmark.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Filled in by [`Bencher::iter`]: (mean, min) per-iteration nanos.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing mean and minimum per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose a batch size so one sample is neither trivially short nor
+        // longer than the whole measurement budget.
+        let per_iter = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / per_iter).round() as u64).clamp(1, 1 << 20);
+
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let sample = t0.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += sample * batch as f64;
+            total_iters += batch;
+            min_ns = min_ns.min(sample);
+            if measure_start.elapsed() > self.measurement.saturating_mul(4) {
+                break; // hard cap: never overshoot the budget by more than 4x
+            }
+        }
+        self.result = Some((total_ns / total_iters as f64, min_ns));
+    }
+}
+
+/// Human-readable nanosecond count (`ns`/`µs`/`ms`/`s`).
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Top-level benchmark driver (one per `criterion_group!` run).
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Default number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Default measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Default warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &id.text,
+            self.sample_size,
+            self.measurement,
+            self.warm_up,
+            f,
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.text);
+        run_one(&label, self.sample_size, self.measurement, self.warm_up, f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.text);
+        run_one(
+            &label,
+            self.sample_size,
+            self.measurement,
+            self.warm_up,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (report separation only in the real crate).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, min)) => {
+            println!(
+                "{label:<60} mean {:>12}   min {:>12}",
+                fmt_ns(mean),
+                fmt_ns(min)
+            );
+        }
+        None => println!("{label:<60} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a benchmark group function named `$name` running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 200), &200u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace: the
+//! [`proptest!`] macro (including the `#![proptest_config(..)]` header form),
+//! range/`any`/tuple/collection strategies, `prop_assert*` macros, and
+//! [`test_runner::TestCaseError`].
+//!
+//! Semantic differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its case index and panics; it
+//!   does not search for a minimal counterexample.
+//! - **Deterministic generation.** Case `i` of every test derives its inputs
+//!   from a fixed function of `i`, so failures reproduce exactly across runs
+//!   with no persistence files.
+//!
+//! Both are acceptable for CI-style regression testing, which is all this
+//! workspace needs while crates.io is unreachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// A target size (range) for a generated collection.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max_inclusive - self.min + 1) as u128) as usize
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `HashSet` of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `HashSet` strategy with a target size drawn from `size`.
+    ///
+    /// If the element domain is too small to reach the target size, the set
+    /// is returned smaller after a bounded number of attempts (mirroring the
+    /// real crate's bounded rejection).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 16 * target + 64 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking directly) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a `#[test]` running `body` over sampled inputs.
+///
+/// Supports the optional `#![proptest_config(expr)]` header used to set the
+/// number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case as u64,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    // Render inputs up front: the body may consume them.
+                    let rendered_inputs = [
+                        $(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+
+                    ]
+                    .join(", ");
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {case} of {} failed:\n{err}\ninputs: {}",
+                            stringify!($name),
+                            rendered_inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..10, x in -4i128..=4, f in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-4..=4).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(any::<u64>(), 2..5),
+            s in crate::collection::hash_set(0u32..1000, 1..4),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!((1..4).contains(&s.len()));
+        }
+
+        #[test]
+        fn tuples_sample(pair in (any::<u64>(), 1u32..=64)) {
+            prop_assert!((1..=64).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 5);
+        let mut b = crate::test_runner::TestRng::for_case("t", 5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_case() {
+        proptest! {
+            fn always_fails(n in 0usize..4) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+}

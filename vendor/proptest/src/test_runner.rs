@@ -1,0 +1,104 @@
+//! Test configuration, the per-case deterministic RNG, and case failure.
+
+use std::fmt;
+
+/// Property-test configuration (only the fields this workspace sets).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the exhaustive
+        // whiteboard-protocol properties fast in CI while still sweeping a
+        // meaningful instance space.
+        Config { cases: 64 }
+    }
+}
+
+/// A failed property case (carried by `prop_assert*` and explicit `fail`s).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the current case with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias used by the real crate for explicit rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-case generator (SplitMix64 over a hashed stream id).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test identified by `id`.
+    ///
+    /// The stream depends on both, so different tests (and different cases)
+    /// see unrelated inputs, and rerunning a binary reproduces failures
+    /// exactly.
+    pub fn for_case(id: &str, case: u64) -> Self {
+        // FNV-1a over the id, then mix in the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in id.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x1_0000_0000_01B3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128-bit word (two stream words).
+    pub fn wide(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform value in `0..span` (`span > 0`).
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        self.wide() % span
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
