@@ -97,12 +97,13 @@ fn main() {
     let g = Graph::from_edges(5, &[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
     let mut total = 0u64;
     let mut deadlocks = 0u64;
-    for_each_schedule(&AsyncBipartiteBfs, &g, 10_000, |report| {
+    let walk = for_each_schedule(&AsyncBipartiteBfs, &g, 10_000, |report| {
         total += 1;
         if matches!(report.outcome, Outcome::Deadlock { .. }) {
             deadlocks += 1;
         }
     });
+    assert!(!walk.truncated, "the universal claim needs every schedule");
     let sync_ok = assert_all_schedules(&SyncBfs, &g, 10_000, |f| *f == checks::bfs_forest(&g));
     println!(
         "triangle+tail: ASYNC deadlocks {deadlocks}/{total} schedules; SYNC correct on all {sync_ok} —\n\

@@ -386,7 +386,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wb_graph::{checks, enumerate, generators, Graph};
-    use wb_runtime::exhaustive::{assert_all_schedules, for_each_schedule};
+    use wb_runtime::exhaustive::{assert_explored, for_each_schedule, ExploreConfig};
     use wb_runtime::{run, MaxIdAdversary, MinIdAdversary, Outcome, RandomAdversary};
 
     fn assert_forest(g: &Graph, f: &BfsForest) {
@@ -399,14 +399,18 @@ mod tests {
         // output must equal the canonical min-ID-rooted BFS forest and no
         // schedule may deadlock (Theorem 10 is promise-free).
         for g in enumerate::all_graphs(4) {
-            assert_all_schedules(&SyncBfs, &g, 100, |f| *f == checks::bfs_forest(&g));
+            assert_explored(&SyncBfs, &g, &ExploreConfig::default(), |f| {
+                *f == checks::bfs_forest(&g)
+            });
         }
     }
 
     #[test]
     fn sync_bfs_exhaustive_connected_n5() {
         for g in enumerate::all_connected_graphs(5) {
-            assert_all_schedules(&SyncBfs, &g, 200, |f| *f == checks::bfs_forest(&g));
+            assert_explored(&SyncBfs, &g, &ExploreConfig::default(), |f| {
+                *f == checks::bfs_forest(&g)
+            });
         }
     }
 
@@ -444,7 +448,9 @@ mod tests {
         let mut g = generators::path(4);
         g = g.disjoint_union(&generators::cycle(5));
         g = g.disjoint_union(&Graph::empty(2));
-        assert_all_schedules(&SyncBfs, &g, 50_000, |f| *f == checks::bfs_forest(&g));
+        assert_explored(&SyncBfs, &g, &ExploreConfig::default(), |f| {
+            *f == checks::bfs_forest(&g)
+        });
     }
 
     #[test]
@@ -475,7 +481,7 @@ mod tests {
             Graph::from_edges(5, &[(1, 2), (3, 4)]),
         ] {
             assert!(checks::is_bipartite(&g));
-            assert_all_schedules(&AsyncBipartiteBfs, &g, 20_000, |f| {
+            assert_explored(&AsyncBipartiteBfs, &g, &ExploreConfig::default(), |f| {
                 *f == checks::bfs_forest(&g)
             });
         }
@@ -493,17 +499,20 @@ mod tests {
         let g = Graph::from_edges(5, &[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
         let mut deadlocks = 0u32;
         let mut total = 0u32;
-        for_each_schedule(&AsyncBipartiteBfs, &g, 10_000, |report| {
+        let walk = for_each_schedule(&AsyncBipartiteBfs, &g, 10_000, |report| {
             total += 1;
             if let Outcome::Deadlock { awake } = &report.outcome {
                 assert!(awake.contains(&5), "node 5 must be stuck: {awake:?}");
                 deadlocks += 1;
             }
         });
+        assert!(!walk.truncated, "the universal claim needs every schedule");
         assert_eq!(deadlocks, total, "every async schedule must deadlock");
         assert!(total > 0);
         // The same graph under the SYNC protocol succeeds on every schedule.
-        assert_all_schedules(&SyncBfs, &g, 10_000, |f| *f == checks::bfs_forest(&g));
+        assert_explored(&SyncBfs, &g, &ExploreConfig::default(), |f| {
+            *f == checks::bfs_forest(&g)
+        });
         let sync_report = run(&SyncBfs, &g, &mut MinIdAdversary);
         assert_forest(&g, &sync_report.outcome.unwrap());
     }
@@ -516,7 +525,7 @@ mod tests {
             Graph::from_edges(5, &[(1, 2), (2, 5), (3, 4)]), // two components
         ] {
             assert!(checks::is_even_odd_bipartite(&g));
-            assert_all_schedules(&EobBfs, &g, 20_000, |out| {
+            assert_explored(&EobBfs, &g, &ExploreConfig::default(), |out| {
                 *out == BfsOutput::Forest(checks::bfs_forest(&g))
             });
         }
@@ -528,7 +537,7 @@ mod tests {
         // reference forest, invalid ones the verdict; no schedule deadlocks.
         for g in enumerate::all_graphs(4) {
             let valid = checks::is_even_odd_bipartite(&g);
-            assert_all_schedules(&EobBfs, &g, 5_000, |out| match out {
+            assert_explored(&EobBfs, &g, &ExploreConfig::default(), |out| match out {
                 BfsOutput::Forest(f) => valid && *f == checks::bfs_forest(&g),
                 BfsOutput::NotEvenOddBipartite => !valid,
             });
@@ -560,7 +569,7 @@ mod tests {
             generators::clique(4),
         ] {
             assert!(!checks::is_even_odd_bipartite(&g));
-            assert_all_schedules(&EobBfs, &g, 20_000, |out| {
+            assert_explored(&EobBfs, &g, &ExploreConfig::default(), |out| {
                 *out == BfsOutput::NotEvenOddBipartite
             });
         }
@@ -594,8 +603,10 @@ mod tests {
     fn single_node_and_edgeless_graphs() {
         for n in [1usize, 2, 4] {
             let g = Graph::empty(n);
-            assert_all_schedules(&SyncBfs, &g, 100, |f| *f == checks::bfs_forest(&g));
-            assert_all_schedules(&EobBfs, &g, 100, |out| {
+            assert_explored(&SyncBfs, &g, &ExploreConfig::default(), |f| {
+                *f == checks::bfs_forest(&g)
+            });
+            assert_explored(&EobBfs, &g, &ExploreConfig::default(), |out| {
                 *out == BfsOutput::Forest(checks::bfs_forest(&g))
             });
         }

@@ -67,13 +67,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wb_graph::{checks, generators, Graph};
-    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::exhaustive::{assert_explored, ExploreConfig};
     use wb_runtime::{run, Outcome, RandomAdversary};
 
     #[test]
     fn connectivity_matches_oracle_exhaustively() {
         for g in wb_graph::enumerate::all_graphs(4) {
-            assert_all_schedules(&ConnectivitySync, &g, 100, |rep| {
+            assert_explored(&ConnectivitySync, &g, &ExploreConfig::default(), |rep| {
                 rep.connected == checks::is_connected(&g)
                     && rep.components == checks::components(&g).len()
             });

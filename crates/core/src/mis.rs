@@ -107,7 +107,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wb_graph::{checks, enumerate, generators, Graph};
-    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::exhaustive::{assert_explored, ExploreConfig};
     use wb_runtime::{run, Outcome, PriorityAdversary, RandomAdversary};
 
     #[test]
@@ -116,7 +116,9 @@ mod tests {
         for g in enumerate::all_connected_graphs(4) {
             for root in 1..=4 {
                 let p = MisGreedy::new(root);
-                assert_all_schedules(&p, &g, 30, |set| checks::is_rooted_mis(&g, set, root));
+                assert_explored(&p, &g, &ExploreConfig::default(), |set| {
+                    checks::is_rooted_mis(&g, set, root)
+                });
             }
         }
     }
@@ -126,7 +128,9 @@ mod tests {
         for g in enumerate::all_graphs(3) {
             for root in 1..=3 {
                 let p = MisGreedy::new(root);
-                assert_all_schedules(&p, &g, 10, |set| checks::is_rooted_mis(&g, set, root));
+                assert_explored(&p, &g, &ExploreConfig::default(), |set| {
+                    checks::is_rooted_mis(&g, set, root)
+                });
             }
         }
     }
@@ -193,7 +197,7 @@ mod tests {
     fn isolated_nodes_always_join() {
         let g = Graph::from_edges(5, &[(1, 2)]);
         let p = MisGreedy::new(1);
-        assert_all_schedules(&p, &g, 200, |set| {
+        assert_explored(&p, &g, &ExploreConfig::default(), |set| {
             set.contains(&3)
                 && set.contains(&4)
                 && set.contains(&5)

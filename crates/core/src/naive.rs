@@ -72,7 +72,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wb_graph::generators;
-    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::exhaustive::{assert_explored, ExploreConfig};
     use wb_runtime::{run, Outcome, RandomAdversary};
 
     #[test]
@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn schedule_independent() {
         let g = generators::clique(4);
-        assert_all_schedules(&NaiveBuild, &g, 100, |h| *h == g);
+        assert_explored(&NaiveBuild, &g, &ExploreConfig::default(), |h| *h == g);
     }
 
     #[test]

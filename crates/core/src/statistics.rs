@@ -126,7 +126,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wb_graph::generators;
-    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::exhaustive::{assert_explored, ExploreConfig};
     use wb_runtime::{run, Outcome, RandomAdversary};
 
     #[test]
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn edge_count_schedule_independent() {
         let g = generators::cycle(5);
-        assert_all_schedules(&EdgeCount, &g, 200, |&m| m == 5);
+        assert_explored(&EdgeCount, &g, &ExploreConfig::default(), |&m| m == 5);
     }
 
     #[test]

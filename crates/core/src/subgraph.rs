@@ -102,7 +102,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wb_graph::generators;
-    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::exhaustive::{assert_explored, ExploreConfig};
     use wb_runtime::{run, Outcome, RandomAdversary};
 
     #[test]
@@ -125,7 +125,9 @@ mod tests {
     fn schedule_independent() {
         let g = generators::cycle(4);
         let p = SubgraphPrefix::new(3);
-        assert_all_schedules(&p, &g, 100, |h| *h == g.induced_prefix(3));
+        assert_explored(&p, &g, &ExploreConfig::default(), |h| {
+            *h == g.induced_prefix(3)
+        });
     }
 
     #[test]

@@ -119,14 +119,14 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wb_graph::{checks, generators};
-    use wb_runtime::exhaustive::assert_all_schedules;
+    use wb_runtime::exhaustive::{assert_explored, ExploreConfig};
     use wb_runtime::{run, Outcome, PriorityAdversary, RandomAdversary};
 
     #[test]
     fn accepts_two_cliques_under_every_schedule() {
         // 2×K₃ on 6 nodes: all 720 schedules.
         let g = generators::two_cliques(3);
-        assert_all_schedules(&TwoCliques, &g, 1000, |v| {
+        assert_explored(&TwoCliques, &g, &ExploreConfig::default(), |v| {
             *v == TwoCliquesVerdict::TwoCliques
         });
     }
@@ -139,7 +139,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::connected_regular_impostor(3, &mut rng);
         assert!(checks::is_connected(&g));
-        assert_all_schedules(&TwoCliques, &g, 1000, |v| {
+        assert_explored(&TwoCliques, &g, &ExploreConfig::default(), |v| {
             *v == TwoCliquesVerdict::NotTwoCliques
         });
     }

@@ -72,6 +72,13 @@ impl BitVec {
         }
     }
 
+    /// The packed backing words (LSB-first; trailing bits of the last word
+    /// are zero). Exposed for cheap structural hashing/encoding of messages —
+    /// together with [`Self::len`] this determines the bit string exactly.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Extract `width` bits starting at `pos` as a `u64`, LSB first.
     pub fn get_bits(&self, pos: usize, width: u32) -> u64 {
         assert!(width <= 64);

@@ -11,6 +11,12 @@
 //! - [`par_for_each`] — parallel consumption of an index range with a shared
 //!   atomic cursor (dynamic load balancing for skewed work);
 //! - [`par_reduce`] — map + associative fold;
+//! - [`WorkQueue`] — a bounded queue with overflow reported to the producer
+//!   instead of blocking or allocating without bound (backs the schedule
+//!   explorer's next-frontier buffer in `wb_runtime::exhaustive`);
+//! - [`par_drain`] — parallel consumption of a `WorkQueue` whose consumers
+//!   may push follow-up work (for worklists whose size is not known up
+//!   front, unlike [`par_for_each`]);
 //! - [`num_threads`] — the pool width (respects `WB_THREADS`).
 //!
 //! All functions fall back to sequential execution for tiny inputs, so tests
@@ -20,6 +26,7 @@
 #![warn(missing_docs)]
 
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads: `WB_THREADS` if set, else available parallelism,
@@ -121,6 +128,106 @@ pub fn par_reduce<T: Sync, R: Send>(
     partials.into_inner().into_iter().fold(identity(), fold)
 }
 
+/// A bounded FIFO work queue shared between producers and consumers.
+///
+/// The capacity bound turns "the worklist exploded" from an OOM into a
+/// recoverable signal: [`WorkQueue::push`] hands the item back instead of
+/// growing past the bound, and the caller decides what truncation means
+/// (the schedule explorer marks its report `truncated`).
+#[derive(Debug)]
+pub struct WorkQueue<T> {
+    items: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T> WorkQueue<T> {
+    /// An empty queue holding at most `capacity` items (`capacity ≥ 1`).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a work queue needs capacity for work");
+        WorkQueue {
+            items: Mutex::new(VecDeque::new()),
+            capacity,
+        }
+    }
+
+    /// Enqueue `item`, or hand it back if the queue is at capacity.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut q = self.items.lock();
+        if q.len() >= self.capacity {
+            return Err(item);
+        }
+        q.push_back(item);
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.items.lock().pop_front()
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+
+    /// The capacity bound given at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drain the queue into a `Vec` (consumes the queue).
+    pub fn into_vec(self) -> Vec<T> {
+        self.items.into_inner().into()
+    }
+}
+
+/// Consume `queue` across the pool until it is empty *and* every worker is
+/// idle. `f` may push follow-up work back onto the queue (subject to the
+/// capacity bound), which is what distinguishes this from [`par_for_each`]:
+/// the item count need not be known up front.
+///
+/// Termination detection: a shared busy counter is incremented before `f`
+/// runs and decremented after, so a momentarily empty queue does not stop
+/// workers while a peer might still produce more work.
+pub fn par_drain<T: Send>(queue: &WorkQueue<T>, f: impl Fn(T, &WorkQueue<T>) + Sync) {
+    let threads = num_threads();
+    if threads <= 1 {
+        while let Some(item) = queue.pop() {
+            f(item, queue);
+        }
+        return;
+    }
+    let busy = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Raise the busy flag *before* popping: a peer that sees an
+                // empty queue while we hold an unprocessed item must keep
+                // spinning, since our item may spawn follow-up work.
+                busy.fetch_add(1, Ordering::SeqCst);
+                match queue.pop() {
+                    Some(item) => {
+                        f(item, queue);
+                        busy.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        busy.fetch_sub(1, Ordering::SeqCst);
+                        if busy.load(Ordering::SeqCst) == 0 && queue.is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +282,69 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn work_queue_is_fifo_and_bounded() {
+        let q: WorkQueue<u32> = WorkQueue::bounded(3);
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 3);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        assert_eq!(q.push(3), Ok(()));
+        assert_eq!(q.push(4), Err(4), "overflow hands the item back");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(5), Ok(()), "pop frees capacity");
+        assert_eq!(q.into_vec(), vec![2, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn work_queue_rejects_zero_capacity() {
+        let _ = WorkQueue::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn par_drain_processes_follow_up_work() {
+        // Each item n < 100 pushes n+1; starting from 0 every value in
+        // 0..=100 must be processed exactly once per seed chain.
+        let q = WorkQueue::bounded(1024);
+        for seed in 0..8u64 {
+            q.push(seed * 1000).unwrap();
+        }
+        let hits = Mutex::new(Vec::new());
+        par_drain(&q, |item, queue| {
+            hits.lock().push(item);
+            if item % 1000 < 100 {
+                queue.push(item + 1).unwrap();
+            }
+        });
+        let mut seen = hits.into_inner();
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..8u64)
+            .flat_map(|s| (0..=100u64).map(move |i| s * 1000 + i))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn par_drain_terminates_under_overflow() {
+        // Follow-up work that would grow forever if pushes never failed: the
+        // capacity bound sheds the excess and the drain still terminates.
+        let q = WorkQueue::bounded(4);
+        q.push(0u64).unwrap();
+        let processed = AtomicU64::new(0);
+        par_drain(&q, |item, queue| {
+            processed.fetch_add(1, Ordering::Relaxed);
+            if item < 10_000 {
+                // Two children per item: unbounded this is 2^14 items, but
+                // at most 4 can ever be queued, so shedding is guaranteed.
+                let _ = queue.push(item + 1);
+                let _ = queue.push(item + 2);
+            }
+        });
+        assert!(q.is_empty());
+        assert!(processed.load(Ordering::Relaxed) >= 1);
     }
 }

@@ -101,6 +101,54 @@ impl Adversary for PriorityAdversary {
     }
 }
 
+/// Replays a recorded write order verbatim — the deterministic replay path
+/// for witness schedules produced by the exhaustive explorer (see
+/// `crate::exhaustive::ScheduleFailure`) and for regression-corpus fixtures.
+///
+/// Panics if the recorded node is not active when its turn comes, or if the
+/// run outlives the recording: either means the fixture no longer matches
+/// the protocol/graph it was recorded against, which is itself a regression
+/// worth failing loudly on.
+#[derive(Clone, Debug)]
+pub struct ScheduleAdversary {
+    schedule: Vec<NodeId>,
+    next: usize,
+}
+
+impl ScheduleAdversary {
+    /// Replay `schedule` (the picks, in write order).
+    pub fn new(schedule: impl Into<Vec<NodeId>>) -> Self {
+        ScheduleAdversary {
+            schedule: schedule.into(),
+            next: 0,
+        }
+    }
+
+    /// How many recorded picks have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.next
+    }
+}
+
+impl Adversary for ScheduleAdversary {
+    fn pick(&mut self, active: &[NodeId], _board: &Whiteboard) -> NodeId {
+        let Some(&choice) = self.schedule.get(self.next) else {
+            panic!(
+                "replay schedule exhausted after {} picks but the run wants another \
+                 (active: {active:?})",
+                self.next
+            );
+        };
+        assert!(
+            active.contains(&choice),
+            "replay schedule pick #{} is node {choice}, which is not active (active: {active:?})",
+            self.next + 1
+        );
+        self.next += 1;
+        choice
+    }
+}
+
 /// An adversary from a closure — for one-off malicious strategies in tests
 /// and experiments without a dedicated type.
 pub struct FnAdversary<F>(pub F);
@@ -174,6 +222,30 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn priority_rejects_duplicates() {
         PriorityAdversary::new(&[1, 1, 2]);
+    }
+
+    #[test]
+    fn schedule_adversary_replays_verbatim() {
+        let mut adv = ScheduleAdversary::new(vec![3, 1, 2]);
+        assert_eq!(adv.pick(&[1, 2, 3], &board()), 3);
+        assert_eq!(adv.pick(&[1, 2], &board()), 1);
+        assert_eq!(adv.consumed(), 2);
+        assert_eq!(adv.pick(&[2], &board()), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn schedule_adversary_rejects_stale_recordings() {
+        let mut adv = ScheduleAdversary::new(vec![5]);
+        adv.pick(&[1, 2], &board());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn schedule_adversary_rejects_overlong_runs() {
+        let mut adv = ScheduleAdversary::new(vec![1]);
+        adv.pick(&[1], &board());
+        adv.pick(&[2], &board());
     }
 
     #[test]

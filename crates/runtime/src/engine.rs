@@ -80,6 +80,30 @@ enum Status {
     Terminated,
 }
 
+/// A canonical, write-order-oblivious snapshot of a configuration.
+///
+/// The encoding covers everything that determines a configuration's future
+/// behavior for *order-oblivious* protocols (see
+/// [`crate::exhaustive::DedupPolicy`]): the per-node statuses, every frozen
+/// (activation-time) message, and the board entries **sorted by writer** —
+/// well-defined because the one-write rule makes writers unique. The write
+/// order itself is deliberately excluded: two schedule prefixes that
+/// permute into the same configuration compare equal, which is exactly what
+/// lets the schedule explorer collapse the `n!` tree into the DAG of
+/// distinct configurations.
+///
+/// Snapshots are exact (full encodings, not hashes), so deduplication can
+/// never merge two genuinely different configurations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CanonicalState(Vec<u64>);
+
+impl CanonicalState {
+    /// Size of the encoding in 64-bit words (for memory accounting).
+    pub fn words(&self) -> usize {
+        self.0.len()
+    }
+}
+
 /// The stepwise machine. Most callers use [`run`]; the exhaustive executor
 /// drives `Engine` directly, cloning it at branch points.
 pub struct Engine<'a, P: Protocol> {
@@ -175,6 +199,62 @@ impl<'a, P: Protocol> Engine<'a, P> {
     /// The board so far.
     pub fn board(&self) -> &Whiteboard {
         &self.board
+    }
+
+    /// The adversary's picks so far, in write order.
+    pub fn write_order(&self) -> &[NodeId] {
+        &self.write_order
+    }
+
+    /// Cheap canonical snapshot of the current configuration (see
+    /// [`CanonicalState`]). Cost is `O(n + board bits/64)`; no node state is
+    /// inspected — node state is a deterministic function of the observed
+    /// prefix, so for order-oblivious protocols the snapshot determines it.
+    pub fn canonical_state(&self) -> CanonicalState {
+        let n = self.nodes.len();
+        let mut words = Vec::with_capacity(n / 16 + 2 * self.board.len() + 4);
+        // Statuses, packed 2 bits per node.
+        let mut acc = 0u64;
+        let mut filled = 0u32;
+        for s in &self.status {
+            let code = match s {
+                Status::Awake => 0u64,
+                Status::Active => 1,
+                Status::Terminated => 2,
+            };
+            acc |= code << filled;
+            filled += 2;
+            if filled == 64 {
+                words.push(acc);
+                acc = 0;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            words.push(acc);
+        }
+        // Frozen (activation-time) messages, in node order. Two states with
+        // the same board but different freeze points must not merge.
+        for f in &self.frozen {
+            match f {
+                None => words.push(u64::MAX),
+                Some(bv) => {
+                    words.push(bv.len() as u64);
+                    words.extend_from_slice(bv.as_words());
+                }
+            }
+        }
+        // Board entries sorted by writer (writers are unique: one write per
+        // node), each length-framed so the encoding is unambiguous.
+        let mut by_writer: Vec<&crate::board::Entry> = self.board.entries().iter().collect();
+        by_writer.sort_unstable_by_key(|e| e.writer);
+        words.push(by_writer.len() as u64);
+        for e in by_writer {
+            words.push(u64::from(e.writer));
+            words.push(e.msg.len() as u64);
+            words.extend_from_slice(e.msg.as_words());
+        }
+        CanonicalState(words)
     }
 
     /// Execute one write: `pick` (which must be active) writes its message,

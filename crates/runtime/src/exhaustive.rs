@@ -3,44 +3,439 @@
 //! The paper's positive results are universally quantified over adversaries
 //! ("no matter the order chosen by the adversary"). For small instances the
 //! quantifier is finite: at each round the adversary picks one of the active
-//! nodes, so the choice tree has at most `n!` leaves. This module walks that
-//! tree exhaustively (depth-first, cloning the engine at branch points) and
-//! hands every leaf's [`RunReport`] to a callback.
+//! nodes, so the choice tree has at most `n!` leaves — most of them redundant
+//! interleavings reaching identical configurations.
+//!
+//! Two executors make the quantifier executable:
+//!
+//! - The **schedule-space explorer** ([`explore`] / [`explore_parallel`] /
+//!   [`assert_explored`]) — an iterative worklist over a frontier of
+//!   configurations that deduplicates states via
+//!   [`Engine::canonical_state`]: permutation-equivalent schedule prefixes
+//!   are explored once, which on simultaneous models collapses the `n!` tree
+//!   to its DAG of distinct configurations (`2^n` states instead of `n!`
+//!   paths for a write-order-oblivious protocol). The frontier can be fanned
+//!   out across threads with `wb_par::par_map`, and the result is a
+//!   structured [`ExplorationReport`] — schedules, distinct states, dedup
+//!   ratio, cap status, and a witness schedule per failure — never a panic
+//!   mid-walk.
+//! - The **naive recursive DFS** ([`for_each_schedule`]) — clones the engine
+//!   at every branch and walks all leaves. It scales factorially but assumes
+//!   nothing about the protocol, so it is the correctness anchor: the
+//!   explorer is cross-checked against it on small instances (see the tests
+//!   here and `tests/differential.rs`).
+//!
+//! # When is deduplication sound?
+//!
+//! Canonical dedup ([`DedupPolicy::Canonical`]) merges configurations with
+//! equal (statuses, frozen messages, board *sorted by writer*). That is
+//! sound — preserves the exact set of reachable terminal outcomes — iff the
+//! protocol is **order-oblivious**: node state and the output function may
+//! depend on the board only through its content, not through the arrival
+//! order of the observed prefix. All problem protocols in this repository
+//! qualify (their outputs are graphs, sets, forests or counts decoded
+//! per-entry), and order-sensitive information that ends up inside message
+//! bits (e.g. a "messages seen so far" counter) keeps states apart
+//! automatically, because the board content then differs. Two classes
+//! genuinely need [`DedupPolicy::Off`] (or the naive DFS): protocols that
+//! hide order in private node state without ever writing it, and protocols
+//! whose *output is a transcript* — a function of the board's write order
+//! even when the content is order-free (the `FrozenSeenCount` toy: every
+//! message is `(id, 0)`, but the output lists them in write order, so one
+//! merged configuration stands for 24 distinct transcripts). The
+//! `canonical_dedup_is_lossy_for_transcript_outputs` test pins this
+//! boundary.
 
-use crate::engine::{Engine, RunReport};
+use crate::engine::{CanonicalState, Engine, Outcome, RunReport};
 use crate::protocol::Protocol;
-use wb_graph::Graph;
+use std::collections::HashSet;
+use wb_graph::{Graph, NodeId};
+use wb_par::WorkQueue;
 
-/// Walk every schedule of `protocol` on `g`, calling `visit` with each leaf
-/// report. Returns the number of schedules explored.
-///
-/// Panics if more than `max_schedules` leaves would be produced — an
-/// incomplete exhaustive check must never masquerade as a complete one.
-pub fn for_each_schedule<P, F>(protocol: &P, g: &Graph, max_schedules: u64, mut visit: F) -> u64
-where
-    P: Protocol,
-    F: FnMut(&RunReport<P::Output>),
-{
-    let mut count = 0u64;
-    let mut engine = Engine::new(protocol, g);
-    engine.activation_phase();
-    dfs(engine, max_schedules, &mut count, &mut visit);
-    count
+// ---------------------------------------------------------------------------
+// Explorer configuration and report
+// ---------------------------------------------------------------------------
+
+/// How the explorer recognizes already-visited configurations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DedupPolicy {
+    /// Merge canonically equal configurations (see
+    /// [`Engine::canonical_state`]). Sound for order-oblivious protocols —
+    /// the module docs spell out the condition.
+    #[default]
+    Canonical,
+    /// No merging: every schedule prefix is its own state and every leaf of
+    /// the `n!` tree is visited. Always sound; factorially slower.
+    Off,
 }
 
-fn dfs<P, F>(engine: Engine<'_, P>, cap: u64, count: &mut u64, visit: &mut F)
+/// Tuning knobs for [`explore`]. The defaults explore up to a million
+/// distinct states with canonical dedup.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Cap on distinct configurations discovered; exceeding it sets
+    /// [`ExplorationReport::truncated`] instead of panicking.
+    pub max_states: u64,
+    /// Bound on the frontier (configurations awaiting expansion); overflow
+    /// also sets `truncated`. Backed by `wb_par::WorkQueue`.
+    pub max_frontier: usize,
+    /// State-merging policy.
+    pub dedup: DedupPolicy,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 1 << 20,
+            max_frontier: 1 << 16,
+            dedup: DedupPolicy::Canonical,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// Default config with a different state cap.
+    pub fn with_max_states(mut self, max_states: u64) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Default config with a different frontier bound.
+    pub fn with_max_frontier(mut self, max_frontier: usize) -> Self {
+        self.max_frontier = max_frontier;
+        self
+    }
+
+    /// Disable state merging (always sound, factorially slower).
+    pub fn without_dedup(mut self) -> Self {
+        self.dedup = DedupPolicy::Off;
+        self
+    }
+}
+
+/// A terminal configuration that violated the caller's predicate, with the
+/// adversary's write order as the replayable counterexample.
+#[derive(Clone, Debug)]
+pub struct ScheduleFailure<O> {
+    /// The adversary's picks, in order — feed to
+    /// [`crate::adversary::ScheduleAdversary`] to replay the run.
+    pub schedule: Vec<NodeId>,
+    /// What the run ended in.
+    pub outcome: Outcome<O>,
+}
+
+/// Structured result of a schedule-space exploration.
+#[derive(Clone, Debug)]
+pub struct ExplorationReport<O> {
+    /// Distinct configurations discovered (root, internal, and terminal).
+    pub distinct_states: u64,
+    /// Distinct terminal configurations reached and checked.
+    pub terminals: u64,
+    /// Transitions that landed on an already-discovered configuration. With
+    /// [`DedupPolicy::Off`] this is always 0.
+    pub merged: u64,
+    /// Whether a cap (`max_states` / `max_frontier`) cut the walk short. A
+    /// truncated exploration is a partial result, never a proof.
+    pub truncated: bool,
+    /// High-water mark of the frontier.
+    pub peak_frontier: usize,
+    /// One outcome per distinct terminal *configuration*, in deterministic
+    /// discovery order. Different configurations may produce equal outputs,
+    /// so this can contain duplicates — set-ify before counting outcomes.
+    pub outcomes: Vec<Outcome<O>>,
+    /// Terminal configurations whose outcome failed the predicate, each with
+    /// a witness schedule.
+    pub failures: Vec<ScheduleFailure<O>>,
+}
+
+impl<O> ExplorationReport<O> {
+    /// Whether the exploration is both complete and failure-free.
+    pub fn passed(&self) -> bool {
+        !self.truncated && self.failures.is_empty()
+    }
+
+    /// Transitions explored per distinct state — how much of the schedule
+    /// tree collapsed. 1.0 means no sharing; `k` means each state was
+    /// reached `k` ways on average.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.distinct_states == 0 {
+            return 1.0;
+        }
+        (self.distinct_states + self.merged) as f64 / self.distinct_states as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The worklist explorer
+// ---------------------------------------------------------------------------
+
+/// One frontier state expanded into its children.
+struct Expansion<'a, P: Protocol> {
+    /// Terminal children (and their canonical snapshot under dedup).
+    leaves: Vec<(Option<CanonicalState>, RunReport<P::Output>)>,
+    /// Non-terminal children awaiting a frontier slot.
+    interior: Vec<(Option<CanonicalState>, Engine<'a, P>)>,
+}
+
+/// Expand one configuration: branch on every active pick, run the write and
+/// the next activation phase, and classify each child as terminal or
+/// interior. The engine in the frontier is always post-activation.
+fn expand_state<'a, P: Protocol>(engine: &Engine<'a, P>, dedup: DedupPolicy) -> Expansion<'a, P> {
+    let active = engine.active_set();
+    let mut exp = Expansion {
+        leaves: Vec::new(),
+        interior: Vec::with_capacity(active.len()),
+    };
+    for &pick in &active {
+        let mut child = engine.clone();
+        child.step(pick);
+        child.activation_phase();
+        let key = match dedup {
+            DedupPolicy::Canonical => Some(child.canonical_state()),
+            DedupPolicy::Off => None,
+        };
+        if child.active_set().is_empty() {
+            exp.leaves.push((key, child.finish()));
+        } else {
+            exp.interior.push((key, child));
+        }
+    }
+    exp
+}
+
+/// Walk the schedule space of `protocol` on `g` sequentially, applying
+/// `check` to every distinct terminal outcome. Failing terminals are
+/// recorded with their witness schedule; nothing panics (cf.
+/// [`assert_explored`]).
+pub fn explore<P, C>(
+    protocol: &P,
+    g: &Graph,
+    config: &ExploreConfig,
+    check: C,
+) -> ExplorationReport<P::Output>
+where
+    P: Protocol,
+    P::Output: Clone,
+    C: Fn(&Outcome<P::Output>) -> bool,
+{
+    explore_impl(protocol, g, config, &check, |frontier, dedup| {
+        frontier.iter().map(|e| expand_state(e, dedup)).collect()
+    })
+}
+
+/// Like [`explore`], but fanning each frontier generation out across threads
+/// with `wb_par::par_map`. Results are identical to the sequential walk
+/// (expansion is pure; merging stays sequential and deterministic).
+pub fn explore_parallel<P, C>(
+    protocol: &P,
+    g: &Graph,
+    config: &ExploreConfig,
+    check: C,
+) -> ExplorationReport<P::Output>
+where
+    P: Protocol + Sync,
+    P::Node: Send + Sync,
+    P::Output: Clone + Send,
+    C: Fn(&Outcome<P::Output>) -> bool,
+{
+    explore_impl(protocol, g, config, &check, |frontier, dedup| {
+        wb_par::par_map(frontier, |e| expand_state(e, dedup))
+    })
+}
+
+fn explore_impl<'a, P, C, F>(
+    protocol: &'a P,
+    g: &Graph,
+    config: &ExploreConfig,
+    check: &C,
+    run_generation: F,
+) -> ExplorationReport<P::Output>
+where
+    P: Protocol,
+    P::Output: Clone,
+    C: Fn(&Outcome<P::Output>) -> bool,
+    F: for<'f> Fn(&'f [Engine<'a, P>], DedupPolicy) -> Vec<Expansion<'a, P>>,
+{
+    let mut report = ExplorationReport {
+        distinct_states: 1, // the root
+        terminals: 0,
+        merged: 0,
+        truncated: false,
+        peak_frontier: 0,
+        outcomes: Vec::new(),
+        failures: Vec::new(),
+    };
+    let mut seen: HashSet<CanonicalState> = HashSet::new();
+    let check_leaf = |report: &mut ExplorationReport<P::Output>, run: RunReport<P::Output>| {
+        report.terminals += 1;
+        if !check(&run.outcome) {
+            report.failures.push(ScheduleFailure {
+                schedule: run.write_order,
+                outcome: run.outcome.clone(),
+            });
+        }
+        report.outcomes.push(run.outcome);
+    };
+
+    let mut root = Engine::new(protocol, g);
+    root.activation_phase();
+    if config.dedup == DedupPolicy::Canonical {
+        seen.insert(root.canonical_state());
+    }
+    if root.active_set().is_empty() {
+        check_leaf(&mut report, root.finish());
+        return report;
+    }
+
+    let mut frontier = vec![root];
+    while !frontier.is_empty() && !report.truncated {
+        report.peak_frontier = report.peak_frontier.max(frontier.len());
+        let expansions = run_generation(&frontier, config.dedup);
+        let next = WorkQueue::bounded(config.max_frontier);
+        'merge: for exp in expansions {
+            for (key, run) in exp.leaves {
+                if !insert_unseen(&mut seen, key, &mut report) {
+                    continue;
+                }
+                if report.distinct_states > config.max_states {
+                    report.truncated = true;
+                    break 'merge;
+                }
+                check_leaf(&mut report, run);
+            }
+            for (key, engine) in exp.interior {
+                if !insert_unseen(&mut seen, key, &mut report) {
+                    continue;
+                }
+                if report.distinct_states > config.max_states || next.push(engine).is_err() {
+                    report.truncated = true;
+                    break 'merge;
+                }
+            }
+        }
+        frontier = next.into_vec();
+    }
+    report
+}
+
+/// Record one discovered transition: returns whether its target state is
+/// new (and counts it), or bumps the merge counter if it was seen before.
+fn insert_unseen<O>(
+    seen: &mut HashSet<CanonicalState>,
+    key: Option<CanonicalState>,
+    report: &mut ExplorationReport<O>,
+) -> bool {
+    if let Some(key) = key {
+        if !seen.insert(key) {
+            report.merged += 1;
+            return false;
+        }
+    }
+    report.distinct_states += 1;
+    true
+}
+
+/// Explore with [`explore`] and panic — with the witness write order — if
+/// any terminal configuration deadlocks or fails `pred`, or if a cap
+/// truncated the walk. Returns the report otherwise. This is the
+/// assert-style entry point the protocol test suites use.
+pub fn assert_explored<P, C>(
+    protocol: &P,
+    g: &Graph,
+    config: &ExploreConfig,
+    pred: C,
+) -> ExplorationReport<P::Output>
+where
+    P: Protocol,
+    P::Output: Clone + std::fmt::Debug,
+    C: Fn(&P::Output) -> bool,
+{
+    let report = explore(protocol, g, config, |outcome| match outcome {
+        Outcome::Success(out) => pred(out),
+        Outcome::Deadlock { .. } => false,
+    });
+    if let Some(failure) = report.failures.first() {
+        match &failure.outcome {
+            Outcome::Success(out) => panic!(
+                "predicate failed for write order {:?} on {:?}: output {:?} ({} failing terminal(s) of {})",
+                failure.schedule,
+                g,
+                out,
+                report.failures.len(),
+                report.terminals,
+            ),
+            Outcome::Deadlock { awake } => panic!(
+                "deadlock (awake {:?}) under write order {:?} on {:?}",
+                awake, failure.schedule, g
+            ),
+        }
+    }
+    assert!(
+        !report.truncated,
+        "schedule exploration truncated at {} states (frontier peak {}); \
+         raise max_states/max_frontier or shrink the instance",
+        report.distinct_states, report.peak_frontier
+    );
+    report
+}
+
+// ---------------------------------------------------------------------------
+// The naive recursive DFS (correctness anchor)
+// ---------------------------------------------------------------------------
+
+/// Result of a naive DFS walk (see [`for_each_schedule`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NaiveReport {
+    /// Leaves visited (complete schedules handed to the callback).
+    pub schedules: u64,
+    /// Tree nodes visited, leaves included — the explorer's
+    /// `distinct_states` counterpart for measuring dedup wins.
+    pub states: u64,
+    /// Whether more than `max_schedules` leaves exist; the walk stopped
+    /// after handing `max_schedules` of them to the callback.
+    pub truncated: bool,
+}
+
+/// Walk every schedule of `protocol` on `g` depth-first, calling `visit`
+/// with each leaf report, cloning the engine at branch points.
+///
+/// Stops after `max_schedules` leaves and reports `truncated` instead of
+/// panicking, so partial exploration is usable; [`assert_all_schedules`]
+/// keeps the strict behavior. This path assumes nothing about the protocol
+/// (no dedup) and anchors the explorer's correctness.
+pub fn for_each_schedule<P, F>(
+    protocol: &P,
+    g: &Graph,
+    max_schedules: u64,
+    mut visit: F,
+) -> NaiveReport
 where
     P: Protocol,
     F: FnMut(&RunReport<P::Output>),
 {
+    let mut report = NaiveReport::default();
+    let mut engine = Engine::new(protocol, g);
+    engine.activation_phase();
+    dfs(engine, max_schedules, &mut report, &mut visit);
+    report
+}
+
+fn dfs<P, F>(engine: Engine<'_, P>, cap: u64, report: &mut NaiveReport, visit: &mut F)
+where
+    P: Protocol,
+    F: FnMut(&RunReport<P::Output>),
+{
+    if report.truncated {
+        return;
+    }
+    report.states += 1;
     let active = engine.active_set();
     if active.is_empty() {
-        *count += 1;
-        assert!(
-            *count <= cap,
-            "exhaustive schedule exploration exceeded the cap of {cap}; \
-             shrink the instance or raise the cap"
-        );
+        if report.schedules == cap {
+            report.truncated = true;
+            return;
+        }
+        report.schedules += 1;
         visit(&engine.finish());
         return;
     }
@@ -48,21 +443,25 @@ where
         let mut branch = engine.clone();
         branch.step(pick);
         branch.activation_phase();
-        dfs(branch, cap, count, visit);
+        dfs(branch, cap, report, visit);
+        if report.truncated {
+            return;
+        }
     }
 }
 
 /// Assert `pred` on the output of **every** schedule; panics with the failing
 /// write order otherwise (deadlocks always fail — protocols whose spec allows
-/// deadlock should use [`find_failing_schedule`] instead). Returns the number
-/// of schedules checked.
+/// deadlock should use [`find_failing_schedule`] instead), and panics if the
+/// walk exceeded the cap — an incomplete exhaustive check must never
+/// masquerade as a complete one. Returns the number of schedules checked.
 pub fn assert_all_schedules<P, F>(protocol: &P, g: &Graph, max_schedules: u64, mut pred: F) -> u64
 where
     P: Protocol,
     F: FnMut(&P::Output) -> bool,
 {
-    for_each_schedule(protocol, g, max_schedules, |report| match &report.outcome {
-        crate::engine::Outcome::Success(out) => {
+    let report = for_each_schedule(protocol, g, max_schedules, |report| match &report.outcome {
+        Outcome::Success(out) => {
             assert!(
                 pred(out),
                 "predicate failed for write order {:?} on {:?}",
@@ -70,18 +469,25 @@ where
                 g
             );
         }
-        crate::engine::Outcome::Deadlock { awake } => {
+        Outcome::Deadlock { awake } => {
             panic!(
                 "deadlock (awake {:?}) under write order {:?} on {:?}",
                 awake, report.write_order, g
             );
         }
-    })
+    });
+    assert!(
+        !report.truncated,
+        "exhaustive schedule exploration exceeded the cap of {max_schedules}; \
+         shrink the instance or raise the cap"
+    );
+    report.schedules
 }
 
 /// Search for a schedule whose outcome violates `pred` (deadlocks count as
 /// violations). Returns the adversary's write order as a counterexample, or
-/// `None` if all schedules (up to `max_schedules`) satisfy the predicate.
+/// `None` if all schedules (up to `max_schedules`; a truncated search can
+/// miss later counterexamples) satisfy the predicate.
 ///
 /// This is the "attack" direction of model checking: where
 /// [`assert_all_schedules`] certifies a positive theorem,
@@ -92,10 +498,10 @@ pub fn find_failing_schedule<P, F>(
     g: &Graph,
     max_schedules: u64,
     mut pred: F,
-) -> Option<Vec<wb_graph::NodeId>>
+) -> Option<Vec<NodeId>>
 where
     P: Protocol,
-    F: FnMut(&crate::engine::Outcome<P::Output>) -> bool,
+    F: FnMut(&Outcome<P::Output>) -> bool,
 {
     let mut found = None;
     for_each_schedule(protocol, g, max_schedules, |report| {
@@ -111,33 +517,258 @@ mod tests {
     use super::*;
     use crate::engine::toys::*;
     use crate::engine::Outcome;
+    use std::collections::{BTreeSet, HashSet};
     use wb_graph::generators;
+
+    /// Debug-rendered set of leaf outcomes from the naive DFS.
+    fn naive_outcome_set<P: Protocol>(p: &P, g: &Graph) -> BTreeSet<String>
+    where
+        P::Output: std::fmt::Debug,
+    {
+        let mut out = BTreeSet::new();
+        let report = for_each_schedule(p, g, 1_000_000, |r| {
+            out.insert(format!("{:?}", r.outcome));
+        });
+        assert!(!report.truncated);
+        out
+    }
+
+    fn explorer_outcome_set<O: std::fmt::Debug>(report: &ExplorationReport<O>) -> BTreeSet<String> {
+        report.outcomes.iter().map(|o| format!("{o:?}")).collect()
+    }
 
     #[test]
     fn echo_explores_factorially_many_schedules() {
         let g = generators::path(4);
-        let mut orders = std::collections::HashSet::new();
-        let count = for_each_schedule(&EchoId, &g, 100, |report| {
+        let mut orders = HashSet::new();
+        let report = for_each_schedule(&EchoId, &g, 100, |report| {
             assert_eq!(report.outcome, Outcome::Success(vec![1, 2, 3, 4]));
             orders.insert(report.write_order.clone());
         });
-        assert_eq!(count, 24);
+        assert_eq!(report.schedules, 24);
+        assert!(!report.truncated);
+        // Tree nodes: sum over k of 4!/(4-k)! = 1 + 4 + 12 + 24 + 24.
+        assert_eq!(report.states, 65);
         assert_eq!(orders.len(), 24, "all 4! write orders distinct");
+    }
+
+    #[test]
+    fn explorer_collapses_simultaneous_tree_to_subset_dag() {
+        // EchoId is SIMASYNC: configurations are determined by the set of
+        // written nodes, so the 65-node naive tree collapses to 2^4 states.
+        let g = generators::path(4);
+        let report = explore(&EchoId, &g, &ExploreConfig::default(), |o| {
+            *o == Outcome::Success(vec![1, 2, 3, 4])
+        });
+        assert!(report.passed());
+        assert_eq!(report.distinct_states, 16);
+        assert_eq!(report.terminals, 1, "one distinct final configuration");
+        // Every lattice edge was generated: sum over k of C(4,k)·(4-k) = 32
+        // transitions, 15 of them discovering a new state (root excluded).
+        assert_eq!(report.merged, 32 - 15);
+        assert!(report.dedup_ratio() > 2.0);
+    }
+
+    #[test]
+    fn explorer_without_dedup_matches_naive_tree() {
+        let g = generators::path(4);
+        let config = ExploreConfig::default().without_dedup();
+        let report = explore(&EchoId, &g, &config, |o| {
+            *o == Outcome::Success(vec![1, 2, 3, 4])
+        });
+        assert!(report.passed());
+        assert_eq!(report.merged, 0);
+        assert_eq!(report.terminals, 24, "all 4! schedules reach a leaf");
+        assert_eq!(report.distinct_states, 65, "same tree as the naive DFS");
+    }
+
+    #[test]
+    fn explorer_and_naive_agree_on_order_dependent_outputs() {
+        // SeenCount writes its observation count into the message, so the
+        // board content keeps order-dependent states apart and dedup stays
+        // exact: 6 distinct outputs on a 3-node instance, same as naive.
+        let g = generators::path(3);
+        let naive = naive_outcome_set(&SeenCount, &g);
+        assert_eq!(naive.len(), 6);
+        for (label, report) in [
+            (
+                "canonical",
+                explore(&SeenCount, &g, &ExploreConfig::default(), |_| true),
+            ),
+            (
+                "off",
+                explore(
+                    &SeenCount,
+                    &g,
+                    &ExploreConfig::default().without_dedup(),
+                    |_| true,
+                ),
+            ),
+            (
+                "parallel",
+                explore_parallel(&SeenCount, &g, &ExploreConfig::default(), |_| true),
+            ),
+        ] {
+            assert_eq!(explorer_outcome_set(&report), naive, "{label}");
+        }
+    }
+
+    #[test]
+    fn explorer_agrees_with_naive_across_models_and_toys() {
+        let g = generators::path(4);
+        let cfg = ExploreConfig::default();
+        // Order-oblivious outputs: canonical dedup preserves the outcome set.
+        assert_eq!(
+            explorer_outcome_set(&explore(&EchoId, &g, &cfg, |_| true)),
+            naive_outcome_set(&EchoId, &g)
+        );
+        assert_eq!(
+            explorer_outcome_set(&explore(&SeenCount, &g, &cfg, |_| true)),
+            naive_outcome_set(&SeenCount, &g)
+        );
+        assert_eq!(
+            explorer_outcome_set(&explore(&Chain, &g, &cfg, |_| true)),
+            naive_outcome_set(&Chain, &g)
+        );
+        // Transcript-valued output: exact only with dedup off (see below).
+        let off = ExploreConfig::default().without_dedup();
+        assert_eq!(
+            explorer_outcome_set(&explore(&FrozenSeenCount, &g, &off, |_| true)),
+            naive_outcome_set(&FrozenSeenCount, &g)
+        );
+    }
+
+    #[test]
+    fn canonical_dedup_is_lossy_for_transcript_outputs() {
+        // FrozenSeenCount freezes `(id, 0)` for everyone, so all 4! leaf
+        // boards carry the same *content* in different write orders — and
+        // its output is the transcript of that order. Canonical dedup
+        // (content-keyed) therefore collapses all of them into one terminal:
+        // the documented soundness boundary, not a bug.
+        let g = generators::path(4);
+        let naive = naive_outcome_set(&FrozenSeenCount, &g);
+        assert_eq!(naive.len(), 24, "one transcript per write order");
+        let canonical = explore(&FrozenSeenCount, &g, &ExploreConfig::default(), |_| true);
+        assert_eq!(canonical.terminals, 1, "all transcripts merged");
+        let off = explore(
+            &FrozenSeenCount,
+            &g,
+            &ExploreConfig::default().without_dedup(),
+            |_| true,
+        );
+        assert_eq!(explorer_outcome_set(&off), naive, "Off recovers exactness");
+    }
+
+    #[test]
+    fn parallel_explorer_matches_sequential_exactly() {
+        let g = generators::path(5);
+        let cfg = ExploreConfig::default();
+        let seq = explore(&SeenCount, &g, &cfg, |_| true);
+        let par = explore_parallel(&SeenCount, &g, &cfg, |_| true);
+        assert_eq!(seq.distinct_states, par.distinct_states);
+        assert_eq!(seq.terminals, par.terminals);
+        assert_eq!(seq.merged, par.merged);
+        assert_eq!(
+            format!("{:?}", seq.outcomes),
+            format!("{:?}", par.outcomes),
+            "merging is sequential, so even the discovery order matches"
+        );
+    }
+
+    #[test]
+    fn explorer_reports_deadlock_failures_with_witness() {
+        let g = generators::path(2);
+        let report = explore(&NeverActivate, &g, &ExploreConfig::default(), |o| {
+            o.is_success()
+        });
+        assert!(!report.passed());
+        assert_eq!(report.terminals, 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(
+            report.failures[0].schedule,
+            Vec::<wb_graph::NodeId>::new(),
+            "deadlock happens before any write"
+        );
+        assert!(matches!(
+            report.failures[0].outcome,
+            Outcome::Deadlock { .. }
+        ));
+    }
+
+    #[test]
+    fn explorer_truncates_on_state_cap_without_panicking() {
+        let g = generators::path(5);
+        let cfg = ExploreConfig::default().without_dedup().with_max_states(10);
+        let report = explore(&EchoId, &g, &cfg, |_| true);
+        assert!(report.truncated);
+        assert!(!report.passed());
+        assert!(report.distinct_states <= 11);
+    }
+
+    #[test]
+    fn explorer_truncates_on_frontier_cap_without_panicking() {
+        let g = generators::path(5);
+        let cfg = ExploreConfig::default()
+            .without_dedup()
+            .with_max_frontier(3);
+        let report = explore(&EchoId, &g, &cfg, |_| true);
+        assert!(report.truncated);
+        assert!(report.peak_frontier <= 3);
+    }
+
+    #[test]
+    fn assert_explored_returns_report_on_success() {
+        let g = generators::path(3);
+        let report = assert_explored(&EchoId, &g, &ExploreConfig::default(), |out| {
+            out == &vec![1, 2, 3]
+        });
+        assert!(report.passed());
+        assert_eq!(report.terminals, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "predicate failed for write order")]
+    fn assert_explored_panics_with_witness() {
+        let g = generators::path(3);
+        assert_explored(&EchoId, &g, &ExploreConfig::default(), |out| {
+            out != &vec![1, 2, 3]
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn assert_explored_flags_deadlock() {
+        assert_explored(
+            &NeverActivate,
+            &generators::path(2),
+            &ExploreConfig::default(),
+            |_| true,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn assert_explored_rejects_truncated_walks() {
+        let cfg = ExploreConfig::default().without_dedup().with_max_states(5);
+        assert_explored(&EchoId, &generators::path(5), &cfg, |_| true);
     }
 
     #[test]
     fn chain_has_single_schedule() {
         let g = generators::path(5);
-        let count = for_each_schedule(&Chain, &g, 100, |report| {
+        let report = for_each_schedule(&Chain, &g, 100, |report| {
             assert_eq!(report.write_order, vec![1, 2, 3, 4, 5]);
         });
-        assert_eq!(count, 1);
+        assert_eq!(report.schedules, 1);
+        let explored = explore(&Chain, &g, &ExploreConfig::default(), |_| true);
+        assert_eq!(explored.terminals, 1);
+        assert_eq!(explored.merged, 0, "a forced chain has nothing to merge");
     }
 
     #[test]
     fn simsync_outputs_depend_on_schedule() {
         let g = generators::path(3);
-        let mut outputs = std::collections::HashSet::new();
+        let mut outputs = HashSet::new();
         for_each_schedule(&SeenCount, &g, 100, |report| match &report.outcome {
             Outcome::Success(out) => {
                 outputs.insert(out.clone());
@@ -168,9 +799,18 @@ mod tests {
     }
 
     #[test]
+    fn for_each_schedule_reports_truncation_instead_of_panicking() {
+        let mut visited = 0u64;
+        let report = for_each_schedule(&EchoId, &generators::path(5), 10, |_| visited += 1);
+        assert!(report.truncated);
+        assert_eq!(report.schedules, 10, "exactly the cap's worth of leaves");
+        assert_eq!(visited, 10);
+    }
+
+    #[test]
     #[should_panic(expected = "exceeded the cap")]
-    fn cap_is_enforced() {
-        for_each_schedule(&EchoId, &generators::path(5), 10, |_| {});
+    fn assert_all_schedules_enforces_cap() {
+        assert_all_schedules(&EchoId, &generators::path(5), 10, |_| true);
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //!   permutations;
 //! - [`exhaustive`] — model checking: runs a protocol under *every* adversary
 //!   choice sequence (the paper's ∀-adversary quantifier, made executable for
-//!   small instances);
+//!   small instances) — a state-deduplicating worklist explorer plus the
+//!   naive factorial DFS it is cross-checked against;
 //! - [`adapt`] — the Lemma 4 inclusions as executable wrappers: any protocol of
 //!   a weaker model runs unchanged (same outputs) in every stronger model.
 
@@ -40,8 +41,13 @@ pub mod protocol;
 
 pub use adversary::{
     Adversary, FnAdversary, MaxIdAdversary, MinIdAdversary, PriorityAdversary, RandomAdversary,
+    ScheduleAdversary,
 };
 pub use board::{Entry, Whiteboard};
-pub use engine::{run, run_traced, Engine, Outcome, RunReport, TraceRow};
+pub use engine::{run, run_traced, CanonicalState, Engine, Outcome, RunReport, TraceRow};
+pub use exhaustive::{
+    assert_explored, explore, explore_parallel, DedupPolicy, ExplorationReport, ExploreConfig,
+    NaiveReport, ScheduleFailure,
+};
 pub use model::Model;
 pub use protocol::{LocalView, Node, Protocol};

@@ -3,6 +3,8 @@
 //! ```text
 //! whiteboard run   --protocol build:2 --workload kdeg:2 --n 200 [--seed S] [--adversary random:7] [--trace]
 //! whiteboard check --protocol mis:1 --n 4            # exhaustive schedules on all n-node graphs
+//! whiteboard explore --protocol mis:1 --workload path --n 6 [--max-states M] [--par] [--compare-naive]
+//!                                                    # schedule-space explorer report (dedup stats)
 //! whiteboard capacity --n 1024,4096                  # Lemma 3 table
 //! whiteboard list                                    # protocols & workloads
 //! ```
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => cmd_run(&opts),
         "check" => cmd_check(&opts),
+        "explore" => cmd_explore(&opts),
         "capacity" => cmd_capacity(&opts),
         "dot" => cmd_dot(&opts),
         "list" => {
@@ -52,8 +55,9 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: whiteboard <run|check|capacity|dot|list> [--protocol P] [--workload W] \
-         [--n N[,N..]] [--seed S] [--adversary min|max|random:S] [--trace]"
+        "usage: whiteboard <run|check|explore|capacity|dot|list> [--protocol P] [--workload W] \
+         [--n N[,N..]] [--seed S] [--adversary min|max|random:S] [--trace] \
+         [--max-states M] [--par] [--compare-naive]"
     );
 }
 
@@ -64,6 +68,9 @@ struct Opts {
     seed: u64,
     adversary: String,
     trace: bool,
+    max_states: u64,
+    par: bool,
+    compare_naive: bool,
 }
 
 impl Opts {
@@ -75,6 +82,9 @@ impl Opts {
             seed: 1,
             adversary: "random:1".into(),
             trace: false,
+            max_states: 1 << 20,
+            par: false,
+            compare_naive: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -99,6 +109,13 @@ impl Opts {
                 }
                 "--adversary" => o.adversary = value("--adversary")?,
                 "--trace" => o.trace = true,
+                "--max-states" => {
+                    o.max_states = value("--max-states")?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?
+                }
+                "--par" => o.par = true,
+                "--compare-naive" => o.compare_naive = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -404,6 +421,143 @@ fn cmd_check(o: &Opts) -> Result<(), String> {
         o.protocol
     );
     Ok(())
+}
+
+/// Schedule-space exploration of one protocol on one workload graph,
+/// printing the structured report (distinct states, dedup ratio, failures).
+fn cmd_explore(o: &Opts) -> Result<(), String> {
+    use wb_runtime::exhaustive::{explore, explore_parallel, ExplorationReport, ExploreConfig};
+    let n = *o.ns.first().unwrap_or(&6);
+    let g = make_workload(&o.workload, n, o.seed)?;
+    let config = ExploreConfig::default().with_max_states(o.max_states);
+    let (kind, arg) = split_spec(&o.protocol);
+    let k = arg.unwrap_or(2) as usize;
+
+    fn print_report<O: std::fmt::Debug>(
+        o: &Opts,
+        g: &Graph,
+        report: &ExplorationReport<O>,
+    ) -> Result<(), String> {
+        println!("exploring {} on {} (n = {})", o.protocol, o.workload, g.n());
+        println!("  distinct states : {}", report.distinct_states);
+        println!("  terminal configs: {}", report.terminals);
+        println!(
+            "  merged branches : {} (dedup ratio {:.1}x)",
+            report.merged,
+            report.dedup_ratio()
+        );
+        println!("  peak frontier   : {}", report.peak_frontier);
+        println!(
+            "  truncated       : {}",
+            if report.truncated {
+                "YES (partial result)"
+            } else {
+                "no"
+            }
+        );
+        for f in report.failures.iter().take(5) {
+            println!("  FAIL under write order {:?}: {:?}", f.schedule, f.outcome);
+        }
+        if report.failures.is_empty() && !report.truncated {
+            println!(
+                "  verdict         : PASS (every reachable configuration satisfies the oracle)"
+            );
+            Ok(())
+        } else if report.failures.is_empty() {
+            println!("  verdict         : INCONCLUSIVE (truncated)");
+            Ok(())
+        } else {
+            Err(format!("{} failing terminal(s)", report.failures.len()))
+        }
+    }
+
+    // A tiny shim so the macro below can also run the naive comparison with
+    // the same protocol value.
+    macro_rules! explore_one {
+        ($p:expr, $pred:expr) => {{
+            let p = $p;
+            let pred = $pred;
+            let report = if o.par {
+                explore_parallel(&p, &g, &config, &pred)
+            } else {
+                explore(&p, &g, &config, &pred)
+            };
+            if o.compare_naive {
+                let off = ExploreConfig::default()
+                    .without_dedup()
+                    .with_max_states(o.max_states);
+                let naive = explore(&p, &g, &off, &pred);
+                println!(
+                    "naive (no dedup): {} states, {} schedules{} — dedup saves {:.1}x",
+                    naive.distinct_states,
+                    naive.terminals,
+                    if naive.truncated { " (truncated)" } else { "" },
+                    naive.distinct_states as f64 / report.distinct_states.max(1) as f64
+                );
+            }
+            print_report(o, &g, &report)
+        }};
+    }
+
+    match kind {
+        "build" => {
+            let p = BuildDegenerate::new(k.max(1));
+            let fits = checks::degeneracy(&g).0 <= k.max(1);
+            explore_one!(p, |out: &Outcome<Result<Graph, BuildError>>| match out {
+                Outcome::Success(Ok(h)) => fits && *h == g,
+                Outcome::Success(Err(_)) => !fits,
+                Outcome::Deadlock { .. } => false,
+            })
+        }
+        "naive" => explore_one!(NaiveBuild, |out: &Outcome<Graph>| matches!(
+            out,
+            Outcome::Success(h) if *h == g
+        )),
+        "mis" => {
+            let root = (arg.unwrap_or(1) as NodeId).clamp(1, n as NodeId);
+            explore_one!(MisGreedy::new(root), |out: &Outcome<Vec<NodeId>>| matches!(
+                out,
+                Outcome::Success(s) if checks::is_rooted_mis(&g, s, root)
+            ))
+        }
+        "bfs" => explore_one!(SyncBfs, |out: &Outcome<checks::BfsForest>| matches!(
+            out,
+            Outcome::Success(f) if *f == checks::bfs_forest(&g)
+        )),
+        "eob-bfs" => explore_one!(EobBfs, |out: &Outcome<BfsOutput>| match out {
+            Outcome::Success(BfsOutput::Forest(f)) =>
+                checks::is_even_odd_bipartite(&g) && *f == checks::bfs_forest(&g),
+            Outcome::Success(BfsOutput::NotEvenOddBipartite) => !checks::is_even_odd_bipartite(&g),
+            Outcome::Deadlock { .. } => false,
+        }),
+        "edge-count" => explore_one!(EdgeCount, |out: &Outcome<usize>| matches!(
+            out,
+            Outcome::Success(m) if *m == g.m()
+        )),
+        "connectivity" => explore_one!(
+            ConnectivitySync,
+            |out: &Outcome<ConnectivityReport>| matches!(
+                out,
+                Outcome::Success(rep) if rep.connected == checks::is_connected(&g)
+            )
+        ),
+        "two-cliques" => explore_one!(TwoCliques, |out: &Outcome<
+            wb_core::two_cliques::TwoCliquesVerdict,
+        >| matches!(
+            out,
+            Outcome::Success(v)
+                if (*v == wb_core::two_cliques::TwoCliquesVerdict::TwoCliques)
+                    == checks::is_two_cliques(&g)
+        )),
+        "subgraph" => {
+            let p = SubgraphPrefix::new(k.max(1));
+            explore_one!(p, |out: &Outcome<Graph>| matches!(
+                out,
+                Outcome::Success(h) if *h == g.induced_prefix(k.max(1).min(n))
+            ))
+        }
+        other => Err(format!("explore does not support protocol '{other}'")),
+    }
 }
 
 fn cmd_capacity(o: &Opts) -> Result<(), String> {

@@ -1,0 +1,420 @@
+//! Regression corpus: witness schedules as replayable fixtures.
+//!
+//! When an exploration ([`wb_runtime::exhaustive::explore`]) finds a failing
+//! terminal configuration, the witness is just a write order — tiny,
+//! deterministic, and worth keeping. This module serializes such witnesses
+//! into RON-style text fixtures (`tests/corpus/*.ron`) and replays them
+//! through the engine via [`ScheduleAdversary`], so every bug ever found by
+//! the explorer stays a permanent, fast regression test.
+//!
+//! The format is a single struct literal, fields in fixed order:
+//!
+//! ```ron
+//! (
+//!     name: "mis-schedule-dependence",
+//!     protocol: "mis:1",
+//!     n: 4,
+//!     edges: [(1, 2), (2, 3), (3, 4)],
+//!     schedule: [1, 4, 2, 3],
+//!     expect: Output("[1, 4]"),
+//! )
+//! ```
+//!
+//! `expect` records what the run ended in when the witness was captured:
+//! `Deadlock(awake: [..])` or `Output("..")` (the `Debug` rendering of the
+//! protocol output — exact replay must reproduce it bit for bit).
+
+use crate::prelude::*;
+use std::fmt::Debug;
+use std::fs;
+use std::path::Path;
+
+/// What the recorded schedule must reproduce on replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExpectedOutcome {
+    /// The run stalls with exactly these nodes still awake.
+    Deadlock {
+        /// Awake nodes at the stall, ascending.
+        awake: Vec<NodeId>,
+    },
+    /// The run succeeds and the output's `Debug` rendering equals this.
+    Output(String),
+}
+
+/// One replayable witness: a protocol, a graph, a write order, and the
+/// outcome it must reproduce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WitnessFixture {
+    /// Human-readable fixture name.
+    pub name: String,
+    /// CLI-style protocol spec (see [`WitnessFixture::replay`] for the
+    /// supported set), e.g. `"mis:1"` or `"async-bipartite-bfs"`.
+    pub protocol: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Edge list of the witness graph.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// The adversary's picks, in write order.
+    pub schedule: Vec<NodeId>,
+    /// The outcome the replay must reproduce.
+    pub expect: ExpectedOutcome,
+}
+
+impl WitnessFixture {
+    /// Capture an exploration failure as a fixture.
+    pub fn from_failure<O: Debug>(
+        name: &str,
+        protocol: &str,
+        g: &Graph,
+        failure: &ScheduleFailure<O>,
+    ) -> Self {
+        let expect = match &failure.outcome {
+            Outcome::Deadlock { awake } => ExpectedOutcome::Deadlock {
+                awake: awake.clone(),
+            },
+            Outcome::Success(out) => ExpectedOutcome::Output(format!("{out:?}")),
+        };
+        WitnessFixture {
+            name: name.to_string(),
+            protocol: protocol.to_string(),
+            n: g.n(),
+            edges: g.edges().collect(),
+            schedule: failure.schedule.clone(),
+            expect,
+        }
+    }
+
+    /// The witness graph.
+    pub fn graph(&self) -> Graph {
+        Graph::from_edges(self.n, &self.edges)
+    }
+
+    /// Serialize to the RON-style text format.
+    pub fn to_ron(&self) -> String {
+        let edges = self
+            .edges
+            .iter()
+            .map(|(u, v)| format!("({u}, {v})"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let schedule = self
+            .schedule
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let expect = match &self.expect {
+            ExpectedOutcome::Deadlock { awake } => format!(
+                "Deadlock(awake: [{}])",
+                awake
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            ExpectedOutcome::Output(debug) => format!("Output(\"{}\")", escape(debug)),
+        };
+        format!(
+            "(\n    name: \"{}\",\n    protocol: \"{}\",\n    n: {},\n    edges: [{}],\n    \
+             schedule: [{}],\n    expect: {},\n)\n",
+            escape(&self.name),
+            escape(&self.protocol),
+            self.n,
+            edges,
+            schedule,
+            expect
+        )
+    }
+
+    /// Parse the RON-style text format (fields in the order `to_ron` emits).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser::new(text);
+        p.expect("(")?;
+        p.expect("name")?;
+        p.expect(":")?;
+        let name = p.string()?;
+        p.expect(",")?;
+        p.expect("protocol")?;
+        p.expect(":")?;
+        let protocol = p.string()?;
+        p.expect(",")?;
+        p.expect("n")?;
+        p.expect(":")?;
+        let n = p.number()? as usize;
+        p.expect(",")?;
+        p.expect("edges")?;
+        p.expect(":")?;
+        let edges = p.pair_list()?;
+        p.expect(",")?;
+        p.expect("schedule")?;
+        p.expect(":")?;
+        let schedule = p.number_list()?;
+        p.expect(",")?;
+        p.expect("expect")?;
+        p.expect(":")?;
+        let expect = if p.try_expect("Deadlock") {
+            p.expect("(")?;
+            p.expect("awake")?;
+            p.expect(":")?;
+            let awake = p.number_list()?;
+            p.expect(")")?;
+            ExpectedOutcome::Deadlock { awake }
+        } else {
+            p.expect("Output")?;
+            p.expect("(")?;
+            let debug = p.string()?;
+            p.expect(")")?;
+            ExpectedOutcome::Output(debug)
+        };
+        p.try_expect(",");
+        p.expect(")")?;
+        Ok(WitnessFixture {
+            name,
+            protocol,
+            n,
+            edges,
+            schedule,
+            expect,
+        })
+    }
+
+    /// Write the fixture to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        fs::write(path, self.to_ron())
+    }
+
+    /// Read and parse a fixture from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Re-run the recorded schedule deterministically and check it
+    /// reproduces the recorded outcome.
+    ///
+    /// Supported protocol specs: `build:K`, `naive`, `mis:ROOT`, `bfs`,
+    /// `eob-bfs`, `async-bipartite-bfs`, `spanning`, `connectivity`,
+    /// `two-cliques`, `subgraph:F`, `edge-count`.
+    ///
+    /// Panics (via [`ScheduleAdversary`]) if the recorded schedule is no
+    /// longer executable — that means engine or protocol semantics drifted,
+    /// which is exactly what a regression corpus must catch.
+    pub fn replay(&self) -> Result<(), String> {
+        let g = self.graph();
+        let (kind, arg) = match self.protocol.split_once(':') {
+            Some((k, v)) => {
+                let parsed = v.parse::<u64>().map_err(|_| {
+                    format!(
+                        "fixture '{}': bad protocol argument in '{}'",
+                        self.name, self.protocol
+                    )
+                })?;
+                (k, Some(parsed))
+            }
+            None => (self.protocol.as_str(), None),
+        };
+        let observed = match kind {
+            "build" => self.run_one(&BuildDegenerate::new(arg.unwrap_or(2) as usize), &g),
+            "naive" => self.run_one(&NaiveBuild, &g),
+            "mis" => self.run_one(&MisGreedy::new(arg.unwrap_or(1) as NodeId), &g),
+            "bfs" => self.run_one(&SyncBfs, &g),
+            "eob-bfs" => self.run_one(&EobBfs, &g),
+            "async-bipartite-bfs" => self.run_one(&AsyncBipartiteBfs, &g),
+            "spanning" => self.run_one(&SpanningForestSync, &g),
+            "connectivity" => self.run_one(&ConnectivitySync, &g),
+            "two-cliques" => self.run_one(&TwoCliques, &g),
+            "subgraph" => self.run_one(&SubgraphPrefix::new(arg.unwrap_or(1) as usize), &g),
+            "edge-count" => self.run_one(&EdgeCount, &g),
+            other => {
+                return Err(format!(
+                    "fixture '{}': unknown protocol '{other}'",
+                    self.name
+                ))
+            }
+        };
+        if observed == self.expect {
+            Ok(())
+        } else {
+            Err(format!(
+                "fixture '{}' did not reproduce: expected {:?}, replay produced {:?}",
+                self.name, self.expect, observed
+            ))
+        }
+    }
+
+    fn run_one<P>(&self, p: &P, g: &Graph) -> ExpectedOutcome
+    where
+        P: Protocol,
+        P::Output: Debug,
+    {
+        let report = run(p, g, &mut ScheduleAdversary::new(self.schedule.clone()));
+        match report.outcome {
+            Outcome::Deadlock { awake } => ExpectedOutcome::Deadlock { awake },
+            Outcome::Success(out) => ExpectedOutcome::Output(format!("{out:?}")),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Minimal cursor parser for the fixture grammar.
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { rest: text }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), String> {
+        if self.try_expect(token) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{token}' at '{}…'",
+                self.rest.chars().take(24).collect::<String>()
+            ))
+        }
+    }
+
+    fn try_expect(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        match self.rest.strip_prefix(token) {
+            Some(rest) => {
+                self.rest = rest;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, e)) => out.push(e),
+                    None => return Err("dangling escape in string".into()),
+                },
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                _ => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let digits: String = self
+            .rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if digits.is_empty() {
+            return Err(format!(
+                "expected a number at '{}…'",
+                self.rest.chars().take(24).collect::<String>()
+            ));
+        }
+        self.rest = &self.rest[digits.len()..];
+        digits.parse().map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn number_list(&mut self) -> Result<Vec<NodeId>, String> {
+        self.expect("[")?;
+        let mut out = Vec::new();
+        loop {
+            if self.try_expect("]") {
+                return Ok(out);
+            }
+            if !out.is_empty() {
+                self.expect(",")?;
+                if self.try_expect("]") {
+                    return Ok(out);
+                }
+            }
+            out.push(self.number()? as NodeId);
+        }
+    }
+
+    fn pair_list(&mut self) -> Result<Vec<(NodeId, NodeId)>, String> {
+        self.expect("[")?;
+        let mut out = Vec::new();
+        loop {
+            if self.try_expect("]") {
+                return Ok(out);
+            }
+            if !out.is_empty() {
+                self.expect(",")?;
+                if self.try_expect("]") {
+                    return Ok(out);
+                }
+            }
+            self.expect("(")?;
+            let u = self.number()? as NodeId;
+            self.expect(",")?;
+            let v = self.number()? as NodeId;
+            self.expect(")")?;
+            out.push((u, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> WitnessFixture {
+        WitnessFixture {
+            name: "example".into(),
+            protocol: "mis:1".into(),
+            n: 4,
+            edges: vec![(1, 2), (2, 3), (3, 4)],
+            schedule: vec![1, 4, 2, 3],
+            expect: ExpectedOutcome::Output("[1, 4]".into()),
+        }
+    }
+
+    #[test]
+    fn ron_round_trip() {
+        let f = fixture();
+        let parsed = WitnessFixture::parse(&f.to_ron()).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn deadlock_round_trip() {
+        let mut f = fixture();
+        f.protocol = "async-bipartite-bfs".into();
+        f.expect = ExpectedOutcome::Deadlock { awake: vec![5] };
+        let parsed = WitnessFixture::parse(&f.to_ron()).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn strings_with_quotes_round_trip() {
+        let mut f = fixture();
+        f.expect = ExpectedOutcome::Output("weird \"quoted\" \\ output".into());
+        let parsed = WitnessFixture::parse(&f.to_ron()).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(WitnessFixture::parse("(name: 12)").is_err());
+        assert!(WitnessFixture::parse("").is_err());
+    }
+}

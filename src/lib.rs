@@ -19,7 +19,10 @@
 //!   transformations plus the Lemma 3 counting machinery;
 //! - [`graph`] — labeled graphs, generators, reference oracles, enumeration;
 //! - [`math`] — exact bignum arithmetic, power-sum codes, bit-level messages;
-//! - [`par`] — the small data-parallel toolkit used by the benchmark harness.
+//! - [`par`] — the small data-parallel toolkit used by the benchmark harness
+//!   and the schedule-space explorer;
+//! - [`corpus`] — replayable witness-schedule fixtures captured from
+//!   exploration failures (`tests/corpus/*.ron`).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
+
 pub use wb_core as core;
 pub use wb_graph as graph;
 pub use wb_math as math;
@@ -62,9 +67,14 @@ pub mod prelude {
     pub use wb_graph::{checks, enumerate, generators, AdjMatrix, Graph, NodeId};
     pub use wb_math::{bits_for, id_bits, BigInt, BitReader, BitVec, BitWriter};
     pub use wb_runtime::adapt::Promote;
-    pub use wb_runtime::exhaustive::{assert_all_schedules, for_each_schedule};
+    pub use wb_runtime::exhaustive::{
+        assert_all_schedules, assert_explored, explore, explore_parallel, find_failing_schedule,
+        for_each_schedule, DedupPolicy, ExplorationReport, ExploreConfig, NaiveReport,
+        ScheduleFailure,
+    };
     pub use wb_runtime::{
-        run, Adversary, Engine, LocalView, MaxIdAdversary, MinIdAdversary, Model, Node, Outcome,
-        PriorityAdversary, Protocol, RandomAdversary, RunReport, Whiteboard,
+        run, Adversary, CanonicalState, Engine, LocalView, MaxIdAdversary, MinIdAdversary, Model,
+        Node, Outcome, PriorityAdversary, Protocol, RandomAdversary, RunReport, ScheduleAdversary,
+        Whiteboard,
     };
 }

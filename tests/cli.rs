@@ -104,6 +104,45 @@ fn check_is_exhaustive_and_bounded() {
 }
 
 #[test]
+fn explore_prints_the_report_and_dedup_stats() {
+    let (ok, out) = whiteboard(&[
+        "explore",
+        "--protocol",
+        "mis:1",
+        "--workload",
+        "path",
+        "--n",
+        "6",
+        "--compare-naive",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("distinct states"), "{out}");
+    assert!(out.contains("dedup ratio"), "{out}");
+    assert!(out.contains("naive (no dedup)"), "{out}");
+    assert!(out.contains("verdict         : PASS"), "{out}");
+}
+
+#[test]
+fn explore_parallel_truncation_is_reported_not_fatal() {
+    // A tight state cap: partial result, INCONCLUSIVE verdict, exit 0.
+    let (ok, out) = whiteboard(&[
+        "explore",
+        "--protocol",
+        "bfs",
+        "--workload",
+        "clique",
+        "--n",
+        "7",
+        "--par",
+        "--max-states",
+        "5",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("truncated       : YES"), "{out}");
+    assert!(out.contains("INCONCLUSIVE"), "{out}");
+}
+
+#[test]
 fn capacity_table_prints_verdicts() {
     let (ok, out) = whiteboard(&["capacity", "--n", "4096"]);
     assert!(ok, "{out}");

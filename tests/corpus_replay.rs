@@ -1,0 +1,156 @@
+//! Regression corpus replay: every stored witness schedule must reproduce
+//! its recorded outcome, deterministically, through the normal replay path
+//! (`ScheduleAdversary` driving the engine).
+//!
+//! Fixtures live in `tests/corpus/*.ron`. They are captured from real
+//! exploration failures by `regen_corpus_fixtures` below (`cargo test -- \
+//! --ignored regen_corpus_fixtures` rewrites them); the checked-in set pins
+//! one representative of each failure class the explorer can exhibit:
+//! a deadlock witness and two schedule-dependent-output witnesses.
+
+use shared_whiteboard::corpus::WitnessFixture;
+use shared_whiteboard::prelude::*;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// All checked-in fixtures, sorted for deterministic order.
+fn stored_fixtures() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ron"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn stored_corpus_replays_deterministically() {
+    let paths = stored_fixtures();
+    assert!(
+        paths.len() >= 3,
+        "corpus unexpectedly empty: {paths:?} — run `cargo test -- --ignored regen_corpus_fixtures`"
+    );
+    for path in paths {
+        let fixture = WitnessFixture::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        fixture
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn corpus_round_trips_from_a_live_exploration_failure() {
+    // The full pipeline on a fresh failure: explore with a deliberately
+    // wrong predicate ("MIS is always {1, 3}"), capture the witness,
+    // serialize, parse back, replay — the recorded outcome must reproduce.
+    let g = generators::path(4);
+    let report = explore(
+        &MisGreedy::new(1),
+        &g,
+        &ExploreConfig::default(),
+        |o| matches!(o, Outcome::Success(s) if s == &vec![1, 3]),
+    );
+    let failure = report
+        .failures
+        .first()
+        .expect("MIS output is schedule-dependent on a 4-path");
+    let fixture = WitnessFixture::from_failure("live-round-trip", "mis:1", &g, failure);
+    let parsed = WitnessFixture::parse(&fixture.to_ron()).expect("serializer output parses");
+    assert_eq!(parsed, fixture);
+    parsed.replay().expect("fresh witness replays");
+
+    // And through the filesystem, like the checked-in corpus.
+    let dir = std::env::temp_dir().join("wb-corpus-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("live_round_trip.ron");
+    fixture.save(&path).unwrap();
+    let loaded = WitnessFixture::load(&path).unwrap();
+    assert_eq!(loaded, fixture);
+    loaded.replay().expect("loaded witness replays");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn tampered_fixture_is_rejected_on_replay() {
+    // Change the expectation out from under a valid schedule: replay must
+    // report the mismatch rather than silently pass.
+    let g = generators::path(4);
+    let report = explore(
+        &MisGreedy::new(1),
+        &g,
+        &ExploreConfig::default(),
+        |o| matches!(o, Outcome::Success(s) if s == &vec![1, 3]),
+    );
+    let failure = report.failures.first().expect("witness exists");
+    let mut fixture = WitnessFixture::from_failure("tampered", "mis:1", &g, failure);
+    fixture.expect = shared_whiteboard::corpus::ExpectedOutcome::Output("[2, 4]".into());
+    let err = fixture.replay().expect_err("mismatch must be detected");
+    assert!(err.contains("did not reproduce"), "{err}");
+}
+
+/// Regenerate the checked-in fixtures from live exploration failures.
+/// Ignored by default: run explicitly when witness formats or protocol
+/// semantics change intentionally.
+#[test]
+#[ignore = "rewrites tests/corpus; run explicitly"]
+fn regen_corpus_fixtures() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // 1. Deadlock class: the asynchronous (no-d₀) bipartite BFS on a
+    //    triangle with a tail deadlocks on every schedule (Open Problem 3
+    //    ablation) — capture the first witness.
+    let g = Graph::from_edges(5, &[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
+    let report = explore(&AsyncBipartiteBfs, &g, &ExploreConfig::default(), |o| {
+        o.is_success()
+    });
+    let failure = report.failures.first().expect("every schedule deadlocks");
+    WitnessFixture::from_failure(
+        "async-bfs-triangle-tail-deadlock",
+        "async-bipartite-bfs",
+        &g,
+        failure,
+    )
+    .save(&dir.join("async_bfs_triangle_tail_deadlock.ron"))
+    .unwrap();
+
+    // 2. Schedule-dependent output, MIS: on a 4-path rooted at 1 both
+    //    {1, 3} and {1, 4} are reachable rooted MIS outputs; pin a schedule
+    //    that does NOT produce the min-ID answer.
+    let g = generators::path(4);
+    let min_id = run(&MisGreedy::new(1), &g, &mut MinIdAdversary)
+        .outcome
+        .unwrap();
+    let report = explore(
+        &MisGreedy::new(1),
+        &g,
+        &ExploreConfig::default(),
+        |o| matches!(o, Outcome::Success(s) if s == &min_id),
+    );
+    let failure = report.failures.first().expect("MIS is schedule-dependent");
+    WitnessFixture::from_failure("mis-schedule-dependence", "mis:1", &g, failure)
+        .save(&dir.join("mis_schedule_dependence.ron"))
+        .unwrap();
+
+    // 3. Protocol-level rejection: BUILD with k = 1 on a 4-cycle
+    //    (degeneracy 2) must answer `Err` on every schedule — pin the exact
+    //    rejection rendering so decoder drift is caught.
+    let g = generators::cycle(4);
+    let report = explore(
+        &BuildDegenerate::new(1),
+        &g,
+        &ExploreConfig::default(),
+        |o| matches!(o, Outcome::Success(Ok(_))),
+    );
+    let failure = report
+        .failures
+        .first()
+        .expect("BUILD must reject a graph above its degeneracy bound");
+    WitnessFixture::from_failure("build-k1-rejects-cycle", "build:1", &g, failure)
+        .save(&dir.join("build_k1_rejects_cycle.ron"))
+        .unwrap();
+}

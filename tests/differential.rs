@@ -1,0 +1,210 @@
+//! Differential test harness: the schedule-space explorer against the
+//! `wb-graph` reference oracles and against the naive factorial DFS.
+//!
+//! Two quantifiers are discharged here, both finite:
+//!
+//! 1. **Protocol vs oracle** — for every labeled graph up to `n = 5`, run
+//!    BUILD / MIS / BFS under all four models (via the Lemma 4 [`Promote`]
+//!    adapters where the native model is weaker) through the explorer, and
+//!    assert every reachable terminal output matches the reference oracle.
+//! 2. **Explorer vs naive DFS** — for every labeled graph up to `n = 4`,
+//!    the deduplicating explorer and the naive clone-per-branch DFS must
+//!    reach exactly the same *set* of terminal outcomes (which implies the
+//!    same pass/fail verdict for any predicate). This is the correctness
+//!    anchor for canonical-state deduplication, run for BUILD and MIS under
+//!    every model of the lattice plus the native protocols of each problem
+//!    family shipped in `wb-core`.
+
+use shared_whiteboard::par::{par_drain, WorkQueue};
+use shared_whiteboard::prelude::*;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use wb_core::BuildError;
+
+/// All graphs on `1..=n` nodes.
+fn graphs_up_to(n: usize) -> impl Iterator<Item = Graph> {
+    (1..=n).flat_map(enumerate::all_graphs)
+}
+
+/// Run `check` on every graph up to `n` nodes, spread across the thread
+/// pool via `wb_par::par_drain` (panics inside workers propagate through
+/// the scope join, so assertion failures still fail the test).
+fn for_all_graphs_parallel(n: usize, check: impl Fn(&Graph) + Sync) {
+    let count = (1..=n).map(enumerate::count_all).sum::<u64>() as usize;
+    let queue = WorkQueue::bounded(count);
+    for g in graphs_up_to(n) {
+        queue.push(g).expect("queue sized to hold every graph");
+    }
+    par_drain(&queue, |g, _| check(&g));
+}
+
+/// Models a protocol of `native` model can be promoted to (itself included).
+fn targets(native: Model) -> impl Iterator<Item = Model> {
+    Model::ALL.into_iter().filter(move |t| t.includes(native))
+}
+
+/// Explore exhaustively (canonical dedup) and assert every terminal outcome
+/// satisfies `oracle`; panics with the witness schedule otherwise.
+fn check_against_oracle<P>(p: &P, g: &Graph, label: &str, oracle: impl Fn(&P::Output) -> bool)
+where
+    P: Protocol,
+    P::Output: Clone + Debug,
+{
+    let report = explore(p, g, &ExploreConfig::default(), |outcome| match outcome {
+        Outcome::Success(out) => oracle(out),
+        Outcome::Deadlock { .. } => false,
+    });
+    assert!(!report.truncated, "{label}: truncated on {g:?}");
+    if let Some(f) = report.failures.first() {
+        panic!(
+            "{label}: oracle violated on {g:?} under write order {:?}: {:?}",
+            f.schedule, f.outcome
+        );
+    }
+}
+
+/// Debug-rendered set of terminal outcomes from the naive DFS.
+fn naive_outcomes<P>(p: &P, g: &Graph) -> BTreeSet<String>
+where
+    P: Protocol,
+    P::Output: Debug,
+{
+    let mut set = BTreeSet::new();
+    let report = for_each_schedule(p, g, 500_000, |r| {
+        set.insert(format!("{:?}", r.outcome));
+    });
+    assert!(!report.truncated, "naive DFS truncated on {g:?}");
+    set
+}
+
+/// The explorer (canonical dedup) must reach exactly the naive DFS's set of
+/// terminal outcomes — hence the same verdict for any outcome predicate.
+fn assert_explorer_matches_naive<P>(p: &P, g: &Graph, label: &str)
+where
+    P: Protocol,
+    P::Output: Clone + Debug,
+{
+    let naive = naive_outcomes(p, g);
+    let report = explore(p, g, &ExploreConfig::default(), |_| true);
+    assert!(!report.truncated, "{label}: explorer truncated on {g:?}");
+    let explored: BTreeSet<String> = report.outcomes.iter().map(|o| format!("{o:?}")).collect();
+    assert_eq!(
+        explored, naive,
+        "{label}: explorer and naive DFS disagree on {g:?}"
+    );
+    // Dedup may only shrink work, never add terminals beyond the naive set.
+    assert!(report.terminals as usize >= explored.len());
+}
+
+#[test]
+fn build_matches_oracle_under_all_four_models_up_to_n5() {
+    // BUILD for degeneracy ≤ 2 is SIMASYNC-native, hence runs in every
+    // model. Oracle: exact reconstruction on 2-degenerate inputs, a
+    // degeneracy complaint otherwise. The heaviest sweep of the suite
+    // (1,100 graphs × 4 models), so the graphs drain across the pool.
+    for_all_graphs_parallel(5, |g| {
+        let degenerate_enough = checks::degeneracy(g).0 <= 2;
+        for target in targets(Model::SimAsync) {
+            let p = Promote::new(BuildDegenerate::new(2), target);
+            check_against_oracle(
+                &p,
+                g,
+                &format!("BUILD@{target}"),
+                |out: &Result<Graph, BuildError>| match out {
+                    Ok(h) => degenerate_enough && *h == *g,
+                    Err(_) => !degenerate_enough,
+                },
+            );
+        }
+    });
+}
+
+#[test]
+fn mis_matches_oracle_under_its_models_up_to_n5() {
+    // Rooted MIS is SIMSYNC-native: SIMSYNC, ASYNC and SYNC apply.
+    for_all_graphs_parallel(5, |g| {
+        for target in targets(Model::SimSync) {
+            let p = Promote::new(MisGreedy::new(1), target);
+            check_against_oracle(&p, g, &format!("MIS@{target}"), |set| {
+                checks::is_rooted_mis(g, set, 1)
+            });
+        }
+    });
+}
+
+#[test]
+fn bfs_matches_oracle_up_to_n5() {
+    // General BFS is SYNC-native (Theorem 10) — nothing to promote to, but
+    // the adversary quantifier is the interesting one here anyway.
+    for g in graphs_up_to(5) {
+        check_against_oracle(&SyncBfs, &g, "BFS@SYNC", |f| *f == checks::bfs_forest(&g));
+    }
+}
+
+#[test]
+fn eob_bfs_matches_oracle_up_to_n5() {
+    // EOB-BFS (ASYNC) must be total: the forest on even-odd-bipartite
+    // inputs, the verdict otherwise, and never a deadlock.
+    for g in graphs_up_to(5) {
+        let valid = checks::is_even_odd_bipartite(&g);
+        check_against_oracle(&EobBfs, &g, "EOB-BFS@ASYNC", |out| match out {
+            BfsOutput::Forest(f) => valid && *f == checks::bfs_forest(&g),
+            BfsOutput::NotEvenOddBipartite => !valid,
+        });
+    }
+}
+
+#[test]
+fn explorer_matches_naive_for_build_and_mis_all_models_n4() {
+    // The acceptance anchor: same outcome set, hence same verdict, on every
+    // labeled graph up to n = 4, for BUILD and MIS under every model each
+    // can run in.
+    for g in graphs_up_to(4) {
+        for target in targets(Model::SimAsync) {
+            let p = Promote::new(BuildDegenerate::new(2), target);
+            assert_explorer_matches_naive(&p, &g, &format!("BUILD@{target}"));
+        }
+        for target in targets(Model::SimSync) {
+            for root in 1..=g.n() as NodeId {
+                let p = Promote::new(MisGreedy::new(root), target);
+                assert_explorer_matches_naive(&p, &g, &format!("MIS(root {root})@{target}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn explorer_matches_naive_for_every_migrated_protocol_n4() {
+    // Every protocol whose exhaustive tests moved from the naive DFS onto
+    // the explorer gets its dedup soundness checked here on all 4-node
+    // graphs (native models).
+    for g in graphs_up_to(4) {
+        assert_explorer_matches_naive(&SyncBfs, &g, "BFS");
+        assert_explorer_matches_naive(&EobBfs, &g, "EOB-BFS");
+        assert_explorer_matches_naive(&NaiveBuild, &g, "NAIVE-BUILD");
+        assert_explorer_matches_naive(&EdgeCount, &g, "EDGE-COUNT");
+        assert_explorer_matches_naive(&ConnectivitySync, &g, "CONNECTIVITY");
+        assert_explorer_matches_naive(&TwoCliques, &g, "2-CLIQUES");
+        assert_explorer_matches_naive(&SubgraphPrefix::new(2), &g, "SUBGRAPH_2");
+    }
+}
+
+#[test]
+fn parallel_explorer_agrees_with_sequential_on_oracle_checks() {
+    // The par_map fan-out must not change results: identical reports on a
+    // nontrivial instance mix.
+    for g in [
+        generators::path(6),
+        generators::clique(5),
+        generators::star(6),
+        generators::two_cliques(3),
+    ] {
+        let cfg = ExploreConfig::default();
+        let seq = explore(&SyncBfs, &g, &cfg, |_| true);
+        let par = explore_parallel(&SyncBfs, &g, &cfg, |_| true);
+        assert_eq!(seq.distinct_states, par.distinct_states);
+        assert_eq!(seq.terminals, par.terminals);
+        assert_eq!(seq.merged, par.merged);
+        assert_eq!(format!("{:?}", seq.outcomes), format!("{:?}", par.outcomes));
+    }
+}

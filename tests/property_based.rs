@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use shared_whiteboard::prelude::*;
 
 proptest! {
@@ -172,5 +172,72 @@ proptest! {
         writers.sort_unstable();
         writers.dedup();
         prop_assert_eq!(writers.len(), n);
+    }
+
+    /// Engine snapshot/restore round-trips exactly: drive a random schedule
+    /// prefix (as the explorer's frontier does), snapshot via `Clone`, run
+    /// both copies through the identical continuation, and demand
+    /// bit-identical boards, write orders and canonical states at every
+    /// step. This is the invariant that lets the explorer park
+    /// configurations in a frontier and resume them later.
+    #[test]
+    fn engine_snapshot_restore_round_trips(n in 2usize..9, p_edge in 0.0f64..0.7, seed in any::<u64>(), prefix in 0usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let mut engine = Engine::new(&SyncBfs, &g);
+        engine.activation_phase();
+        // Random schedule prefix.
+        let mut picks = StdRng::seed_from_u64(seed ^ 0xD1FF);
+        for _ in 0..prefix {
+            let active = engine.active_set();
+            if active.is_empty() { break; }
+            engine.step(active[picks.gen_range(0..active.len())]);
+            engine.activation_phase();
+        }
+        // Snapshot, then drive both copies with the same continuation.
+        let mut restored = engine.clone();
+        prop_assert_eq!(engine.canonical_state(), restored.canonical_state());
+        loop {
+            let active = engine.active_set();
+            prop_assert_eq!(active.clone(), restored.active_set());
+            if active.is_empty() { break; }
+            let pick = active[picks.gen_range(0..active.len())];
+            engine.step(pick);
+            engine.activation_phase();
+            restored.step(pick);
+            restored.activation_phase();
+            prop_assert_eq!(engine.write_order(), restored.write_order());
+            prop_assert_eq!(engine.board(), restored.board());
+            prop_assert_eq!(engine.canonical_state(), restored.canonical_state());
+        }
+        let a = engine.finish();
+        let b = restored.finish();
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.write_order, b.write_order);
+    }
+
+    /// The canonical state is write-order-oblivious exactly as specified:
+    /// two different permutations of the same SIMASYNC write set land in
+    /// the same canonical state, while different write sets never collide.
+    #[test]
+    fn canonical_state_is_permutation_invariant_for_simasync(n in 2usize..8, k in 1usize..3, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::k_degenerate(n, k, false, &mut rng);
+        let p = BuildDegenerate::new(k);
+        let drive = |order: &[NodeId]| {
+            let mut e = Engine::new(&p, &g);
+            e.activation_phase();
+            for &v in order { e.step(v); e.activation_phase(); }
+            e.canonical_state()
+        };
+        // Forward vs reversed prefix of the same two writers.
+        let forward = drive(&[1, 2]);
+        let backward = drive(&[2, 1]);
+        prop_assert_eq!(forward.clone(), backward);
+        // A different write set must differ.
+        if n >= 3 {
+            let other = drive(&[1, 3]);
+            prop_assert_ne!(forward, other);
+        }
     }
 }

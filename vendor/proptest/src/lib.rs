@@ -5,8 +5,13 @@
 //!
 //! Semantic differences from the real crate, by design:
 //!
-//! - **No shrinking.** A failing case reports its case index and panics; it
-//!   does not search for a minimal counterexample.
+//! - **Minimal shrinking.** On failure the runner walks each argument
+//!   toward its strategy's minimum (range start, zero, `false`) while the
+//!   case keeps failing — a greedy per-argument loop over
+//!   [`strategy::Strategy::shrink_candidates`], not the real crate's value
+//!   trees. Range/`any` strategies shrink; tuples and collections do not.
+//!   Shrinking requires argument types to be `Clone` (every type used in
+//!   this workspace is).
 //! - **Deterministic generation.** Case `i` of every test derives its inputs
 //!   from a fixed function of `i`, so failures reproduce exactly across runs
 //!   with no persistence files.
@@ -224,23 +229,83 @@ macro_rules! __proptest_impl {
                         case as u64,
                     );
                     $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
-                    // Render inputs up front: the body may consume them.
+                    // The body as a re-runnable closure over the argument
+                    // tuple: the original case runs through it once, and the
+                    // shrink loop replays it with substituted arguments.
+                    let run_case = $crate::test_runner::constrain_case(
+                        &($(::core::clone::Clone::clone(&$arg),)+),
+                        |($($arg,)+)|
+                            -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        },
+                    );
                     let rendered_inputs = [
                         $(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+
                     ]
                     .join(", ");
-                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| { $body ::core::result::Result::Ok(()) })();
+                    let outcome = run_case(($(::core::clone::Clone::clone(&$arg),)+));
                     if let ::core::result::Result::Err(err) = outcome {
+                        // Greedy per-argument shrink: keep substituting
+                        // simpler candidates while the case still fails.
+                        $(let mut $arg = $arg;)+
+                        let mut rounds = 0usize;
+                        loop {
+                            let mut improved = false;
+                            $crate::__shrink_args!(run_case, improved; (); $($arg { $strat }),+);
+                            rounds += 1;
+                            // 256 rounds: enough for geometric (×¾) descent
+                            // across a full u64 range plus the linear tail.
+                            if !improved || rounds >= 256 {
+                                break;
+                            }
+                        }
+                        let minimal_inputs = [
+                            $(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+
+                        ]
+                        .join(", ");
+                        let minimal_err =
+                            match run_case(($(::core::clone::Clone::clone(&$arg),)+)) {
+                                ::core::result::Result::Err(e) => e,
+                                ::core::result::Result::Ok(()) => err,
+                            };
                         panic!(
-                            "proptest case {case} of {} failed:\n{err}\ninputs: {}",
+                            "proptest case {case} of {} failed:\n{minimal_err}\nminimal inputs: {}\noriginal inputs: {}",
                             stringify!($name),
+                            minimal_inputs,
                             rendered_inputs,
                         );
                     }
                 }
             }
         )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one greedy shrink pass. Peels the
+/// argument list left to right; for the head argument it tries each shrink
+/// candidate with every other argument held fixed, adopting the first
+/// candidate that still fails, then recurses into the tail.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __shrink_args {
+    ($run:ident, $improved:ident; ($($done:ident),* $(,)?); ) => {};
+    ($run:ident, $improved:ident; ($($done:ident),* $(,)?);
+     $cur:ident { $curstrat:expr } $(, $rest:ident { $reststrat:expr })*) => {
+        for cand in $crate::strategy::Strategy::shrink_candidates(&($curstrat), &$cur) {
+            let still_fails = $run((
+                $(::core::clone::Clone::clone(&$done),)*
+                ::core::clone::Clone::clone(&cand),
+                $(::core::clone::Clone::clone(&$rest),)*
+            ))
+            .is_err();
+            if still_fails {
+                $cur = cand;
+                $improved = true;
+                break;
+            }
+        }
+        $crate::__shrink_args!($run, $improved; ($($done,)* $cur); $($rest { $reststrat }),*);
     };
 }
 
@@ -290,4 +355,69 @@ mod tests {
         }
         always_fails();
     }
+
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("test must fail");
+        match err.downcast::<String>() {
+            Ok(s) => *s,
+            Err(err) => err.downcast::<&str>().map(|s| s.to_string()).unwrap(),
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_the_minimal_range_failure() {
+        // Fails iff n ≥ 17: whatever case fails first, the greedy shrink
+        // loop must walk it down to exactly 17.
+        proptest! {
+            fn fails_from_17(n in 0usize..1000) {
+                prop_assert!(n < 17, "n = {} is too big", n);
+            }
+        }
+        let msg = panic_message(fails_from_17);
+        assert!(msg.contains("minimal inputs: n = 17"), "{msg}");
+        assert!(msg.contains("original inputs: n = "), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_handles_multiple_arguments_independently() {
+        // Fails iff a ≥ 5 (b is irrelevant): a shrinks to 5, b to its
+        // range minimum.
+        proptest! {
+            fn fails_on_a(a in 0u32..100, b in 3u64..50) {
+                prop_assert!(a < 5, "a = {}, b = {}", a, b);
+            }
+        }
+        let msg = panic_message(fails_on_a);
+        assert!(msg.contains("minimal inputs: a = 5, b = 3"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_respects_conjoined_failures() {
+        // Fails iff both are large: neither argument may shrink below the
+        // other's constraint.
+        proptest! {
+            fn fails_when_both_large(a in 0i64..200, b in 0i64..200) {
+                prop_assert!(a < 10 || b < 7, "a = {}, b = {}", a, b);
+            }
+        }
+        let msg = panic_message(fails_when_both_large);
+        assert!(msg.contains("minimal inputs: a = 10, b = 7"), "{msg}");
+    }
+
+    #[test]
+    fn range_shrink_candidates_move_toward_start() {
+        let r = 3usize..100;
+        assert_eq!(r.shrink_candidates(&3), Vec::<usize>::new());
+        assert_eq!(r.shrink_candidates(&4), vec![3]);
+        // Minimum, midpoint, three-quarter point, predecessor.
+        assert_eq!(r.shrink_candidates(&50), vec![3, 26, 37, 49]);
+        let ri = -5i32..=5;
+        assert_eq!(ri.shrink_candidates(&-5), Vec::<i32>::new());
+        assert_eq!(ri.shrink_candidates(&5), vec![-5, 0, 2, 4]);
+        let anyu = any::<u64>();
+        assert_eq!(anyu.shrink_candidates(&9), vec![0, 4]);
+        assert_eq!(any::<bool>().shrink_candidates(&true), vec![false]);
+    }
+
+    use crate::strategy::Strategy;
 }

@@ -5,14 +5,26 @@ use std::marker::PhantomData;
 
 /// Something that can produce values of a type from a [`TestRng`].
 ///
-/// Unlike the real crate there is no value tree and no shrinking: a strategy
-/// is just a deterministic sampler.
+/// Unlike the real crate there is no value tree: a strategy is a
+/// deterministic sampler plus an optional *shrink step*. On failure the
+/// runner repeatedly substitutes [`Strategy::shrink_candidates`] values
+/// that keep the test failing, walking each argument toward its minimum
+/// (range start, zero, `false`) before reporting.
 pub trait Strategy {
     /// The type of value produced.
     type Value;
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simpler values for a failing `value`, most aggressive
+    /// first (e.g. the range minimum, then the midpoint, then the
+    /// predecessor). An empty list means the value cannot shrink further.
+    /// The default — used by strategies without a meaningful order, like
+    /// tuples and collections — is to not shrink at all.
+    fn shrink_candidates(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -21,10 +33,38 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
     }
+
+    fn shrink_candidates(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink_candidates(value)
+    }
+}
+
+/// Candidates between `start` (the strategy minimum) and a failing `v`:
+/// the minimum itself, the midpoint, and the predecessor. `$u` is the
+/// same-width unsigned type, so the offset arithmetic cannot overflow.
+macro_rules! int_shrink_toward {
+    ($t:ty, $u:ty, $start:expr, $v:expr) => {{
+        let (start, v) = ($start, $v);
+        let mut out: Vec<$t> = Vec::new();
+        if v != start {
+            out.push(start);
+            let diff = v.wrapping_sub(start) as $u;
+            // Halving, a three-quarter point (so a failure boundary above
+            // the midpoint still converges geometrically), then the
+            // predecessor for the final off-by-ones.
+            for frac in [diff / 2, diff / 2 + diff / 4, diff - 1] {
+                let cand = start.wrapping_add(frac as $t);
+                if cand != start && cand != v && !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+        }
+        out
+    }};
 }
 
 macro_rules! impl_int_range_strategies {
-    ($($t:ty),*) => {$(
+    ($(($t:ty, $u:ty)),*) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
 
@@ -32,6 +72,10 @@ macro_rules! impl_int_range_strategies {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = self.end.wrapping_sub(self.start) as u128;
                 self.start.wrapping_add(rng.below(span) as $t)
+            }
+
+            fn shrink_candidates(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!($t, $u, self.start, *value)
             }
         }
 
@@ -47,11 +91,28 @@ macro_rules! impl_int_range_strategies {
                 }
                 start.wrapping_add(rng.below(span + 1) as $t)
             }
+
+            fn shrink_candidates(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!($t, $u, *self.start(), *value)
+            }
         }
     )*};
 }
 
-impl_int_range_strategies!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+impl_int_range_strategies!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (u128, u128),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (i128, u128),
+    (isize, usize)
+);
 
 macro_rules! impl_float_range_strategies {
     ($($t:ty),*) => {$(
@@ -61,6 +122,18 @@ macro_rules! impl_float_range_strategies {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "empty range strategy");
                 self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+
+            fn shrink_candidates(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if self.start < *value {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2.0;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -72,6 +145,11 @@ impl_float_range_strategies!(f32, f64);
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value of `Self`.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Simpler candidates for a failing value (toward zero / `false`).
+    fn shrink(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -79,6 +157,18 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.wide() as $t
+            }
+
+            fn shrink(value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value != 0 {
+                    out.push(0);
+                    let half = *value / 2; // truncates toward zero for signed
+                    if half != 0 {
+                        out.push(half);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -90,11 +180,31 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.wide() & 1 == 1
     }
+
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         rng.unit_f64()
+    }
+
+    fn shrink(value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value != 0.0 {
+            out.push(0.0);
+            let half = *value / 2.0;
+            if half != 0.0 {
+                out.push(half);
+            }
+        }
+        out
     }
 }
 
@@ -112,6 +222,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink_candidates(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
     }
 }
 

@@ -53,6 +53,18 @@ impl fmt::Display for TestCaseError {
 
 impl std::error::Error for TestCaseError {}
 
+/// Implementation detail of `proptest!`: pins the argument-tuple type of
+/// the generated case closure to the sampled values' type, so the closure
+/// body typechecks against concrete types (closure parameter inference
+/// cannot resolve field projections on its own).
+#[doc(hidden)]
+pub fn constrain_case<T, F>(_anchor: &T, f: F) -> F
+where
+    F: Fn(T) -> Result<(), TestCaseError>,
+{
+    f
+}
+
 /// Deterministic per-case generator (SplitMix64 over a hashed stream id).
 #[derive(Clone, Debug)]
 pub struct TestRng {
