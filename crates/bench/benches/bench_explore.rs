@@ -1,5 +1,6 @@
-//! Schedule-space explorer throughput: the deduplicating worklist vs the
-//! naive factorial DFS, sequential vs `par_map` fan-out.
+//! Schedule-space explorer throughput: the clone-free worklist (undo-log
+//! branching + streaming fingerprint dedup) vs exact-snapshot dedup vs the
+//! naive factorial DFS, sequential vs `par_map_vec` fan-out.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -31,6 +32,10 @@ fn bench_explore_vs_naive(c: &mut Criterion) {
             )
         })
     });
+    group.bench_function("explorer_exact_build_path6", |b| {
+        let cfg = ExploreConfig::default().exact();
+        b.iter(|| black_box(explore(&build, black_box(&g), &cfg, |_| true).distinct_states))
+    });
     group.bench_function("explorer_par_build_path6", |b| {
         b.iter(|| {
             black_box(
@@ -56,6 +61,31 @@ fn bench_explore_vs_naive(c: &mut Criterion) {
                 explore(&mis, black_box(&cyc), &ExploreConfig::default(), |_| true).distinct_states,
             )
         })
+    });
+    group.bench_function("explorer_exact_mis_cycle6", |b| {
+        let cfg = ExploreConfig::default().exact();
+        b.iter(|| black_box(explore(&mis, black_box(&cyc), &cfg, |_| true).distinct_states))
+    });
+    group.finish();
+
+    // The probe itself: streaming fingerprint vs full snapshot, mid-walk.
+    let mut group = c.benchmark_group("dedup_probe");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    let g7 = generators::cycle(7);
+    let mut engine = wb_runtime::Engine::new(&mis, &g7);
+    engine.activation_phase();
+    for pick in [1, 3, 5] {
+        engine.step(pick);
+        engine.activation_phase();
+    }
+    group.bench_function("canonical_fingerprint_mis7", |b| {
+        b.iter(|| black_box(engine.canonical_fingerprint()))
+    });
+    group.bench_function("canonical_state_mis7", |b| {
+        b.iter(|| black_box(engine.canonical_state()))
     });
     group.finish();
 }

@@ -1,94 +1,322 @@
-//! E-EXPLORE — canonical-state deduplication vs the naive factorial DFS.
+//! E-EXPLORE — canonical-state deduplication vs the naive factorial DFS,
+//! plus the explorer's throughput trajectory (`BENCH_explore.json`).
 //!
 //! The paper's ∀-adversary quantifier costs `n!` schedules naively; on
 //! simultaneous models the explorer's canonical-state dedup collapses the
 //! schedule tree to its distinct-configuration DAG (`2^n` for a
 //! write-order-oblivious protocol like BUILD). This experiment prints the
-//! scaling table and asserts the headline claim: **≥ 10× fewer states at
-//! `n = 7`** on a simultaneous-model instance.
+//! scaling table, asserts the headline claim (**≥ 10× fewer states at
+//! `n = 7`**), measures the explorer's states/sec per model × n, and —
+//! with `--json PATH` — records the numbers machine-readably so CI can
+//! track the perf trajectory and fail on ≥ 2× regressions against the
+//! checked-in baseline (`--baseline PATH`).
+//!
+//! ```text
+//! exp_explore_scaling [--json PATH|-] [--baseline PATH] [--assert-speedup]
+//! ```
+//!
+//! `--assert-speedup` additionally enforces the clone-free-exploration
+//! acceptance bar (≥ 5× states/sec at n = 7 versus the pre-undo-log
+//! explorer measured on the same machine class); it is meaningful only on
+//! hardware comparable to where `PRE_PR_STATES_PER_SEC` was recorded, so
+//! CI uses the baseline gate instead.
 
+use std::collections::BTreeMap;
+use std::time::Instant;
+use wb_bench::json::{escape, Json};
 use wb_bench::table::{banner, TablePrinter};
 use wb_core::{BuildDegenerate, MisGreedy};
 use wb_graph::generators;
 use wb_runtime::exhaustive::{
-    explore, explore_parallel, for_each_schedule, ExploreConfig, NaiveReport,
+    explore, explore_parallel, for_each_schedule, ExplorationReport, ExploreConfig, NaiveReport,
 };
 use wb_runtime::Protocol;
+
+/// Pre-PR (clone-per-branch explorer, exact `Vec<u64>` snapshot dedup)
+/// states/sec at n = 7 on the development machine, recorded immediately
+/// before the undo-log/fingerprint rework for the speedup bookkeeping in
+/// `BENCH_explore.json`.
+const PRE_PR_STATES_PER_SEC: [(&str, f64); 2] = [("BUILD(1)", 218_063.0), ("MIS(1)", 275_010.0)];
 
 fn naive<P: Protocol>(p: &P, g: &wb_graph::Graph) -> NaiveReport {
     for_each_schedule(p, g, 10_000_000, |_| {})
 }
 
-fn main() {
-    banner("Schedule-space explorer: naive DFS tree vs deduplicated configuration DAG");
-    let t = TablePrinter::new(
-        &[
-            "protocol",
-            "model",
-            "n",
-            "naive states",
-            "naive leaves",
-            "dag states",
-            "terminals",
-            "reduction",
-        ],
-        &[10, 9, 4, 13, 13, 11, 10, 10],
-    );
+/// Best-of wall time for one explore call: repeat until the budget is
+/// spent, keep the fastest run (the usual microbenchmark noise floor).
+fn time_explore<P>(p: &P, g: &wb_graph::Graph) -> (ExplorationReport<P::Output>, f64)
+where
+    P: Protocol,
+    P::Output: Clone,
+{
+    let cfg = ExploreConfig::default();
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    let budget = Instant::now();
+    let mut reps = 0;
+    while reps < 5 || (budget.elapsed().as_millis() < 200 && reps < 1000) {
+        let t = Instant::now();
+        let r = explore(p, g, &cfg, |_| true);
+        let dt = t.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+        report = Some(r);
+        reps += 1;
+    }
+    (report.expect("at least one rep"), best)
+}
 
-    let mut n7_reduction = 0.0f64;
+struct Row {
+    protocol: &'static str,
+    model: &'static str,
+    workload: &'static str,
+    n: usize,
+    naive_states: u64,
+    naive_leaves: u64,
+    report_states: u64,
+    terminals: u64,
+    merged: u64,
+    peak_frontier: usize,
+    dedup_ratio: f64,
+    wall_sec: f64,
+}
+
+impl Row {
+    fn states_per_sec(&self) -> f64 {
+        self.report_states as f64 / self.wall_sec
+    }
+
+    fn reduction(&self) -> f64 {
+        self.naive_states as f64 / self.report_states as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"protocol\":{},\"model\":{},\"workload\":{},\"n\":{},\"naive_states\":{},\
+             \"naive_leaves\":{},\"states\":{},\"terminals\":{},\"merged\":{},\
+             \"peak_frontier\":{},\"dedup_ratio\":{:.3},\"wall_sec\":{:.9},\
+             \"states_per_sec\":{:.1}}}",
+            escape(self.protocol),
+            escape(self.model),
+            escape(self.workload),
+            self.n,
+            self.naive_states,
+            self.naive_leaves,
+            self.report_states,
+            self.terminals,
+            self.merged,
+            self.peak_frontier,
+            self.dedup_ratio,
+            self.wall_sec,
+            self.states_per_sec(),
+        )
+    }
+}
+
+fn measure_rows() -> Vec<Row> {
+    let mut rows = Vec::new();
     for n in 3..=7usize {
         let g = generators::path(n);
         let p = BuildDegenerate::new(1);
         let dfs = naive(&p, &g);
         assert!(!dfs.truncated);
-        let dag = explore(&p, &g, &ExploreConfig::default(), |_| true);
+        let (dag, wall) = time_explore(&p, &g);
         assert!(dag.passed());
-        let reduction = dfs.states as f64 / dag.distinct_states as f64;
-        if n == 7 {
-            n7_reduction = reduction;
-        }
-        t.row(&[
-            "BUILD(1)".into(),
-            "SIMASYNC".into(),
-            format!("{n}"),
-            format!("{}", dfs.states),
-            format!("{}", dfs.schedules),
-            format!("{}", dag.distinct_states),
-            format!("{}", dag.terminals),
-            format!("{reduction:.1}x"),
-        ]);
+        rows.push(Row {
+            protocol: "BUILD(1)",
+            model: "SIMASYNC",
+            workload: "path",
+            n,
+            naive_states: dfs.states,
+            naive_leaves: dfs.schedules,
+            report_states: dag.distinct_states,
+            terminals: dag.terminals,
+            merged: dag.merged,
+            peak_frontier: dag.peak_frontier,
+            dedup_ratio: dag.dedup_ratio(),
+            wall_sec: wall,
+        });
     }
     for n in 3..=7usize {
         let g = generators::cycle(n.max(3));
         let p = MisGreedy::new(1);
         let dfs = naive(&p, &g);
         assert!(!dfs.truncated);
-        let dag = explore(&p, &g, &ExploreConfig::default(), |_| true);
+        let (dag, wall) = time_explore(&p, &g);
         assert!(dag.passed());
+        rows.push(Row {
+            protocol: "MIS(1)",
+            model: "SIMSYNC",
+            workload: "cycle",
+            n,
+            naive_states: dfs.states,
+            naive_leaves: dfs.schedules,
+            report_states: dag.distinct_states,
+            terminals: dag.terminals,
+            merged: dag.merged,
+            peak_frontier: dag.peak_frontier,
+            dedup_ratio: dag.dedup_ratio(),
+            wall_sec: wall,
+        });
+    }
+    rows
+}
+
+fn emit_json(rows: &[Row], n7_reduction: f64, path: &str) {
+    let mut body =
+        String::from("{\n  \"schema\": \"wb-bench/explore-scaling/v1\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str("    ");
+        body.push_str(&row.to_json());
+        body.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("  ],\n");
+    body.push_str(&format!("  \"n7_reduction\": {n7_reduction:.2},\n"));
+    body.push_str("  \"speedup_vs_pre_pr\": {");
+    let pre: BTreeMap<&str, f64> = PRE_PR_STATES_PER_SEC.into_iter().collect();
+    let mut first = true;
+    for row in rows.iter().filter(|r| r.n == 7) {
+        if let Some(&pre_sps) = pre.get(row.protocol) {
+            if !first {
+                body.push(',');
+            }
+            first = false;
+            body.push_str(&format!(
+                "{}: {:.2}",
+                escape(row.protocol),
+                row.states_per_sec() / pre_sps
+            ));
+        }
+    }
+    body.push_str("}\n}\n");
+    // The emitted document must parse with our own reader (CI depends on it).
+    Json::parse(&body).expect("emitted JSON is well-formed");
+    if path == "-" {
+        print!("{body}");
+    } else {
+        std::fs::write(path, &body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+/// Gate: every baseline row with a matching (protocol, n) must not beat the
+/// fresh measurement by more than 2× — a slower machine passes, a genuine
+/// 2× regression fails.
+fn check_baseline(rows: &[Row], path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+    let baseline_rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no rows array")?;
+    let mut checked = 0;
+    for b in baseline_rows {
+        let (Some(protocol), Some(n), Some(base_sps)) = (
+            b.get("protocol").and_then(Json::as_str),
+            b.get("n").and_then(Json::as_f64),
+            b.get("states_per_sec").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let Some(row) = rows
+            .iter()
+            .find(|r| r.protocol == protocol && r.n == n as usize)
+        else {
+            continue;
+        };
+        let fresh = row.states_per_sec();
+        println!(
+            "baseline {protocol} n={n}: {fresh:.0} states/sec vs baseline {base_sps:.0} ({:.2}x)",
+            fresh / base_sps
+        );
+        if fresh * 2.0 < base_sps {
+            return Err(format!(
+                "{protocol} n={n}: {fresh:.0} states/sec regressed more than 2x \
+                 against the baseline {base_sps:.0}"
+            ));
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("baseline matched no measured rows".into());
+    }
+    println!("baseline gate passed ({checked} rows within 2x)");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut assert_speedup = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(it.next().expect("--json expects a path").clone()),
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline expects a path").clone())
+            }
+            "--assert-speedup" => assert_speedup = true,
+            other => panic!("unknown flag '{other}'"),
+        }
+    }
+
+    banner("Schedule-space explorer: naive DFS tree vs deduplicated configuration DAG");
+    let rows = measure_rows();
+    let t = TablePrinter::new(
+        &[
+            "protocol",
+            "model",
+            "n",
+            "naive states",
+            "dag states",
+            "terminals",
+            "reduction",
+            "states/sec",
+        ],
+        &[10, 9, 4, 13, 11, 10, 10, 12],
+    );
+    let mut n7_reduction = 0.0f64;
+    for row in &rows {
+        if row.n == 7 && row.protocol == "BUILD(1)" {
+            n7_reduction = row.reduction();
+        }
         t.row(&[
-            "MIS(1)".into(),
-            "SIMSYNC".into(),
-            format!("{n}"),
-            format!("{}", dfs.states),
-            format!("{}", dfs.schedules),
-            format!("{}", dag.distinct_states),
-            format!("{}", dag.terminals),
-            format!("{:.1}x", dfs.states as f64 / dag.distinct_states as f64),
+            row.protocol.into(),
+            row.model.into(),
+            format!("{}", row.n),
+            format!("{}", row.naive_states),
+            format!("{}", row.report_states),
+            format!("{}", row.terminals),
+            format!("{:.1}x", row.reduction()),
+            format!("{:.0}", row.states_per_sec()),
         ]);
     }
 
-    banner("Parallel fan-out sanity (par_map frontier == sequential)");
+    banner("Parallel fan-out sanity (striped dedup == sequential counts)");
     let g = generators::path(7);
     let p = BuildDegenerate::new(1);
     let seq = explore(&p, &g, &ExploreConfig::default(), |_| true);
     let par = explore_parallel(&p, &g, &ExploreConfig::default(), |_| true);
     assert_eq!(seq.distinct_states, par.distinct_states);
     assert_eq!(seq.terminals, par.terminals);
+    assert_eq!(seq.merged, par.merged);
     println!(
         "n = 7 BUILD: {} states sequential == {} states parallel, dedup ratio {:.1}x",
         seq.distinct_states,
         par.distinct_states,
         seq.dedup_ratio()
+    );
+
+    banner("Fingerprint vs exact dedup sanity (n = 7)");
+    let exact = explore(&p, &g, &ExploreConfig::default().exact(), |_| true);
+    assert_eq!(seq.distinct_states, exact.distinct_states);
+    assert_eq!(seq.merged, exact.merged);
+    println!(
+        "n = 7 BUILD: fingerprint and exact dedup agree on {} states / {} merges",
+        exact.distinct_states, exact.merged
     );
 
     println!();
@@ -97,4 +325,32 @@ fn main() {
         n7_reduction >= 10.0,
         "dedup must beat the naive DFS by >= 10x at n = 7"
     );
+
+    for (proto, pre) in PRE_PR_STATES_PER_SEC {
+        if let Some(row) = rows.iter().find(|r| r.protocol == proto && r.n == 7) {
+            let speedup = row.states_per_sec() / pre;
+            println!(
+                "n = 7 {proto}: {:.0} states/sec = {speedup:.1}x the pre-PR explorer \
+                 ({pre:.0} on the reference machine)",
+                row.states_per_sec()
+            );
+            if assert_speedup {
+                assert!(
+                    speedup >= 5.0,
+                    "{proto}: clone-free exploration must be >= 5x the pre-PR explorer \
+                     (got {speedup:.2}x; only meaningful on the reference machine class)"
+                );
+            }
+        }
+    }
+
+    if let Some(path) = &json_path {
+        emit_json(&rows, n7_reduction, path);
+    }
+    if let Some(path) = &baseline_path {
+        if let Err(e) = check_baseline(&rows, path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }

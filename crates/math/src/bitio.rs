@@ -8,11 +8,43 @@
 use crate::bigint::BigInt;
 use std::fmt;
 
+/// Backing storage for a [`BitVec`].
+///
+/// Messages in the whiteboard model are typically `O(log n)` bits — far less
+/// than one machine word — so the common case is stored inline and never
+/// touches the heap. The invariant tying the two variants together: a bit
+/// string is `Inline` iff its length is at most 64 bits (growth is
+/// append-only, so once spilled a vector never shrinks back). Because the
+/// variant is a function of the length, the derived `PartialEq`/`Hash` remain
+/// consistent: equal bit strings always occupy the same variant.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Store {
+    /// Up to 64 bits packed into one word (unused high bits are zero).
+    Inline(u64),
+    /// Longer strings spill to a word vector (trailing bits of the last word
+    /// are zero).
+    Heap(Vec<u64>),
+}
+
 /// A packed, append-only bit string (LSB-first within `u64` words).
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Strings of at most 64 bits — every ID field, every typical whiteboard
+/// message — are stored inline in one machine word: cloning them is a copy
+/// and building them performs no heap allocation. Longer strings spill to a
+/// heap vector transparently.
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitVec {
-    words: Vec<u64>,
+    store: Store,
     len: usize,
+}
+
+impl Default for BitVec {
+    fn default() -> Self {
+        BitVec {
+            store: Store::Inline(0),
+            len: 0,
+        }
+    }
 }
 
 impl BitVec {
@@ -33,17 +65,33 @@ impl BitVec {
         self.len == 0
     }
 
+    /// The `i`-th backing word.
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        match &self.store {
+            Store::Inline(w) => {
+                debug_assert_eq!(i, 0);
+                *w
+            }
+            Store::Heap(v) => v[i],
+        }
+    }
+
+    /// Move an inline word onto the heap (no-op if already spilled).
+    fn spill(&mut self) {
+        if let Store::Inline(w) = self.store {
+            let mut v = Vec::with_capacity(4);
+            if self.len > 0 {
+                v.push(w);
+            }
+            self.store = Store::Heap(v);
+        }
+    }
+
     /// Append a single bit.
+    #[inline]
     pub fn push(&mut self, bit: bool) {
-        let word = self.len / 64;
-        let off = self.len % 64;
-        if word == self.words.len() {
-            self.words.push(0);
-        }
-        if bit {
-            self.words[word] |= 1u64 << off;
-        }
-        self.len += 1;
+        self.push_bits(bit as u64, 1);
     }
 
     /// Read bit `i` (panics out of range).
@@ -54,7 +102,7 @@ impl BitVec {
             "bit index {i} out of range (len {})",
             self.len
         );
-        (self.words[i / 64] >> (i % 64)) & 1 == 1
+        (self.word(i / 64) >> (i % 64)) & 1 == 1
     }
 
     /// Append `width` bits of `value`, LSB first. Bits of `value` above `width`
@@ -67,8 +115,42 @@ impl BitVec {
                 "value {value} does not fit in {width} bits"
             );
         }
-        for i in 0..width {
-            self.push((value >> i) & 1 == 1);
+        if width == 0 {
+            return;
+        }
+        let off = self.len % 64;
+        let new_len = self.len + width as usize;
+        if new_len > 64 {
+            self.spill();
+        }
+        match &mut self.store {
+            Store::Inline(w) => {
+                // new_len <= 64, so off + width <= 64: one shifted OR.
+                *w |= value << off;
+            }
+            Store::Heap(v) => {
+                if off == 0 {
+                    v.push(value);
+                } else {
+                    *v.last_mut().expect("off > 0 implies a partial word") |= value << off;
+                    if off + width as usize > 64 {
+                        v.push(value >> (64 - off));
+                    }
+                }
+            }
+        }
+        self.len = new_len;
+    }
+
+    /// Append every bit of `other` (used by protocol transformations that
+    /// embed a simulated protocol's messages). Works a word at a time, not a
+    /// bit at a time.
+    pub fn extend_bits(&mut self, other: &BitVec) {
+        let mut pos = 0;
+        while pos < other.len {
+            let width = (other.len - pos).min(64) as u32;
+            self.push_bits(other.get_bits(pos, width), width);
+            pos += width as usize;
         }
     }
 
@@ -76,19 +158,40 @@ impl BitVec {
     /// are zero). Exposed for cheap structural hashing/encoding of messages —
     /// together with [`Self::len`] this determines the bit string exactly.
     pub fn as_words(&self) -> &[u64] {
-        &self.words
+        match &self.store {
+            Store::Inline(w) => {
+                let words = std::slice::from_ref(w);
+                &words[..usize::from(self.len > 0)]
+            }
+            Store::Heap(v) => v,
+        }
     }
 
     /// Extract `width` bits starting at `pos` as a `u64`, LSB first.
     pub fn get_bits(&self, pos: usize, width: u32) -> u64 {
         assert!(width <= 64);
-        let mut out = 0u64;
-        for i in 0..width as usize {
-            if self.get(pos + i) {
-                out |= 1u64 << i;
-            }
+        if width == 0 {
+            return 0;
         }
-        out
+        assert!(
+            pos + width as usize <= self.len,
+            "bit index {} out of range (len {})",
+            pos + width as usize - 1,
+            self.len
+        );
+        let off = pos % 64;
+        let lo = self.word(pos / 64) >> off;
+        // off + width > 64 requires off > 0, so the shift below is in 1..=63.
+        let out = if off + width as usize > 64 {
+            lo | (self.word(pos / 64 + 1) << (64 - off))
+        } else {
+            lo
+        };
+        if width == 64 {
+            out
+        } else {
+            out & ((1u64 << width) - 1)
+        }
     }
 }
 
@@ -132,9 +235,7 @@ impl BitWriter {
     /// Append every bit of another bit string (used by protocol
     /// transformations that embed a simulated protocol's messages).
     pub fn write_bitvec(&mut self, bv: &BitVec) -> &mut Self {
-        for i in 0..bv.len() {
-            self.bv.push(bv.get(i));
-        }
+        self.bv.extend_bits(bv);
         self
     }
 
@@ -210,8 +311,11 @@ impl<'a> BitReader<'a> {
     /// Read `len` bits out as a standalone bit string.
     pub fn read_bitvec(&mut self, len: usize) -> BitVec {
         let mut out = BitVec::new();
-        for _ in 0..len {
-            out.push(self.read_bool());
+        let mut remaining = len;
+        while remaining > 0 {
+            let w = remaining.min(64) as u32;
+            out.push_bits(self.read_bits(w), w);
+            remaining -= w as usize;
         }
         out
     }
@@ -244,6 +348,7 @@ mod tests {
         let bv = BitVec::new();
         assert!(bv.is_empty());
         assert_eq!(bv.len(), 0);
+        assert!(bv.as_words().is_empty());
     }
 
     #[test]
@@ -256,6 +361,47 @@ mod tests {
         for i in 0..130 {
             assert_eq!(bv.get(i), i % 3 == 0, "bit {i}");
         }
+    }
+
+    #[test]
+    fn inline_to_heap_spill_is_invisible() {
+        // Build one bit at a time and via whole fields; contents must agree
+        // across the 64-bit spill point, and word counts must stay minimal.
+        let mut a = BitVec::new();
+        let mut b = BitVec::new();
+        let pattern = |i: usize| (i * 7 + 3) % 5 < 2;
+        for i in 0..200 {
+            a.push(pattern(i));
+        }
+        let mut i = 0;
+        while i < 200 {
+            let w = (200 - i).min(23) as u32; // misaligned chunks on purpose
+            let mut field = 0u64;
+            for j in 0..w as usize {
+                if pattern(i + j) {
+                    field |= 1 << j;
+                }
+            }
+            b.push_bits(field, w);
+            i += w as usize;
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.as_words(), b.as_words());
+        assert_eq!(a.as_words().len(), 200usize.div_ceil(64));
+        for i in 0..200 {
+            assert_eq!(a.get(i), pattern(i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn small_messages_stay_in_one_word() {
+        let mut bv = BitVec::new();
+        bv.push_bits(u64::MAX, 64);
+        assert_eq!(bv.len(), 64);
+        assert_eq!(bv.as_words(), &[u64::MAX]);
+        bv.push(true); // 65th bit spills
+        assert_eq!(bv.len(), 65);
+        assert_eq!(bv.as_words(), &[u64::MAX, 1]);
     }
 
     #[test]
@@ -353,6 +499,20 @@ mod tests {
                 prop_assert_eq!(r.read_bits(width), v);
             }
             prop_assert_eq!(r.remaining(), 0);
+        }
+
+        #[test]
+        fn extend_bits_matches_bitwise_append(a in proptest::collection::vec(any::<bool>(), 0..150), b in proptest::collection::vec(any::<bool>(), 0..150)) {
+            let mut left = BitVec::new();
+            for &bit in &a { left.push(bit); }
+            let mut right = BitVec::new();
+            for &bit in &b { right.push(bit); }
+            let mut joined = left.clone();
+            joined.extend_bits(&right);
+            prop_assert_eq!(joined.len(), a.len() + b.len());
+            for (i, &bit) in a.iter().chain(b.iter()).enumerate() {
+                prop_assert_eq!(joined.get(i), bit);
+            }
         }
 
         #[test]

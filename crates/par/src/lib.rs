@@ -8,15 +8,20 @@
 //! the project's HPC guides:
 //!
 //! - [`par_map`] — parallel map over a slice with deterministic output order;
+//! - [`par_map_vec`] — the owning variant: items move into the workers (for
+//!   consuming maps like the schedule explorer's frontier expansion);
 //! - [`par_for_each`] — parallel consumption of an index range with a shared
 //!   atomic cursor (dynamic load balancing for skewed work);
 //! - [`par_reduce`] — map + associative fold;
 //! - [`WorkQueue`] — a bounded queue with overflow reported to the producer
-//!   instead of blocking or allocating without bound (backs the schedule
-//!   explorer's next-frontier buffer in `wb_runtime::exhaustive`);
+//!   instead of blocking or allocating without bound;
 //! - [`par_drain`] — parallel consumption of a `WorkQueue` whose consumers
 //!   may push follow-up work (for worklists whose size is not known up
 //!   front, unlike [`par_for_each`]);
+//! - [`StripedSet`] — a sharded concurrent hash set striped by a
+//!   caller-supplied key, so many workers can insert without funneling
+//!   through one lock (backs the schedule explorer's seen-set, striped by
+//!   fingerprint prefix);
 //! - [`num_threads`] — the pool width (respects `WB_THREADS`).
 //!
 //! All functions fall back to sequential execution for tiny inputs, so tests
@@ -26,7 +31,8 @@
 #![warn(missing_docs)]
 
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads: `WB_THREADS` if set, else available parallelism,
@@ -70,6 +76,45 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         .into_inner()
         .into_iter()
         .map(|r| r.expect("slot filled"))
+        .collect()
+}
+
+/// Parallel map that moves each item into `f` (output order matches input
+/// order). The owning sibling of [`par_map`], for pipelines whose stages
+/// consume their input — e.g. the schedule explorer expands each frontier
+/// engine destructively (step → undo branching) and moves survivors into
+/// the next frontier without a copy.
+///
+/// Work distribution is dynamic (shared atomic cursor); sources and results
+/// live in per-slot locks, so two workers never contend — the cursor hands
+/// each index to exactly one worker, and each slot lock is touched twice
+/// (take, store) without ever funneling through a shared structure. No
+/// `Clone` bound and no `unsafe` needed.
+pub fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let source: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = source[i].lock().take().expect("each slot taken once");
+                let r = f(item);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot filled"))
         .collect()
 }
 
@@ -133,7 +178,8 @@ pub fn par_reduce<T: Sync, R: Send>(
 /// The capacity bound turns "the worklist exploded" from an OOM into a
 /// recoverable signal: [`WorkQueue::push`] hands the item back instead of
 /// growing past the bound, and the caller decides what truncation means
-/// (the schedule explorer marks its report `truncated`).
+/// (the differential harness drains its graph sweeps through one via
+/// [`par_drain`]).
 #[derive(Debug)]
 pub struct WorkQueue<T> {
     items: Mutex<VecDeque<T>>,
@@ -183,6 +229,112 @@ impl<T> WorkQueue<T> {
     /// Drain the queue into a `Vec` (consumes the queue).
     pub fn into_vec(self) -> Vec<T> {
         self.items.into_inner().into()
+    }
+}
+
+/// A pass-through [`Hasher`] for keys that are already uniformly mixed
+/// (fingerprints, digests): the written words are folded with xor/rotate
+/// and returned as-is, skipping SipHash entirely. Do **not** use it for
+/// attacker-controlled or structured keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassthroughHasher {
+    state: u64,
+}
+
+impl Hasher for PassthroughHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (rarely hit for digest keys): fold bytes in.
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.state = self.state.rotate_left(9) ^ u64::from_le_bytes(w);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.state = self.state.rotate_left(9) ^ v;
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        // Low word carries a digest's already-mixed entropy; the high word
+        // is folded so both halves participate.
+        self.state = self.state.rotate_left(9) ^ (v as u64) ^ ((v >> 64) as u64).rotate_left(32);
+    }
+}
+
+/// `BuildHasher` shorthand for [`PassthroughHasher`].
+pub type PassthroughBuildHasher = BuildHasherDefault<PassthroughHasher>;
+
+/// A concurrent hash set striped across independently locked shards.
+///
+/// Membership-test-and-insert is the one operation a deduplicating parallel
+/// search needs, and a single `Mutex<HashSet>` turns it into a global
+/// serialization point. `StripedSet` keys each value to one of `2^k` shards
+/// by a caller-supplied 64-bit key (the schedule explorer passes a
+/// fingerprint prefix), so inserts from different shards proceed in
+/// parallel and contention falls by the shard count. The caller must use a
+/// well-distributed key and use it consistently for equal values — equal
+/// values with different keys would land in different shards and both
+/// "insert".
+///
+/// The third type parameter selects the per-shard hasher; pre-mixed keys
+/// (fingerprints) should pass [`PassthroughBuildHasher`] to skip SipHash.
+#[derive(Debug)]
+pub struct StripedSet<T, S = std::collections::hash_map::RandomState> {
+    shards: Box<[Mutex<HashSet<T, S>>]>,
+    mask: u64,
+}
+
+impl<T: Eq + Hash, S: BuildHasher + Default> StripedSet<T, S> {
+    /// A set striped over `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        Self::with_shard_capacity(shards, 0)
+    }
+
+    /// Like [`Self::new`], pre-reserving `capacity` slots per shard — a
+    /// pre-sized set does not reallocate on insert until a shard outgrows
+    /// its reservation (the allocation-regression test relies on this).
+    pub fn with_shard_capacity(shards: usize, capacity: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        StripedSet {
+            shards: (0..n)
+                .map(|_| Mutex::new(HashSet::with_capacity_and_hasher(capacity, S::default())))
+                .collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Insert `value` into the shard selected by `key`; returns whether the
+    /// value was new. Locks only that one shard.
+    pub fn insert(&self, key: u64, value: T) -> bool {
+        self.shards[(key & self.mask) as usize].lock().insert(value)
+    }
+
+    /// Whether `value` is present (under the same `key` it was inserted with).
+    pub fn contains(&self, key: u64, value: &T) -> bool {
+        self.shards[(key & self.mask) as usize]
+            .lock()
+            .contains(value)
+    }
+
+    /// Total number of values across all shards (locks each shard in turn —
+    /// exact only when quiescent).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// The number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -246,6 +398,61 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(par_map(&empty, |&x| x).is_empty());
         assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_vec_moves_items_in_order() {
+        // Non-Clone payload: ownership must genuinely transfer.
+        struct Item(Box<u64>);
+        let input: Vec<Item> = (0..300).map(|x| Item(Box::new(x))).collect();
+        let out = par_map_vec(input, |item| *item.0 * 2);
+        let expected: Vec<u64> = (0..300).map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_vec_empty_and_singleton() {
+        assert!(par_map_vec(Vec::<u8>::new(), |x| x).is_empty());
+        assert_eq!(par_map_vec(vec![41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn striped_set_dedups_across_shards() {
+        let set: StripedSet<u64> = StripedSet::new(8);
+        assert_eq!(set.shard_count(), 8);
+        assert!(set.is_empty());
+        assert!(set.insert(17, 100));
+        assert!(!set.insert(17, 100), "second insert merges");
+        assert!(set.insert(18, 100), "different shard, same value: new");
+        assert!(set.insert(17, 101));
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(17, &100));
+        assert!(!set.contains(17, &999));
+    }
+
+    #[test]
+    fn striped_set_rounds_shards_to_power_of_two() {
+        assert_eq!(StripedSet::<u32>::new(0).shard_count(), 1);
+        assert_eq!(StripedSet::<u32>::new(5).shard_count(), 8);
+        assert_eq!(StripedSet::<u32>::new(64).shard_count(), 64);
+    }
+
+    #[test]
+    fn striped_set_concurrent_inserts_count_each_value_once() {
+        // Many threads race to insert an overlapping value range; exactly
+        // one insert per value may win.
+        let set: StripedSet<u64> = StripedSet::new(16);
+        let winners = AtomicU64::new(0);
+        par_for_each(64, |worker| {
+            for v in 0..500u64 {
+                if set.insert(v.wrapping_mul(0x9E3779B97F4A7C15) >> 32, v) {
+                    winners.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let _ = worker;
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 500);
+        assert_eq!(set.len(), 500);
     }
 
     #[test]

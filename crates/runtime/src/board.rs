@@ -16,15 +16,32 @@ pub struct Entry {
 }
 
 /// The whiteboard state `W`: the messages written so far, in write order.
+///
+/// Alongside the write-ordered entries the board maintains a persistent
+/// writer→entry index (`by_writer`), kept sorted on every push, so canonical
+/// encoders can stream entries in writer order without a per-call sort or
+/// allocation. Writers are unique (the one-write rule), so the order is
+/// total; the index is a pure function of the entries, which keeps the
+/// derived `PartialEq` consistent.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Whiteboard {
     entries: Vec<Entry>,
+    by_writer: Vec<u32>,
 }
 
 impl Whiteboard {
     /// The empty board.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty board with room for `n` messages (one per node) — lets the
+    /// engine pre-size the hot append path.
+    pub fn with_capacity(n: usize) -> Self {
+        Whiteboard {
+            entries: Vec::with_capacity(n),
+            by_writer: Vec::with_capacity(n),
+        }
     }
 
     /// Messages written so far.
@@ -54,17 +71,44 @@ impl Whiteboard {
     /// protocol *would* have produced and feed it to that protocol's output
     /// function.
     pub fn from_messages(entries: impl IntoIterator<Item = (NodeId, BitVec)>) -> Self {
-        Whiteboard {
-            entries: entries
-                .into_iter()
-                .map(|(writer, msg)| Entry { writer, msg })
-                .collect(),
-        }
+        let entries: Vec<Entry> = entries
+            .into_iter()
+            .map(|(writer, msg)| Entry { writer, msg })
+            .collect();
+        let mut by_writer: Vec<u32> = (0..entries.len() as u32).collect();
+        by_writer.sort_by_key(|&i| entries[i as usize].writer);
+        Whiteboard { entries, by_writer }
+    }
+
+    /// The entries in ascending writer order (the persistent index — no sort,
+    /// no allocation). Well-defined because the one-write rule makes writers
+    /// unique; this is the iteration order of the canonical state encoding.
+    pub fn entries_by_writer(&self) -> impl Iterator<Item = &Entry> + '_ {
+        self.by_writer.iter().map(|&i| &self.entries[i as usize])
     }
 
     /// Append a message (engine use).
     pub(crate) fn push(&mut self, writer: NodeId, msg: BitVec) {
+        let idx = self.entries.len() as u32;
+        let pos = self
+            .by_writer
+            .partition_point(|&e| self.entries[e as usize].writer < writer);
+        self.by_writer.insert(pos, idx);
         self.entries.push(Entry { writer, msg });
+    }
+
+    /// Remove and return the most recent entry (engine use: the undo log's
+    /// inverse of [`Self::push`]).
+    pub(crate) fn pop(&mut self) -> Option<Entry> {
+        let entry = self.entries.pop()?;
+        let idx = self.entries.len() as u32;
+        let pos = self
+            .by_writer
+            .iter()
+            .position(|&e| e == idx)
+            .expect("writer index tracks entries");
+        self.by_writer.remove(pos);
+        Some(entry)
     }
 
     /// Total bits on the board — the quantity Lemma 3 bounds by `n·f(n)`.
@@ -107,6 +151,44 @@ mod tests {
         let b = Whiteboard::new();
         assert_eq!(b.total_bits(), 0);
         assert_eq!(b.max_message_bits(), 0);
+    }
+
+    #[test]
+    fn writer_index_streams_entries_sorted() {
+        let mut b = Whiteboard::with_capacity(4);
+        for (w, bits) in [(3, 5), (1, 2), (4, 7), (2, 1)] {
+            b.push(w, msg(bits, 4));
+        }
+        let writers: Vec<_> = b.entries_by_writer().map(|e| e.writer).collect();
+        assert_eq!(writers, vec![1, 2, 3, 4]);
+        // Write order is preserved independently of the index.
+        let in_order: Vec<_> = b.entries().iter().map(|e| e.writer).collect();
+        assert_eq!(in_order, vec![3, 1, 4, 2]);
+    }
+
+    #[test]
+    fn pop_undoes_push_exactly() {
+        let mut b = Whiteboard::new();
+        b.push(2, msg(1, 3));
+        let snapshot = b.clone();
+        b.push(1, msg(6, 3));
+        let popped = b.pop().expect("entry present");
+        assert_eq!(popped.writer, 1);
+        assert_eq!(b, snapshot);
+        assert_eq!(
+            b.entries_by_writer().map(|e| e.writer).collect::<Vec<_>>(),
+            vec![2]
+        );
+        b.pop();
+        assert!(b.pop().is_none());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn from_messages_indexes_writers() {
+        let b = Whiteboard::from_messages(vec![(9, msg(0, 2)), (4, msg(1, 2)), (6, msg(2, 2))]);
+        let writers: Vec<_> = b.entries_by_writer().map(|e| e.writer).collect();
+        assert_eq!(writers, vec![4, 6, 9]);
     }
 
     #[test]

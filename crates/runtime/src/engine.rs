@@ -18,11 +18,12 @@ use crate::adversary::Adversary;
 use crate::board::Whiteboard;
 use crate::model::Model;
 use crate::protocol::{LocalView, Node, Protocol};
+use std::sync::Arc;
 use wb_graph::{Graph, NodeId};
 use wb_math::BitVec;
 
 /// Terminal result of an execution.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Outcome<O> {
     /// All nodes terminated; the output function was applied to the final
     /// board (a *successful configuration*).
@@ -93,7 +94,9 @@ enum Status {
 /// distinct configurations.
 ///
 /// Snapshots are exact (full encodings, not hashes), so deduplication can
-/// never merge two genuinely different configurations.
+/// never merge two genuinely different configurations. The streaming
+/// [`Fingerprint`] is the probabilistic counterpart: same encoding order,
+/// no intermediate buffer.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CanonicalState(Vec<u64>);
 
@@ -104,18 +107,135 @@ impl CanonicalState {
     }
 }
 
+/// A 128-bit streaming digest of the canonical configuration encoding.
+///
+/// Two independent 64-bit mixing streams are fed the exact word sequence of
+/// [`CanonicalState`] (same order, same length framing), so equal canonical
+/// states always produce equal fingerprints, and the probe builds no
+/// intermediate buffer — computing one performs **zero heap allocations**
+/// (pinned by the `alloc_regression` integration test). Distinct states
+/// collide with probability ~`q²/2¹²⁹` after `q` probes (birthday bound over
+/// 128 bits, assuming the mixers behave like independent random functions) —
+/// about 10⁻²⁰ for a billion-state exploration. For certified runs,
+/// [`crate::exhaustive::DedupPolicy::Exact`] keeps the full encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
+    /// The digest as a single 128-bit value.
+    pub fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// The high 64 bits — what the striped seen-set uses to pick a shard.
+    pub fn shard_key(&self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+}
+
+/// Where the canonical encoding streams its words: a buffer (exact
+/// snapshots) or the fingerprint mixers. One encoder, two consumers — the
+/// two dedup representations can never drift apart.
+trait CanonicalSink {
+    fn put(&mut self, word: u64);
+}
+
+impl CanonicalSink for Vec<u64> {
+    #[inline]
+    fn put(&mut self, word: u64) {
+        self.push(word);
+    }
+}
+
+/// Two independent FNV-style multiply-xor streams. Each step is a bijection
+/// of the 64-bit stream state (odd multiplier, xor), the two streams use
+/// different multipliers and a rotated input so they cannot cancel in
+/// lockstep, and [`mix64`] (the splitmix64 finalizer) diffuses both words
+/// at the end. Word throughput is two multiplies per stream-pair — the
+/// probe runs at memory speed on typical configurations.
+struct FingerprintSink {
+    a: u64,
+    b: u64,
+}
+
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FingerprintSink {
+    fn new() -> Self {
+        FingerprintSink {
+            a: 0x6A09_E667_F3BC_C908, // frac(sqrt(2)), frac(sqrt(3))
+            b: 0xBB67_AE85_84CA_A73B,
+        }
+    }
+
+    fn finish(self) -> Fingerprint {
+        Fingerprint(((mix64(self.a) as u128) << 64) | mix64(self.b) as u128)
+    }
+}
+
+impl CanonicalSink for FingerprintSink {
+    #[inline]
+    fn put(&mut self, word: u64) {
+        self.a = (self.a ^ word).wrapping_mul(0x0000_0100_0000_01B3); // FNV-1a 64 prime
+        self.b = (self.b ^ word.rotate_left(31)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        // xxh prime2
+    }
+}
+
+/// One recorded mutation of an [`Engine`], undone in reverse order by
+/// [`Engine::undo`]. Recording happens only while a [`StepToken`] is
+/// outstanding, so plain runs pay nothing.
+enum UndoOp<N> {
+    /// `status[i]` held this value.
+    Status(usize, Status),
+    /// `frozen[i]` held this value.
+    Frozen(usize, Option<BitVec>),
+    /// `nodes[i]` held this state (saved before a mutating callback).
+    Node(usize, N),
+    /// A board/write-order push (synchronous models: the message was
+    /// composed at write time, nothing to restore beyond the pop).
+    Write,
+    /// A board/write-order push whose message came out of `frozen[i]`
+    /// (asynchronous models): the popped message moves back into the freeze
+    /// slot, so no message is ever cloned for the log.
+    WriteRefreeze(usize),
+}
+
+/// Checkpoint returned by [`Engine::step_token`]; hand it back to
+/// [`Engine::undo`] (restore) or [`Engine::commit`] (accept). Tokens nest
+/// and must be resolved newest-first, like a stack of savepoints.
+#[derive(Debug)]
+#[must_use = "a step token must be resolved via undo() or commit()"]
+pub struct StepToken {
+    mark: usize,
+}
+
 /// The stepwise machine. Most callers use [`run`]; the exhaustive executor
-/// drives `Engine` directly, cloning it at branch points.
+/// drives `Engine` directly, branching via [`Engine::step_token`] /
+/// [`Engine::undo`] and cloning only the states that survive dedup.
 pub struct Engine<'a, P: Protocol> {
     protocol: &'a P,
     model: Model,
     budget: u32,
-    views: Vec<LocalView>,
+    /// Immutable after construction and shared between clones: a branch
+    /// point copies a pointer, not `n` neighbor lists.
+    views: Arc<[LocalView]>,
     nodes: Vec<P::Node>,
     status: Vec<Status>,
     frozen: Vec<Option<BitVec>>,
     board: Whiteboard,
     write_order: Vec<NodeId>,
+    /// Delta journal; only written while `tokens > 0`.
+    undo: Vec<UndoOp<P::Node>>,
+    /// Outstanding step tokens.
+    tokens: u32,
 }
 
 impl<'a, P: Protocol> Clone for Engine<'a, P> {
@@ -124,12 +244,16 @@ impl<'a, P: Protocol> Clone for Engine<'a, P> {
             protocol: self.protocol,
             model: self.model,
             budget: self.budget,
-            views: self.views.clone(),
+            views: Arc::clone(&self.views),
             nodes: self.nodes.clone(),
             status: self.status.clone(),
             frozen: self.frozen.clone(),
             board: self.board.clone(),
             write_order: self.write_order.clone(),
+            // A clone is a fresh branch point: it does not inherit the
+            // original's outstanding savepoints.
+            undo: Vec::new(),
+            tokens: 0,
         }
     }
 }
@@ -142,7 +266,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
         let n = g.n();
         assert!(n >= 1, "whiteboard protocols need at least one node");
         let model = protocol.model();
-        let views = LocalView::all_of(g);
+        let views: Arc<[LocalView]> = LocalView::all_of(g).into();
         let mut nodes: Vec<P::Node> = views.iter().map(|v| protocol.spawn(v)).collect();
         let mut frozen: Vec<Option<BitVec>> = vec![None; n];
         let status = if model.is_simultaneous() {
@@ -163,9 +287,77 @@ impl<'a, P: Protocol> Engine<'a, P> {
             nodes,
             status,
             frozen,
-            board: Whiteboard::new(),
+            board: Whiteboard::with_capacity(n),
             write_order: Vec::with_capacity(n),
+            undo: Vec::new(),
+            tokens: 0,
         }
+    }
+
+    /// Whether step/activation deltas are being journaled.
+    #[inline]
+    fn recording(&self) -> bool {
+        self.tokens > 0
+    }
+
+    /// Open a savepoint: every mutation made by subsequent
+    /// [`Self::step`]/[`Self::activation_phase`] calls is journaled until the
+    /// token is resolved with [`Self::undo`] or [`Self::commit`]. This is how
+    /// the exhaustive executors branch without cloning: step → recurse →
+    /// undo, on one engine. While no token is outstanding the journal is
+    /// inert and plain runs pay nothing.
+    pub fn step_token(&mut self) -> StepToken {
+        if self.tokens == 0 && self.undo.capacity() == 0 {
+            // One step journals at most ~2n ops (status + node per survivor
+            // plus the write); reserve once so hot expansion loops do not
+            // regrow the journal from empty.
+            self.undo.reserve(2 * self.nodes.len() + 8);
+        }
+        self.tokens += 1;
+        StepToken {
+            mark: self.undo.len(),
+        }
+    }
+
+    /// Roll the engine back to the state it had when `token` was issued.
+    /// Tokens must be resolved newest-first (LIFO).
+    pub fn undo(&mut self, token: StepToken) {
+        assert!(self.tokens > 0, "undo without an outstanding step token");
+        assert!(
+            token.mark <= self.undo.len(),
+            "step tokens must be resolved newest-first"
+        );
+        self.tokens -= 1;
+        while self.undo.len() > token.mark {
+            match self.undo.pop().expect("loop guard") {
+                UndoOp::Status(i, s) => self.status[i] = s,
+                UndoOp::Frozen(i, f) => self.frozen[i] = f,
+                UndoOp::Node(i, n) => self.nodes[i] = n,
+                UndoOp::Write => {
+                    self.board.pop().expect("journaled write has a board entry");
+                    self.write_order.pop();
+                }
+                UndoOp::WriteRefreeze(i) => {
+                    let entry = self.board.pop().expect("journaled write has a board entry");
+                    self.write_order.pop();
+                    self.frozen[i] = Some(entry.msg);
+                }
+            }
+        }
+    }
+
+    /// Accept every change recorded under `token` and drop the journal.
+    /// Only valid for the outermost token (the journal below it would
+    /// otherwise be left inconsistent for enclosing savepoints).
+    pub fn commit(&mut self, token: StepToken) {
+        assert_eq!(
+            self.tokens, 1,
+            "commit is only valid for the outermost step token"
+        );
+        debug_assert_eq!(token.mark, 0);
+        let _ = token;
+        self.tokens = 0;
+        self.undo.clear();
     }
 
     /// Poll all awake nodes' activation predicates (free models). Must be
@@ -174,13 +366,30 @@ impl<'a, P: Protocol> Engine<'a, P> {
         if self.model.is_simultaneous() {
             return;
         }
+        let recording = self.recording();
         for i in 0..self.nodes.len() {
-            if self.status[i] == Status::Awake && self.nodes[i].wants_to_activate(&self.views[i]) {
+            if self.status[i] != Status::Awake {
+                continue;
+            }
+            if recording {
+                // `wants_to_activate` takes `&mut self` (promotion adapters
+                // cache their composed message there), so the polled node
+                // must be journaled even when it declines.
+                self.undo.push(UndoOp::Node(i, self.nodes[i].clone()));
+            }
+            if self.nodes[i].wants_to_activate(&self.views[i]) {
+                if recording {
+                    self.undo.push(UndoOp::Status(i, Status::Awake));
+                }
                 self.status[i] = Status::Active;
                 if self.model.is_asynchronous() {
                     // "nodes create their final messages as soon as they
                     // become active" — freeze now.
-                    self.frozen[i] = Some(self.nodes[i].compose(&self.views[i]));
+                    let msg = self.nodes[i].compose(&self.views[i]);
+                    if recording {
+                        self.undo.push(UndoOp::Frozen(i, self.frozen[i].take()));
+                    }
+                    self.frozen[i] = Some(msg);
                 }
             }
         }
@@ -196,6 +405,28 @@ impl<'a, P: Protocol> Engine<'a, P> {
             .collect()
     }
 
+    /// Whether any node is currently active (no allocation, unlike
+    /// [`Self::active_set`]).
+    pub fn has_active(&self) -> bool {
+        self.status.iter().any(|s| *s == Status::Active)
+    }
+
+    /// Number of currently active nodes (no allocation).
+    pub fn active_count(&self) -> usize {
+        self.status.iter().filter(|s| **s == Status::Active).count()
+    }
+
+    /// Whether node `id` is currently active (the explorer iterates IDs and
+    /// re-checks instead of materializing [`Self::active_set`]).
+    pub(crate) fn is_active(&self, id: NodeId) -> bool {
+        self.status[id as usize - 1] == Status::Active
+    }
+
+    /// Number of nodes.
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// The board so far.
     pub fn board(&self) -> &Whiteboard {
         &self.board
@@ -206,13 +437,14 @@ impl<'a, P: Protocol> Engine<'a, P> {
         &self.write_order
     }
 
-    /// Cheap canonical snapshot of the current configuration (see
-    /// [`CanonicalState`]). Cost is `O(n + board bits/64)`; no node state is
-    /// inspected — node state is a deterministic function of the observed
-    /// prefix, so for order-oblivious protocols the snapshot determines it.
-    pub fn canonical_state(&self) -> CanonicalState {
-        let n = self.nodes.len();
-        let mut words = Vec::with_capacity(n / 16 + 2 * self.board.len() + 4);
+    /// Stream the canonical configuration encoding into `sink`: statuses
+    /// (packed 2 bits per node), frozen messages in node order, then board
+    /// entries in writer order (via the board's persistent writer index —
+    /// no sort), every message length-framed so the encoding is
+    /// unambiguous. This single walker feeds both [`Self::canonical_state`]
+    /// and [`Self::canonical_fingerprint`], which therefore can never
+    /// disagree on the encoding.
+    fn encode_canonical<S: CanonicalSink>(&self, sink: &mut S) {
         // Statuses, packed 2 bits per node.
         let mut acc = 0u64;
         let mut filled = 0u32;
@@ -225,52 +457,114 @@ impl<'a, P: Protocol> Engine<'a, P> {
             acc |= code << filled;
             filled += 2;
             if filled == 64 {
-                words.push(acc);
+                sink.put(acc);
                 acc = 0;
                 filled = 0;
             }
         }
         if filled > 0 {
-            words.push(acc);
+            sink.put(acc);
         }
-        // Frozen (activation-time) messages, in node order. Two states with
-        // the same board but different freeze points must not merge.
+        // Frozen (activation-time) messages: a presence bitmap per 64 nodes,
+        // then the occupied slots in node order, length-framed. Two states
+        // with the same board but different freeze points must not merge;
+        // synchronous models (never any frozen slot) pay one word per 64
+        // nodes instead of one per node.
+        let mut mask = 0u64;
+        let mut bit = 0u32;
         for f in &self.frozen {
-            match f {
-                None => words.push(u64::MAX),
-                Some(bv) => {
-                    words.push(bv.len() as u64);
-                    words.extend_from_slice(bv.as_words());
-                }
+            if f.is_some() {
+                mask |= 1 << bit;
+            }
+            bit += 1;
+            if bit == 64 {
+                sink.put(mask);
+                mask = 0;
+                bit = 0;
             }
         }
-        // Board entries sorted by writer (writers are unique: one write per
-        // node), each length-framed so the encoding is unambiguous.
-        let mut by_writer: Vec<&crate::board::Entry> = self.board.entries().iter().collect();
-        by_writer.sort_unstable_by_key(|e| e.writer);
-        words.push(by_writer.len() as u64);
-        for e in by_writer {
-            words.push(u64::from(e.writer));
-            words.push(e.msg.len() as u64);
-            words.extend_from_slice(e.msg.as_words());
+        if bit > 0 {
+            sink.put(mask);
         }
+        for f in self.frozen.iter().flatten() {
+            sink.put(f.len() as u64);
+            for &w in f.as_words() {
+                sink.put(w);
+            }
+        }
+        // Board entries in writer order (writers are unique: one write per
+        // node).
+        sink.put(self.board.len() as u64);
+        for e in self.board.entries_by_writer() {
+            sink.put(u64::from(e.writer));
+            sink.put(e.msg.len() as u64);
+            for &w in e.msg.as_words() {
+                sink.put(w);
+            }
+        }
+    }
+
+    /// Exact canonical snapshot of the current configuration (see
+    /// [`CanonicalState`]). Cost is `O(n + board bits/64)`; no node state is
+    /// inspected — node state is a deterministic function of the observed
+    /// prefix, so for order-oblivious protocols the snapshot determines it.
+    pub fn canonical_state(&self) -> CanonicalState {
+        let mut words = Vec::with_capacity(
+            self.nodes.len() / 16 + 3 * self.board.len() + self.frozen.len() + 4,
+        );
+        self.encode_canonical(&mut words);
         CanonicalState(words)
+    }
+
+    /// 128-bit streaming digest of the canonical encoding (see
+    /// [`Fingerprint`]): same word sequence as [`Self::canonical_state`],
+    /// but fed straight into two mixers — no intermediate buffer, no heap
+    /// allocation. This is the default dedup probe of the schedule explorer.
+    pub fn canonical_fingerprint(&self) -> Fingerprint {
+        let mut sink = FingerprintSink::new();
+        self.encode_canonical(&mut sink);
+        sink.finish()
     }
 
     /// Execute one write: `pick` (which must be active) writes its message,
     /// terminates, and all surviving nodes observe the new entry.
     pub fn step(&mut self, pick: NodeId) {
+        self.step_unobserved(pick);
+        self.deliver_last_entry();
+    }
+
+    /// Whether this engine runs a simultaneous model (the schedule explorer
+    /// uses this to pick the write-only probe path).
+    pub(crate) fn is_simultaneous(&self) -> bool {
+        self.model.is_simultaneous()
+    }
+
+    /// The write half of [`Self::step`]: `pick` writes and terminates, but
+    /// **no node observes the new entry yet**. The configuration encoding
+    /// (statuses, frozen messages, board) is already final after this call —
+    /// observation only mutates private node state — so the schedule
+    /// explorer probes dedup on the cheap write-only state and pays for the
+    /// observation fan-out ([`Self::deliver_last_entry`]) only on children
+    /// that survive. Callers must deliver (or undo) before the next write.
+    pub(crate) fn step_unobserved(&mut self, pick: NodeId) {
         let i = pick as usize - 1;
         assert_eq!(
             self.status[i],
             Status::Active,
             "adversary picked non-active node {pick}"
         );
+        let recording = self.recording();
         let msg = if self.model.is_asynchronous() {
+            // The frozen message moves onto the board; `WriteRefreeze`
+            // moves it back on undo, so nothing is cloned here.
             self.frozen[i]
                 .take()
                 .expect("asynchronous node has no frozen message")
         } else {
+            if recording {
+                // `compose` takes `&mut self`; journal the pre-compose state.
+                self.undo.push(UndoOp::Node(i, self.nodes[i].clone()));
+            }
             self.nodes[i].compose(&self.views[i])
         };
         assert!(
@@ -283,18 +577,43 @@ impl<'a, P: Protocol> Engine<'a, P> {
             msg.len(),
             self.budget
         );
+        if recording {
+            self.undo.push(UndoOp::Status(i, self.status[i]));
+        }
         self.status[i] = Status::Terminated;
         self.board.push(pick, msg);
         self.write_order.push(pick);
+        if recording {
+            self.undo.push(if self.model.is_asynchronous() {
+                UndoOp::WriteRefreeze(i)
+            } else {
+                UndoOp::Write
+            });
+        }
+    }
+
+    /// The observation half of [`Self::step`]: every surviving node observes
+    /// the most recent board entry.
+    pub(crate) fn deliver_last_entry(&mut self) {
+        let recording = self.recording();
         let seq = self.board.len() - 1;
-        let entry_msg = self.board.entry(seq).msg.clone();
+        // Deliver straight out of the board (disjoint field borrows): the
+        // observation fan-out clones nothing.
+        let entry = self.board.entry(seq);
+        let writer = entry.writer;
+        let entry_msg = &entry.msg;
         for j in 0..self.nodes.len() {
             match self.status[j] {
                 Status::Terminated => {}
                 // An active asynchronous node's message is frozen; later
                 // observations cannot influence it, so skip delivery.
                 Status::Active if self.model.is_asynchronous() => {}
-                _ => self.nodes[j].observe(&self.views[j], seq, pick, &entry_msg),
+                _ => {
+                    if recording {
+                        self.undo.push(UndoOp::Node(j, self.nodes[j].clone()));
+                    }
+                    self.nodes[j].observe(&self.views[j], seq, writer, entry_msg)
+                }
             }
         }
     }
@@ -304,9 +623,10 @@ impl<'a, P: Protocol> Engine<'a, P> {
         self.status.iter().all(|s| *s == Status::Terminated)
     }
 
-    /// Consume the engine into a report (call when the active set is empty).
-    pub fn finish(self) -> RunReport<P::Output> {
-        let outcome = if self.is_complete() {
+    /// Classify the current configuration: success with the decoded output,
+    /// or deadlock with the still-awake nodes.
+    fn outcome(&self) -> Outcome<P::Output> {
+        if self.is_complete() {
             Outcome::Success(self.protocol.output(self.views.len(), &self.board))
         } else {
             Outcome::Deadlock {
@@ -318,9 +638,25 @@ impl<'a, P: Protocol> Engine<'a, P> {
                     .map(|(i, _)| i as NodeId + 1)
                     .collect(),
             }
-        };
+        }
+    }
+
+    /// Snapshot the current terminal configuration into a report without
+    /// consuming the engine (call when the active set is empty). The
+    /// exhaustive executors use this at leaves so they can undo back to the
+    /// parent afterwards; [`Self::finish`] is the consuming form.
+    pub fn report(&self) -> RunReport<P::Output> {
         RunReport {
-            outcome,
+            outcome: self.outcome(),
+            write_order: self.write_order.clone(),
+            board: self.board.clone(),
+        }
+    }
+
+    /// Consume the engine into a report (call when the active set is empty).
+    pub fn finish(self) -> RunReport<P::Output> {
+        RunReport {
+            outcome: self.outcome(),
             write_order: self.write_order,
             board: self.board,
         }
@@ -743,6 +1079,194 @@ mod tests {
         let g = Graph::empty(1);
         let report = run(&EchoId, &g, &mut MinIdAdversary);
         assert_eq!(report.outcome, Outcome::Success(vec![1]));
+    }
+
+    /// Full observable state of an engine, for exact undo comparisons.
+    fn observable<P: Protocol>(e: &Engine<P>) -> (CanonicalState, Vec<NodeId>, Whiteboard) {
+        (
+            e.canonical_state(),
+            e.write_order().to_vec(),
+            e.board().clone(),
+        )
+    }
+
+    #[test]
+    fn undo_restores_single_step_exactly() {
+        for drive_activation in [false, true] {
+            let g = path(4);
+            let mut engine = Engine::new(&SeenCount, &g);
+            engine.activation_phase();
+            let before = observable(&engine);
+            let fp_before = engine.canonical_fingerprint();
+            let token = engine.step_token();
+            engine.step(2);
+            if drive_activation {
+                engine.activation_phase();
+            }
+            assert_ne!(before.0, engine.canonical_state());
+            engine.undo(token);
+            assert_eq!(before, observable(&engine));
+            assert_eq!(fp_before, engine.canonical_fingerprint());
+            // The restored engine still runs to the same outcome.
+            let mut adv = MinIdAdversary;
+            loop {
+                engine.activation_phase();
+                let active = engine.active_set();
+                if active.is_empty() {
+                    break;
+                }
+                let pick = adv.pick(&active, engine.board());
+                engine.step(pick);
+            }
+            assert_eq!(
+                engine.finish().outcome,
+                run(&SeenCount, &g, &mut MinIdAdversary).outcome
+            );
+        }
+    }
+
+    #[test]
+    fn undo_tokens_nest_lifo() {
+        let g = path(5);
+        let mut engine = Engine::new(&EchoId, &g);
+        engine.activation_phase();
+        let s0 = observable(&engine);
+        let t1 = engine.step_token();
+        engine.step(3);
+        engine.activation_phase();
+        let s1 = observable(&engine);
+        let t2 = engine.step_token();
+        engine.step(1);
+        engine.activation_phase();
+        engine.undo(t2);
+        assert_eq!(s1, observable(&engine));
+        engine.undo(t1);
+        assert_eq!(s0, observable(&engine));
+    }
+
+    #[test]
+    fn undo_restores_async_freeze_slots() {
+        // FrozenSeenCount is ASYNC with immediate activation: stepping moves
+        // a frozen message onto the board; undo must move it back.
+        let g = path(3);
+        let mut engine = Engine::new(&FrozenSeenCount, &g);
+        engine.activation_phase();
+        let before = observable(&engine);
+        let token = engine.step_token();
+        engine.step(2);
+        engine.activation_phase();
+        engine.undo(token);
+        assert_eq!(before, observable(&engine));
+        // The refrozen message is still writable.
+        engine.step(2);
+        assert_eq!(engine.board().len(), 1);
+    }
+
+    #[test]
+    fn undo_restores_free_model_activation() {
+        // Chain (SYNC, free): stepping node 1 activates node 2 in the next
+        // activation phase; undo must re-sleep it and roll back the polled
+        // node states.
+        let g = path(4);
+        let mut engine = Engine::new(&Chain, &g);
+        engine.activation_phase();
+        assert_eq!(engine.active_set(), vec![1]);
+        let before = observable(&engine);
+        let token = engine.step_token();
+        engine.step(1);
+        engine.activation_phase();
+        assert_eq!(engine.active_set(), vec![2]);
+        engine.undo(token);
+        assert_eq!(before, observable(&engine));
+        assert_eq!(engine.active_set(), vec![1]);
+        // Replaying after the undo still forces the chain order.
+        for pick in 1..=4 {
+            engine.step(pick);
+            engine.activation_phase();
+        }
+        assert_eq!(engine.finish().outcome, Outcome::Success(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn commit_accepts_the_branch() {
+        let g = path(3);
+        let mut engine = Engine::new(&EchoId, &g);
+        engine.activation_phase();
+        let token = engine.step_token();
+        engine.step(2);
+        let after = observable(&engine);
+        engine.commit(token);
+        assert_eq!(after, observable(&engine));
+        // A fresh token still works after commit.
+        let token = engine.step_token();
+        engine.step(1);
+        engine.undo(token);
+        assert_eq!(after, observable(&engine));
+    }
+
+    #[test]
+    #[should_panic(expected = "without an outstanding step token")]
+    fn undo_without_token_panics() {
+        let g = path(2);
+        let mut engine = Engine::new(&EchoId, &g);
+        engine.activation_phase();
+        let token = engine.step_token();
+        engine.undo(token);
+        let stale = StepToken { mark: 0 };
+        engine.undo(stale);
+    }
+
+    #[test]
+    fn fingerprint_agrees_with_canonical_equality() {
+        // Drive EchoId (SIMASYNC) to a handful of configurations: equal
+        // canonical states ⇔ equal fingerprints on permuted prefixes, and
+        // all distinct states get distinct fingerprints here.
+        let g = path(4);
+        let drive = |order: &[NodeId]| {
+            let mut e = Engine::new(&EchoId, &g);
+            e.activation_phase();
+            for &v in order {
+                e.step(v);
+                e.activation_phase();
+            }
+            (e.canonical_state(), e.canonical_fingerprint())
+        };
+        let (c12, f12) = drive(&[1, 2]);
+        let (c21, f21) = drive(&[2, 1]);
+        let (c13, f13) = drive(&[1, 3]);
+        assert_eq!(c12, c21, "permuted prefixes reach one configuration");
+        assert_eq!(f12, f21, "equal canonical states ⇒ equal fingerprints");
+        assert_ne!(c12, c13);
+        assert_ne!(f12, f13, "distinct states should not collide");
+        assert_ne!(f12.shard_key(), 0, "shard key mixes the high bits");
+    }
+
+    #[test]
+    fn unrecorded_runs_keep_an_empty_journal() {
+        let g = path(4);
+        let mut engine = Engine::new(&SeenCount, &g);
+        engine.activation_phase();
+        engine.step(1);
+        engine.step(2);
+        assert_eq!(engine.undo.len(), 0, "no token, no journal");
+        let token = engine.step_token();
+        engine.step(3);
+        assert!(engine.undo.len() > 0);
+        engine.undo(token);
+        assert_eq!(engine.undo.len(), 0);
+    }
+
+    #[test]
+    fn clones_do_not_inherit_savepoints() {
+        let g = path(3);
+        let mut engine = Engine::new(&EchoId, &g);
+        engine.activation_phase();
+        let _token = engine.step_token();
+        engine.step(1);
+        let branch = engine.clone();
+        assert_eq!(branch.tokens, 0);
+        assert!(branch.undo.is_empty());
+        assert_eq!(branch.canonical_state(), engine.canonical_state());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! whiteboard run   --protocol build:2 --workload kdeg:2 --n 200 [--seed S] [--adversary random:7] [--trace]
 //! whiteboard check --protocol mis:1 --n 4            # exhaustive schedules on all n-node graphs
 //! whiteboard explore --protocol mis:1 --workload path --n 6 [--max-states M] [--par] [--compare-naive]
-//!                                                    # schedule-space explorer report (dedup stats)
+//!                    [--dedup canonical|exact|off] [--json]
+//!                                                    # schedule-space explorer report (dedup stats);
+//!                                                    # --json emits one machine-readable object
 //! whiteboard capacity --n 1024,4096                  # Lemma 3 table
 //! whiteboard list                                    # protocols & workloads
 //! ```
@@ -57,7 +59,7 @@ fn usage() {
     eprintln!(
         "usage: whiteboard <run|check|explore|capacity|dot|list> [--protocol P] [--workload W] \
          [--n N[,N..]] [--seed S] [--adversary min|max|random:S] [--trace] \
-         [--max-states M] [--par] [--compare-naive]"
+         [--max-states M] [--par] [--compare-naive] [--dedup canonical|exact|off] [--json]"
     );
 }
 
@@ -71,6 +73,8 @@ struct Opts {
     max_states: u64,
     par: bool,
     compare_naive: bool,
+    dedup: String,
+    json: bool,
 }
 
 impl Opts {
@@ -85,6 +89,8 @@ impl Opts {
             max_states: 1 << 20,
             par: false,
             compare_naive: false,
+            dedup: "canonical".into(),
+            json: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -116,6 +122,8 @@ impl Opts {
                 }
                 "--par" => o.par = true,
                 "--compare-naive" => o.compare_naive = true,
+                "--dedup" => o.dedup = value("--dedup")?,
+                "--json" => o.json = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -424,47 +432,132 @@ fn cmd_check(o: &Opts) -> Result<(), String> {
 }
 
 /// Schedule-space exploration of one protocol on one workload graph,
-/// printing the structured report (distinct states, dedup ratio, failures).
+/// printing the structured report (distinct states, dedup ratio, failures)
+/// or — with `--json` — one machine-readable object.
 fn cmd_explore(o: &Opts) -> Result<(), String> {
-    use wb_runtime::exhaustive::{explore, explore_parallel, ExplorationReport, ExploreConfig};
+    use wb_runtime::exhaustive::{
+        explore, explore_parallel, DedupPolicy, ExplorationReport, ExploreConfig,
+    };
     let n = *o.ns.first().unwrap_or(&6);
     let g = make_workload(&o.workload, n, o.seed)?;
-    let config = ExploreConfig::default().with_max_states(o.max_states);
+    let dedup = match o.dedup.as_str() {
+        "canonical" | "fingerprint" | "fp" => DedupPolicy::Canonical,
+        "exact" => DedupPolicy::Exact,
+        "off" | "none" => DedupPolicy::Off,
+        other => return Err(format!("unknown dedup policy '{other}'")),
+    };
+    let config = ExploreConfig::default()
+        .with_max_states(o.max_states)
+        .with_dedup(dedup);
     let (kind, arg) = split_spec(&o.protocol);
     let k = arg.unwrap_or(2) as usize;
+
+    fn json_escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// `(states, schedules, truncated)` of the dedup-off comparison walk.
+    type NaiveStats = (u64, u64, bool);
 
     fn print_report<O: std::fmt::Debug>(
         o: &Opts,
         g: &Graph,
         report: &ExplorationReport<O>,
+        wall_sec: f64,
+        naive: Option<NaiveStats>,
     ) -> Result<(), String> {
-        println!("exploring {} on {} (n = {})", o.protocol, o.workload, g.n());
-        println!("  distinct states : {}", report.distinct_states);
-        println!("  terminal configs: {}", report.terminals);
-        println!(
-            "  merged branches : {} (dedup ratio {:.1}x)",
-            report.merged,
-            report.dedup_ratio()
-        );
-        println!("  peak frontier   : {}", report.peak_frontier);
-        println!(
-            "  truncated       : {}",
-            if report.truncated {
-                "YES (partial result)"
-            } else {
-                "no"
-            }
-        );
-        for f in report.failures.iter().take(5) {
-            println!("  FAIL under write order {:?}: {:?}", f.schedule, f.outcome);
-        }
-        if report.failures.is_empty() && !report.truncated {
+        let verdict = if !report.failures.is_empty() {
+            "FAIL"
+        } else if report.truncated {
+            "INCONCLUSIVE"
+        } else {
+            "PASS"
+        };
+        if o.json {
+            let states_per_sec = report.distinct_states as f64 / wall_sec.max(1e-12);
+            let naive_fields = match naive {
+                Some((states, schedules, truncated)) => format!(
+                    "\"naive_states\":{states},\"naive_schedules\":{schedules},\
+                     \"naive_truncated\":{truncated},\"dedup_savings\":{:.2},",
+                    states as f64 / report.distinct_states.max(1) as f64
+                ),
+                None => String::new(),
+            };
             println!(
-                "  verdict         : PASS (every reachable configuration satisfies the oracle)"
+                "{{\"protocol\":{},\"workload\":{},\"n\":{},\"dedup\":{},\"par\":{},\
+                 \"distinct_states\":{},\"terminals\":{},\"merged\":{},\"dedup_ratio\":{:.3},\
+                 \"peak_frontier\":{},\"truncated\":{},{naive_fields}\"failures\":{},\
+                 \"wall_sec\":{:.9},\"states_per_sec\":{:.1},\"verdict\":{}}}",
+                json_escape(&o.protocol),
+                json_escape(&o.workload),
+                g.n(),
+                json_escape(&o.dedup),
+                o.par,
+                report.distinct_states,
+                report.terminals,
+                report.merged,
+                report.dedup_ratio(),
+                report.peak_frontier,
+                report.truncated,
+                report.failures.len(),
+                wall_sec,
+                states_per_sec,
+                json_escape(verdict),
             );
-            Ok(())
-        } else if report.failures.is_empty() {
-            println!("  verdict         : INCONCLUSIVE (truncated)");
+        } else {
+            if let Some((states, schedules, truncated)) = naive {
+                println!(
+                    "naive (no dedup): {} states, {} schedules{} — dedup saves {:.1}x",
+                    states,
+                    schedules,
+                    if truncated { " (truncated)" } else { "" },
+                    states as f64 / report.distinct_states.max(1) as f64
+                );
+            }
+            println!("exploring {} on {} (n = {})", o.protocol, o.workload, g.n());
+            println!("  distinct states : {}", report.distinct_states);
+            println!("  terminal configs: {}", report.terminals);
+            println!(
+                "  merged branches : {} (dedup ratio {:.1}x)",
+                report.merged,
+                report.dedup_ratio()
+            );
+            println!("  peak frontier   : {}", report.peak_frontier);
+            println!(
+                "  states/sec      : {:.0}",
+                report.distinct_states as f64 / wall_sec.max(1e-12)
+            );
+            println!(
+                "  truncated       : {}",
+                if report.truncated {
+                    "YES (partial result)"
+                } else {
+                    "no"
+                }
+            );
+            for f in report.failures.iter().take(5) {
+                println!("  FAIL under write order {:?}: {:?}", f.schedule, f.outcome);
+            }
+            match verdict {
+                "PASS" => println!(
+                    "  verdict         : PASS (every reachable configuration satisfies the oracle)"
+                ),
+                "INCONCLUSIVE" => println!("  verdict         : INCONCLUSIVE (truncated)"),
+                _ => {}
+            }
+        }
+        if report.failures.is_empty() {
             Ok(())
         } else {
             Err(format!("{} failing terminal(s)", report.failures.len()))
@@ -477,25 +570,21 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
         ($p:expr, $pred:expr) => {{
             let p = $p;
             let pred = $pred;
+            let start = std::time::Instant::now();
             let report = if o.par {
                 explore_parallel(&p, &g, &config, &pred)
             } else {
                 explore(&p, &g, &config, &pred)
             };
-            if o.compare_naive {
+            let wall_sec = start.elapsed().as_secs_f64();
+            let naive = o.compare_naive.then(|| {
                 let off = ExploreConfig::default()
                     .without_dedup()
                     .with_max_states(o.max_states);
                 let naive = explore(&p, &g, &off, &pred);
-                println!(
-                    "naive (no dedup): {} states, {} schedules{} — dedup saves {:.1}x",
-                    naive.distinct_states,
-                    naive.terminals,
-                    if naive.truncated { " (truncated)" } else { "" },
-                    naive.distinct_states as f64 / report.distinct_states.max(1) as f64
-                );
-            }
-            print_report(o, &g, &report)
+                (naive.distinct_states, naive.terminals, naive.truncated)
+            });
+            print_report(o, &g, &report, wall_sec, naive)
         }};
     }
 

@@ -1,0 +1,101 @@
+//! Allocation-count regression tests for the explorer's hot probe path.
+//!
+//! The schedule explorer's per-child cost budget is "O(changed bytes)":
+//! the dedup probe — streaming the canonical configuration encoding into
+//! the 128-bit fingerprint — must not touch the heap at all. This test
+//! installs a counting global allocator (`wb-alloc-count`) and walks real
+//! engines through write sequences on boards up to `n = 8`, asserting the
+//! fingerprint probe performs **zero** allocations at every prefix, and
+//! that probing a pre-reserved fingerprint seen-set stays allocation-free
+//! too.
+
+use shared_whiteboard::prelude::*;
+use wb_alloc_count::allocations_on_this_thread;
+
+#[global_allocator]
+static ALLOC: wb_alloc_count::CountingAlloc = wb_alloc_count::CountingAlloc;
+
+/// Assert `f` allocates nothing on this thread.
+fn assert_no_allocations(label: &str, mut f: impl FnMut()) {
+    // Warm-up run first: lazy one-time initialization (if any) is not what
+    // this test is about.
+    f();
+    let before = allocations_on_this_thread();
+    for _ in 0..8 {
+        f();
+    }
+    let after = allocations_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: the fingerprint probe path must not allocate"
+    );
+}
+
+#[test]
+fn fingerprint_probe_is_allocation_free_up_to_n8() {
+    // One simultaneous-synchronous and one simultaneous-asynchronous
+    // protocol: the latter keeps frozen messages in the encoding, the
+    // former streams a growing board.
+    for n in 2..=8usize {
+        let g = wb_graph::generators::path(n);
+        let p = MisGreedy::new(1);
+        let mut engine = Engine::new(&p, &g);
+        engine.activation_phase();
+        // Probe at every board size 0..n (boards up to n = 8 entries).
+        for round in 0..n {
+            assert_no_allocations(&format!("MIS n={n} round={round}"), || {
+                std::hint::black_box(engine.canonical_fingerprint());
+            });
+            let pick = engine.active_set()[0];
+            engine.step(pick);
+            engine.activation_phase();
+        }
+        assert_no_allocations(&format!("MIS n={n} terminal"), || {
+            std::hint::black_box(engine.canonical_fingerprint());
+        });
+
+        let b = BuildDegenerate::new(1);
+        let mut engine = Engine::new(&b, &g);
+        engine.activation_phase();
+        for round in 0..n {
+            assert_no_allocations(&format!("BUILD n={n} round={round}"), || {
+                std::hint::black_box(engine.canonical_fingerprint());
+            });
+            let pick = engine.active_set()[0];
+            engine.step(pick);
+            engine.activation_phase();
+        }
+    }
+}
+
+#[test]
+fn fingerprint_probe_into_reserved_set_is_allocation_free() {
+    // The full probe as the explorer runs it: fingerprint + insert into a
+    // pre-reserved seen-set. A pre-sized set must not reallocate for the
+    // handful of states this drives through it.
+    use std::collections::HashSet;
+    let g = wb_graph::generators::path(8);
+    let p = MisGreedy::new(1);
+    let mut engine = Engine::new(&p, &g);
+    engine.activation_phase();
+    let mut fingerprints: Vec<u128> = Vec::with_capacity(16);
+    for _ in 0..8 {
+        fingerprints.push(engine.canonical_fingerprint().as_u128());
+        let pick = engine.active_set()[0];
+        engine.step(pick);
+        engine.activation_phase();
+    }
+    let mut seen: HashSet<u128, wb_par::PassthroughBuildHasher> =
+        HashSet::with_capacity_and_hasher(64, Default::default());
+    let before = allocations_on_this_thread();
+    for &fp in &fingerprints {
+        std::hint::black_box(seen.insert(fp));
+    }
+    let after = allocations_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "inserting into a pre-reserved fingerprint set must not allocate"
+    );
+}

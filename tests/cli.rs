@@ -123,6 +123,71 @@ fn explore_prints_the_report_and_dedup_stats() {
 }
 
 #[test]
+fn explore_json_emits_machine_readable_report() {
+    let (ok, out) = whiteboard(&[
+        "explore",
+        "--protocol",
+        "mis:1",
+        "--workload",
+        "path",
+        "--n",
+        "6",
+        "--json",
+        "--compare-naive",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"distinct_states\":100"), "{out}");
+    assert!(out.contains("\"verdict\":\"PASS\""), "{out}");
+    assert!(out.contains("\"states_per_sec\":"), "{out}");
+    assert!(out.contains("\"dedup\":\"canonical\""), "{out}");
+    // --compare-naive lands in the JSON too, not just the human report.
+    assert!(out.contains("\"naive_states\":1957"), "{out}");
+    assert!(out.contains("\"dedup_savings\":19.57"), "{out}");
+}
+
+#[test]
+fn explore_dedup_modes_agree() {
+    // Fingerprint (default) and exact snapshots must report identical
+    // state counts; `off` walks the full tree.
+    let run = |dedup: &str| {
+        let (ok, out) = whiteboard(&[
+            "explore",
+            "--protocol",
+            "build:1",
+            "--workload",
+            "path",
+            "--n",
+            "6",
+            "--dedup",
+            dedup,
+            "--json",
+        ]);
+        assert!(ok, "{out}");
+        out
+    };
+    let fp = run("canonical");
+    let exact = run("exact");
+    assert!(fp.contains("\"distinct_states\":64"), "{fp}");
+    assert!(exact.contains("\"distinct_states\":64"), "{exact}");
+    let off = run("off");
+    assert!(off.contains("\"distinct_states\":1957"), "{off}");
+
+    let (ok, out) = whiteboard(&[
+        "explore",
+        "--protocol",
+        "mis:1",
+        "--workload",
+        "path",
+        "--n",
+        "4",
+        "--dedup",
+        "bogus",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("unknown dedup policy"), "{out}");
+}
+
+#[test]
 fn explore_parallel_truncation_is_reported_not_fatal() {
     // A tight state cap: partial result, INCONCLUSIVE verdict, exit 0.
     let (ok, out) = whiteboard(&[

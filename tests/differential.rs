@@ -191,8 +191,9 @@ fn explorer_matches_naive_for_every_migrated_protocol_n4() {
 
 #[test]
 fn parallel_explorer_agrees_with_sequential_on_oracle_checks() {
-    // The par_map fan-out must not change results: identical reports on a
-    // nontrivial instance mix.
+    // The par_map fan-out and sharded dedup must not change results:
+    // identical counts and outcome multisets on a nontrivial instance mix
+    // (discovery *order* is not promised by the parallel walk).
     for g in [
         generators::path(6),
         generators::clique(5),
@@ -205,6 +206,76 @@ fn parallel_explorer_agrees_with_sequential_on_oracle_checks() {
         assert_eq!(seq.distinct_states, par.distinct_states);
         assert_eq!(seq.terminals, par.terminals);
         assert_eq!(seq.merged, par.merged);
-        assert_eq!(format!("{:?}", seq.outcomes), format!("{:?}", par.outcomes));
+        let mut a: Vec<String> = seq.outcomes.iter().map(|o| format!("{o:?}")).collect();
+        let mut b: Vec<String> = par.outcomes.iter().map(|o| format!("{o:?}")).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}
+
+/// Fingerprint dedup must be indistinguishable from exact-snapshot dedup:
+/// same reachable-state count, same merge count, same terminals, and the
+/// same outcome multiset — which together pin that no fingerprint collision
+/// merged two genuinely distinct configurations anywhere in the walk.
+fn assert_fingerprint_matches_exact<P>(p: &P, g: &Graph, label: &str)
+where
+    P: Protocol,
+    P::Output: Clone + Debug,
+{
+    let fp = explore(p, g, &ExploreConfig::default(), |_| true);
+    let exact = explore(
+        p,
+        g,
+        &ExploreConfig::default().with_dedup(DedupPolicy::Exact),
+        |_| true,
+    );
+    assert!(
+        !fp.truncated && !exact.truncated,
+        "{label}: truncated {g:?}"
+    );
+    assert_eq!(
+        fp.distinct_states, exact.distinct_states,
+        "{label}: reachable-state sets differ on {g:?}"
+    );
+    assert_eq!(fp.merged, exact.merged, "{label}: merge counts on {g:?}");
+    assert_eq!(fp.terminals, exact.terminals, "{label}: terminals on {g:?}");
+    assert_eq!(fp.peak_frontier, exact.peak_frontier, "{label}: {g:?}");
+    let a: BTreeSet<String> = fp.outcomes.iter().map(|o| format!("{o:?}")).collect();
+    let b: BTreeSet<String> = exact.outcomes.iter().map(|o| format!("{o:?}")).collect();
+    assert_eq!(a, b, "{label}: outcome sets differ on {g:?}");
+}
+
+#[test]
+fn fingerprint_dedup_matches_exact_under_all_four_models_up_to_n5() {
+    // The acceptance differential for streaming fingerprint dedup: on every
+    // labeled graph up to n = 5, under every model of the lattice (via
+    // promotion), the fingerprint-mode exploration reaches exactly the
+    // exact-mode reachable-state sets. BUILD is SIMASYNC-native (promotes
+    // everywhere); MIS covers the SIMSYNC branch.
+    for_all_graphs_parallel(5, |g| {
+        for target in targets(Model::SimAsync) {
+            let p = Promote::new(BuildDegenerate::new(2), target);
+            assert_fingerprint_matches_exact(&p, g, &format!("BUILD@{target}"));
+        }
+        for target in targets(Model::SimSync) {
+            let p = Promote::new(MisGreedy::new(1), target);
+            assert_fingerprint_matches_exact(&p, g, &format!("MIS@{target}"));
+        }
+    });
+}
+
+#[test]
+fn fingerprint_dedup_matches_exact_for_native_protocols_n4() {
+    // Native-model coverage for the remaining problem families (free and
+    // asynchronous models included).
+    for g in graphs_up_to(4) {
+        assert_fingerprint_matches_exact(&SyncBfs, &g, "BFS");
+        assert_fingerprint_matches_exact(&EobBfs, &g, "EOB-BFS");
+        assert_fingerprint_matches_exact(&NaiveBuild, &g, "NAIVE-BUILD");
+        assert_fingerprint_matches_exact(&EdgeCount, &g, "EDGE-COUNT");
+        assert_fingerprint_matches_exact(&ConnectivitySync, &g, "CONNECTIVITY");
+        assert_fingerprint_matches_exact(&TwoCliques, &g, "2-CLIQUES");
+        assert_fingerprint_matches_exact(&SubgraphPrefix::new(2), &g, "SUBGRAPH_2");
     }
 }

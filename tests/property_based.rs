@@ -216,6 +216,63 @@ proptest! {
         prop_assert_eq!(a.write_order, b.write_order);
     }
 
+    /// Undo-log branching is exact: random interleavings of step/undo (with
+    /// nested savepoints, as the explorer and the naive DFS drive them)
+    /// restore the canonical state — exact mode, full encodings — the
+    /// fingerprint, the write order, and the board, at every unwind level.
+    /// Run across the model lattice: SYNC (free activation), ASYNC (freeze
+    /// slots + drain), SIMSYNC and SIMASYNC (simultaneous).
+    #[test]
+    fn undo_log_restores_canonical_state(n in 2usize..8, p_edge in 0.0f64..0.7, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        macro_rules! check_protocol {
+            ($p:expr) => {{
+                let p = $p;
+                let mut picks = StdRng::seed_from_u64(seed ^ 0xBEEF);
+                let mut engine = Engine::new(&p, &g);
+                engine.activation_phase();
+                // Stack of (token, snapshot-before) savepoints.
+                let mut stack = Vec::new();
+                for _ in 0..32 {
+                    let can_step = !engine.active_set().is_empty();
+                    let push = can_step && (stack.is_empty() || picks.gen_bool(0.6));
+                    if push {
+                        let before = (
+                            engine.canonical_state(),
+                            engine.canonical_fingerprint(),
+                            engine.write_order().to_vec(),
+                            engine.board().clone(),
+                        );
+                        let token = engine.step_token();
+                        let active = engine.active_set();
+                        engine.step(active[picks.gen_range(0..active.len())]);
+                        engine.activation_phase();
+                        stack.push((token, before));
+                    } else if let Some((token, before)) = stack.pop() {
+                        engine.undo(token);
+                        prop_assert_eq!(engine.canonical_state(), before.0);
+                        prop_assert_eq!(engine.canonical_fingerprint(), before.1);
+                        prop_assert_eq!(engine.write_order().to_vec(), before.2);
+                        prop_assert_eq!(engine.board().clone(), before.3);
+                    } else {
+                        break;
+                    }
+                }
+                // Unwind whatever is left, checking every level.
+                while let Some((token, before)) = stack.pop() {
+                    engine.undo(token);
+                    prop_assert_eq!(engine.canonical_state(), before.0);
+                    prop_assert_eq!(engine.canonical_fingerprint(), before.1);
+                }
+            }};
+        }
+        check_protocol!(SyncBfs);
+        check_protocol!(EobBfs);
+        check_protocol!(MisGreedy::new(1));
+        check_protocol!(BuildDegenerate::new(n));
+    }
+
     /// The canonical state is write-order-oblivious exactly as specified:
     /// two different permutations of the same SIMASYNC write set land in
     /// the same canonical state, while different write sets never collide.
