@@ -38,6 +38,7 @@ pub mod subgraph;
 pub mod triangle;
 pub mod two_cliques;
 pub mod two_cliques_randomized;
+pub mod workload;
 
 pub use bfs::{AsyncBipartiteBfs, BfsOutput, EobBfs, SyncBfs};
 pub use build::{BuildDegenerate, BuildError};

@@ -13,6 +13,9 @@
 //! - [`par_for_each`] — parallel consumption of an index range with a shared
 //!   atomic cursor (dynamic load balancing for skewed work);
 //! - [`par_reduce`] — map + associative fold;
+//! - [`par_batch_reduce`] — index-range reduction in contiguous batches with
+//!   a commutative-monoid merge (the Monte Carlo campaign runner's
+//!   aggregation primitive);
 //! - [`WorkQueue`] — a bounded queue with overflow reported to the producer
 //!   instead of blocking or allocating without bound;
 //! - [`par_drain`] — parallel consumption of a `WorkQueue` whose consumers
@@ -140,6 +143,57 @@ pub fn par_for_each(count: usize, f: impl Fn(usize) + Sync) {
             });
         }
     });
+}
+
+/// Parallel reduction over the index range `0..total`, processed in
+/// contiguous batches of `batch` indices.
+///
+/// `map` receives each batch as a `Range<usize>` and returns a partial
+/// result; partials are combined with `fold`, which — together with
+/// `identity` — must form a **commutative monoid**: batches are handed to
+/// workers through a dynamic cursor and folded in whatever order they
+/// finish, so only an order-insensitive `fold` yields a deterministic
+/// result. This is the aggregation primitive behind the Monte Carlo
+/// campaign runner (`wb-sim`): millions of trials, sharded into batches,
+/// each batch reduced locally, partial statistics merged without any
+/// cross-thread ordering.
+///
+/// Falls back to a sequential fold when the pool is width 1 or there is at
+/// most one batch.
+pub fn par_batch_reduce<R: Send>(
+    total: usize,
+    batch: usize,
+    map: impl Fn(std::ops::Range<usize>) -> R + Sync,
+    identity: impl Fn() -> R + Sync,
+    fold: impl Fn(R, R) -> R + Sync,
+) -> R {
+    assert!(batch >= 1, "batches must hold at least one index");
+    let batches = total.div_ceil(batch.max(1));
+    let range_of = |b: usize| (b * batch)..((b * batch + batch).min(total));
+    let threads = num_threads().min(batches.max(1));
+    if threads <= 1 || batches <= 1 {
+        return (0..batches)
+            .map(|b| map(range_of(b)))
+            .fold(identity(), fold);
+    }
+    let cursor = AtomicUsize::new(0);
+    let partials = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut acc = identity();
+                loop {
+                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                    if b >= batches {
+                        break;
+                    }
+                    acc = fold(acc, map(range_of(b)));
+                }
+                partials.lock().push(acc);
+            });
+        }
+    });
+    partials.into_inner().into_iter().fold(identity(), fold)
 }
 
 /// Parallel map-reduce with an associative, commutative `fold`.
@@ -462,6 +516,57 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_batch_reduce_matches_sequential() {
+        // Sum of squares over 0..10_000 in batches of 64: same value as the
+        // sequential fold, every index visited exactly once.
+        let expected: u64 = (0..10_000u64).map(|x| x * x).sum();
+        let got = par_batch_reduce(
+            10_000,
+            64,
+            |range| range.map(|i| (i as u64) * (i as u64)).sum::<u64>(),
+            || 0u64,
+            |a, b| a + b,
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn par_batch_reduce_is_batch_size_insensitive() {
+        // A commutative-monoid fold must land on the same result no matter
+        // the sharding grain (the campaign golden test's core invariant).
+        let reduce = |batch: usize| {
+            par_batch_reduce(
+                1000,
+                batch,
+                |range| range.map(|i| i as u64).collect::<Vec<u64>>(),
+                Vec::new,
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a.sort_unstable();
+                    a
+                },
+            )
+        };
+        let baseline = reduce(1000); // single batch: sequential
+        assert_eq!(baseline, (0..1000u64).collect::<Vec<_>>());
+        for batch in [1, 7, 64, 333] {
+            assert_eq!(reduce(batch), baseline);
+        }
+    }
+
+    #[test]
+    fn par_batch_reduce_empty_input_is_identity() {
+        let got = par_batch_reduce(0, 16, |_| 1u64, || 0u64, |a, b| a + b);
+        assert_eq!(got, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one index")]
+    fn par_batch_reduce_rejects_zero_batch() {
+        par_batch_reduce(10, 0, |_| 0u64, || 0u64, |a, b| a + b);
     }
 
     #[test]

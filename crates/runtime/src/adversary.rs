@@ -149,6 +149,44 @@ impl Adversary for ScheduleAdversary {
     }
 }
 
+/// Follows a recorded write order as a *hint list* instead of a contract:
+/// each round it picks the earliest hint that is currently active, and falls
+/// back to the smallest active ID when no hint applies. Unlike
+/// [`ScheduleAdversary`] it never panics, so arbitrarily mutated schedules
+/// (chunks deleted, prefixes truncated, picks transposed) always replay to
+/// *some* complete run — the property the delta-debugging schedule shrinker
+/// (`wb-sim`) is built on. The run's `write_order` records the schedule that
+/// actually executed, which is what the shrinker keeps as its next witness.
+#[derive(Clone, Debug)]
+pub struct LenientScheduleAdversary {
+    hints: Vec<NodeId>,
+}
+
+impl LenientScheduleAdversary {
+    /// Treat `hints` as a preference order over future picks.
+    pub fn new(hints: impl Into<Vec<NodeId>>) -> Self {
+        LenientScheduleAdversary {
+            hints: hints.into(),
+        }
+    }
+}
+
+impl Adversary for LenientScheduleAdversary {
+    fn pick(&mut self, active: &[NodeId], _board: &Whiteboard) -> NodeId {
+        // Only the matched hint is consumed: a hint skipped because its node
+        // has not activated *yet* stays eligible for later rounds (free
+        // models), while a hint naming an already-written node can never
+        // match again and is merely re-skipped.
+        for (i, &h) in self.hints.iter().enumerate() {
+            if active.contains(&h) {
+                self.hints.remove(i);
+                return h;
+            }
+        }
+        active[0]
+    }
+}
+
 /// An adversary from a closure — for one-off malicious strategies in tests
 /// and experiments without a dedicated type.
 pub struct FnAdversary<F>(pub F);
@@ -246,6 +284,32 @@ mod tests {
         let mut adv = ScheduleAdversary::new(vec![1]);
         adv.pick(&[1], &board());
         adv.pick(&[2], &board());
+    }
+
+    #[test]
+    fn lenient_adversary_follows_applicable_hints() {
+        let mut adv = LenientScheduleAdversary::new(vec![3, 1, 2]);
+        assert_eq!(adv.pick(&[1, 2, 3], &board()), 3);
+        assert_eq!(adv.pick(&[1, 2], &board()), 1);
+        assert_eq!(adv.pick(&[2], &board()), 2);
+    }
+
+    #[test]
+    fn lenient_adversary_skips_inactive_hints_without_consuming_them() {
+        // Hint 5 is not active on the first pick but becomes active later:
+        // it must still be honored then, ahead of the min-ID fallback.
+        let mut adv = LenientScheduleAdversary::new(vec![5, 2]);
+        assert_eq!(adv.pick(&[1, 2], &board()), 2);
+        assert_eq!(adv.pick(&[1, 5], &board()), 5);
+        // Hints exhausted: min-ID fallback.
+        assert_eq!(adv.pick(&[1, 4], &board()), 1);
+    }
+
+    #[test]
+    fn lenient_adversary_never_panics_on_garbage_hints() {
+        let mut adv = LenientScheduleAdversary::new(vec![9, 9, 9]);
+        assert_eq!(adv.pick(&[2, 3], &board()), 2, "fallback, no panic");
+        assert_eq!(adv.pick(&[3], &board()), 3);
     }
 
     #[test]

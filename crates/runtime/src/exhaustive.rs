@@ -195,12 +195,25 @@ impl<O> ExplorationReport<O> {
 
     /// Transitions explored per distinct state — how much of the schedule
     /// tree collapsed. 1.0 means no sharing; `k` means each state was
-    /// reached `k` ways on average.
+    /// reached `k` ways on average. An empty exploration (zero states)
+    /// reports 1.0 rather than dividing by zero.
     pub fn dedup_ratio(&self) -> f64 {
         if self.distinct_states == 0 {
             return 1.0;
         }
         (self.distinct_states + self.merged) as f64 / self.distinct_states as f64
+    }
+
+    /// Distinct states discovered per second of wall time. Guards both
+    /// degenerate corners — zero states and a zero (or negative, or NaN)
+    /// duration — by reporting 0.0 instead of an infinity or NaN, so the
+    /// value is always safe to serialize into the JSON reports the CLI and
+    /// benchmark binaries emit.
+    pub fn states_per_sec(&self, wall_sec: f64) -> f64 {
+        if self.distinct_states == 0 || !(wall_sec > 0.0) {
+            return 0.0;
+        }
+        self.distinct_states as f64 / wall_sec
     }
 }
 
@@ -810,6 +823,35 @@ mod tests {
         let mut v: Vec<String> = report.outcomes.iter().map(|o| format!("{o:?}")).collect();
         v.sort();
         v
+    }
+
+    #[test]
+    fn empty_report_rate_fields_are_finite() {
+        // A report with zero states/zero duration must never emit NaN or an
+        // infinity (the CLI serializes these fields into JSON verbatim).
+        let report: ExplorationReport<()> = ExplorationReport {
+            distinct_states: 0,
+            terminals: 0,
+            merged: 0,
+            truncated: false,
+            peak_frontier: 0,
+            outcomes: Vec::new(),
+            failures: Vec::new(),
+        };
+        assert_eq!(report.dedup_ratio(), 1.0);
+        assert_eq!(report.states_per_sec(0.0), 0.0);
+        assert_eq!(report.states_per_sec(-1.0), 0.0);
+        assert_eq!(report.states_per_sec(f64::NAN), 0.0);
+        assert!(report.dedup_ratio().is_finite());
+        // A populated report with a zero-duration wall clock is guarded too.
+        let populated: ExplorationReport<()> = ExplorationReport {
+            distinct_states: 10,
+            merged: 5,
+            ..report
+        };
+        assert_eq!(populated.states_per_sec(0.0), 0.0);
+        assert_eq!(populated.states_per_sec(2.0), 5.0);
+        assert_eq!(populated.dedup_ratio(), 1.5);
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod model;
 pub mod protocol;
 
 pub use adversary::{
-    Adversary, FnAdversary, MaxIdAdversary, MinIdAdversary, PriorityAdversary, RandomAdversary,
-    ScheduleAdversary,
+    Adversary, FnAdversary, LenientScheduleAdversary, MaxIdAdversary, MinIdAdversary,
+    PriorityAdversary, RandomAdversary, ScheduleAdversary,
 };
 pub use board::{Entry, Whiteboard};
 pub use engine::{run, run_traced, CanonicalState, Engine, Outcome, RunReport, TraceRow};

@@ -1,0 +1,40 @@
+//! # wb-sim — the statistical tier of the whiteboard machine
+//!
+//! The exhaustive explorer (`wb_runtime::exhaustive`) discharges the
+//! paper's ∀-adversary quantifier *exactly*, but the schedule space grows
+//! factorially and caps it near `n ≈ 8`. This crate is the complementary
+//! tier: **Monte Carlo schedule campaigns** that run millions of seeded
+//! random trials at `n` in the hundreds — far past the exhaustive frontier —
+//! and reduce anything that fails to a minimal, replayable witness.
+//!
+//! - [`sampler`] — the schedule samplers (uniform, priority-biased, crashy
+//!   adaptive) and the splitmix64 seed-derivation scheme that makes every
+//!   trial independently replayable from `(campaign seed, trial index)`;
+//! - [`campaign`] — the sharded campaign runner: trials batched across the
+//!   `wb_par` pool, statistics merged as a commutative monoid so the
+//!   [`campaign::CampaignReport`] (and its JSON) is byte-identical for any
+//!   batch size or thread count;
+//! - [`shrink`] — delta-debugging schedule minimization over the lenient
+//!   replay adversary: failing schedules shrink to locally minimal
+//!   witnesses in the same format the regression corpus replays.
+//!
+//! A campaign **samples** the quantifier the explorer **proves**: on small
+//! instances the campaign's outcome set is a subset of the explorer's (and
+//! saturates it for simultaneous models), which the root crate's
+//! differential tests pin; on large instances it is the only tool we have,
+//! and its failures arrive pre-minimized.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod sampler;
+pub mod shrink;
+
+// Campaign reports serialize through the bench harness's JSON module; the
+// re-export spares downstream binaries (the CLI) a direct wb-bench edge.
+pub use wb_bench::json;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignLabels, CampaignReport, TrialFailure};
+pub use sampler::{trial_seed, CrashyAdversary, SampledAdversary, SamplerKind};
+pub use shrink::{shrink_schedule, ShrinkReport};

@@ -1,0 +1,213 @@
+//! Schedule samplers: one seeded adversary per trial.
+//!
+//! A campaign is a family of independent trials; trial `t` of a campaign
+//! seeded `s` runs under the adversary built by
+//! [`SamplerKind::adversary`]`(n, `[`trial_seed`]`(s, t))`. The derivation is
+//! a splitmix64 hop, so per-trial seeds are decorrelated even for adjacent
+//! trial indices, and any single trial replays exactly from `(kind, s, t)`
+//! alone — no shared RNG stream, hence no dependence on how trials were
+//! sharded across threads.
+//!
+//! The samplers reuse the `wb_runtime::adversary` toolkit: uniform sampling
+//! is [`RandomAdversary`], priority-biased sampling draws a random
+//! [`PriorityAdversary`] permutation per trial (the Lemma 4 "fix an order"
+//! shape), and the crashy adversary is an adaptive strategy that alternates
+//! starvation (stall the smallest IDs) with hammering the neighborhood of
+//! the most recent writer — the kind of correlated, worst-case-ish schedule
+//! a uniform sampler almost never produces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wb_graph::NodeId;
+use wb_runtime::{Adversary, PriorityAdversary, RandomAdversary, Whiteboard};
+
+/// splitmix64 — the statelessly-seedable mixer used for seed derivation.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The seed of trial `trial` in a campaign seeded `campaign_seed`.
+///
+/// Pure and stateless: replaying trial `t` needs only the campaign seed and
+/// `t`, never the trials before it.
+pub fn trial_seed(campaign_seed: u64, trial: u64) -> u64 {
+    splitmix64(campaign_seed ^ splitmix64(trial.wrapping_add(1)))
+}
+
+/// Which distribution over schedules a campaign draws from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Each round, pick uniformly among the active nodes.
+    #[default]
+    Uniform,
+    /// Draw a uniformly random priority permutation per trial and follow it
+    /// (every trial is a Lemma 4 "sequential activation" order).
+    Priority,
+    /// Adaptive adversarial mixture: starve small IDs, chase the most
+    /// recent writer's ID neighborhood, or fall back to a uniform pick.
+    Crashy,
+}
+
+impl SamplerKind {
+    /// Parse a CLI-style sampler name.
+    pub fn parse(s: &str) -> Result<SamplerKind, String> {
+        match s {
+            "uniform" | "random" => Ok(SamplerKind::Uniform),
+            "priority" => Ok(SamplerKind::Priority),
+            "crashy" | "adversarial" => Ok(SamplerKind::Crashy),
+            other => Err(format!(
+                "unknown sampler '{other}' (expected uniform|priority|crashy)"
+            )),
+        }
+    }
+
+    /// Stable name (used in reports and JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SamplerKind::Uniform => "uniform",
+            SamplerKind::Priority => "priority",
+            SamplerKind::Crashy => "crashy",
+        }
+    }
+
+    /// The adversary for one trial on an `n`-node instance.
+    pub fn adversary(&self, n: usize, seed: u64) -> SampledAdversary {
+        match self {
+            SamplerKind::Uniform => SampledAdversary::Uniform(RandomAdversary::new(seed)),
+            SamplerKind::Priority => {
+                SampledAdversary::Priority(PriorityAdversary::random(n.max(1), seed))
+            }
+            SamplerKind::Crashy => SampledAdversary::Crashy(CrashyAdversary::new(seed)),
+        }
+    }
+}
+
+/// A per-trial adversary, dispatched without boxing (the trial loop is hot).
+#[derive(Clone, Debug)]
+pub enum SampledAdversary {
+    /// Uniform pick per round.
+    Uniform(RandomAdversary),
+    /// Fixed random priority permutation.
+    Priority(PriorityAdversary),
+    /// Adaptive starve/chase mixture.
+    Crashy(CrashyAdversary),
+}
+
+impl Adversary for SampledAdversary {
+    fn pick(&mut self, active: &[NodeId], board: &Whiteboard) -> NodeId {
+        match self {
+            SampledAdversary::Uniform(a) => a.pick(active, board),
+            SampledAdversary::Priority(a) => a.pick(active, board),
+            SampledAdversary::Crashy(a) => a.pick(active, board),
+        }
+    }
+}
+
+/// An adaptive, schedule-skewing adversary (seeded, reproducible).
+///
+/// Each round it flips a three-way coin:
+///
+/// - **starve** (p = ½): pick the *largest* active ID, delaying small IDs —
+///   protocols that implicitly privilege early IDs see their worst case;
+/// - **chase** (p = ¼): pick the active ID closest to the most recent
+///   writer, creating the bursty, correlated write runs that uniform
+///   sampling essentially never generates;
+/// - **uniform** (p = ¼): a uniformly random pick, so every schedule still
+///   has positive probability and the sampler's support stays complete.
+#[derive(Clone, Debug)]
+pub struct CrashyAdversary {
+    rng: StdRng,
+}
+
+impl CrashyAdversary {
+    /// A reproducible crashy adversary.
+    pub fn new(seed: u64) -> Self {
+        CrashyAdversary {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for CrashyAdversary {
+    fn pick(&mut self, active: &[NodeId], board: &Whiteboard) -> NodeId {
+        let roll = self.rng.gen_range(0..4u32);
+        if roll < 2 {
+            return *active.last().expect("active set is non-empty");
+        }
+        if roll == 2 {
+            if let Some(last) = board.entries().last() {
+                return *active
+                    .iter()
+                    .min_by_key(|&&v| (v.abs_diff(last.writer), v))
+                    .expect("active set is non-empty");
+            }
+        }
+        active[self.rng.gen_range(0..active.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_are_decorrelated_and_stateless() {
+        let a: Vec<u64> = (0..64).map(|t| trial_seed(42, t)).collect();
+        let b: Vec<u64> = (0..64).map(|t| trial_seed(42, t)).collect();
+        assert_eq!(a, b, "pure function of (campaign seed, trial)");
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "no collisions in a small window");
+        assert_ne!(trial_seed(42, 0), trial_seed(43, 0));
+        // Adjacent trials differ in many bits, not just the low ones.
+        assert!((trial_seed(7, 1) ^ trial_seed(7, 2)).count_ones() > 8);
+    }
+
+    #[test]
+    fn sampler_names_round_trip() {
+        for kind in [
+            SamplerKind::Uniform,
+            SamplerKind::Priority,
+            SamplerKind::Crashy,
+        ] {
+            assert_eq!(SamplerKind::parse(kind.name()).unwrap(), kind);
+        }
+        assert!(SamplerKind::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn sampled_adversaries_are_reproducible() {
+        let board = Whiteboard::new();
+        let active = vec![1, 3, 5, 8];
+        for kind in [
+            SamplerKind::Uniform,
+            SamplerKind::Priority,
+            SamplerKind::Crashy,
+        ] {
+            let picks = |seed: u64| -> Vec<NodeId> {
+                let mut adv = kind.adversary(8, seed);
+                (0..16).map(|_| adv.pick(&active, &board)).collect()
+            };
+            assert_eq!(picks(9), picks(9), "{kind:?} is seed-deterministic");
+            assert!(picks(9).iter().all(|p| active.contains(p)));
+        }
+    }
+
+    #[test]
+    fn crashy_biases_toward_starvation_but_keeps_full_support() {
+        let board = Whiteboard::new();
+        let active = vec![1, 2, 3, 4];
+        let mut adv = CrashyAdversary::new(5);
+        let picks: Vec<NodeId> = (0..200).map(|_| adv.pick(&active, &board)).collect();
+        let maxes = picks.iter().filter(|&&p| p == 4).count();
+        assert!(maxes > 80, "starvation mode dominates: {maxes}/200");
+        for v in 1..=4 {
+            assert!(picks.contains(&v), "support includes {v}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Delta-debugging schedule shrinking: reduce a failing schedule to a
+//! locally minimal, replayable witness.
+//!
+//! A campaign failure arrives as the executed write order of one trial.
+//! That schedule is replayable but rarely *minimal* — most of its picks are
+//! incidental. The shrinker mutates the schedule (chunk deletions, prefix
+//! truncations, order-normalizing adjacent transpositions) and replays each
+//! candidate through [`LenientScheduleAdversary`], which treats the mutated
+//! sequence as a preference list and always completes the run; the run's
+//! recorded `write_order` — a valid, exactly-replayable schedule — becomes
+//! the new witness whenever it still fails and is strictly smaller.
+//!
+//! "Smaller" is the well-founded order (length, then lexicographic), so the
+//! process terminates; the result is **locally minimal**: no single chunk
+//! deletion, truncation, or adjacent transposition the shrinker knows
+//! produces a smaller failing schedule. The algorithm draws no randomness —
+//! shrinking the same witness twice yields byte-identical results.
+
+use wb_graph::{Graph, NodeId};
+use wb_runtime::{run, LenientScheduleAdversary, Outcome, Protocol};
+
+/// Result of a shrink run.
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The locally minimal failing schedule (exactly replayable through
+    /// `ScheduleAdversary`).
+    pub schedule: Vec<NodeId>,
+    /// `Debug` rendering of the outcome the minimal schedule produces.
+    pub outcome: String,
+    /// Length of the witness the shrinker started from (after lenient
+    /// normalization).
+    pub original_len: usize,
+    /// Replays spent.
+    pub replays: u64,
+}
+
+/// Lenient-replay `hints` and return the executed schedule plus whether the
+/// outcome fails, and its rendering.
+fn replay<P, F>(
+    protocol: &P,
+    g: &Graph,
+    hints: &[NodeId],
+    is_failure: &F,
+) -> (Vec<NodeId>, bool, String)
+where
+    P: Protocol,
+    P::Output: std::fmt::Debug,
+    F: Fn(&Outcome<P::Output>) -> bool,
+{
+    let report = run(
+        protocol,
+        g,
+        &mut LenientScheduleAdversary::new(hints.to_vec()),
+    );
+    let failing = is_failure(&report.outcome);
+    (report.write_order, failing, format!("{:?}", report.outcome))
+}
+
+/// `(len, lex)` — the strictly decreasing measure every accepted candidate
+/// must improve.
+fn smaller(candidate: &[NodeId], current: &[NodeId]) -> bool {
+    (candidate.len(), candidate) < (current.len(), current)
+}
+
+/// One candidate: lenient-replay `hints`, accept the *executed* schedule as
+/// the new witness if it still fails and is strictly smaller.
+#[allow(clippy::too_many_arguments)]
+fn attempt<P, F>(
+    protocol: &P,
+    g: &Graph,
+    is_failure: &F,
+    replays: &mut u64,
+    hints: &[NodeId],
+    cur: &mut Vec<NodeId>,
+    cur_outcome: &mut String,
+) -> bool
+where
+    P: Protocol,
+    P::Output: std::fmt::Debug,
+    F: Fn(&Outcome<P::Output>) -> bool,
+{
+    *replays += 1;
+    let (executed, failing, rendering) = replay(protocol, g, hints, is_failure);
+    if failing && smaller(&executed, cur) {
+        *cur = executed;
+        *cur_outcome = rendering;
+        true
+    } else {
+        false
+    }
+}
+
+/// Shrink `witness` — a schedule whose run violates the caller's predicate
+/// (`is_failure` returns `true` on its outcome) — to a locally minimal
+/// failing schedule. Replays are capped at `max_replays` (the result is
+/// still failing and no larger, merely possibly less minimal, if the cap
+/// bites).
+///
+/// Returns an error if `witness` does not actually fail under lenient
+/// replay — a shrinker quietly "minimizing" a passing schedule would
+/// fabricate witnesses.
+pub fn shrink_schedule<P, F>(
+    protocol: &P,
+    g: &Graph,
+    witness: &[NodeId],
+    is_failure: F,
+    max_replays: u64,
+) -> Result<ShrinkReport, String>
+where
+    P: Protocol,
+    P::Output: std::fmt::Debug,
+    F: Fn(&Outcome<P::Output>) -> bool,
+{
+    let mut replays = 1u64;
+    let (mut cur, failing, mut cur_outcome) = replay(protocol, g, witness, &is_failure);
+    if !failing {
+        return Err(format!(
+            "shrink_schedule: witness {witness:?} does not fail under replay \
+             (outcome {cur_outcome})"
+        ));
+    }
+    let original_len = cur.len();
+    let try_candidate =
+        |replays: &mut u64, hints: &[NodeId], cur: &mut Vec<NodeId>, cur_outcome: &mut String| {
+            attempt(protocol, g, &is_failure, replays, hints, cur, cur_outcome)
+        };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1 — ddmin-style chunk deletion, coarse to fine.
+        let mut chunk = (cur.len() / 2).max(1);
+        'chunks: loop {
+            let mut start = 0;
+            while start + chunk <= cur.len() {
+                if replays >= max_replays {
+                    break 'chunks;
+                }
+                let mut candidate = cur.clone();
+                candidate.drain(start..start + chunk);
+                if try_candidate(&mut replays, &candidate, &mut cur, &mut cur_outcome) {
+                    improved = true;
+                    // `cur` shrank; retry the same offset against it.
+                } else {
+                    start += 1;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2 — prefix truncations (the lenient replay completes the run
+        // with min-ID picks, often reaching the failure with a far shorter
+        // preference list).
+        for cut in 0..cur.len() {
+            if replays >= max_replays {
+                break;
+            }
+            let candidate = cur[..cut].to_vec();
+            if try_candidate(&mut replays, &candidate, &mut cur, &mut cur_outcome) {
+                improved = true;
+                break; // `cur` changed; restart from the outer loop.
+            }
+        }
+
+        // Pass 3 — order normalization: adjacent transpositions toward the
+        // sorted schedule (lexicographic minimality at fixed length).
+        let mut i = 0;
+        while i + 1 < cur.len() {
+            if replays >= max_replays {
+                break;
+            }
+            if cur[i] > cur[i + 1] {
+                let mut candidate = cur.clone();
+                candidate.swap(i, i + 1);
+                if try_candidate(&mut replays, &candidate, &mut cur, &mut cur_outcome) {
+                    improved = true;
+                    i = i.saturating_sub(1); // bubble further left
+                    continue;
+                }
+            }
+            i += 1;
+        }
+
+        if !improved || replays >= max_replays {
+            break;
+        }
+    }
+
+    Ok(ShrinkReport {
+        schedule: cur,
+        outcome: cur_outcome,
+        original_len,
+        replays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_core::{AsyncBipartiteBfs, MisGreedy};
+    use wb_graph::generators;
+    use wb_runtime::{MinIdAdversary, RandomAdversary, ScheduleAdversary};
+
+    /// A failure predicate with a known minimal witness: "MIS output is the
+    /// min-ID reference answer" fails for every schedule that is not
+    /// schedule-equivalent to min-ID order.
+    fn mis_failure_setup(n: usize) -> (Graph, Vec<NodeId>, impl Fn(&Outcome<Vec<NodeId>>) -> bool) {
+        let g = generators::path(n);
+        let reference = run(&MisGreedy::new(1), &g, &mut MinIdAdversary)
+            .outcome
+            .unwrap();
+        let is_failure =
+            move |o: &Outcome<Vec<NodeId>>| !matches!(o, Outcome::Success(s) if *s == reference);
+        // Find a failing schedule with a seeded random adversary.
+        let mut witness = None;
+        for seed in 0..64 {
+            let report = run(&MisGreedy::new(1), &g, &mut RandomAdversary::new(seed));
+            if is_failure(&report.outcome) {
+                witness = Some(report.write_order);
+                break;
+            }
+        }
+        (
+            g,
+            witness.expect("MIS is schedule-dependent on a path"),
+            is_failure,
+        )
+    }
+
+    #[test]
+    fn shrunk_witness_still_fails_and_never_grows() {
+        let (g, witness, is_failure) = mis_failure_setup(6);
+        let p = MisGreedy::new(1);
+        let report = shrink_schedule(&p, &g, &witness, &is_failure, 10_000).unwrap();
+        assert!(report.schedule.len() <= witness.len());
+        assert_eq!(report.original_len, witness.len());
+        // Strict replay of the minimized schedule reproduces a failure.
+        let replayed = run(&p, &g, &mut ScheduleAdversary::new(report.schedule.clone()));
+        assert!(is_failure(&replayed.outcome));
+        assert_eq!(format!("{:?}", replayed.outcome), report.outcome);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let (g, witness, is_failure) = mis_failure_setup(6);
+        let p = MisGreedy::new(1);
+        let a = shrink_schedule(&p, &g, &witness, &is_failure, 10_000).unwrap();
+        let b = shrink_schedule(&p, &g, &witness, &is_failure, 10_000).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.replays, b.replays);
+    }
+
+    #[test]
+    fn shrunk_witness_is_locally_minimal_under_single_deletions() {
+        let (g, witness, is_failure) = mis_failure_setup(6);
+        let p = MisGreedy::new(1);
+        let min = shrink_schedule(&p, &g, &witness, &is_failure, 10_000)
+            .unwrap()
+            .schedule;
+        for i in 0..min.len() {
+            let mut candidate = min.clone();
+            candidate.remove(i);
+            let report = run(&p, &g, &mut LenientScheduleAdversary::new(candidate));
+            assert!(
+                !(is_failure(&report.outcome) && smaller(&report.write_order, &min)),
+                "deleting pick {i} yields a smaller failing schedule — not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn deadlock_witnesses_shrink_below_full_length() {
+        // The async (no-d₀) bipartite BFS deadlocks on every schedule of
+        // the triangle-with-tail graph; the deadlock strikes before every
+        // node writes, so minimized witnesses are short prefixes.
+        let g = Graph::from_edges(5, &[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
+        let is_failure = |o: &Outcome<_>| !o.is_success();
+        let seed_run = run(&AsyncBipartiteBfs, &g, &mut RandomAdversary::new(1));
+        assert!(is_failure(&seed_run.outcome));
+        let report = shrink_schedule(
+            &AsyncBipartiteBfs,
+            &g,
+            &seed_run.write_order,
+            is_failure,
+            10_000,
+        )
+        .unwrap();
+        assert!(report.schedule.len() < g.n(), "deadlock before completion");
+        let replayed = run(
+            &AsyncBipartiteBfs,
+            &g,
+            &mut ScheduleAdversary::new(report.schedule.clone()),
+        );
+        assert!(is_failure(&replayed.outcome));
+    }
+
+    #[test]
+    fn passing_witnesses_are_rejected() {
+        let g = generators::path(4);
+        let p = MisGreedy::new(1);
+        let good = run(&p, &g, &mut MinIdAdversary);
+        let err = shrink_schedule(&p, &g, &good.write_order, |_| false, 100).unwrap_err();
+        assert!(err.contains("does not fail"), "{err}");
+    }
+}

@@ -7,6 +7,13 @@
 //!                    [--dedup canonical|exact|off] [--json]
 //!                                                    # schedule-space explorer report (dedup stats);
 //!                                                    # --json emits one machine-readable object
+//! whiteboard campaign --protocol mis:1 --graph-family gnp --n 100 --trials 1000000
+//!                     [--model native|simasync|simsync|async|sync|fasync|fsync]
+//!                     [--sampler uniform|priority|crashy] [--seed S] [--json]
+//!                     [--shrink] [--shrink-out PATH]
+//!                                                    # Monte Carlo schedule campaign (statistical
+//!                                                    # tier, n past the exhaustive frontier);
+//!                                                    # failures auto-shrink to minimal witnesses
 //! whiteboard capacity --n 1024,4096                  # Lemma 3 table
 //! whiteboard list                                    # protocols & workloads
 //! ```
@@ -19,6 +26,7 @@ use std::process::ExitCode;
 use wb_math::counting::MessageRegime;
 use wb_reductions::lemma3::{verdict, Family};
 use wb_runtime::run_traced;
+use wb_sim::{run_campaign, shrink_schedule, CampaignConfig, CampaignLabels, SamplerKind};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +46,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "check" => cmd_check(&opts),
         "explore" => cmd_explore(&opts),
+        "campaign" => cmd_campaign(&opts),
         "capacity" => cmd_capacity(&opts),
         "dot" => cmd_dot(&opts),
         "list" => {
@@ -57,14 +66,18 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: whiteboard <run|check|explore|capacity|dot|list> [--protocol P] [--workload W] \
-         [--n N[,N..]] [--seed S] [--adversary min|max|random:S] [--trace] \
-         [--max-states M] [--par] [--compare-naive] [--dedup canonical|exact|off] [--json]"
+        "usage: whiteboard <run|check|explore|campaign|capacity|dot|list> [--protocol P] \
+         [--workload W | --graph-family W] [--n N[,N..]] [--seed S] \
+         [--adversary min|max|random:S] [--trace] \
+         [--max-states M] [--par] [--compare-naive] [--dedup canonical|exact|off] [--json] \
+         [--trials T] [--sampler uniform|priority|crashy] \
+         [--model native|simasync|simsync|async|sync|fasync|fsync] [--shrink] [--shrink-out PATH]"
     );
 }
 
 struct Opts {
     protocol: String,
+    protocol_explicit: bool,
     workload: String,
     ns: Vec<usize>,
     seed: u64,
@@ -75,12 +88,18 @@ struct Opts {
     compare_naive: bool,
     dedup: String,
     json: bool,
+    trials: u64,
+    sampler: String,
+    model: String,
+    shrink: bool,
+    shrink_out: Option<String>,
 }
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
         let mut o = Opts {
             protocol: "build:1".into(),
+            protocol_explicit: false,
             workload: "tree".into(),
             ns: vec![100],
             seed: 1,
@@ -91,6 +110,11 @@ impl Opts {
             compare_naive: false,
             dedup: "canonical".into(),
             json: false,
+            trials: 10_000,
+            sampler: "uniform".into(),
+            model: "native".into(),
+            shrink: false,
+            shrink_out: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -100,8 +124,11 @@ impl Opts {
                     .ok_or_else(|| format!("{name} expects a value"))
             };
             match a.as_str() {
-                "--protocol" => o.protocol = value("--protocol")?,
-                "--workload" => o.workload = value("--workload")?,
+                "--protocol" => {
+                    o.protocol = value("--protocol")?;
+                    o.protocol_explicit = true;
+                }
+                "--workload" | "--graph-family" => o.workload = value(a)?,
                 "--n" => {
                     o.ns = value("--n")?
                         .split(',')
@@ -124,6 +151,18 @@ impl Opts {
                 "--compare-naive" => o.compare_naive = true,
                 "--dedup" => o.dedup = value("--dedup")?,
                 "--json" => o.json = true,
+                "--trials" => {
+                    o.trials = value("--trials")?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?
+                }
+                "--sampler" => o.sampler = value("--sampler")?,
+                "--model" => o.model = value("--model")?,
+                "--shrink" => o.shrink = true,
+                "--shrink-out" => {
+                    o.shrink = true;
+                    o.shrink_out = Some(value("--shrink-out")?);
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -141,40 +180,12 @@ impl Opts {
     }
 }
 
-fn split_spec(spec: &str) -> (&str, Option<u64>) {
-    match spec.split_once(':') {
-        Some((k, v)) => (k, v.parse().ok()),
-        None => (spec, None),
-    }
-}
+use wb_core::workload::split_spec;
 
+/// Graph-family selection is shared with the campaign engine and the
+/// experiment binaries — see `wb_core::workload`.
 fn make_workload(spec: &str, n: usize, seed: u64) -> Result<Graph, String> {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    // `file:PATH` loads an edge list (the path may contain ':').
-    if let Some(path) = spec.strip_prefix("file:") {
-        return wb_graph::io::load_edge_list(std::path::Path::new(path))
-            .map_err(|e| format!("cannot load '{path}': {e}"));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let (kind, arg) = split_spec(spec);
-    let k = arg.unwrap_or(2) as usize;
-    Ok(match kind {
-        "tree" => generators::random_tree(n, &mut rng),
-        "forest" => generators::random_forest(n, 0.8, &mut rng),
-        "ktree" => generators::k_tree(n.max(k + 1), k, &mut rng),
-        "kdeg" => generators::k_degenerate(n, k, true, &mut rng),
-        "mixed" => generators::mixed_low_high(n, k, &mut rng),
-        "gnp" => generators::gnp(n, arg.unwrap_or(4) as f64 / n.max(2) as f64, &mut rng),
-        "eob" => generators::even_odd_bipartite_connected(n, 0.2, &mut rng),
-        "bipartite" => generators::bipartite_fixed(n / 2, n - n / 2, 0.2, &mut rng),
-        "two-cliques" => generators::two_cliques(n / 2),
-        "impostor" => generators::connected_regular_impostor((n / 2).max(3), &mut rng),
-        "clique" => generators::clique(n),
-        "cycle" => generators::cycle(n.max(3)),
-        "path" => generators::path(n),
-        other => return Err(format!("unknown workload '{other}'")),
-    })
+    wb_core::workload::graph_family(spec, n, seed)
 }
 
 /// Run one protocol and summarize; returns a one-line verdict.
@@ -431,6 +442,93 @@ fn cmd_check(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The one protocol → correctness-oracle table shared by the schedule-space
+/// commands (`explore` and `campaign`): expands `$action!(protocol_value,
+/// oracle_predicate)` for the protocol named by `$kind`, where the
+/// predicate classifies an `Outcome` against the reference oracles on the
+/// macro-local graph binding. Keeping the table in one place means a new
+/// protocol (or a changed oracle) cannot silently diverge between the
+/// exhaustive and statistical tiers.
+macro_rules! dispatch_protocol_oracle {
+    ($cmd:literal, $kind:expr, $arg:expr, $n:expr, $g:expr, $action:ident) => {{
+        let arg: Option<u64> = $arg;
+        let n: usize = $n;
+        let g: &Graph = $g;
+        let k = arg.unwrap_or(2) as usize;
+        match $kind {
+            "build" => {
+                let fits = checks::degeneracy(g).0 <= k.max(1);
+                $action!(
+                    BuildDegenerate::new(k.max(1)),
+                    |out: &Outcome<Result<Graph, BuildError>>| match out {
+                        Outcome::Success(Ok(h)) => fits && h == g,
+                        Outcome::Success(Err(_)) => !fits,
+                        Outcome::Deadlock { .. } => false,
+                    }
+                )
+            }
+            "naive" => $action!(NaiveBuild, |out: &Outcome<Graph>| matches!(
+                out,
+                Outcome::Success(h) if h == g
+            )),
+            "mis" => {
+                let root = (arg.unwrap_or(1) as NodeId).clamp(1, n as NodeId);
+                $action!(MisGreedy::new(root), |out: &Outcome<Vec<NodeId>>| matches!(
+                    out,
+                    Outcome::Success(s) if checks::is_rooted_mis(g, s, root)
+                ))
+            }
+            "bfs" => $action!(SyncBfs, |out: &Outcome<checks::BfsForest>| matches!(
+                out,
+                Outcome::Success(f) if *f == checks::bfs_forest(g)
+            )),
+            "eob-bfs" => $action!(EobBfs, |out: &Outcome<BfsOutput>| match out {
+                Outcome::Success(BfsOutput::Forest(f)) =>
+                    checks::is_even_odd_bipartite(g) && *f == checks::bfs_forest(g),
+                Outcome::Success(BfsOutput::NotEvenOddBipartite) =>
+                    !checks::is_even_odd_bipartite(g),
+                Outcome::Deadlock { .. } => false,
+            }),
+            // No correctness spec off the even-odd-bipartite class (the Open
+            // Problem 3 ablation): the oracle is completion itself.
+            "async-bipartite-bfs" => $action!(
+                AsyncBipartiteBfs,
+                |out: &Outcome<checks::BfsForest>| out.is_success()
+            ),
+            "edge-count" => $action!(EdgeCount, |out: &Outcome<usize>| matches!(
+                out,
+                Outcome::Success(m) if *m == g.m()
+            )),
+            "connectivity" => $action!(
+                ConnectivitySync,
+                |out: &Outcome<ConnectivityReport>| matches!(
+                    out,
+                    Outcome::Success(rep) if rep.connected == checks::is_connected(g)
+                )
+            ),
+            "two-cliques" => $action!(
+                TwoCliques,
+                |out: &Outcome<wb_core::two_cliques::TwoCliquesVerdict>| matches!(
+                    out,
+                    Outcome::Success(v)
+                        if (*v == wb_core::two_cliques::TwoCliquesVerdict::TwoCliques)
+                            == checks::is_two_cliques(g)
+                )
+            ),
+            "subgraph" => $action!(SubgraphPrefix::new(k.max(1)), |out: &Outcome<
+                Graph,
+            >| matches!(
+                out,
+                Outcome::Success(h) if *h == g.induced_prefix(k.max(1).min(n))
+            )),
+            other => Err(format!(
+                "{} does not support protocol '{other}'",
+                $cmd
+            )),
+        }
+    }};
+}
+
 /// Schedule-space exploration of one protocol on one workload graph,
 /// printing the structured report (distinct states, dedup ratio, failures)
 /// or — with `--json` — one machine-readable object.
@@ -450,7 +548,6 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
         .with_max_states(o.max_states)
         .with_dedup(dedup);
     let (kind, arg) = split_spec(&o.protocol);
-    let k = arg.unwrap_or(2) as usize;
 
     fn json_escape(s: &str) -> String {
         let mut out = String::with_capacity(s.len() + 2);
@@ -485,7 +582,7 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
             "PASS"
         };
         if o.json {
-            let states_per_sec = report.distinct_states as f64 / wall_sec.max(1e-12);
+            let states_per_sec = report.states_per_sec(wall_sec);
             let naive_fields = match naive {
                 Some((states, schedules, truncated)) => format!(
                     "\"naive_states\":{states},\"naive_schedules\":{schedules},\
@@ -534,10 +631,7 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
                 report.dedup_ratio()
             );
             println!("  peak frontier   : {}", report.peak_frontier);
-            println!(
-                "  states/sec      : {:.0}",
-                report.distinct_states as f64 / wall_sec.max(1e-12)
-            );
+            println!("  states/sec      : {:.0}", report.states_per_sec(wall_sec));
             println!(
                 "  truncated       : {}",
                 if report.truncated {
@@ -588,65 +682,211 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
         }};
     }
 
-    match kind {
-        "build" => {
-            let p = BuildDegenerate::new(k.max(1));
-            let fits = checks::degeneracy(&g).0 <= k.max(1);
-            explore_one!(p, |out: &Outcome<Result<Graph, BuildError>>| match out {
-                Outcome::Success(Ok(h)) => fits && *h == g,
-                Outcome::Success(Err(_)) => !fits,
-                Outcome::Deadlock { .. } => false,
-            })
-        }
-        "naive" => explore_one!(NaiveBuild, |out: &Outcome<Graph>| matches!(
-            out,
-            Outcome::Success(h) if *h == g
-        )),
-        "mis" => {
-            let root = (arg.unwrap_or(1) as NodeId).clamp(1, n as NodeId);
-            explore_one!(MisGreedy::new(root), |out: &Outcome<Vec<NodeId>>| matches!(
-                out,
-                Outcome::Success(s) if checks::is_rooted_mis(&g, s, root)
+    dispatch_protocol_oracle!("explore", kind, arg, n, &g, explore_one)
+}
+
+/// Parse a `--model` spec: `None` means "the protocol's native model"; the
+/// free models also answer to their paper-style `f`-prefixed names.
+fn parse_model(spec: &str) -> Result<Option<Model>, String> {
+    Ok(match spec {
+        "native" => None,
+        "simasync" | "sasync" => Some(Model::SimAsync),
+        "simsync" | "ssync" => Some(Model::SimSync),
+        "async" | "fasync" => Some(Model::Async),
+        "sync" | "fsync" => Some(Model::Sync),
+        other => {
+            return Err(format!(
+                "unknown model '{other}' (expected native|simasync|simsync|async|sync|fasync|fsync)"
             ))
         }
-        "bfs" => explore_one!(SyncBfs, |out: &Outcome<checks::BfsForest>| matches!(
-            out,
-            Outcome::Success(f) if *f == checks::bfs_forest(&g)
-        )),
-        "eob-bfs" => explore_one!(EobBfs, |out: &Outcome<BfsOutput>| match out {
-            Outcome::Success(BfsOutput::Forest(f)) =>
-                checks::is_even_odd_bipartite(&g) && *f == checks::bfs_forest(&g),
-            Outcome::Success(BfsOutput::NotEvenOddBipartite) => !checks::is_even_odd_bipartite(&g),
-            Outcome::Deadlock { .. } => false,
-        }),
-        "edge-count" => explore_one!(EdgeCount, |out: &Outcome<usize>| matches!(
-            out,
-            Outcome::Success(m) if *m == g.m()
-        )),
-        "connectivity" => explore_one!(
-            ConnectivitySync,
-            |out: &Outcome<ConnectivityReport>| matches!(
-                out,
-                Outcome::Success(rep) if rep.connected == checks::is_connected(&g)
-            )
-        ),
-        "two-cliques" => explore_one!(TwoCliques, |out: &Outcome<
-            wb_core::two_cliques::TwoCliquesVerdict,
-        >| matches!(
-            out,
-            Outcome::Success(v)
-                if (*v == wb_core::two_cliques::TwoCliquesVerdict::TwoCliques)
-                    == checks::is_two_cliques(&g)
-        )),
-        "subgraph" => {
-            let p = SubgraphPrefix::new(k.max(1));
-            explore_one!(p, |out: &Outcome<Graph>| matches!(
-                out,
-                Outcome::Success(h) if *h == g.induced_prefix(k.max(1).min(n))
-            ))
-        }
-        other => Err(format!("explore does not support protocol '{other}'")),
+    })
+}
+
+/// Monte Carlo schedule campaign of one protocol on one graph-family
+/// instance: `--trials` seeded random schedules (each independently
+/// replayable from `--seed` + trial index), outcomes classified against the
+/// protocol's oracle, failures kept as witnesses and — with `--shrink` —
+/// delta-debugged to locally minimal schedules. `--shrink-out PATH`
+/// additionally writes the minimal witness as a `tests/corpus`-format
+/// fixture (native model only: corpus replay runs the native protocol).
+///
+/// The report (and its `--json` rendering) is deterministic for a fixed
+/// seed — independent of thread count and sharding — so timing goes to
+/// stderr, never into the JSON.
+fn cmd_campaign(o: &Opts) -> Result<(), String> {
+    let n = *o.ns.first().unwrap_or(&100);
+    let g = make_workload(&o.workload, n, o.seed)?;
+    let target = parse_model(&o.model)?;
+    // The campaign's default protocol is MIS (cheap per-trial work, genuinely
+    // schedule-dependent outcomes) rather than the global BUILD default.
+    let spec = if o.protocol_explicit {
+        o.protocol.clone()
+    } else {
+        "mis:1".into()
+    };
+    let (kind, arg) = split_spec(&spec);
+
+    /// Everything `drive` needs beyond the protocol and predicate.
+    struct Ctx<'a> {
+        o: &'a Opts,
+        g: &'a Graph,
+        spec: String,
+        target: Option<Model>,
     }
+
+    fn drive<P, C>(ctx: &Ctx, p: P, pred: C) -> Result<(), String>
+    where
+        P: Protocol + Sync,
+        P::Output: std::fmt::Debug,
+        C: Fn(&Outcome<P::Output>) -> bool + Sync,
+    {
+        match ctx.target {
+            Some(m) if m != p.model() => {
+                if !m.includes(p.model()) {
+                    return Err(format!(
+                        "cannot demote {} protocol '{}' to {m}",
+                        p.model(),
+                        ctx.spec
+                    ));
+                }
+                if ctx.o.shrink_out.is_some() {
+                    return Err(
+                        "--shrink-out requires the protocol's native model (corpus replay \
+                         runs the native protocol)"
+                            .into(),
+                    );
+                }
+                drive_native(ctx, &Promote::new(p, m), pred)
+            }
+            _ => drive_native(ctx, &p, pred),
+        }
+    }
+
+    fn drive_native<P, C>(ctx: &Ctx, p: &P, pred: C) -> Result<(), String>
+    where
+        P: Protocol + Sync,
+        P::Output: std::fmt::Debug,
+        C: Fn(&Outcome<P::Output>) -> bool + Sync,
+    {
+        use wb_sim::json::Json;
+        let o = ctx.o;
+        let g = ctx.g;
+        let sampler = SamplerKind::parse(&o.sampler)?;
+        let config = CampaignConfig::default()
+            .with_trials(o.trials)
+            .with_seed(o.seed)
+            .with_sampler(sampler);
+        let labels = CampaignLabels {
+            protocol: ctx.spec.clone(),
+            model: p.model().to_string(),
+            family: o.workload.clone(),
+        };
+        let start = std::time::Instant::now();
+        let report = run_campaign(p, g, &config, &labels, &pred);
+        let wall_sec = start.elapsed().as_secs_f64();
+        let trials_per_sec = if wall_sec > 0.0 {
+            report.trials as f64 / wall_sec
+        } else {
+            0.0
+        };
+
+        let shrunk = match (o.shrink, report.witnesses.first()) {
+            (true, Some(w)) => Some(shrink_schedule(
+                p,
+                g,
+                &w.schedule,
+                |outcome| !pred(outcome),
+                20_000,
+            )?),
+            _ => None,
+        };
+
+        if let Some(path) = &o.shrink_out {
+            if let Some(s) = &shrunk {
+                use shared_whiteboard::corpus::WitnessFixture;
+                // Strict replay of the minimal schedule pins the outcome the
+                // fixture must reproduce.
+                let replayed = run(p, g, &mut ScheduleAdversary::new(s.schedule.clone()));
+                let failure = ScheduleFailure {
+                    schedule: s.schedule.clone(),
+                    outcome: replayed.outcome,
+                };
+                let fixture =
+                    WitnessFixture::from_failure("campaign-shrunk", &ctx.spec, g, &failure);
+                fixture
+                    .save(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                // Self-check through the corpus replay registry before
+                // telling the user the witness is durable.
+                fixture.replay()?;
+                eprintln!("wrote shrunk witness fixture to {path}");
+            } else {
+                eprintln!("no failing trials: nothing written to {path}");
+            }
+        }
+
+        if o.json {
+            let mut json = report.to_json();
+            if let (Json::Obj(map), Some(s)) = (&mut json, &shrunk) {
+                map.insert(
+                    "shrunk_schedule".into(),
+                    Json::Arr(s.schedule.iter().map(|&v| Json::Num(v as f64)).collect()),
+                );
+                map.insert("shrunk_outcome".into(), Json::Str(s.outcome.clone()));
+                map.insert("shrink_replays".into(), Json::Num(s.replays as f64));
+            }
+            println!("{json}");
+            eprintln!("campaign wall: {wall_sec:.3}s ({trials_per_sec:.0} trials/sec)");
+        } else {
+            println!(
+                "campaign: {} @ {} on {} (n = {})",
+                ctx.spec,
+                labels.model,
+                o.workload,
+                g.n()
+            );
+            println!(
+                "  trials          : {} (sampler {}, seed {})",
+                report.trials, report.sampler, report.seed
+            );
+            println!(
+                "  passed / failed : {} / {} (deadlocks {})",
+                report.passed, report.failed, report.deadlocks
+            );
+            println!("  distinct outcomes: {}", report.distinct_outcomes);
+            println!("  wall            : {wall_sec:.3}s ({trials_per_sec:.0} trials/sec)");
+            for w in report.witnesses.iter().take(3) {
+                println!(
+                    "  FAIL trial {} (seed {}): write order {:?} → {}",
+                    w.trial, w.seed, w.schedule, w.outcome
+                );
+            }
+            if let Some(s) = &shrunk {
+                println!(
+                    "  shrunk witness  : {:?} (len {} → {}, {} replays)",
+                    s.schedule,
+                    s.original_len,
+                    s.schedule.len(),
+                    s.replays
+                );
+            }
+            println!("  verdict         : {}", report.verdict());
+        }
+        Ok(())
+    }
+
+    let ctx = Ctx {
+        o,
+        g: &g,
+        spec: spec.clone(),
+        target,
+    };
+    macro_rules! campaign_one {
+        ($p:expr, $pred:expr) => {
+            drive(&ctx, $p, $pred)
+        };
+    }
+    dispatch_protocol_oracle!("campaign", kind, arg, n, &g, campaign_one)
 }
 
 fn cmd_capacity(o: &Opts) -> Result<(), String> {
@@ -703,4 +943,5 @@ fn cmd_list() {
     println!("workloads: tree forest ktree:K kdeg:K mixed:K gnp:DEG eob bipartite");
     println!("           two-cliques impostor clique cycle path file:PATH (edge list)");
     println!("adversaries: min max random:SEED");
+    println!("campaign samplers: uniform priority crashy (see `whiteboard campaign`)");
 }

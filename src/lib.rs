@@ -19,10 +19,13 @@
 //!   transformations plus the Lemma 3 counting machinery;
 //! - [`graph`] — labeled graphs, generators, reference oracles, enumeration;
 //! - [`math`] — exact bignum arithmetic, power-sum codes, bit-level messages;
-//! - [`par`] — the small data-parallel toolkit used by the benchmark harness
-//!   and the schedule-space explorer;
+//! - [`par`] — the small data-parallel toolkit used by the benchmark harness,
+//!   the schedule-space explorer, and the campaign runner;
+//! - [`sim`] — the statistical tier: Monte Carlo schedule campaigns (seeded
+//!   samplers, sharded trial execution, deterministic reports) and
+//!   delta-debugging witness shrinking for `n` past the exhaustive frontier;
 //! - [`corpus`] — replayable witness-schedule fixtures captured from
-//!   exploration failures (`tests/corpus/*.ron`).
+//!   exploration and campaign failures (`tests/corpus/*.ron`).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use wb_math as math;
 pub use wb_par as par;
 pub use wb_reductions as reductions;
 pub use wb_runtime as runtime;
+pub use wb_sim as sim;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -73,8 +77,12 @@ pub mod prelude {
         ScheduleFailure,
     };
     pub use wb_runtime::{
-        run, Adversary, CanonicalState, Engine, LocalView, MaxIdAdversary, MinIdAdversary, Model,
-        Node, Outcome, PriorityAdversary, Protocol, RandomAdversary, RunReport, ScheduleAdversary,
-        Whiteboard,
+        run, Adversary, CanonicalState, Engine, LenientScheduleAdversary, LocalView,
+        MaxIdAdversary, MinIdAdversary, Model, Node, Outcome, PriorityAdversary, Protocol,
+        RandomAdversary, RunReport, ScheduleAdversary, Whiteboard,
+    };
+    pub use wb_sim::{
+        run_campaign, shrink_schedule, trial_seed, CampaignConfig, CampaignLabels, CampaignReport,
+        SamplerKind, ShrinkReport,
     };
 }

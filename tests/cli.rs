@@ -15,6 +15,20 @@ fn whiteboard(args: &[&str]) -> (bool, String) {
     (out.status.success(), text)
 }
 
+/// Like [`whiteboard`], but keeping stdout separate from stderr — the
+/// campaign's JSON report is deterministic on stdout while timing goes to
+/// stderr, and the byte-stability assertions must not mix the two.
+fn whiteboard_stdout(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_whiteboard"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
 #[test]
 fn run_build_on_tree() {
     let (ok, out) = whiteboard(&[
@@ -185,6 +199,169 @@ fn explore_dedup_modes_agree() {
     ]);
     assert!(!ok);
     assert!(out.contains("unknown dedup policy"), "{out}");
+}
+
+#[test]
+fn explore_json_rate_fields_are_finite_and_sane() {
+    // The dedup-ratio and states/sec fields go through the zero-division
+    // guards on `ExplorationReport`; whatever the timing, the JSON must
+    // carry finite, sensible numbers.
+    let (ok, out) = whiteboard_stdout(&[
+        "explore",
+        "--protocol",
+        "mis:1",
+        "--workload",
+        "path",
+        "--n",
+        "5",
+        "--json",
+    ]);
+    assert!(ok, "{out}");
+    let doc = wb_bench::json::Json::parse(out.trim()).expect("explore --json emits valid JSON");
+    let ratio = doc
+        .get("dedup_ratio")
+        .and_then(wb_bench::json::Json::as_f64)
+        .expect("dedup_ratio present");
+    assert!(ratio.is_finite() && ratio >= 1.0, "dedup_ratio = {ratio}");
+    let sps = doc
+        .get("states_per_sec")
+        .and_then(wb_bench::json::Json::as_f64)
+        .expect("states_per_sec present");
+    assert!(sps.is_finite() && sps >= 0.0, "states_per_sec = {sps}");
+}
+
+#[test]
+fn campaign_reports_pass_and_throughput() {
+    let (ok, out) = whiteboard(&[
+        "campaign",
+        "--protocol",
+        "mis:1",
+        "--graph-family",
+        "gnp",
+        "--n",
+        "40",
+        "--trials",
+        "2000",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("passed / failed : 2000 / 0"), "{out}");
+    assert!(out.contains("verdict         : PASS"), "{out}");
+    assert!(out.contains("trials/sec"), "{out}");
+}
+
+#[test]
+fn campaign_json_is_deterministic_for_a_fixed_seed() {
+    let args = [
+        "campaign",
+        "--protocol",
+        "mis:1",
+        "--graph-family",
+        "path",
+        "--n",
+        "6",
+        "--trials",
+        "3000",
+        "--seed",
+        "99",
+        "--model",
+        "fsync",
+        "--json",
+    ];
+    let (ok_a, a) = whiteboard_stdout(&args);
+    let (ok_b, b) = whiteboard_stdout(&args);
+    assert!(ok_a && ok_b, "{a}{b}");
+    assert_eq!(a, b, "fixed seed must give byte-identical JSON");
+    assert!(a.contains("\"schema\":\"wb-sim/campaign/v1\""), "{a}");
+    assert!(
+        a.contains("\"model\":\"SYNC\""),
+        "fsync promotes to SYNC: {a}"
+    );
+    assert!(a.contains("\"verdict\":\"PASS\""), "{a}");
+    wb_bench::json::Json::parse(a.trim()).expect("campaign --json emits valid JSON");
+}
+
+#[test]
+fn campaign_shrinks_injected_failures_to_corpus_witnesses() {
+    // The Open Problem 3 ablation graph (triangle with tail) deadlocks the
+    // async bipartite BFS on every schedule: the campaign must find it,
+    // shrink it, and write a corpus fixture that replays.
+    let dir = std::env::temp_dir().join("wb_cli_campaign_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("ablation.txt");
+    std::fs::write(&graph_path, "5\n1 2\n2 3\n1 3\n3 4\n4 5\n").unwrap();
+    let fixture_path = dir.join("witness.ron");
+    let family = format!("file:{}", graph_path.display());
+    let (ok, out) = whiteboard(&[
+        "campaign",
+        "--protocol",
+        "async-bipartite-bfs",
+        "--graph-family",
+        &family,
+        "--n",
+        "5",
+        "--trials",
+        "500",
+        "--seed",
+        "9",
+        "--shrink",
+        "--shrink-out",
+        fixture_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("verdict         : FAIL"), "{out}");
+    assert!(out.contains("shrunk witness"), "{out}");
+    assert!(out.contains("wrote shrunk witness fixture"), "{out}");
+    let fixture = shared_whiteboard::corpus::WitnessFixture::load(&fixture_path).unwrap();
+    assert_eq!(fixture.protocol, "async-bipartite-bfs");
+    fixture.replay().expect("shrunk fixture replays");
+    let _ = std::fs::remove_file(&fixture_path);
+    let _ = std::fs::remove_file(&graph_path);
+}
+
+#[test]
+fn campaign_rejects_bad_specs_cleanly() {
+    let (ok, out) = whiteboard(&[
+        "campaign",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "5",
+        "--trials",
+        "10",
+        "--sampler",
+        "bogus",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("unknown sampler"), "{out}");
+    let (ok, out) = whiteboard(&[
+        "campaign",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "5",
+        "--trials",
+        "10",
+        "--model",
+        "bogus",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("unknown model"), "{out}");
+    // MIS is SIMSYNC-native: demotion to SIMASYNC must be refused.
+    let (ok, out) = whiteboard(&[
+        "campaign",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "5",
+        "--trials",
+        "10",
+        "--model",
+        "simasync",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("cannot demote"), "{out}");
 }
 
 #[test]
