@@ -1,0 +1,264 @@
+//! E-BULK — bulk-tier throughput at `n ≥ 10⁵` (`BENCH_bulk.json`).
+//!
+//! The acceptance experiment of the third execution tier: BUILD and rooted
+//! MIS complete single executions at `n = 10⁵` under their simultaneous
+//! models, with **rounds/sec** and **board bytes** recorded per protocol ×
+//! family × n. Every row's outcome is verified against the registry oracle
+//! (`wb_core::registry`) before it is reported — a bench row that computes
+//! a wrong answer fast is worthless, and the bin fails loudly on it.
+//!
+//! Graph instances come from the linear-time families (`kdeg-lin`,
+//! `gnp-lin`) — the quadratic samplers behind `kdeg`/`gnp` cannot even
+//! *generate* inputs at this scale.
+//!
+//! ```text
+//! exp_bulk [--json PATH|-] [--baseline PATH] [--quick]
+//! ```
+//!
+//! `--baseline` compares fresh rounds/sec against a checked-in baseline and
+//! fails on a ≥ 2× regression (a slower machine passes; a genuine 2×
+//! regression does not). `--quick` divides every `n` by 10 for smoke runs.
+
+use std::time::Instant;
+use wb_bench::json::{escape, Json};
+use wb_bench::table::{banner, TablePrinter};
+use wb_core::registry::{self, BoundOracle, BulkVisitor};
+use wb_core::workload::graph_family;
+use wb_graph::Graph;
+use wb_runtime::bulk::{run_bulk, shuffled_schedule, BulkConfig};
+use wb_runtime::BulkProtocol;
+
+struct Row {
+    protocol: String,
+    model: String,
+    family: String,
+    n: usize,
+    rounds: usize,
+    board_payload_bytes: usize,
+    board_index_bytes: usize,
+    total_bits: usize,
+    max_message_bits: usize,
+    wall_sec: f64,
+}
+
+impl Row {
+    fn rounds_per_sec(&self) -> f64 {
+        if self.wall_sec > 0.0 {
+            self.rounds as f64 / self.wall_sec
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"protocol\":{},\"model\":{},\"family\":{},\"n\":{},\"rounds\":{},\
+             \"board_payload_bytes\":{},\"board_index_bytes\":{},\"total_bits\":{},\
+             \"max_message_bits\":{},\"wall_sec\":{:.9},\"rounds_per_sec\":{:.1}}}",
+            escape(&self.protocol),
+            escape(&self.model),
+            escape(&self.family),
+            self.n,
+            self.rounds,
+            self.board_payload_bytes,
+            self.board_index_bytes,
+            self.total_bits,
+            self.max_message_bits,
+            self.wall_sec,
+            self.rounds_per_sec(),
+        )
+    }
+}
+
+/// Registry visitor for one bulk row: resolve protocol + oracle from the
+/// shared table, execute one seeded schedule, verify, and measure.
+struct Measure<'a> {
+    label: &'a str,
+    family: &'a str,
+    n: usize,
+}
+
+impl BulkVisitor for Measure<'_> {
+    type Result = Row;
+    fn visit<P, B>(self, protocol: P, bind: B) -> Row
+    where
+        P: BulkProtocol + Send + Sync,
+        P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let g = graph_family(self.family, self.n, 1).expect("known family");
+        let schedule = shuffled_schedule(g.n(), 0xB01D);
+        let config = BulkConfig::default();
+        let start = Instant::now();
+        let report = run_bulk(&protocol, &g, &schedule, None, &config);
+        let wall_sec = start.elapsed().as_secs_f64();
+        let oracle = bind(&g);
+        assert!(
+            oracle(&report.outcome),
+            "{} on {} n={}: bulk outcome violated the registry oracle — \
+             investigate before trusting the bench",
+            self.label,
+            self.family,
+            self.n
+        );
+        Row {
+            protocol: self.label.into(),
+            model: protocol.model().to_string(),
+            family: self.family.into(),
+            n: self.n,
+            rounds: report.rounds,
+            board_payload_bytes: report.board.payload_bytes(),
+            board_index_bytes: report.board.index_bytes(),
+            total_bits: report.total_bits(),
+            max_message_bits: report.max_message_bits(),
+            wall_sec,
+        }
+    }
+}
+
+fn measure_one(spec: &str, label: &str, family: &str, n: usize) -> Row {
+    registry::dispatch_bulk(spec, n, Measure { label, family, n }).expect("bulk protocol")
+}
+
+fn measure_rows(quick: bool) -> Vec<Row> {
+    let scale = |n: usize| if quick { (n / 10).max(1_000) } else { n };
+    vec![
+        // The two acceptance rows: BUILD and MIS at n = 10⁵.
+        measure_one("build:2", "BUILD(2)", "kdeg-lin:2", scale(100_000)),
+        measure_one("mis:1", "MIS(1)", "gnp-lin:4", scale(100_000)),
+        // Scaling context one decade down.
+        measure_one("build:2", "BUILD(2)", "kdeg-lin:2", scale(10_000)),
+        measure_one("mis:1", "MIS(1)", "gnp-lin:4", scale(10_000)),
+        // The cheapest protocol: an upper bound on raw bulk throughput.
+        measure_one("edge-count", "EDGE-COUNT", "gnp-lin:4", scale(100_000)),
+        // A second columnar SIMSYNC protocol at scale.
+        measure_one("two-cliques", "2-CLIQUES", "two-cliques", scale(2_000)),
+    ]
+}
+
+fn emit_json(rows: &[Row], path: &str) {
+    let mut body = String::from("{\n  \"schema\": \"wb-bench/bulk/v1\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str("    ");
+        body.push_str(&row.to_json());
+        body.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("  ]\n}\n");
+    Json::parse(&body).expect("emitted JSON is well-formed");
+    if path == "-" {
+        print!("{body}");
+    } else {
+        std::fs::write(path, &body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+/// Gate: every baseline row with a matching (protocol, n) must not beat the
+/// fresh measurement by more than 2×. Board bytes are also pinned exactly —
+/// they are deterministic functions of (protocol, family, n, seed), so any
+/// drift is a real encoding change, not noise.
+fn check_baseline(rows: &[Row], path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+    let baseline_rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no rows array")?;
+    let mut checked = 0;
+    for b in baseline_rows {
+        let (Some(protocol), Some(n), Some(base_rps)) = (
+            b.get("protocol").and_then(Json::as_str),
+            b.get("n").and_then(Json::as_f64),
+            b.get("rounds_per_sec").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let Some(row) = rows
+            .iter()
+            .find(|r| r.protocol == protocol && r.n == n as usize)
+        else {
+            continue;
+        };
+        let fresh = row.rounds_per_sec();
+        println!(
+            "baseline {protocol} n={n}: {fresh:.0} rounds/sec vs baseline {base_rps:.0} ({:.2}x)",
+            fresh / base_rps
+        );
+        if fresh * 2.0 < base_rps {
+            return Err(format!(
+                "{protocol} n={n}: {fresh:.0} rounds/sec regressed more than 2x \
+                 against the baseline {base_rps:.0}"
+            ));
+        }
+        if let Some(base_bytes) = b.get("board_payload_bytes").and_then(Json::as_f64) {
+            if row.board_payload_bytes != base_bytes as usize {
+                return Err(format!(
+                    "{protocol} n={n}: board payload {} bytes differs from the \
+                     deterministic baseline {base_bytes} — message encoding changed",
+                    row.board_payload_bytes
+                ));
+            }
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("baseline matched no measured rows".into());
+    }
+    println!("baseline gate passed ({checked} rows within 2x, board bytes exact)");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(it.next().expect("--json expects a path").clone()),
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline expects a path").clone())
+            }
+            "--quick" => quick = true,
+            other => panic!("unknown flag '{other}'"),
+        }
+    }
+
+    banner("Bulk tier: whole executions at n = 10⁵ (columnar state, sharded board)");
+    let rows = measure_rows(quick);
+    let t = TablePrinter::new(
+        &[
+            "protocol",
+            "model",
+            "family",
+            "n",
+            "rounds/sec",
+            "board KiB",
+            "max bits",
+        ],
+        &[12, 9, 12, 8, 12, 10, 9],
+    );
+    for row in &rows {
+        t.row(&[
+            row.protocol.clone(),
+            row.model.clone(),
+            row.family.clone(),
+            format!("{}", row.n),
+            format!("{:.0}", row.rounds_per_sec()),
+            format!("{}", row.board_payload_bytes / 1024),
+            format!("{}", row.max_message_bits),
+        ]);
+    }
+
+    if let Some(path) = &json_path {
+        emit_json(&rows, path);
+    }
+    if let Some(path) = &baseline_path {
+        if let Err(e) = check_baseline(&rows, path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Columnar bulk-tier implementations of the `SIMSYNC` protocols.
+//!
+//! Every `SIMASYNC` protocol in this crate runs on the bulk engine for free
+//! through [`wb_runtime::bulk::Oblivious`] (its messages are functions of
+//! local views alone). The two observation-dependent simultaneous
+//! protocols — rooted MIS (Theorem 5) and 2-CLIQUES (§5.1) — get genuine
+//! columnar [`BulkProtocol`] implementations here: one state value holding
+//! per-node flag arrays, with each write digested in `O(deg v)` instead of
+//! the step engine's `O(n)` observation fan-out. That asymptotic drop is
+//! what carries them from `n ≈ 10²` (campaign tier) to `n ≥ 10⁵`.
+//!
+//! Fidelity: `tests/bulk.rs` pins, for every graph up to `n = 5` and every
+//! schedule, that these implementations produce exactly the step engine's
+//! outcome. Message encodings are shared with the step nodes through
+//! [`crate::codec`], and the referees delegate to the step protocols'
+//! `output` over a materialized board, so the two forms cannot drift.
+
+use crate::codec::read_id;
+use crate::mis::MisGreedy;
+use crate::two_cliques::{TwoCliques, TwoCliquesVerdict};
+use wb_graph::{Graph, NodeId};
+use wb_math::{id_bits, BitVec, BitWriter};
+use wb_runtime::bulk::{BulkBoard, BulkProtocol};
+use wb_runtime::{Model, Protocol};
+
+/// Columnar state of a bulk rooted-MIS run.
+pub struct MisBulkState {
+    g: Graph,
+    /// `N(root)` membership, precomputed once.
+    root_adjacent: Vec<bool>,
+    /// Whether some neighbor of `v` has announced membership.
+    neighbor_joined: Vec<bool>,
+}
+
+impl BulkProtocol for MisGreedy {
+    type State = MisBulkState;
+    type Output = Vec<NodeId>;
+
+    fn model(&self) -> Model {
+        Model::SimSync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        Protocol::budget_bits(self, n)
+    }
+
+    fn init(&self, g: &Graph) -> MisBulkState {
+        let n = g.n();
+        let mut root_adjacent = vec![false; n];
+        // An out-of-range root (allowed by the step protocol: no node is the
+        // root, nobody neighbors it) simply leaves the bitmap empty.
+        if self.root() >= 1 && self.root() as usize <= n {
+            for &u in g.neighbors(self.root()) {
+                root_adjacent[u as usize - 1] = true;
+            }
+        }
+        MisBulkState {
+            g: g.clone(),
+            root_adjacent,
+            neighbor_joined: vec![false; n],
+        }
+    }
+
+    fn compose(&self, state: &MisBulkState, v: NodeId) -> BitVec {
+        let i = v as usize - 1;
+        let join = v == self.root() || (!state.root_adjacent[i] && !state.neighbor_joined[i]);
+        let mut w = BitWriter::new();
+        crate::codec::write_id(&mut w, v, state.g.n());
+        w.write_bool(join);
+        w.finish()
+    }
+
+    fn observe(&self, state: &mut MisBulkState, v: NodeId, msg: &BitVec) {
+        // The join flag is the bit after the ID field.
+        let joined = msg.get(id_bits(state.g.n()) as usize);
+        if joined {
+            for &u in state.g.neighbors(v) {
+                state.neighbor_joined[u as usize - 1] = true;
+            }
+        }
+    }
+
+    fn output(&self, n: usize, board: &BulkBoard) -> Vec<NodeId> {
+        Protocol::output(self, n, &board.to_whiteboard())
+    }
+}
+
+/// Columnar state of a bulk 2-CLIQUES run.
+pub struct TwoCliquesBulkState {
+    g: Graph,
+    /// Messages on the board so far (identical for every alive node under
+    /// `SIMSYNC`: everyone observes every write).
+    board_len: usize,
+    /// Side labels seen among each node's written neighbors.
+    saw_side: Vec<[bool; 2]>,
+}
+
+impl BulkProtocol for TwoCliques {
+    type State = TwoCliquesBulkState;
+    type Output = TwoCliquesVerdict;
+
+    fn model(&self) -> Model {
+        Model::SimSync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        Protocol::budget_bits(self, n)
+    }
+
+    fn init(&self, g: &Graph) -> TwoCliquesBulkState {
+        TwoCliquesBulkState {
+            board_len: 0,
+            saw_side: vec![[false; 2]; g.n()],
+            g: g.clone(),
+        }
+    }
+
+    fn compose(&self, state: &TwoCliquesBulkState, v: NodeId) -> BitVec {
+        let tag = match (state.board_len, state.saw_side[v as usize - 1]) {
+            (0, _) => 0u64,           // first writer overall: side 0
+            (_, [false, false]) => 1, // fresh component: side 1
+            (_, [true, false]) => 0,  // copy the unanimous side
+            (_, [false, true]) => 1,
+            (_, [true, true]) => 2, // disagreement: "no"
+        };
+        let mut w = BitWriter::new();
+        crate::codec::write_id(&mut w, v, state.g.n());
+        w.write_bits(tag, 2);
+        w.finish()
+    }
+
+    fn observe(&self, state: &mut TwoCliquesBulkState, v: NodeId, msg: &BitVec) {
+        state.board_len += 1;
+        let tag = msg.get_bits(id_bits(state.g.n()) as usize, 2);
+        if tag <= 1 {
+            for &u in state.g.neighbors(v) {
+                state.saw_side[u as usize - 1][tag as usize] = true;
+            }
+        }
+    }
+
+    fn output(&self, n: usize, board: &BulkBoard) -> TwoCliquesVerdict {
+        Protocol::output(self, n, &board.to_whiteboard())
+    }
+}
+
+/// Parse the writer IDs off any bulk board whose messages start with an ID
+/// field (all of this crate's protocols) — a cheap structural sanity check
+/// used by tests and the CLI.
+pub fn leading_ids(n: usize, board: &BulkBoard) -> Vec<NodeId> {
+    board
+        .entries()
+        .map(|e| read_id(&mut e.reader(), n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_graph::{checks, generators};
+    use wb_runtime::bulk::{run_bulk, shuffled_schedule, BulkConfig};
+    use wb_runtime::{run, ScheduleAdversary};
+
+    #[test]
+    fn bulk_mis_matches_step_engine_on_midsize_instances() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        for trial in 0..6u64 {
+            let g = generators::gnp(60, 0.08, &mut rng);
+            let schedule = shuffled_schedule(g.n(), trial);
+            let p = MisGreedy::new((trial % 60 + 1) as NodeId);
+            let bulk = run_bulk(
+                &p,
+                &g,
+                &schedule,
+                None,
+                &BulkConfig::default().with_batch(16),
+            );
+            let step = run(&p, &g, &mut ScheduleAdversary::new(schedule));
+            assert_eq!(bulk.outcome, step.outcome, "trial {trial}");
+            let set = bulk.outcome.unwrap();
+            assert!(checks::is_rooted_mis(&g, &set, p.root()));
+        }
+    }
+
+    #[test]
+    fn bulk_mis_scales_to_thousands() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let g = generators::gnp(5_000, 4.0 / 5_000.0, &mut rng);
+        let schedule = shuffled_schedule(g.n(), 1);
+        let report = run_bulk(
+            &MisGreedy::new(1),
+            &g,
+            &schedule,
+            None,
+            &BulkConfig::default(),
+        );
+        let set = report.outcome.unwrap();
+        assert!(checks::is_rooted_mis(&g, &set, 1));
+        assert_eq!(report.rounds, 5_000);
+        assert_eq!(report.board.len(), 5_000);
+    }
+
+    #[test]
+    fn bulk_two_cliques_decides_both_classes() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        for half in [3usize, 8, 40] {
+            let yes = generators::two_cliques(half);
+            let no = generators::connected_regular_impostor(half, &mut rng);
+            for seed in 0..4 {
+                let ry = run_bulk(
+                    &TwoCliques,
+                    &yes,
+                    &shuffled_schedule(yes.n(), seed),
+                    None,
+                    &BulkConfig::default(),
+                );
+                assert_eq!(ry.outcome.unwrap(), TwoCliquesVerdict::TwoCliques);
+                let rn = run_bulk(
+                    &TwoCliques,
+                    &no,
+                    &shuffled_schedule(no.n(), seed),
+                    None,
+                    &BulkConfig::default(),
+                );
+                assert_eq!(rn.outcome.unwrap(), TwoCliquesVerdict::NotTwoCliques);
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_two_cliques_matches_step_engine_schedule_for_schedule() {
+        let g = generators::two_cliques(4);
+        for seed in 0..10 {
+            let schedule = shuffled_schedule(g.n(), seed);
+            let bulk = run_bulk(&TwoCliques, &g, &schedule, None, &BulkConfig::default());
+            let step = run(&TwoCliques, &g, &mut ScheduleAdversary::new(schedule));
+            assert_eq!(bulk.outcome, step.outcome, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn leading_ids_recover_the_schedule() {
+        let g = generators::path(9);
+        let schedule = shuffled_schedule(9, 4);
+        let report = run_bulk(
+            &MisGreedy::new(1),
+            &g,
+            &schedule,
+            None,
+            &BulkConfig::default(),
+        );
+        assert_eq!(leading_ids(9, &report.board), schedule);
+    }
+}

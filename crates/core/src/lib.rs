@@ -20,6 +20,14 @@
 //!
 //! All message budgets are enforced in bits by the runtime, so each protocol's
 //! `budget_bits` is a checked restatement of the paper's message-size lemma.
+//!
+//! Three infrastructure modules tie the protocols to the execution tiers:
+//! [`registry`] (one spec → protocol + oracle table feeding the exhaustive,
+//! statistical, and bulk tiers alike), [`bulk`] (columnar
+//! `wb_runtime::BulkProtocol` implementations of the observation-dependent
+//! simultaneous protocols, for `n ≥ 10⁵`), and [`workload`] (named graph
+//! families). The full paper-theorem → module map, with per-protocol model
+//! lattices and board-size bounds, is `docs/PROTOCOLS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,11 +35,13 @@
 pub mod bfs;
 pub mod build;
 pub mod build_mixed;
+pub mod bulk;
 pub mod codec;
 pub mod connectivity;
 pub mod hard_problems;
 pub mod mis;
 pub mod naive;
+pub mod registry;
 pub mod spanning;
 pub mod statistics;
 pub mod subgraph;

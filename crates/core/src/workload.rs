@@ -13,6 +13,8 @@
 //! | `kdeg:K`        | random graph of degeneracy exactly ≤ K               |
 //! | `mixed:K`       | low-or-high class (BUILD-MIXED's domain)             |
 //! | `gnp:D`         | Erdős–Rényi with expected average degree D (def. 4)  |
+//! | `gnp-lin:D`     | same model, O(n+m) skip sampler (bulk tier, n ≥ 10⁵) |
+//! | `kdeg-lin:K`    | degeneracy exactly K, O(n·k) sampler (bulk tier)     |
 //! | `eob`           | connected even-odd bipartite                         |
 //! | `bipartite`     | bipartite with fixed halves                          |
 //! | `two-cliques`   | two disjoint n/2-cliques                             |
@@ -52,6 +54,8 @@ pub fn graph_family(spec: &str, n: usize, seed: u64) -> Result<Graph, String> {
         "kdeg" => generators::k_degenerate(n, k, true, &mut rng),
         "mixed" => generators::mixed_low_high(n, k, &mut rng),
         "gnp" => generators::gnp(n, arg.unwrap_or(4) as f64 / n.max(2) as f64, &mut rng),
+        "gnp-lin" => generators::gnp_linear(n, arg.unwrap_or(4) as f64, &mut rng),
+        "kdeg-lin" => generators::k_degenerate_linear(n, k, &mut rng),
         "eob" => generators::even_odd_bipartite_connected(n, 0.2, &mut rng),
         "bipartite" => generators::bipartite_fixed(n / 2, n - n / 2, 0.2, &mut rng),
         "two-cliques" => generators::two_cliques(n / 2),
@@ -84,6 +88,16 @@ mod tests {
     fn families_have_expected_structure() {
         assert!(checks::degeneracy(&graph_family("tree", 30, 1).unwrap()).0 <= 1);
         assert!(checks::degeneracy(&graph_family("kdeg:2", 30, 1).unwrap()).0 <= 2);
+        assert_eq!(
+            checks::degeneracy(&graph_family("kdeg-lin:3", 200, 1).unwrap()).0,
+            3
+        );
+        let sparse = graph_family("gnp-lin:4", 2_000, 1).unwrap();
+        assert!(
+            sparse.m() > 2_000 && sparse.m() < 6_000,
+            "m = {}",
+            sparse.m()
+        );
         assert!(checks::is_even_odd_bipartite(
             &graph_family("eob", 20, 1).unwrap()
         ));

@@ -25,6 +25,72 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     g
 }
 
+/// A uniform draw from `(0, 1]` (never 0, so `ln` stays finite).
+fn uniform_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// Sparse Erdős–Rényi `G(n, p)` with `p = avg_deg/(n−1)`, sampled in
+/// `O(n + m)` expected time by geometric edge skipping (Batagelj–Brandes):
+/// instead of flipping a coin per pair, jump `~Geom(p)` pairs between
+/// successive edges. The bulk-tier counterpart of [`gnp`], whose pairwise
+/// loop is `Θ(n²)` and unusable at `n ≥ 10⁵`. Same model, different
+/// sampling path — a given seed draws a *different* instance than [`gnp`].
+pub fn gnp_linear<R: Rng + ?Sized>(n: usize, avg_deg: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::empty(n);
+    if n < 2 {
+        return g;
+    }
+    let p = (avg_deg / (n as f64 - 1.0)).clamp(0.0, 1.0);
+    if p <= 0.0 {
+        return g;
+    }
+    if p >= 1.0 {
+        return clique(n);
+    }
+    let log_q = (1.0 - p).ln();
+    // 0-based lexicographic walk over pairs (v, w) with w < v.
+    let nn = n as i64;
+    let (mut v, mut w) = (1i64, -1i64);
+    loop {
+        w += 1 + (uniform_open(rng).ln() / log_q).floor() as i64;
+        while w >= v {
+            w -= v;
+            v += 1;
+            if v >= nn {
+                return g;
+            }
+        }
+        g.add_edge(w as NodeId + 1, v as NodeId + 1);
+    }
+}
+
+/// Random graph of degeneracy ≤ `k` in `O(n·k)`: in a random order, node
+/// `i` attaches to `min(k, i)` distinct uniformly chosen earlier nodes.
+/// The bulk-tier counterpart of [`k_degenerate`], whose per-node shuffle of
+/// the whole prefix is `Θ(n²)`. Always "exact": every node past the first
+/// `k` brings exactly `k` edges, so the degeneracy is exactly `k` for
+/// `n > k`.
+pub fn k_degenerate_linear<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Graph {
+    let mut order: Vec<NodeId> = (1..=n as NodeId).collect();
+    order.shuffle(rng);
+    let mut g = Graph::empty(n);
+    let mut picked: Vec<usize> = Vec::with_capacity(k);
+    for i in 1..n {
+        let count = k.min(i);
+        picked.clear();
+        while picked.len() < count {
+            let j = rng.gen_range(0..i);
+            // k is small: a linear scan over ≤ k entries beats hashing.
+            if !picked.contains(&j) {
+                picked.push(j);
+                g.add_edge(order[j], order[i]);
+            }
+        }
+    }
+    g
+}
+
 /// Path `v₁−v₂−…−v_n`.
 pub fn path(n: usize) -> Graph {
     Graph::from_edges(n, &(1..n as NodeId).map(|i| (i, i + 1)).collect::<Vec<_>>())
@@ -426,5 +492,47 @@ mod tests {
         let c = cycle(7);
         assert_eq!(c.regular_degree(), Some(2));
         assert!(!checks::is_bipartite(&c));
+    }
+
+    #[test]
+    fn gnp_linear_hits_the_expected_density() {
+        let mut r = rng();
+        // E[m] = n·d/2; the skip sampler must land near it.
+        let g = gnp_linear(20_000, 4.0, &mut r);
+        assert_eq!(g.n(), 20_000);
+        let expected = 20_000.0 * 4.0 / 2.0;
+        assert!(
+            (g.m() as f64) > 0.8 * expected && (g.m() as f64) < 1.2 * expected,
+            "m = {} vs expected {expected}",
+            g.m()
+        );
+        // Determinism per seed, variation across seeds.
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(gnp_linear(200, 3.0, &mut r1), gnp_linear(200, 3.0, &mut r2));
+        let mut r3 = StdRng::seed_from_u64(6);
+        assert_ne!(gnp_linear(200, 3.0, &mut r1), gnp_linear(200, 3.0, &mut r3));
+    }
+
+    #[test]
+    fn gnp_linear_edge_cases() {
+        let mut r = rng();
+        assert_eq!(gnp_linear(0, 4.0, &mut r).n(), 0);
+        assert_eq!(gnp_linear(1, 4.0, &mut r).m(), 0);
+        assert_eq!(gnp_linear(6, 0.0, &mut r).m(), 0);
+        // avg_deg ≥ n−1 saturates to the clique.
+        assert_eq!(gnp_linear(6, 10.0, &mut r).m(), 15);
+    }
+
+    #[test]
+    fn k_degenerate_linear_has_exact_degeneracy() {
+        let mut r = rng();
+        for k in [1usize, 2, 4] {
+            let g = k_degenerate_linear(500, k, &mut r);
+            assert_eq!(checks::degeneracy(&g).0, k, "k = {k}");
+            // Exactly k new edges per node past the k-th.
+            assert_eq!(g.m(), (0..500).map(|i| k.min(i)).sum::<usize>());
+        }
+        assert_eq!(k_degenerate_linear(1, 3, &mut r).m(), 0);
     }
 }

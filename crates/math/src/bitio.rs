@@ -294,6 +294,18 @@ impl<'a> BitReader<'a> {
         BitReader { bv, pos: 0 }
     }
 
+    /// Read starting at bit `pos` of `bv` (panics if past the end). The bulk
+    /// tier stores many messages concatenated in one shard vector and hands
+    /// out readers positioned at each message's offset.
+    pub fn with_offset(bv: &'a BitVec, pos: usize) -> Self {
+        assert!(
+            pos <= bv.len(),
+            "reader offset {pos} out of range (len {})",
+            bv.len()
+        );
+        BitReader { bv, pos }
+    }
+
     /// Read `width` bits as a `u64`.
     pub fn read_bits(&mut self, width: u32) -> u64 {
         let v = self.bv.get_bits(self.pos, width);
@@ -419,6 +431,25 @@ mod tests {
         assert_eq!(r.read_bits(10), 1023);
         assert_eq!(r.read_bits(1), 0);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn offset_reader_starts_mid_stream() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3).write_bits(0x5A5A, 16);
+        let bv = w.finish();
+        let mut r = BitReader::with_offset(&bv, 3);
+        assert_eq!(r.read_bits(16), 0x5A5A);
+        assert_eq!(r.remaining(), 0);
+        // Offset at the very end is allowed (an empty tail), past it is not.
+        assert_eq!(BitReader::with_offset(&bv, bv.len()).remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn offset_reader_rejects_out_of_range() {
+        let bv = BitVec::new();
+        let _ = BitReader::with_offset(&bv, 1);
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //! - [`NewtonDecoder`] — the production decoder: Newton's identities convert the
 //!   power sums `p_1..p_d` into elementary symmetric polynomials `e_1..e_d`; the
 //!   neighbor IDs are then the integer roots of
-//!   `x^d − e₁x^{d−1} + e₂x^{d−2} − … ± e_d`, recovered by trial synthetic
-//!   division over the candidates `1..=n`. Runs in `O(n·d)` bignum operations
-//!   and needs no preprocessing.
+//!   `x^d − e₁x^{d−1} + e₂x^{d−2} − … ± e_d`. For `d ≤ 2` — the only degrees
+//!   Algorithm 1 decodes when `k ≤ 2`, and the bulk tier's hot path — the
+//!   roots come out in closed form (`O(1)`: exact integer discriminant +
+//!   square root); higher degrees fall back to trial synthetic division over
+//!   the candidates `1..=n` (`O(n·d)` bignum operations). No preprocessing.
 //! - [`LookupDecoder`] — the paper's literal Lemma 2 construction: a
 //!   precomputed table of all `≤ k`-subsets of `{1..n}` keyed by their power-sum
 //!   vector. `O(n^k)` space, `O(k log n)`-ish lookups; used to cross-validate
@@ -98,6 +100,32 @@ pub struct NewtonDecoder {
     n: usize,
 }
 
+/// Exact integer square root (largest `x` with `x² ≤ v`).
+fn isqrt_u128(v: u128) -> u128 {
+    if v == 0 {
+        return 0;
+    }
+    // Float seed, then clamp to exactness in both directions: for v near
+    // 2¹²⁸ the f64 rounding error can put the seed on either side of the
+    // true root (and integer Newton only converges from above), so correct
+    // upward first, then downward.
+    let mut x = (v as f64).sqrt() as u128 + 1;
+    loop {
+        let y = (x + v / x) / 2;
+        if y >= x {
+            break;
+        }
+        x = y;
+    }
+    while (x + 1).checked_mul(x + 1).is_some_and(|sq| sq <= v) {
+        x += 1;
+    }
+    while x.checked_mul(x).map_or(true, |sq| sq > v) {
+        x -= 1;
+    }
+    x
+}
+
 impl NewtonDecoder {
     /// Decoder for ID domain `{1..n}`.
     pub fn new(n: usize) -> Self {
@@ -144,6 +172,39 @@ impl NewtonDecoder {
                 return None; // elementary symmetric of positive roots must be ≥ 0
             }
             e.push(q);
+        }
+        // Closed-form fast paths for d ≤ 2 — the degrees Algorithm 1
+        // actually decodes when k ≤ 2, and the hot path of the bulk tier's
+        // BUILD referee: root extraction in O(1) instead of the O(n)
+        // candidate scan below (at n = 10⁵ that is the difference between
+        // an O(n)- and an O(n²)-time output function). Every rejection the
+        // scan would produce (non-integer, out-of-range, repeated or
+        // missing roots) is reproduced exactly.
+        if d == 1 {
+            // P(x) = x − e₁: the single neighbor is e₁ itself.
+            return match e[1].to_u64() {
+                Some(r) if r >= 1 && r <= self.n as u64 => Some(vec![r as u32]),
+                _ => None,
+            };
+        }
+        if d == 2 {
+            if let (Some(s), Some(prod)) = (e[1].to_u64(), e[2].to_u64()) {
+                // P(x) = x² − s·x + prod, roots distinct positive integers.
+                let disc = match ((s as u128) * (s as u128)).checked_sub(4 * prod as u128) {
+                    Some(disc) => disc,
+                    None => return None, // complex roots: invalid image
+                };
+                let sq = isqrt_u128(disc);
+                if sq * sq != disc || sq == 0 || (s as u128 + sq) % 2 != 0 {
+                    // Not a perfect square (irrational roots), a double root
+                    // (IDs are distinct), or non-integer roots.
+                    return None;
+                }
+                let r1 = (s as u128 - sq) / 2;
+                let r2 = (s as u128 + sq) / 2;
+                return (r1 >= 1 && r2 <= self.n as u128).then(|| vec![r1 as u32, r2 as u32]);
+            }
+            // Sums past u64 (gigantic n): fall through to the general scan.
         }
         // Monic polynomial with the neighbor IDs as roots:
         //   P(x) = Σ_{j=0..d} (−1)^j e_j x^{d−j};   coeffs[i] = coefficient of x^i.
@@ -348,6 +409,79 @@ mod tests {
         let dec = NewtonDecoder::new(20);
         let sums = vec![BigInt::from(7u64), BigInt::from(8u64)];
         assert_eq!(dec.decode(&sums, 2), None);
+    }
+
+    #[test]
+    fn isqrt_is_exact() {
+        for v in 0u128..200 {
+            let s = isqrt_u128(v);
+            assert!(s * s <= v && (s + 1) * (s + 1) > v, "v = {v}");
+        }
+        for s in [
+            1u128 << 20,
+            (1 << 40) + 17,
+            u64::MAX as u128,
+            // Regression: near 2⁶⁰ the f64 seed of s² (≈ 2¹²⁰) can round
+            // *below* the true root; the clamp must correct upward too.
+            1_152_921_504_607_846_979,
+            (1 << 60) - 1,
+            (1 << 63) + 12_345,
+        ] {
+            assert_eq!(isqrt_u128(s * s), s, "s = {s}");
+            assert_eq!(isqrt_u128(s * s - 1), s - 1, "s = {s}");
+            assert_eq!(isqrt_u128(s * s + 1), s, "s = {s}");
+        }
+    }
+
+    #[test]
+    fn closed_form_small_degrees_match_brute_force_exhaustively() {
+        // The d ≤ 2 fast paths must agree with an independent brute-force
+        // oracle over the first d power sums — on every valid image AND on
+        // every ±1 perturbation of it (the decoder, like the scan it
+        // replaces, consults exactly the first d sums).
+        let n = 12u32;
+        let newton = NewtonDecoder::new(n as usize);
+        let brute = |sums: &[BigInt], d: usize| -> Option<Vec<u32>> {
+            match d {
+                1 => (1..=n)
+                    .find(|&x| power_sums(&[x], 1) == sums[..1])
+                    .map(|x| vec![x]),
+                2 => {
+                    for x in 1..=n {
+                        for y in (x + 1)..=n {
+                            if power_sums(&[x, y], 2) == sums[..2] {
+                                return Some(vec![x, y]);
+                            }
+                        }
+                    }
+                    None
+                }
+                _ => unreachable!(),
+            }
+        };
+        for a in 1..=n {
+            for b in a..=n {
+                let set: Vec<u32> = if a == b { vec![a] } else { vec![a, b] };
+                let d = set.len();
+                let sums = power_sums(&set, d);
+                assert_eq!(newton.decode(&sums, d), Some(set.clone()), "{set:?}");
+                for which in 0..d {
+                    for delta in [1i64, -1] {
+                        let mut bad = sums.clone();
+                        if delta == 1 {
+                            bad[which] += &BigInt::one();
+                        } else {
+                            bad[which] -= &BigInt::one();
+                        }
+                        assert_eq!(
+                            newton.decode(&bad, d),
+                            brute(&bad, d),
+                            "{set:?} perturbed sum {which} by {delta}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! - [`par_batch_reduce`] — index-range reduction in contiguous batches with
 //!   a commutative-monoid merge (the Monte Carlo campaign runner's
 //!   aggregation primitive);
+//! - [`par_stripes`] — striped writers: fill independent output shards in
+//!   parallel and reassemble them in stripe order (the bulk tier's sharded
+//!   whiteboard appends through this);
 //! - [`WorkQueue`] — a bounded queue with overflow reported to the producer
 //!   instead of blocking or allocating without bound;
 //! - [`par_drain`] — parallel consumption of a `WorkQueue` whose consumers
@@ -118,6 +121,43 @@ pub fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -
     slots
         .into_iter()
         .map(|s| s.into_inner().expect("slot filled"))
+        .collect()
+}
+
+/// Fill `stripes` independent output stripes in parallel, returning them in
+/// stripe order: stripe `s` is produced by `fill(s)`, exactly once.
+///
+/// This is the **striped writer** primitive behind the bulk tier's sharded
+/// whiteboard: each stripe is an append-only shard owned by exactly one
+/// worker at a time, so writers never contend on a shared lock, and
+/// reassembling the stripes in index order recovers a deterministic global
+/// append order regardless of which worker produced which stripe when.
+/// Work distribution is dynamic (shared atomic cursor), so skewed stripes
+/// (one shard of huge messages) do not serialize the sweep.
+///
+/// Falls back to a sequential loop for a single stripe or a width-1 pool.
+pub fn par_stripes<T: Send>(stripes: usize, fill: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = num_threads().min(stripes.max(1));
+    if threads <= 1 || stripes <= 1 {
+        return (0..stripes).map(fill).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..stripes).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let s = cursor.fetch_add(1, Ordering::Relaxed);
+                if s >= stripes {
+                    break;
+                }
+                let r = fill(s);
+                *slots[s].lock() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("stripe filled"))
         .collect()
 }
 
@@ -507,6 +547,20 @@ mod tests {
         });
         assert_eq!(winners.load(Ordering::Relaxed), 500);
         assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn par_stripes_fills_every_stripe_in_order() {
+        let got = par_stripes(37, |s| {
+            // Uneven per-stripe work: stripe s yields the vec [s; s % 5].
+            vec![s; s % 5]
+        });
+        assert_eq!(got.len(), 37);
+        for (s, stripe) in got.iter().enumerate() {
+            assert_eq!(stripe, &vec![s; s % 5], "stripe {s}");
+        }
+        assert!(par_stripes(0, |s| s).is_empty());
+        assert_eq!(par_stripes(1, |s| s + 10), vec![10]);
     }
 
     #[test]

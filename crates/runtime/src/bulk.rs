@@ -1,0 +1,793 @@
+//! The **bulk tier**: columnar, cache-friendly execution of simultaneous
+//! protocols at `n ≥ 10⁵`.
+//!
+//! The stepwise [`Engine`](crate::Engine) is built for *adversary
+//! quantification*: per-node [`LocalView`] objects, savepoints, canonical
+//! encodings. Its observation fan-out delivers every new board entry to all
+//! surviving nodes — `O(n)` work per write, `O(n²)` per execution — which is
+//! the right trade for exploring schedules at `n ≤ 8` and sampling them at
+//! `n ≈ 10²`, and the wrong one for *running* a protocol once at `n = 10⁵`.
+//!
+//! This module is the third execution tier, for the two **simultaneous**
+//! models (every node active from round 1, so an execution is exactly a
+//! permutation of the nodes):
+//!
+//! - node state lives in one columnar [`BulkProtocol::State`] value (arrays
+//!   indexed by node, not `n` boxed state machines);
+//! - the board is a [`BulkBoard`]: messages concatenated bit-packed into
+//!   **shards**, appended through `wb_par`'s striped writers instead of one
+//!   entry allocation per message;
+//! - `SIMASYNC` rounds are embarrassingly parallel (messages depend only on
+//!   local views), so whole batches of rounds execute concurrently, one
+//!   batch per board shard;
+//! - `SIMSYNC` rounds are data-dependent and run in schedule order, but each
+//!   write is digested **incrementally** by [`BulkProtocol::observe`] in
+//!   `O(deg v)` — the total run is `O(n + m + board bits)`, not `O(n²)`.
+//!
+//! Any `SIMASYNC` step protocol gets bulk execution for free through the
+//! [`Oblivious`] adapter; `SIMSYNC` protocols implement the columnar trait
+//! by hand (see `wb-core`'s `bulk` module for rooted MIS and 2-CLIQUES).
+//! Fidelity to the step engine is pinned by the root crate's `tests/bulk.rs`
+//! differential: same schedule ⇒ same outcome, on every graph up to `n = 5`.
+
+use crate::board::Whiteboard;
+use crate::engine::Outcome;
+use crate::model::Model;
+use crate::protocol::{LocalView, Node, Protocol};
+use wb_graph::{Graph, NodeId};
+use wb_math::{BitReader, BitVec};
+
+/// A protocol in columnar ("struct of arrays") form, executable by
+/// [`run_bulk`] under the simultaneous models.
+///
+/// The contract mirrors [`Protocol`], with the per-node state machine
+/// replaced by one shared state value:
+///
+/// - [`Self::compose`] produces node `v`'s single message. Under `SIMASYNC`
+///   it is called **before any write** (possibly in parallel) and must
+///   depend only on instance data in the state, never on fields updated by
+///   [`Self::observe`]. Under `SIMSYNC` it is called in schedule order and
+///   sees the state updated by every earlier write.
+/// - [`Self::observe`] digests one write into the state. It is called only
+///   under `SIMSYNC`, once per write, in write order, and should cost
+///   `O(deg v + |msg|)` — this is where the bulk tier beats the step
+///   engine's `O(n)`-per-write observation fan-out.
+/// - [`Self::output`] is the referee: it sees `n` and the final board only,
+///   exactly like [`Protocol::output`].
+pub trait BulkProtocol {
+    /// Columnar execution state (arrays indexed by node, the instance graph,
+    /// counters). `Send + Sync` so `SIMASYNC` compose batches can fan out.
+    type State: Send + Sync;
+    /// The problem's answer type.
+    type Output;
+
+    /// The native model; must be simultaneous
+    /// ([`Model::is_simultaneous`]), which [`run_bulk`] asserts.
+    fn model(&self) -> Model;
+
+    /// Maximum message size in bits on `n`-node inputs, enforced per message
+    /// by [`run_bulk`] exactly as the step engine enforces
+    /// [`Protocol::budget_bits`].
+    fn budget_bits(&self, n: usize) -> u32;
+
+    /// Build the columnar state for one instance.
+    fn init(&self, g: &Graph) -> Self::State;
+
+    /// Compose node `v`'s single message (see the trait docs for when this
+    /// may read observation state).
+    fn compose(&self, state: &Self::State, v: NodeId) -> BitVec;
+
+    /// Digest the write of `v` into the state (`SIMSYNC` only; never called
+    /// under `SIMASYNC`, whose nodes are never shown the board).
+    fn observe(&self, state: &mut Self::State, v: NodeId, msg: &BitVec);
+
+    /// The output function `out(W)` over the final bulk board.
+    fn output(&self, n: usize, board: &BulkBoard) -> Self::Output;
+}
+
+/// Bulk execution for any `SIMASYNC` step protocol, for free.
+///
+/// A `SIMASYNC` node never observes, so its message is a pure function of
+/// its [`LocalView`] — the adapter builds a transient view per node, spawns
+/// the step node, and takes its composed message. Output delegates to the
+/// step protocol over a materialized [`Whiteboard`], so the referee logic
+/// exists in exactly one place.
+///
+/// ```
+/// use wb_runtime::bulk::{run_bulk, shuffled_schedule, BulkConfig, Oblivious};
+/// use wb_runtime::Outcome;
+/// # use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+/// # use wb_math::BitVec;
+/// # #[derive(Clone)] struct N(u64);
+/// # impl Node for N {
+/// #     fn observe(&mut self, _: &LocalView, _: usize, _: u32, _: &BitVec) {}
+/// #     fn compose(&mut self, _: &LocalView) -> BitVec {
+/// #         let mut w = wb_math::BitWriter::new(); w.write_bits(self.0, 7); w.finish()
+/// #     }
+/// # }
+/// # struct DegreeSum;
+/// # impl Protocol for DegreeSum {
+/// #     type Node = N; type Output = usize;
+/// #     fn model(&self) -> Model { Model::SimAsync }
+/// #     fn budget_bits(&self, _: usize) -> u32 { 7 }
+/// #     fn spawn(&self, view: &LocalView) -> N { N(view.degree() as u64) }
+/// #     fn output(&self, _: usize, b: &Whiteboard) -> usize {
+/// #         b.entries().iter().map(|e| e.msg.get_bits(0, 7) as usize).sum()
+/// #     }
+/// # }
+/// let g = wb_graph::generators::cycle(64);
+/// let schedule = shuffled_schedule(g.n(), 7);
+/// let report = run_bulk(&Oblivious::new(DegreeSum), &g, &schedule, None, &BulkConfig::default());
+/// assert_eq!(report.outcome, Outcome::Success(128)); // Σ deg = 2m
+/// assert_eq!(report.rounds, 64);
+/// ```
+pub struct Oblivious<P> {
+    inner: P,
+}
+
+impl<P: Protocol> Oblivious<P> {
+    /// Wrap `inner`, which must be `SIMASYNC`-native.
+    pub fn new(inner: P) -> Self {
+        assert_eq!(
+            inner.model(),
+            Model::SimAsync,
+            "Oblivious adapts SIMASYNC protocols; implement BulkProtocol \
+             directly for observation-dependent models"
+        );
+        Oblivious { inner }
+    }
+
+    /// The wrapped step protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+/// State of an [`Oblivious`] run: the instance graph (views are built
+/// transiently per compose).
+pub struct ObliviousState {
+    g: Graph,
+}
+
+impl<P> BulkProtocol for Oblivious<P>
+where
+    P: Protocol + Sync,
+{
+    type State = ObliviousState;
+    type Output = P::Output;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, n: usize) -> u32 {
+        self.inner.budget_bits(n)
+    }
+
+    fn init(&self, g: &Graph) -> ObliviousState {
+        ObliviousState { g: g.clone() }
+    }
+
+    fn compose(&self, state: &ObliviousState, v: NodeId) -> BitVec {
+        let view = LocalView {
+            id: v,
+            n: state.g.n(),
+            neighbors: state.g.neighbors(v).to_vec(),
+        };
+        self.inner.spawn(&view).compose(&view)
+    }
+
+    fn observe(&self, _state: &mut ObliviousState, _v: NodeId, _msg: &BitVec) {
+        // Oblivious messages ignore the board; under a SIMSYNC override the
+        // engine still notifies, and there is nothing to update.
+    }
+
+    fn output(&self, n: usize, board: &BulkBoard) -> P::Output {
+        self.inner.output(n, &board.to_whiteboard())
+    }
+}
+
+/// One message recorded in a [`BulkShard`]: who wrote it and where its bits
+/// live inside the shard's packed payload.
+#[derive(Clone, Copy, Debug)]
+struct ShardEntry {
+    writer: NodeId,
+    /// Bit offset of the message inside the shard payload.
+    offset: u64,
+    /// Message length in bits.
+    len: u32,
+}
+
+/// One shard of the bulk board: a batch of consecutive writes, bit-packed
+/// into a single payload vector plus a small index.
+#[derive(Default)]
+pub struct BulkShard {
+    bits: BitVec,
+    entries: Vec<ShardEntry>,
+}
+
+impl BulkShard {
+    fn with_capacity(messages: usize) -> Self {
+        BulkShard {
+            bits: BitVec::new(),
+            entries: Vec::with_capacity(messages),
+        }
+    }
+
+    fn push(&mut self, writer: NodeId, msg: &BitVec) {
+        self.entries.push(ShardEntry {
+            writer,
+            offset: self.bits.len() as u64,
+            len: msg.len() as u32,
+        });
+        self.bits.extend_bits(msg);
+    }
+
+    /// Messages in this shard.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the shard holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total payload bits in this shard.
+    pub fn payload_bits(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// A borrowed view of one bulk-board message.
+#[derive(Clone, Copy)]
+pub struct BulkEntry<'a> {
+    /// Who wrote the message.
+    pub writer: NodeId,
+    shard: &'a BulkShard,
+    offset: u64,
+    len: u32,
+}
+
+impl<'a> BulkEntry<'a> {
+    /// Message length in bits.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the message is the empty word (never true for a written
+    /// entry — the engine rejects empty writes).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A field reader positioned at the start of this message. Reading past
+    /// `self.len()` bits is a protocol bug (the reader does not clamp at the
+    /// message boundary; the next message's bits follow).
+    pub fn reader(&self) -> BitReader<'a> {
+        BitReader::with_offset(&self.shard.bits, self.offset as usize)
+    }
+
+    /// Copy the message out as a standalone bit string.
+    pub fn to_bitvec(&self) -> BitVec {
+        self.reader().read_bitvec(self.len as usize)
+    }
+}
+
+/// The sharded whiteboard of a bulk run.
+///
+/// Messages are appended in global write order, `config.batch` per shard;
+/// within a shard the payload bits are contiguous, so a shard of `k`
+/// messages costs one growing bit vector and `k` index slots instead of `k`
+/// heap entries. Iteration yields entries in write order (shards in order,
+/// entries in order within each shard).
+#[derive(Default)]
+pub struct BulkBoard {
+    shards: Vec<BulkShard>,
+    len: usize,
+    max_message_bits: usize,
+}
+
+impl BulkBoard {
+    /// Messages written.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the board is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total bits on the board — the quantity Lemma 3 bounds by `n·f(n)`.
+    pub fn total_bits(&self) -> usize {
+        self.shards.iter().map(|s| s.bits.len()).sum()
+    }
+
+    /// Largest single message in bits.
+    pub fn max_message_bits(&self) -> usize {
+        self.max_message_bits
+    }
+
+    /// Bytes of packed message payload across all shards (what the bench
+    /// harness reports as "board bytes"; the per-message index adds
+    /// [`Self::index_bytes`] on top).
+    pub fn payload_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.bits.len().div_ceil(8)).sum()
+    }
+
+    /// Bytes of per-message index (writer + offset + length per entry).
+    pub fn index_bytes(&self) -> usize {
+        self.len * std::mem::size_of::<ShardEntry>()
+    }
+
+    /// The entries in write order.
+    pub fn entries(&self) -> impl Iterator<Item = BulkEntry<'_>> + '_ {
+        self.shards.iter().flat_map(|shard| {
+            shard.entries.iter().map(move |e| BulkEntry {
+                writer: e.writer,
+                shard,
+                offset: e.offset,
+                len: e.len,
+            })
+        })
+    }
+
+    /// Materialize as a step-engine [`Whiteboard`] (same messages, same
+    /// write order). This is how [`Oblivious`] reuses step-protocol output
+    /// functions; it costs one message copy, paid once at referee time.
+    pub fn to_whiteboard(&self) -> Whiteboard {
+        Whiteboard::from_messages(self.entries().map(|e| (e.writer, e.to_bitvec())))
+    }
+
+    fn from_shards(shards: Vec<BulkShard>) -> Self {
+        let len = shards.iter().map(BulkShard::len).sum();
+        let max_message_bits = shards
+            .iter()
+            .flat_map(|s| s.entries.iter())
+            .map(|e| e.len as usize)
+            .max()
+            .unwrap_or(0);
+        BulkBoard {
+            shards,
+            len,
+            max_message_bits,
+        }
+    }
+}
+
+/// Tuning knobs for [`run_bulk`].
+#[derive(Clone, Debug)]
+pub struct BulkConfig {
+    /// Messages per board shard — also the `SIMASYNC` compose-batch grain.
+    /// Purely a performance knob: the board contents and the report are
+    /// identical for any value ≥ 1.
+    pub batch: usize,
+}
+
+impl Default for BulkConfig {
+    fn default() -> Self {
+        BulkConfig { batch: 4096 }
+    }
+}
+
+impl BulkConfig {
+    /// Set the shard/batch grain (clamped to ≥ 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+}
+
+/// Result of one bulk execution.
+pub struct BulkReport<O> {
+    /// Always [`Outcome::Success`] — under a simultaneous model every node
+    /// is active from round 1 and the schedule writes each exactly once, so
+    /// a deadlock (corrupted configuration) is unreachable. Kept as an
+    /// [`Outcome`] so bulk and step runs compare directly.
+    pub outcome: Outcome<O>,
+    /// Rounds executed (= `n`, one write per round).
+    pub rounds: usize,
+    /// The final sharded board.
+    pub board: BulkBoard,
+}
+
+impl<O> BulkReport<O> {
+    /// Largest message written, in bits.
+    pub fn max_message_bits(&self) -> usize {
+        self.board.max_message_bits()
+    }
+
+    /// Total bits on the final board.
+    pub fn total_bits(&self) -> usize {
+        self.board.total_bits()
+    }
+}
+
+/// The identity schedule `v_1, …, v_n`.
+pub fn identity_schedule(n: usize) -> Vec<NodeId> {
+    (1..=n as NodeId).collect()
+}
+
+/// A seeded uniformly random schedule (Fisher–Yates over the identity).
+///
+/// Under a simultaneous model the active set is always "everyone not yet
+/// written", so picking uniformly among actives round by round *is* drawing
+/// a uniformly random permutation — this is the bulk tier's counterpart of
+/// the campaign engine's uniform sampler.
+pub fn shuffled_schedule(n: usize, seed: u64) -> Vec<NodeId> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut order = identity_schedule(n);
+    order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    order
+}
+
+fn check_message(v: NodeId, msg: &BitVec, budget: u32) {
+    assert!(
+        !msg.is_empty(),
+        "node {v} produced the empty word; a write must change the board"
+    );
+    assert!(
+        msg.len() <= budget as usize,
+        "node {v} wrote {} bits, exceeding the declared budget of {budget} bits",
+        msg.len()
+    );
+}
+
+/// Execute `protocol` on `g` under the write order `schedule` (a permutation
+/// of `1..=n`), optionally under a stronger simultaneous model `target`
+/// (`None` = the protocol's native model).
+///
+/// `SIMASYNC` executions compose whole batches of rounds in parallel and
+/// append them through striped shard writers; `SIMSYNC` executions run the
+/// schedule in order with incremental `O(deg v)` observation. Either way
+/// the board contents, outcome, and report are deterministic functions of
+/// `(protocol, g, schedule)` — batch size and thread count never show.
+///
+/// Panics on a malformed schedule (wrong length, out-of-range or repeated
+/// node) and on protocol bugs (empty or over-budget message), matching the
+/// step engine's invariants.
+pub fn run_bulk<P: BulkProtocol>(
+    protocol: &P,
+    g: &Graph,
+    schedule: &[NodeId],
+    target: Option<Model>,
+    config: &BulkConfig,
+) -> BulkReport<P::Output>
+where
+    P: Sync,
+{
+    let n = g.n();
+    assert!(n >= 1, "whiteboard protocols need at least one node");
+    let native = protocol.model();
+    assert!(
+        native.is_simultaneous(),
+        "the bulk tier executes simultaneous models; {native} protocols need \
+         the step engine"
+    );
+    let model = target.unwrap_or(native);
+    assert!(
+        model.is_simultaneous(),
+        "bulk target model must be simultaneous, got {model}"
+    );
+    assert!(
+        model.includes(native),
+        "cannot demote {native} protocol to {model}"
+    );
+    assert_eq!(schedule.len(), n, "schedule must cover every node once");
+    let mut seen = vec![false; n];
+    for &v in schedule {
+        assert!(
+            v >= 1 && v as usize <= n,
+            "schedule names node {v} outside 1..={n}"
+        );
+        assert!(
+            !std::mem::replace(&mut seen[v as usize - 1], true),
+            "schedule names node {v} twice"
+        );
+    }
+
+    let budget = protocol.budget_bits(n);
+    let batch = config.batch.max(1);
+    let mut state = protocol.init(g);
+
+    let board = if model.is_asynchronous() {
+        // SIMASYNC: messages are fixed before any write — compose whole
+        // batches in parallel, one board shard per batch, reassembled in
+        // schedule order by the striped writers.
+        let stripes = n.div_ceil(batch);
+        let state_ref = &state;
+        let shards = wb_par::par_stripes(stripes, |s| {
+            let chunk = &schedule[s * batch..((s + 1) * batch).min(n)];
+            let mut shard = BulkShard::with_capacity(chunk.len());
+            for &v in chunk {
+                let msg = protocol.compose(state_ref, v);
+                check_message(v, &msg, budget);
+                shard.push(v, &msg);
+            }
+            shard
+        });
+        BulkBoard::from_shards(shards)
+    } else {
+        // SIMSYNC: each message may depend on everything already written, so
+        // rounds run in schedule order — but each write is digested
+        // incrementally (O(deg v)), never fanned out to all n nodes.
+        let mut shards = Vec::with_capacity(n.div_ceil(batch));
+        let mut cur = BulkShard::with_capacity(batch.min(n));
+        for &v in schedule {
+            let msg = protocol.compose(&state, v);
+            check_message(v, &msg, budget);
+            cur.push(v, &msg);
+            protocol.observe(&mut state, v, &msg);
+            if cur.len() == batch {
+                shards.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            shards.push(cur);
+        }
+        BulkBoard::from_shards(shards)
+    };
+
+    BulkReport {
+        outcome: Outcome::Success(protocol.output(n, &board)),
+        rounds: n,
+        board,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::ScheduleAdversary;
+    use crate::engine::run;
+    use wb_graph::generators;
+    use wb_math::{id_bits, BitWriter};
+
+    /// SIMASYNC toy: everyone writes its ID; output = sorted IDs.
+    struct EchoIds;
+
+    #[derive(Clone)]
+    struct EchoNode(NodeId, u32);
+
+    impl Node for EchoNode {
+        fn observe(&mut self, _: &LocalView, _: usize, _: NodeId, _: &BitVec) {
+            unreachable!("SIMASYNC nodes are never shown the board");
+        }
+        fn compose(&mut self, _: &LocalView) -> BitVec {
+            let mut w = BitWriter::new();
+            w.write_bits(self.0 as u64, self.1);
+            w.finish()
+        }
+    }
+
+    impl Protocol for EchoIds {
+        type Node = EchoNode;
+        type Output = Vec<NodeId>;
+        fn model(&self) -> Model {
+            Model::SimAsync
+        }
+        fn budget_bits(&self, n: usize) -> u32 {
+            id_bits(n)
+        }
+        fn spawn(&self, view: &LocalView) -> EchoNode {
+            EchoNode(view.id, id_bits(view.n))
+        }
+        fn output(&self, n: usize, board: &Whiteboard) -> Vec<NodeId> {
+            let mut ids: Vec<NodeId> = board
+                .entries()
+                .iter()
+                .map(|e| e.msg.get_bits(0, id_bits(n)) as NodeId)
+                .collect();
+            ids.sort_unstable();
+            ids
+        }
+    }
+
+    /// Columnar SIMSYNC toy: each message is (ID, #messages already on the
+    /// board); output = the per-writer counts in write order.
+    struct BulkSeen;
+
+    struct SeenState {
+        written: u64,
+    }
+
+    impl BulkProtocol for BulkSeen {
+        type State = SeenState;
+        type Output = Vec<(NodeId, u64)>;
+        fn model(&self) -> Model {
+            Model::SimSync
+        }
+        fn budget_bits(&self, _n: usize) -> u32 {
+            20
+        }
+        fn init(&self, _g: &Graph) -> SeenState {
+            SeenState { written: 0 }
+        }
+        fn compose(&self, state: &SeenState, v: NodeId) -> BitVec {
+            let mut w = BitWriter::new();
+            w.write_bits(v as u64, 10).write_bits(state.written, 10);
+            w.finish()
+        }
+        fn observe(&self, state: &mut SeenState, _v: NodeId, _msg: &BitVec) {
+            state.written += 1;
+        }
+        fn output(&self, _n: usize, board: &BulkBoard) -> Self::Output {
+            board
+                .entries()
+                .map(|e| {
+                    let mut r = e.reader();
+                    (r.read_bits(10) as NodeId, r.read_bits(10))
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn oblivious_bulk_matches_step_run() {
+        let g = generators::gnp(
+            40,
+            0.1,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3),
+        );
+        let schedule = shuffled_schedule(g.n(), 11);
+        let bulk = run_bulk(
+            &Oblivious::new(EchoIds),
+            &g,
+            &schedule,
+            None,
+            &BulkConfig::default().with_batch(7),
+        );
+        let step = run(&EchoIds, &g, &mut ScheduleAdversary::new(schedule.clone()));
+        assert_eq!(bulk.outcome, step.outcome);
+        assert_eq!(bulk.rounds, 40);
+        assert_eq!(bulk.board.len(), 40);
+        assert_eq!(bulk.total_bits(), step.total_bits());
+        assert_eq!(bulk.max_message_bits(), step.max_message_bits());
+    }
+
+    #[test]
+    fn board_is_batch_size_insensitive() {
+        let g = generators::path(23);
+        let schedule = shuffled_schedule(23, 5);
+        let baseline = run_bulk(
+            &Oblivious::new(EchoIds),
+            &g,
+            &schedule,
+            None,
+            &BulkConfig::default().with_batch(23),
+        );
+        for batch in [1usize, 2, 8, 1000] {
+            let b = run_bulk(
+                &Oblivious::new(EchoIds),
+                &g,
+                &schedule,
+                None,
+                &BulkConfig::default().with_batch(batch),
+            );
+            assert_eq!(b.outcome, baseline.outcome, "batch {batch}");
+            assert_eq!(b.board.to_whiteboard(), baseline.board.to_whiteboard());
+            assert_eq!(b.board.len(), 23);
+            assert_eq!(b.board.shard_count(), 23usize.div_ceil(batch));
+        }
+    }
+
+    #[test]
+    fn simsync_rounds_see_the_growing_board() {
+        let g = generators::path(6);
+        let schedule = vec![3, 1, 6, 2, 5, 4];
+        let report = run_bulk(&BulkSeen, &g, &schedule, None, &BulkConfig::default());
+        let out = report.outcome.unwrap();
+        let expect: Vec<(NodeId, u64)> = schedule
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u64))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn oblivious_runs_under_simsync_override() {
+        // Promotion inside the simultaneous pair: same messages, same output.
+        let g = generators::cycle(9);
+        let schedule = shuffled_schedule(9, 2);
+        let native = run_bulk(
+            &Oblivious::new(EchoIds),
+            &g,
+            &schedule,
+            None,
+            &BulkConfig::default(),
+        );
+        let promoted = run_bulk(
+            &Oblivious::new(EchoIds),
+            &g,
+            &schedule,
+            Some(Model::SimSync),
+            &BulkConfig::default(),
+        );
+        assert_eq!(native.outcome, promoted.outcome);
+        assert_eq!(native.board.to_whiteboard(), promoted.board.to_whiteboard());
+    }
+
+    #[test]
+    fn entry_readers_and_bitvec_copies_agree() {
+        let g = generators::path(5);
+        let report = run_bulk(
+            &Oblivious::new(EchoIds),
+            &g,
+            &identity_schedule(5),
+            None,
+            &BulkConfig::default().with_batch(2),
+        );
+        for (i, e) in report.board.entries().enumerate() {
+            assert_eq!(e.writer, i as NodeId + 1);
+            assert!(!e.is_empty());
+            let copied = e.to_bitvec();
+            assert_eq!(copied.len(), e.len());
+            assert_eq!(e.reader().read_bits(3), copied.get_bits(0, 3));
+        }
+        assert!(report.board.payload_bytes() >= 1);
+        assert!(report.board.index_bytes() > 0);
+    }
+
+    #[test]
+    fn schedules_are_validated() {
+        let g = generators::path(3);
+        let p = Oblivious::new(EchoIds);
+        let cfg = BulkConfig::default();
+        for (schedule, what) in [
+            (vec![1, 2], "wrong length"),
+            (vec![1, 2, 4], "out of range"),
+            (vec![1, 2, 2], "repeated"),
+        ] {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_bulk(&p, &g, &schedule, None, &cfg)
+            }));
+            assert!(r.is_err(), "{what} must be rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot demote")]
+    fn simsync_protocol_rejects_simasync_target() {
+        let g = generators::path(3);
+        run_bulk(
+            &BulkSeen,
+            &g,
+            &identity_schedule(3),
+            Some(Model::SimAsync),
+            &BulkConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be simultaneous")]
+    fn free_target_is_rejected() {
+        let g = generators::path(3);
+        run_bulk(
+            &BulkSeen,
+            &g,
+            &identity_schedule(3),
+            Some(Model::Sync),
+            &BulkConfig::default(),
+        );
+    }
+
+    #[test]
+    fn shuffled_schedule_is_seeded_permutation() {
+        let a = shuffled_schedule(50, 9);
+        let b = shuffled_schedule(50, 9);
+        assert_eq!(a, b);
+        let c = shuffled_schedule(50, 10);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity_schedule(50));
+    }
+}

@@ -26,7 +26,10 @@
 //!   small instances) — a state-deduplicating worklist explorer plus the
 //!   naive factorial DFS it is cross-checked against;
 //! - [`adapt`] — the Lemma 4 inclusions as executable wrappers: any protocol of
-//!   a weaker model runs unchanged (same outputs) in every stronger model.
+//!   a weaker model runs unchanged (same outputs) in every stronger model;
+//! - [`bulk`] — the bulk tier: columnar execution of simultaneous protocols
+//!   with a sharded board and parallel round batches, for single runs at
+//!   `n ≥ 10⁵` (differentially pinned against the step engine).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@
 pub mod adapt;
 pub mod adversary;
 pub mod board;
+pub mod bulk;
 pub mod engine;
 pub mod exhaustive;
 pub mod model;
@@ -44,6 +48,10 @@ pub use adversary::{
     PriorityAdversary, RandomAdversary, ScheduleAdversary,
 };
 pub use board::{Entry, Whiteboard};
+pub use bulk::{
+    identity_schedule, run_bulk, shuffled_schedule, BulkBoard, BulkConfig, BulkProtocol,
+    BulkReport, Oblivious,
+};
 pub use engine::{run, run_traced, CanonicalState, Engine, Outcome, RunReport, TraceRow};
 pub use exhaustive::{
     assert_explored, explore, explore_parallel, DedupPolicy, ExplorationReport, ExploreConfig,

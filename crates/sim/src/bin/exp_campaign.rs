@@ -23,11 +23,12 @@
 use std::time::Instant;
 use wb_bench::json::{escape, Json};
 use wb_bench::table::{banner, TablePrinter};
+use wb_core::registry::{self, BoundOracle, ProtocolVisitor};
 use wb_core::workload::graph_family;
-use wb_core::{AsyncBipartiteBfs, BuildDegenerate, EdgeCount, MisGreedy};
-use wb_graph::{checks, Graph};
+use wb_core::AsyncBipartiteBfs;
+use wb_graph::Graph;
 use wb_runtime::adapt::Promote;
-use wb_runtime::{Model, Outcome, Protocol};
+use wb_runtime::{Model, Protocol};
 use wb_sim::{run_campaign, shrink_schedule, CampaignConfig, CampaignLabels, SamplerKind};
 
 struct Row {
@@ -68,106 +69,156 @@ impl Row {
     }
 }
 
-fn measure<P, C>(
-    protocol_label: &str,
-    p: &P,
+/// Registry visitor for one campaign row: resolves the protocol *and* its
+/// oracle from `wb_core::registry` (no local oracle table to drift),
+/// optionally promotes to a stronger model, and measures throughput.
+struct Measure<'a> {
+    label: &'a str,
+    family: &'a str,
+    n: usize,
+    trials: u64,
+    sampler: SamplerKind,
+    /// `Some(m)`: run under the Lemma 4 promotion to `m`.
+    target: Option<Model>,
+}
+
+impl Measure<'_> {
+    fn drive<P>(&self, p: &P, g: &Graph, oracle: &BoundOracle<'_, P::Output>) -> Row
+    where
+        P: Protocol + Sync,
+        P::Output: std::fmt::Debug,
+    {
+        let labels = CampaignLabels {
+            protocol: self.label.into(),
+            model: p.model().to_string(),
+            family: self.family.into(),
+        };
+        let config = CampaignConfig::default()
+            .with_trials(self.trials)
+            .with_seed(0xC0FFEE)
+            .with_sampler(self.sampler);
+        let start = Instant::now();
+        let report = run_campaign(p, g, &config, &labels, |o| oracle(o));
+        let wall_sec = start.elapsed().as_secs_f64();
+        assert_eq!(
+            report.failed, 0,
+            "{} on {} n={}: a correct protocol produced failing trials — \
+             investigate before trusting the bench",
+            self.label, self.family, self.n
+        );
+        Row {
+            protocol: self.label.into(),
+            model: labels.model,
+            family: self.family.into(),
+            n: self.n,
+            trials: self.trials,
+            failures: report.failed,
+            distinct_outcomes: report.distinct_outcomes,
+            wall_sec,
+        }
+    }
+}
+
+impl ProtocolVisitor for Measure<'_> {
+    type Result = Row;
+    fn visit<P, B>(self, protocol: P, bind: B) -> Row
+    where
+        P: Protocol + Clone + Send + Sync,
+        P::Node: Send + Sync,
+        P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let g = graph_family(self.family, self.n, 1).expect("known family");
+        let oracle = bind(&g);
+        match self.target {
+            Some(m) => self.drive(&Promote::new(protocol, m), &g, &oracle),
+            None => self.drive(&protocol, &g, &oracle),
+        }
+    }
+}
+
+fn measure_one(
+    spec: &str,
+    label: &str,
     family: &str,
     n: usize,
     trials: u64,
     sampler: SamplerKind,
-    check: C,
-) -> Row
-where
-    P: Protocol + Sync,
-    P::Output: std::fmt::Debug,
-    C: Fn(&Graph, &Outcome<P::Output>) -> bool + Sync,
-{
-    let g = graph_family(family, n, 1).expect("known family");
-    let labels = CampaignLabels {
-        protocol: protocol_label.into(),
-        model: p.model().to_string(),
-        family: family.into(),
-    };
-    let config = CampaignConfig::default()
-        .with_trials(trials)
-        .with_seed(0xC0FFEE)
-        .with_sampler(sampler);
-    let start = Instant::now();
-    let report = run_campaign(p, &g, &config, &labels, |o| check(&g, o));
-    let wall_sec = start.elapsed().as_secs_f64();
-    assert_eq!(
-        report.failed, 0,
-        "{protocol_label} on {family} n={n}: a correct protocol produced \
-         failing trials — investigate before trusting the bench"
-    );
-    Row {
-        protocol: protocol_label.into(),
-        model: labels.model,
-        family: family.into(),
+    target: Option<Model>,
+) -> Row {
+    registry::dispatch(
+        spec,
         n,
-        trials,
-        failures: report.failed,
-        distinct_outcomes: report.distinct_outcomes,
-        wall_sec,
-    }
+        Measure {
+            label,
+            family,
+            n,
+            trials,
+            sampler,
+            target,
+        },
+    )
+    .expect("registered protocol")
 }
 
 fn measure_rows(quick: bool) -> Vec<Row> {
     let scale = |t: u64| if quick { (t / 10).max(1_000) } else { t };
-    let mut rows = Vec::new();
-    // MIS at its native SIMSYNC model, mid-size instance.
-    rows.push(measure(
-        "MIS(1)",
-        &MisGreedy::new(1),
-        "gnp:4",
-        50,
-        scale(200_000),
-        SamplerKind::Uniform,
-        |g, o| matches!(o, Outcome::Success(s) if checks::is_rooted_mis(g, s, 1)),
-    ));
-    // The acceptance-shaped row: MIS promoted to the free-synchronous model
-    // at n = 100 — the regime the exhaustive tier cannot touch.
-    rows.push(measure(
-        "MIS(1)@SYNC",
-        &Promote::new(MisGreedy::new(1), Model::Sync),
-        "gnp:4",
-        100,
-        scale(100_000),
-        SamplerKind::Uniform,
-        |g, o| matches!(o, Outcome::Success(s) if checks::is_rooted_mis(g, s, 1)),
-    ));
-    // A crashy-sampler campaign: adversarially skewed schedules, same oracle.
-    rows.push(measure(
-        "MIS(1)+crashy",
-        &MisGreedy::new(1),
-        "gnp:4",
-        50,
-        scale(100_000),
-        SamplerKind::Crashy,
-        |g, o| matches!(o, Outcome::Success(s) if checks::is_rooted_mis(g, s, 1)),
-    ));
-    // BUILD exercises the heavy decode path (Newton power sums) per trial.
-    rows.push(measure(
-        "BUILD(2)",
-        &BuildDegenerate::new(2),
-        "kdeg:2",
-        40,
-        scale(10_000),
-        SamplerKind::Uniform,
-        |g, o| matches!(o, Outcome::Success(Ok(h)) if h == g),
-    ));
-    // EdgeCount: the cheapest protocol — an upper bound on raw engine
-    // throughput at n = 100.
-    rows.push(measure(
-        "EDGE-COUNT",
-        &EdgeCount,
-        "gnp:4",
-        100,
-        scale(100_000),
-        SamplerKind::Uniform,
-        |g, o| matches!(o, Outcome::Success(m) if *m == g.m()),
-    ));
-    rows
+    vec![
+        // MIS at its native SIMSYNC model, mid-size instance.
+        measure_one(
+            "mis:1",
+            "MIS(1)",
+            "gnp:4",
+            50,
+            scale(200_000),
+            SamplerKind::Uniform,
+            None,
+        ),
+        // The acceptance-shaped row: MIS promoted to the free-synchronous
+        // model at n = 100 — the regime the exhaustive tier cannot touch.
+        measure_one(
+            "mis:1",
+            "MIS(1)@SYNC",
+            "gnp:4",
+            100,
+            scale(100_000),
+            SamplerKind::Uniform,
+            Some(Model::Sync),
+        ),
+        // A crashy-sampler campaign: adversarially skewed schedules, same
+        // oracle.
+        measure_one(
+            "mis:1",
+            "MIS(1)+crashy",
+            "gnp:4",
+            50,
+            scale(100_000),
+            SamplerKind::Crashy,
+            None,
+        ),
+        // BUILD exercises the heavy decode path (Newton power sums) per
+        // trial.
+        measure_one(
+            "build:2",
+            "BUILD(2)",
+            "kdeg:2",
+            40,
+            scale(10_000),
+            SamplerKind::Uniform,
+            None,
+        ),
+        // EdgeCount: the cheapest protocol — an upper bound on raw engine
+        // throughput at n = 100.
+        measure_one(
+            "edge-count",
+            "EDGE-COUNT",
+            "gnp:4",
+            100,
+            scale(100_000),
+            SamplerKind::Uniform,
+            None,
+        ),
+    ]
 }
 
 /// The failure → shrink pipeline on a protocol that genuinely fails: the

@@ -19,7 +19,8 @@ use crate::sampler::{trial_seed, SamplerKind};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use wb_bench::json::Json;
 use wb_graph::{Graph, NodeId};
-use wb_runtime::{Adversary, Engine, Outcome, Protocol, RunReport};
+use wb_runtime::bulk::{run_bulk, BulkConfig, BulkProtocol};
+use wb_runtime::{Adversary, Engine, Model, Outcome, Protocol};
 
 /// Tuning knobs for [`run_campaign`].
 #[derive(Clone, Debug)]
@@ -310,20 +311,22 @@ impl BatchStats {
         }
     }
 
+    /// Fold one trial into the batch. `outcome`/`schedule` are the trial's
+    /// terminal outcome and executed write order — the step and bulk trial
+    /// loops both feed this one accumulator.
     fn record<O: std::fmt::Debug>(
         &mut self,
         trial: u64,
         seed: u64,
-        report: RunReport<O>,
+        outcome: Outcome<O>,
+        schedule: Vec<NodeId>,
         pass: bool,
         config: &CampaignConfig,
     ) {
-        if matches!(report.outcome, Outcome::Deadlock { .. }) {
+        if matches!(outcome, Outcome::Deadlock { .. }) {
             self.deadlocks += 1;
         }
-        let new_outcome = self
-            .fingerprints
-            .insert(fingerprint_outcome(&report.outcome));
+        let new_outcome = self.fingerprints.insert(fingerprint_outcome(&outcome));
         // Trials run in ascending order within a batch, so the first
         // `witness_cap` failures are the batch's smallest trial indices.
         let want_witness = !pass && self.witnesses.len() < config.witness_cap;
@@ -331,7 +334,7 @@ impl BatchStats {
         // it — a first-in-batch outcome (outcome-set entry) or a kept
         // witness. The common case (passing trial, outcome seen before) pays
         // only the streamed fingerprint, no `String`.
-        let mut rendering = (new_outcome || want_witness).then(|| format!("{:?}", report.outcome));
+        let mut rendering = (new_outcome || want_witness).then(|| format!("{outcome:?}"));
         if pass {
             self.passed += 1;
         } else {
@@ -345,7 +348,7 @@ impl BatchStats {
                 self.witnesses.push(TrialFailure {
                     trial,
                     seed,
-                    schedule: report.write_order,
+                    schedule,
                     outcome,
                 });
             }
@@ -395,6 +398,26 @@ impl BatchStats {
 /// allocation-light `memcpy`-style clone instead of re-deriving local views)
 /// and drives it with a reused active-set buffer, so the per-trial overhead
 /// beyond the protocol's own work is minimal.
+///
+/// ```
+/// use wb_sim::{run_campaign, CampaignConfig, CampaignLabels};
+/// use wb_core::MisGreedy;
+/// use wb_graph::{checks, generators};
+/// use wb_runtime::Outcome;
+///
+/// let g = generators::path(6);
+/// let config = CampaignConfig::default().with_trials(500).with_seed(7);
+/// let report = run_campaign(
+///     &MisGreedy::new(1),
+///     &g,
+///     &config,
+///     &CampaignLabels::default(),
+///     |o| matches!(o, Outcome::Success(s) if checks::is_rooted_mis(&g, s, 1)),
+/// );
+/// assert_eq!(report.verdict(), "PASS");           // Theorem 5 holds per trial
+/// assert_eq!(report.passed, 500);
+/// assert!(report.distinct_outcomes >= 2);         // MIS is schedule-dependent
+/// ```
 pub fn run_campaign<P, C>(
     protocol: &P,
     g: &Graph,
@@ -430,7 +453,14 @@ where
                     engine.step(pick);
                 };
                 let pass = check(&report.outcome);
-                stats.record(trial, seed, report, pass, config);
+                stats.record(
+                    trial,
+                    seed,
+                    report.outcome,
+                    report.write_order,
+                    pass,
+                    config,
+                );
             }
             stats
         },
@@ -454,10 +484,99 @@ where
     }
 }
 
+/// Like [`run_campaign`], but every trial executes on the **bulk tier**
+/// ([`wb_runtime::bulk`]): trial `t` bulk-runs the whole-schedule
+/// permutation [`SamplerKind::permutation`]`(n, trial_seed(seed, t))` under
+/// `target` (`None` = the protocol's native simultaneous model).
+///
+/// The determinism contract of [`run_campaign`] carries over verbatim — the
+/// report is a pure function of `(protocol, g, config, target)`, identical
+/// for any batch size or thread count. The crashy sampler is refused (it is
+/// adaptive and has no whole-schedule form).
+///
+/// For the **priority** sampler, bulk trials replay the step tier's trials
+/// *exactly* (same seeded permutation per trial), so on simultaneous
+/// protocols the two tiers produce byte-identical reports — a cross-tier
+/// invariant pinned by a unit test here.
+///
+/// ```
+/// use wb_sim::{run_bulk_campaign, CampaignConfig, CampaignLabels, SamplerKind};
+/// use wb_core::MisGreedy;
+/// use wb_graph::{checks, generators};
+/// use wb_runtime::Outcome;
+///
+/// let g = generators::gnp(200, 0.02, &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1));
+/// let config = CampaignConfig::default().with_trials(200).with_seed(9);
+/// let report = run_bulk_campaign(
+///     &MisGreedy::new(1),
+///     &g,
+///     &config,
+///     &CampaignLabels::default(),
+///     None,
+///     |o| matches!(o, Outcome::Success(s) if checks::is_rooted_mis(&g, s, 1)),
+/// ).unwrap();
+/// assert_eq!(report.verdict(), "PASS");
+/// assert_eq!(report.trials, 200);
+/// ```
+pub fn run_bulk_campaign<P, C>(
+    protocol: &P,
+    g: &Graph,
+    config: &CampaignConfig,
+    labels: &CampaignLabels,
+    target: Option<Model>,
+    check: C,
+) -> Result<CampaignReport, String>
+where
+    P: BulkProtocol + Sync,
+    P::Output: std::fmt::Debug,
+    C: Fn(&Outcome<P::Output>) -> bool + Sync,
+{
+    // Surface an unusable sampler before spawning any worker.
+    config.sampler.permutation(g.n(), 0)?;
+    let total = config.trials;
+    let bulk_config = BulkConfig::default();
+    let stats = wb_par::par_batch_reduce(
+        total as usize,
+        config.batch.max(1),
+        |range| {
+            let mut stats = BatchStats::identity();
+            for t in range {
+                let trial = t as u64;
+                let seed = trial_seed(config.seed, trial);
+                let schedule = config
+                    .sampler
+                    .permutation(g.n(), seed)
+                    .expect("checked before sharding");
+                let report = run_bulk(protocol, g, &schedule, target, &bulk_config);
+                let pass = check(&report.outcome);
+                stats.record(trial, seed, report.outcome, schedule, pass, config);
+            }
+            stats
+        },
+        BatchStats::identity,
+        |a, b| a.merge(b, config),
+    );
+    Ok(CampaignReport {
+        protocol: labels.protocol.clone(),
+        model: labels.model.clone(),
+        family: labels.family.clone(),
+        n: g.n(),
+        trials: total,
+        seed: config.seed,
+        sampler: config.sampler.name(),
+        passed: stats.passed,
+        failed: stats.failed,
+        deadlocks: stats.deadlocks,
+        distinct_outcomes: stats.fingerprints.len() as u64,
+        outcome_set: stats.outcomes.map(|set| set.into_iter().collect()),
+        witnesses: stats.witnesses,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wb_core::{AsyncBipartiteBfs, MisGreedy};
+    use wb_core::{AsyncBipartiteBfs, MisGreedy, TwoCliques};
     use wb_graph::{checks, generators};
     use wb_runtime::{run, ScheduleAdversary};
 
@@ -601,6 +720,59 @@ mod tests {
                 "{o:?}"
             );
         }
+    }
+
+    #[test]
+    fn bulk_priority_campaign_replays_step_campaign_byte_for_byte() {
+        // Under a simultaneous model the priority sampler's trial IS a
+        // seeded permutation, and the bulk tier draws the identical one —
+        // so the two engines must produce byte-identical campaign reports.
+        let g = generators::gnp(
+            30,
+            0.15,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2),
+        );
+        let config = CampaignConfig::default()
+            .with_trials(400)
+            .with_seed(13)
+            .with_sampler(SamplerKind::Priority);
+        let labels = mis_labels();
+        let check = |o: &Outcome<Vec<wb_graph::NodeId>>| matches!(o, Outcome::Success(s) if checks::is_rooted_mis(&g, s, 1));
+        let step = run_campaign(&MisGreedy::new(1), &g, &config, &labels, check);
+        let bulk =
+            run_bulk_campaign(&MisGreedy::new(1), &g, &config, &labels, None, check).unwrap();
+        assert_eq!(
+            step.to_json().to_string(),
+            bulk.to_json().to_string(),
+            "priority trials must replay across tiers"
+        );
+    }
+
+    #[test]
+    fn bulk_campaign_is_batch_insensitive_and_refuses_crashy() {
+        let g = generators::two_cliques(8);
+        let base = CampaignConfig::default().with_trials(300).with_seed(5);
+        let labels = CampaignLabels::default();
+        let render = |config: &CampaignConfig| {
+            run_bulk_campaign(&TwoCliques, &g, config, &labels, None, |o| {
+                matches!(
+                    o,
+                    Outcome::Success(v) if *v == wb_core::two_cliques::TwoCliquesVerdict::TwoCliques
+                )
+            })
+            .unwrap()
+            .to_json()
+            .to_string()
+        };
+        let sequential = render(&base.clone().with_batch(300));
+        for batch in [1usize, 7, 64] {
+            assert_eq!(render(&base.clone().with_batch(batch)), sequential);
+        }
+        let crashy = base.clone().with_sampler(SamplerKind::Crashy);
+        assert!(
+            run_bulk_campaign(&TwoCliques, &g, &crashy, &labels, None, |_| true).is_err(),
+            "crashy has no whole-schedule form"
+        );
     }
 
     #[test]

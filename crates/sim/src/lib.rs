@@ -13,7 +13,9 @@
 //! - [`campaign`] — the sharded campaign runner: trials batched across the
 //!   `wb_par` pool, statistics merged as a commutative monoid so the
 //!   [`campaign::CampaignReport`] (and its JSON) is byte-identical for any
-//!   batch size or thread count;
+//!   batch size or thread count; [`run_bulk_campaign`] drives the same
+//!   statistics through the **bulk tier** (`wb_runtime::bulk`) for
+//!   simultaneous models, where a trial is a whole-schedule permutation;
 //! - [`shrink`] — delta-debugging schedule minimization over the lenient
 //!   replay adversary: failing schedules shrink to locally minimal
 //!   witnesses in the same format the regression corpus replays.
@@ -35,6 +37,8 @@ pub mod shrink;
 // re-export spares downstream binaries (the CLI) a direct wb-bench edge.
 pub use wb_bench::json;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignLabels, CampaignReport, TrialFailure};
+pub use campaign::{
+    run_bulk_campaign, run_campaign, CampaignConfig, CampaignLabels, CampaignReport, TrialFailure,
+};
 pub use sampler::{trial_seed, CrashyAdversary, SampledAdversary, SamplerKind};
 pub use shrink::{shrink_schedule, ShrinkReport};

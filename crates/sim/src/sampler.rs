@@ -84,6 +84,42 @@ impl SamplerKind {
             SamplerKind::Crashy => SampledAdversary::Crashy(CrashyAdversary::new(seed)),
         }
     }
+
+    /// The whole-schedule form of one trial, for the **bulk tier**: under a
+    /// simultaneous model the active set is always "everyone not yet
+    /// written", so a trial is exactly a permutation of the nodes.
+    ///
+    /// - `Priority` returns the *same* permutation the per-round
+    ///   [`PriorityAdversary`] would execute (identical seeded shuffle), so
+    ///   bulk and step campaigns replay each other's priority trials
+    ///   exactly — pinned by a cross-tier test in `wb-sim`.
+    /// - `Uniform` returns a uniformly random permutation — the same
+    ///   *distribution* as round-by-round uniform picks (without
+    ///   replacement), though not the same draw for a given seed.
+    /// - `Crashy` is adaptive (it reads the board mid-run) and has no
+    ///   whole-schedule form: an error for bulk callers to surface.
+    ///
+    /// ```
+    /// use wb_sim::SamplerKind;
+    /// let perm = SamplerKind::Priority.permutation(6, 42).unwrap();
+    /// let mut sorted = perm.clone();
+    /// sorted.sort_unstable();
+    /// assert_eq!(sorted, vec![1, 2, 3, 4, 5, 6]);
+    /// assert_eq!(perm, SamplerKind::Priority.permutation(6, 42).unwrap());
+    /// assert!(SamplerKind::Crashy.permutation(6, 42).is_err());
+    /// ```
+    pub fn permutation(&self, n: usize, seed: u64) -> Result<Vec<NodeId>, String> {
+        match self {
+            SamplerKind::Uniform | SamplerKind::Priority => {
+                Ok(wb_runtime::shuffled_schedule(n, seed))
+            }
+            SamplerKind::Crashy => Err(
+                "the crashy sampler is adaptive (it reads the board mid-run) and cannot \
+                 drive the bulk tier; use uniform or priority"
+                    .into(),
+            ),
+        }
+    }
 }
 
 /// A per-trial adversary, dispatched without boxing (the trial loop is hot).

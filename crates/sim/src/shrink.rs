@@ -99,6 +99,21 @@ where
 /// Returns an error if `witness` does not actually fail under lenient
 /// replay — a shrinker quietly "minimizing" a passing schedule would
 /// fabricate witnesses.
+///
+/// ```
+/// use wb_sim::shrink_schedule;
+/// use wb_core::AsyncBipartiteBfs;
+/// use wb_graph::Graph;
+///
+/// // The Open Problem 3 ablation graph: the async (no-d₀) BFS deadlocks on
+/// // every schedule, so any executed order is a failing witness.
+/// let g = Graph::from_edges(5, &[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
+/// let witness = vec![1, 2, 3, 4];
+/// let shrunk = shrink_schedule(&AsyncBipartiteBfs, &g, &witness, |o| !o.is_success(), 5_000)
+///     .expect("the witness fails, so it shrinks");
+/// assert!(shrunk.schedule.len() <= witness.len());   // never longer
+/// assert!(shrunk.outcome.contains("Deadlock"));      // still failing
+/// ```
 pub fn shrink_schedule<P, F>(
     protocol: &P,
     g: &Graph,

@@ -14,12 +14,20 @@
 //!                                                    # Monte Carlo schedule campaign (statistical
 //!                                                    # tier, n past the exhaustive frontier);
 //!                                                    # failures auto-shrink to minimal witnesses
+//! whiteboard bulk --protocol build:2 --graph-family kdeg:2 --n 100000
+//!                 [--model native|simasync|simsync] [--seed S] [--batch B] [--json]
+//!                                                    # bulk tier: one columnar execution at
+//!                                                    # n ≥ 10⁵ (simultaneous models only),
+//!                                                    # rounds/sec + board bytes reported
 //! whiteboard capacity --n 1024,4096                  # Lemma 3 table
 //! whiteboard list                                    # protocols & workloads
 //! ```
 //!
-//! Argument parsing is hand-rolled (no CLI crate on the approved dependency
-//! list); every run is reproducible from `--seed`.
+//! Protocols and their correctness oracles resolve through the shared
+//! [`wb_core::registry`], so `check`, `explore`, `campaign`, and `bulk` all
+//! select scenarios from one table. Argument parsing is hand-rolled (no CLI
+//! crate on the approved dependency list); every run is reproducible from
+//! `--seed`.
 
 use shared_whiteboard::prelude::*;
 use std::process::ExitCode;
@@ -47,6 +55,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&opts),
         "explore" => cmd_explore(&opts),
         "campaign" => cmd_campaign(&opts),
+        "bulk" => cmd_bulk(&opts),
         "capacity" => cmd_capacity(&opts),
         "dot" => cmd_dot(&opts),
         "list" => {
@@ -66,11 +75,11 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: whiteboard <run|check|explore|campaign|capacity|dot|list> [--protocol P] \
+        "usage: whiteboard <run|check|explore|campaign|bulk|capacity|dot|list> [--protocol P] \
          [--workload W | --graph-family W] [--n N[,N..]] [--seed S] \
          [--adversary min|max|random:S] [--trace] \
          [--max-states M] [--par] [--compare-naive] [--dedup canonical|exact|off] [--json] \
-         [--trials T] [--sampler uniform|priority|crashy] \
+         [--trials T] [--sampler uniform|priority|crashy] [--batch B] \
          [--model native|simasync|simsync|async|sync|fasync|fsync] [--shrink] [--shrink-out PATH]"
     );
 }
@@ -93,6 +102,9 @@ struct Opts {
     model: String,
     shrink: bool,
     shrink_out: Option<String>,
+    /// Sharding grain: board shard size for `bulk`, trial batch for
+    /// `campaign`. `None` = each command's default.
+    batch: Option<usize>,
 }
 
 impl Opts {
@@ -115,6 +127,7 @@ impl Opts {
             model: "native".into(),
             shrink: false,
             shrink_out: None,
+            batch: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -158,6 +171,13 @@ impl Opts {
                 }
                 "--sampler" => o.sampler = value("--sampler")?,
                 "--model" => o.model = value("--model")?,
+                "--batch" => {
+                    o.batch = Some(
+                        value("--batch")?
+                            .parse()
+                            .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                    )
+                }
                 "--shrink" => o.shrink = true,
                 "--shrink-out" => {
                     o.shrink = true;
@@ -180,6 +200,7 @@ impl Opts {
     }
 }
 
+use wb_core::registry;
 use wb_core::workload::split_spec;
 
 /// Graph-family selection is shared with the campaign engine and the
@@ -205,7 +226,9 @@ fn run_one(
             if trace {
                 print_trace(&rows);
             }
-            let budget = p.budget_bits(n);
+            // MIS and 2-CLIQUES implement both `Protocol` and
+            // `BulkProtocol` (same budgets): name the trait explicitly.
+            let budget = Protocol::budget_bits(&p, n);
             let stats = format!(
                 "[{} bits/msg max, budget {budget}, {} rounds]",
                 report.max_message_bits(),
@@ -399,134 +422,81 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
 }
 
 fn cmd_check(o: &Opts) -> Result<(), String> {
-    // Exhaustive model checking over all labeled graphs on n nodes.
+    // Exhaustive model checking over all labeled graphs on n nodes: every
+    // registry protocol is checkable against its oracle (the per-protocol
+    // match arms this command used to carry live in `wb_core::registry`).
     let n = *o.ns.first().unwrap_or(&4);
     if n > 5 {
         return Err("check enumerates all graphs; use --n ≤ 5".into());
     }
-    let (kind, arg) = split_spec(&o.protocol);
-    const CAP: u64 = 2_000_000;
-    let mut graphs = 0u64;
-    let mut schedules = 0u64;
-    for g in enumerate::all_graphs(n) {
-        graphs += 1;
-        schedules += match kind {
-            "bfs" => assert_all_schedules(&SyncBfs, &g, CAP, |f| *f == checks::bfs_forest(&g)),
-            "mis" => {
-                let root = (arg.unwrap_or(1) as NodeId).clamp(1, n as NodeId);
-                assert_all_schedules(&MisGreedy::new(root), &g, CAP, |s| {
-                    checks::is_rooted_mis(&g, s, root)
-                })
-            }
-            "eob-bfs" => assert_all_schedules(&EobBfs, &g, CAP, |out| match out {
-                BfsOutput::Forest(f) => {
-                    checks::is_even_odd_bipartite(&g) && *f == checks::bfs_forest(&g)
-                }
-                BfsOutput::NotEvenOddBipartite => !checks::is_even_odd_bipartite(&g),
-            }),
-            "build" => {
-                let k = arg.unwrap_or(2) as usize;
-                let p = BuildDegenerate::new(k.max(1));
-                assert_all_schedules(&p, &g, CAP, |out| match out {
-                    Ok(h) => *h == g,
-                    Err(_) => checks::degeneracy(&g).0 > k,
-                })
-            }
-            other => return Err(format!("check does not support protocol '{other}'")),
-        };
+
+    struct CheckAllGraphs {
+        n: usize,
+        spec: String,
     }
+
+    impl registry::ProtocolVisitor for CheckAllGraphs {
+        type Result = Result<(u64, u64), String>;
+        fn visit<P, B>(self, protocol: P, bind: B) -> Self::Result
+        where
+            P: Protocol + Clone + Send + Sync,
+            P::Node: Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> registry::BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            let config = ExploreConfig::default();
+            let mut graphs = 0u64;
+            let mut states = 0u64;
+            for g in enumerate::all_graphs(self.n) {
+                graphs += 1;
+                let oracle = bind(&g);
+                let report = explore(&protocol, &g, &config, |out| oracle(out));
+                if report.truncated {
+                    return Err(format!("{}: truncated on {g:?}", self.spec));
+                }
+                if let Some(f) = report.failures.first() {
+                    return Err(format!(
+                        "{}: oracle violated on {g:?} under write order {:?}: {:?}",
+                        self.spec, f.schedule, f.outcome
+                    ));
+                }
+                states += report.distinct_states;
+            }
+            Ok((graphs, states))
+        }
+    }
+
+    let (graphs, states) = registry::dispatch(
+        &o.protocol,
+        n,
+        CheckAllGraphs {
+            n,
+            spec: o.protocol.clone(),
+        },
+    )??;
     println!(
-        "exhaustive check passed: protocol {} on all {graphs} graphs (n = {n}), {schedules} schedules",
+        "exhaustive check passed: protocol {} on all {graphs} graphs (n = {n}), \
+         {states} distinct states explored",
         o.protocol
     );
     Ok(())
 }
 
-/// The one protocol → correctness-oracle table shared by the schedule-space
-/// commands (`explore` and `campaign`): expands `$action!(protocol_value,
-/// oracle_predicate)` for the protocol named by `$kind`, where the
-/// predicate classifies an `Outcome` against the reference oracles on the
-/// macro-local graph binding. Keeping the table in one place means a new
-/// protocol (or a changed oracle) cannot silently diverge between the
-/// exhaustive and statistical tiers.
-macro_rules! dispatch_protocol_oracle {
-    ($cmd:literal, $kind:expr, $arg:expr, $n:expr, $g:expr, $action:ident) => {{
-        let arg: Option<u64> = $arg;
-        let n: usize = $n;
-        let g: &Graph = $g;
-        let k = arg.unwrap_or(2) as usize;
-        match $kind {
-            "build" => {
-                let fits = checks::degeneracy(g).0 <= k.max(1);
-                $action!(
-                    BuildDegenerate::new(k.max(1)),
-                    |out: &Outcome<Result<Graph, BuildError>>| match out {
-                        Outcome::Success(Ok(h)) => fits && h == g,
-                        Outcome::Success(Err(_)) => !fits,
-                        Outcome::Deadlock { .. } => false,
-                    }
-                )
-            }
-            "naive" => $action!(NaiveBuild, |out: &Outcome<Graph>| matches!(
-                out,
-                Outcome::Success(h) if h == g
-            )),
-            "mis" => {
-                let root = (arg.unwrap_or(1) as NodeId).clamp(1, n as NodeId);
-                $action!(MisGreedy::new(root), |out: &Outcome<Vec<NodeId>>| matches!(
-                    out,
-                    Outcome::Success(s) if checks::is_rooted_mis(g, s, root)
-                ))
-            }
-            "bfs" => $action!(SyncBfs, |out: &Outcome<checks::BfsForest>| matches!(
-                out,
-                Outcome::Success(f) if *f == checks::bfs_forest(g)
-            )),
-            "eob-bfs" => $action!(EobBfs, |out: &Outcome<BfsOutput>| match out {
-                Outcome::Success(BfsOutput::Forest(f)) =>
-                    checks::is_even_odd_bipartite(g) && *f == checks::bfs_forest(g),
-                Outcome::Success(BfsOutput::NotEvenOddBipartite) =>
-                    !checks::is_even_odd_bipartite(g),
-                Outcome::Deadlock { .. } => false,
-            }),
-            // No correctness spec off the even-odd-bipartite class (the Open
-            // Problem 3 ablation): the oracle is completion itself.
-            "async-bipartite-bfs" => $action!(
-                AsyncBipartiteBfs,
-                |out: &Outcome<checks::BfsForest>| out.is_success()
-            ),
-            "edge-count" => $action!(EdgeCount, |out: &Outcome<usize>| matches!(
-                out,
-                Outcome::Success(m) if *m == g.m()
-            )),
-            "connectivity" => $action!(
-                ConnectivitySync,
-                |out: &Outcome<ConnectivityReport>| matches!(
-                    out,
-                    Outcome::Success(rep) if rep.connected == checks::is_connected(g)
-                )
-            ),
-            "two-cliques" => $action!(
-                TwoCliques,
-                |out: &Outcome<wb_core::two_cliques::TwoCliquesVerdict>| matches!(
-                    out,
-                    Outcome::Success(v)
-                        if (*v == wb_core::two_cliques::TwoCliquesVerdict::TwoCliques)
-                            == checks::is_two_cliques(g)
-                )
-            ),
-            "subgraph" => $action!(SubgraphPrefix::new(k.max(1)), |out: &Outcome<
-                Graph,
-            >| matches!(
-                out,
-                Outcome::Success(h) if *h == g.induced_prefix(k.max(1).min(n))
-            )),
-            other => Err(format!(
-                "{} does not support protocol '{other}'",
-                $cmd
-            )),
+/// Render `s` as a quoted, escaped JSON string (shared by the hand-rolled
+/// `--json` emitters of `explore` and `bulk`).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
-    }};
+    }
+    out.push('"');
+    out
 }
 
 /// Schedule-space exploration of one protocol on one workload graph,
@@ -547,22 +517,6 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
     let config = ExploreConfig::default()
         .with_max_states(o.max_states)
         .with_dedup(dedup);
-    let (kind, arg) = split_spec(&o.protocol);
-
-    fn json_escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-        out
-    }
 
     /// `(states, schedules, truncated)` of the dedup-off comparison walk.
     type NaiveStats = (u64, u64, bool);
@@ -658,31 +612,44 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
         }
     }
 
-    // A tiny shim so the macro below can also run the naive comparison with
-    // the same protocol value.
-    macro_rules! explore_one {
-        ($p:expr, $pred:expr) => {{
-            let p = $p;
-            let pred = $pred;
+    /// Registry visitor: explore the resolved protocol against its oracle.
+    struct ExploreOne<'a> {
+        o: &'a Opts,
+        g: &'a Graph,
+        config: ExploreConfig,
+    }
+
+    impl registry::ProtocolVisitor for ExploreOne<'_> {
+        type Result = Result<(), String>;
+        fn visit<P, B>(self, protocol: P, bind: B) -> Self::Result
+        where
+            P: Protocol + Clone + Send + Sync,
+            P::Node: Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> registry::BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            let (o, g) = (self.o, self.g);
+            let oracle = bind(g);
+            let pred = |out: &Outcome<P::Output>| oracle(out);
             let start = std::time::Instant::now();
             let report = if o.par {
-                explore_parallel(&p, &g, &config, &pred)
+                explore_parallel(&protocol, g, &self.config, &pred)
             } else {
-                explore(&p, &g, &config, &pred)
+                explore(&protocol, g, &self.config, &pred)
             };
             let wall_sec = start.elapsed().as_secs_f64();
             let naive = o.compare_naive.then(|| {
                 let off = ExploreConfig::default()
                     .without_dedup()
                     .with_max_states(o.max_states);
-                let naive = explore(&p, &g, &off, &pred);
+                let naive = explore(&protocol, g, &off, &pred);
                 (naive.distinct_states, naive.terminals, naive.truncated)
             });
-            print_report(o, &g, &report, wall_sec, naive)
-        }};
+            print_report(o, g, &report, wall_sec, naive)
+        }
     }
 
-    dispatch_protocol_oracle!("explore", kind, arg, n, &g, explore_one)
+    registry::dispatch(&o.protocol, n, ExploreOne { o, g: &g, config })?
 }
 
 /// Parse a `--model` spec: `None` means "the protocol's native model"; the
@@ -724,7 +691,6 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
     } else {
         "mis:1".into()
     };
-    let (kind, arg) = split_spec(&spec);
 
     /// Everything `drive` needs beyond the protocol and predicate.
     struct Ctx<'a> {
@@ -772,10 +738,13 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         let o = ctx.o;
         let g = ctx.g;
         let sampler = SamplerKind::parse(&o.sampler)?;
-        let config = CampaignConfig::default()
+        let mut config = CampaignConfig::default()
             .with_trials(o.trials)
             .with_seed(o.seed)
             .with_sampler(sampler);
+        if let Some(batch) = o.batch {
+            config = config.with_batch(batch);
+        }
         let labels = CampaignLabels {
             protocol: ctx.spec.clone(),
             model: p.model().to_string(),
@@ -875,18 +844,142 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         Ok(())
     }
 
+    /// Registry visitor: run the campaign with the resolved protocol and
+    /// its instance-bound oracle.
+    struct CampaignOne<'a> {
+        ctx: Ctx<'a>,
+    }
+
+    impl registry::ProtocolVisitor for CampaignOne<'_> {
+        type Result = Result<(), String>;
+        fn visit<P, B>(self, protocol: P, bind: B) -> Self::Result
+        where
+            P: Protocol + Clone + Send + Sync,
+            P::Node: Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> registry::BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            let oracle = bind(self.ctx.g);
+            drive(&self.ctx, protocol, oracle)
+        }
+    }
+
     let ctx = Ctx {
         o,
         g: &g,
         spec: spec.clone(),
         target,
     };
-    macro_rules! campaign_one {
-        ($p:expr, $pred:expr) => {
-            drive(&ctx, $p, $pred)
-        };
+    registry::dispatch(&spec, n, CampaignOne { ctx })?
+}
+
+/// Parse a bulk-tier `--model` spec: the bulk engine executes simultaneous
+/// models only.
+fn parse_bulk_model(spec: &str) -> Result<Option<Model>, String> {
+    match parse_model(spec)? {
+        None => Ok(None),
+        Some(m) if m.is_simultaneous() => Ok(Some(m)),
+        Some(m) => Err(format!(
+            "the bulk tier executes simultaneous models only, not {m} \
+             (use `run` or `campaign` for free models)"
+        )),
     }
-    dispatch_protocol_oracle!("campaign", kind, arg, n, &g, campaign_one)
+}
+
+/// One columnar bulk execution (third tier): a seeded random schedule of a
+/// simultaneous protocol at `n` up to 10⁵ and beyond, verified against the
+/// registry oracle, with rounds/sec and board bytes reported. Sweeps every
+/// `--n` value like `run` does.
+fn cmd_bulk(o: &Opts) -> Result<(), String> {
+    use wb_runtime::bulk::{run_bulk, shuffled_schedule, BulkConfig};
+
+    struct BulkOne<'a> {
+        o: &'a Opts,
+        g: &'a Graph,
+        target: Option<Model>,
+    }
+
+    impl registry::BulkVisitor for BulkOne<'_> {
+        type Result = Result<(), String>;
+        fn visit<P, B>(self, protocol: P, bind: B) -> Self::Result
+        where
+            P: wb_runtime::BulkProtocol + Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> registry::BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            let (o, g) = (self.o, self.g);
+            let n = g.n();
+            let model = self.target.unwrap_or(protocol.model());
+            if !model.includes(protocol.model()) {
+                return Err(format!(
+                    "cannot demote {} protocol '{}' to {model}",
+                    protocol.model(),
+                    o.protocol
+                ));
+            }
+            let schedule = shuffled_schedule(n, o.seed);
+            let config = BulkConfig::default().with_batch(o.batch.unwrap_or(4096));
+            let start = std::time::Instant::now();
+            let report = run_bulk(&protocol, g, &schedule, self.target, &config);
+            let wall_sec = start.elapsed().as_secs_f64();
+            let rounds_per_sec = if wall_sec > 0.0 {
+                report.rounds as f64 / wall_sec
+            } else {
+                0.0
+            };
+            let oracle = bind(g);
+            let pass = oracle(&report.outcome);
+            let verdict = if pass { "PASS" } else { "FAIL" };
+            if o.json {
+                println!(
+                    "{{\"protocol\":{},\"model\":\"{model}\",\"family\":{},\"n\":{n},\
+                     \"rounds\":{},\"shards\":{},\"board_payload_bytes\":{},\
+                     \"board_index_bytes\":{},\"total_bits\":{},\"max_message_bits\":{},\
+                     \"wall_sec\":{wall_sec:.9},\"rounds_per_sec\":{rounds_per_sec:.1},\
+                     \"verdict\":\"{verdict}\"}}",
+                    json_escape(&o.protocol),
+                    json_escape(&o.workload),
+                    report.rounds,
+                    report.board.shard_count(),
+                    report.board.payload_bytes(),
+                    report.board.index_bytes(),
+                    report.total_bits(),
+                    report.max_message_bits(),
+                );
+            } else {
+                println!("bulk: {} @ {model} on {} (n = {n})", o.protocol, o.workload);
+                println!(
+                    "  rounds          : {} in {wall_sec:.3}s ({rounds_per_sec:.0} rounds/sec)",
+                    report.rounds
+                );
+                println!(
+                    "  board           : {} bytes payload + {} bytes index, {} shards",
+                    report.board.payload_bytes(),
+                    report.board.index_bytes(),
+                    report.board.shard_count()
+                );
+                println!(
+                    "  messages        : {} bits total, {} bits/msg max (budget {})",
+                    report.total_bits(),
+                    report.max_message_bits(),
+                    protocol.budget_bits(n)
+                );
+                println!("  verdict         : {verdict}");
+            }
+            if pass {
+                Ok(())
+            } else {
+                Err("bulk outcome violated the oracle".into())
+            }
+        }
+    }
+
+    let target = parse_bulk_model(&o.model)?;
+    for &n in &o.ns {
+        let g = make_workload(&o.workload, n, o.seed)?;
+        registry::dispatch_bulk(&o.protocol, n, BulkOne { o, g: &g, target })??;
+    }
+    Ok(())
 }
 
 fn cmd_capacity(o: &Opts) -> Result<(), String> {
@@ -923,25 +1016,20 @@ fn cmd_capacity(o: &Opts) -> Result<(), String> {
 }
 
 fn cmd_list() {
-    println!("protocols:");
-    println!("  build:K         BUILD, degeneracy ≤ K (SIMASYNC, Thm 2)");
-    println!("  build-mixed:K   BUILD, low-or-high class (SIMASYNC, §3 extension)");
-    println!("  naive           BUILD, Θ(n)-bit baseline (SIMASYNC)");
-    println!("  mis:ROOT        rooted MIS (SIMSYNC, Thm 5)");
-    println!("  bfs             BFS forest, any graph (SYNC, Thm 10)");
-    println!("  eob-bfs         BFS forest, even-odd bipartite (ASYNC, Thm 7)");
-    println!("  spanning        spanning forest (SYNC, §6)");
-    println!("  two-cliques     2-CLIQUES (SIMSYNC, §5.1)");
-    println!("  two-cliques-rand:SEED  randomized 2-CLIQUES (SIMASYNC, Open Pb 4)");
-    println!("  subgraph:F      SUBGRAPH_F (SIMASYNC, Thm 9)");
-    println!("  triangle        TRIANGLE, Θ(n)-bit bracket (SIMASYNC)");
-    println!("  square          SQUARE, Θ(n)-bit bracket (SIMASYNC)");
-    println!("  diameter3       DIAMETER ≤ 3, Θ(n)-bit bracket (SIMASYNC)");
-    println!("  connectivity    CONNECTIVITY + components (SYNC, §6)");
-    println!("  edge-count      |E| from degrees (SIMASYNC[2 log n])");
-    println!("  degree-stats    degree sequence statistics (SIMASYNC[2 log n])");
+    println!("protocols (from the shared registry; [bulk] = runnable on the bulk tier):");
+    for p in registry::PROTOCOLS {
+        println!(
+            "  {:<22} {:<40} ({}, {}){}",
+            p.spec,
+            p.summary,
+            p.model,
+            p.paper,
+            if p.bulk { " [bulk]" } else { "" }
+        );
+    }
     println!("workloads: tree forest ktree:K kdeg:K mixed:K gnp:DEG eob bipartite");
     println!("           two-cliques impostor clique cycle path file:PATH (edge list)");
     println!("adversaries: min max random:SEED");
     println!("campaign samplers: uniform priority crashy (see `whiteboard campaign`)");
+    println!("tiers: check/explore ≲ n=8 · campaign ≲ n=10² · bulk ≥ n=10⁵ (simultaneous)");
 }

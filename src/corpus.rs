@@ -193,46 +193,65 @@ impl WitnessFixture {
     /// Re-run the recorded schedule deterministically and check it
     /// reproduces the recorded outcome.
     ///
-    /// Supported protocol specs: `build:K`, `naive`, `mis:ROOT`, `bfs`,
-    /// `eob-bfs`, `async-bipartite-bfs`, `spanning`, `connectivity`,
-    /// `two-cliques`, `subgraph:F`, `edge-count`.
+    /// The protocol spec resolves through [`wb_core::registry`] — any
+    /// registered protocol (see `whiteboard list`) can be a fixture subject,
+    /// and the spec syntax and argument defaults are exactly the CLI's.
     ///
     /// Panics (via [`ScheduleAdversary`]) if the recorded schedule is no
     /// longer executable — that means engine or protocol semantics drifted,
     /// which is exactly what a regression corpus must catch.
     pub fn replay(&self) -> Result<(), String> {
+        use wb_core::registry::{self, BoundOracle, ProtocolVisitor};
+
+        /// Strict-replays the fixture's schedule and renders the outcome.
+        struct Replay<'a> {
+            g: &'a Graph,
+            schedule: Vec<NodeId>,
+        }
+
+        impl ProtocolVisitor for Replay<'_> {
+            type Result = ExpectedOutcome;
+            fn visit<P, B>(self, protocol: P, _bind: B) -> ExpectedOutcome
+            where
+                P: Protocol + Clone + Send + Sync,
+                P::Node: Send + Sync,
+                P::Output: Clone + PartialEq + Debug + Send + Sync,
+                B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+            {
+                let report = run(
+                    &protocol,
+                    self.g,
+                    &mut ScheduleAdversary::new(self.schedule),
+                );
+                match report.outcome {
+                    Outcome::Deadlock { awake } => ExpectedOutcome::Deadlock { awake },
+                    Outcome::Success(out) => ExpectedOutcome::Output(format!("{out:?}")),
+                }
+            }
+        }
+
+        // The registry's `split_spec` quietly falls back to the default on
+        // an unparsable argument; a corpus fixture must fail loudly instead
+        // (a corrupted spec silently replaying the wrong protocol would
+        // defeat the regression corpus).
+        if let Some((_, arg)) = self.protocol.split_once(':') {
+            arg.parse::<u64>().map_err(|_| {
+                format!(
+                    "fixture '{}': bad protocol argument in '{}'",
+                    self.name, self.protocol
+                )
+            })?;
+        }
         let g = self.graph();
-        let (kind, arg) = match self.protocol.split_once(':') {
-            Some((k, v)) => {
-                let parsed = v.parse::<u64>().map_err(|_| {
-                    format!(
-                        "fixture '{}': bad protocol argument in '{}'",
-                        self.name, self.protocol
-                    )
-                })?;
-                (k, Some(parsed))
-            }
-            None => (self.protocol.as_str(), None),
-        };
-        let observed = match kind {
-            "build" => self.run_one(&BuildDegenerate::new(arg.unwrap_or(2) as usize), &g),
-            "naive" => self.run_one(&NaiveBuild, &g),
-            "mis" => self.run_one(&MisGreedy::new(arg.unwrap_or(1) as NodeId), &g),
-            "bfs" => self.run_one(&SyncBfs, &g),
-            "eob-bfs" => self.run_one(&EobBfs, &g),
-            "async-bipartite-bfs" => self.run_one(&AsyncBipartiteBfs, &g),
-            "spanning" => self.run_one(&SpanningForestSync, &g),
-            "connectivity" => self.run_one(&ConnectivitySync, &g),
-            "two-cliques" => self.run_one(&TwoCliques, &g),
-            "subgraph" => self.run_one(&SubgraphPrefix::new(arg.unwrap_or(1) as usize), &g),
-            "edge-count" => self.run_one(&EdgeCount, &g),
-            other => {
-                return Err(format!(
-                    "fixture '{}': unknown protocol '{other}'",
-                    self.name
-                ))
-            }
-        };
+        let observed = registry::dispatch(
+            &self.protocol,
+            g.n(),
+            Replay {
+                g: &g,
+                schedule: self.schedule.clone(),
+            },
+        )
+        .map_err(|e| format!("fixture '{}': {e}", self.name))?;
         if observed == self.expect {
             Ok(())
         } else {
@@ -240,18 +259,6 @@ impl WitnessFixture {
                 "fixture '{}' did not reproduce: expected {:?}, replay produced {:?}",
                 self.name, self.expect, observed
             ))
-        }
-    }
-
-    fn run_one<P>(&self, p: &P, g: &Graph) -> ExpectedOutcome
-    where
-        P: Protocol,
-        P::Output: Debug,
-    {
-        let report = run(p, g, &mut ScheduleAdversary::new(self.schedule.clone()));
-        match report.outcome {
-            Outcome::Deadlock { awake } => ExpectedOutcome::Deadlock { awake },
-            Outcome::Success(out) => ExpectedOutcome::Output(format!("{out:?}")),
         }
     }
 }

@@ -71,6 +71,10 @@ pub mod prelude {
     pub use wb_graph::{checks, enumerate, generators, AdjMatrix, Graph, NodeId};
     pub use wb_math::{bits_for, id_bits, BigInt, BitReader, BitVec, BitWriter};
     pub use wb_runtime::adapt::Promote;
+    pub use wb_runtime::bulk::{
+        identity_schedule, run_bulk, shuffled_schedule, BulkBoard, BulkConfig, BulkProtocol,
+        BulkReport, Oblivious,
+    };
     pub use wb_runtime::exhaustive::{
         assert_all_schedules, assert_explored, explore, explore_parallel, find_failing_schedule,
         for_each_schedule, DedupPolicy, ExplorationReport, ExploreConfig, NaiveReport,
@@ -82,7 +86,7 @@ pub mod prelude {
         RandomAdversary, RunReport, ScheduleAdversary, Whiteboard,
     };
     pub use wb_sim::{
-        run_campaign, shrink_schedule, trial_seed, CampaignConfig, CampaignLabels, CampaignReport,
-        SamplerKind, ShrinkReport,
+        run_bulk_campaign, run_campaign, shrink_schedule, trial_seed, CampaignConfig,
+        CampaignLabels, CampaignReport, SamplerKind, ShrinkReport,
     };
 }

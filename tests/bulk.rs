@@ -1,0 +1,231 @@
+//! Bulk-vs-step differential: the columnar bulk engine must be
+//! observationally identical to the step engine.
+//!
+//! For **every** registry protocol the bulk tier supports, on **every**
+//! labeled graph up to `n = 5`, under **both** simultaneous models (the
+//! native one, plus the Lemma 4 promotion `SIMASYNC → SIMSYNC` where it
+//! applies), and for every schedule in a deterministic schedule set (all
+//! `n!` permutations at `n ≤ 4`, a fixed seeded sample at `n = 5`):
+//! running the same schedule through [`run_bulk`] and through the step
+//! engine's [`ScheduleAdversary`] must produce the *same outcome*.
+//!
+//! Outcomes are compared through their `Debug` renderings — the two tiers
+//! share each protocol's `Output` type, so equal renderings pin equal
+//! values without threading the type through both visitor traits at once.
+
+use shared_whiteboard::par::{par_drain, WorkQueue};
+use shared_whiteboard::prelude::*;
+use wb_core::registry::{self, BoundOracle, BulkVisitor, ProtocolVisitor};
+use wb_runtime::bulk::{run_bulk, shuffled_schedule, BulkConfig};
+use wb_runtime::BulkProtocol;
+
+/// All graphs on `1..=n` nodes.
+fn graphs_up_to(n: usize) -> impl Iterator<Item = Graph> {
+    (1..=n).flat_map(enumerate::all_graphs)
+}
+
+/// Deterministic schedule set: every permutation for `n ≤ 4` (24 at most),
+/// identity + reverse + six seeded shuffles at `n = 5`.
+fn schedules(n: usize) -> Vec<Vec<NodeId>> {
+    if n <= 4 {
+        let mut all = Vec::new();
+        let mut current: Vec<NodeId> = (1..=n as NodeId).collect();
+        permute(&mut current, n, &mut all);
+        all
+    } else {
+        let mut set = vec![
+            (1..=n as NodeId).collect::<Vec<_>>(),
+            (1..=n as NodeId).rev().collect::<Vec<_>>(),
+        ];
+        set.extend((0..6).map(|s| shuffled_schedule(n, s)));
+        set
+    }
+}
+
+fn permute(items: &mut Vec<NodeId>, k: usize, out: &mut Vec<Vec<NodeId>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        items.swap(i, k - 1);
+        permute(items, k - 1, out);
+        items.swap(i, k - 1);
+    }
+}
+
+/// The simultaneous models a protocol of `native` model runs under.
+fn simultaneous_targets(native: Model) -> Vec<Model> {
+    match native {
+        Model::SimAsync => vec![Model::SimAsync, Model::SimSync],
+        Model::SimSync => vec![Model::SimSync],
+        other => panic!("bulk differential reached a free model {other}"),
+    }
+}
+
+/// Step-engine outcomes, one `Debug` rendering per (schedule × model), in
+/// deterministic order.
+struct StepOutcomes<'a> {
+    g: &'a Graph,
+}
+
+impl ProtocolVisitor for StepOutcomes<'_> {
+    type Result = Vec<String>;
+    fn visit<P, B>(self, protocol: P, _bind: B) -> Vec<String>
+    where
+        P: Protocol + Clone + Send + Sync,
+        P::Node: Send + Sync,
+        P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let g = self.g;
+        let mut out = Vec::new();
+        for schedule in schedules(g.n()) {
+            for target in simultaneous_targets(protocol.model()) {
+                let outcome = if target == protocol.model() {
+                    run(&protocol, g, &mut ScheduleAdversary::new(schedule.clone())).outcome
+                } else {
+                    run(
+                        &Promote::new(protocol.clone(), target),
+                        g,
+                        &mut ScheduleAdversary::new(schedule.clone()),
+                    )
+                    .outcome
+                };
+                out.push(format!("{target}:{outcome:?}"));
+            }
+        }
+        out
+    }
+}
+
+/// Bulk-engine outcomes over the identical (schedule × model) grid.
+struct BulkOutcomes<'a> {
+    g: &'a Graph,
+}
+
+impl BulkVisitor for BulkOutcomes<'_> {
+    type Result = Vec<String>;
+    fn visit<P, B>(self, protocol: P, _bind: B) -> Vec<String>
+    where
+        P: BulkProtocol + Send + Sync,
+        P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let g = self.g;
+        let mut out = Vec::new();
+        // Tiny batch so multi-shard assembly is exercised even at n = 5.
+        let config = BulkConfig::default().with_batch(2);
+        for schedule in schedules(g.n()) {
+            for target in simultaneous_targets(protocol.model()) {
+                let report = run_bulk(&protocol, g, &schedule, Some(target), &config);
+                out.push(format!("{target}:{:?}", report.outcome));
+            }
+        }
+        out
+    }
+}
+
+#[test]
+fn bulk_equals_step_on_every_graph_to_n5_for_every_bulk_protocol() {
+    let specs: Vec<&'static str> = registry::PROTOCOLS
+        .iter()
+        .filter(|p| p.bulk)
+        .map(|p| p.name)
+        .collect();
+    assert!(
+        specs.len() >= 10,
+        "the bulk tier covers most of the registry"
+    );
+    let count = (1..=5).map(enumerate::count_all).sum::<u64>() as usize;
+    let queue = WorkQueue::bounded(count);
+    for g in graphs_up_to(5) {
+        queue.push(g).expect("queue sized to hold every graph");
+    }
+    par_drain(&queue, |g, _| {
+        for spec in &specs {
+            let step = registry::dispatch(spec, g.n(), StepOutcomes { g: &g })
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let bulk = registry::dispatch_bulk(spec, g.n(), BulkOutcomes { g: &g })
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(
+                step, bulk,
+                "{spec} on {g:?}: bulk and step engines diverged"
+            );
+        }
+    });
+}
+
+#[test]
+fn bulk_board_matches_step_board_exactly() {
+    // Beyond outcomes: the materialized bulk board (writers + message bits,
+    // write order) must equal the step engine's board verbatim.
+    struct Boards<'a> {
+        g: &'a Graph,
+        schedule: Vec<NodeId>,
+    }
+    impl BulkVisitor for Boards<'_> {
+        type Result = Whiteboard;
+        fn visit<P, B>(self, protocol: P, _bind: B) -> Whiteboard
+        where
+            P: BulkProtocol + Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            run_bulk(
+                &protocol,
+                self.g,
+                &self.schedule,
+                None,
+                &BulkConfig::default().with_batch(3),
+            )
+            .board
+            .to_whiteboard()
+        }
+    }
+    struct StepBoard<'a> {
+        g: &'a Graph,
+        schedule: Vec<NodeId>,
+    }
+    impl ProtocolVisitor for StepBoard<'_> {
+        type Result = Whiteboard;
+        fn visit<P, B>(self, protocol: P, _bind: B) -> Whiteboard
+        where
+            P: Protocol + Clone + Send + Sync,
+            P::Node: Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            run(
+                &protocol,
+                self.g,
+                &mut ScheduleAdversary::new(self.schedule),
+            )
+            .board
+        }
+    }
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(17);
+    let g = generators::gnp(12, 0.25, &mut rng);
+    for spec in [
+        "build:2",
+        "mis:1",
+        "two-cliques",
+        "edge-count",
+        "subgraph:3",
+    ] {
+        for seed in 0..4 {
+            let schedule = shuffled_schedule(g.n(), seed);
+            let bulk = registry::dispatch_bulk(
+                spec,
+                g.n(),
+                Boards {
+                    g: &g,
+                    schedule: schedule.clone(),
+                },
+            )
+            .unwrap();
+            let step = registry::dispatch(spec, g.n(), StepBoard { g: &g, schedule }).unwrap();
+            assert_eq!(bulk, step, "{spec} seed {seed}");
+        }
+    }
+}

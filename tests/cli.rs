@@ -385,6 +385,84 @@ fn explore_parallel_truncation_is_reported_not_fatal() {
 }
 
 #[test]
+fn bulk_runs_both_engine_paths_and_reports_throughput() {
+    // SIMSYNC columnar path (MIS) on the linear-time sparse family.
+    let (ok, out) = whiteboard(&[
+        "bulk",
+        "--protocol",
+        "mis:1",
+        "--graph-family",
+        "gnp-lin:4",
+        "--n",
+        "3000",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("rounds/sec"), "{out}");
+    assert!(out.contains("verdict         : PASS"), "{out}");
+    // SIMASYNC parallel path (BUILD), JSON form.
+    let (ok, out) = whiteboard_stdout(&[
+        "bulk",
+        "--protocol",
+        "build:2",
+        "--graph-family",
+        "kdeg-lin:2",
+        "--n",
+        "2000",
+        "--json",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"verdict\":\"PASS\""), "{out}");
+    assert!(out.contains("\"rounds\":2000"), "{out}");
+    assert!(out.contains("\"board_payload_bytes\":"), "{out}");
+    wb_bench::json::Json::parse(out.trim()).expect("bulk --json emits valid JSON");
+}
+
+#[test]
+fn bulk_rejects_free_models_and_demotions() {
+    let (ok, out) = whiteboard(&["bulk", "--protocol", "bfs", "--n", "100"]);
+    assert!(!ok);
+    assert!(out.contains("simultaneous"), "{out}");
+    let (ok, out) = whiteboard(&[
+        "bulk",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "100",
+        "--model",
+        "sync",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("simultaneous models only"), "{out}");
+    let (ok, out) = whiteboard(&[
+        "bulk",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "100",
+        "--model",
+        "simasync",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("cannot demote"), "{out}");
+}
+
+#[test]
+fn list_marks_bulk_tier_protocols() {
+    let (ok, out) = whiteboard(&["list"]);
+    assert!(ok);
+    assert!(out.contains("[bulk]"), "{out}");
+    assert!(out.contains("Thm 5"), "{out}");
+    // Free-model rows carry no bulk marker.
+    let bfs_line = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("bfs"))
+        .unwrap();
+    assert!(!bfs_line.contains("[bulk]"), "{bfs_line}");
+}
+
+#[test]
 fn capacity_table_prints_verdicts() {
     let (ok, out) = whiteboard(&["capacity", "--n", "4096"]);
     assert!(ok, "{out}");

@@ -19,6 +19,7 @@ use shared_whiteboard::par::{par_drain, WorkQueue};
 use shared_whiteboard::prelude::*;
 use std::collections::BTreeSet;
 use std::fmt::Debug;
+use wb_core::registry::{self, BoundOracle, ProtocolVisitor};
 use wb_core::BuildError;
 
 /// All graphs on `1..=n` nodes.
@@ -173,20 +174,75 @@ fn explorer_matches_naive_for_build_and_mis_all_models_n4() {
     }
 }
 
-#[test]
-fn explorer_matches_naive_for_every_migrated_protocol_n4() {
-    // Every protocol whose exhaustive tests moved from the naive DFS onto
-    // the explorer gets its dedup soundness checked here on all 4-node
-    // graphs (native models).
-    for g in graphs_up_to(4) {
-        assert_explorer_matches_naive(&SyncBfs, &g, "BFS");
-        assert_explorer_matches_naive(&EobBfs, &g, "EOB-BFS");
-        assert_explorer_matches_naive(&NaiveBuild, &g, "NAIVE-BUILD");
-        assert_explorer_matches_naive(&EdgeCount, &g, "EDGE-COUNT");
-        assert_explorer_matches_naive(&ConnectivitySync, &g, "CONNECTIVITY");
-        assert_explorer_matches_naive(&TwoCliques, &g, "2-CLIQUES");
-        assert_explorer_matches_naive(&SubgraphPrefix::new(2), &g, "SUBGRAPH_2");
+/// Registry visitor running the full per-protocol differential battery on
+/// one graph: explorer vs naive DFS outcome sets, fingerprint vs exact
+/// dedup, and every reachable terminal against the registry oracle. One
+/// visitor, seventeen protocols — the per-call-site protocol lists this
+/// file used to carry are gone.
+struct FullBattery<'a> {
+    g: &'a Graph,
+    info: &'static registry::ProtocolInfo,
+}
+
+impl ProtocolVisitor for FullBattery<'_> {
+    type Result = ();
+    fn visit<P, B>(self, protocol: P, bind: B)
+    where
+        P: Protocol + Clone + Send + Sync,
+        P::Node: Send + Sync,
+        P::Output: Clone + PartialEq + Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let label = self.info.name;
+        assert_explorer_matches_naive(&protocol, self.g, label);
+        assert_fingerprint_matches_exact(&protocol, self.g, label);
+        let oracle = bind(self.g);
+        let report = explore(&protocol, self.g, &ExploreConfig::default(), |out| {
+            oracle(out)
+        });
+        assert!(!report.truncated, "{label}: truncated on {:?}", self.g);
+        if self.info.total {
+            if let Some(f) = report.failures.first() {
+                panic!(
+                    "{label}: registry oracle violated on {:?} under write order {:?}: {:?}",
+                    self.g, f.schedule, f.outcome
+                );
+            }
+        } else {
+            // The Open Problem 3 ablation: failures are *expected* exactly
+            // where the promise is broken, and they must all be deadlocks.
+            let promise_holds = checks::is_bipartite(self.g);
+            if promise_holds {
+                assert!(
+                    report.failures.is_empty(),
+                    "{label}: failed on a promise-class instance {:?}",
+                    self.g
+                );
+            } else {
+                assert!(
+                    report
+                        .failures
+                        .iter()
+                        .all(|f| matches!(f.outcome, Outcome::Deadlock { .. })),
+                    "{label}: a non-deadlock oracle failure on {:?}",
+                    self.g
+                );
+            }
+        }
     }
+}
+
+#[test]
+fn every_registry_protocol_passes_the_differential_battery_n4() {
+    // All seventeen registered protocols, resolved through the registry, on
+    // every labeled graph up to n = 4: explorer vs naive DFS, fingerprint
+    // vs exact dedup, and the shared oracle — in one sweep.
+    for_all_graphs_parallel(4, |g| {
+        for info in registry::PROTOCOLS {
+            registry::dispatch(info.name, g.n(), FullBattery { g, info })
+                .unwrap_or_else(|e| panic!("{}: {e}", info.name));
+        }
+    });
 }
 
 #[test]
@@ -263,19 +319,4 @@ fn fingerprint_dedup_matches_exact_under_all_four_models_up_to_n5() {
             assert_fingerprint_matches_exact(&p, g, &format!("MIS@{target}"));
         }
     });
-}
-
-#[test]
-fn fingerprint_dedup_matches_exact_for_native_protocols_n4() {
-    // Native-model coverage for the remaining problem families (free and
-    // asynchronous models included).
-    for g in graphs_up_to(4) {
-        assert_fingerprint_matches_exact(&SyncBfs, &g, "BFS");
-        assert_fingerprint_matches_exact(&EobBfs, &g, "EOB-BFS");
-        assert_fingerprint_matches_exact(&NaiveBuild, &g, "NAIVE-BUILD");
-        assert_fingerprint_matches_exact(&EdgeCount, &g, "EDGE-COUNT");
-        assert_fingerprint_matches_exact(&ConnectivitySync, &g, "CONNECTIVITY");
-        assert_fingerprint_matches_exact(&TwoCliques, &g, "2-CLIQUES");
-        assert_fingerprint_matches_exact(&SubgraphPrefix::new(2), &g, "SUBGRAPH_2");
-    }
 }
