@@ -1,0 +1,269 @@
+//! E-MATRIX — the batch experiment harness: every registry protocol × every
+//! admissible model × a panel of graph families, each cell certified and
+//! independently re-verified.
+//!
+//! This replaces ad hoc per-table sweep loops as the one reproducible
+//! experiment suite: for each protocol in [`wb_core::registry::PROTOCOLS`],
+//! each model that includes the protocol's native model (Lemma 4), and each
+//! family in the panel, it runs the certifying exhaustive walk
+//! ([`wb_bench::certify`]) at one small `n`, then re-checks the emitted
+//! `wb-cert/v1` line through the independent `wb-verify` crate — the
+//! producer and the checker disagreeing fails the run.
+//!
+//! ```text
+//! exp_matrix [--n N] [--seed S] [--out DIR]
+//! ```
+//!
+//! Outputs, written under `--out DIR` (default `exp_matrix_out`):
+//!
+//! - `results.jsonl` — one row per cell (protocol, model, family, n,
+//!   states, terminals, merged, failures, verified);
+//! - `certificates.jsonl` — every certificate, one `wb-cert/v1` line each,
+//!   re-checkable offline with `whiteboard verify`;
+//! - `REPORT.md` — markdown summary: totals, per-protocol aggregate table,
+//!   and the failing cells (expected only for `async-bipartite-bfs`, the
+//!   `total: false` ablation protocol, whose off-promise deadlocks are
+//!   certified with witnesses).
+//!
+//! Exit is nonzero if any certificate fails verification or any
+//! `total: true` protocol has a failing terminal anywhere in the matrix.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use wb_bench::certify::{certify_spec, Provenance};
+use wb_bench::json::escape;
+use wb_core::registry::PROTOCOLS;
+use wb_core::workload::graph_family;
+use wb_runtime::{ExploreConfig, Model};
+
+/// Graph-family panel: one spec per structural regime the protocols care
+/// about (promise graphs included so oracles exercise both branches).
+/// `triangle-tail` is a fixed off-promise instance — an odd triangle with a
+/// pendant path — kept in the panel so the matrix always contains
+/// witness-bearing cells (`async-bipartite-bfs` deadlocks on it).
+const FAMILIES: &[&str] = &[
+    "path",
+    "cycle",
+    "clique",
+    "tree",
+    "gnp:2",
+    "eob",
+    "bipartite",
+    "two-cliques",
+    "triangle-tail",
+];
+
+/// Resolve a panel entry: the fixed instance by name, everything else via
+/// the workload registry.
+fn panel_graph(family: &str, n: usize, seed: u64) -> Result<wb_graph::Graph, String> {
+    if family == "triangle-tail" {
+        return Ok(wb_graph::Graph::from_edges(
+            5,
+            &[(1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        ));
+    }
+    graph_family(family, n, seed)
+}
+
+struct Cell {
+    protocol: &'static str,
+    model: Model,
+    family: &'static str,
+    n: usize,
+    states: u64,
+    terminals: u64,
+    merged: u64,
+    failures: usize,
+}
+
+impl Cell {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"protocol\":{},\"model\":\"{}\",\"family\":{},\"n\":{},\"states\":{},\
+             \"terminals\":{},\"merged\":{},\"failures\":{},\"verified\":true}}",
+            escape(self.protocol),
+            self.model,
+            escape(self.family),
+            self.n,
+            self.states,
+            self.terminals,
+            self.merged,
+            self.failures,
+        )
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let mut n = 5usize;
+    let mut seed = wb_bench::SEED;
+    let mut out = PathBuf::from("exp_matrix_out");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match (a.as_str(), it.next()) {
+            ("--n", Some(v)) => n = v.parse().expect("--n expects a number"),
+            ("--seed", Some(v)) => seed = v.parse().expect("--seed expects a number"),
+            ("--out", Some(v)) => out = PathBuf::from(v),
+            _ => {
+                eprintln!("usage: exp_matrix [--n N] [--seed S] [--out DIR]");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    std::fs::create_dir_all(&out).expect("create output directory");
+
+    let config = ExploreConfig::default();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut cert_lines = String::new();
+    let mut errors: Vec<String> = Vec::new();
+    let mut total_protocol_failures: Vec<String> = Vec::new();
+
+    for info in PROTOCOLS {
+        for model in Model::ALL {
+            if !model.includes(info.model) {
+                continue;
+            }
+            for family in FAMILIES {
+                let g = match panel_graph(family, n, seed) {
+                    Ok(g) => g,
+                    Err(e) => {
+                        errors.push(format!("{}/{model}/{family}: workload: {e}", info.name));
+                        continue;
+                    }
+                };
+                let run = match certify_spec(
+                    info.name,
+                    &g,
+                    Some(model),
+                    Provenance {
+                        family: Some(family),
+                        seed: Some(seed),
+                    },
+                    &config,
+                ) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        errors.push(format!("{}/{model}/{family}: certify: {e}", info.name));
+                        continue;
+                    }
+                };
+                let line = run.certificate.to_json_line();
+                if let Err(e) = wb_verify::verify_line(&line) {
+                    errors.push(format!(
+                        "{}/{model}/{family}: VERIFY FAILED: {e}",
+                        info.name
+                    ));
+                    continue;
+                }
+                if run.failures > 0 && info.total {
+                    total_protocol_failures.push(format!(
+                        "{}/{model}/{family}: {} failing terminal(s) on a total protocol",
+                        info.name, run.failures
+                    ));
+                }
+                cert_lines.push_str(&line);
+                cert_lines.push('\n');
+                cells.push(Cell {
+                    protocol: info.name,
+                    model,
+                    family,
+                    n: g.n(),
+                    states: run.distinct_states,
+                    terminals: run.terminals,
+                    merged: run.merged,
+                    failures: run.failures,
+                });
+            }
+        }
+        eprintln!("certified {:<22} ({} cells so far)", info.name, cells.len());
+    }
+
+    let rows: String = cells.iter().map(|c| c.to_json() + "\n").collect();
+    std::fs::write(out.join("results.jsonl"), rows).expect("write results.jsonl");
+    std::fs::write(out.join("certificates.jsonl"), &cert_lines).expect("write certificates.jsonl");
+
+    let failing_cells: Vec<&Cell> = cells.iter().filter(|c| c.failures > 0).collect();
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "# E-MATRIX: certified protocol × model × family sweep\n"
+    );
+    let _ = writeln!(
+        md,
+        "- `n = {n}`, seed `{seed:#x}`, {} protocols, {} families",
+        PROTOCOLS.len(),
+        FAMILIES.len()
+    );
+    let _ = writeln!(
+        md,
+        "- {} cells certified, every certificate re-verified by `wb-verify`",
+        cells.len()
+    );
+    let _ = writeln!(
+        md,
+        "- {} cells with failing terminals (witnesses certified), {} errors\n",
+        failing_cells.len(),
+        errors.len()
+    );
+    let _ = writeln!(
+        md,
+        "| protocol | model | cells | states | terminals | failing cells |"
+    );
+    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|");
+    for info in PROTOCOLS {
+        for model in Model::ALL {
+            let group: Vec<&Cell> = cells
+                .iter()
+                .filter(|c| c.protocol == info.name && c.model == model)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                md,
+                "| {} | {model} | {} | {} | {} | {} |",
+                info.name,
+                group.len(),
+                group.iter().map(|c| c.states).sum::<u64>(),
+                group.iter().map(|c| c.terminals).sum::<u64>(),
+                group.iter().filter(|c| c.failures > 0).count(),
+            );
+        }
+    }
+    if !failing_cells.is_empty() {
+        let _ = writeln!(md, "\n## Failing cells (certified witnesses)\n");
+        let _ = writeln!(md, "| protocol | model | family | failing terminals |");
+        let _ = writeln!(md, "|---|---|---|---:|");
+        for c in &failing_cells {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} |",
+                c.protocol, c.model, c.family, c.failures
+            );
+        }
+    }
+    if !errors.is_empty() {
+        let _ = writeln!(md, "\n## Errors\n");
+        for e in &errors {
+            let _ = writeln!(md, "- {e}");
+        }
+    }
+    std::fs::write(out.join("REPORT.md"), md).expect("write REPORT.md");
+
+    eprintln!(
+        "wrote {} cells to {} (results.jsonl, certificates.jsonl, REPORT.md)",
+        cells.len(),
+        out.display()
+    );
+    for e in &errors {
+        eprintln!("error: {e}");
+    }
+    for f in &total_protocol_failures {
+        eprintln!("error: {f}");
+    }
+    if errors.is_empty() && total_protocol_failures.is_empty() {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -20,7 +20,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+pub use wb_math::json;
+
+pub mod certify;
 pub mod probes;
 pub mod table;
 pub mod workloads;

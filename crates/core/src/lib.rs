@@ -50,6 +50,15 @@ pub mod two_cliques;
 pub mod two_cliques_randomized;
 pub mod workload;
 
+/// The engine-independent protocol-step surface, re-exported for consumers
+/// that must not touch `wb-runtime`'s execution machinery: the certificate
+/// verifier (`wb-verify`) replays protocol steps through these traits and
+/// nothing else — no `Engine`, no explorer, no undo log.
+pub mod steps {
+    pub use wb_runtime::adapt::Promote;
+    pub use wb_runtime::{LocalView, Model, Node, Outcome, Protocol, Whiteboard};
+}
+
 pub use bfs::{AsyncBipartiteBfs, BfsOutput, EobBfs, SyncBfs};
 pub use build::{BuildDegenerate, BuildError};
 pub use build_mixed::BuildMixed;

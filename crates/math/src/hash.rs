@@ -1,0 +1,143 @@
+//! The 128-bit streaming digest behind configuration fingerprints and
+//! exploration certificates.
+//!
+//! [`Digest128`] consumes a sequence of `u64` words and produces a 128-bit
+//! value. The engine feeds it the canonical configuration encoding to get its
+//! dedup fingerprints; certificates name configurations by the same value;
+//! and the independent verifier (`wb-verify`) recomputes it from its own
+//! re-implementation of the encoding. The construction is therefore part of
+//! the certificate *format* (`docs/CERTIFICATES.md`), frozen at `wb-cert/v1`:
+//!
+//! - two independent 64-bit streams, seeded with the fractional parts of
+//!   `sqrt(2)` and `sqrt(3)`;
+//! - per word: `a = (a ^ w) * FNV64_PRIME`,
+//!   `b = (b ^ rotl(w, 31)) * XXH64_PRIME2` — each step is a bijection of the
+//!   stream state (odd multiplier, xor), and the rotated input keeps the
+//!   streams from cancelling in lockstep;
+//! - finalization: [`mix64`] (the splitmix64 finalizer) on each stream,
+//!   high word `a`, low word `b`.
+//!
+//! Distinct inputs collide with probability ~`q²/2¹²⁹` after `q` digests
+//! (birthday bound, treating the mixers as independent random functions).
+
+/// The splitmix64 finalizer: a bijective 64-bit diffusion step.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A 128-bit streaming word digest (see the module docs for the exact
+/// construction — it is a frozen format, not an implementation detail).
+#[derive(Clone, Copy, Debug)]
+pub struct Digest128 {
+    a: u64,
+    b: u64,
+}
+
+impl Digest128 {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        Digest128 {
+            a: 0x6A09_E667_F3BC_C908, // frac(sqrt(2)), frac(sqrt(3))
+            b: 0xBB67_AE85_84CA_A73B,
+        }
+    }
+
+    /// Absorb one word.
+    #[inline]
+    pub fn put(&mut self, word: u64) {
+        self.a = (self.a ^ word).wrapping_mul(0x0000_0100_0000_01B3); // FNV-1a 64 prime
+        self.b = (self.b ^ word.rotate_left(31)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        // xxh prime2
+    }
+
+    /// Absorb a byte string, length-framed so `finish` is injective over
+    /// concatenations: the length in bytes, then the bytes packed
+    /// little-endian 8 per word. This is how certificate *documents* are
+    /// digested; configuration encodings feed [`Self::put`] directly.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.put(u64::from_le_bytes(w));
+        }
+    }
+
+    /// Finalize: diffused `a` in the high 64 bits, diffused `b` in the low.
+    pub fn finish(self) -> u128 {
+        ((mix64(self.a) as u128) << 64) | mix64(self.b) as u128
+    }
+}
+
+impl Default for Digest128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Render a digest the way certificates do: `0x` + 32 lower-case hex digits,
+/// fixed width so the serialized form is canonical.
+pub fn hex128(x: u128) -> String {
+    format!("0x{x:032x}")
+}
+
+/// Parse the [`hex128`] rendering (strict: exactly 34 characters).
+pub fn parse_hex128(s: &str) -> Option<u128> {
+    let digits = s.strip_prefix("0x")?;
+    if digits.len() != 32
+        || digits
+            .bytes()
+            .any(|b| !b.is_ascii_hexdigit() || b.is_ascii_uppercase())
+    {
+        return None;
+    }
+    u128::from_str_radix(digits, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_word_sensitive() {
+        let digest = |words: &[u64]| {
+            let mut d = Digest128::new();
+            for &w in words {
+                d.put(w);
+            }
+            d.finish()
+        };
+        assert_eq!(digest(&[1, 2, 3]), digest(&[1, 2, 3]));
+        assert_ne!(digest(&[1, 2, 3]), digest(&[1, 3, 2]));
+        assert_ne!(digest(&[0]), digest(&[]));
+        assert_ne!(digest(&[0]), digest(&[0, 0]));
+    }
+
+    #[test]
+    fn byte_framing_is_injective_over_length() {
+        let digest = |bytes: &[u8]| {
+            let mut d = Digest128::new();
+            d.put_bytes(bytes);
+            d.finish()
+        };
+        assert_ne!(digest(b"ab"), digest(b"ab\0"));
+        assert_ne!(digest(b""), digest(b"\0"));
+        assert_eq!(digest(b"certificate"), digest(b"certificate"));
+    }
+
+    #[test]
+    fn hex_round_trips_strictly() {
+        let x = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
+        assert_eq!(parse_hex128(&hex128(x)), Some(x));
+        assert_eq!(hex128(1).len(), 34);
+        assert_eq!(parse_hex128(&hex128(1)), Some(1));
+        assert_eq!(parse_hex128("0x1"), None, "not fixed-width");
+        assert_eq!(parse_hex128(&hex128(1).to_uppercase()), None);
+        assert_eq!(parse_hex128("1234"), None, "missing prefix");
+    }
+}

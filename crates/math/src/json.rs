@@ -1,11 +1,17 @@
-//! Minimal JSON emit/parse for the benchmark artifacts.
+//! Minimal JSON emit/parse for benchmark artifacts and certificates.
 //!
 //! The experiment binaries record machine-readable results
-//! (`BENCH_explore.json`) and CI compares them against a checked-in
-//! baseline; no external JSON crate is on the approved dependency list, so
-//! this module carries the tiny subset the harness needs: objects, arrays,
-//! strings (with escapes), numbers, booleans and null. It round-trips
-//! everything the emitters in this crate produce.
+//! (`BENCH_explore.json`) that CI compares against checked-in baselines, and
+//! exploration certificates (`docs/CERTIFICATES.md`) are serialized as
+//! single-line JSON objects; no external JSON crate is on the approved
+//! dependency list, so this module carries the tiny subset those need:
+//! objects, arrays, strings (with escapes), numbers, booleans and null.
+//!
+//! Emission is **canonical**: object keys are sorted (`BTreeMap`), no
+//! whitespace is produced, integral numbers below `10¹⁵` print without a
+//! fraction, and strings escape exactly the characters [`escape`] escapes.
+//! Certificates rely on this — `parse` followed by `Display` is the normal
+//! form their digests are computed over.
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -20,6 +20,14 @@
 //!   production decoder via Newton's identities + integer root extraction.
 //! - [`counting`] — exact binomials, graph-family cardinalities and the Lemma 3
 //!   capacity check.
+//! - [`hash`] — the 128-bit streaming digest of the canonical configuration
+//!   encoding. It lives here (not in the runtime) because it is a *format*:
+//!   the engine's fingerprint dedup and the independent certificate verifier
+//!   (`wb-verify`) must compute bit-identical hashes without sharing engine
+//!   code.
+//! - [`json`] — minimal JSON emit/parse with deterministic (sorted-key,
+//!   whitespace-free) emission, used by the benchmark artifacts and as the
+//!   canonical serialization of exploration certificates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +35,8 @@
 pub mod bigint;
 pub mod bitio;
 pub mod counting;
+pub mod hash;
+pub mod json;
 pub mod powersum;
 
 pub use bigint::BigInt;

@@ -1,0 +1,531 @@
+//! Machine-checkable exploration certificates (`wb-cert/v1`).
+//!
+//! The schedule explorer ([`crate::exhaustive`]) collapses the `n!` schedule
+//! tree into the DAG of distinct configurations — but its verdicts are only
+//! as trustworthy as the optimization stack that produced them (undo-log
+//! branching, 128-bit fingerprint dedup, striped parallel seen-sets). This
+//! module serializes a run as an [`ExplorationCertificate`] that a
+//! deliberately small, engine-independent verifier (the `wb-verify` crate)
+//! re-checks edge by edge: the proof-certificate / counterexample-trace
+//! split. The full format specification and the verifier's trust argument
+//! are in `docs/CERTIFICATES.md`.
+//!
+//! A certificate names every distinct configuration by its 128-bit canonical
+//! fingerprint ([`wb_math::hash::Digest128`] over the canonical encoding)
+//! and records:
+//!
+//! - the **initial** configuration hash (after the first activation phase);
+//! - every **transition edge** `(config, writer, config')`, sorted — the
+//!   claim that the reachable DAG is exactly this edge set;
+//! - the **terminal set** with the oracle verdict and rendered outcome of
+//!   each terminal — the claim that these are all the schedule-distinct
+//!   results;
+//! - a **witness** per failing terminal: the schedule, its hash trace, and
+//!   the failing outcome — a strict counterexample trace;
+//! - protocol / model / graph metadata, and a whole-document digest so any
+//!   byte-level corruption is detectable before semantic checking starts.
+//!
+//! ## Soundness boundary
+//!
+//! Certification inherits the explorer's dedup soundness rule: configuration
+//! hashes cover statuses, freeze slots and board content but *not* the write
+//! order, so they are only sound for order-oblivious protocols. A caller
+//! requesting [`DedupPolicy::Off`] (the escape hatch for transcript-valued
+//! outputs) is refused — such runs have no sound configuration-DAG quotient
+//! to certify.
+
+use crate::engine::{Engine, Outcome};
+use crate::exhaustive::{DedupPolicy, ExplorationReport, ExploreConfig, ScheduleFailure};
+use crate::model::Model;
+use crate::protocol::Protocol;
+use std::collections::HashSet;
+use std::fmt::Debug;
+use wb_graph::{Graph, NodeId};
+use wb_math::hash::{hex128, Digest128};
+use wb_math::json::Json;
+
+/// The format tag every `v1` certificate carries.
+pub const FORMAT: &str = "wb-cert/v1";
+
+/// One transition of the distinct-configuration DAG: in configuration
+/// `from`, the adversary picks `writer`, yielding configuration `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CertificateEdge {
+    /// Source configuration hash.
+    pub from: u128,
+    /// The active node whose write this edge is.
+    pub writer: NodeId,
+    /// Resulting configuration hash.
+    pub to: u128,
+}
+
+/// One terminal configuration (empty active set) with its claimed verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertificateTerminal {
+    /// Terminal configuration hash.
+    pub config: u128,
+    /// Whether the registry oracle accepted the outcome.
+    pub verdict: bool,
+    /// `Debug` rendering of the outcome (success value or deadlock set).
+    pub outcome: String,
+}
+
+/// A counterexample trace: one witness schedule per failing terminal.
+///
+/// The `trace` pins the configuration hash after every step, so "strict
+/// replay" is meaningful: a reordered or otherwise tampered schedule
+/// diverges from the trace at the first bad position even when the permuted
+/// schedule would still be legal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertificateWitness {
+    /// The adversary's picks, in order.
+    pub schedule: Vec<NodeId>,
+    /// Configuration hash after each pick (post-activation).
+    pub trace: Vec<u128>,
+    /// `Debug` rendering of the failing outcome.
+    pub outcome: String,
+}
+
+/// A serialized-form exploration proof: see the module docs for the claim
+/// structure and `docs/CERTIFICATES.md` for the byte-level format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExplorationCertificate {
+    /// Registry protocol spec (e.g. `"mis:1"`) — verdicts are bound to this
+    /// spec's registry oracle.
+    pub protocol: String,
+    /// The model the run executed under (the promotion target if the
+    /// protocol was wrapped in [`crate::adapt::Promote`]).
+    pub model: Model,
+    /// Number of nodes.
+    pub n: usize,
+    /// The instance graph's edges, ascending.
+    pub graph_edges: Vec<(NodeId, NodeId)>,
+    /// Workload family label, if the graph came from a named family.
+    pub family: Option<String>,
+    /// Workload seed, if the graph came from a seeded family.
+    pub seed: Option<u64>,
+    /// Initial configuration hash (after the first activation phase).
+    pub initial: u128,
+    /// All transition edges, sorted by `(from, writer, to)`.
+    pub edges: Vec<CertificateEdge>,
+    /// All terminal configurations, sorted by hash.
+    pub terminals: Vec<CertificateTerminal>,
+    /// One witness per failing terminal, in discovery order.
+    pub witnesses: Vec<CertificateWitness>,
+    /// Number of distinct configurations (must equal `1 +` the number of
+    /// distinct edge targets; re-counted by the verifier).
+    pub states: u64,
+}
+
+impl ExplorationCertificate {
+    /// The certificate body as a JSON value, without the document digest.
+    fn body_json(&self) -> Json {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("format".into(), Json::Str(FORMAT.into()));
+        obj.insert("protocol".into(), Json::Str(self.protocol.clone()));
+        obj.insert("model".into(), Json::Str(self.model.to_string()));
+        obj.insert("n".into(), Json::Num(self.n as f64));
+        obj.insert(
+            "graph".into(),
+            Json::Arr(
+                self.graph_edges
+                    .iter()
+                    .map(|&(u, v)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "family".into(),
+            match &self.family {
+                Some(f) => Json::Str(f.clone()),
+                None => Json::Null,
+            },
+        );
+        obj.insert(
+            "seed".into(),
+            match self.seed {
+                // As a string: u64 seeds do not fit losslessly in a JSON f64.
+                Some(s) => Json::Str(s.to_string()),
+                None => Json::Null,
+            },
+        );
+        obj.insert("initial".into(), Json::Str(hex128(self.initial)));
+        obj.insert(
+            "edges".into(),
+            Json::Arr(
+                self.edges
+                    .iter()
+                    .map(|e| {
+                        Json::Arr(vec![
+                            Json::Str(hex128(e.from)),
+                            Json::Num(e.writer as f64),
+                            Json::Str(hex128(e.to)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "terminals".into(),
+            Json::Arr(
+                self.terminals
+                    .iter()
+                    .map(|t| {
+                        let mut m = std::collections::BTreeMap::new();
+                        m.insert("config".into(), Json::Str(hex128(t.config)));
+                        m.insert("verdict".into(), Json::Bool(t.verdict));
+                        m.insert("outcome".into(), Json::Str(t.outcome.clone()));
+                        Json::Obj(m)
+                    })
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "witnesses".into(),
+            Json::Arr(
+                self.witnesses
+                    .iter()
+                    .map(|w| {
+                        let mut m = std::collections::BTreeMap::new();
+                        m.insert(
+                            "schedule".into(),
+                            Json::Arr(w.schedule.iter().map(|&v| Json::Num(v as f64)).collect()),
+                        );
+                        m.insert(
+                            "trace".into(),
+                            Json::Arr(w.trace.iter().map(|&h| Json::Str(hex128(h))).collect()),
+                        );
+                        m.insert("outcome".into(), Json::Str(w.outcome.clone()));
+                        Json::Obj(m)
+                    })
+                    .collect(),
+            ),
+        );
+        obj.insert("states".into(), Json::Num(self.states as f64));
+        Json::Obj(obj)
+    }
+
+    /// Serialize as one canonical JSON line (no trailing newline), digest
+    /// included. This is the certificate wire format: the verifier requires
+    /// the document to be in this exact normal form, re-derives the digest
+    /// from the body, and only then starts semantic re-checking.
+    pub fn to_json_line(&self) -> String {
+        let body = self.body_json();
+        let mut digest = Digest128::new();
+        digest.put_bytes(body.to_string().as_bytes());
+        let Json::Obj(mut obj) = body else {
+            unreachable!("body_json builds an object")
+        };
+        obj.insert("digest".into(), Json::Str(hex128(digest.finish())));
+        Json::Obj(obj).to_string()
+    }
+}
+
+/// A certified exploration: the certificate plus the ordinary exploration
+/// report (outcome multiset, failures with witness schedules) so callers can
+/// keep using the report-shaped downstream plumbing.
+pub struct CertifiedExploration<O> {
+    /// The serialized-form proof.
+    pub certificate: ExplorationCertificate,
+    /// Report equivalent to what [`crate::exhaustive::explore`] returns on
+    /// the same run (`peak_frontier` is 0: the certifying walk is
+    /// depth-first and has no frontier).
+    pub report: ExplorationReport<O>,
+}
+
+/// Non-graph metadata recorded into a certificate: the registry spec the
+/// verifier will re-resolve, and the optional workload provenance.
+pub struct CertificateScenario<'a> {
+    /// Registry protocol spec (e.g. `"build:2"`).
+    pub protocol: &'a str,
+    /// Workload family label, if any.
+    pub family: Option<&'a str>,
+    /// Workload seed, if any.
+    pub seed: Option<u64>,
+}
+
+/// Exhaustively explore `protocol` on `g` and emit a certificate of the run.
+///
+/// `check` judges every distinct terminal outcome, exactly as in
+/// [`crate::exhaustive::explore`]; for a certificate that *verifies*, it
+/// must be the registry oracle bound to `g` (the independent verifier
+/// re-derives verdicts from the registry by `scenario.protocol`, so any
+/// other predicate is exposed as a verdict mismatch).
+///
+/// Errors instead of truncating: a partial walk proves nothing, so
+/// exceeding `config.max_states` is an error, and [`DedupPolicy::Off`] is
+/// refused outright (see the module docs on the soundness boundary).
+/// `config.max_frontier` is ignored — the certifying walk is depth-first.
+pub fn certify<P, C>(
+    protocol: &P,
+    g: &Graph,
+    scenario: &CertificateScenario<'_>,
+    config: &ExploreConfig,
+    check: C,
+) -> Result<CertifiedExploration<P::Output>, String>
+where
+    P: Protocol,
+    P::Output: Clone + Debug,
+    C: Fn(&Outcome<P::Output>) -> bool,
+{
+    if config.dedup == DedupPolicy::Off {
+        return Err(
+            "certificates require configuration dedup: with DedupPolicy::Off the run has no \
+             sound distinct-configuration DAG to certify (transcript-valued protocols fall \
+             outside the certificate format)"
+                .into(),
+        );
+    }
+
+    let mut engine = Engine::new(protocol, g);
+    engine.activation_phase();
+    let initial = engine.canonical_fingerprint().as_u128();
+
+    let mut walk = Walk {
+        check: &check,
+        seen: HashSet::from([initial]),
+        max_states: config.max_states,
+        overflow: false,
+        edges: Vec::new(),
+        terminals: Vec::new(),
+        witnesses: Vec::new(),
+        outcomes: Vec::new(),
+        failures: Vec::new(),
+        merged: 0,
+        path: Vec::new(),
+        trace: Vec::new(),
+    };
+
+    if engine.has_active() {
+        walk.expand(&mut engine, initial);
+    } else {
+        walk.terminal(&engine, initial);
+    }
+    if walk.overflow {
+        return Err(format!(
+            "exploration exceeded max_states = {}: a truncated walk cannot be certified",
+            config.max_states
+        ));
+    }
+
+    let report = ExplorationReport {
+        distinct_states: walk.seen.len() as u64,
+        terminals: walk.terminals.len() as u64,
+        merged: walk.merged,
+        truncated: false,
+        peak_frontier: 0,
+        outcomes: walk.outcomes,
+        failures: walk.failures,
+    };
+    let mut edges = walk.edges;
+    edges.sort_unstable();
+    let mut terminals = walk.terminals;
+    terminals.sort_by_key(|t| t.config);
+    let certificate = ExplorationCertificate {
+        protocol: scenario.protocol.to_string(),
+        model: protocol.model(),
+        n: g.n(),
+        graph_edges: g.edges().collect(),
+        family: scenario.family.map(str::to_string),
+        seed: scenario.seed,
+        initial,
+        edges,
+        terminals,
+        witnesses: walk.witnesses,
+        states: report.distinct_states,
+    };
+    Ok(CertifiedExploration {
+        certificate,
+        report,
+    })
+}
+
+/// The certifying depth-first walk: one engine, undo-log branching, dedup by
+/// canonical fingerprint, recording every edge and the current path/trace so
+/// failing terminals come out as witnesses.
+struct Walk<'c, O, C> {
+    check: &'c C,
+    seen: HashSet<u128>,
+    max_states: u64,
+    overflow: bool,
+    edges: Vec<CertificateEdge>,
+    terminals: Vec<CertificateTerminal>,
+    witnesses: Vec<CertificateWitness>,
+    outcomes: Vec<Outcome<O>>,
+    failures: Vec<ScheduleFailure<O>>,
+    merged: u64,
+    path: Vec<NodeId>,
+    trace: Vec<u128>,
+}
+
+impl<O: Clone + Debug, C: Fn(&Outcome<O>) -> bool> Walk<'_, O, C> {
+    fn terminal<P: Protocol<Output = O>>(&mut self, engine: &Engine<'_, P>, hash: u128) {
+        let run = engine.report();
+        let verdict = (self.check)(&run.outcome);
+        self.terminals.push(CertificateTerminal {
+            config: hash,
+            verdict,
+            outcome: format!("{:?}", run.outcome),
+        });
+        if !verdict {
+            self.witnesses.push(CertificateWitness {
+                schedule: self.path.clone(),
+                trace: self.trace.clone(),
+                outcome: format!("{:?}", run.outcome),
+            });
+            self.failures.push(ScheduleFailure {
+                schedule: run.write_order,
+                outcome: run.outcome.clone(),
+            });
+        }
+        self.outcomes.push(run.outcome);
+    }
+
+    fn expand<P: Protocol<Output = O>>(&mut self, engine: &mut Engine<'_, P>, from: u128) {
+        for pick in 1..=engine.node_count() as NodeId {
+            if self.overflow {
+                return;
+            }
+            if !engine.is_active(pick) {
+                continue;
+            }
+            let token = engine.step_token();
+            engine.step(pick);
+            engine.activation_phase();
+            let to = engine.canonical_fingerprint().as_u128();
+            self.edges.push(CertificateEdge {
+                from,
+                writer: pick,
+                to,
+            });
+            if self.seen.insert(to) {
+                if self.seen.len() as u64 > self.max_states {
+                    self.overflow = true;
+                } else {
+                    self.path.push(pick);
+                    self.trace.push(to);
+                    if engine.has_active() {
+                        self.expand(engine, to);
+                    } else {
+                        self.terminal(engine, to);
+                    }
+                    self.path.pop();
+                    self.trace.pop();
+                }
+            } else {
+                self.merged += 1;
+            }
+            engine.undo(token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::toys::*;
+    use crate::exhaustive::explore;
+    use wb_graph::generators;
+
+    fn scenario() -> CertificateScenario<'static> {
+        CertificateScenario {
+            protocol: "toy",
+            family: None,
+            seed: None,
+        }
+    }
+
+    #[test]
+    fn certified_walk_matches_explore_counts() {
+        let g = generators::path(4);
+        let certified = certify(&EchoId, &g, &scenario(), &ExploreConfig::default(), |o| {
+            o.is_success()
+        })
+        .unwrap();
+        let explored = explore(&EchoId, &g, &ExploreConfig::default(), |o| o.is_success());
+        assert_eq!(certified.report.distinct_states, explored.distinct_states);
+        assert_eq!(certified.report.terminals, explored.terminals);
+        assert_eq!(certified.report.merged, explored.merged);
+        assert_eq!(
+            certified.certificate.states,
+            certified.report.distinct_states
+        );
+        // Every distinct non-initial configuration is some edge's target.
+        let targets: HashSet<u128> = certified.certificate.edges.iter().map(|e| e.to).collect();
+        assert_eq!(
+            targets.len() as u64 + 1,
+            certified.certificate.states,
+            "edge targets + initial = distinct configurations"
+        );
+    }
+
+    #[test]
+    fn failing_terminals_get_witnesses_with_traces() {
+        let g = generators::path(3);
+        let certified = certify(
+            &EchoId,
+            &g,
+            &scenario(),
+            &ExploreConfig::default(),
+            |_| false, // judge everything a failure
+        )
+        .unwrap();
+        assert!(!certified.certificate.witnesses.is_empty());
+        for w in &certified.certificate.witnesses {
+            assert_eq!(w.schedule.len(), w.trace.len());
+            assert_eq!(w.schedule.len(), 3, "every node writes exactly once");
+        }
+        let failing = certified
+            .certificate
+            .terminals
+            .iter()
+            .filter(|t| !t.verdict)
+            .count();
+        assert_eq!(failing, certified.certificate.witnesses.len());
+    }
+
+    #[test]
+    fn dedup_off_is_refused() {
+        let g = generators::path(3);
+        let config = ExploreConfig {
+            dedup: DedupPolicy::Off,
+            ..ExploreConfig::default()
+        };
+        let err = certify(&FrozenSeenCount, &g, &scenario(), &config, |_| true)
+            .err()
+            .expect("transcript-valued runs must refuse certification");
+        assert!(err.contains("DedupPolicy::Off"), "{err}");
+    }
+
+    #[test]
+    fn state_cap_is_an_error_not_a_truncation() {
+        let g = generators::clique(5);
+        let config = ExploreConfig {
+            max_states: 4,
+            ..ExploreConfig::default()
+        };
+        let err = certify(&EchoId, &g, &scenario(), &config, |_| true)
+            .err()
+            .expect("overflow must error");
+        assert!(err.contains("max_states"), "{err}");
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_reparses() {
+        let g = generators::cycle(3);
+        let certified = certify(
+            &SeenCount,
+            &g,
+            &scenario(),
+            &ExploreConfig::default(),
+            |o| o.is_success(),
+        )
+        .unwrap();
+        let line = certified.certificate.to_json_line();
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("format").and_then(Json::as_str), Some(FORMAT));
+        // Canonical form: parse → emit is the identity on emitted lines.
+        assert_eq!(parsed.to_string(), line);
+    }
+}

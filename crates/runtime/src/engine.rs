@@ -147,45 +147,28 @@ impl CanonicalSink for Vec<u64> {
     }
 }
 
-/// Two independent FNV-style multiply-xor streams. Each step is a bijection
-/// of the 64-bit stream state (odd multiplier, xor), the two streams use
-/// different multipliers and a rotated input so they cannot cancel in
-/// lockstep, and [`mix64`] (the splitmix64 finalizer) diffuses both words
-/// at the end. Word throughput is two multiplies per stream-pair — the
-/// probe runs at memory speed on typical configurations.
-struct FingerprintSink {
-    a: u64,
-    b: u64,
-}
-
-#[inline]
-fn mix64(mut x: u64) -> u64 {
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// The canonical-encoding words streamed into [`wb_math::hash::Digest128`].
+/// The digest construction lives in `wb-math` because it is part of the
+/// certificate format: the independent verifier (`wb-verify`) recomputes
+/// these fingerprints from its own re-implementation of the encoding, and
+/// the two must agree bit for bit. Word throughput is two multiplies per
+/// stream-pair — the probe runs at memory speed on typical configurations.
+struct FingerprintSink(wb_math::hash::Digest128);
 
 impl FingerprintSink {
     fn new() -> Self {
-        FingerprintSink {
-            a: 0x6A09_E667_F3BC_C908, // frac(sqrt(2)), frac(sqrt(3))
-            b: 0xBB67_AE85_84CA_A73B,
-        }
+        FingerprintSink(wb_math::hash::Digest128::new())
     }
 
     fn finish(self) -> Fingerprint {
-        Fingerprint(((mix64(self.a) as u128) << 64) | mix64(self.b) as u128)
+        Fingerprint(self.0.finish())
     }
 }
 
 impl CanonicalSink for FingerprintSink {
     #[inline]
     fn put(&mut self, word: u64) {
-        self.a = (self.a ^ word).wrapping_mul(0x0000_0100_0000_01B3); // FNV-1a 64 prime
-        self.b = (self.b ^ word.rotate_left(31)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
-        // xxh prime2
+        self.0.put(word);
     }
 }
 

@@ -27,6 +27,10 @@
 //!   naive factorial DFS it is cross-checked against;
 //! - [`adapt`] — the Lemma 4 inclusions as executable wrappers: any protocol of
 //!   a weaker model runs unchanged (same outputs) in every stronger model;
+//! - [`certificate`] — machine-checkable exploration certificates: a
+//!   certifying DFS walk that serializes the distinct-configuration DAG,
+//!   terminal verdicts, and counterexample witnesses for independent
+//!   re-checking by the tiny `wb-verify` crate (`docs/CERTIFICATES.md`);
 //! - [`bulk`] — the bulk tier: columnar execution of simultaneous protocols
 //!   with a sharded board and parallel round batches, for single runs at
 //!   `n ≥ 10⁵` (differentially pinned against the step engine).
@@ -38,6 +42,7 @@ pub mod adapt;
 pub mod adversary;
 pub mod board;
 pub mod bulk;
+pub mod certificate;
 pub mod engine;
 pub mod exhaustive;
 pub mod model;
@@ -51,6 +56,10 @@ pub use board::{Entry, Whiteboard};
 pub use bulk::{
     identity_schedule, run_bulk, shuffled_schedule, BulkBoard, BulkConfig, BulkProtocol,
     BulkReport, Oblivious,
+};
+pub use certificate::{
+    certify, CertificateEdge, CertificateScenario, CertificateTerminal, CertificateWitness,
+    CertifiedExploration, ExplorationCertificate,
 };
 pub use engine::{run, run_traced, CanonicalState, Engine, Outcome, RunReport, TraceRow};
 pub use exhaustive::{

@@ -51,6 +51,22 @@ impl Model {
     }
 }
 
+impl std::str::FromStr for Model {
+    type Err = String;
+
+    /// Parse the [`fmt::Display`] names (`SIMASYNC`, `SIMSYNC`, `ASYNC`,
+    /// `SYNC`), case-insensitively — certificates store the display form.
+    fn from_str(s: &str) -> Result<Model, String> {
+        match s.to_ascii_uppercase().as_str() {
+            "SIMASYNC" => Ok(Model::SimAsync),
+            "SIMSYNC" => Ok(Model::SimSync),
+            "ASYNC" => Ok(Model::Async),
+            "SYNC" => Ok(Model::Sync),
+            other => Err(format!("unknown model '{other}'")),
+        }
+    }
+}
+
 impl fmt::Display for Model {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -92,5 +108,14 @@ mod tests {
     fn display_names() {
         assert_eq!(Model::SimAsync.to_string(), "SIMASYNC");
         assert_eq!(Model::Sync.to_string(), "SYNC");
+    }
+
+    #[test]
+    fn parse_inverts_display() {
+        for m in Model::ALL {
+            assert_eq!(m.to_string().parse::<Model>(), Ok(m));
+            assert_eq!(m.to_string().to_lowercase().parse::<Model>(), Ok(m));
+        }
+        assert!("FASYNC".parse::<Model>().is_err());
     }
 }

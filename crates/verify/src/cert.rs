@@ -1,0 +1,270 @@
+//! Parsing and integrity checking of the `wb-cert/v1` wire format.
+//!
+//! A certificate is one canonical JSON line (sorted keys, no whitespace)
+//! whose `digest` field is a [`Digest128`] over the canonical emission of
+//! the rest of the document. Parsing therefore runs three integrity gates
+//! before any field is believed:
+//!
+//! 1. the line must parse as JSON;
+//! 2. re-emitting the parse must reproduce the input byte for byte (the
+//!    canonical-form gate — a certificate has exactly one valid spelling);
+//! 3. re-hashing the body must reproduce `digest`.
+//!
+//! Only then are fields extracted, with structural constraints (sorted
+//! unique edges, sorted unique terminals, in-range node ids) enforced here
+//! so the semantic replay in [`crate::verify_certificate`] can assume a
+//! well-formed claim.
+
+use crate::VerifyError;
+use wb_core::steps::Model;
+use wb_graph::NodeId;
+use wb_math::hash::{parse_hex128, Digest128};
+use wb_math::json::Json;
+
+/// The only certificate format this verifier understands.
+pub const FORMAT: &str = "wb-cert/v1";
+
+const KNOWN_KEYS: &[&str] = &[
+    "digest",
+    "edges",
+    "family",
+    "format",
+    "graph",
+    "initial",
+    "model",
+    "n",
+    "protocol",
+    "seed",
+    "states",
+    "terminals",
+    "witnesses",
+];
+
+/// One parsed terminal claim.
+pub struct RawTerminal {
+    /// Terminal configuration hash.
+    pub config: u128,
+    /// Claimed oracle verdict.
+    pub verdict: bool,
+    /// Claimed `Debug` rendering of the outcome.
+    pub outcome: String,
+}
+
+/// One parsed counterexample witness.
+pub struct RawWitness {
+    /// The adversary's picks, in order.
+    pub schedule: Vec<NodeId>,
+    /// Claimed configuration hash after each pick.
+    pub trace: Vec<u128>,
+    /// Claimed `Debug` rendering of the failing outcome.
+    pub outcome: String,
+}
+
+/// A parsed, integrity-checked (but not yet semantically verified)
+/// certificate.
+pub struct RawCertificate {
+    /// Registry protocol spec.
+    pub protocol: String,
+    /// Model the run executed under.
+    pub model: Model,
+    /// Number of nodes.
+    pub n: usize,
+    /// Instance graph edge list.
+    pub graph_edges: Vec<(NodeId, NodeId)>,
+    /// Initial configuration hash.
+    pub initial: u128,
+    /// Transition edges `(from, writer, to)`, sorted and unique.
+    pub edges: Vec<(u128, NodeId, u128)>,
+    /// Terminal claims, sorted by config and unique.
+    pub terminals: Vec<RawTerminal>,
+    /// Counterexample witnesses.
+    pub witnesses: Vec<RawWitness>,
+    /// Claimed number of distinct configurations.
+    pub states: u64,
+}
+
+fn field<'j>(obj: &'j Json, key: &'static str) -> Result<&'j Json, VerifyError> {
+    obj.get(key).ok_or(VerifyError::Field {
+        field: key,
+        detail: "missing".into(),
+    })
+}
+
+fn bad(field: &'static str, detail: impl Into<String>) -> VerifyError {
+    VerifyError::Field {
+        field,
+        detail: detail.into(),
+    }
+}
+
+fn str_field<'j>(obj: &'j Json, key: &'static str) -> Result<&'j str, VerifyError> {
+    field(obj, key)?
+        .as_str()
+        .ok_or_else(|| bad(key, "expected a string"))
+}
+
+fn uint_of(v: &Json, key: &'static str) -> Result<u64, VerifyError> {
+    match v {
+        Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x < 2u64.pow(53) as f64 => Ok(*x as u64),
+        _ => Err(bad(key, "expected a non-negative integer")),
+    }
+}
+
+fn hex_of(v: &Json, key: &'static str) -> Result<u128, VerifyError> {
+    v.as_str()
+        .and_then(parse_hex128)
+        .ok_or_else(|| bad(key, "expected a 0x-prefixed 32-digit hex hash"))
+}
+
+fn node_of(v: &Json, n: usize, key: &'static str) -> Result<NodeId, VerifyError> {
+    let id = uint_of(v, key)?;
+    if id >= 1 && id <= n as u64 {
+        Ok(id as NodeId)
+    } else {
+        Err(bad(key, format!("node id {id} out of range 1..={n}")))
+    }
+}
+
+/// Parse one certificate line, enforcing the canonical-form and digest
+/// gates described in the module docs.
+pub fn parse(line: &str) -> Result<RawCertificate, VerifyError> {
+    let line = line.trim_end_matches(['\n', '\r']);
+    let doc = Json::parse(line).map_err(VerifyError::Malformed)?;
+    if doc.to_string() != line {
+        return Err(VerifyError::NonCanonical);
+    }
+    let Json::Obj(map) = &doc else {
+        return Err(VerifyError::Malformed(
+            "certificate is not an object".into(),
+        ));
+    };
+    for key in map.keys() {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            return Err(bad("format", format!("unknown key '{key}'")));
+        }
+    }
+    let found = str_field(&doc, "format")?;
+    if found != FORMAT {
+        return Err(VerifyError::Version {
+            found: found.to_string(),
+        });
+    }
+    let claimed_digest = hex_of(field(&doc, "digest")?, "digest")?;
+    let mut body = map.clone();
+    body.remove("digest");
+    let mut digest = Digest128::new();
+    digest.put_bytes(Json::Obj(body).to_string().as_bytes());
+    if digest.finish() != claimed_digest {
+        return Err(VerifyError::DigestMismatch);
+    }
+
+    let n = uint_of(field(&doc, "n")?, "n")? as usize;
+    if n == 0 {
+        return Err(bad("n", "a protocol needs at least one node"));
+    }
+    let model: Model = str_field(&doc, "model")?
+        .parse()
+        .map_err(|e: String| bad("model", e))?;
+    let graph_edges = field(&doc, "graph")?
+        .as_arr()
+        .ok_or_else(|| bad("graph", "expected an edge array"))?
+        .iter()
+        .map(|pair| match pair.as_arr() {
+            Some([u, v]) => Ok((node_of(u, n, "graph")?, node_of(v, n, "graph")?)),
+            _ => Err(bad("graph", "expected [u,v] pairs")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if graph_edges.iter().any(|(u, v)| u == v) {
+        return Err(bad("graph", "self-loop"));
+    }
+    let initial = hex_of(field(&doc, "initial")?, "initial")?;
+
+    let edges = field(&doc, "edges")?
+        .as_arr()
+        .ok_or_else(|| bad("edges", "expected an array"))?
+        .iter()
+        .map(|e| match e.as_arr() {
+            Some([from, writer, to]) => Ok((
+                hex_of(from, "edges")?,
+                node_of(writer, n, "edges")?,
+                hex_of(to, "edges")?,
+            )),
+            _ => Err(bad("edges", "expected [from,writer,to] triples")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    for pair in edges.windows(2) {
+        if pair[0].0 == pair[1].0 && pair[0].1 == pair[1].1 {
+            return Err(VerifyError::DuplicateEdge {
+                from: pair[1].0,
+                writer: pair[1].1,
+            });
+        }
+        if pair[1] <= pair[0] {
+            return Err(bad("edges", "not sorted by (from, writer, to)"));
+        }
+    }
+
+    let terminals = field(&doc, "terminals")?
+        .as_arr()
+        .ok_or_else(|| bad("terminals", "expected an array"))?
+        .iter()
+        .map(|t| {
+            let verdict = match field(t, "verdict") {
+                Ok(Json::Bool(b)) => *b,
+                _ => return Err(bad("terminals", "expected a boolean verdict")),
+            };
+            Ok(RawTerminal {
+                config: hex_of(field(t, "config")?, "terminals")?,
+                verdict,
+                outcome: str_field(t, "outcome")?.to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    for pair in terminals.windows(2) {
+        if pair[1].config == pair[0].config {
+            return Err(VerifyError::DuplicateTerminal {
+                config: pair[1].config,
+            });
+        }
+        if pair[1].config < pair[0].config {
+            return Err(bad("terminals", "not sorted by config"));
+        }
+    }
+
+    let witnesses = field(&doc, "witnesses")?
+        .as_arr()
+        .ok_or_else(|| bad("witnesses", "expected an array"))?
+        .iter()
+        .map(|w| {
+            let schedule = field(w, "schedule")?
+                .as_arr()
+                .ok_or_else(|| bad("witnesses", "expected a schedule array"))?
+                .iter()
+                .map(|v| node_of(v, n, "witnesses"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let trace = field(w, "trace")?
+                .as_arr()
+                .ok_or_else(|| bad("witnesses", "expected a trace array"))?
+                .iter()
+                .map(|v| hex_of(v, "witnesses"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(RawWitness {
+                schedule,
+                trace,
+                outcome: str_field(w, "outcome")?.to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(RawCertificate {
+        protocol: str_field(&doc, "protocol")?.to_string(),
+        model,
+        n,
+        graph_edges,
+        initial,
+        edges,
+        terminals,
+        witnesses,
+        states: uint_of(field(&doc, "states")?, "states")?,
+    })
+}

@@ -1,0 +1,678 @@
+//! Independent re-checker for `wb-cert/v1` exploration certificates.
+//!
+//! The schedule explorer in `wb-runtime` is fast because it is clever:
+//! undo-log branching, write-only dedup probes, striped parallel seen-sets.
+//! A bug in any of that cleverness silently corrupts every verdict it
+//! reports. This crate is the counterweight: a verifier small enough to
+//! read in one sitting that re-checks a certificate emitted by
+//! `wb_runtime::certificate` using **none** of the machinery being checked.
+//!
+//! ## Trust argument
+//!
+//! The verifier depends on `wb-core` (protocol implementations and the
+//! registry's oracle table, reached through the engine-independent
+//! [`wb_core::steps`] surface), `wb-graph`, and `wb-math` (hashing, JSON).
+//! It does not link the explorer, the undo log, or the engine: protocol
+//! steps are replayed by the naive machine in this crate, and configuration
+//! hashes are recomputed from the spec in `docs/CERTIFICATES.md`. What is
+//! re-checked, given a certificate:
+//!
+//! - every claimed transition edge replays as a legal single step whose
+//!   target hash matches;
+//! - every reachable configuration with an active node has an outgoing edge
+//!   per active writer (no dropped edges), and no claimed edge is
+//!   unreachable (no forged edges);
+//! - the terminal set is exactly the reachable terminals, each verdict
+//!   re-evaluates under the registry oracle, and each rendered outcome
+//!   reproduces;
+//! - every failing terminal has a witness schedule that strict-replays —
+//!   pick by pick, hash by hash — to its claimed failure;
+//! - the distinct-state count matches.
+//!
+//! What is **not** re-checked: that the protocol itself is order-oblivious
+//! (the soundness precondition for hash-based dedup — an assumption of the
+//! certificate format, see `docs/CERTIFICATES.md`), and that the registry
+//! oracle is the "right" predicate for the paper's problem (the oracle is
+//! the shared definition of correct).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cert;
+pub mod machine;
+
+use machine::Machine;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
+use wb_core::registry::{self, BoundOracle, ProtocolVisitor};
+use wb_core::steps::{Model, Outcome, Promote, Protocol};
+use wb_graph::{Graph, NodeId};
+use wb_math::hash::hex128;
+
+pub use cert::{parse, RawCertificate, RawTerminal, RawWitness, FORMAT};
+
+/// Everything that can make a certificate fail verification. Every variant
+/// names the offending edge, terminal, or witness, so a rejection is a
+/// diagnosis, not a shrug.
+#[derive(Debug, PartialEq)]
+pub enum VerifyError {
+    /// The line is not JSON.
+    Malformed(String),
+    /// The line parses but is not in canonical form (sorted keys, no
+    /// whitespace) — a certificate has exactly one valid spelling.
+    NonCanonical,
+    /// The document digest does not match the body.
+    DigestMismatch,
+    /// Not a `wb-cert/v1` document.
+    Version {
+        /// The format tag found.
+        found: String,
+    },
+    /// A field is missing, ill-typed, or out of range.
+    Field {
+        /// Which field.
+        field: &'static str,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// The protocol spec does not resolve in the registry.
+    UnknownProtocol(String),
+    /// The certificate's model cannot run this protocol (Lemma 4 only
+    /// promotes upward).
+    ModelMismatch {
+        /// Model the certificate claims.
+        certificate: Model,
+        /// The protocol's native model.
+        native: Model,
+    },
+    /// The replayed initial configuration hash differs.
+    InitialMismatch {
+        /// Hash the certificate claims.
+        claimed: u128,
+        /// Hash the replay produced.
+        actual: u128,
+    },
+    /// Two edges share `(from, writer)`.
+    DuplicateEdge {
+        /// Source configuration.
+        from: u128,
+        /// Writer claimed twice.
+        writer: NodeId,
+    },
+    /// Two terminal claims share a configuration hash.
+    DuplicateTerminal {
+        /// The duplicated hash.
+        config: u128,
+    },
+    /// A reachable configuration has an active writer with no edge
+    /// (a dropped edge).
+    MissingEdge {
+        /// The configuration.
+        config: u128,
+        /// The uncovered active writer.
+        writer: NodeId,
+    },
+    /// Replaying an edge produced a different target configuration
+    /// (a forged or stale edge).
+    EdgeTargetMismatch {
+        /// Source configuration.
+        from: u128,
+        /// The writer stepped.
+        writer: NodeId,
+        /// Target the certificate claims.
+        claimed: u128,
+        /// Target the replay produced.
+        actual: u128,
+    },
+    /// A claimed edge's source is never reached (a forged edge).
+    UnreachableEdge {
+        /// Source configuration.
+        from: u128,
+        /// Writer of the forged edge.
+        writer: NodeId,
+    },
+    /// A write could not execute (empty message or budget violation).
+    StepFault {
+        /// The configuration stepped from.
+        config: u128,
+        /// The writer.
+        writer: NodeId,
+        /// The fault.
+        detail: String,
+    },
+    /// A reachable terminal is absent from the terminal list (a truncated
+    /// terminal set).
+    MissingTerminal {
+        /// The unlisted terminal's hash.
+        config: u128,
+    },
+    /// A listed terminal is never reached (a stale config hash).
+    UnknownTerminal {
+        /// The unreachable hash.
+        config: u128,
+    },
+    /// Re-evaluating the registry oracle contradicts the claimed verdict
+    /// (a flipped verdict).
+    TerminalVerdict {
+        /// The terminal.
+        config: u128,
+        /// Verdict the certificate claims.
+        claimed: bool,
+    },
+    /// The replayed outcome renders differently than claimed.
+    TerminalOutcome {
+        /// The terminal.
+        config: u128,
+        /// Rendering the certificate claims.
+        claimed: String,
+        /// Rendering the replay produced.
+        actual: String,
+    },
+    /// A witness pick was not active at its step (an illegal schedule).
+    WitnessStep {
+        /// Witness index.
+        witness: usize,
+        /// Step index within the schedule.
+        step: usize,
+        /// The illegal pick.
+        pick: NodeId,
+    },
+    /// A witness diverged from its hash trace (e.g. a reordered schedule).
+    WitnessTrace {
+        /// Witness index.
+        witness: usize,
+        /// First diverging step.
+        step: usize,
+        /// Hash the trace claims there.
+        claimed: u128,
+        /// Hash the replay produced.
+        actual: u128,
+    },
+    /// A witness is structurally broken (trace length, incomplete run).
+    WitnessShape {
+        /// Witness index.
+        witness: usize,
+        /// What is wrong.
+        detail: String,
+    },
+    /// A witness replay's outcome renders differently than claimed.
+    WitnessOutcome {
+        /// Witness index.
+        witness: usize,
+        /// Rendering the certificate claims.
+        claimed: String,
+        /// Rendering the replay produced.
+        actual: String,
+    },
+    /// A witness replays to an outcome the oracle accepts.
+    WitnessNotAFailure {
+        /// Witness index.
+        witness: usize,
+    },
+    /// A failing terminal has no witness.
+    MissingWitness {
+        /// The unwitnessed failing terminal.
+        config: u128,
+    },
+    /// The distinct-state count is wrong.
+    StateCount {
+        /// Count the certificate claims.
+        claimed: u64,
+        /// Count the replay found.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use VerifyError::*;
+        match self {
+            Malformed(e) => write!(f, "malformed certificate: {e}"),
+            NonCanonical => write!(f, "certificate is not in canonical form"),
+            DigestMismatch => write!(f, "document digest does not match the body"),
+            Version { found } => write!(f, "unsupported format '{found}' (expected {FORMAT})"),
+            Field { field, detail } => write!(f, "field '{field}': {detail}"),
+            UnknownProtocol(e) => write!(f, "protocol does not resolve: {e}"),
+            ModelMismatch {
+                certificate,
+                native,
+            } => {
+                write!(f, "model {certificate} cannot run a {native} protocol")
+            }
+            InitialMismatch { claimed, actual } => write!(
+                f,
+                "initial configuration is {}, not {}",
+                hex128(*actual),
+                hex128(*claimed)
+            ),
+            DuplicateEdge { from, writer } => {
+                write!(f, "duplicate edge ({}, {writer})", hex128(*from))
+            }
+            DuplicateTerminal { config } => {
+                write!(f, "duplicate terminal {}", hex128(*config))
+            }
+            MissingEdge { config, writer } => write!(
+                f,
+                "no edge for active writer {writer} in configuration {}",
+                hex128(*config)
+            ),
+            EdgeTargetMismatch {
+                from,
+                writer,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "edge ({}, {writer}) reaches {}, not {}",
+                hex128(*from),
+                hex128(*actual),
+                hex128(*claimed)
+            ),
+            UnreachableEdge { from, writer } => write!(
+                f,
+                "edge ({}, {writer}) starts at an unreachable configuration",
+                hex128(*from)
+            ),
+            StepFault {
+                config,
+                writer,
+                detail,
+            } => write!(
+                f,
+                "stepping writer {writer} in {} failed: {detail}",
+                hex128(*config)
+            ),
+            MissingTerminal { config } => write!(
+                f,
+                "reachable terminal {} is missing from the terminal set",
+                hex128(*config)
+            ),
+            UnknownTerminal { config } => {
+                write!(f, "claimed terminal {} is not reachable", hex128(*config))
+            }
+            TerminalVerdict { config, claimed } => write!(
+                f,
+                "terminal {}: oracle says {}, certificate claims {claimed}",
+                hex128(*config),
+                !claimed
+            ),
+            TerminalOutcome {
+                config,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "terminal {}: outcome is {actual:?}, certificate claims {claimed:?}",
+                hex128(*config)
+            ),
+            WitnessStep {
+                witness,
+                step,
+                pick,
+            } => write!(
+                f,
+                "witness {witness}: pick {pick} at step {step} is not active"
+            ),
+            WitnessTrace {
+                witness,
+                step,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "witness {witness}: diverged at step {step} ({}, trace claims {})",
+                hex128(*actual),
+                hex128(*claimed)
+            ),
+            WitnessShape { witness, detail } => write!(f, "witness {witness}: {detail}"),
+            WitnessOutcome {
+                witness,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "witness {witness}: outcome is {actual:?}, certificate claims {claimed:?}"
+            ),
+            WitnessNotAFailure { witness } => write!(
+                f,
+                "witness {witness} replays to an outcome the oracle accepts"
+            ),
+            MissingWitness { config } => {
+                write!(f, "failing terminal {} has no witness", hex128(*config))
+            }
+            StateCount { claimed, actual } => write!(
+                f,
+                "distinct-state count is {actual}, certificate claims {claimed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// What a successfully verified certificate established.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// Registry protocol spec.
+    pub protocol: String,
+    /// Model the run executed under.
+    pub model: Model,
+    /// Number of nodes.
+    pub n: usize,
+    /// Distinct configurations replayed.
+    pub states: u64,
+    /// Terminal configurations replayed.
+    pub terminals: usize,
+    /// Terminals the oracle rejected (each backed by a verified witness).
+    pub failures: usize,
+}
+
+/// Parse and fully verify one certificate line.
+pub fn verify_line(line: &str) -> Result<VerifySummary, VerifyError> {
+    verify_certificate(&cert::parse(line)?)
+}
+
+/// Fully verify a parsed certificate: resolve the protocol and oracle in
+/// the registry, then replay the claimed configuration DAG edge by edge.
+pub fn verify_certificate(cert: &RawCertificate) -> Result<VerifySummary, VerifyError> {
+    match registry::dispatch(&cert.protocol, cert.n, Check { cert }) {
+        Ok(result) => result,
+        Err(e) => Err(VerifyError::UnknownProtocol(e)),
+    }
+}
+
+struct Check<'a> {
+    cert: &'a RawCertificate,
+}
+
+impl ProtocolVisitor for Check<'_> {
+    type Result = Result<VerifySummary, VerifyError>;
+
+    fn visit<P, B>(self, protocol: P, bind: B) -> Self::Result
+    where
+        P: Protocol + Clone + Send + Sync,
+        P::Node: Send + Sync,
+        P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let native = protocol.model();
+        if self.cert.model == native {
+            replay(&protocol, self.cert, bind)
+        } else if self.cert.model.includes(native) {
+            replay(&Promote::new(protocol, self.cert.model), self.cert, bind)
+        } else {
+            Err(VerifyError::ModelMismatch {
+                certificate: self.cert.model,
+                native,
+            })
+        }
+    }
+}
+
+fn replay<Q, B>(protocol: &Q, cert: &RawCertificate, bind: B) -> Result<VerifySummary, VerifyError>
+where
+    Q: Protocol,
+    Q::Output: std::fmt::Debug,
+    B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, Q::Output>,
+{
+    let g = Graph::from_edges(cert.n, &cert.graph_edges);
+    let oracle = bind(&g);
+
+    let root = Machine::new(protocol, &g);
+    let initial = root.hash();
+    if initial != cert.initial {
+        return Err(VerifyError::InitialMismatch {
+            claimed: cert.initial,
+            actual: initial,
+        });
+    }
+
+    let edge_map: BTreeMap<(u128, NodeId), u128> = cert
+        .edges
+        .iter()
+        .map(|&(from, writer, to)| ((from, writer), to))
+        .collect();
+    let terminal_map: BTreeMap<u128, &RawTerminal> =
+        cert.terminals.iter().map(|t| (t.config, t)).collect();
+
+    // Depth-first over the claimed DAG, dedup by hash: every reachable
+    // configuration is expanded once, so every legitimate edge is replayed
+    // exactly once.
+    let mut seen: HashSet<u128> = HashSet::from([initial]);
+    let mut used: BTreeSet<(u128, NodeId)> = BTreeSet::new();
+    let mut reached_terminals: BTreeSet<u128> = BTreeSet::new();
+    let mut stack = vec![(root, initial)];
+    while let Some((machine, config)) = stack.pop() {
+        let mut any_active = false;
+        for writer in 1..=machine.node_count() as NodeId {
+            if !machine.is_active(writer) {
+                continue;
+            }
+            any_active = true;
+            let claimed = *edge_map
+                .get(&(config, writer))
+                .ok_or(VerifyError::MissingEdge { config, writer })?;
+            used.insert((config, writer));
+            let mut child = machine.clone();
+            child.step(writer).map_err(|fault| VerifyError::StepFault {
+                config,
+                writer,
+                detail: fault.to_string(),
+            })?;
+            let actual = child.hash();
+            if actual != claimed {
+                return Err(VerifyError::EdgeTargetMismatch {
+                    from: config,
+                    writer,
+                    claimed,
+                    actual,
+                });
+            }
+            if seen.insert(actual) {
+                stack.push((child, actual));
+            }
+        }
+        if !any_active {
+            reached_terminals.insert(config);
+            let claim = terminal_map
+                .get(&config)
+                .ok_or(VerifyError::MissingTerminal { config })?;
+            let outcome = machine.outcome();
+            let actual = format!("{outcome:?}");
+            if actual != claim.outcome {
+                return Err(VerifyError::TerminalOutcome {
+                    config,
+                    claimed: claim.outcome.clone(),
+                    actual,
+                });
+            }
+            if oracle(&outcome) != claim.verdict {
+                return Err(VerifyError::TerminalVerdict {
+                    config,
+                    claimed: claim.verdict,
+                });
+            }
+        }
+    }
+
+    for &(from, writer, _) in &cert.edges {
+        if !used.contains(&(from, writer)) {
+            return Err(VerifyError::UnreachableEdge { from, writer });
+        }
+    }
+    for t in &cert.terminals {
+        if !reached_terminals.contains(&t.config) {
+            return Err(VerifyError::UnknownTerminal { config: t.config });
+        }
+    }
+    if seen.len() as u64 != cert.states {
+        return Err(VerifyError::StateCount {
+            claimed: cert.states,
+            actual: seen.len() as u64,
+        });
+    }
+
+    // Witnesses: strict replay, pick by pick against the hash trace.
+    let mut witnessed: BTreeSet<u128> = BTreeSet::new();
+    for (wi, w) in cert.witnesses.iter().enumerate() {
+        if w.schedule.len() != w.trace.len() {
+            return Err(VerifyError::WitnessShape {
+                witness: wi,
+                detail: format!(
+                    "schedule has {} picks but trace has {} hashes",
+                    w.schedule.len(),
+                    w.trace.len()
+                ),
+            });
+        }
+        let mut machine = Machine::new(protocol, &g);
+        for (si, (&pick, &claimed)) in w.schedule.iter().zip(&w.trace).enumerate() {
+            if !machine.is_active(pick) {
+                return Err(VerifyError::WitnessStep {
+                    witness: wi,
+                    step: si,
+                    pick,
+                });
+            }
+            machine.step(pick).map_err(|fault| VerifyError::StepFault {
+                config: claimed,
+                writer: pick,
+                detail: fault.to_string(),
+            })?;
+            let actual = machine.hash();
+            if actual != claimed {
+                return Err(VerifyError::WitnessTrace {
+                    witness: wi,
+                    step: si,
+                    claimed,
+                    actual,
+                });
+            }
+        }
+        if machine.has_active() {
+            return Err(VerifyError::WitnessShape {
+                witness: wi,
+                detail: "schedule ends with active nodes remaining".into(),
+            });
+        }
+        let outcome = machine.outcome();
+        let actual = format!("{outcome:?}");
+        if actual != w.outcome {
+            return Err(VerifyError::WitnessOutcome {
+                witness: wi,
+                claimed: w.outcome.clone(),
+                actual,
+            });
+        }
+        if oracle(&outcome) {
+            return Err(VerifyError::WitnessNotAFailure { witness: wi });
+        }
+        witnessed.insert(w.trace.last().copied().unwrap_or(initial));
+    }
+    let failures = cert.terminals.iter().filter(|t| !t.verdict).count();
+    for t in &cert.terminals {
+        if !t.verdict && !witnessed.contains(&t.config) {
+            return Err(VerifyError::MissingWitness { config: t.config });
+        }
+    }
+
+    Ok(VerifySummary {
+        protocol: cert.protocol.clone(),
+        model: cert.model,
+        n: cert.n,
+        states: cert.states,
+        terminals: cert.terminals.len(),
+        failures,
+    })
+}
+
+/// What a corpus witness must replay to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExpectedWitness {
+    /// The run stalls with exactly these nodes still awake.
+    Deadlock {
+        /// Non-terminated nodes at the stall, ascending.
+        awake: Vec<NodeId>,
+    },
+    /// The run succeeds and the output's `Debug` rendering equals this.
+    Output(String),
+}
+
+/// Strict-replay one standalone witness schedule (a `tests/corpus` fixture)
+/// through the verifier's machine, under the protocol's native model.
+pub fn verify_witness(
+    spec: &str,
+    n: usize,
+    edges: &[(NodeId, NodeId)],
+    schedule: &[NodeId],
+    expect: &ExpectedWitness,
+) -> Result<(), VerifyError> {
+    struct Replay<'a> {
+        n: usize,
+        edges: &'a [(NodeId, NodeId)],
+        schedule: &'a [NodeId],
+        expect: &'a ExpectedWitness,
+    }
+
+    impl ProtocolVisitor for Replay<'_> {
+        type Result = Result<(), VerifyError>;
+
+        fn visit<P, B>(self, protocol: P, _bind: B) -> Self::Result
+        where
+            P: Protocol + Clone + Send + Sync,
+            P::Node: Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            let g = Graph::from_edges(self.n, self.edges);
+            let mut machine = Machine::new(&protocol, &g);
+            for (si, &pick) in self.schedule.iter().enumerate() {
+                if !machine.is_active(pick) {
+                    return Err(VerifyError::WitnessStep {
+                        witness: 0,
+                        step: si,
+                        pick,
+                    });
+                }
+                machine.step(pick).map_err(|fault| VerifyError::StepFault {
+                    config: 0,
+                    writer: pick,
+                    detail: fault.to_string(),
+                })?;
+            }
+            if machine.has_active() {
+                return Err(VerifyError::WitnessShape {
+                    witness: 0,
+                    detail: "schedule ends with active nodes remaining".into(),
+                });
+            }
+            let actual = match machine.outcome() {
+                Outcome::Deadlock { awake } => ExpectedWitness::Deadlock { awake },
+                Outcome::Success(out) => ExpectedWitness::Output(format!("{out:?}")),
+            };
+            if actual == *self.expect {
+                Ok(())
+            } else {
+                Err(VerifyError::WitnessOutcome {
+                    witness: 0,
+                    claimed: format!("{:?}", self.expect),
+                    actual: format!("{actual:?}"),
+                })
+            }
+        }
+    }
+
+    match registry::dispatch(
+        spec,
+        n,
+        Replay {
+            n,
+            edges,
+            schedule,
+            expect,
+        },
+    ) {
+        Ok(result) => result,
+        Err(e) => Err(VerifyError::UnknownProtocol(e)),
+    }
+}

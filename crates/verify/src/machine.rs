@@ -1,0 +1,263 @@
+//! The verifier's own protocol-step replayer.
+//!
+//! Deliberately **not** `wb_runtime::engine::Engine`: the point of the
+//! verifier is to re-check the explorer's claims without sharing any of the
+//! machinery being checked (undo-log branching, write-only probes, frontier
+//! management). This machine is the ~100-line naive restatement of the
+//! paper's §2 semantics — spawn, activation phase, one write per node,
+//! observation fan-out — plus the canonical configuration hash recomputed
+//! word for word from the spec in `docs/CERTIFICATES.md`. It clones freely
+//! and sorts the board at every hash; certificates cover exhaustive-tier
+//! instances (a handful of nodes), so simplicity wins over speed.
+
+use wb_core::steps::{LocalView, Node, Outcome, Protocol, Whiteboard};
+use wb_graph::{Graph, NodeId};
+use wb_math::hash::Digest128;
+use wb_math::BitVec;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Awake,
+    Active,
+    Terminated,
+}
+
+/// Why a replayed write could not execute.
+pub enum StepFault {
+    /// The message was empty (a write must change the board).
+    EmptyMessage,
+    /// The message exceeded the protocol's declared bit budget.
+    BudgetExceeded {
+        /// Bits the node produced.
+        bits: usize,
+        /// The declared budget.
+        budget: u32,
+    },
+}
+
+impl std::fmt::Display for StepFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepFault::EmptyMessage => write!(f, "node produced the empty word"),
+            StepFault::BudgetExceeded { bits, budget } => {
+                write!(f, "message of {bits} bits exceeds the {budget}-bit budget")
+            }
+        }
+    }
+}
+
+/// One shared-whiteboard configuration, replayed naively.
+pub struct Machine<'p, P: Protocol> {
+    protocol: &'p P,
+    simultaneous: bool,
+    asynchronous: bool,
+    budget: u32,
+    views: Vec<LocalView>,
+    nodes: Vec<P::Node>,
+    status: Vec<Status>,
+    frozen: Vec<Option<BitVec>>,
+    /// `(writer, message)` in write order.
+    board: Vec<(NodeId, BitVec)>,
+}
+
+impl<P: Protocol> Clone for Machine<'_, P> {
+    fn clone(&self) -> Self {
+        Machine {
+            protocol: self.protocol,
+            simultaneous: self.simultaneous,
+            asynchronous: self.asynchronous,
+            budget: self.budget,
+            views: self.views.clone(),
+            nodes: self.nodes.clone(),
+            status: self.status.clone(),
+            frozen: self.frozen.clone(),
+            board: self.board.clone(),
+        }
+    }
+}
+
+impl<'p, P: Protocol> Machine<'p, P> {
+    /// Spawn all nodes and run the first activation phase, yielding the
+    /// configuration whose hash a certificate claims as `initial`.
+    pub fn new(protocol: &'p P, g: &Graph) -> Self {
+        let n = g.n();
+        let model = protocol.model();
+        let views = LocalView::all_of(g);
+        let mut nodes: Vec<P::Node> = views.iter().map(|v| protocol.spawn(v)).collect();
+        let mut frozen: Vec<Option<BitVec>> = vec![None; n];
+        let status = if model.is_simultaneous() {
+            if model.is_asynchronous() {
+                // SIMASYNC: compose precedes every observation.
+                for (i, node) in nodes.iter_mut().enumerate() {
+                    frozen[i] = Some(node.compose(&views[i]));
+                }
+            }
+            vec![Status::Active; n]
+        } else {
+            vec![Status::Awake; n]
+        };
+        let mut machine = Machine {
+            protocol,
+            simultaneous: model.is_simultaneous(),
+            asynchronous: model.is_asynchronous(),
+            budget: protocol.budget_bits(n),
+            views,
+            nodes,
+            status,
+            frozen,
+            board: Vec::with_capacity(n),
+        };
+        machine.activation_phase();
+        machine
+    }
+
+    /// Poll awake nodes' activation predicates, in id order (free models).
+    fn activation_phase(&mut self) {
+        if self.simultaneous {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            if self.status[i] != Status::Awake {
+                continue;
+            }
+            if self.nodes[i].wants_to_activate(&self.views[i]) {
+                self.status[i] = Status::Active;
+                if self.asynchronous {
+                    // Asynchronous: the message freezes at activation.
+                    self.frozen[i] = Some(self.nodes[i].compose(&self.views[i]));
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the configuration.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `id` may write now (false for out-of-range ids).
+    pub fn is_active(&self, id: NodeId) -> bool {
+        id >= 1
+            && (id as usize) <= self.status.len()
+            && self.status[id as usize - 1] == Status::Active
+    }
+
+    /// Whether any node may still write.
+    pub fn has_active(&self) -> bool {
+        self.status.iter().any(|s| *s == Status::Active)
+    }
+
+    /// Execute one write by `pick` (which the caller has checked is active):
+    /// write, terminate, observation fan-out, next activation phase.
+    pub fn step(&mut self, pick: NodeId) -> Result<(), StepFault> {
+        debug_assert!(self.is_active(pick));
+        let i = pick as usize - 1;
+        let msg = if self.asynchronous {
+            self.frozen[i]
+                .take()
+                .expect("active asynchronous node has a frozen message")
+        } else {
+            self.nodes[i].compose(&self.views[i])
+        };
+        if msg.is_empty() {
+            return Err(StepFault::EmptyMessage);
+        }
+        if msg.len() > self.budget as usize {
+            return Err(StepFault::BudgetExceeded {
+                bits: msg.len(),
+                budget: self.budget,
+            });
+        }
+        self.status[i] = Status::Terminated;
+        let seq = self.board.len();
+        self.board.push((pick, msg.clone()));
+        for j in 0..self.nodes.len() {
+            match self.status[j] {
+                Status::Terminated => {}
+                // An active asynchronous node's message is already frozen.
+                Status::Active if self.asynchronous => {}
+                _ => self.nodes[j].observe(&self.views[j], seq, pick, &msg),
+            }
+        }
+        self.activation_phase();
+        Ok(())
+    }
+
+    /// The canonical configuration hash: statuses packed 2 bits per node,
+    /// frozen-slot presence bitmap, frozen messages length-framed in node
+    /// order, board length, then board entries `(writer, len, words…)` in
+    /// ascending-writer order. Must match the engine's
+    /// `canonical_fingerprint` word for word — the format spec is
+    /// `docs/CERTIFICATES.md`, and the `fingerprint_parity` test in
+    /// `tests/certificate.rs` pins the two implementations together.
+    pub fn hash(&self) -> u128 {
+        let mut d = Digest128::new();
+        let (mut acc, mut filled) = (0u64, 0u32);
+        for s in &self.status {
+            let code = match s {
+                Status::Awake => 0u64,
+                Status::Active => 1,
+                Status::Terminated => 2,
+            };
+            acc |= code << filled;
+            filled += 2;
+            if filled == 64 {
+                d.put(acc);
+                (acc, filled) = (0, 0);
+            }
+        }
+        if filled > 0 {
+            d.put(acc);
+        }
+        let (mut mask, mut bit) = (0u64, 0u32);
+        for f in &self.frozen {
+            if f.is_some() {
+                mask |= 1 << bit;
+            }
+            bit += 1;
+            if bit == 64 {
+                d.put(mask);
+                (mask, bit) = (0, 0);
+            }
+        }
+        if bit > 0 {
+            d.put(mask);
+        }
+        for f in self.frozen.iter().flatten() {
+            d.put(f.len() as u64);
+            for &w in f.as_words() {
+                d.put(w);
+            }
+        }
+        d.put(self.board.len() as u64);
+        let mut by_writer: Vec<usize> = (0..self.board.len()).collect();
+        by_writer.sort_by_key(|&i| self.board[i].0);
+        for i in by_writer {
+            let (writer, msg) = &self.board[i];
+            d.put(u64::from(*writer));
+            d.put(msg.len() as u64);
+            for &w in msg.as_words() {
+                d.put(w);
+            }
+        }
+        d.finish()
+    }
+
+    /// Classify the current configuration (call when no node is active).
+    pub fn outcome(&self) -> Outcome<P::Output> {
+        if self.status.iter().all(|s| *s == Status::Terminated) {
+            let board = Whiteboard::from_messages(self.board.iter().cloned());
+            Outcome::Success(self.protocol.output(self.views.len(), &board))
+        } else {
+            Outcome::Deadlock {
+                awake: self
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s != Status::Terminated)
+                    .map(|(i, _)| i as NodeId + 1)
+                    .collect(),
+            }
+        }
+    }
+}

@@ -57,6 +57,8 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(&opts),
         "bulk" => cmd_bulk(&opts),
         "capacity" => cmd_capacity(&opts),
+        "certify" => cmd_certify(&opts),
+        "verify" => cmd_verify(&opts),
         "dot" => cmd_dot(&opts),
         "list" => {
             cmd_list();
@@ -75,12 +77,13 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: whiteboard <run|check|explore|campaign|bulk|capacity|dot|list> [--protocol P] \
-         [--workload W | --graph-family W] [--n N[,N..]] [--seed S] \
+        "usage: whiteboard <run|check|explore|campaign|bulk|capacity|certify|verify|dot|list> \
+         [--protocol P] [--workload W | --graph-family W] [--n N[,N..]] [--seed S] \
          [--adversary min|max|random:S] [--trace] \
          [--max-states M] [--par] [--compare-naive] [--dedup canonical|exact|off] [--json] \
          [--trials T] [--sampler uniform|priority|crashy] [--batch B] \
-         [--model native|simasync|simsync|async|sync|fasync|fsync] [--shrink] [--shrink-out PATH]"
+         [--model native|simasync|simsync|async|sync|fasync|fsync] [--shrink] [--shrink-out PATH] \
+         [--certify PATH] [--out PATH] [FILE..]"
     );
 }
 
@@ -105,6 +108,12 @@ struct Opts {
     /// Sharding grain: board shard size for `bulk`, trial batch for
     /// `campaign`. `None` = each command's default.
     batch: Option<usize>,
+    /// `explore --certify PATH`: also emit a `wb-cert/v1` line to PATH.
+    certify: Option<String>,
+    /// `certify --out PATH`: certificate destination (default stdout).
+    out: Option<String>,
+    /// Positional arguments (`verify` takes certificate files).
+    files: Vec<String>,
 }
 
 impl Opts {
@@ -128,6 +137,9 @@ impl Opts {
             shrink: false,
             shrink_out: None,
             batch: None,
+            certify: None,
+            out: None,
+            files: Vec::new(),
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -183,6 +195,9 @@ impl Opts {
                     o.shrink = true;
                     o.shrink_out = Some(value("--shrink-out")?);
                 }
+                "--certify" => o.certify = Some(value("--certify")?),
+                "--out" => o.out = Some(value("--out")?),
+                other if !other.starts_with("--") => o.files.push(other.to_string()),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -503,20 +518,35 @@ fn json_escape(s: &str) -> String {
 /// printing the structured report (distinct states, dedup ratio, failures)
 /// or — with `--json` — one machine-readable object.
 fn cmd_explore(o: &Opts) -> Result<(), String> {
-    use wb_runtime::exhaustive::{
-        explore, explore_parallel, DedupPolicy, ExplorationReport, ExploreConfig,
-    };
+    use wb_runtime::exhaustive::{explore, explore_parallel, ExplorationReport, ExploreConfig};
     let n = *o.ns.first().unwrap_or(&6);
     let g = make_workload(&o.workload, n, o.seed)?;
-    let dedup = match o.dedup.as_str() {
-        "canonical" | "fingerprint" | "fp" => DedupPolicy::Canonical,
-        "exact" => DedupPolicy::Exact,
-        "off" | "none" => DedupPolicy::Off,
-        other => return Err(format!("unknown dedup policy '{other}'")),
-    };
     let config = ExploreConfig::default()
         .with_max_states(o.max_states)
-        .with_dedup(dedup);
+        .with_dedup(parse_dedup(&o.dedup)?);
+
+    // `--certify PATH`: additionally run the certifying walk and write one
+    // `wb-cert/v1` line. Emitted before the report so a FAIL verdict (which
+    // makes this command exit nonzero) still leaves the certificate — the
+    // failing case is exactly the one worth re-checking independently.
+    if let Some(path) = &o.certify {
+        let run = wb_bench::certify::certify_spec(
+            &o.protocol,
+            &g,
+            None,
+            wb_bench::certify::Provenance {
+                family: Some(&o.workload),
+                seed: Some(o.seed),
+            },
+            &config,
+        )?;
+        std::fs::write(path, run.certificate.to_json_line() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "certificate: {} states, {} terminals, {} failing -> {path}",
+            run.distinct_states, run.terminals, run.failures
+        );
+    }
 
     /// `(states, schedules, truncated)` of the dedup-off comparison walk.
     type NaiveStats = (u64, u64, bool);
@@ -650,6 +680,105 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
     }
 
     registry::dispatch(&o.protocol, n, ExploreOne { o, g: &g, config })?
+}
+
+/// Parse a `--dedup` policy name (shared by `explore` and `certify`).
+fn parse_dedup(spec: &str) -> Result<wb_runtime::DedupPolicy, String> {
+    use wb_runtime::DedupPolicy;
+    Ok(match spec {
+        "canonical" | "fingerprint" | "fp" => DedupPolicy::Canonical,
+        "exact" => DedupPolicy::Exact,
+        "off" | "none" => DedupPolicy::Off,
+        other => return Err(format!("unknown dedup policy '{other}'")),
+    })
+}
+
+/// Emit machine-checkable exploration certificates: one certified
+/// exhaustive walk per `--n` value, each serialized as one `wb-cert/v1`
+/// JSON line to `--out PATH` (or stdout). Run summaries go to stderr so
+/// stdout stays pure JSONL. See `docs/CERTIFICATES.md`.
+fn cmd_certify(o: &Opts) -> Result<(), String> {
+    let model = parse_model(&o.model)?;
+    let config = wb_runtime::ExploreConfig::default()
+        .with_max_states(o.max_states)
+        .with_dedup(parse_dedup(&o.dedup)?);
+    let mut lines = String::new();
+    for &n in &o.ns {
+        let g = make_workload(&o.workload, n, o.seed)?;
+        let run = wb_bench::certify::certify_spec(
+            &o.protocol,
+            &g,
+            model,
+            wb_bench::certify::Provenance {
+                family: Some(&o.workload),
+                seed: Some(o.seed),
+            },
+            &config,
+        )?;
+        eprintln!(
+            "certified {} on {} (n = {}, {}): {} states, {} terminals, {} failing",
+            o.protocol,
+            o.workload,
+            n,
+            run.certificate.model,
+            run.distinct_states,
+            run.terminals,
+            run.failures
+        );
+        lines.push_str(&run.certificate.to_json_line());
+        lines.push('\n');
+    }
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, lines).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} certificate(s) to {path}", o.ns.len());
+        }
+        None => print!("{lines}"),
+    }
+    Ok(())
+}
+
+/// Re-check certificate files through the independent `wb-verify` crate:
+/// one verdict line per certificate (PASS with the established summary, or
+/// the structured rejection), nonzero exit if any fails.
+fn cmd_verify(o: &Opts) -> Result<(), String> {
+    if o.files.is_empty() {
+        return Err("verify expects at least one certificate file".into());
+    }
+    let (mut total, mut bad) = (0usize, 0usize);
+    for path in &o.files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            total += 1;
+            match wb_verify::verify_line(line) {
+                Ok(s) => println!(
+                    "{path}:{}: PASS {} {} n={} states={} terminals={} failures={}",
+                    i + 1,
+                    s.protocol,
+                    s.model,
+                    s.n,
+                    s.states,
+                    s.terminals,
+                    s.failures
+                ),
+                Err(e) => {
+                    bad += 1;
+                    println!("{path}:{}: FAIL {e}", i + 1);
+                }
+            }
+        }
+    }
+    if bad == 0 {
+        eprintln!("verified {total} certificate(s)");
+        Ok(())
+    } else {
+        Err(format!(
+            "{bad} of {total} certificate(s) failed verification"
+        ))
+    }
 }
 
 /// Parse a `--model` spec: `None` means "the protocol's native model"; the

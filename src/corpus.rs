@@ -12,6 +12,7 @@
 //! ```ron
 //! (
 //!     name: "mis-schedule-dependence",
+//!     format: "wb-cert/v1",
 //!     protocol: "mis:1",
 //!     n: 4,
 //!     edges: [(1, 2), (2, 3), (3, 4)],
@@ -19,6 +20,12 @@
 //!     expect: Output("[1, 4]"),
 //! )
 //! ```
+//!
+//! `format` pins the certificate format family the witness belongs to
+//! (see `docs/CERTIFICATES.md`): a fixture is a standalone witness in the
+//! `wb-cert/v1` sense, and `tests/corpus_replay.rs` re-verifies each one
+//! through the independent `wb-verify` replayer in addition to the engine
+//! replay here. Unknown versions are rejected at parse time.
 //!
 //! `expect` records what the run ended in when the witness was captured:
 //! `Deadlock(awake: [..])` or `Output("..")` (the `Debug` rendering of the
@@ -47,6 +54,9 @@ pub enum ExpectedOutcome {
 pub struct WitnessFixture {
     /// Human-readable fixture name.
     pub name: String,
+    /// Certificate format version the witness conforms to
+    /// ([`wb_runtime::certificate::FORMAT`]).
+    pub format: String,
     /// CLI-style protocol spec (see [`WitnessFixture::replay`] for the
     /// supported set), e.g. `"mis:1"` or `"async-bipartite-bfs"`.
     pub protocol: String,
@@ -76,6 +86,7 @@ impl WitnessFixture {
         };
         WitnessFixture {
             name: name.to_string(),
+            format: wb_runtime::certificate::FORMAT.to_string(),
             protocol: protocol.to_string(),
             n: g.n(),
             edges: g.edges().collect(),
@@ -115,9 +126,10 @@ impl WitnessFixture {
             ExpectedOutcome::Output(debug) => format!("Output(\"{}\")", escape(debug)),
         };
         format!(
-            "(\n    name: \"{}\",\n    protocol: \"{}\",\n    n: {},\n    edges: [{}],\n    \
-             schedule: [{}],\n    expect: {},\n)\n",
+            "(\n    name: \"{}\",\n    format: \"{}\",\n    protocol: \"{}\",\n    n: {},\n    \
+             edges: [{}],\n    schedule: [{}],\n    expect: {},\n)\n",
             escape(&self.name),
+            escape(&self.format),
             escape(&self.protocol),
             self.n,
             edges,
@@ -133,6 +145,16 @@ impl WitnessFixture {
         p.expect("name")?;
         p.expect(":")?;
         let name = p.string()?;
+        p.expect(",")?;
+        p.expect("format")?;
+        p.expect(":")?;
+        let format = p.string()?;
+        if format != wb_runtime::certificate::FORMAT {
+            return Err(format!(
+                "unsupported witness format '{format}' (this build reads '{}')",
+                wb_runtime::certificate::FORMAT
+            ));
+        }
         p.expect(",")?;
         p.expect("protocol")?;
         p.expect(":")?;
@@ -170,6 +192,7 @@ impl WitnessFixture {
         p.expect(")")?;
         Ok(WitnessFixture {
             name,
+            format,
             protocol,
             n,
             edges,
@@ -387,6 +410,7 @@ mod tests {
     fn fixture() -> WitnessFixture {
         WitnessFixture {
             name: "example".into(),
+            format: wb_runtime::certificate::FORMAT.into(),
             protocol: "mis:1".into(),
             n: 4,
             edges: vec![(1, 2), (2, 3), (3, 4)],
@@ -423,5 +447,22 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(WitnessFixture::parse("(name: 12)").is_err());
         assert!(WitnessFixture::parse("").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_format_version() {
+        let mut f = fixture();
+        f.format = "wb-cert/v99".into();
+        let err = WitnessFixture::parse(&f.to_ron()).expect_err("unknown version must be refused");
+        assert!(err.contains("wb-cert/v99"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_versionless_legacy_fixtures() {
+        // The pre-versioned spelling (no `format` field) must not parse
+        // silently as something else.
+        let legacy = "(\n    name: \"x\",\n    protocol: \"mis:1\",\n    n: 2,\n    \
+                      edges: [(1, 2)],\n    schedule: [1, 2],\n    expect: Output(\"[1]\"),\n)\n";
+        assert!(WitnessFixture::parse(legacy).is_err());
     }
 }

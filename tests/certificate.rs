@@ -1,0 +1,342 @@
+//! Certificate tamper battery: every registry protocol certifies and
+//! independently verifies on small graphs, and every mutation class a
+//! certificate can suffer is rejected with a structured error naming the
+//! offending edge, terminal, or witness.
+//!
+//! The mutations are applied to the *struct* and re-serialized through
+//! [`ExplorationCertificate::to_json_line`], which recomputes the document
+//! digest honestly — so each test exercises the semantic replay checks in
+//! `wb-verify`, not the byte-level digest gate (that gate gets its own
+//! tests at the bottom, plus property coverage in `tests/property_based.rs`).
+
+use wb_bench::certify::{certify_spec, CertifiedRun, Provenance};
+use wb_core::registry::{self, BoundOracle, ProtocolVisitor, PROTOCOLS};
+use wb_graph::{generators, Graph};
+use wb_runtime::certificate::CertificateEdge;
+use wb_runtime::{Engine, ExploreConfig, Protocol};
+use wb_verify::{machine::Machine, verify_line, VerifyError};
+
+/// Certify `spec` on `g` under its native model.
+fn certified(spec: &str, g: &Graph) -> CertifiedRun {
+    certify_spec(
+        spec,
+        g,
+        None,
+        Provenance::default(),
+        &ExploreConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{spec} must certify: {e}"))
+}
+
+/// The known off-promise instance for `async-bipartite-bfs`: a triangle
+/// with a pendant tail, whose exploration deadlocks (witness-bearing).
+fn triangle_tail() -> Graph {
+    Graph::from_edges(5, &[(1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+}
+
+// ---------------------------------------------------------------------------
+// Valid certificates: the whole registry, small graphs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_registry_protocol_certifies_and_verifies() {
+    for g in [generators::path(4), generators::cycle(4)] {
+        for info in PROTOCOLS {
+            let run = certified(info.name, &g);
+            let summary = verify_line(&run.certificate.to_json_line())
+                .unwrap_or_else(|e| panic!("fresh {} certificate must verify: {e}", info.name));
+            assert_eq!(summary.protocol, info.name);
+            assert_eq!(summary.states, run.distinct_states);
+            assert_eq!(summary.terminals as u64, run.terminals);
+            assert_eq!(summary.failures, run.failures);
+        }
+    }
+}
+
+#[test]
+fn witness_bearing_certificate_verifies_end_to_end() {
+    let run = certified("async-bipartite-bfs", &triangle_tail());
+    assert!(run.failures > 0, "triangle-tail must deadlock");
+    let summary = verify_line(&run.certificate.to_json_line())
+        .expect("witness-bearing certificate must verify");
+    assert_eq!(summary.failures, run.failures);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint parity: the verifier's naive Machine must hash configurations
+// exactly like the engine's canonical fingerprint, on every model.
+// ---------------------------------------------------------------------------
+
+struct Parity<'a> {
+    g: &'a Graph,
+}
+
+impl ProtocolVisitor for Parity<'_> {
+    type Result = Result<(), String>;
+
+    fn visit<P, B>(self, protocol: P, _bind: B) -> Self::Result
+    where
+        P: Protocol + Clone + Send + Sync,
+        P::Node: Send + Sync,
+        P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let mut engine = Engine::new(&protocol, self.g);
+        engine.activation_phase();
+        let mut machine = Machine::new(&protocol, self.g);
+        assert_eq!(
+            engine.canonical_fingerprint().as_u128(),
+            machine.hash(),
+            "initial configuration hash diverges"
+        );
+        // Drive one greedy schedule to completion, comparing after every
+        // write: this crosses every hash ingredient (statuses, frozen
+        // messages, board entries) for this protocol's model.
+        let mut steps = 0;
+        while let Some(&pick) = engine.active_set().first() {
+            engine.step(pick);
+            engine.activation_phase();
+            machine
+                .step(pick)
+                .map_err(|f| format!("machine refused step {pick}: {f}"))?;
+            assert_eq!(
+                engine.canonical_fingerprint().as_u128(),
+                machine.hash(),
+                "hash diverges after step {steps} (pick {pick})"
+            );
+            steps += 1;
+        }
+        assert!(!machine.has_active(), "machine lags the engine's schedule");
+        Ok(())
+    }
+}
+
+#[test]
+fn fingerprint_parity() {
+    // One protocol per native model of the lattice, plus the off-promise
+    // witness instance (exercises deadlocked boards).
+    for (spec, g) in [
+        ("build", generators::path(4)),
+        ("mis:1", generators::cycle(4)),
+        ("bfs", generators::path(4)),
+        ("async-bipartite-bfs", generators::path(4)),
+        ("async-bipartite-bfs", triangle_tail()),
+    ] {
+        registry::dispatch(spec, g.n(), Parity { g: &g })
+            .unwrap_or_else(|e| panic!("{spec}: {e}"))
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tamper battery: each mutation class is rejected with the structured error
+// naming the offending edge / terminal / witness.
+// ---------------------------------------------------------------------------
+
+/// Base certificate for the edge/terminal mutations: small, passing, with a
+/// non-trivial transition DAG.
+fn base() -> CertifiedRun {
+    certified("mis:1", &generators::path(4))
+}
+
+#[test]
+fn tamper_dropped_edge_is_rejected() {
+    let mut run = base();
+    let initial = run.certificate.initial;
+    let pos = run
+        .certificate
+        .edges
+        .iter()
+        .position(|e| e.from == initial)
+        .expect("initial configuration has outgoing edges");
+    let dropped = run.certificate.edges.remove(pos);
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::MissingEdge {
+            config: dropped.from,
+            writer: dropped.writer,
+        }
+    );
+}
+
+#[test]
+fn tamper_forged_edge_is_rejected() {
+    let mut run = base();
+    // A source hash no replay reaches: the walk completes, then the
+    // unused-edge sweep names the forgery.
+    let forged = CertificateEdge {
+        from: u128::MAX,
+        writer: 1,
+        to: run.certificate.initial,
+    };
+    run.certificate.edges.push(forged.clone());
+    run.certificate.edges.sort();
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::UnreachableEdge {
+            from: forged.from,
+            writer: forged.writer,
+        }
+    );
+}
+
+#[test]
+fn tamper_stale_edge_target_is_rejected() {
+    let mut run = base();
+    let initial = run.certificate.initial;
+    let pos = run
+        .certificate
+        .edges
+        .iter()
+        .position(|e| e.from == initial)
+        .expect("initial configuration has outgoing edges");
+    let honest_to = run.certificate.edges[pos].to;
+    run.certificate.edges[pos].to ^= 1;
+    let mutated = run.certificate.edges[pos].clone();
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::EdgeTargetMismatch {
+            from: mutated.from,
+            writer: mutated.writer,
+            claimed: mutated.to,
+            actual: honest_to,
+        }
+    );
+}
+
+#[test]
+fn tamper_flipped_verdict_is_rejected() {
+    let mut run = base();
+    let t = &mut run.certificate.terminals[0];
+    t.verdict = !t.verdict;
+    let (config, claimed) = (t.config, t.verdict);
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert_eq!(err, VerifyError::TerminalVerdict { config, claimed });
+}
+
+#[test]
+fn tamper_truncated_terminal_set_is_rejected() {
+    let mut run = base();
+    let removed = run.certificate.terminals.remove(0);
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::MissingTerminal {
+            config: removed.config,
+        }
+    );
+}
+
+#[test]
+fn tamper_stale_initial_hash_is_rejected() {
+    let mut run = base();
+    let honest = run.certificate.initial;
+    run.certificate.initial ^= 1;
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::InitialMismatch {
+            claimed: honest ^ 1,
+            actual: honest,
+        }
+    );
+}
+
+#[test]
+fn tamper_reordered_witness_is_rejected() {
+    let mut run = certified("async-bipartite-bfs", &triangle_tail());
+    assert!(!run.certificate.witnesses.is_empty());
+    let w = &mut run.certificate.witnesses[0];
+    assert!(
+        w.schedule.len() >= 2,
+        "witness schedule long enough to reorder"
+    );
+    let original = w.schedule.clone();
+    w.schedule.reverse();
+    if w.schedule == original {
+        // Palindromic schedule: rotate instead so the replay truly diverges.
+        w.schedule.rotate_left(1);
+    }
+    assert_ne!(w.schedule, original);
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::WitnessStep { witness: 0, .. }
+                | VerifyError::WitnessTrace { witness: 0, .. }
+        ),
+        "reordered witness must fail strict replay naming witness 0, got {err}"
+    );
+}
+
+#[test]
+fn tamper_state_count_is_rejected() {
+    let mut run = base();
+    let honest = run.certificate.states;
+    run.certificate.states += 1;
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::StateCount {
+            claimed: honest + 1,
+            actual: honest,
+        }
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level gates: anything that is not the one canonical spelling of the
+// body is rejected before replay even starts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tamper_corrupted_bytes_are_rejected_by_digest_gate() {
+    let line = base().certificate.to_json_line();
+    // Flip one digit inside the states field, leaving the digest untouched.
+    let idx = line.find("\"states\":").expect("states key present") + "\"states\":".len();
+    let mut bytes = line.into_bytes();
+    bytes[idx] = if bytes[idx] == b'9' {
+        b'8'
+    } else {
+        bytes[idx] + 1
+    };
+    let corrupted = String::from_utf8(bytes).unwrap();
+    let err = verify_line(&corrupted).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::DigestMismatch | VerifyError::NonCanonical | VerifyError::Malformed(_)
+        ),
+        "byte corruption must trip a pre-replay gate, got {err}"
+    );
+}
+
+#[test]
+fn non_canonical_spelling_is_rejected() {
+    let line = base().certificate.to_json_line();
+    let padded = line.replacen(",\"edges\":", ", \"edges\":", 1);
+    assert_ne!(line, padded);
+    assert_eq!(verify_line(&padded).unwrap_err(), VerifyError::NonCanonical);
+}
+
+#[test]
+fn wrong_format_version_is_rejected() {
+    // The format tag is emitted by the serializer, not stored on the
+    // struct, so the swap happens at the byte level — and the digest gate
+    // fires first, which is exactly the point: a forged version cannot
+    // borrow a real document's digest.
+    let line = base().certificate.to_json_line();
+    let forged = line.replacen("wb-cert/v1", "wb-cert/v9", 1);
+    assert_ne!(line, forged);
+    let err = verify_line(&forged).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::DigestMismatch | VerifyError::Version { .. }
+        ),
+        "forged version tag must be rejected, got {err}"
+    );
+}

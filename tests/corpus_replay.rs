@@ -154,3 +154,35 @@ fn regen_corpus_fixtures() {
         .save(&dir.join("build_k1_rejects_cycle.ron"))
         .unwrap();
 }
+
+#[test]
+fn stored_corpus_reverifies_through_wb_verify() {
+    // Beyond the engine replay above, every checked-in witness must also
+    // strict-replay through the independent verifier's machine: corpus
+    // fixtures are standalone `wb-cert/v1` witnesses (their `format` field
+    // says so), so the trust argument of `docs/CERTIFICATES.md` extends to
+    // them — a fixture that only the engine can reproduce would be
+    // evidence of semantics drift between producer and checker.
+    for path in stored_fixtures() {
+        let fixture = WitnessFixture::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(fixture.format, wb_runtime::certificate::FORMAT);
+        let expect = match &fixture.expect {
+            shared_whiteboard::corpus::ExpectedOutcome::Deadlock { awake } => {
+                wb_verify::ExpectedWitness::Deadlock {
+                    awake: awake.clone(),
+                }
+            }
+            shared_whiteboard::corpus::ExpectedOutcome::Output(debug) => {
+                wb_verify::ExpectedWitness::Output(debug.clone())
+            }
+        };
+        wb_verify::verify_witness(
+            &fixture.protocol,
+            fixture.n,
+            &fixture.edges,
+            &fixture.schedule,
+            &expect,
+        )
+        .unwrap_or_else(|e| panic!("{}: wb-verify rejected the witness: {e}", path.display()));
+    }
+}

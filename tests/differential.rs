@@ -320,3 +320,116 @@ fn fingerprint_dedup_matches_exact_under_all_four_models_up_to_n5() {
         }
     });
 }
+
+// ---------------------------------------------------------------------------
+// Certificates inherit the explorer's soundness boundary.
+// ---------------------------------------------------------------------------
+
+/// Registry visitor pinning that a certificate's terminal outcome set is
+/// exactly what the Exact-dedup explorer and the naive factorial DFS reach:
+/// the certifying walk (canonical-fingerprint dedup) loses nothing and
+/// invents nothing, on every model the protocol can run in.
+struct CertificateBattery<'a> {
+    g: &'a Graph,
+    info: &'static registry::ProtocolInfo,
+}
+
+impl CertificateBattery<'_> {
+    fn check_one<P>(&self, p: &P, target: Model)
+    where
+        P: Protocol,
+        P::Output: Clone + Debug,
+    {
+        let label = format!("{}@{target}", self.info.name);
+        let run = wb_bench::certify::certify_spec(
+            self.info.name,
+            self.g,
+            Some(target),
+            wb_bench::certify::Provenance::default(),
+            &ExploreConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{label}: certification failed on {:?}: {e}", self.g));
+        let certified: BTreeSet<String> = run
+            .certificate
+            .terminals
+            .iter()
+            .map(|t| t.outcome.clone())
+            .collect();
+        let naive = naive_outcomes(p, self.g);
+        assert_eq!(
+            certified, naive,
+            "{label}: certificate and naive DFS outcome sets differ on {:?}",
+            self.g
+        );
+        let exact = explore(
+            p,
+            self.g,
+            &ExploreConfig::default().with_dedup(DedupPolicy::Exact),
+            |_| true,
+        );
+        assert!(!exact.truncated);
+        let exact_set: BTreeSet<String> = exact.outcomes.iter().map(|o| format!("{o:?}")).collect();
+        assert_eq!(
+            certified, exact_set,
+            "{label}: certificate and Exact-dedup outcome sets differ on {:?}",
+            self.g
+        );
+        assert_eq!(
+            run.distinct_states, exact.distinct_states,
+            "{label}: certified state count differs from Exact dedup on {:?}",
+            self.g
+        );
+    }
+}
+
+impl ProtocolVisitor for CertificateBattery<'_> {
+    type Result = ();
+    fn visit<P, B>(self, protocol: P, _bind: B)
+    where
+        P: Protocol + Clone + Send + Sync,
+        P::Node: Send + Sync,
+        P::Output: Clone + PartialEq + Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let native = protocol.model();
+        for target in targets(native) {
+            if target == native {
+                self.check_one(&protocol, target);
+            } else {
+                self.check_one(&Promote::new(protocol.clone(), target), target);
+            }
+        }
+    }
+}
+
+#[test]
+fn certificates_match_exact_dedup_and_naive_dfs_n4() {
+    // Every registered protocol, every model it can run in (via Lemma 4
+    // promotion), every labeled graph up to n = 4: the certificate's
+    // terminal outcome set equals both independent references.
+    for_all_graphs_parallel(4, |g| {
+        for info in registry::PROTOCOLS {
+            registry::dispatch(info.name, g.n(), CertificateBattery { g, info })
+                .unwrap_or_else(|e| panic!("{}: {e}", info.name));
+        }
+    });
+}
+
+#[test]
+fn certification_refuses_the_unsound_dedup_escape_hatch() {
+    // `DedupPolicy::Off` exists for transcript-valued protocols, whose
+    // outcome sets canonical dedup legitimately collapses — exactly the
+    // runs a certificate's distinct-configuration DAG cannot represent.
+    // Certification must therefore refuse the escape hatch outright.
+    let g = generators::path(3);
+    let err = wb_bench::certify::certify_spec(
+        "mis:1",
+        &g,
+        None,
+        wb_bench::certify::Provenance::default(),
+        &ExploreConfig::default().without_dedup(),
+    )
+    .err()
+    .expect("certification with dedup off must be refused");
+    assert!(err.contains("DedupPolicy::Off"), "{err}");
+}

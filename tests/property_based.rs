@@ -363,3 +363,89 @@ proptest! {
         }
     }
 }
+
+/// Certify a random small instance through the registry: the protocol is
+/// chosen by seed from a spread of native models, the graph from G(n, p).
+fn random_certificate(n: usize, p_edge: f64, seed: u64) -> wb_bench::certify::CertifiedRun {
+    let specs = ["build", "mis:1", "bfs", "eob-bfs", "async-bipartite-bfs"];
+    let spec = specs[(seed % specs.len() as u64) as usize];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+    wb_bench::certify::certify_spec(
+        spec,
+        &g,
+        None,
+        wb_bench::certify::Provenance {
+            family: Some("gnp"),
+            seed: Some(seed),
+        },
+        &ExploreConfig::default(),
+    )
+    .expect("exhaustive-tier instances certify")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serialization is a bijection on valid certificates: emitting twice is
+    /// byte-identical, and `parse` (which re-serializes canonically and
+    /// demands byte-equality with its input) accepts the emission — i.e.
+    /// emit → parse → re-emit is the identity on bytes.
+    #[test]
+    fn certificate_emission_round_trips_byte_identical(
+        n in 2usize..5, p_edge in 0.0f64..0.8, seed in any::<u64>()
+    ) {
+        let run = random_certificate(n, p_edge, seed);
+        let first = run.certificate.to_json_line();
+        let second = run.certificate.to_json_line();
+        prop_assert_eq!(&first, &second);
+        let parsed = wb_verify::parse(&first);
+        prop_assert!(parsed.is_ok(), "fresh emission must parse canonically: {:?}", parsed.err());
+    }
+
+    /// Verification is a pure function of the bytes: repeated runs and
+    /// concurrent runs from several threads all return the same summary.
+    #[test]
+    fn verification_is_deterministic(
+        n in 2usize..5, p_edge in 0.0f64..0.8, seed in any::<u64>()
+    ) {
+        let run = random_certificate(n, p_edge, seed);
+        let line = run.certificate.to_json_line();
+        let reference = wb_verify::verify_line(&line);
+        prop_assert!(reference.is_ok(), "{:?}", reference.err());
+        let results: Vec<_> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| scope.spawn(|| wb_verify::verify_line(&line)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("verifier thread panicked"))
+                .collect()
+        });
+        for r in results {
+            prop_assert_eq!(&r, &reference);
+        }
+    }
+
+    /// No single-byte corruption of a serialized certificate verifies: any
+    /// flip is caught by the JSON parser, the canonical-form gate, or the
+    /// document digest.
+    #[test]
+    fn single_byte_corruption_never_verifies(
+        n in 2usize..5, p_edge in 0.0f64..0.8, seed in any::<u64>(), poke in any::<u64>()
+    ) {
+        let run = random_certificate(n, p_edge, seed);
+        let line = run.certificate.to_json_line();
+        let mut bytes = line.clone().into_bytes();
+        let idx = (poke as usize) % bytes.len();
+        // Flip the low bit: always a different byte, sometimes still the
+        // same character class (digit -> digit, hex -> hex) so the digest
+        // gate gets exercised, not just the JSON parser.
+        bytes[idx] ^= 1;
+        prop_assert_ne!(&bytes[..], line.as_bytes());
+        let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert!(
+            wb_verify::verify_line(&corrupted).is_err(),
+            "corruption at byte {} must not verify", idx
+        );
+    }
+}
