@@ -21,6 +21,11 @@
 //!   whiteboard appends through this);
 //! - [`WorkQueue`] — a bounded queue with overflow reported to the producer
 //!   instead of blocking or allocating without bound;
+//! - [`ClosableQueue`] — the long-lived sibling of [`WorkQueue`]: consumers
+//!   *block* until work arrives, producers still get overflow handed back,
+//!   and [`ClosableQueue::close`] drains gracefully (no new work accepted,
+//!   queued work still consumed) — the dispatch spine of the `whiteboard
+//!   serve` worker pool;
 //! - [`par_drain`] — parallel consumption of a `WorkQueue` whose consumers
 //!   may push follow-up work (for worklists whose size is not known up
 //!   front, unlike [`par_for_each`]);
@@ -323,6 +328,143 @@ impl<T> WorkQueue<T> {
     /// Drain the queue into a `Vec` (consumes the queue).
     pub fn into_vec(self) -> Vec<T> {
         self.items.into_inner().into()
+    }
+}
+
+/// Why a [`ClosableQueue::push`] was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back (backpressure).
+    Full(T),
+    /// The queue was closed; the item is handed back (shutdown).
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recover the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+/// A bounded MPMC queue with *blocking* consumers and graceful close.
+///
+/// [`WorkQueue`] serves worklists that drain to empty and stop; a
+/// long-running service needs the complementary shape: worker threads that
+/// sleep until work arrives and a shutdown protocol that refuses new work
+/// while still finishing everything already accepted. Semantics:
+///
+/// - [`push`](Self::push) never blocks: at capacity it hands the item back
+///   as [`PushError::Full`] (the caller turns that into a structured
+///   `queue_full` rejection), after [`close`](Self::close) as
+///   [`PushError::Closed`].
+/// - [`pop`](Self::pop) blocks until an item is available, and returns
+///   `None` only once the queue is *closed and empty* — so closing drains:
+///   every accepted item is still consumed, then all workers wake and exit.
+///
+/// Built on `std::sync::{Mutex, Condvar}` (the vendored `parking_lot` stub
+/// deliberately carries no condvar).
+#[derive(Debug)]
+pub struct ClosableQueue<T> {
+    inner: std::sync::Mutex<ClosableInner<T>>,
+    ready: std::sync::Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct ClosableInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> ClosableQueue<T> {
+    /// An open queue holding at most `capacity` items (`capacity ≥ 1`).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a work queue needs capacity for work");
+        ClosableQueue {
+            inner: std::sync::Mutex::new(ClosableInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: std::sync::Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ClosableInner<T>> {
+        // A worker that panicked mid-`pop` poisons nothing we care about —
+        // the queue state itself is always consistent — so recover the
+        // guard instead of propagating the poison.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue `item`; refuses (handing the item back) when full or closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut q = self.lock();
+        if q.closed {
+            return Err(PushError::Closed(item));
+        }
+        if q.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        q.items.push_back(item);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available; `None` once closed *and* empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.lock();
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking variant of [`pop`](Self::pop): `Ok(item)` if one was
+    /// queued, `Err(closed)` otherwise (so pollers can distinguish "empty
+    /// for now" from "drained and closed").
+    pub fn try_pop(&self) -> Result<T, bool> {
+        let mut q = self.lock();
+        match q.items.pop_front() {
+            Some(item) => Ok(item),
+            None => Err(q.closed),
+        }
+    }
+
+    /// Refuse all future pushes; queued items remain consumable. Wakes
+    /// every blocked consumer so idle workers observe the close.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// The capacity bound given at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -669,6 +811,76 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn work_queue_rejects_zero_capacity() {
         let _ = WorkQueue::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn closable_queue_backpressure_and_close_semantics() {
+        let q: ClosableQueue<u32> = ClosableQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        assert_eq!(
+            q.push(3),
+            Err(PushError::Full(3)),
+            "full hands the item back"
+        );
+        assert_eq!(PushError::Full(3u32).into_inner(), 3);
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(
+            q.push(4),
+            Err(PushError::Closed(4)),
+            "closed refuses new work"
+        );
+        // Queued work survives the close (graceful drain)…
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_pop(), Ok(2));
+        // …and only then do consumers observe the end.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_pop(), Err(true));
+    }
+
+    #[test]
+    fn closable_queue_blocking_pop_wakes_on_push_and_close() {
+        let q: ClosableQueue<u64> = ClosableQueue::bounded(16);
+        let consumed = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    // Blocks until items arrive; exits on close-and-empty.
+                    while let Some(v) = q.pop() {
+                        consumed.lock().push(v);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for v in 0..200u64 {
+                    // Retry on backpressure: consumers are draining.
+                    let mut item = v;
+                    loop {
+                        match q.push(item) {
+                            Ok(()) => break,
+                            Err(PushError::Full(back)) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                            Err(PushError::Closed(_)) => unreachable!("not closed yet"),
+                        }
+                    }
+                }
+                q.close();
+            });
+        });
+        let mut got = consumed.into_inner();
+        got.sort_unstable();
+        assert_eq!(got, (0..200u64).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn closable_queue_rejects_zero_capacity() {
+        let _ = ClosableQueue::<u8>::bounded(0);
     }
 
     #[test]

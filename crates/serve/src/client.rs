@@ -1,0 +1,231 @@
+//! A small synchronous client for the `wb-serve/v1` protocol, used by the
+//! `whiteboard submit` / `status` / `shutdown` subcommands and the
+//! integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::jobs::JobSpec;
+use crate::wire;
+use wb_bench::json::Json;
+
+/// A connected client. One request/reply exchange at a time.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+/// A reply that was delivered but carries `"ok": false`.
+#[derive(Clone, Debug)]
+pub struct ServerError {
+    /// The stable wire code (`queue_full`, `bad_request`, ...).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Anything that can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (daemon gone, connection refused, ...).
+    Io(std::io::Error),
+    /// The daemon replied, but with an error object.
+    Server(ServerError),
+    /// The daemon replied with something unparseable (protocol bug).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Server(e) => write!(f, "daemon refused request ({e})"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+fn parse_reply(line: &str) -> Result<Json, ClientError> {
+    let doc = Json::parse(line.trim())
+        .map_err(|e| ClientError::Protocol(format!("bad reply line: {e}")))?;
+    match doc.get("ok") {
+        Some(Json::Bool(true)) => Ok(doc),
+        Some(Json::Bool(false)) => {
+            let code = doc
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            let message = doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            Err(ClientError::Server(ServerError { code, message }))
+        }
+        _ => {
+            if doc.get("event").is_some() {
+                Ok(doc)
+            } else {
+                Err(ClientError::Protocol(format!("reply missing 'ok': {line}")))
+            }
+        }
+    }
+}
+
+impl Client {
+    /// Connect to a daemon socket.
+    pub fn connect(path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn round_trip(&mut self, line: &str) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("daemon closed the connection".into()));
+        }
+        parse_reply(&reply)
+    }
+
+    /// Handshake; returns the daemon's protocol string.
+    pub fn hello(&mut self) -> Result<String, ClientError> {
+        let reply = self.round_trip(r#"{"op":"hello"}"#)?;
+        reply
+            .get("protocol")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("hello reply missing 'protocol'".into()))
+    }
+
+    /// Submit a job; returns its ID.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ClientError> {
+        let reply = self.round_trip(&wire::submit_line(spec))?;
+        reply
+            .get("job")
+            .and_then(Json::as_f64)
+            .map(|x| x as u64)
+            .ok_or_else(|| ClientError::Protocol("submit reply missing 'job'".into()))
+    }
+
+    /// Fetch the status object for one job, or the whole roster.
+    pub fn status(&mut self, job: Option<u64>) -> Result<Json, ClientError> {
+        let line = match job {
+            Some(id) => format!(r#"{{"op":"status","job":{id}}}"#),
+            None => r#"{"op":"status"}"#.to_string(),
+        };
+        self.round_trip(&line)
+    }
+
+    /// Block until `job` is terminal, returning the final event object
+    /// (carrying `report` and `verdict` on success, `error` on failure).
+    pub fn wait(&mut self, job: u64) -> Result<Json, ClientError> {
+        writeln!(
+            self.writer,
+            "{}",
+            format_args!(r#"{{"op":"wait","job":{job}}}"#)
+        )?;
+        self.writer.flush()?;
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Protocol(
+                    "daemon closed the connection mid-wait".into(),
+                ));
+            }
+            let doc = parse_reply(&line)?;
+            let Some(event) = doc.get("event").and_then(Json::as_str) else {
+                return Err(ClientError::Protocol(format!(
+                    "expected event line: {line}"
+                )));
+            };
+            match event {
+                "done" | "failed" | "cancelled" => return Ok(doc),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Submit and wait in one call; returns the report JSON line and the
+    /// verdict, exactly as the CLI `--json` path would print them.
+    pub fn run(&mut self, spec: &JobSpec) -> Result<(String, String), ClientError> {
+        let id = self.submit(spec)?;
+        let event = self.wait(id)?;
+        match event.get("event").and_then(Json::as_str) {
+            Some("done") => {
+                let report = event
+                    .get("report")
+                    .ok_or_else(|| ClientError::Protocol("done event missing 'report'".into()))?;
+                let verdict = event
+                    .get("verdict")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Ok((report.to_string(), verdict))
+            }
+            Some("cancelled") => Err(ClientError::Server(ServerError {
+                code: "job_failed".into(),
+                message: format!("job {id} was cancelled"),
+            })),
+            _ => Err(ClientError::Server(ServerError {
+                code: "job_failed".into(),
+                message: event
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("job failed")
+                    .to_string(),
+            })),
+        }
+    }
+
+    /// Request cancellation; returns whether the daemon could cancel it.
+    pub fn cancel(&mut self, job: u64) -> Result<bool, ClientError> {
+        let reply = self.round_trip(&format!(r#"{{"op":"cancel","job":{job}}}"#))?;
+        match reply.get("cancelled") {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(ClientError::Protocol(
+                "cancel reply missing 'cancelled'".into(),
+            )),
+        }
+    }
+
+    /// Ask the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.round_trip(r#"{"op":"shutdown"}"#)?;
+        Ok(())
+    }
+
+    /// Send a raw request line and return the raw reply line — for tests
+    /// exercising the daemon's handling of malformed input.
+    pub fn raw(&mut self, line: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("daemon closed the connection".into()));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+}

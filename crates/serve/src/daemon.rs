@@ -1,0 +1,629 @@
+//! The `whiteboard serve` daemon: a bounded job queue and fixed worker pool
+//! behind a Unix-domain socket speaking the [`wire`] protocol.
+//!
+//! Design invariants:
+//!
+//! - **Bounded admission.** The queue has a fixed capacity; when it is full a
+//!   `submit` gets a structured `queue_full` error immediately — the daemon
+//!   never blocks a client on admission.
+//! - **No panics across the wire.** Every malformed, oversized, or otherwise
+//!   hostile request maps to an `{"ok":false,"code":...}` line; the
+//!   connection and the daemon both survive.
+//! - **Deterministic reports.** Workers run [`run_job`], the same
+//!   timing-free job layer the CLI's `--json` paths use, so a daemon report
+//!   is byte-identical to the CLI equivalent.
+//! - **Graceful shutdown.** `shutdown` flips the daemon into draining mode:
+//!   new submits are refused with `shutting_down`, queued and running jobs
+//!   complete, then the listener closes. No job ID is lost or reused.
+
+use std::collections::BTreeMap;
+use std::io::{BufWriter, ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::jobs::{run_job, JobReport, JobSpec};
+use crate::wire::{self, ErrorCode, Request, WireError};
+use wb_bench::json::Json;
+use wb_par::ClosableQueue;
+
+/// Tuning knobs for a daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs (>= 1).
+    pub workers: usize,
+    /// Queue capacity; `submit` beyond this returns `queue_full` (>= 1).
+    pub queue_cap: usize,
+    /// Longest accepted request line in bytes; longer lines return
+    /// `oversized` without being buffered in full.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Clone, Debug)]
+enum JobState {
+    Queued,
+    Running,
+    Done(JobReport),
+    Failed(String),
+    Cancelled,
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done(_) | JobState::Failed(_) | JobState::Cancelled
+        )
+    }
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    /// Set by `cancel` while the job runs; the worker discards the result.
+    cancel_requested: bool,
+}
+
+/// All mutable daemon state, guarded by one mutex + condvar pair. The
+/// condvar broadcasts every state transition so `wait` streams can follow
+/// along without polling the workers.
+struct Registry {
+    jobs: BTreeMap<u64, JobRecord>,
+    next_id: u64,
+    /// `shutdown` received: refuse new submits, drain, exit.
+    draining: bool,
+}
+
+struct Shared {
+    registry: Mutex<Registry>,
+    changed: Condvar,
+    queue: ClosableQueue<u64>,
+    /// Flips once the drain completes; connection handlers exit their read
+    /// loops and the accept loop closes the listener.
+    stop: AtomicBool,
+    config: ServeConfig,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn set_state(&self, id: u64, state: JobState) {
+        let mut reg = self.lock();
+        if let Some(rec) = reg.jobs.get_mut(&id) {
+            rec.state = state;
+        }
+        drop(reg);
+        self.changed.notify_all();
+    }
+
+    /// True once every accepted job reached a terminal state.
+    fn drained(&self) -> bool {
+        let reg = self.lock();
+        reg.draining && reg.jobs.values().all(|r| r.state.is_terminal())
+    }
+}
+
+/// A bound daemon, ready to [`run`](Daemon::run).
+pub struct Daemon {
+    listener: UnixListener,
+    path: PathBuf,
+    config: ServeConfig,
+}
+
+impl Daemon {
+    /// Bind the socket. Fails if the path is in use by a live daemon; a
+    /// stale socket file (no listener behind it) is replaced.
+    pub fn bind(path: &Path, config: ServeConfig) -> std::io::Result<Daemon> {
+        assert!(config.workers >= 1, "workers must be >= 1");
+        assert!(config.queue_cap >= 1, "queue_cap must be >= 1");
+        match UnixListener::bind(path) {
+            Ok(listener) => Ok(Daemon {
+                listener,
+                path: path.to_path_buf(),
+                config,
+            }),
+            Err(e) if e.kind() == ErrorKind::AddrInUse => {
+                if UnixStream::connect(path).is_ok() {
+                    return Err(std::io::Error::new(
+                        ErrorKind::AddrInUse,
+                        format!("a daemon is already listening on {}", path.display()),
+                    ));
+                }
+                std::fs::remove_file(path)?;
+                let listener = UnixListener::bind(path)?;
+                Ok(Daemon {
+                    listener,
+                    path: path.to_path_buf(),
+                    config,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The socket path this daemon is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Serve until a `shutdown` request drains the queue. Returns the number
+    /// of jobs accepted over the daemon's lifetime.
+    pub fn run(self) -> std::io::Result<u64> {
+        self.listener.set_nonblocking(true)?;
+        let shared = Shared {
+            registry: Mutex::new(Registry {
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                draining: false,
+            }),
+            changed: Condvar::new(),
+            queue: ClosableQueue::bounded(self.config.queue_cap),
+            stop: AtomicBool::new(false),
+            config: self.config.clone(),
+        };
+        let shared = &shared;
+        eprintln!(
+            "[serve] listening on {} ({} workers, queue capacity {})",
+            self.path.display(),
+            self.config.workers,
+            self.config.queue_cap
+        );
+        std::thread::scope(|scope| {
+            for worker in 0..self.config.workers {
+                scope.spawn(move || worker_loop(worker, shared));
+            }
+            // Accept loop. Nonblocking + short sleep so draining is noticed
+            // promptly; each connection gets its own scoped handler thread.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _addr)) => {
+                        scope.spawn(move || {
+                            if let Err(e) = handle_connection(stream, shared) {
+                                eprintln!("[serve] connection error: {e}");
+                            }
+                        });
+                    }
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    }
+                    Err(e) => eprintln!("[serve] accept error: {e}"),
+                }
+                if shared.drained() {
+                    // Everything accepted has finished; tell handlers and
+                    // workers to exit, then stop accepting.
+                    shared.stop.store(true, Ordering::SeqCst);
+                    shared.changed.notify_all();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let _ = std::fs::remove_file(&self.path);
+        let accepted = {
+            let reg = shared.lock();
+            reg.next_id - 1
+        };
+        eprintln!("[serve] drained; {accepted} job(s) served");
+        Ok(accepted)
+    }
+}
+
+fn worker_loop(worker: usize, shared: &Shared) {
+    // `pop` blocks until an ID arrives and returns `None` only once the
+    // queue is closed *and* empty — exactly the drain contract.
+    while let Some(id) = shared.queue.pop() {
+        let spec = {
+            let mut reg = shared.lock();
+            match reg.jobs.get_mut(&id) {
+                // Cancelled while queued: skip without running.
+                Some(rec) if matches!(rec.state, JobState::Cancelled) => continue,
+                Some(rec) => {
+                    rec.state = JobState::Running;
+                    rec.spec.clone()
+                }
+                None => continue,
+            }
+        };
+        shared.changed.notify_all();
+        eprintln!(
+            "[serve] worker {worker}: job {id} running ({} {} on {} n={})",
+            spec.kind.name(),
+            spec.protocol,
+            spec.workload,
+            spec.n
+        );
+        let result = run_job(&spec);
+        let cancelled = {
+            let reg = shared.lock();
+            reg.jobs.get(&id).is_some_and(|r| r.cancel_requested)
+        };
+        let state = if cancelled {
+            // Best-effort running cancellation: the work already happened,
+            // but the result is discarded and the job records as cancelled.
+            JobState::Cancelled
+        } else {
+            match result {
+                Ok(report) => JobState::Done(report),
+                Err(e) => JobState::Failed(e),
+            }
+        };
+        eprintln!("[serve] worker {worker}: job {id} {}", state.name());
+        shared.set_state(id, state);
+    }
+}
+
+/// One client connection: read request lines, write reply lines, never die
+/// over bad input. Returns when the client hangs up or the daemon stops.
+fn handle_connection(stream: UnixStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = LineReader::new(shared.config.max_line_bytes);
+    let mut read_half = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let line = match reader.next_line(&mut read_half) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(ReadError::Oversized(limit)) => {
+                let err = WireError::new(
+                    ErrorCode::Oversized,
+                    format!("request line exceeds {limit} bytes"),
+                );
+                writeln!(writer, "{}", err.to_line())?;
+                writer.flush()?;
+                continue;
+            }
+            Err(ReadError::Timeout) => continue,
+            Err(ReadError::Io(e)) => return Err(e),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // The connection stays open even across `shutdown`: the client may
+        // still probe `status` (and gets `shutting_down` on new submits).
+        // The handler exits via the stop flag once the drain completes.
+        match wire::parse_request(&line) {
+            Err(err) => {
+                writeln!(writer, "{}", err.to_line())?;
+                writer.flush()?;
+            }
+            Ok(req) => {
+                handle_request(req, shared, &mut writer)?;
+                writer.flush()?;
+            }
+        }
+    }
+}
+
+fn handle_request(req: Request, shared: &Shared, writer: &mut impl Write) -> std::io::Result<()> {
+    match req {
+        Request::Hello => {
+            let line = wire::ok_line(vec![
+                ("protocol", Json::Str(wire::PROTOCOL.into())),
+                ("workers", Json::Num(shared.config.workers as f64)),
+                ("queue_cap", Json::Num(shared.config.queue_cap as f64)),
+            ]);
+            writeln!(writer, "{line}")
+        }
+        Request::Submit(spec) => {
+            let reply = submit(shared, *spec);
+            writeln!(writer, "{reply}")
+        }
+        Request::Status { job } => {
+            let reply = status(shared, job);
+            writeln!(writer, "{reply}")
+        }
+        Request::Wait { job } => wait(shared, job, writer),
+        Request::Cancel { job } => {
+            let reply = cancel(shared, job);
+            writeln!(writer, "{reply}")
+        }
+        Request::Shutdown => {
+            {
+                let mut reg = shared.lock();
+                reg.draining = true;
+            }
+            // Close the queue: workers finish what is queued, then exit.
+            shared.queue.close();
+            shared.changed.notify_all();
+            eprintln!("[serve] shutdown requested; draining");
+            let line = wire::ok_line(vec![("draining", Json::Bool(true))]);
+            writeln!(writer, "{line}")
+        }
+    }
+}
+
+fn submit(shared: &Shared, spec: JobSpec) -> String {
+    let mut reg = shared.lock();
+    if reg.draining {
+        return WireError::new(
+            ErrorCode::ShuttingDown,
+            "daemon is draining and accepts no new jobs",
+        )
+        .to_line();
+    }
+    // Reserve the ID only after the queue accepts: a rejected submit must
+    // not burn an ID, or the "no lost job IDs" drain invariant breaks.
+    let id = reg.next_id;
+    match shared.queue.push(id) {
+        Ok(()) => {
+            reg.next_id += 1;
+            reg.jobs.insert(
+                id,
+                JobRecord {
+                    spec,
+                    state: JobState::Queued,
+                    cancel_requested: false,
+                },
+            );
+            drop(reg);
+            shared.changed.notify_all();
+            wire::ok_line(vec![
+                ("job", Json::Num(id as f64)),
+                ("state", Json::Str("queued".into())),
+            ])
+        }
+        Err(wb_par::PushError::Full(_)) => WireError::new(
+            ErrorCode::QueueFull,
+            format!(
+                "job queue at capacity ({}); retry after a job completes",
+                shared.config.queue_cap
+            ),
+        )
+        .to_line(),
+        Err(wb_par::PushError::Closed(_)) => WireError::new(
+            ErrorCode::ShuttingDown,
+            "daemon is draining and accepts no new jobs",
+        )
+        .to_line(),
+    }
+}
+
+fn job_fields(id: u64, rec: &JobRecord) -> Vec<(&'static str, Json)> {
+    let mut fields = vec![
+        ("job", Json::Num(id as f64)),
+        ("state", Json::Str(rec.state.name().into())),
+        ("kind", Json::Str(rec.spec.kind.name().into())),
+        ("protocol", Json::Str(rec.spec.protocol.clone())),
+    ];
+    match &rec.state {
+        JobState::Done(report) => {
+            fields.push(("verdict", Json::Str(report.verdict.clone())));
+            fields.push(("report", report.json.clone()));
+        }
+        JobState::Failed(e) => fields.push(("error", Json::Str(e.clone()))),
+        _ => {}
+    }
+    fields
+}
+
+fn status(shared: &Shared, job: Option<u64>) -> String {
+    let reg = shared.lock();
+    match job {
+        Some(id) => match reg.jobs.get(&id) {
+            Some(rec) => wire::ok_line(job_fields(id, rec)),
+            None => WireError::new(ErrorCode::UnknownJob, format!("no job {id}")).to_line(),
+        },
+        None => {
+            let jobs: Vec<Json> = reg
+                .jobs
+                .iter()
+                .map(|(id, rec)| {
+                    Json::Obj(
+                        job_fields(*id, rec)
+                            .into_iter()
+                            // Full reports stay out of the roster; fetch one
+                            // job by ID (or `wait`) to retrieve its report.
+                            .filter(|(k, _)| *k != "report")
+                            .map(|(k, v)| (k.to_string(), v))
+                            .collect(),
+                    )
+                })
+                .collect();
+            wire::ok_line(vec![
+                ("draining", Json::Bool(reg.draining)),
+                ("queued", Json::Num(shared.queue.len() as f64)),
+                ("jobs", Json::Arr(jobs)),
+            ])
+        }
+    }
+}
+
+/// Stream `{"event":...}` lines for each state transition of `job` until it
+/// is terminal; the final event carries the report (or error).
+fn wait(shared: &Shared, job: u64, writer: &mut impl Write) -> std::io::Result<()> {
+    let mut last_reported: Option<&'static str> = None;
+    loop {
+        // Inspect under the lock, producing an owned step; the guard is
+        // moved into `wait_timeout` only when nothing changed.
+        let step: Option<Option<(String, bool)>> = {
+            let reg = shared.lock();
+            let snapshot = match reg.jobs.get(&job) {
+                None => None,
+                Some(rec) => {
+                    let name = rec.state.name();
+                    if last_reported == Some(name) {
+                        Some(None)
+                    } else {
+                        let terminal = rec.state.is_terminal();
+                        let mut all = vec![("job", Json::Num(job as f64))];
+                        if terminal {
+                            let mut fields = job_fields(job, rec);
+                            fields.retain(|(k, _)| *k != "state" && *k != "job");
+                            all.extend(fields);
+                        }
+                        last_reported = Some(name);
+                        Some(Some((wire::event_line(name, all), terminal)))
+                    }
+                }
+            };
+            match snapshot {
+                Some(None) => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        // Drain finished but this job never terminated —
+                        // impossible by construction, bail defensively.
+                        None
+                    } else {
+                        // Block until any state changes (with a timeout so
+                        // the stop flag is rechecked).
+                        let _ = shared
+                            .changed
+                            .wait_timeout(reg, Duration::from_millis(200))
+                            .unwrap_or_else(|e| e.into_inner());
+                        Some(None)
+                    }
+                }
+                other => other,
+            }
+        };
+        match step {
+            None => {
+                let line = WireError::new(ErrorCode::UnknownJob, format!("no job {job}")).to_line();
+                writeln!(writer, "{line}")?;
+                return writer.flush();
+            }
+            Some(None) => continue,
+            Some(Some((line, terminal))) => {
+                writeln!(writer, "{line}")?;
+                writer.flush()?;
+                if terminal {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+fn cancel(shared: &Shared, job: u64) -> String {
+    let mut reg = shared.lock();
+    let Some(rec) = reg.jobs.get_mut(&job) else {
+        return WireError::new(ErrorCode::UnknownJob, format!("no job {job}")).to_line();
+    };
+    let cancelled = match rec.state {
+        JobState::Queued => {
+            rec.state = JobState::Cancelled;
+            true
+        }
+        JobState::Running => {
+            // Best effort: the engines run to completion, but the result is
+            // discarded and the job records as cancelled.
+            rec.cancel_requested = true;
+            true
+        }
+        _ => false,
+    };
+    let state = rec.state.name();
+    drop(reg);
+    shared.changed.notify_all();
+    wire::ok_line(vec![
+        ("job", Json::Num(job as f64)),
+        ("cancelled", Json::Bool(cancelled)),
+        ("state", Json::Str(state.into())),
+    ])
+}
+
+enum ReadError {
+    /// Line exceeded the cap; the rest (through the newline) was discarded.
+    Oversized(usize),
+    /// Read timed out with no complete line; caller rechecks the stop flag.
+    Timeout,
+    Io(std::io::Error),
+}
+
+/// Incremental line reader with a hard length cap. Unlike `BufRead::read_line`
+/// it refuses to buffer an unbounded line: once `max` bytes arrive with no
+/// newline it reports [`ReadError::Oversized`] and skips to the next line.
+struct LineReader {
+    buf: Vec<u8>,
+    max: usize,
+    /// Discarding the tail of an oversized line.
+    skipping: bool,
+}
+
+impl LineReader {
+    fn new(max: usize) -> Self {
+        LineReader {
+            buf: Vec::new(),
+            max,
+            skipping: false,
+        }
+    }
+
+    fn next_line(&mut self, stream: &mut impl Read) -> Result<Option<String>, ReadError> {
+        loop {
+            // A complete line may already be buffered from a previous read.
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                if self.skipping {
+                    self.skipping = false;
+                    continue;
+                }
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.buf.len() > self.max {
+                self.buf.clear();
+                self.skipping = true;
+                return Err(ReadError::Oversized(self.max));
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() || self.skipping {
+                        Ok(None)
+                    } else {
+                        // Final unterminated line.
+                        let line = String::from_utf8_lossy(&self.buf).into_owned();
+                        self.buf.clear();
+                        Ok(Some(line))
+                    };
+                }
+                Ok(n) => {
+                    if self.skipping {
+                        // Only keep bytes at and after a newline, if any.
+                        match chunk[..n].iter().position(|&b| b == b'\n') {
+                            Some(pos) => {
+                                self.skipping = false;
+                                self.buf.extend_from_slice(&chunk[pos + 1..n]);
+                            }
+                            None => {}
+                        }
+                    } else {
+                        self.buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(ReadError::Timeout);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ReadError::Io(e)),
+            }
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The `wb-serve/v1` wire protocol: line-delimited JSON over a local socket.
+//!
+//! Every request is one JSON object on one line; every reply is one or more
+//! JSON lines. Replies to plain requests carry `"ok": true|false`; the
+//! streaming `wait` op emits `"event"` lines (state transitions as they
+//! happen) and terminates with a `done` / `failed` / `cancelled` event.
+//! Malformed input of any shape — bad JSON, wrong types, unknown ops or
+//! fields, oversized lines — yields a structured error object with a stable
+//! [`code`](ErrorCode); the daemon **never** disconnects or dies over a bad
+//! request.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"hello"}
+//! {"op":"submit","kind":"campaign","protocol":"mis:1","workload":"gnp","n":50,"trials":2000,"seed":5}
+//! {"op":"status"}                     // all jobs
+//! {"op":"status","job":3}             // one job
+//! {"op":"wait","job":3}               // stream events until terminal
+//! {"op":"cancel","job":3}
+//! {"op":"shutdown"}                   // drain and exit
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::jobs::{JobKind, JobSpec};
+use wb_bench::json::Json;
+
+/// Wire protocol identifier, sent back by `hello`.
+pub const PROTOCOL: &str = "wb-serve/v1";
+
+/// Stable machine-readable error codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON.
+    BadJson,
+    /// Valid JSON, but not a valid request (unknown op, missing or
+    /// ill-typed field, unknown field).
+    BadRequest,
+    /// The request line exceeded the daemon's line-length cap.
+    Oversized,
+    /// The job queue is at capacity; resubmit later (backpressure).
+    QueueFull,
+    /// The daemon is draining and accepts no new jobs.
+    ShuttingDown,
+    /// No job with the given ID exists.
+    UnknownJob,
+    /// The job ran and failed to produce a report (e.g. unknown protocol).
+    JobFailed,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::JobFailed => "job_failed",
+        }
+    }
+}
+
+/// A structured request rejection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Build an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Render as the one-line `{"ok":false,...}` reply.
+    pub fn to_line(&self) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("ok".to_string(), Json::Bool(false));
+        obj.insert("code".to_string(), Json::Str(self.code.as_str().into()));
+        obj.insert("error".to_string(), Json::Str(self.message.clone()));
+        Json::Obj(obj).to_string()
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Protocol handshake / liveness probe.
+    Hello,
+    /// Enqueue a job.
+    Submit(Box<JobSpec>),
+    /// Report job states (all jobs, or one).
+    Status {
+        /// Restrict to this job ID.
+        job: Option<u64>,
+    },
+    /// Stream state events for one job until it is terminal.
+    Wait {
+        /// The job to watch.
+        job: u64,
+    },
+    /// Cancel a queued (or best-effort running) job.
+    Cancel {
+        /// The job to cancel.
+        job: u64,
+    },
+    /// Refuse new jobs, drain the queue, then exit.
+    Shutdown,
+}
+
+fn bad(message: impl Into<String>) -> WireError {
+    WireError::new(ErrorCode::BadRequest, message)
+}
+
+/// Read an integral `u64` from a JSON number or decimal string (large seeds
+/// do not survive the trip through `f64`, so strings are accepted too).
+fn get_u64(obj: &Json, key: &str) -> Result<Option<u64>, WireError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Str(s)) => s
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| bad(format!("field '{key}' is not an unsigned integer"))),
+        Some(Json::Num(x)) => {
+            if x.fract() != 0.0 || *x < 0.0 || *x > 9e15 {
+                return Err(bad(format!("field '{key}' is not an unsigned integer")));
+            }
+            Ok(Some(*x as u64))
+        }
+        Some(_) => Err(bad(format!("field '{key}' is not an unsigned integer"))),
+    }
+}
+
+fn get_str(obj: &Json, key: &str) -> Result<Option<String>, WireError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(bad(format!("field '{key}' is not a string"))),
+    }
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<Option<bool>, WireError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(bad(format!("field '{key}' is not a boolean"))),
+    }
+}
+
+/// Fields a `submit` request may carry besides `op` and `kind`.
+const SUBMIT_FIELDS: &[&str] = &[
+    "protocol",
+    "workload",
+    "family",
+    "n",
+    "seed",
+    "model",
+    "trials",
+    "sampler",
+    "batch",
+    "max_states",
+    "dedup",
+    "par",
+    "compare_naive",
+];
+
+/// Parse one request line. The line-length cap is enforced by the caller
+/// (the daemon's reader), which maps overruns to [`ErrorCode::Oversized`].
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let doc = Json::parse(line.trim())
+        .map_err(|e| WireError::new(ErrorCode::BadJson, format!("invalid JSON: {e}")))?;
+    let Json::Obj(map) = &doc else {
+        return Err(bad("request must be a JSON object"));
+    };
+    let op = get_str(&doc, "op")?.ok_or_else(|| bad("missing required field 'op'"))?;
+    match op.as_str() {
+        "hello" | "ping" => {
+            reject_unknown(map, &[])?;
+            Ok(Request::Hello)
+        }
+        "submit" => {
+            let kind_name =
+                get_str(&doc, "kind")?.ok_or_else(|| bad("submit requires field 'kind'"))?;
+            let kind = JobKind::parse(&kind_name).map_err(|e| bad(e))?;
+            reject_unknown(map, SUBMIT_FIELDS)?;
+            let mut spec = JobSpec::new(kind);
+            if let Some(v) = get_str(&doc, "protocol")? {
+                spec.protocol = v;
+            }
+            if map.contains_key("workload") && map.contains_key("family") {
+                return Err(bad("'workload' and 'family' are aliases; send only one"));
+            }
+            if let Some(v) = get_str(&doc, "workload")? {
+                spec.workload = v;
+            }
+            if let Some(v) = get_str(&doc, "family")? {
+                spec.workload = v;
+            }
+            if let Some(v) = get_u64(&doc, "n")? {
+                spec.n = v as usize;
+            }
+            if let Some(v) = get_u64(&doc, "seed")? {
+                spec.seed = v;
+            }
+            if let Some(v) = get_str(&doc, "model")? {
+                spec.model = v;
+            }
+            if let Some(v) = get_u64(&doc, "trials")? {
+                spec.trials = v;
+            }
+            if let Some(v) = get_str(&doc, "sampler")? {
+                spec.sampler = v;
+            }
+            if let Some(v) = get_u64(&doc, "batch")? {
+                if v == 0 {
+                    return Err(bad("field 'batch' must be at least 1"));
+                }
+                spec.batch = Some(v as usize);
+            }
+            if let Some(v) = get_u64(&doc, "max_states")? {
+                spec.max_states = v;
+            }
+            if let Some(v) = get_str(&doc, "dedup")? {
+                spec.dedup = v;
+            }
+            if let Some(v) = get_bool(&doc, "par")? {
+                spec.par = v;
+            }
+            if let Some(v) = get_bool(&doc, "compare_naive")? {
+                spec.compare_naive = v;
+            }
+            Ok(Request::Submit(Box::new(spec)))
+        }
+        "status" => {
+            reject_unknown(map, &["job"])?;
+            Ok(Request::Status {
+                job: get_u64(&doc, "job")?,
+            })
+        }
+        "wait" => {
+            reject_unknown(map, &["job"])?;
+            let job = get_u64(&doc, "job")?.ok_or_else(|| bad("wait requires field 'job'"))?;
+            Ok(Request::Wait { job })
+        }
+        "cancel" => {
+            reject_unknown(map, &["job"])?;
+            let job = get_u64(&doc, "job")?.ok_or_else(|| bad("cancel requires field 'job'"))?;
+            Ok(Request::Cancel { job })
+        }
+        "shutdown" => {
+            reject_unknown(map, &[])?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(bad(format!(
+            "unknown op '{other}' (expected hello|submit|status|wait|cancel|shutdown)"
+        ))),
+    }
+}
+
+/// Strict field validation: a typo'd field is a `bad_request`, not a silent
+/// no-op (a daemon that ignores `"trails": 10000000` would burn an hour of
+/// worker time on the default instead of telling the client).
+fn reject_unknown(map: &BTreeMap<String, Json>, allowed: &[&str]) -> Result<(), WireError> {
+    for key in map.keys() {
+        if key != "op" && key != "kind" && !allowed.contains(&key.as_str()) {
+            return Err(bad(format!("unknown field '{key}'")));
+        }
+    }
+    Ok(())
+}
+
+/// Serialize a [`JobSpec`] as the `submit` request line (the client side).
+pub fn submit_line(spec: &JobSpec) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("op".to_string(), Json::Str("submit".into()));
+    obj.insert("kind".to_string(), Json::Str(spec.kind.name().into()));
+    obj.insert("protocol".to_string(), Json::Str(spec.protocol.clone()));
+    obj.insert("workload".to_string(), Json::Str(spec.workload.clone()));
+    obj.insert("n".to_string(), Json::Num(spec.n as f64));
+    obj.insert("seed".to_string(), Json::Str(spec.seed.to_string()));
+    obj.insert("model".to_string(), Json::Str(spec.model.clone()));
+    obj.insert("trials".to_string(), Json::Str(spec.trials.to_string()));
+    obj.insert("sampler".to_string(), Json::Str(spec.sampler.clone()));
+    if let Some(batch) = spec.batch {
+        obj.insert("batch".to_string(), Json::Num(batch as f64));
+    }
+    obj.insert(
+        "max_states".to_string(),
+        Json::Str(spec.max_states.to_string()),
+    );
+    obj.insert("dedup".to_string(), Json::Str(spec.dedup.clone()));
+    obj.insert("par".to_string(), Json::Bool(spec.par));
+    obj.insert("compare_naive".to_string(), Json::Bool(spec.compare_naive));
+    Json::Obj(obj).to_string()
+}
+
+/// Build an `{"ok":true,...}` reply line from `(key, value)` pairs.
+pub fn ok_line(fields: Vec<(&str, Json)>) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("ok".to_string(), Json::Bool(true));
+    for (k, v) in fields {
+        obj.insert(k.to_string(), v);
+    }
+    Json::Obj(obj).to_string()
+}
+
+/// Build an `{"event":...}` stream line from `(key, value)` pairs.
+pub fn event_line(event: &str, fields: Vec<(&str, Json)>) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("event".to_string(), Json::Str(event.into()));
+    for (k, v) in fields {
+        obj.insert(k.to_string(), v);
+    }
+    Json::Obj(obj).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_through_parse() {
+        let mut spec = JobSpec::new(JobKind::Campaign);
+        spec.protocol = "mis:1".into();
+        spec.workload = "gnp".into();
+        spec.n = 50;
+        spec.trials = 2000;
+        spec.seed = u64::MAX; // must survive: seeds travel as strings
+        spec.batch = Some(64);
+        let line = submit_line(&spec);
+        match parse_request(&line).unwrap() {
+            Request::Submit(parsed) => assert_eq!(*parsed, spec),
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn family_is_an_accepted_alias_for_workload() {
+        let req = parse_request(r#"{"op":"submit","kind":"bulk","family":"kdeg-lin:2","n":100}"#)
+            .unwrap();
+        match req {
+            Request::Submit(spec) => assert_eq!(spec.workload, "kdeg-lin:2"),
+            other => panic!("{other:?}"),
+        }
+        let err =
+            parse_request(r#"{"op":"submit","kind":"bulk","family":"tree","workload":"path"}"#)
+                .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn malformed_requests_map_to_structured_codes() {
+        assert_eq!(
+            parse_request("{not json").unwrap_err().code,
+            ErrorCode::BadJson
+        );
+        assert_eq!(
+            parse_request("[1,2]").unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"frobnicate"}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"submit"}"#).unwrap_err().code,
+            ErrorCode::BadRequest,
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"submit","kind":"teleport"}"#)
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        // Typo'd fields are rejected, not silently ignored.
+        let err = parse_request(r#"{"op":"submit","kind":"campaign","trails":9}"#).unwrap_err();
+        assert!(err.message.contains("'trails'"), "{err:?}");
+        // Ill-typed fields name the field.
+        let err = parse_request(r#"{"op":"submit","kind":"campaign","n":"forty"}"#).unwrap_err();
+        assert!(err.message.contains("'n'"), "{err:?}");
+        let err = parse_request(r#"{"op":"wait"}"#).unwrap_err();
+        assert!(err.message.contains("'job'"), "{err:?}");
+        // Fractional job ids are not ids.
+        let err = parse_request(r#"{"op":"wait","job":1.5}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn error_lines_carry_stable_codes() {
+        let line = WireError::new(ErrorCode::QueueFull, "queue at capacity (2)").to_line();
+        assert_eq!(
+            line,
+            r#"{"code":"queue_full","error":"queue at capacity (2)","ok":false}"#
+        );
+    }
+
+    #[test]
+    fn ok_and_event_lines_are_canonical_json() {
+        let line = ok_line(vec![
+            ("job", Json::Num(3.0)),
+            ("state", Json::Str("queued".into())),
+        ]);
+        assert_eq!(line, r#"{"job":3,"ok":true,"state":"queued"}"#);
+        let line = event_line("done", vec![("job", Json::Num(3.0))]);
+        assert_eq!(line, r#"{"event":"done","job":3}"#);
+    }
+}

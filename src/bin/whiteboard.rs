@@ -20,20 +20,35 @@
 //!                                                    # n ≥ 10⁵ (simultaneous models only),
 //!                                                    # rounds/sec + board bytes reported
 //! whiteboard capacity --n 1024,4096                  # Lemma 3 table
+//! whiteboard serve --socket PATH [--workers W] [--queue-cap Q]
+//!                                                    # multi-tenant daemon: submit explore /
+//!                                                    # campaign / bulk jobs over a local socket
+//! whiteboard submit --socket PATH --kind explore|campaign|bulk [job flags] [--no-wait]
+//!                                                    # client: submit one job; by default waits
+//!                                                    # and prints the report (byte-identical to
+//!                                                    # the corresponding `--json` command)
+//! whiteboard status --socket PATH [--job N]          # client: job roster or one job's report
+//! whiteboard shutdown --socket PATH                  # client: drain the daemon and exit it
 //! whiteboard list                                    # protocols & workloads
 //! ```
 //!
 //! Protocols and their correctness oracles resolve through the shared
 //! [`wb_core::registry`], so `check`, `explore`, `campaign`, and `bulk` all
 //! select scenarios from one table. Argument parsing is hand-rolled (no CLI
-//! crate on the approved dependency list); every run is reproducible from
-//! `--seed`.
+//! crate on the approved dependency list) and strict: unknown or duplicate
+//! flags and stray positional arguments are usage errors naming the
+//! offending token. Every run is reproducible from `--seed`, and every
+//! `--json` report is deterministic — timing goes to stderr, never into the
+//! JSON — which is what lets the `serve` daemon promise byte-identical
+//! reports.
 
 use shared_whiteboard::prelude::*;
 use std::process::ExitCode;
 use wb_math::counting::MessageRegime;
 use wb_reductions::lemma3::{verdict, Family};
 use wb_runtime::run_traced;
+use wb_serve::jobs::{parse_bulk_model, parse_dedup, parse_model, JobKind, JobSpec};
+use wb_serve::{Client, Daemon, ServeConfig};
 use wb_sim::{run_campaign, shrink_schedule, CampaignConfig, CampaignLabels, SamplerKind};
 
 fn main() -> ExitCode {
@@ -42,7 +57,7 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    let opts = match Opts::parse(&args[1..]) {
+    let opts = match Opts::parse(cmd, &args[1..]) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -60,6 +75,10 @@ fn main() -> ExitCode {
         "certify" => cmd_certify(&opts),
         "verify" => cmd_verify(&opts),
         "dot" => cmd_dot(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "status" => cmd_status(&opts),
+        "shutdown" => cmd_shutdown(&opts),
         "list" => {
             cmd_list();
             Ok(())
@@ -77,13 +96,16 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: whiteboard <run|check|explore|campaign|bulk|capacity|certify|verify|dot|list> \
+        "usage: whiteboard <run|check|explore|campaign|bulk|capacity|certify|verify|dot|\
+         serve|submit|status|shutdown|list> \
          [--protocol P] [--workload W | --graph-family W] [--n N[,N..]] [--seed S] \
          [--adversary min|max|random:S] [--trace] \
          [--max-states M] [--par] [--compare-naive] [--dedup canonical|exact|off] [--json] \
          [--trials T] [--sampler uniform|priority|crashy] [--batch B] \
          [--model native|simasync|simsync|async|sync|fasync|fsync] [--shrink] [--shrink-out PATH] \
-         [--certify PATH] [--out PATH] [FILE..]"
+         [--certify PATH] [--out PATH] \
+         [--socket PATH] [--workers W] [--queue-cap Q] [--kind explore|campaign|bulk] \
+         [--job N] [--no-wait] [FILE..]"
     );
 }
 
@@ -112,12 +134,25 @@ struct Opts {
     certify: Option<String>,
     /// `certify --out PATH`: certificate destination (default stdout).
     out: Option<String>,
+    /// Daemon socket path (`serve` binds it; `submit`/`status`/`shutdown`
+    /// connect to it).
+    socket: Option<String>,
+    /// `serve --workers W`: worker-pool size.
+    workers: usize,
+    /// `serve --queue-cap Q`: bounded job-queue capacity.
+    queue_cap: usize,
+    /// `submit --kind explore|campaign|bulk`: which execution tier.
+    kind: Option<String>,
+    /// `status --job N`: restrict to one job.
+    job: Option<u64>,
+    /// `submit --no-wait`: print the job ID instead of waiting for the report.
+    no_wait: bool,
     /// Positional arguments (`verify` takes certificate files).
     files: Vec<String>,
 }
 
 impl Opts {
-    fn parse(args: &[String]) -> Result<Opts, String> {
+    fn parse(cmd: &str, args: &[String]) -> Result<Opts, String> {
         let mut o = Opts {
             protocol: "build:1".into(),
             protocol_explicit: false,
@@ -139,14 +174,36 @@ impl Opts {
             batch: None,
             certify: None,
             out: None,
+            socket: None,
+            workers: 2,
+            queue_cap: 64,
+            kind: None,
+            job: None,
+            no_wait: false,
             files: Vec::new(),
         };
+        let mut seen: Vec<String> = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
-            let mut value = |name: &str| {
-                it.next()
-                    .cloned()
-                    .ok_or_else(|| format!("{name} expects a value"))
+            if a.starts_with("--") {
+                // `--workload` / `--graph-family` are spellings of one flag;
+                // count them as one for duplicate detection.
+                let canonical = if a == "--graph-family" {
+                    "--workload".to_string()
+                } else {
+                    a.clone()
+                };
+                if seen.contains(&canonical) {
+                    return Err(format!("duplicate flag '{a}'"));
+                }
+                seen.push(canonical);
+            }
+            let mut value = |name: &str| match it.next() {
+                Some(v) if v.starts_with("--") => {
+                    Err(format!("{name} expects a value, got flag '{v}'"))
+                }
+                Some(v) => Ok(v.clone()),
+                None => Err(format!("{name} expects a value")),
             };
             match a.as_str() {
                 "--protocol" => {
@@ -197,7 +254,44 @@ impl Opts {
                 }
                 "--certify" => o.certify = Some(value("--certify")?),
                 "--out" => o.out = Some(value("--out")?),
-                other if !other.starts_with("--") => o.files.push(other.to_string()),
+                "--socket" => o.socket = Some(value("--socket")?),
+                "--workers" => {
+                    o.workers = value("--workers")?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?;
+                    if o.workers == 0 {
+                        return Err("--workers must be at least 1".into());
+                    }
+                }
+                "--queue-cap" => {
+                    o.queue_cap = value("--queue-cap")?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?;
+                    if o.queue_cap == 0 {
+                        return Err("--queue-cap must be at least 1".into());
+                    }
+                }
+                "--kind" => o.kind = Some(value("--kind")?),
+                "--job" => {
+                    o.job = Some(
+                        value("--job")?
+                            .parse()
+                            .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                    )
+                }
+                "--no-wait" => o.no_wait = true,
+                other if !other.starts_with("--") => {
+                    // Only `verify` takes positionals (certificate files);
+                    // anywhere else a stray word is a typo, not input.
+                    if cmd == "verify" {
+                        o.files.push(other.to_string());
+                    } else {
+                        return Err(format!(
+                            "unexpected argument '{other}' (only `verify` takes positional \
+                             arguments)"
+                        ));
+                    }
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -222,6 +316,20 @@ use wb_core::workload::split_spec;
 /// experiment binaries — see `wb_core::workload`.
 fn make_workload(spec: &str, n: usize, seed: u64) -> Result<Graph, String> {
     wb_core::workload::graph_family(spec, n, seed)
+}
+
+/// Unwrap a terminal outcome, or explain why there is none. Protocols whose
+/// referee reads the full board always terminate on the engine's schedules,
+/// but a structured error beats a panic if an adversary ever deadlocks one:
+/// the CLI exits nonzero with this message instead of unwinding.
+fn success_outcome<T>(spec: &str, outcome: Outcome<T>) -> Result<T, String> {
+    match outcome {
+        Outcome::Success(v) => Ok(v),
+        Outcome::Deadlock { awake } => Err(format!(
+            "protocol '{spec}' produced no outcome: deadlock with {} node(s) still awake {awake:?}",
+            awake.len()
+        )),
+    }
 }
 
 /// Run one protocol and summarize; returns a one-line verdict.
@@ -249,50 +357,50 @@ fn run_one(
                 report.max_message_bits(),
                 report.write_order.len()
             );
-            let verdict: String = $fmt(report);
-            Ok(format!("{verdict} {stats}"))
+            let verdict: Result<String, String> = $fmt(report);
+            Ok(format!("{} {stats}", verdict?))
         }};
     }
     match kind {
         "build" => drive!(BuildDegenerate::new(k.max(1)), |r: RunReport<
             Result<Graph, BuildError>,
         >| {
-            match r.outcome {
+            Ok(match r.outcome {
                 Outcome::Success(Ok(h)) => format!("BUILD ok: rebuilt exactly = {}", &h == g),
                 Outcome::Success(Err(e)) => format!("BUILD rejected: {e:?}"),
                 Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
-            }
+            })
         }),
         "build-mixed" => drive!(wb_core::BuildMixed::new(k.max(1)), |r: RunReport<
             Result<Graph, BuildError>,
         >| {
-            match r.outcome {
+            Ok(match r.outcome {
                 Outcome::Success(Ok(h)) => format!("BUILD-MIXED ok: rebuilt exactly = {}", &h == g),
                 Outcome::Success(Err(e)) => format!("BUILD-MIXED rejected: {e:?}"),
                 Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
-            }
+            })
         }),
         "naive" => drive!(NaiveBuild, |r: RunReport<Graph>| {
-            format!(
+            Ok(format!(
                 "NAIVE BUILD: rebuilt exactly = {}",
                 matches!(r.outcome, Outcome::Success(ref h) if h == g)
-            )
+            ))
         }),
         "mis" => {
             let root = (arg.unwrap_or(1) as NodeId).clamp(1, n as NodeId);
             drive!(MisGreedy::new(root), |r: RunReport<Vec<NodeId>>| {
-                match r.outcome {
+                Ok(match r.outcome {
                     Outcome::Success(set) => format!(
                         "MIS(root {root}): |S| = {}, valid = {}",
                         set.len(),
                         checks::is_rooted_mis(g, &set, root)
                     ),
                     Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
-                }
+                })
             })
         }
         "bfs" => drive!(SyncBfs, |r: RunReport<checks::BfsForest>| {
-            match r.outcome {
+            Ok(match r.outcome {
                 Outcome::Success(f) => format!(
                     "SYNC BFS: {} roots, max layer {}, matches reference = {}",
                     f.roots.len(),
@@ -300,10 +408,10 @@ fn run_one(
                     f == checks::bfs_forest(g)
                 ),
                 Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
-            }
+            })
         }),
         "eob-bfs" => drive!(EobBfs, |r: RunReport<BfsOutput>| {
-            match r.outcome {
+            Ok(match r.outcome {
                 Outcome::Success(BfsOutput::Forest(f)) => {
                     format!("EOB-BFS: forest ok = {}", f == checks::bfs_forest(g))
                 }
@@ -311,66 +419,69 @@ fn run_one(
                     "EOB-BFS: input is not even-odd bipartite".into()
                 }
                 Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
-            }
+            })
         }),
         "spanning" => drive!(wb_core::SpanningForestSync, |r: RunReport<
             wb_core::SpanningForest,
         >| {
-            match r.outcome {
+            Ok(match r.outcome {
                 Outcome::Success(sf) => format!(
                     "SPANNING-FOREST: {} tree edges, {} roots",
                     sf.edges.len(),
                     sf.roots.len()
                 ),
                 Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
-            }
+            })
         }),
         "two-cliques" => drive!(TwoCliques, |r: RunReport<
             wb_core::two_cliques::TwoCliquesVerdict,
         >| {
-            format!(
+            Ok(format!(
                 "2-CLIQUES: {:?} (truth: {})",
-                r.outcome.unwrap(),
+                success_outcome(proto_spec, r.outcome)?,
                 checks::is_two_cliques(g)
-            )
+            ))
         }),
         "two-cliques-rand" => {
             drive!(
                 TwoCliquesRandomized::new(arg.unwrap_or(7), 24),
                 |r: RunReport<wb_core::two_cliques::TwoCliquesVerdict>| {
-                    format!(
+                    Ok(format!(
                         "2-CLIQUES (randomized): {:?} (truth: {})",
-                        r.outcome.unwrap(),
+                        success_outcome(proto_spec, r.outcome)?,
                         checks::is_two_cliques(g)
-                    )
+                    ))
                 }
             )
         }
         "subgraph" => drive!(SubgraphPrefix::new(k.max(1)), |r: RunReport<Graph>| {
-            format!(
+            Ok(format!(
                 "SUBGRAPH_{k}: exact = {}",
                 matches!(r.outcome, Outcome::Success(ref h) if *h == g.induced_prefix(k.max(1).min(n)))
-            )
+            ))
         }),
         "triangle" => drive!(TriangleFullRow, |r: RunReport<bool>| {
-            format!(
+            Ok(format!(
                 "TRIANGLE (Θ(n) bits): {:?} (truth: {})",
-                r.outcome.unwrap(),
+                success_outcome(proto_spec, r.outcome)?,
                 checks::has_triangle(g)
-            )
+            ))
         }),
         "square" => drive!(SquareFullRow, |r: RunReport<bool>| {
-            format!(
+            Ok(format!(
                 "SQUARE (Θ(n) bits): {:?} (truth: {})",
-                r.outcome.unwrap(),
+                success_outcome(proto_spec, r.outcome)?,
                 checks::has_square(g)
-            )
+            ))
         }),
         "diameter3" => drive!(DiameterAtMost3FullRow, |r: RunReport<bool>| {
-            format!("DIAMETER ≤ 3 (Θ(n) bits): {:?}", r.outcome.unwrap())
+            Ok(format!(
+                "DIAMETER ≤ 3 (Θ(n) bits): {:?}",
+                success_outcome(proto_spec, r.outcome)?
+            ))
         }),
         "connectivity" => drive!(ConnectivitySync, |r: RunReport<ConnectivityReport>| {
-            match r.outcome {
+            Ok(match r.outcome {
                 Outcome::Success(rep) => format!(
                     "CONNECTIVITY: connected = {} ({} components; truth: {})",
                     rep.connected,
@@ -378,21 +489,21 @@ fn run_one(
                     checks::is_connected(g)
                 ),
                 Outcome::Deadlock { awake } => format!("deadlock: {awake:?}"),
-            }
+            })
         }),
         "edge-count" => drive!(EdgeCount, |r: RunReport<usize>| {
-            format!(
+            Ok(format!(
                 "EDGE-COUNT: m = {:?} (truth: {})",
-                r.outcome.unwrap(),
+                success_outcome(proto_spec, r.outcome)?,
                 g.m()
-            )
+            ))
         }),
         "degree-stats" => drive!(DegreeStats, |r: RunReport<DegreeSummary>| {
-            let s = r.outcome.unwrap();
-            format!(
+            let s = success_outcome(proto_spec, r.outcome)?;
+            Ok(format!(
                 "DEGREE-STATS: max {} isolated {} regular {:?}",
                 s.max_degree, s.isolated, s.regular
-            )
+            ))
         }),
         other => Err(format!("unknown protocol '{other}'")),
     }
@@ -497,26 +608,33 @@ fn cmd_check(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Render `s` as a quoted, escaped JSON string (shared by the hand-rolled
-/// `--json` emitters of `explore` and `bulk`).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+/// Build the daemon-layer job spec equivalent to this invocation's flags —
+/// `explore --json`, `bulk --json`, and `submit` all go through this, which
+/// is what makes daemon reports byte-identical to CLI reports.
+fn job_spec_from_opts(kind: JobKind, o: &Opts, n: usize) -> JobSpec {
+    let mut spec = JobSpec::new(kind);
+    if o.protocol_explicit {
+        spec.protocol = o.protocol.clone();
     }
-    out.push('"');
-    out
+    spec.workload = o.workload.clone();
+    spec.n = n;
+    spec.seed = o.seed;
+    spec.model = o.model.clone();
+    spec.trials = o.trials;
+    spec.sampler = o.sampler.clone();
+    spec.batch = o.batch;
+    spec.max_states = o.max_states;
+    spec.dedup = o.dedup.clone();
+    spec.par = o.par;
+    spec.compare_naive = o.compare_naive;
+    spec
 }
 
 /// Schedule-space exploration of one protocol on one workload graph,
 /// printing the structured report (distinct states, dedup ratio, failures)
-/// or — with `--json` — one machine-readable object.
+/// or — with `--json` — one machine-readable object (deterministic: timing
+/// goes to stderr, and the daemon emits the identical bytes for the same
+/// job).
 fn cmd_explore(o: &Opts) -> Result<(), String> {
     use wb_runtime::exhaustive::{explore, explore_parallel, ExplorationReport, ExploreConfig};
     let n = *o.ns.first().unwrap_or(&6);
@@ -548,6 +666,21 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
         );
     }
 
+    // `--json` goes through the daemon's job layer: one deterministic
+    // canonical object on stdout (timing on stderr), byte-identical to what
+    // `whiteboard serve` returns for the same spec.
+    if o.json {
+        let spec = job_spec_from_opts(JobKind::Explore, o, n);
+        let start = std::time::Instant::now();
+        let report = wb_serve::run_job(&spec)?;
+        eprintln!("explore wall: {:.3}s", start.elapsed().as_secs_f64());
+        println!("{}", report.line());
+        return match report.verdict.as_str() {
+            "FAIL" => Err("exploration found failing terminal(s)".into()),
+            _ => Ok(()),
+        };
+    }
+
     /// `(states, schedules, truncated)` of the dedup-off comparison walk.
     type NaiveStats = (u64, u64, bool);
 
@@ -565,75 +698,42 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
         } else {
             "PASS"
         };
-        if o.json {
-            let states_per_sec = report.states_per_sec(wall_sec);
-            let naive_fields = match naive {
-                Some((states, schedules, truncated)) => format!(
-                    "\"naive_states\":{states},\"naive_schedules\":{schedules},\
-                     \"naive_truncated\":{truncated},\"dedup_savings\":{:.2},",
-                    states as f64 / report.distinct_states.max(1) as f64
-                ),
-                None => String::new(),
-            };
+        if let Some((states, schedules, truncated)) = naive {
             println!(
-                "{{\"protocol\":{},\"workload\":{},\"n\":{},\"dedup\":{},\"par\":{},\
-                 \"distinct_states\":{},\"terminals\":{},\"merged\":{},\"dedup_ratio\":{:.3},\
-                 \"peak_frontier\":{},\"truncated\":{},{naive_fields}\"failures\":{},\
-                 \"wall_sec\":{:.9},\"states_per_sec\":{:.1},\"verdict\":{}}}",
-                json_escape(&o.protocol),
-                json_escape(&o.workload),
-                g.n(),
-                json_escape(&o.dedup),
-                o.par,
-                report.distinct_states,
-                report.terminals,
-                report.merged,
-                report.dedup_ratio(),
-                report.peak_frontier,
-                report.truncated,
-                report.failures.len(),
-                wall_sec,
-                states_per_sec,
-                json_escape(verdict),
+                "naive (no dedup): {} states, {} schedules{} — dedup saves {:.1}x",
+                states,
+                schedules,
+                if truncated { " (truncated)" } else { "" },
+                states as f64 / report.distinct_states.max(1) as f64
             );
-        } else {
-            if let Some((states, schedules, truncated)) = naive {
-                println!(
-                    "naive (no dedup): {} states, {} schedules{} — dedup saves {:.1}x",
-                    states,
-                    schedules,
-                    if truncated { " (truncated)" } else { "" },
-                    states as f64 / report.distinct_states.max(1) as f64
-                );
+        }
+        println!("exploring {} on {} (n = {})", o.protocol, o.workload, g.n());
+        println!("  distinct states : {}", report.distinct_states);
+        println!("  terminal configs: {}", report.terminals);
+        println!(
+            "  merged branches : {} (dedup ratio {:.1}x)",
+            report.merged,
+            report.dedup_ratio()
+        );
+        println!("  peak frontier   : {}", report.peak_frontier);
+        println!("  states/sec      : {:.0}", report.states_per_sec(wall_sec));
+        println!(
+            "  truncated       : {}",
+            if report.truncated {
+                "YES (partial result)"
+            } else {
+                "no"
             }
-            println!("exploring {} on {} (n = {})", o.protocol, o.workload, g.n());
-            println!("  distinct states : {}", report.distinct_states);
-            println!("  terminal configs: {}", report.terminals);
-            println!(
-                "  merged branches : {} (dedup ratio {:.1}x)",
-                report.merged,
-                report.dedup_ratio()
-            );
-            println!("  peak frontier   : {}", report.peak_frontier);
-            println!("  states/sec      : {:.0}", report.states_per_sec(wall_sec));
-            println!(
-                "  truncated       : {}",
-                if report.truncated {
-                    "YES (partial result)"
-                } else {
-                    "no"
-                }
-            );
-            for f in report.failures.iter().take(5) {
-                println!("  FAIL under write order {:?}: {:?}", f.schedule, f.outcome);
-            }
-            match verdict {
-                "PASS" => println!(
-                    "  verdict         : PASS (every reachable configuration satisfies the oracle)"
-                ),
-                "INCONCLUSIVE" => println!("  verdict         : INCONCLUSIVE (truncated)"),
-                _ => {}
-            }
+        );
+        for f in report.failures.iter().take(5) {
+            println!("  FAIL under write order {:?}: {:?}", f.schedule, f.outcome);
+        }
+        match verdict {
+            "PASS" => println!(
+                "  verdict         : PASS (every reachable configuration satisfies the oracle)"
+            ),
+            "INCONCLUSIVE" => println!("  verdict         : INCONCLUSIVE (truncated)"),
+            _ => {}
         }
         if report.failures.is_empty() {
             Ok(())
@@ -680,17 +780,6 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
     }
 
     registry::dispatch(&o.protocol, n, ExploreOne { o, g: &g, config })?
-}
-
-/// Parse a `--dedup` policy name (shared by `explore` and `certify`).
-fn parse_dedup(spec: &str) -> Result<wb_runtime::DedupPolicy, String> {
-    use wb_runtime::DedupPolicy;
-    Ok(match spec {
-        "canonical" | "fingerprint" | "fp" => DedupPolicy::Canonical,
-        "exact" => DedupPolicy::Exact,
-        "off" | "none" => DedupPolicy::Off,
-        other => return Err(format!("unknown dedup policy '{other}'")),
-    })
 }
 
 /// Emit machine-checkable exploration certificates: one certified
@@ -779,23 +868,6 @@ fn cmd_verify(o: &Opts) -> Result<(), String> {
             "{bad} of {total} certificate(s) failed verification"
         ))
     }
-}
-
-/// Parse a `--model` spec: `None` means "the protocol's native model"; the
-/// free models also answer to their paper-style `f`-prefixed names.
-fn parse_model(spec: &str) -> Result<Option<Model>, String> {
-    Ok(match spec {
-        "native" => None,
-        "simasync" | "sasync" => Some(Model::SimAsync),
-        "simsync" | "ssync" => Some(Model::SimSync),
-        "async" | "fasync" => Some(Model::Async),
-        "sync" | "fsync" => Some(Model::Sync),
-        other => {
-            return Err(format!(
-                "unknown model '{other}' (expected native|simasync|simsync|async|sync|fasync|fsync)"
-            ))
-        }
-    })
 }
 
 /// Monte Carlo schedule campaign of one protocol on one graph-family
@@ -1002,19 +1074,6 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
     registry::dispatch(&spec, n, CampaignOne { ctx })?
 }
 
-/// Parse a bulk-tier `--model` spec: the bulk engine executes simultaneous
-/// models only.
-fn parse_bulk_model(spec: &str) -> Result<Option<Model>, String> {
-    match parse_model(spec)? {
-        None => Ok(None),
-        Some(m) if m.is_simultaneous() => Ok(Some(m)),
-        Some(m) => Err(format!(
-            "the bulk tier executes simultaneous models only, not {m} \
-             (use `run` or `campaign` for free models)"
-        )),
-    }
-}
-
 /// One columnar bulk execution (third tier): a seeded random schedule of a
 /// simultaneous protocol at `n` up to 10⁵ and beyond, verified against the
 /// registry oracle, with rounds/sec and board bytes reported. Sweeps every
@@ -1059,42 +1118,24 @@ fn cmd_bulk(o: &Opts) -> Result<(), String> {
             let oracle = bind(g);
             let pass = oracle(&report.outcome);
             let verdict = if pass { "PASS" } else { "FAIL" };
-            if o.json {
-                println!(
-                    "{{\"protocol\":{},\"model\":\"{model}\",\"family\":{},\"n\":{n},\
-                     \"rounds\":{},\"shards\":{},\"board_payload_bytes\":{},\
-                     \"board_index_bytes\":{},\"total_bits\":{},\"max_message_bits\":{},\
-                     \"wall_sec\":{wall_sec:.9},\"rounds_per_sec\":{rounds_per_sec:.1},\
-                     \"verdict\":\"{verdict}\"}}",
-                    json_escape(&o.protocol),
-                    json_escape(&o.workload),
-                    report.rounds,
-                    report.board.shard_count(),
-                    report.board.payload_bytes(),
-                    report.board.index_bytes(),
-                    report.total_bits(),
-                    report.max_message_bits(),
-                );
-            } else {
-                println!("bulk: {} @ {model} on {} (n = {n})", o.protocol, o.workload);
-                println!(
-                    "  rounds          : {} in {wall_sec:.3}s ({rounds_per_sec:.0} rounds/sec)",
-                    report.rounds
-                );
-                println!(
-                    "  board           : {} bytes payload + {} bytes index, {} shards",
-                    report.board.payload_bytes(),
-                    report.board.index_bytes(),
-                    report.board.shard_count()
-                );
-                println!(
-                    "  messages        : {} bits total, {} bits/msg max (budget {})",
-                    report.total_bits(),
-                    report.max_message_bits(),
-                    protocol.budget_bits(n)
-                );
-                println!("  verdict         : {verdict}");
-            }
+            println!("bulk: {} @ {model} on {} (n = {n})", o.protocol, o.workload);
+            println!(
+                "  rounds          : {} in {wall_sec:.3}s ({rounds_per_sec:.0} rounds/sec)",
+                report.rounds
+            );
+            println!(
+                "  board           : {} bytes payload + {} bytes index, {} shards",
+                report.board.payload_bytes(),
+                report.board.index_bytes(),
+                report.board.shard_count()
+            );
+            println!(
+                "  messages        : {} bits total, {} bits/msg max (budget {})",
+                report.total_bits(),
+                report.max_message_bits(),
+                protocol.budget_bits(n)
+            );
+            println!("  verdict         : {verdict}");
             if pass {
                 Ok(())
             } else {
@@ -1105,9 +1146,101 @@ fn cmd_bulk(o: &Opts) -> Result<(), String> {
 
     let target = parse_bulk_model(&o.model)?;
     for &n in &o.ns {
+        // `--json` delegates to the daemon's job layer: deterministic
+        // canonical object on stdout, timing on stderr, byte-identical to
+        // what `whiteboard serve` returns for the same spec.
+        if o.json {
+            let spec = job_spec_from_opts(JobKind::Bulk, o, n);
+            let start = std::time::Instant::now();
+            let report = wb_serve::run_job(&spec)?;
+            eprintln!("bulk wall: {:.3}s", start.elapsed().as_secs_f64());
+            println!("{}", report.line());
+            if report.verdict == "FAIL" {
+                return Err("bulk outcome violated the oracle".into());
+            }
+            continue;
+        }
         let g = make_workload(&o.workload, n, o.seed)?;
         registry::dispatch_bulk(&o.protocol, n, BulkOne { o, g: &g, target })??;
     }
+    Ok(())
+}
+
+/// The socket path every daemon subcommand needs.
+fn require_socket(o: &Opts, cmd: &str) -> Result<std::path::PathBuf, String> {
+    o.socket
+        .as_deref()
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| format!("{cmd} requires --socket PATH"))
+}
+
+/// Connect to a running daemon, with a hint when there is none.
+fn connect(o: &Opts, cmd: &str) -> Result<Client, String> {
+    let path = require_socket(o, cmd)?;
+    Client::connect(&path).map_err(|e| {
+        format!(
+            "cannot connect to daemon at {} ({e}); start one with \
+             `whiteboard serve --socket {}`",
+            path.display(),
+            path.display()
+        )
+    })
+}
+
+/// Run the multi-tenant daemon in the foreground until a client sends
+/// `shutdown`. Logs to stderr; the socket file is removed on exit.
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    let path = require_socket(o, "serve")?;
+    let config = ServeConfig {
+        workers: o.workers,
+        queue_cap: o.queue_cap,
+        ..ServeConfig::default()
+    };
+    let daemon =
+        Daemon::bind(&path, config).map_err(|e| format!("cannot bind {}: {e}", path.display()))?;
+    daemon.run().map_err(|e| format!("daemon failed: {e}"))?;
+    Ok(())
+}
+
+/// Submit one job to a running daemon. By default waits for completion and
+/// prints the report line — byte-identical to the corresponding `--json`
+/// command; `--no-wait` prints `{"job":N}` immediately instead.
+fn cmd_submit(o: &Opts) -> Result<(), String> {
+    let kind_name = o
+        .kind
+        .as_deref()
+        .ok_or("submit requires --kind explore|campaign|bulk")?;
+    let kind = JobKind::parse(kind_name)?;
+    let n = *o.ns.first().unwrap_or(&100);
+    let spec = job_spec_from_opts(kind, o, n);
+    let mut client = connect(o, "submit")?;
+    if o.no_wait {
+        let id = client.submit(&spec).map_err(|e| e.to_string())?;
+        println!("{{\"job\":{id}}}");
+        return Ok(());
+    }
+    let (line, verdict) = client.run(&spec).map_err(|e| e.to_string())?;
+    println!("{line}");
+    if verdict == "FAIL" {
+        Err("job completed with verdict FAIL".into())
+    } else {
+        Ok(())
+    }
+}
+
+/// Print the daemon's job roster (or one job's full record) as one JSON line.
+fn cmd_status(o: &Opts) -> Result<(), String> {
+    let mut client = connect(o, "status")?;
+    let reply = client.status(o.job).map_err(|e| e.to_string())?;
+    println!("{reply}");
+    Ok(())
+}
+
+/// Ask the daemon to drain running jobs, refuse new ones, and exit.
+fn cmd_shutdown(o: &Opts) -> Result<(), String> {
+    let mut client = connect(o, "shutdown")?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    eprintln!("daemon is draining; it exits once queued jobs finish");
     Ok(())
 }
 

@@ -139,39 +139,51 @@ impl WitnessFixture {
     }
 
     /// Parse the RON-style text format (fields in the order `to_ron` emits).
+    ///
+    /// Errors carry the failing *field* plus the line and column where the
+    /// parse stopped — `field 'edges': expected '(' at line 5, column 13` —
+    /// so a hand-edited or corrupted fixture points at its own defect.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut p = Parser::new(text);
+        p.field("fixture");
         p.expect("(")?;
+        p.field("name");
         p.expect("name")?;
         p.expect(":")?;
         let name = p.string()?;
         p.expect(",")?;
+        p.field("format");
         p.expect("format")?;
         p.expect(":")?;
         let format = p.string()?;
         if format != wb_runtime::certificate::FORMAT {
-            return Err(format!(
+            return Err(p.err(&format!(
                 "unsupported witness format '{format}' (this build reads '{}')",
                 wb_runtime::certificate::FORMAT
-            ));
+            )));
         }
         p.expect(",")?;
+        p.field("protocol");
         p.expect("protocol")?;
         p.expect(":")?;
         let protocol = p.string()?;
         p.expect(",")?;
+        p.field("n");
         p.expect("n")?;
         p.expect(":")?;
         let n = p.number()? as usize;
         p.expect(",")?;
+        p.field("edges");
         p.expect("edges")?;
         p.expect(":")?;
         let edges = p.pair_list()?;
         p.expect(",")?;
+        p.field("schedule");
         p.expect("schedule")?;
         p.expect(":")?;
         let schedule = p.number_list()?;
         p.expect(",")?;
+        p.field("expect");
         p.expect("expect")?;
         p.expect(":")?;
         let expect = if p.try_expect("Deadlock") {
@@ -189,7 +201,29 @@ impl WitnessFixture {
             ExpectedOutcome::Output(debug)
         };
         p.try_expect(",");
+        p.field("fixture");
         p.expect(")")?;
+
+        // Semantic bounds: every node ID must name a node of the graph. A
+        // fixture that references node 0 or n+1 would otherwise surface as
+        // a confusing engine panic at replay time.
+        let awake_ids: &[NodeId] = match &expect {
+            ExpectedOutcome::Deadlock { awake } => awake,
+            ExpectedOutcome::Output(_) => &[],
+        };
+        for (which, id) in edges
+            .iter()
+            .flat_map(|&(u, v)| [("edges", u), ("edges", v)])
+            .chain(schedule.iter().map(|&v| ("schedule", v)))
+            .chain(awake_ids.iter().map(|&v| ("expect", v)))
+        {
+            if id < 1 || id as usize > n {
+                return Err(format!(
+                    "field '{which}': node id {id} out of bounds for n = {n} \
+                     (ids are 1..={n})"
+                ));
+            }
+        }
         Ok(WitnessFixture {
             name,
             format,
@@ -290,77 +324,115 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Minimal cursor parser for the fixture grammar.
+/// Minimal cursor parser for the fixture grammar, tracking the absolute
+/// offset so errors report the failing field, line, and column.
 struct Parser<'a> {
-    rest: &'a str,
+    text: &'a str,
+    pos: usize,
+    /// The fixture field currently being parsed — error context.
+    field: &'static str,
 }
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Parser { rest: text }
+        Parser {
+            text,
+            pos: 0,
+            field: "fixture",
+        }
+    }
+
+    /// Set the field name used as context in subsequent errors.
+    fn field(&mut self, name: &'static str) {
+        self.field = name;
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    /// 1-based (line, column) of the cursor, by characters not bytes.
+    fn line_col(&self) -> (usize, usize) {
+        let consumed = &self.text[..self.pos];
+        let line = consumed.matches('\n').count() + 1;
+        let col = consumed
+            .rsplit_once('\n')
+            .map_or(consumed, |(_, tail)| tail)
+            .chars()
+            .count()
+            + 1;
+        (line, col)
+    }
+
+    /// Render `what` with the current field and position attached.
+    fn err(&self, what: &str) -> String {
+        let (line, col) = self.line_col();
+        format!(
+            "field '{}': {what} at line {line}, column {col}",
+            self.field
+        )
     }
 
     fn skip_ws(&mut self) {
-        self.rest = self.rest.trim_start();
+        let trimmed = self.rest().trim_start();
+        self.pos = self.text.len() - trimmed.len();
     }
 
     fn expect(&mut self, token: &str) -> Result<(), String> {
         if self.try_expect(token) {
             Ok(())
         } else {
-            Err(format!(
-                "expected '{token}' at '{}…'",
-                self.rest.chars().take(24).collect::<String>()
-            ))
+            self.skip_ws();
+            let found: String = self.rest().chars().take(24).collect();
+            Err(self.err(&format!("expected '{token}', found '{found}…'")))
         }
     }
 
     fn try_expect(&mut self, token: &str) -> bool {
         self.skip_ws();
-        match self.rest.strip_prefix(token) {
-            Some(rest) => {
-                self.rest = rest;
-                true
-            }
-            None => false,
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
         }
     }
 
     fn string(&mut self) -> Result<String, String> {
         self.expect("\"")?;
         let mut out = String::new();
-        let mut chars = self.rest.char_indices();
+        let mut chars = self.rest().char_indices();
         while let Some((i, c)) = chars.next() {
             match c {
                 '\\' => match chars.next() {
                     Some((_, e)) => out.push(e),
-                    None => return Err("dangling escape in string".into()),
+                    None => return Err(self.err("dangling escape in string")),
                 },
                 '"' => {
-                    self.rest = &self.rest[i + 1..];
+                    self.pos += i + 1;
                     return Ok(out);
                 }
                 _ => out.push(c),
             }
         }
-        Err("unterminated string".into())
+        Err(self.err("unterminated string"))
     }
 
     fn number(&mut self) -> Result<u64, String> {
         self.skip_ws();
         let digits: String = self
-            .rest
+            .rest()
             .chars()
             .take_while(|c| c.is_ascii_digit())
             .collect();
         if digits.is_empty() {
-            return Err(format!(
-                "expected a number at '{}…'",
-                self.rest.chars().take(24).collect::<String>()
-            ));
+            let found: String = self.rest().chars().take(24).collect();
+            return Err(self.err(&format!("expected a number, found '{found}…'")));
         }
-        self.rest = &self.rest[digits.len()..];
-        digits.parse().map_err(|e| format!("bad number: {e}"))
+        self.pos += digits.len();
+        digits
+            .parse()
+            .map_err(|e| self.err(&format!("bad number: {e}")))
     }
 
     fn number_list(&mut self) -> Result<Vec<NodeId>, String> {
@@ -430,7 +502,7 @@ mod tests {
     fn deadlock_round_trip() {
         let mut f = fixture();
         f.protocol = "async-bipartite-bfs".into();
-        f.expect = ExpectedOutcome::Deadlock { awake: vec![5] };
+        f.expect = ExpectedOutcome::Deadlock { awake: vec![3] };
         let parsed = WitnessFixture::parse(&f.to_ron()).unwrap();
         assert_eq!(parsed, f);
     }
@@ -455,6 +527,47 @@ mod tests {
         f.format = "wb-cert/v99".into();
         let err = WitnessFixture::parse(&f.to_ron()).expect_err("unknown version must be refused");
         assert!(err.contains("wb-cert/v99"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_name_the_field_and_position() {
+        // Corrupt the edges list: `(1, 2]` — the error must say which field
+        // broke and where, so a hand-edited fixture points at its defect.
+        let text = fixture().to_ron().replace("(1, 2)", "(1, 2]");
+        let err = WitnessFixture::parse(&text).expect_err("corrupt edges must fail");
+        assert!(err.contains("field 'edges'"), "{err}");
+        assert!(err.contains("expected ')'"), "{err}");
+        // `edges:` sits on line 6 of `to_ron` output; the `]` follows it.
+        assert!(err.contains("at line 6, column"), "{err}");
+
+        // A truncated string in `name` reports that field on line 2.
+        let truncated = "(\n    name: \"unterminated";
+        let err = WitnessFixture::parse(truncated).expect_err("truncated name must fail");
+        assert!(err.contains("field 'name'"), "{err}");
+        assert!(err.contains("unterminated string"), "{err}");
+        assert!(err.contains("at line 2"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_out_of_bounds_node_ids() {
+        // Schedule references node 9 of a 4-node graph.
+        let text = fixture().to_ron().replace("[1, 4, 2, 3]", "[1, 9, 2, 3]");
+        let err = WitnessFixture::parse(&text).expect_err("id 9 of 4 must fail");
+        assert!(err.contains("field 'schedule'"), "{err}");
+        assert!(err.contains("node id 9 out of bounds for n = 4"), "{err}");
+
+        // An edge endpoint of 0 (ids are 1-based) is equally invalid.
+        let text = fixture().to_ron().replace("(1, 2)", "(0, 2)");
+        let err = WitnessFixture::parse(&text).expect_err("id 0 must fail");
+        assert!(err.contains("field 'edges'"), "{err}");
+        assert!(err.contains("node id 0 out of bounds"), "{err}");
+
+        // Deadlock `awake` ids are checked too.
+        let mut f = fixture();
+        f.expect = ExpectedOutcome::Deadlock { awake: vec![7] };
+        let err = WitnessFixture::parse(&f.to_ron()).expect_err("awake id 7 of 4 must fail");
+        assert!(err.contains("field 'expect'"), "{err}");
+        assert!(err.contains("node id 7 out of bounds"), "{err}");
     }
 
     #[test]

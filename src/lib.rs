@@ -25,7 +25,11 @@
 //!   samplers, sharded trial execution, deterministic reports) and
 //!   delta-debugging witness shrinking for `n` past the exhaustive frontier;
 //! - [`corpus`] — replayable witness-schedule fixtures captured from
-//!   exploration and campaign failures (`tests/corpus/*.ron`).
+//!   exploration and campaign failures (`tests/corpus/*.ron`);
+//! - [`serve`] — the job layer shared by the CLI's `--json` paths and the
+//!   `whiteboard serve` daemon: job specs spanning all three execution
+//!   tiers, deterministic reports, the line-delimited wire protocol, and
+//!   the multi-tenant Unix-socket daemon itself.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@ pub use wb_math as math;
 pub use wb_par as par;
 pub use wb_reductions as reductions;
 pub use wb_runtime as runtime;
+pub use wb_serve as serve;
 pub use wb_sim as sim;
 
 /// One-stop imports for examples and downstream users.

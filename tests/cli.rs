@@ -152,11 +152,31 @@ fn explore_json_emits_machine_readable_report() {
     assert!(ok, "{out}");
     assert!(out.contains("\"distinct_states\":100"), "{out}");
     assert!(out.contains("\"verdict\":\"PASS\""), "{out}");
-    assert!(out.contains("\"states_per_sec\":"), "{out}");
+    assert!(out.contains("\"schema\":\"wb-serve/explore/v1\""), "{out}");
     assert!(out.contains("\"dedup\":\"canonical\""), "{out}");
     // --compare-naive lands in the JSON too, not just the human report.
     assert!(out.contains("\"naive_states\":1957"), "{out}");
     assert!(out.contains("\"dedup_savings\":19.57"), "{out}");
+    // Timing stays on stderr: the report is deterministic.
+    assert!(!out.contains("states_per_sec"), "{out}");
+}
+
+#[test]
+fn explore_json_is_deterministic_for_a_fixed_seed() {
+    let args = [
+        "explore",
+        "--protocol",
+        "mis:1",
+        "--workload",
+        "path",
+        "--n",
+        "6",
+        "--json",
+    ];
+    let (ok_a, a) = whiteboard_stdout(&args);
+    let (ok_b, b) = whiteboard_stdout(&args);
+    assert!(ok_a && ok_b, "{a}{b}");
+    assert_eq!(a, b, "explore --json must be byte-identical across runs");
 }
 
 #[test]
@@ -203,9 +223,9 @@ fn explore_dedup_modes_agree() {
 
 #[test]
 fn explore_json_rate_fields_are_finite_and_sane() {
-    // The dedup-ratio and states/sec fields go through the zero-division
-    // guards on `ExplorationReport`; whatever the timing, the JSON must
-    // carry finite, sensible numbers.
+    // The dedup-ratio field goes through the zero-division guards on
+    // `ExplorationReport`, and timing fields must NOT appear — the report
+    // is deterministic, with wall-clock numbers on stderr only.
     let (ok, out) = whiteboard_stdout(&[
         "explore",
         "--protocol",
@@ -223,11 +243,8 @@ fn explore_json_rate_fields_are_finite_and_sane() {
         .and_then(wb_bench::json::Json::as_f64)
         .expect("dedup_ratio present");
     assert!(ratio.is_finite() && ratio >= 1.0, "dedup_ratio = {ratio}");
-    let sps = doc
-        .get("states_per_sec")
-        .and_then(wb_bench::json::Json::as_f64)
-        .expect("states_per_sec present");
-    assert!(sps.is_finite() && sps >= 0.0, "states_per_sec = {sps}");
+    assert!(doc.get("wall_sec").is_none(), "{out}");
+    assert!(doc.get("states_per_sec").is_none(), "{out}");
 }
 
 #[test]
@@ -416,6 +433,9 @@ fn bulk_runs_both_engine_paths_and_reports_throughput() {
     assert!(out.contains("\"verdict\":\"PASS\""), "{out}");
     assert!(out.contains("\"rounds\":2000"), "{out}");
     assert!(out.contains("\"board_payload_bytes\":"), "{out}");
+    assert!(out.contains("\"schema\":\"wb-serve/bulk/v1\""), "{out}");
+    // Timing stays on stderr: the report is deterministic.
+    assert!(!out.contains("rounds_per_sec"), "{out}");
     wb_bench::json::Json::parse(out.trim()).expect("bulk --json emits valid JSON");
 }
 
@@ -575,6 +595,57 @@ fn unknown_flags_fail_cleanly() {
     assert!(out.contains("unknown command"), "{out}");
 }
 
+/// Every subcommand rejects unknown and duplicate flags with a usage error
+/// naming the offending flag — a typo'd or repeated flag must never be
+/// silently ignored.
+#[test]
+fn every_subcommand_rejects_unknown_and_duplicate_flags() {
+    const SUBCOMMANDS: &[&str] = &[
+        "run", "check", "explore", "campaign", "bulk", "capacity", "certify", "verify", "dot",
+        "serve", "submit", "status", "shutdown", "list",
+    ];
+    for cmd in SUBCOMMANDS {
+        let (ok, out) = whiteboard(&[cmd, "--frobnicate"]);
+        assert!(!ok, "{cmd} accepted an unknown flag: {out}");
+        assert!(
+            out.contains("unknown flag '--frobnicate'"),
+            "{cmd} did not name the unknown flag: {out}"
+        );
+        let (ok, out) = whiteboard(&[cmd, "--seed", "1", "--seed", "2"]);
+        assert!(!ok, "{cmd} accepted a duplicate flag: {out}");
+        assert!(
+            out.contains("duplicate flag '--seed'"),
+            "{cmd} did not name the duplicate flag: {out}"
+        );
+    }
+}
+
+#[test]
+fn strict_parsing_catches_stray_and_malformed_arguments() {
+    // `--workload` and `--graph-family` are one flag under two names.
+    let (ok, out) = whiteboard(&[
+        "campaign",
+        "--workload",
+        "path",
+        "--graph-family",
+        "gnp",
+        "--n",
+        "5",
+        "--trials",
+        "1",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("duplicate flag '--graph-family'"), "{out}");
+    // A flag where a value belongs is reported, not consumed.
+    let (ok, out) = whiteboard(&["explore", "--protocol", "--json"]);
+    assert!(!ok);
+    assert!(out.contains("--protocol expects a value"), "{out}");
+    // Stray positionals are errors everywhere except `verify`.
+    let (ok, out) = whiteboard(&["run", "extra-word"]);
+    assert!(!ok);
+    assert!(out.contains("unexpected argument 'extra-word'"), "{out}");
+}
+
 #[test]
 fn certify_then_verify_round_trips() {
     let dir = std::env::temp_dir().join("wb_cli_certify_test");
@@ -663,6 +734,108 @@ fn verify_rejects_a_corrupted_certificate_file() {
     assert!(out.contains("FAIL"), "{out}");
     assert!(out.contains("digest"), "{out}");
     let _ = std::fs::remove_file(&cert_path);
+}
+
+/// End-to-end daemon smoke through the CLI client subcommands: start
+/// `whiteboard serve`, submit one job per tier, and check the returned
+/// reports are byte-identical to the direct `--json` commands; then status,
+/// graceful shutdown, and daemon exit.
+#[test]
+fn serve_submit_status_shutdown_round_trip() {
+    let dir = std::env::temp_dir().join(format!("wb_cli_serve_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("wb.sock");
+    let socket_str = socket.to_str().unwrap();
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_whiteboard"))
+        .args(["serve", "--socket", socket_str, "--workers", "2"])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    // Wait for the socket to appear.
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(socket.exists(), "daemon never bound its socket");
+
+    // One job per tier, each vs the direct CLI `--json` equivalent.
+    let explore_args = [
+        "--protocol",
+        "mis:1",
+        "--workload",
+        "path",
+        "--n",
+        "6",
+        "--json",
+    ];
+    let campaign_args = [
+        "--protocol",
+        "mis:1",
+        "--graph-family",
+        "gnp",
+        "--n",
+        "30",
+        "--trials",
+        "500",
+        "--seed",
+        "5",
+        "--json",
+    ];
+    let bulk_args = [
+        "--protocol",
+        "build:2",
+        "--graph-family",
+        "kdeg-lin:2",
+        "--n",
+        "1000",
+        "--seed",
+        "3",
+        "--json",
+    ];
+    for (kind, args) in [
+        ("explore", &explore_args[..]),
+        ("campaign", &campaign_args[..]),
+        ("bulk", &bulk_args[..]),
+    ] {
+        let mut cli: Vec<&str> = vec![kind];
+        cli.extend(args.iter().filter(|a| **a != "--json"));
+        let mut submit: Vec<&str> = vec!["submit", "--socket", socket_str, "--kind", kind];
+        submit.extend(cli[1..].iter());
+        let mut direct: Vec<&str> = vec![kind];
+        direct.extend(args.iter());
+        let (ok_d, via_daemon) = whiteboard_stdout(&submit);
+        let (ok_c, via_cli) = whiteboard_stdout(&direct);
+        assert!(ok_d && ok_c, "{kind}: {via_daemon}{via_cli}");
+        assert_eq!(
+            via_daemon, via_cli,
+            "{kind}: daemon report must be byte-identical to the CLI report"
+        );
+    }
+
+    // Roster shows three completed jobs.
+    let (ok, out) = whiteboard_stdout(&["status", "--socket", socket_str]);
+    assert!(ok, "{out}");
+    let doc = wb_bench::json::Json::parse(out.trim()).expect("status emits valid JSON");
+    let jobs = doc
+        .get("jobs")
+        .and_then(wb_bench::json::Json::as_arr)
+        .expect("jobs array");
+    assert_eq!(jobs.len(), 3, "{out}");
+    assert!(out.matches("\"state\":\"done\"").count() == 3, "{out}");
+
+    // Single-job status carries the full report.
+    let (ok, out) = whiteboard_stdout(&["status", "--socket", socket_str, "--job", "1"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"report\":"), "{out}");
+
+    let (ok, _) = whiteboard(&["shutdown", "--socket", socket_str]);
+    assert!(ok);
+    let status = daemon.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "daemon exited nonzero: {status:?}");
+    assert!(!socket.exists(), "socket file removed on exit");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
