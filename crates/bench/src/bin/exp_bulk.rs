@@ -94,7 +94,7 @@ impl BulkVisitor for Measure<'_> {
         let wall_sec = start.elapsed().as_secs_f64();
         let oracle = bind(&g);
         assert!(
-            oracle(&report.outcome),
+            oracle(&report.outcome, &[]),
             "{} on {} n={}: bulk outcome violated the registry oracle — \
              investigate before trusting the bench",
             self.label,

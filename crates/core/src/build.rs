@@ -141,42 +141,69 @@ impl Protocol for BuildDegenerate {
                 alive: true,
             });
         }
-        let mut tuples: Vec<Tuple> = tuples
-            .into_iter()
-            .map(|t| t.expect("missing message"))
-            .collect();
+        // A slot left `None` is a crashed writer (its single write died
+        // before reaching the board). The peel below runs over the present
+        // tuples only; a crashed node's incident edges are still recovered
+        // from its surviving neighbors' power sums, so the reconstruction
+        // degrades to a graph between `g[survivors]` and `g` — or to a
+        // robust rejection when the surviving evidence no longer peels.
+        let present = tuples.iter().filter(|t| t.is_some()).count();
 
         let decoder = NewtonDecoder::new(n);
         let mut g = Graph::empty(n);
         // Worklist of candidate low-degree nodes; stale entries are re-checked
         // on pop, so pushing duplicates is harmless.
-        let mut stack: Vec<usize> = (0..n).filter(|&i| tuples[i].degree <= self.k).collect();
-        let mut remaining = n;
+        let mut stack: Vec<usize> = (0..n)
+            .filter(|&i| tuples[i].as_ref().is_some_and(|t| t.degree <= self.k))
+            .collect();
+        let mut remaining = present;
         while remaining > 0 {
             let x = loop {
                 match stack.pop() {
-                    Some(i) if tuples[i].alive && tuples[i].degree <= self.k => break i,
+                    Some(i)
+                        if tuples[i]
+                            .as_ref()
+                            .is_some_and(|t| t.alive && t.degree <= self.k) =>
+                    {
+                        break i
+                    }
                     Some(_) => continue,
                     None => return Err(BuildError::NotKDegenerate),
                 }
             };
             let id_x = x as NodeId + 1;
+            let (degree_x, sums_x) = {
+                let t = tuples[x].as_ref().expect("worklist holds present nodes");
+                (t.degree, t.sums.clone())
+            };
             let neighbors = decoder
-                .decode(&tuples[x].sums, tuples[x].degree)
+                .decode(&sums_x, degree_x)
                 .ok_or(BuildError::Undecodable { node: id_x })?;
             for &u in &neighbors {
                 let ui = u as usize - 1;
-                if !tuples[ui].alive || tuples[ui].degree == 0 || u == id_x {
+                if u == id_x {
+                    return Err(BuildError::Undecodable { node: id_x });
+                }
+                let Some(tu) = tuples[ui].as_mut() else {
+                    // The neighbor's write died: the edge survives in x's
+                    // sums, but there is no tuple left to peel it from.
+                    g.add_edge(id_x, u);
+                    continue;
+                };
+                if !tu.alive || tu.degree == 0 {
                     return Err(BuildError::Undecodable { node: id_x });
                 }
                 g.add_edge(id_x, u);
-                tuples[ui].degree -= 1;
-                powersum::remove_neighbor(&mut tuples[ui].sums, id_x);
-                if tuples[ui].degree <= self.k {
+                tu.degree -= 1;
+                powersum::remove_neighbor(&mut tu.sums, id_x);
+                if tu.degree <= self.k {
                     stack.push(ui);
                 }
             }
-            tuples[x].alive = false;
+            tuples[x]
+                .as_mut()
+                .expect("worklist holds present nodes")
+                .alive = false;
             remaining -= 1;
         }
         Ok(g)

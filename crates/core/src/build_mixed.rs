@@ -74,7 +74,6 @@ struct MixedTuple {
     degree: usize,
     nbr_sums: Vec<BigInt>,
     co_sums: Vec<BigInt>,
-    alive: bool,
 }
 
 impl Protocol for BuildMixed {
@@ -109,42 +108,51 @@ impl Protocol for BuildMixed {
                 degree,
                 nbr_sums,
                 co_sums,
-                alive: true,
             });
         }
-        let mut tuples: Vec<MixedTuple> = tuples
-            .into_iter()
-            .map(|t| t.expect("missing message"))
-            .collect();
+        // A slot left `None` is a crashed writer. Crashed nodes stay in the
+        // peel's *universe* — survivors' degrees and both sum vectors still
+        // count them — but can never themselves be picked, so the walk ends
+        // once every present tuple is peeled. Edges incident to a crashed
+        // node are recovered from its surviving neighbors' sums; edges
+        // between two crashed nodes are unrecoverable (the sandwich oracle
+        // accepts their absence).
+        let mut unpeeled_present = tuples.iter().filter(|t| t.is_some()).count();
+        let mut alive_mask: Vec<bool> = vec![true; n];
 
         let decoder = NewtonDecoder::new(n);
         let mut g = Graph::empty(n);
         let mut remaining = n;
         let mut alive_ids: Vec<NodeId> = (1..=n as NodeId).collect();
-        while remaining > 0 {
+        while unpeeled_present > 0 {
             // Scan for a candidate: low remaining degree or low co-degree.
             // (O(n) per prune; the whole output function is O(n²·k) bignum ops.)
             let pick = alive_ids.iter().copied().find(|&v| {
-                let t = &tuples[v as usize - 1];
-                t.degree <= self.k || t.degree + self.k + 1 >= remaining
+                tuples[v as usize - 1]
+                    .as_ref()
+                    .is_some_and(|t| t.degree <= self.k || t.degree + self.k + 1 >= remaining)
             });
             let Some(x) = pick else {
                 return Err(BuildError::NotKDegenerate);
             };
             let xi = x as usize - 1;
-            let neighbors: Vec<NodeId> = if tuples[xi].degree <= self.k {
+            let (degree_x, nbr_sums_x, co_sums_x) = {
+                let t = tuples[xi].as_ref().expect("picked node is present");
+                (t.degree, t.nbr_sums.clone(), t.co_sums.clone())
+            };
+            let neighbors: Vec<NodeId> = if degree_x <= self.k {
                 decoder
-                    .decode(&tuples[xi].nbr_sums, tuples[xi].degree)
+                    .decode(&nbr_sums_x, degree_x)
                     .ok_or(BuildError::Undecodable { node: x })?
             } else {
                 // High side: decode the co-neighbors; neighbors = the rest.
-                let co_degree = remaining - 1 - tuples[xi].degree;
+                let co_degree = remaining - 1 - degree_x;
                 let non = decoder
-                    .decode(&tuples[xi].co_sums, co_degree)
+                    .decode(&co_sums_x, co_degree)
                     .ok_or(BuildError::Undecodable { node: x })?;
                 let mut non_set = vec![false; n];
                 for &u in &non {
-                    if !tuples[u as usize - 1].alive || u == x {
+                    if !alive_mask[u as usize - 1] || u == x {
                         return Err(BuildError::Undecodable { node: x });
                     }
                     non_set[u as usize - 1] = true;
@@ -159,27 +167,31 @@ impl Protocol for BuildMixed {
             let mut is_neighbor = vec![false; n];
             for &u in &neighbors {
                 let ui = u as usize - 1;
-                if !tuples[ui].alive || tuples[ui].degree == 0 || u == x {
+                if !alive_mask[ui] || u == x || tuples[ui].as_ref().is_some_and(|t| t.degree == 0) {
                     return Err(BuildError::Undecodable { node: x });
                 }
                 is_neighbor[ui] = true;
                 g.add_edge(x, u);
             }
-            tuples[xi].alive = false;
+            alive_mask[xi] = false;
             for &u in &alive_ids {
                 if u == x {
                     continue;
                 }
                 let ui = u as usize - 1;
+                let Some(tu) = tuples[ui].as_mut() else {
+                    continue;
+                };
                 if is_neighbor[ui] {
-                    tuples[ui].degree -= 1;
-                    powersum::remove_neighbor(&mut tuples[ui].nbr_sums, x);
+                    tu.degree -= 1;
+                    powersum::remove_neighbor(&mut tu.nbr_sums, x);
                 } else {
-                    powersum::remove_neighbor(&mut tuples[ui].co_sums, x);
+                    powersum::remove_neighbor(&mut tu.co_sums, x);
                 }
             }
             alive_ids.retain(|&u| u != x);
             remaining -= 1;
+            unpeeled_present -= 1;
         }
         Ok(g)
     }

@@ -56,7 +56,9 @@ pub mod workload;
 /// nothing else — no `Engine`, no explorer, no undo log.
 pub mod steps {
     pub use wb_runtime::adapt::Promote;
-    pub use wb_runtime::{LocalView, Model, Node, Outcome, Protocol, Whiteboard};
+    pub use wb_runtime::{
+        FaultKind, FaultPlan, LocalView, Model, Node, Outcome, Protocol, Whiteboard,
+    };
 }
 
 pub use bfs::{AsyncBipartiteBfs, BfsOutput, EobBfs, SyncBfs};

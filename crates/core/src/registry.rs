@@ -70,7 +70,16 @@ use wb_runtime::bulk::Oblivious;
 use wb_runtime::{BulkProtocol, Model, Outcome, Protocol};
 
 /// An outcome-correctness predicate bound to one instance graph.
-pub type BoundOracle<'g, O> = Box<dyn Fn(&Outcome<O>) -> bool + Send + Sync + 'g>;
+///
+/// The second argument is the **crashed set**: the nodes whose single write
+/// died under the run's [`wb_runtime::FaultPlan`], in crash order. Fault-free
+/// runs pass `&[]` and get exactly the historical verdict; with casualties
+/// the oracle judges the *degraded* guarantee instead — what the protocol
+/// still owes when `f` writes are lost (e.g. BUILD degrades to reconstructing
+/// a graph sandwiched between the surviving-node subgraph and the full graph;
+/// MIS verdicts quantify only over live nodes). The per-protocol degraded
+/// contracts are catalogued in `docs/FAULTS.md`.
+pub type BoundOracle<'g, O> = Box<dyn Fn(&Outcome<O>, &[NodeId]) -> bool + Send + Sync + 'g>;
 
 /// A caller-supplied action over a resolved step protocol.
 ///
@@ -298,17 +307,63 @@ fn unknown(kind: &str) -> String {
 // ---------------------------------------------------------------------------
 // Oracle binders — ONE definition per protocol, shared by both dispatchers.
 // Each binder precomputes the per-instance reference answer once, then
-// returns the outcome predicate for that instance.
+// returns the outcome predicate for that instance. Every oracle takes the
+// crashed set as its second argument: with no casualties the historical
+// fault-free verdict applies verbatim; with casualties the oracle switches
+// to the protocol's *degraded* contract (see `docs/FAULTS.md`).
 // ---------------------------------------------------------------------------
+
+/// `true` iff `v`'s write reached the board (it is not in the crashed set).
+fn live(v: NodeId, dead: &[NodeId]) -> bool {
+    !dead.contains(&v)
+}
+
+/// The degraded reconstruction guarantee shared by the BUILD family: with
+/// the `dead` nodes' writes lost, the output must still be sandwiched
+/// between the surviving evidence and the truth — every claimed edge is
+/// real (`h ⊆ g`), and every edge both of whose endpoints' writes survived
+/// is recovered (`g[live] ⊆ h`).
+fn reconstruction_sandwich(g: &Graph, h: &Graph, dead: &[NodeId]) -> bool {
+    h.n() == g.n()
+        && h.edges().all(|(u, v)| g.has_edge(u, v))
+        && g.edges()
+            .filter(|&(u, v)| live(u, dead) && live(v, dead))
+            .all(|(u, v)| h.has_edge(u, v))
+}
+
+/// The degraded MIS contract: `set` is an independent set of survivors,
+/// containing the root whenever the root's own write survived, and maximal
+/// over the live nodes *except* in a dead root's neighborhood. (A crashed
+/// non-root node is indistinguishable from one that never joined, so the
+/// quantifiers shrink to the live subgraph; but the root's neighbors defer
+/// to the root by instance knowledge, not by observation, so when the root's
+/// write dies they still decline — an uncovered hole the protocol cannot
+/// detect with its single write already spent.)
+fn degraded_rooted_mis(g: &Graph, set: &[NodeId], root: NodeId, dead: &[NodeId]) -> bool {
+    let in_set = |v: NodeId| set.contains(&v);
+    set.iter().all(|&v| live(v, dead))
+        && set
+            .iter()
+            .all(|&u| set.iter().all(|&v| u == v || !g.has_edge(u, v)))
+        && (1..=g.n() as NodeId)
+            .filter(|&v| live(v, dead) && !in_set(v))
+            .all(|v| {
+                set.iter().any(|&u| g.has_edge(u, v)) || (!live(root, dead) && g.has_edge(root, v))
+            })
+        && (!live(root, dead) || in_set(root))
+}
 
 fn build_oracle(
     k: usize,
 ) -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, Result<Graph, BuildError>> + Send + Sync {
     move |g| {
         let fits = checks::degeneracy(g).0 <= k;
-        Box::new(move |out| match out {
-            Outcome::Success(Ok(h)) => fits && h == g,
-            Outcome::Success(Err(_)) => !fits,
+        Box::new(move |out, dead| match out {
+            Outcome::Success(Ok(h)) if dead.is_empty() => fits && h == g,
+            Outcome::Success(Ok(h)) => reconstruction_sandwich(g, h, dead),
+            // With casualties the surviving evidence may look off-class, so
+            // robust rejection is acceptable even on in-class inputs.
+            Outcome::Success(Err(_)) => !fits || !dead.is_empty(),
             Outcome::Deadlock { .. } => false,
         })
     }
@@ -319,32 +374,48 @@ fn build_mixed_oracle(
 ) -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, Result<Graph, BuildError>> + Send + Sync {
     move |g| {
         let in_class = checks::mixed_elimination(g, k).is_some();
-        Box::new(move |out| match out {
-            Outcome::Success(Ok(h)) => in_class && h == g,
-            Outcome::Success(Err(_)) => !in_class,
+        Box::new(move |out, dead| match out {
+            Outcome::Success(Ok(h)) if dead.is_empty() => in_class && h == g,
+            Outcome::Success(Ok(h)) => reconstruction_sandwich(g, h, dead),
+            Outcome::Success(Err(_)) => !in_class || !dead.is_empty(),
             Outcome::Deadlock { .. } => false,
         })
     }
 }
 
 fn naive_oracle() -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, Graph> + Send + Sync {
-    |g| Box::new(move |out| matches!(out, Outcome::Success(h) if h == g))
+    |g| {
+        Box::new(move |out, dead| match out {
+            Outcome::Success(h) if dead.is_empty() => h == g,
+            Outcome::Success(h) => reconstruction_sandwich(g, h, dead),
+            Outcome::Deadlock { .. } => false,
+        })
+    }
 }
 
 fn mis_oracle(
     root: NodeId,
 ) -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, Vec<NodeId>> + Send + Sync {
     move |g| {
-        Box::new(
-            move |out| matches!(out, Outcome::Success(set) if checks::is_rooted_mis(g, set, root)),
-        )
+        Box::new(move |out, dead| match out {
+            Outcome::Success(set) if dead.is_empty() => checks::is_rooted_mis(g, set, root),
+            Outcome::Success(set) => degraded_rooted_mis(g, set, root, dead),
+            Outcome::Deadlock { .. } => false,
+        })
     }
 }
 
 fn bfs_oracle() -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, checks::BfsForest> + Send + Sync {
     |g| {
         let reference = checks::bfs_forest(g);
-        Box::new(move |out| matches!(out, Outcome::Success(f) if *f == reference))
+        // Free-model degradation: a lost write can strand every node that
+        // was waiting on it, so with casualties a deadlock is within
+        // contract, and a completed forest built from partial evidence is
+        // not refuted against the full-information reference.
+        Box::new(move |out, dead| match out {
+            Outcome::Success(f) => !dead.is_empty() || *f == reference,
+            Outcome::Deadlock { .. } => !dead.is_empty(),
+        })
     }
 }
 
@@ -352,10 +423,12 @@ fn eob_bfs_oracle() -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, BfsOutput> 
     |g| {
         let valid = checks::is_even_odd_bipartite(g);
         let reference = valid.then(|| checks::bfs_forest(g));
-        Box::new(move |out| match out {
-            Outcome::Success(BfsOutput::Forest(f)) => reference.as_ref() == Some(f),
-            Outcome::Success(BfsOutput::NotEvenOddBipartite) => !valid,
-            Outcome::Deadlock { .. } => false,
+        Box::new(move |out, dead| match out {
+            Outcome::Success(BfsOutput::Forest(f)) => {
+                !dead.is_empty() || reference.as_ref() == Some(f)
+            }
+            Outcome::Success(BfsOutput::NotEvenOddBipartite) => !valid || !dead.is_empty(),
+            Outcome::Deadlock { .. } => !dead.is_empty(),
         })
     }
 }
@@ -365,17 +438,17 @@ fn eob_bfs_oracle() -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, BfsOutput> 
 /// Problem 3 ablation) — those deadlocks *are* oracle failures, which is
 /// exactly what the campaign failure-injection pipeline fishes for; the
 /// entry is marked `total: false` so all-graph sweeps know not to demand a
-/// clean pass.
+/// clean pass. Crash-induced deadlocks, by contrast, are within contract.
 fn async_bipartite_bfs_oracle(
 ) -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, checks::BfsForest> + Send + Sync {
     |g| {
         let reference = checks::is_bipartite(g).then(|| checks::bfs_forest(g));
-        Box::new(move |out| match out {
+        Box::new(move |out, dead| match out {
             Outcome::Success(f) => match &reference {
-                Some(r) => f == r,
+                Some(r) => !dead.is_empty() || f == r,
                 None => true,
             },
-            Outcome::Deadlock { .. } => false,
+            Outcome::Deadlock { .. } => !dead.is_empty(),
         })
     }
 }
@@ -384,14 +457,17 @@ fn spanning_oracle() -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, SpanningFo
 {
     |g| {
         let components = checks::components(g);
-        Box::new(move |out| match out {
-            Outcome::Success(sf) => {
+        Box::new(move |out, dead| match out {
+            Outcome::Success(sf) if dead.is_empty() => {
                 sf.edges.iter().all(|&(c, p)| g.has_edge(c, p))
                     && sf.edges.len() == g.n() - components.len()
                     && sf.roots.len() == components.len()
                     && checks::components(&Graph::from_edges(g.n(), &sf.edges)) == components
             }
-            Outcome::Deadlock { .. } => false,
+            // Degraded: every surviving parent claim must still be a real
+            // edge; completeness is forfeit once a parent write is lost.
+            Outcome::Success(sf) => sf.edges.iter().all(|&(c, p)| g.has_edge(c, p)),
+            Outcome::Deadlock { .. } => !dead.is_empty(),
         })
     }
 }
@@ -401,11 +477,15 @@ fn two_cliques_oracle(
     |g| {
         // §5.1 promise: an (n−1)-regular graph on 2n nodes. Off the promise
         // class the protocol may answer anything (but must still terminate);
-        // on it, the verdict must equal ground truth.
+        // on it, the verdict must equal ground truth. A casualty removes a
+        // row of the evidence, so with crashes either verdict is within
+        // contract — only termination remains owed.
         let on_promise = g.n() >= 2 && g.n() % 2 == 0 && g.regular_degree() == Some(g.n() / 2 - 1);
         let truth = checks::is_two_cliques(g);
-        Box::new(move |out| match out {
-            Outcome::Success(v) => !on_promise || (*v == TwoCliquesVerdict::TwoCliques) == truth,
+        Box::new(move |out, dead| match out {
+            Outcome::Success(v) => {
+                !dead.is_empty() || !on_promise || (*v == TwoCliquesVerdict::TwoCliques) == truth
+            }
             Outcome::Deadlock { .. } => false,
         })
     }
@@ -418,8 +498,10 @@ fn two_cliques_rand_oracle(
 ) -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, TwoCliquesVerdict> + Send + Sync {
     |g| {
         let truth = checks::is_two_cliques(g);
-        Box::new(move |out| match out {
-            Outcome::Success(v) => !truth || *v == TwoCliquesVerdict::TwoCliques,
+        Box::new(move |out, dead| match out {
+            Outcome::Success(v) => {
+                !truth || !dead.is_empty() || *v == TwoCliquesVerdict::TwoCliques
+            }
             Outcome::Deadlock { .. } => false,
         })
     }
@@ -428,28 +510,49 @@ fn two_cliques_rand_oracle(
 fn subgraph_oracle(f: usize) -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, Graph> + Send + Sync {
     move |g| {
         let reference = g.induced_prefix(f.min(g.n()));
-        Box::new(move |out| matches!(out, Outcome::Success(h) if *h == reference))
+        Box::new(move |out, dead| match out {
+            Outcome::Success(h) if dead.is_empty() => *h == reference,
+            Outcome::Success(h) => reconstruction_sandwich(&reference, h, dead),
+            Outcome::Deadlock { .. } => false,
+        })
     }
 }
 
 fn triangle_oracle() -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, bool> + Send + Sync {
     |g| {
         let truth = checks::has_triangle(g);
-        Box::new(move |out| matches!(out, Outcome::Success(b) if *b == truth))
+        // Degraded one-sidedly: surviving rows are a subgraph of g, so a
+        // reported triangle is always real; a miss may be the casualty's.
+        Box::new(move |out, dead| match out {
+            Outcome::Success(b) if dead.is_empty() => *b == truth,
+            Outcome::Success(b) => !*b || truth,
+            Outcome::Deadlock { .. } => false,
+        })
     }
 }
 
 fn square_oracle() -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, bool> + Send + Sync {
     |g| {
         let truth = checks::has_square(g);
-        Box::new(move |out| matches!(out, Outcome::Success(b) if *b == truth))
+        Box::new(move |out, dead| match out {
+            Outcome::Success(b) if dead.is_empty() => *b == truth,
+            Outcome::Success(b) => !*b || truth,
+            Outcome::Deadlock { .. } => false,
+        })
     }
 }
 
 fn diameter3_oracle() -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, bool> + Send + Sync {
     |g| {
         let truth = matches!(checks::diameter(g), Some(d) if d <= 3);
-        Box::new(move |out| matches!(out, Outcome::Success(b) if *b == truth))
+        // One-sided the other way round from detection: distances over the
+        // surviving rows only overestimate, so `diameter ≤ 3` claims stay
+        // sound and only affirmative answers are checked.
+        Box::new(move |out, dead| match out {
+            Outcome::Success(b) if dead.is_empty() => *b == truth,
+            Outcome::Success(b) => !*b || truth,
+            Outcome::Deadlock { .. } => false,
+        })
     }
 }
 
@@ -457,22 +560,50 @@ fn connectivity_oracle(
 ) -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, ConnectivityReport> + Send + Sync {
     |g| {
         let components = checks::components(g).len();
-        Box::new(move |out| {
-            matches!(out, Outcome::Success(rep)
-                if rep.connected == (components <= 1) && rep.components == components)
+        Box::new(move |out, dead| match out {
+            Outcome::Success(rep) => {
+                !dead.is_empty()
+                    || (rep.connected == (components <= 1) && rep.components == components)
+            }
+            Outcome::Deadlock { .. } => !dead.is_empty(),
         })
     }
 }
 
 fn edge_count_oracle() -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, usize> + Send + Sync {
-    |g| Box::new(move |out| matches!(out, Outcome::Success(m) if *m == g.m()))
+    |g| {
+        Box::new(move |out, dead| match out {
+            Outcome::Success(m) if dead.is_empty() => *m == g.m(),
+            // Each lost write hides one degree row: the count degrades to a
+            // bracket between the fully-surviving edges and the truth.
+            Outcome::Success(m) => {
+                let floor = g
+                    .edges()
+                    .filter(|&(u, v)| live(u, dead) && live(v, dead))
+                    .count();
+                floor <= *m && *m <= g.m()
+            }
+            Outcome::Deadlock { .. } => false,
+        })
+    }
 }
 
 fn degree_stats_oracle(
 ) -> impl for<'g> Fn(&'g Graph) -> BoundOracle<'g, DegreeSummary> + Send + Sync {
     |g| {
         let degrees: Vec<usize> = (1..=g.n() as NodeId).map(|v| g.degree(v)).collect();
-        Box::new(move |out| matches!(out, Outcome::Success(s) if s.degrees == degrees))
+        Box::new(move |out, dead| match out {
+            Outcome::Success(s) if dead.is_empty() => s.degrees == degrees,
+            // Survivors' rows must still be exact; casualties' slots are
+            // unconstrained (their true degree never reached the board).
+            Outcome::Success(s) => {
+                s.degrees.len() == degrees.len()
+                    && (1..=g.n() as NodeId)
+                        .filter(|&v| live(v, dead))
+                        .all(|v| s.degrees[v as usize - 1] == degrees[v as usize - 1])
+            }
+            Outcome::Deadlock { .. } => false,
+        })
     }
 }
 
@@ -550,10 +681,16 @@ pub fn dispatch_bulk<V: BulkVisitor>(
         "edge-count" => visitor.visit(Oblivious::new(EdgeCount), edge_count_oracle()),
         "degree-stats" => visitor.visit(Oblivious::new(DegreeStats), degree_stats_oracle()),
         "bfs" | "eob-bfs" | "async-bipartite-bfs" | "spanning" | "connectivity" => {
+            let model = info(kind).map_or("a free model", |p| match p.model {
+                Model::Sync => "the free model SYNC",
+                Model::Async => "the free model ASYNC",
+                Model::SimSync => "SIMSYNC",
+                Model::SimAsync => "SIMASYNC",
+            });
             return Err(format!(
-                "protocol '{kind}' runs under a free model; the bulk tier executes \
-                 simultaneous models only (see `whiteboard list`)"
-            ))
+                "protocol '{kind}' runs under {model}; the bulk tier executes \
+                 simultaneous models only (SIMASYNC or SIMSYNC — see `whiteboard list`)"
+            ));
         }
         other => return Err(unknown(other)),
     })
@@ -564,7 +701,9 @@ mod tests {
     use super::*;
     use wb_graph::generators;
     use wb_runtime::bulk::{run_bulk, shuffled_schedule, BulkConfig};
-    use wb_runtime::{run, RandomAdversary, ScheduleAdversary};
+    use wb_runtime::{
+        explore_with, run, ExploreConfig, FaultPlan, RandomAdversary, ScheduleAdversary,
+    };
 
     /// Runs the protocol once under a random adversary and applies the
     /// bound oracle to the outcome.
@@ -584,7 +723,7 @@ mod tests {
         {
             let oracle = bind(self.g);
             let report = run(&protocol, self.g, &mut RandomAdversary::new(self.seed));
-            oracle(&report.outcome)
+            oracle(&report.outcome, &report.crashed)
         }
     }
 
@@ -605,7 +744,32 @@ mod tests {
             let oracle = bind(self.g);
             let schedule = shuffled_schedule(self.g.n(), self.seed);
             let report = run_bulk(&protocol, self.g, &schedule, None, &BulkConfig::default());
-            oracle(&report.outcome)
+            oracle(&report.outcome, &[])
+        }
+    }
+
+    /// Exhaustively explores the protocol under `crash:1`, judging every
+    /// terminal (including every choice of casualty) with the fault-aware
+    /// oracle. Returns the terminal count and the rendered failures.
+    struct ExploreCrash<'a> {
+        g: &'a Graph,
+    }
+
+    impl ProtocolVisitor for ExploreCrash<'_> {
+        type Result = (u64, Vec<String>);
+        fn visit<P, B>(self, protocol: P, bind: B) -> Self::Result
+        where
+            P: Protocol + Clone + Send + Sync,
+            P::Node: Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            let oracle = bind(self.g);
+            let config = ExploreConfig::default().with_faults(Some(FaultPlan::crash_stop(1)));
+            let report = explore_with(&protocol, self.g, &config, |o, died| oracle(o, died));
+            assert!(!report.truncated, "crash:1 exploration truncated");
+            let failures = report.failures.iter().map(|f| format!("{f:?}")).collect();
+            (report.terminals, failures)
         }
     }
 
@@ -645,6 +809,70 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert!(ok, "{spec}: oracle rejected a native run on {g:?}");
         }
+    }
+
+    #[test]
+    fn every_registered_protocol_survives_single_crash_exploration() {
+        // Small in-promise instances, every protocol, exhaustive over both
+        // schedule AND casualty choice: the degraded oracles must accept
+        // every ≤1-crash terminal, and no referee may panic on a partial
+        // board.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let cases: Vec<(&str, Graph)> = vec![
+            ("build:2", generators::k_degenerate(6, 2, true, &mut rng)),
+            ("build-mixed:2", generators::mixed_low_high(6, 2, &mut rng)),
+            ("naive", generators::gnp(5, 0.4, &mut rng)),
+            ("mis:1", generators::gnp(5, 0.3, &mut rng)),
+            ("bfs", generators::path(4)),
+            ("eob-bfs", generators::path(4)),
+            ("async-bipartite-bfs", generators::path(4)),
+            ("spanning", generators::cycle(4)),
+            ("two-cliques", generators::two_cliques(3)),
+            ("two-cliques-rand", generators::two_cliques(3)),
+            ("subgraph:3", generators::gnp(5, 0.4, &mut rng)),
+            ("triangle", generators::clique(4)),
+            ("square", generators::cycle(4)),
+            ("diameter3", generators::star(5)),
+            ("connectivity", generators::path(4)),
+            // A path's endpoints have odd degree, so a crashed endpoint
+            // leaves an odd degree sum — the handshake lemma must not be
+            // asserted against a partial board.
+            ("edge-count", generators::path(5)),
+            ("degree-stats", generators::cycle(5)),
+        ];
+        assert_eq!(cases.len(), PROTOCOLS.len(), "one case per registry entry");
+        for (spec, g) in &cases {
+            let (terminals, failures) =
+                dispatch(spec, g.n(), ExploreCrash { g }).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(terminals > 0, "{spec}: no terminals");
+            assert!(
+                failures.is_empty(),
+                "{spec}: degraded oracle rejected {} terminals, e.g. {}",
+                failures.len(),
+                failures[0]
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_refusal_names_model_and_alternatives() {
+        let probe = |spec: &str| {
+            dispatch_bulk(
+                spec,
+                4,
+                BulkOnce {
+                    g: &generators::path(4),
+                    seed: 0,
+                },
+            )
+            .unwrap_err()
+        };
+        let err = probe("bfs");
+        assert!(err.contains("the free model SYNC"), "{err}");
+        assert!(err.contains("SIMASYNC or SIMSYNC"), "{err}");
+        assert!(err.contains("simultaneous"), "{err}");
+        let err = probe("eob-bfs");
+        assert!(err.contains("the free model ASYNC"), "{err}");
     }
 
     #[test]
@@ -696,7 +924,7 @@ mod tests {
                     self.g,
                     &mut ScheduleAdversary::new(self.schedule),
                 );
-                oracle(&report.outcome)
+                oracle(&report.outcome, &report.crashed)
             }
         }
 

@@ -64,7 +64,14 @@ impl Protocol for EdgeCount {
 
     fn output(&self, n: usize, board: &Whiteboard) -> usize {
         let total: usize = degrees_from_board(n, board).iter().sum();
-        debug_assert_eq!(total % 2, 0, "handshake lemma");
+        // The handshake lemma only binds full boards: a missing row (a
+        // crashed writer under a fault plan) leaves each of its edges
+        // counted once, so the sum may be odd. The floored half then sits
+        // inside the degraded bracket [surviving edges, m].
+        debug_assert!(
+            total % 2 == 0 || board.entries().len() < n,
+            "handshake lemma violated on a full board"
+        );
         total / 2
     }
 }

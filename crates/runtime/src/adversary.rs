@@ -58,6 +58,56 @@ impl Adversary for RandomAdversary {
     }
 }
 
+/// An adaptive, schedule-skewing adversary (seeded, reproducible).
+///
+/// Each round it flips a three-way coin:
+///
+/// - **starve** (p = ½): pick the *largest* active ID, delaying small IDs —
+///   protocols that implicitly privilege early IDs see their worst case;
+/// - **chase** (p = ¼): pick the active ID closest to the most recent
+///   writer, creating the bursty, correlated write runs that uniform
+///   sampling essentially never generates;
+/// - **uniform** (p = ¼): a uniformly random pick, so every schedule still
+///   has positive probability and the sampler's support stays complete.
+///
+/// Historically `wb_sim`'s ad-hoc "crashy" sampler; it lives here with the
+/// rest of the adversary toolkit now that faults proper are first-class
+/// ([`crate::fault`]) — it is a *scheduling* strategy, not a fault plan, and
+/// composes freely with `--faults`. The seeded pick sequence is pinned
+/// bit-for-bit by a golden test in `wb-sim` (the CLI name `crashy` and every
+/// recorded campaign seed stay valid).
+#[derive(Clone, Debug)]
+pub struct CrashyAdversary {
+    rng: StdRng,
+}
+
+impl CrashyAdversary {
+    /// A reproducible crashy adversary.
+    pub fn new(seed: u64) -> Self {
+        CrashyAdversary {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for CrashyAdversary {
+    fn pick(&mut self, active: &[NodeId], board: &Whiteboard) -> NodeId {
+        let roll = self.rng.gen_range(0..4u32);
+        if roll < 2 {
+            return *active.last().expect("active set is non-empty");
+        }
+        if roll == 2 {
+            if let Some(last) = board.entries().last() {
+                return *active
+                    .iter()
+                    .min_by_key(|&&v| (v.abs_diff(last.writer), v))
+                    .expect("active set is non-empty");
+            }
+        }
+        active[self.rng.gen_range(0..active.len())]
+    }
+}
+
 /// Picks according to a fixed priority permutation: the active node appearing
 /// earliest in `priority` wins. With `priority = [σ(1)…σ(n)]` this realizes the
 /// "fix an order and activate sequentially" constructions of Lemma 4.

@@ -393,6 +393,9 @@ pub struct BulkReport<O> {
     pub outcome: Outcome<O>,
     /// Rounds executed (= `n`, one write per round).
     pub rounds: usize,
+    /// Nodes whose write crashed, in schedule order — empty for [`run_bulk`],
+    /// the victims of [`run_bulk_crashed`] otherwise.
+    pub crashed: Vec<NodeId>,
     /// The final sharded board.
     pub board: BulkBoard,
 }
@@ -463,6 +466,61 @@ pub fn run_bulk<P: BulkProtocol>(
 where
     P: Sync,
 {
+    run_bulk_inner(protocol, g, schedule, target, config, None)
+}
+
+/// Like [`run_bulk`], but the single writes of `victims` **crash**: each
+/// victim's message is composed and budget-checked exactly as if it were
+/// written — a malformed message is a protocol bug whether or not the write
+/// then dies — but it never reaches the board, and under `SIMSYNC` nobody
+/// observes it. The victims are a *columnar fault mask* applied while the
+/// board streams through the shard writers, so the masked run keeps the bulk
+/// tier's `O(n + m + board bits)` cost.
+///
+/// This is the bulk tier's form of the crash-stop fault plan
+/// (`FaultPlan::crash_stop`); the lossy plan has no bulk form because its
+/// adversary adapts to the board mid-run — callers refuse it with a
+/// structured error before reaching this function.
+///
+/// Panics on a malformed victim list (out-of-range or repeated node), same
+/// as the schedule validation.
+pub fn run_bulk_crashed<P: BulkProtocol>(
+    protocol: &P,
+    g: &Graph,
+    schedule: &[NodeId],
+    target: Option<Model>,
+    config: &BulkConfig,
+    victims: &[NodeId],
+) -> BulkReport<P::Output>
+where
+    P: Sync,
+{
+    let n = g.n();
+    let mut mask = vec![false; n];
+    for &v in victims {
+        assert!(
+            v >= 1 && v as usize <= n,
+            "victim list names node {v} outside 1..={n}"
+        );
+        assert!(
+            !std::mem::replace(&mut mask[v as usize - 1], true),
+            "victim list names node {v} twice"
+        );
+    }
+    run_bulk_inner(protocol, g, schedule, target, config, Some(&mask))
+}
+
+fn run_bulk_inner<P: BulkProtocol>(
+    protocol: &P,
+    g: &Graph,
+    schedule: &[NodeId],
+    target: Option<Model>,
+    config: &BulkConfig,
+    mask: Option<&[bool]>,
+) -> BulkReport<P::Output>
+where
+    P: Sync,
+{
     let n = g.n();
     assert!(n >= 1, "whiteboard protocols need at least one node");
     let native = protocol.model();
@@ -496,11 +554,13 @@ where
     let budget = protocol.budget_bits(n);
     let batch = config.batch.max(1);
     let mut state = protocol.init(g);
+    let dies = |v: NodeId| mask.is_some_and(|m| m[v as usize - 1]);
 
     let board = if model.is_asynchronous() {
         // SIMASYNC: messages are fixed before any write — compose whole
         // batches in parallel, one board shard per batch, reassembled in
-        // schedule order by the striped writers.
+        // schedule order by the striped writers. A masked write is composed
+        // and checked but never pushed.
         let stripes = n.div_ceil(batch);
         let state_ref = &state;
         let shards = wb_par::par_stripes(stripes, |s| {
@@ -509,7 +569,9 @@ where
             for &v in chunk {
                 let msg = protocol.compose(state_ref, v);
                 check_message(v, &msg, budget);
-                shard.push(v, &msg);
+                if !dies(v) {
+                    shard.push(v, &msg);
+                }
             }
             shard
         });
@@ -517,14 +579,18 @@ where
     } else {
         // SIMSYNC: each message may depend on everything already written, so
         // rounds run in schedule order — but each write is digested
-        // incrementally (O(deg v)), never fanned out to all n nodes.
+        // incrementally (O(deg v)), never fanned out to all n nodes. A
+        // masked write is composed and checked, but neither pushed nor
+        // observed: downstream rounds see a board it never reached.
         let mut shards = Vec::with_capacity(n.div_ceil(batch));
         let mut cur = BulkShard::with_capacity(batch.min(n));
         for &v in schedule {
             let msg = protocol.compose(&state, v);
             check_message(v, &msg, budget);
-            cur.push(v, &msg);
-            protocol.observe(&mut state, v, &msg);
+            if !dies(v) {
+                cur.push(v, &msg);
+                protocol.observe(&mut state, v, &msg);
+            }
             if cur.len() == batch {
                 shards.push(std::mem::take(&mut cur));
             }
@@ -538,6 +604,7 @@ where
     BulkReport {
         outcome: Outcome::Success(protocol.output(n, &board)),
         rounds: n,
+        crashed: schedule.iter().copied().filter(|&v| dies(v)).collect(),
         board,
     }
 }
@@ -546,7 +613,7 @@ where
 mod tests {
     use super::*;
     use crate::adversary::ScheduleAdversary;
-    use crate::engine::run;
+    use crate::engine::{run, Engine};
     use wb_graph::generators;
     use wb_math::{id_bits, BitWriter};
 
@@ -777,6 +844,95 @@ mod tests {
             Some(Model::Sync),
             &BulkConfig::default(),
         );
+    }
+
+    #[test]
+    fn crashed_bulk_matches_step_engine_under_crashes() {
+        let g = generators::gnp(
+            30,
+            0.15,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7),
+        );
+        let schedule = shuffled_schedule(30, 4);
+        let victims = [schedule[0], schedule[13], schedule[29]];
+        let bulk = run_bulk_crashed(
+            &Oblivious::new(EchoIds),
+            &g,
+            &schedule,
+            None,
+            &BulkConfig::default().with_batch(6),
+            &victims,
+        );
+        let mut engine = Engine::new(&EchoIds, &g);
+        for &v in &schedule {
+            engine.activation_phase();
+            if victims.contains(&v) {
+                engine.step_crash(v);
+            } else {
+                engine.step(v);
+            }
+        }
+        engine.activation_phase();
+        let step = engine.finish();
+        assert_eq!(bulk.outcome, step.outcome);
+        assert_eq!(bulk.crashed, step.crashed);
+        assert_eq!(bulk.board.to_whiteboard(), step.board);
+        assert_eq!(bulk.board.len(), 27);
+        // Victims are reported in schedule order, not victim-list order.
+        assert_eq!(bulk.crashed, vec![schedule[0], schedule[13], schedule[29]]);
+    }
+
+    #[test]
+    fn crashed_simsync_victims_write_nothing_and_observe_nothing() {
+        let g = generators::path(6);
+        let schedule = vec![3, 1, 6, 2, 5, 4];
+        let report = run_bulk_crashed(
+            &BulkSeen,
+            &g,
+            &schedule,
+            None,
+            &BulkConfig::default().with_batch(2),
+            &[1, 5],
+        );
+        // Survivors count only surviving prior writes: 3 sees 0, 6 sees 1
+        // (victim 1 left no trace), 2 sees 2, 4 sees 3 (victim 5 skipped).
+        assert_eq!(
+            report.outcome.unwrap(),
+            vec![(3, 0), (6, 1), (2, 2), (4, 3)]
+        );
+        assert_eq!(report.crashed, vec![1, 5]);
+        assert_eq!(report.board.len(), 4);
+    }
+
+    #[test]
+    fn empty_victim_list_replays_run_bulk_exactly() {
+        let g = generators::cycle(17);
+        let schedule = shuffled_schedule(17, 3);
+        let cfg = BulkConfig::default().with_batch(5);
+        let plain = run_bulk(&Oblivious::new(EchoIds), &g, &schedule, None, &cfg);
+        let faulted = run_bulk_crashed(&Oblivious::new(EchoIds), &g, &schedule, None, &cfg, &[]);
+        assert_eq!(plain.outcome, faulted.outcome);
+        assert_eq!(plain.board.to_whiteboard(), faulted.board.to_whiteboard());
+        assert_eq!(plain.crashed, faulted.crashed);
+        assert!(faulted.crashed.is_empty());
+    }
+
+    #[test]
+    fn victim_lists_are_validated() {
+        let g = generators::path(3);
+        let p = Oblivious::new(EchoIds);
+        let cfg = BulkConfig::default();
+        let sched = identity_schedule(3);
+        for (victims, what) in [
+            (vec![0], "zero ID"),
+            (vec![4], "out of range"),
+            (vec![2, 2], "repeated"),
+        ] {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_bulk_crashed(&p, &g, &sched, None, &cfg, &victims)
+            }));
+            assert!(r.is_err(), "{what} must be rejected");
+        }
     }
 
     #[test]

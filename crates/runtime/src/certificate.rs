@@ -25,6 +25,14 @@
 //! - protocol / model / graph metadata, and a whole-document digest so any
 //!   byte-level corruption is detectable before semantic checking starts.
 //!
+//! Under a fault plan ([`crate::fault::FaultPlan`] via
+//! [`ExploreConfig::faults`]) the walk also branches over which scheduled
+//! writes die: crash edges carry a fourth marker element, witnesses record
+//! which picks died, and the plan's spec string is recorded in a top-level
+//! `faults` field so the verifier replays the same fault schedule. A
+//! fault-free certificate (no plan, or an inert `crash:0`/`lossy:0` plan)
+//! serializes byte-identically to the pre-fault format.
+//!
 //! ## Soundness boundary
 //!
 //! Certification inherits the explorer's dedup soundness rule: configuration
@@ -48,13 +56,17 @@ use wb_math::json::Json;
 pub const FORMAT: &str = "wb-cert/v1";
 
 /// One transition of the distinct-configuration DAG: in configuration
-/// `from`, the adversary picks `writer`, yielding configuration `to`.
+/// `from`, the adversary picks `writer`, yielding configuration `to`. Under
+/// a fault plan, `crash` marks edges where the pick's write died — the
+/// message was composed and budget-checked but never reached the board.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct CertificateEdge {
     /// Source configuration hash.
     pub from: u128,
     /// The active node whose write this edge is.
     pub writer: NodeId,
+    /// Whether the write died on this edge (always `false` fault-free).
+    pub crash: bool,
     /// Resulting configuration hash.
     pub to: u128,
 }
@@ -82,6 +94,9 @@ pub struct CertificateWitness {
     pub schedule: Vec<NodeId>,
     /// Configuration hash after each pick (post-activation).
     pub trace: Vec<u128>,
+    /// Which scheduled picks' writes died, in crash order. Always empty for
+    /// fault-free runs (and then omitted from the serialized form).
+    pub died: Vec<NodeId>,
     /// `Debug` rendering of the failing outcome.
     pub outcome: String,
 }
@@ -104,9 +119,13 @@ pub struct ExplorationCertificate {
     pub family: Option<String>,
     /// Workload seed, if the graph came from a seeded family.
     pub seed: Option<u64>,
+    /// The fault plan in force, as its spec string (e.g. `"crash:1"`).
+    /// `None` for fault-free runs — including inert plans — keeping their
+    /// serialized form byte-identical to pre-fault certificates.
+    pub faults: Option<String>,
     /// Initial configuration hash (after the first activation phase).
     pub initial: u128,
-    /// All transition edges, sorted by `(from, writer, to)`.
+    /// All transition edges, sorted by `(from, writer, crash, to)`.
     pub edges: Vec<CertificateEdge>,
     /// All terminal configurations, sorted by hash.
     pub terminals: Vec<CertificateTerminal>,
@@ -149,6 +168,9 @@ impl ExplorationCertificate {
                 None => Json::Null,
             },
         );
+        if let Some(spec) = &self.faults {
+            obj.insert("faults".into(), Json::Str(spec.clone()));
+        }
         obj.insert("initial".into(), Json::Str(hex128(self.initial)));
         obj.insert(
             "edges".into(),
@@ -156,11 +178,15 @@ impl ExplorationCertificate {
                 self.edges
                     .iter()
                     .map(|e| {
-                        Json::Arr(vec![
+                        let mut arr = vec![
                             Json::Str(hex128(e.from)),
                             Json::Num(e.writer as f64),
                             Json::Str(hex128(e.to)),
-                        ])
+                        ];
+                        if e.crash {
+                            arr.push(Json::Num(1.0));
+                        }
+                        Json::Arr(arr)
                     })
                     .collect(),
             ),
@@ -195,6 +221,12 @@ impl ExplorationCertificate {
                             "trace".into(),
                             Json::Arr(w.trace.iter().map(|&h| Json::Str(hex128(h))).collect()),
                         );
+                        if self.faults.is_some() {
+                            m.insert(
+                                "died".into(),
+                                Json::Arr(w.died.iter().map(|&v| Json::Num(v as f64)).collect()),
+                            );
+                        }
                         m.insert("outcome".into(), Json::Str(w.outcome.clone()));
                         Json::Obj(m)
                     })
@@ -246,11 +278,13 @@ pub struct CertificateScenario<'a> {
 
 /// Exhaustively explore `protocol` on `g` and emit a certificate of the run.
 ///
-/// `check` judges every distinct terminal outcome, exactly as in
-/// [`crate::exhaustive::explore`]; for a certificate that *verifies*, it
-/// must be the registry oracle bound to `g` (the independent verifier
-/// re-derives verdicts from the registry by `scenario.protocol`, so any
-/// other predicate is exposed as a verdict mismatch).
+/// `check` judges every distinct terminal outcome given the crashed set of
+/// that terminal, exactly as in [`crate::exhaustive::explore_with`]; for a
+/// certificate that *verifies*, it must be the registry oracle bound to `g`
+/// (the independent verifier re-derives verdicts from the registry by
+/// `scenario.protocol`, so any other predicate is exposed as a verdict
+/// mismatch). With `config.faults` set to a non-inert plan, the walk also
+/// branches over which scheduled writes die, up to the plan's budget.
 ///
 /// Errors instead of truncating: a partial walk proves nothing, so
 /// exceeding `config.max_states` is an error, and [`DedupPolicy::Off`] is
@@ -266,7 +300,7 @@ pub fn certify<P, C>(
 where
     P: Protocol,
     P::Output: Clone + Debug,
-    C: Fn(&Outcome<P::Output>) -> bool,
+    C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool,
 {
     if config.dedup == DedupPolicy::Off {
         return Err(
@@ -283,6 +317,7 @@ where
 
     let mut walk = Walk {
         check: &check,
+        fault_budget: config.fault_budget(),
         seen: HashSet::from([initial]),
         max_states: config.max_states,
         overflow: false,
@@ -328,6 +363,7 @@ where
         graph_edges: g.edges().collect(),
         family: scenario.family.map(str::to_string),
         seed: scenario.seed,
+        faults: config.faults.filter(|p| !p.is_inert()).map(|p| p.spec()),
         initial,
         edges,
         terminals,
@@ -345,6 +381,7 @@ where
 /// failing terminals come out as witnesses.
 struct Walk<'c, O, C> {
     check: &'c C,
+    fault_budget: usize,
     seen: HashSet<u128>,
     max_states: u64,
     overflow: bool,
@@ -358,10 +395,10 @@ struct Walk<'c, O, C> {
     trace: Vec<u128>,
 }
 
-impl<O: Clone + Debug, C: Fn(&Outcome<O>) -> bool> Walk<'_, O, C> {
+impl<O: Clone + Debug, C: Fn(&Outcome<O>, &[NodeId]) -> bool> Walk<'_, O, C> {
     fn terminal<P: Protocol<Output = O>>(&mut self, engine: &Engine<'_, P>, hash: u128) {
         let run = engine.report();
-        let verdict = (self.check)(&run.outcome);
+        let verdict = (self.check)(&run.outcome, &run.crashed);
         self.terminals.push(CertificateTerminal {
             config: hash,
             verdict,
@@ -371,14 +408,51 @@ impl<O: Clone + Debug, C: Fn(&Outcome<O>) -> bool> Walk<'_, O, C> {
             self.witnesses.push(CertificateWitness {
                 schedule: self.path.clone(),
                 trace: self.trace.clone(),
+                died: run.crashed.clone(),
                 outcome: format!("{:?}", run.outcome),
             });
             self.failures.push(ScheduleFailure {
                 schedule: run.write_order,
+                died: run.crashed,
                 outcome: run.outcome.clone(),
             });
         }
         self.outcomes.push(run.outcome);
+    }
+
+    /// Record one edge and recurse into its target if unseen. The caller has
+    /// already applied the step (survive or crash) and must undo it after.
+    fn record<P: Protocol<Output = O>>(
+        &mut self,
+        engine: &mut Engine<'_, P>,
+        from: u128,
+        pick: NodeId,
+        crash: bool,
+        to: u128,
+    ) {
+        self.edges.push(CertificateEdge {
+            from,
+            writer: pick,
+            crash,
+            to,
+        });
+        if self.seen.insert(to) {
+            if self.seen.len() as u64 > self.max_states {
+                self.overflow = true;
+            } else {
+                self.path.push(pick);
+                self.trace.push(to);
+                if engine.has_active() {
+                    self.expand(engine, to);
+                } else {
+                    self.terminal(engine, to);
+                }
+                self.path.pop();
+                self.trace.pop();
+            }
+        } else {
+            self.merged += 1;
+        }
     }
 
     fn expand<P: Protocol<Output = O>>(&mut self, engine: &mut Engine<'_, P>, from: u128) {
@@ -393,29 +467,19 @@ impl<O: Clone + Debug, C: Fn(&Outcome<O>) -> bool> Walk<'_, O, C> {
             engine.step(pick);
             engine.activation_phase();
             let to = engine.canonical_fingerprint().as_u128();
-            self.edges.push(CertificateEdge {
-                from,
-                writer: pick,
-                to,
-            });
-            if self.seen.insert(to) {
-                if self.seen.len() as u64 > self.max_states {
-                    self.overflow = true;
-                } else {
-                    self.path.push(pick);
-                    self.trace.push(to);
-                    if engine.has_active() {
-                        self.expand(engine, to);
-                    } else {
-                        self.terminal(engine, to);
-                    }
-                    self.path.pop();
-                    self.trace.pop();
-                }
-            } else {
-                self.merged += 1;
-            }
+            self.record(engine, from, pick, false, to);
             engine.undo(token);
+            if self.overflow {
+                return;
+            }
+            if engine.crashed_count() < self.fault_budget {
+                let token = engine.step_token();
+                engine.step_crash(pick);
+                engine.activation_phase();
+                let to = engine.canonical_fingerprint().as_u128();
+                self.record(engine, from, pick, true, to);
+                engine.undo(token);
+            }
         }
     }
 }
@@ -438,9 +502,13 @@ mod tests {
     #[test]
     fn certified_walk_matches_explore_counts() {
         let g = generators::path(4);
-        let certified = certify(&EchoId, &g, &scenario(), &ExploreConfig::default(), |o| {
-            o.is_success()
-        })
+        let certified = certify(
+            &EchoId,
+            &g,
+            &scenario(),
+            &ExploreConfig::default(),
+            |o, _| o.is_success(),
+        )
         .unwrap();
         let explored = explore(&EchoId, &g, &ExploreConfig::default(), |o| o.is_success());
         assert_eq!(certified.report.distinct_states, explored.distinct_states);
@@ -467,7 +535,7 @@ mod tests {
             &g,
             &scenario(),
             &ExploreConfig::default(),
-            |_| false, // judge everything a failure
+            |_, _| false, // judge everything a failure
         )
         .unwrap();
         assert!(!certified.certificate.witnesses.is_empty());
@@ -491,7 +559,7 @@ mod tests {
             dedup: DedupPolicy::Off,
             ..ExploreConfig::default()
         };
-        let err = certify(&FrozenSeenCount, &g, &scenario(), &config, |_| true)
+        let err = certify(&FrozenSeenCount, &g, &scenario(), &config, |_, _| true)
             .err()
             .expect("transcript-valued runs must refuse certification");
         assert!(err.contains("DedupPolicy::Off"), "{err}");
@@ -504,7 +572,7 @@ mod tests {
             max_states: 4,
             ..ExploreConfig::default()
         };
-        let err = certify(&EchoId, &g, &scenario(), &config, |_| true)
+        let err = certify(&EchoId, &g, &scenario(), &config, |_, _| true)
             .err()
             .expect("overflow must error");
         assert!(err.contains("max_states"), "{err}");
@@ -518,7 +586,7 @@ mod tests {
             &g,
             &scenario(),
             &ExploreConfig::default(),
-            |o| o.is_success(),
+            |o, _| o.is_success(),
         )
         .unwrap();
         let line = certified.certificate.to_json_line();
@@ -527,5 +595,69 @@ mod tests {
         assert_eq!(parsed.get("format").and_then(Json::as_str), Some(FORMAT));
         // Canonical form: parse → emit is the identity on emitted lines.
         assert_eq!(parsed.to_string(), line);
+    }
+
+    #[test]
+    fn inert_fault_plan_certifies_byte_identically() {
+        use crate::fault::FaultPlan;
+        let g = generators::path(3);
+        let plain = certify(
+            &EchoId,
+            &g,
+            &scenario(),
+            &ExploreConfig::default(),
+            |o, _| o.is_success(),
+        )
+        .unwrap();
+        let config = ExploreConfig::default().with_faults(Some(FaultPlan::crash_stop(0)));
+        let inert = certify(&EchoId, &g, &scenario(), &config, |o, _| o.is_success()).unwrap();
+        assert_eq!(
+            plain.certificate.to_json_line(),
+            inert.certificate.to_json_line()
+        );
+        assert!(inert.certificate.faults.is_none());
+    }
+
+    #[test]
+    fn faulted_walk_records_crash_edges_and_died_witnesses() {
+        use crate::fault::FaultPlan;
+        let g = generators::path(3);
+        let config = ExploreConfig::default().with_faults(Some(FaultPlan::crash_stop(1)));
+        // Degraded oracle: the echoed id list must be exactly the survivors.
+        let certified = certify(&EchoId, &g, &scenario(), &config, |o, died| match o {
+            Outcome::Success(ids) => {
+                ids.len() + died.len() == 3 && ids.iter().all(|v| !died.contains(v))
+            }
+            Outcome::Deadlock { .. } => false,
+        })
+        .unwrap();
+        assert_eq!(certified.certificate.faults.as_deref(), Some("crash:1"));
+        assert!(
+            certified.certificate.edges.iter().any(|e| e.crash),
+            "a crash:1 walk must branch over dying writes"
+        );
+        // EchoId tolerates any single crash, so the degraded oracle accepts
+        // every terminal and no witnesses are emitted.
+        assert!(certified.certificate.terminals.iter().all(|t| t.verdict));
+        assert!(certified.certificate.witnesses.is_empty());
+
+        // A strict (fault-blind) oracle fails exactly the crashed terminals,
+        // and each witness names its casualties.
+        let strict = certify(&EchoId, &g, &scenario(), &config, |o, _| match o {
+            Outcome::Success(ids) => ids.len() == 3,
+            Outcome::Deadlock { .. } => false,
+        })
+        .unwrap();
+        assert!(!strict.certificate.witnesses.is_empty());
+        assert!(strict
+            .certificate
+            .witnesses
+            .iter()
+            .all(|w| w.died.len() == 1));
+        let line = strict.certificate.to_json_line();
+        assert!(line.contains("\"faults\":\"crash:1\""), "{line}");
+        assert!(line.contains("\"died\":["), "{line}");
+        // Crash edges serialize as 4-element arrays ending in 1.
+        assert!(line.contains(",1]"), "{line}");
     }
 }

@@ -56,10 +56,15 @@ impl<O> Outcome<O> {
 pub struct RunReport<O> {
     /// Success with output, or deadlock.
     pub outcome: Outcome<O>,
-    /// Writers in write order (length = number of rounds executed).
+    /// Writers in write order (length = number of rounds executed). Includes
+    /// the rounds whose write was dropped by a fault — the schedule is the
+    /// adversary's full pick sequence; [`Self::crashed`] marks the casualties.
     pub write_order: Vec<NodeId>,
     /// The final whiteboard (message-size ledger included).
     pub board: Whiteboard,
+    /// Nodes whose single write was dropped by a fault
+    /// ([`Engine::step_crash`]), in crash order. Empty for fault-free runs.
+    pub crashed: Vec<NodeId>,
 }
 
 impl<O> RunReport<O> {
@@ -189,6 +194,10 @@ enum UndoOp<N> {
     /// (asynchronous models): the popped message moves back into the freeze
     /// slot, so no message is ever cloned for the log.
     WriteRefreeze(usize),
+    /// A crashed write ([`Engine::step_crash`]): the pick went into both
+    /// `write_order` and `crashed` but never onto the board, so undo pops
+    /// both (status/frozen/node restoration ride the ops above).
+    Crash,
 }
 
 /// Checkpoint returned by [`Engine::step_token`]; hand it back to
@@ -215,6 +224,8 @@ pub struct Engine<'a, P: Protocol> {
     frozen: Vec<Option<BitVec>>,
     board: Whiteboard,
     write_order: Vec<NodeId>,
+    /// Nodes whose write was dropped by [`Self::step_crash`], in crash order.
+    crashed: Vec<NodeId>,
     /// Delta journal; only written while `tokens > 0`.
     undo: Vec<UndoOp<P::Node>>,
     /// Outstanding step tokens.
@@ -233,6 +244,7 @@ impl<'a, P: Protocol> Clone for Engine<'a, P> {
             frozen: self.frozen.clone(),
             board: self.board.clone(),
             write_order: self.write_order.clone(),
+            crashed: self.crashed.clone(),
             // A clone is a fresh branch point: it does not inherit the
             // original's outstanding savepoints.
             undo: Vec::new(),
@@ -272,6 +284,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
             frozen,
             board: Whiteboard::with_capacity(n),
             write_order: Vec::with_capacity(n),
+            crashed: Vec::new(),
             undo: Vec::new(),
             tokens: 0,
         }
@@ -324,6 +337,10 @@ impl<'a, P: Protocol> Engine<'a, P> {
                     let entry = self.board.pop().expect("journaled write has a board entry");
                     self.write_order.pop();
                     self.frozen[i] = Some(entry.msg);
+                }
+                UndoOp::Crash => {
+                    self.write_order.pop();
+                    self.crashed.pop();
                 }
             }
         }
@@ -587,6 +604,75 @@ impl<'a, P: Protocol> Engine<'a, P> {
         }
     }
 
+    /// Execute one **crashed** write: `pick` (which must be active) composes
+    /// its message exactly as in [`Self::step`] — a malformed message is a
+    /// protocol bug whether or not the write then dies — but the message is
+    /// dropped instead of reaching the board, and the node terminates
+    /// silently. No observation fan-out happens: the board is unchanged, so
+    /// no other node can distinguish "v crashed" from "v was never
+    /// scheduled" until the run ends. The pick is appended to both
+    /// [`Self::write_order`] (it consumed a schedule slot) and
+    /// [`Self::crashed`], and is journaled under an outstanding
+    /// [`StepToken`] just like a surviving write, so the exhaustive explorer
+    /// can branch over *which* writes die.
+    pub fn step_crash(&mut self, pick: NodeId) {
+        let i = pick as usize - 1;
+        assert_eq!(
+            self.status[i],
+            Status::Active,
+            "adversary crashed non-active node {pick}"
+        );
+        let recording = self.recording();
+        let msg = if self.model.is_asynchronous() {
+            self.frozen[i]
+                .take()
+                .expect("asynchronous node has no frozen message")
+        } else {
+            if recording {
+                self.undo.push(UndoOp::Node(i, self.nodes[i].clone()));
+            }
+            self.nodes[i].compose(&self.views[i])
+        };
+        assert!(
+            !msg.is_empty(),
+            "node {pick} produced the empty word; a write must change the board"
+        );
+        assert!(
+            msg.len() <= self.budget as usize,
+            "node {pick} wrote {} bits, exceeding the declared budget of {} bits",
+            msg.len(),
+            self.budget
+        );
+        if recording {
+            if self.model.is_asynchronous() {
+                // The frozen message was consumed by the crash; undo must
+                // refreeze it.
+                self.undo.push(UndoOp::Frozen(i, Some(msg)));
+            }
+            self.undo.push(UndoOp::Status(i, self.status[i]));
+        }
+        self.status[i] = Status::Terminated;
+        self.write_order.push(pick);
+        self.crashed.push(pick);
+        if recording {
+            self.undo.push(UndoOp::Crash);
+        }
+    }
+
+    /// Nodes whose write was dropped by [`Self::step_crash`], in crash
+    /// order. Empty for fault-free runs. A crashed node is exactly a node
+    /// that is terminated but absent from the board, so this set is
+    /// recoverable from the canonical configuration encoding — which is why
+    /// faulted exploration needs no encoding change.
+    pub fn crashed(&self) -> &[NodeId] {
+        &self.crashed
+    }
+
+    /// Number of crashed writes so far (the explorer's spent fault budget).
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.len()
+    }
+
     /// The observation half of [`Self::step`]: every surviving node observes
     /// the most recent board entry.
     pub(crate) fn deliver_last_entry(&mut self) {
@@ -645,6 +731,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
             outcome: self.outcome(),
             write_order: self.write_order.clone(),
             board: self.board.clone(),
+            crashed: self.crashed.clone(),
         }
     }
 
@@ -654,6 +741,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
             outcome: self.outcome(),
             write_order: self.write_order,
             board: self.board,
+            crashed: self.crashed,
         }
     }
 }
@@ -1271,5 +1359,113 @@ mod tests {
         assert!(!outcome.is_success());
         let r = std::panic::catch_unwind(|| outcome.unwrap());
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn crash_drops_the_write_and_terminates_the_node() {
+        let g = path(3);
+        let mut engine = Engine::new(&EchoId, &g);
+        engine.activation_phase();
+        engine.step_crash(2);
+        assert_eq!(engine.board().len(), 0, "a crashed write never lands");
+        assert_eq!(engine.write_order(), &[2]);
+        assert_eq!(engine.crashed(), &[2]);
+        assert_eq!(engine.crashed_count(), 1);
+        engine.step(1);
+        engine.step(3);
+        assert!(engine.is_complete());
+        let report = engine.finish();
+        assert_eq!(report.outcome, Outcome::Success(vec![1, 3]));
+        assert_eq!(report.write_order, vec![2, 1, 3]);
+        assert_eq!(report.crashed, vec![2]);
+    }
+
+    #[test]
+    fn crash_is_visible_in_the_canonical_encoding() {
+        // "2 crashed" and "2 wrote" are different configurations (board
+        // differs); "2 crashed" and "2 not yet scheduled" differ in status.
+        let g = path(3);
+        let mut crashed = Engine::new(&EchoId, &g);
+        crashed.activation_phase();
+        crashed.step_crash(2);
+        let mut wrote = Engine::new(&EchoId, &g);
+        wrote.activation_phase();
+        wrote.step(2);
+        let mut fresh = Engine::new(&EchoId, &g);
+        fresh.activation_phase();
+        assert_ne!(crashed.canonical_state(), wrote.canonical_state());
+        assert_ne!(crashed.canonical_state(), fresh.canonical_state());
+        assert_ne!(
+            crashed.canonical_fingerprint(),
+            wrote.canonical_fingerprint()
+        );
+    }
+
+    #[test]
+    fn undo_restores_a_crashed_sync_step_exactly() {
+        let g = path(4);
+        let mut engine = Engine::new(&SeenCount, &g);
+        engine.activation_phase();
+        let before = observable(&engine);
+        let token = engine.step_token();
+        engine.step_crash(3);
+        engine.activation_phase();
+        assert_ne!(before.0, engine.canonical_state());
+        engine.undo(token);
+        assert_eq!(before, observable(&engine));
+        assert_eq!(engine.crashed_count(), 0);
+        // The restored node still writes normally.
+        engine.step(3);
+        assert_eq!(engine.board().len(), 1);
+    }
+
+    #[test]
+    fn undo_refreezes_a_crashed_async_message() {
+        // FrozenSeenCount is ASYNC: the crash consumes the frozen message;
+        // undo must put it back so the node can still write.
+        let g = path(3);
+        let mut engine = Engine::new(&FrozenSeenCount, &g);
+        engine.activation_phase();
+        let before = observable(&engine);
+        let token = engine.step_token();
+        engine.step_crash(2);
+        engine.undo(token);
+        assert_eq!(before, observable(&engine));
+        engine.step(2);
+        assert_eq!(engine.board().len(), 1);
+    }
+
+    #[test]
+    fn crash_in_a_free_model_can_deadlock_downstream_waiters() {
+        // Chain node 2 activates only after one message is on the board;
+        // crashing node 1 erases that message forever.
+        let g = path(3);
+        let mut engine = Engine::new(&Chain, &g);
+        engine.activation_phase();
+        assert_eq!(engine.active_set(), vec![1]);
+        engine.step_crash(1);
+        engine.activation_phase();
+        assert!(!engine.has_active(), "node 2 never sees a message");
+        let report = engine.finish();
+        assert_eq!(report.outcome, Outcome::Deadlock { awake: vec![2, 3] });
+        assert_eq!(report.crashed, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed non-active node")]
+    fn crashing_a_non_active_node_panics() {
+        let g = path(3);
+        let mut engine = Engine::new(&Chain, &g);
+        engine.activation_phase();
+        engine.step_crash(3); // only node 1 is active
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding the declared budget")]
+    fn crashed_writes_still_enforce_the_budget() {
+        let g = path(2);
+        let mut engine = Engine::new(&BudgetBuster, &g);
+        engine.activation_phase();
+        engine.step_crash(1);
     }
 }

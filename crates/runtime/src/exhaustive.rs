@@ -66,6 +66,7 @@
 //! to `n = 5` under all four models.
 
 use crate::engine::{Engine, Outcome, RunReport};
+use crate::fault::FaultPlan;
 use crate::protocol::Protocol;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use wb_graph::{Graph, NodeId};
@@ -107,6 +108,13 @@ pub struct ExploreConfig {
     pub max_frontier: usize,
     /// State-merging policy.
     pub dedup: DedupPolicy,
+    /// Fault plan to quantify over: at every pick with remaining budget the
+    /// explorer additionally branches into "this write dies"
+    /// ([`Engine::step_crash`]), so the walk covers every choice of which
+    /// ≤ `f` writes are lost on top of every write order. `None` — and any
+    /// [`FaultPlan::is_inert`] plan — explores exactly the fault-free space,
+    /// byte-identical to a build without this field.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ExploreConfig {
@@ -115,6 +123,7 @@ impl Default for ExploreConfig {
             max_states: 1 << 20,
             max_frontier: 1 << 16,
             dedup: DedupPolicy::Canonical,
+            faults: None,
         }
     }
 }
@@ -147,6 +156,18 @@ impl ExploreConfig {
     pub fn without_dedup(self) -> Self {
         self.with_dedup(DedupPolicy::Off)
     }
+
+    /// Quantify over a fault plan (see [`ExploreConfig::faults`]).
+    pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The effective fault budget: 0 when no plan is set or the plan is
+    /// inert — exactly the condition for taking the fault-free fast path.
+    pub fn fault_budget(&self) -> usize {
+        self.faults.map(|p| p.budget()).unwrap_or(0)
+    }
 }
 
 /// A terminal configuration that violated the caller's predicate, with the
@@ -154,8 +175,13 @@ impl ExploreConfig {
 #[derive(Clone, Debug)]
 pub struct ScheduleFailure<O> {
     /// The adversary's picks, in order — feed to
-    /// [`crate::adversary::ScheduleAdversary`] to replay the run.
+    /// [`crate::adversary::ScheduleAdversary`] to replay the run (crashed
+    /// picks included; [`Self::died`] marks which of them to replay via
+    /// [`Engine::step_crash`]).
     pub schedule: Vec<NodeId>,
+    /// Picks whose write was dropped by the fault plan, in crash order.
+    /// Empty for fault-free explorations.
+    pub died: Vec<NodeId>,
     /// What the run ended in.
     pub outcome: Outcome<O>,
 }
@@ -434,10 +460,83 @@ where
     }
 }
 
+/// Expand one configuration under a fault budget `f > 0`: every active pick
+/// branches into its surviving write *and* (budget permitting) its crashed
+/// write ([`Engine::step_crash`]). Same savepoint/probe/undo discipline as
+/// [`expand_into`]; survivors are always cloned (no keep-the-engine
+/// optimization — each pick has up to two children, so the parent is never
+/// known-spent before the loop ends).
+fn expand_into_faulted<'a, P, S, V>(
+    mut engine: Engine<'a, P>,
+    f: usize,
+    seen: &S,
+    progress: &Progress,
+    visit: &mut V,
+) where
+    P: Protocol,
+    S: SeenProbe,
+    V: FnMut(Child<'a, P>),
+{
+    let simultaneous = engine.is_simultaneous();
+    let can_crash = engine.crashed_count() < f;
+    for pick in 1..=engine.node_count() as NodeId {
+        if !engine.is_active(pick) {
+            continue;
+        }
+        if progress.stopped() {
+            break;
+        }
+        // Branch 1: the write survives.
+        let token = engine.step_token();
+        if simultaneous {
+            engine.step_unobserved(pick);
+            if progress.record(seen.probe(&engine)) {
+                if !engine.has_active() {
+                    visit(Child::Leaf(engine.report()));
+                } else {
+                    engine.deliver_last_entry();
+                    visit(Child::Interior(engine.clone()));
+                }
+            }
+        } else {
+            engine.step(pick);
+            engine.activation_phase();
+            if progress.record(seen.probe(&engine)) {
+                if !engine.has_active() {
+                    visit(Child::Leaf(engine.report()));
+                } else {
+                    visit(Child::Interior(engine.clone()));
+                }
+            }
+        }
+        engine.undo(token);
+        // Branch 2: the write dies (no board entry, so no delivery; the
+        // activation phase is a no-op under simultaneous models).
+        if can_crash && !progress.stopped() {
+            let token = engine.step_token();
+            engine.step_crash(pick);
+            engine.activation_phase();
+            if progress.record(seen.probe(&engine)) {
+                if !engine.has_active() {
+                    visit(Child::Leaf(engine.report()));
+                } else {
+                    visit(Child::Interior(engine.clone()));
+                }
+            }
+            engine.undo(token);
+        }
+    }
+}
+
 /// Walk the schedule space of `protocol` on `g` sequentially, applying
 /// `check` to every distinct terminal outcome. Failing terminals are
 /// recorded with their witness schedule; nothing panics (cf.
 /// [`assert_explored`]).
+///
+/// The fault-free form of [`explore_with`]: `check` sees outcomes only.
+/// `config.faults` is still honored — deadlocks or degraded outputs a fault
+/// plan introduces reach `check` like any other outcome, just without the
+/// casualty list.
 pub fn explore<P, C>(
     protocol: &P,
     g: &Graph,
@@ -449,7 +548,26 @@ where
     P::Output: Clone,
     C: Fn(&Outcome<P::Output>) -> bool,
 {
+    explore_with(protocol, g, config, move |outcome, _died| check(outcome))
+}
+
+/// Like [`explore`], but `check` is fault-aware: it receives each terminal
+/// outcome **and** the list of nodes whose write died on the way there
+/// (empty for fault-free runs), so registry oracles can judge what remains
+/// computable under `f` crashes.
+pub fn explore_with<P, C>(
+    protocol: &P,
+    g: &Graph,
+    config: &ExploreConfig,
+    check: C,
+) -> ExplorationReport<P::Output>
+where
+    P: Protocol,
+    P::Output: Clone,
+    C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool,
+{
     let seen = LocalSeen::new(config.dedup);
+    let f = config.fault_budget();
     explore_impl(
         protocol,
         g,
@@ -462,7 +580,7 @@ where
             let mut next: Vec<Engine<P>> = Vec::new();
             let mut overflow = false;
             for engine in frontier {
-                expand_into(engine, seen, progress, &mut |child| match child {
+                let mut visit = |child| match child {
                     Child::Leaf(run) => check_leaf(report, run),
                     Child::Interior(e) => {
                         if next.len() >= max_frontier {
@@ -471,7 +589,12 @@ where
                             next.push(e);
                         }
                     }
-                });
+                };
+                if f == 0 {
+                    expand_into(engine, seen, progress, &mut visit);
+                } else {
+                    expand_into_faulted(engine, f, seen, progress, &mut visit);
+                }
                 if overflow {
                     report.truncated = true;
                     break;
@@ -500,7 +623,24 @@ where
     P::Output: Clone + Send,
     C: Fn(&Outcome<P::Output>) -> bool,
 {
+    explore_parallel_with(protocol, g, config, move |outcome, _died| check(outcome))
+}
+
+/// The fault-aware form of [`explore_parallel`] (see [`explore_with`]).
+pub fn explore_parallel_with<P, C>(
+    protocol: &P,
+    g: &Graph,
+    config: &ExploreConfig,
+    check: C,
+) -> ExplorationReport<P::Output>
+where
+    P: Protocol + Sync,
+    P::Node: Send + Sync,
+    P::Output: Clone + Send,
+    C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool,
+{
     let seen = SharedSeen::new(config.dedup, 4 * wb_par::num_threads());
+    let f = config.fault_budget();
     explore_impl(
         protocol,
         g,
@@ -513,10 +653,15 @@ where
                     leaves: Vec::new(),
                     interior: Vec::new(),
                 };
-                expand_into(e, seen, progress, &mut |child| match child {
+                let mut visit = |child| match child {
                     Child::Leaf(run) => exp.leaves.push(run),
                     Child::Interior(engine) => exp.interior.push(engine),
-                });
+                };
+                if f == 0 {
+                    expand_into(e, seen, progress, &mut visit);
+                } else {
+                    expand_into_faulted(e, f, seen, progress, &mut visit);
+                }
                 exp
             });
             let mut next: Vec<Engine<P>> = Vec::new();
@@ -548,7 +693,7 @@ fn explore_impl<'a, P, C, S, F>(
 where
     P: Protocol,
     P::Output: Clone,
-    C: Fn(&Outcome<P::Output>) -> bool,
+    C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool,
     S: SeenProbe,
     F: for<'s> Fn(
         Vec<Engine<'a, P>>,
@@ -571,9 +716,10 @@ where
     };
     let check_leaf = |report: &mut ExplorationReport<P::Output>, run: RunReport<P::Output>| {
         report.terminals += 1;
-        if !check(&run.outcome) {
+        if !check(&run.outcome, &run.crashed) {
             report.failures.push(ScheduleFailure {
                 schedule: run.write_order,
+                died: run.crashed,
                 outcome: run.outcome.clone(),
             });
         }
@@ -1192,5 +1338,95 @@ mod tests {
         });
         let order = found.expect("non-identity orders exist");
         assert_ne!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn inert_fault_plan_explores_identically() {
+        use crate::fault::FaultPlan;
+        let g = generators::path(4);
+        let plain = explore(&EchoId, &g, &ExploreConfig::default(), |o| o.is_success());
+        for plan in [
+            None,
+            Some(FaultPlan::crash_stop(0)),
+            Some(FaultPlan::lossy(0)),
+        ] {
+            let config = ExploreConfig::default().with_faults(plan);
+            let faulted = explore(&EchoId, &g, &config, |o| o.is_success());
+            assert_eq!(plain.distinct_states, faulted.distinct_states);
+            assert_eq!(plain.terminals, faulted.terminals);
+            assert_eq!(plain.merged, faulted.merged);
+            assert_eq!(outcome_multiset(&plain), outcome_multiset(&faulted));
+        }
+    }
+
+    #[test]
+    fn crash_branching_reaches_degraded_terminals() {
+        use crate::fault::FaultPlan;
+        let g = generators::path(3);
+        let config = ExploreConfig::default().with_faults(Some(FaultPlan::crash_stop(1)));
+        // Degraded check: the echoed list is exactly the survivors.
+        let report = explore_with(&EchoId, &g, &config, |o, died| match o {
+            Outcome::Success(ids) => {
+                ids.len() + died.len() == 3 && ids.iter().all(|v| !died.contains(v))
+            }
+            Outcome::Deadlock { .. } => false,
+        });
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        // Terminals now include every ≤1-crash variant: full runs plus one
+        // two-survivor terminal per victim choice.
+        let outcomes = explorer_outcome_set(&report);
+        assert!(outcomes.contains(&Outcome::Success(vec![1, 2, 3])));
+        assert!(outcomes.contains(&Outcome::Success(vec![1, 3])));
+        let plain = explore(&EchoId, &g, &ExploreConfig::default(), |o| o.is_success());
+        assert!(report.distinct_states > plain.distinct_states);
+        // A fault-blind check records the crashed terminals as failures, and
+        // each failure names its casualty.
+        let strict = explore_with(&EchoId, &g, &config, |o, _| match o {
+            Outcome::Success(ids) => ids.len() == 3,
+            Outcome::Deadlock { .. } => false,
+        });
+        assert!(!strict.failures.is_empty());
+        for fail in &strict.failures {
+            assert_eq!(fail.died.len(), 1, "{fail:?}");
+            assert!(fail.schedule.contains(&fail.died[0]));
+        }
+    }
+
+    #[test]
+    fn faulted_parallel_walk_matches_sequential() {
+        use crate::fault::FaultPlan;
+        for plan in [FaultPlan::crash_stop(1), FaultPlan::lossy(2)] {
+            let g = generators::cycle(4);
+            let config = ExploreConfig::default().with_faults(Some(plan));
+            let check = |o: &Outcome<Vec<NodeId>>, died: &[NodeId]| match o {
+                Outcome::Success(ids) => ids.len() + died.len() == 4,
+                Outcome::Deadlock { .. } => false,
+            };
+            let seq = explore_with(&EchoId, &g, &config, check);
+            let par = explore_parallel_with(&EchoId, &g, &config, check);
+            assert_eq!(seq.distinct_states, par.distinct_states);
+            assert_eq!(seq.terminals, par.terminals);
+            assert_eq!(seq.merged, par.merged);
+            assert_eq!(outcome_multiset(&seq), outcome_multiset(&par));
+        }
+    }
+
+    #[test]
+    fn crash_induced_deadlocks_surface_in_free_models() {
+        use crate::fault::FaultPlan;
+        // Chain: node v waits for v-1's write. Crashing node 1 still
+        // activates node 2 (the write happened, board content didn't), but
+        // crashing under EagerChain-style dependencies can strand waiters
+        // when activation reads the *board*. NeverActivate deadlocks even
+        // fault-free; here we check the faulted walk classifies deadlocks
+        // through the fault-aware check.
+        let g = generators::path(2);
+        let config = ExploreConfig::default().with_faults(Some(FaultPlan::crash_stop(1)));
+        let report = explore_with(&NeverActivate, &g, &config, |o, _| o.is_success());
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, Outcome::Deadlock { .. })));
+        assert!(!report.failures.is_empty());
     }
 }

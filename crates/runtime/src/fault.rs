@@ -1,0 +1,204 @@
+//! First-class fault models for the whiteboard machine.
+//!
+//! The paper's one-write-per-node rule makes the system maximally fragile:
+//! a node's single write is its entire lifetime of communication, so losing
+//! one message is losing one node. A [`FaultPlan`] makes that loss a
+//! first-class part of the model lattice instead of an ad-hoc campaign
+//! trick. Two fault kinds are distinguished by *who chooses the victims and
+//! when*:
+//!
+//! - **crash-stop** ([`FaultKind::CrashStop`]): up to `f` nodes crash. A
+//!   crashed node composes its message (a malformed message is a protocol
+//!   bug whether or not it then dies) but the write never reaches the
+//!   board; the node terminates silently. The victim set is chosen per
+//!   execution — sampled up front in the campaign tier, masked columnar in
+//!   the bulk tier.
+//! - **lossy-board** ([`FaultKind::Lossy`]): an adversary may suppress up
+//!   to `f` writes, choosing *adaptively* — each suppression decision may
+//!   depend on everything written so far. Because the bulk tier replays a
+//!   fixed schedule with no mid-run adversary, lossy plans are step/campaign
+//!   only.
+//!
+//! In the exhaustive tier the two collapse: the explorer quantifies over
+//! **every** choice of which ≤ `f` scheduled writes die, which covers both
+//! the committed-in-advance victim sets of crash-stop and the adaptive
+//! suppressions of lossy-board (in a write-once system, a node's externally
+//! visible behavior *is* its single write, so "the node crashed" and "the
+//! board lost its write" reach the same configurations). The distinction
+//! matters again in the sampling tiers, where the fault decisions are drawn
+//! rather than quantified.
+//!
+//! A plan with budget 0 is inert: every execution tier treats it exactly
+//! like no plan at all, and the differential suite pins the byte-identity
+//! of the resulting reports.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which fault semantics a [`FaultPlan`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Up to `f` nodes crash: each victim's single write is dropped after
+    /// compose and the node terminates silently. Victims are committed per
+    /// execution (sampled or masked), not mid-run.
+    CrashStop,
+    /// An adaptive adversary may suppress up to `f` writes, deciding write
+    /// by write with full view of the board.
+    Lossy,
+}
+
+impl FaultKind {
+    /// The spec keyword (`crash` / `lossy`).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            FaultKind::CrashStop => "crash",
+            FaultKind::Lossy => "lossy",
+        }
+    }
+}
+
+/// A fault injection plan: a [`FaultKind`] plus the budget `f` of writes
+/// that may die. Composes with all four models and every execution tier;
+/// parsed from and rendered as `crash:f` / `lossy:f` (the CLI's `--faults`
+/// syntax and the `faults` field of `wb-cert/v1` certificates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    kind: FaultKind,
+    budget: usize,
+}
+
+impl FaultPlan {
+    /// A crash-stop plan with at most `f` victims.
+    pub fn crash_stop(f: usize) -> Self {
+        FaultPlan {
+            kind: FaultKind::CrashStop,
+            budget: f,
+        }
+    }
+
+    /// A lossy-board plan suppressing at most `f` writes.
+    pub fn lossy(f: usize) -> Self {
+        FaultPlan {
+            kind: FaultKind::Lossy,
+            budget: f,
+        }
+    }
+
+    /// The fault semantics.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// Maximum number of writes that may die.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Whether the plan can never drop a write (`f = 0`). Every tier treats
+    /// an inert plan exactly like no plan: reports, certificates, and JSON
+    /// output are byte-identical (the differential suite pins this).
+    pub fn is_inert(&self) -> bool {
+        self.budget == 0
+    }
+
+    /// The canonical spec string (`crash:2`, `lossy:1`) — inverse of
+    /// [`FromStr`].
+    pub fn spec(&self) -> String {
+        format!("{}:{}", self.kind.keyword(), self.budget)
+    }
+
+    /// Deterministically sample the victim set for one single-run execution
+    /// (the bulk tier's columnar mask): the *full* budget — `min(f, n)`
+    /// distinct nodes — drawn by a seeded partial Fisher–Yates, in ID
+    /// order. Crash-stop only; callers refuse lossy plans before getting
+    /// here (the lossy adversary decides write by write mid-run, which a
+    /// fixed up-front victim set cannot express).
+    pub fn sample_victims(&self, n: usize, seed: u64) -> Result<Vec<wb_graph::NodeId>, String> {
+        use rand::{Rng, SeedableRng};
+        if self.kind == FaultKind::Lossy {
+            return Err(
+                "lossy plans have no up-front victim set (the suppression adversary is \
+                 adaptive); use a crash plan or the step tier"
+                    .into(),
+            );
+        }
+        let k = self.budget.min(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut ids: Vec<wb_graph::NodeId> = (1..=n as wb_graph::NodeId).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            ids.swap(i, j);
+        }
+        ids.truncate(k);
+        ids.sort_unstable();
+        Ok(ids)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.kind.keyword(), self.budget)
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (kind, count) = s
+            .split_once(':')
+            .ok_or_else(|| format!("fault plan '{s}' is not of the form crash:<f> or lossy:<f>"))?;
+        let budget: usize = count
+            .parse()
+            .map_err(|_| format!("fault budget '{count}' is not a non-negative integer"))?;
+        match kind {
+            "crash" => Ok(FaultPlan::crash_stop(budget)),
+            "lossy" => Ok(FaultPlan::lossy(budget)),
+            other => Err(format!(
+                "unknown fault kind '{other}' (expected crash:<f> or lossy:<f>)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip() {
+        for spec in ["crash:0", "crash:1", "crash:7", "lossy:0", "lossy:3"] {
+            let plan: FaultPlan = spec.parse().unwrap();
+            assert_eq!(plan.spec(), spec);
+            assert_eq!(plan.to_string(), spec);
+        }
+        assert_eq!(
+            "crash:2".parse::<FaultPlan>().unwrap(),
+            FaultPlan::crash_stop(2)
+        );
+        assert_eq!("lossy:1".parse::<FaultPlan>().unwrap(), FaultPlan::lossy(1));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_diagnosis() {
+        for (spec, needle) in [
+            ("crash", "not of the form"),
+            ("crash:", "not a non-negative integer"),
+            ("crash:-1", "not a non-negative integer"),
+            ("crash:two", "not a non-negative integer"),
+            ("melt:1", "unknown fault kind 'melt'"),
+        ] {
+            let err = spec.parse::<FaultPlan>().unwrap_err();
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_plans_are_inert() {
+        assert!(FaultPlan::crash_stop(0).is_inert());
+        assert!(FaultPlan::lossy(0).is_inert());
+        assert!(!FaultPlan::crash_stop(1).is_inert());
+        assert_eq!(FaultPlan::crash_stop(1).budget(), 1);
+        assert_eq!(FaultPlan::lossy(4).kind(), FaultKind::Lossy);
+    }
+}

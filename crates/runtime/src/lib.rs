@@ -25,6 +25,9 @@
 //!   choice sequence (the paper's ∀-adversary quantifier, made executable for
 //!   small instances) — a state-deduplicating worklist explorer plus the
 //!   naive factorial DFS it is cross-checked against;
+//! - [`fault`] — first-class fault plans (`crash:f` / `lossy:f`): crash-stop
+//!   writers and lossy boards that compose with all four models and every
+//!   execution tier (see `docs/FAULTS.md`);
 //! - [`adapt`] — the Lemma 4 inclusions as executable wrappers: any protocol of
 //!   a weaker model runs unchanged (same outputs) in every stronger model;
 //! - [`certificate`] — machine-checkable exploration certificates: a
@@ -45,17 +48,18 @@ pub mod bulk;
 pub mod certificate;
 pub mod engine;
 pub mod exhaustive;
+pub mod fault;
 pub mod model;
 pub mod protocol;
 
 pub use adversary::{
-    Adversary, FnAdversary, LenientScheduleAdversary, MaxIdAdversary, MinIdAdversary,
-    PriorityAdversary, RandomAdversary, ScheduleAdversary,
+    Adversary, CrashyAdversary, FnAdversary, LenientScheduleAdversary, MaxIdAdversary,
+    MinIdAdversary, PriorityAdversary, RandomAdversary, ScheduleAdversary,
 };
 pub use board::{Entry, Whiteboard};
 pub use bulk::{
-    identity_schedule, run_bulk, shuffled_schedule, BulkBoard, BulkConfig, BulkProtocol,
-    BulkReport, Oblivious,
+    identity_schedule, run_bulk, run_bulk_crashed, shuffled_schedule, BulkBoard, BulkConfig,
+    BulkProtocol, BulkReport, Oblivious,
 };
 pub use certificate::{
     certify, CertificateEdge, CertificateScenario, CertificateTerminal, CertificateWitness,
@@ -63,8 +67,9 @@ pub use certificate::{
 };
 pub use engine::{run, run_traced, CanonicalState, Engine, Outcome, RunReport, TraceRow};
 pub use exhaustive::{
-    assert_explored, explore, explore_parallel, DedupPolicy, ExplorationReport, ExploreConfig,
-    NaiveReport, ScheduleFailure,
+    assert_explored, explore, explore_parallel, explore_parallel_with, explore_with, DedupPolicy,
+    ExplorationReport, ExploreConfig, NaiveReport, ScheduleFailure,
 };
+pub use fault::{FaultKind, FaultPlan};
 pub use model::Model;
 pub use protocol::{LocalView, Node, Protocol};

@@ -161,7 +161,7 @@ impl Client {
                 )));
             };
             match event {
-                "done" | "failed" | "cancelled" => return Ok(doc),
+                "done" | "failed" | "cancelled" | "deadline_exceeded" => return Ok(doc),
                 _ => continue,
             }
         }
@@ -187,6 +187,14 @@ impl Client {
             Some("cancelled") => Err(ClientError::Server(ServerError {
                 code: "job_failed".into(),
                 message: format!("job {id} was cancelled"),
+            })),
+            Some("deadline_exceeded") => Err(ClientError::Server(ServerError {
+                code: "deadline_exceeded".into(),
+                message: event
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("deadline exceeded")
+                    .to_string(),
             })),
             _ => Err(ClientError::Server(ServerError {
                 code: "job_failed".into(),

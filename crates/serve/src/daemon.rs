@@ -22,7 +22,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::jobs::{run_job, JobReport, JobSpec};
 use crate::wire::{self, ErrorCode, Request, WireError};
@@ -59,6 +59,9 @@ enum JobState {
     Done(JobReport),
     Failed(String),
     Cancelled,
+    /// The job's wall-clock deadline passed before it produced a report;
+    /// carries the structured `deadline_exceeded` error message.
+    DeadlineExceeded(String),
 }
 
 impl JobState {
@@ -69,13 +72,17 @@ impl JobState {
             JobState::Done(_) => "done",
             JobState::Failed(_) => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::DeadlineExceeded(_) => "deadline_exceeded",
         }
     }
 
     fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobState::Done(_) | JobState::Failed(_) | JobState::Cancelled
+            JobState::Done(_)
+                | JobState::Failed(_)
+                | JobState::Cancelled
+                | JobState::DeadlineExceeded(_)
         )
     }
 }
@@ -85,6 +92,17 @@ struct JobRecord {
     state: JobState,
     /// Set by `cancel` while the job runs; the worker discards the result.
     cancel_requested: bool,
+    /// Absolute expiry derived from the spec's `deadline_ms` at submission.
+    deadline: Option<Instant>,
+}
+
+/// The structured error message for a blown deadline. `phase` locates where
+/// in the job's lifecycle the wall clock ran out.
+fn deadline_error(spec: &JobSpec, phase: &str) -> String {
+    format!(
+        "deadline of {}ms exceeded {phase}",
+        spec.deadline_ms.unwrap_or(0)
+    )
 }
 
 /// All mutable daemon state, guarded by one mutex + condvar pair. The
@@ -125,6 +143,27 @@ impl Shared {
     fn drained(&self) -> bool {
         let reg = self.lock();
         reg.draining && reg.jobs.values().all(|r| r.state.is_terminal())
+    }
+
+    /// Expire every *queued* job whose deadline has passed. Running jobs are
+    /// the workers' responsibility (checked before and after the run); this
+    /// sweep keeps `wait` streams honest while all workers are busy.
+    fn expire_due(&self) {
+        let mut expired = false;
+        {
+            let mut reg = self.lock();
+            let now = Instant::now();
+            for rec in reg.jobs.values_mut() {
+                if matches!(rec.state, JobState::Queued) && rec.deadline.is_some_and(|d| now >= d) {
+                    rec.state =
+                        JobState::DeadlineExceeded(deadline_error(&rec.spec, "while queued"));
+                    expired = true;
+                }
+            }
+        }
+        if expired {
+            self.changed.notify_all();
+        }
     }
 }
 
@@ -213,6 +252,7 @@ impl Daemon {
                     }
                     Err(e) => eprintln!("[serve] accept error: {e}"),
                 }
+                shared.expire_due();
                 if shared.drained() {
                     // Everything accepted has finished; tell handlers and
                     // workers to exit, then stop accepting.
@@ -240,8 +280,16 @@ fn worker_loop(worker: usize, shared: &Shared) {
         let spec = {
             let mut reg = shared.lock();
             match reg.jobs.get_mut(&id) {
-                // Cancelled while queued: skip without running.
-                Some(rec) if matches!(rec.state, JobState::Cancelled) => continue,
+                // Cancelled (or already expired) while queued: skip.
+                Some(rec) if rec.state.is_terminal() => continue,
+                // The deadline ran out while the job sat in the queue.
+                Some(rec) if rec.deadline.is_some_and(|d| Instant::now() >= d) => {
+                    rec.state =
+                        JobState::DeadlineExceeded(deadline_error(&rec.spec, "while queued"));
+                    drop(reg);
+                    shared.changed.notify_all();
+                    continue;
+                }
                 Some(rec) => {
                     rec.state = JobState::Running;
                     rec.spec.clone()
@@ -258,14 +306,24 @@ fn worker_loop(worker: usize, shared: &Shared) {
             spec.n
         );
         let result = run_job(&spec);
-        let cancelled = {
+        let (cancelled, expired) = {
             let reg = shared.lock();
-            reg.jobs.get(&id).is_some_and(|r| r.cancel_requested)
+            match reg.jobs.get(&id) {
+                Some(r) => (
+                    r.cancel_requested,
+                    r.deadline.is_some_and(|d| Instant::now() >= d),
+                ),
+                None => (false, false),
+            }
         };
         let state = if cancelled {
             // Best-effort running cancellation: the work already happened,
             // but the result is discarded and the job records as cancelled.
             JobState::Cancelled
+        } else if expired {
+            // The run outlasted the deadline; the report is discarded, the
+            // job records the structured deadline error.
+            JobState::DeadlineExceeded(deadline_error(&spec, "while running; result discarded"))
         } else {
             match result {
                 Ok(report) => JobState::Done(report),
@@ -375,12 +433,16 @@ fn submit(shared: &Shared, spec: JobSpec) -> String {
     match shared.queue.push(id) {
         Ok(()) => {
             reg.next_id += 1;
+            let deadline = spec
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
             reg.jobs.insert(
                 id,
                 JobRecord {
                     spec,
                     state: JobState::Queued,
                     cancel_requested: false,
+                    deadline,
                 },
             );
             drop(reg);
@@ -419,6 +481,10 @@ fn job_fields(id: u64, rec: &JobRecord) -> Vec<(&'static str, Json)> {
             fields.push(("report", report.json.clone()));
         }
         JobState::Failed(e) => fields.push(("error", Json::Str(e.clone()))),
+        JobState::DeadlineExceeded(e) => {
+            fields.push(("code", Json::Str("deadline_exceeded".into())));
+            fields.push(("error", Json::Str(e.clone())));
+        }
         _ => {}
     }
     fields

@@ -19,10 +19,10 @@ use wb_bench::json::Json;
 use wb_core::registry::{self, BoundOracle, BulkVisitor, ProtocolVisitor};
 use wb_graph::Graph;
 use wb_runtime::adapt::Promote;
-use wb_runtime::bulk::{run_bulk, shuffled_schedule, BulkConfig, BulkProtocol};
-use wb_runtime::exhaustive::{explore, explore_parallel, ExploreConfig};
-use wb_runtime::{DedupPolicy, Model, Outcome, Protocol};
-use wb_sim::{run_campaign, CampaignConfig, CampaignLabels, SamplerKind};
+use wb_runtime::bulk::{run_bulk, run_bulk_crashed, shuffled_schedule, BulkConfig, BulkProtocol};
+use wb_runtime::exhaustive::{explore_parallel_with, explore_with, ExploreConfig};
+use wb_runtime::{DedupPolicy, FaultPlan, Model, Outcome, Protocol};
+use wb_sim::{run_campaign_with, CampaignConfig, CampaignLabels, SamplerKind};
 
 /// Which execution tier a job runs on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,6 +87,14 @@ pub struct JobSpec {
     pub par: bool,
     /// Explore: also run the dedup-off walk and report the savings.
     pub compare_naive: bool,
+    /// Fault-plan spec (`crash:f` / `lossy:f`; the CLI's `--faults`).
+    /// `None` — and a plan with budget 0 — keep every report byte-identical
+    /// to the fault-free schema.
+    pub faults: Option<String>,
+    /// Wall-clock deadline, in milliseconds from submission. A job still
+    /// queued (or whose run outlasts the deadline) is cancelled with the
+    /// structured `deadline_exceeded` error. `None` = no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -113,6 +121,8 @@ impl JobSpec {
             dedup: "canonical".into(),
             par: false,
             compare_naive: false,
+            faults: None,
+            deadline_ms: None,
         }
     }
 }
@@ -165,6 +175,19 @@ pub fn parse_bulk_model(spec: &str) -> Result<Option<Model>, String> {
     }
 }
 
+/// Parse a `--faults` spec into a plan that actually drops writes: `None`
+/// in, or an inert plan (`crash:0` / `lossy:0`), comes out as `None`, so
+/// every downstream report stays byte-identical to the fault-free path.
+pub fn parse_faults(spec: Option<&str>) -> Result<Option<FaultPlan>, String> {
+    match spec {
+        None => Ok(None),
+        Some(s) => {
+            let plan: FaultPlan = s.parse()?;
+            Ok(Some(plan).filter(|p| !p.is_inert()))
+        }
+    }
+}
+
 /// Parse a `--dedup` policy name.
 pub fn parse_dedup(spec: &str) -> Result<DedupPolicy, String> {
     Ok(match spec {
@@ -201,14 +224,17 @@ fn make_workload(spec: &JobSpec) -> Result<Graph, String> {
 
 fn run_explore(spec: &JobSpec) -> Result<JobReport, String> {
     let g = make_workload(spec)?;
+    let faults = parse_faults(spec.faults.as_deref())?;
     let config = ExploreConfig::default()
         .with_max_states(spec.max_states)
-        .with_dedup(parse_dedup(&spec.dedup)?);
+        .with_dedup(parse_dedup(&spec.dedup)?)
+        .with_faults(faults);
 
     struct ExploreJob<'a> {
         spec: &'a JobSpec,
         g: &'a Graph,
         config: ExploreConfig,
+        faults: Option<FaultPlan>,
     }
 
     impl ProtocolVisitor for ExploreJob<'_> {
@@ -222,11 +248,11 @@ fn run_explore(spec: &JobSpec) -> Result<JobReport, String> {
         {
             let (spec, g) = (self.spec, self.g);
             let oracle = bind(g);
-            let pred = |out: &Outcome<P::Output>| oracle(out);
+            let pred = |out: &Outcome<P::Output>, died: &[wb_graph::NodeId]| oracle(out, died);
             let report = if spec.par {
-                explore_parallel(&protocol, g, &self.config, &pred)
+                explore_parallel_with(&protocol, g, &self.config, &pred)
             } else {
-                explore(&protocol, g, &self.config, &pred)
+                explore_with(&protocol, g, &self.config, &pred)
             };
             let verdict = if !report.failures.is_empty() {
                 "FAIL"
@@ -258,11 +284,15 @@ fn run_explore(spec: &JobSpec) -> Result<JobReport, String> {
             );
             obj.insert("truncated".into(), Json::Bool(report.truncated));
             obj.insert("failures".into(), Json::Num(report.failures.len() as f64));
+            if let Some(plan) = &self.faults {
+                obj.insert("faults".into(), Json::Str(plan.spec()));
+            }
             if spec.compare_naive {
                 let off = ExploreConfig::default()
                     .without_dedup()
-                    .with_max_states(spec.max_states);
-                let naive = explore(&protocol, g, &off, &pred);
+                    .with_max_states(spec.max_states)
+                    .with_faults(self.faults);
+                let naive = explore_with(&protocol, g, &off, &pred);
                 obj.insert(
                     "naive_states".into(),
                     Json::Num(naive.distinct_states as f64),
@@ -292,6 +322,7 @@ fn run_explore(spec: &JobSpec) -> Result<JobReport, String> {
             spec,
             g: &g,
             config,
+            faults,
         },
     )
 }
@@ -310,13 +341,14 @@ fn run_campaign_job(spec: &JobSpec) -> Result<JobReport, String> {
     where
         P: Protocol + Sync,
         P::Output: std::fmt::Debug,
-        C: Fn(&Outcome<P::Output>) -> bool + Sync,
+        C: Fn(&Outcome<P::Output>, &[wb_graph::NodeId]) -> bool + Sync,
     {
         let sampler = SamplerKind::parse(&spec.sampler)?;
         let mut config = CampaignConfig::default()
             .with_trials(spec.trials)
             .with_seed(spec.seed)
-            .with_sampler(sampler);
+            .with_sampler(sampler)
+            .with_faults(parse_faults(spec.faults.as_deref())?);
         if let Some(batch) = spec.batch {
             config = config.with_batch(batch);
         }
@@ -325,7 +357,7 @@ fn run_campaign_job(spec: &JobSpec) -> Result<JobReport, String> {
             model: p.model().to_string(),
             family: spec.workload.clone(),
         };
-        let report = run_campaign(p, g, &config, &labels, &pred);
+        let report = run_campaign_with(p, g, &config, &labels, &pred);
         Ok(JobReport {
             verdict: report.verdict().into(),
             json: report.to_json(),
@@ -343,6 +375,7 @@ fn run_campaign_job(spec: &JobSpec) -> Result<JobReport, String> {
         {
             let (spec, g) = (self.spec, self.g);
             let oracle = bind(g);
+            let pred = |out: &Outcome<P::Output>, died: &[wb_graph::NodeId]| oracle(out, died);
             match self.target {
                 Some(m) if m != protocol.model() => {
                     if !m.includes(protocol.model()) {
@@ -352,9 +385,9 @@ fn run_campaign_job(spec: &JobSpec) -> Result<JobReport, String> {
                             spec.protocol
                         ));
                     }
-                    drive_native(spec, g, &Promote::new(protocol, m), oracle)
+                    drive_native(spec, g, &Promote::new(protocol, m), pred)
                 }
-                _ => drive_native(spec, g, &protocol, oracle),
+                _ => drive_native(spec, g, &protocol, pred),
             }
         }
     }
@@ -373,11 +406,22 @@ fn run_campaign_job(spec: &JobSpec) -> Result<JobReport, String> {
 fn run_bulk_job(spec: &JobSpec) -> Result<JobReport, String> {
     let g = make_workload(spec)?;
     let target = parse_bulk_model(&spec.model)?;
+    let faults = parse_faults(spec.faults.as_deref())?;
+    if let Some(plan) = &faults {
+        if plan.kind() == wb_runtime::FaultKind::Lossy {
+            return Err(format!(
+                "the bulk tier executes crash-stop fault plans only, not {} (lossy \
+                 suppression is an adaptive mid-run adversary; use `explore` or `campaign`)",
+                plan.spec()
+            ));
+        }
+    }
 
     struct BulkJob<'a> {
         spec: &'a JobSpec,
         g: &'a Graph,
         target: Option<Model>,
+        faults: Option<FaultPlan>,
     }
 
     impl BulkVisitor for BulkJob<'_> {
@@ -400,9 +444,15 @@ fn run_bulk_job(spec: &JobSpec) -> Result<JobReport, String> {
             }
             let schedule = shuffled_schedule(n, spec.seed);
             let config = BulkConfig::default().with_batch(spec.batch.unwrap_or(4096));
-            let report = run_bulk(&protocol, g, &schedule, self.target, &config);
+            let report = match &self.faults {
+                Some(plan) => {
+                    let victims = plan.sample_victims(n, spec.seed)?;
+                    run_bulk_crashed(&protocol, g, &schedule, self.target, &config, &victims)
+                }
+                None => run_bulk(&protocol, g, &schedule, self.target, &config),
+            };
             let oracle = bind(g);
-            let verdict = if oracle(&report.outcome) {
+            let verdict = if oracle(&report.outcome, &report.crashed) {
                 "PASS"
             } else {
                 "FAIL"
@@ -431,6 +481,19 @@ fn run_bulk_job(spec: &JobSpec) -> Result<JobReport, String> {
                 "max_message_bits".into(),
                 Json::Num(report.max_message_bits() as f64),
             );
+            if let Some(plan) = &self.faults {
+                obj.insert("faults".into(), Json::Str(plan.spec()));
+                obj.insert(
+                    "died".into(),
+                    Json::Arr(
+                        report
+                            .crashed
+                            .iter()
+                            .map(|&v| Json::Num(v as f64))
+                            .collect(),
+                    ),
+                );
+            }
             obj.insert("verdict".into(), Json::Str(verdict.into()));
             Ok(JobReport {
                 json: Json::Obj(obj),
@@ -446,6 +509,7 @@ fn run_bulk_job(spec: &JobSpec) -> Result<JobReport, String> {
             spec,
             g: &g,
             target,
+            faults,
         },
     )?
 }

@@ -172,6 +172,8 @@ const SUBMIT_FIELDS: &[&str] = &[
     "dedup",
     "par",
     "compare_naive",
+    "faults",
+    "deadline_ms",
 ];
 
 /// Parse one request line. The line-length cap is enforced by the caller
@@ -239,6 +241,15 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             if let Some(v) = get_bool(&doc, "compare_naive")? {
                 spec.compare_naive = v;
             }
+            if let Some(v) = get_str(&doc, "faults")? {
+                spec.faults = Some(v);
+            }
+            if let Some(v) = get_u64(&doc, "deadline_ms")? {
+                if v == 0 {
+                    return Err(bad("field 'deadline_ms' must be at least 1"));
+                }
+                spec.deadline_ms = Some(v);
+            }
             Ok(Request::Submit(Box::new(spec)))
         }
         "status" => {
@@ -301,6 +312,15 @@ pub fn submit_line(spec: &JobSpec) -> String {
     obj.insert("dedup".to_string(), Json::Str(spec.dedup.clone()));
     obj.insert("par".to_string(), Json::Bool(spec.par));
     obj.insert("compare_naive".to_string(), Json::Bool(spec.compare_naive));
+    if let Some(faults) = &spec.faults {
+        obj.insert("faults".to_string(), Json::Str(faults.clone()));
+    }
+    if let Some(deadline_ms) = spec.deadline_ms {
+        obj.insert(
+            "deadline_ms".to_string(),
+            Json::Str(deadline_ms.to_string()),
+        );
+    }
     Json::Obj(obj).to_string()
 }
 
@@ -337,6 +357,8 @@ mod tests {
         spec.trials = 2000;
         spec.seed = u64::MAX; // must survive: seeds travel as strings
         spec.batch = Some(64);
+        spec.faults = Some("crash:2".into());
+        spec.deadline_ms = Some(1500);
         let line = submit_line(&spec);
         match parse_request(&line).unwrap() {
             Request::Submit(parsed) => assert_eq!(*parsed, spec),
@@ -393,6 +415,11 @@ mod tests {
         // Fractional job ids are not ids.
         let err = parse_request(r#"{"op":"wait","job":1.5}"#).unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
+        // A zero deadline is already expired — reject it at the wire.
+        let err = parse_request(r#"{"op":"submit","kind":"bulk","deadline_ms":0}"#).unwrap_err();
+        assert!(err.message.contains("'deadline_ms'"), "{err:?}");
+        let err = parse_request(r#"{"op":"submit","kind":"bulk","faults":7}"#).unwrap_err();
+        assert!(err.message.contains("'faults'"), "{err:?}");
     }
 
     #[test]

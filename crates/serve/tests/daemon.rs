@@ -249,6 +249,100 @@ fn cancel_skips_queued_jobs_and_discards_running_results() {
     });
 }
 
+/// Per-job wall-clock deadlines: a job still queued when its deadline
+/// passes is cancelled with the structured `deadline_exceeded` error, while
+/// a generous deadline changes nothing.
+#[test]
+fn deadlines_expire_queued_jobs_with_structured_errors() {
+    // One worker: a slow job blocks the queue so the deadlined job behind
+    // it deterministically expires before a worker ever picks it up.
+    let config = ServeConfig {
+        workers: 1,
+        queue_cap: 16,
+        ..ServeConfig::default()
+    };
+    with_daemon(config, |path| {
+        let mut c = Client::connect(path).expect("connect");
+        let mut slow = spec(JobKind::Campaign, "mis:1", "gnp", 60, 1);
+        slow.trials = 10_000;
+        let _slow_id = c.submit(&slow).expect("submit slow");
+
+        let mut doomed = spec(JobKind::Explore, "mis:1", "path", 5, 2);
+        doomed.deadline_ms = Some(50);
+        let doomed_id = c.submit(&doomed).expect("submit doomed");
+
+        let mut relaxed = spec(JobKind::Explore, "mis:1", "path", 5, 3);
+        relaxed.deadline_ms = Some(60_000);
+        let relaxed_id = c.submit(&relaxed).expect("submit relaxed");
+
+        // The doomed job terminates with the structured deadline error.
+        let event = c.wait(doomed_id).expect("doomed job terminates");
+        assert_eq!(
+            event.get("event").and_then(Json::as_str),
+            Some("deadline_exceeded"),
+            "{event}"
+        );
+        assert_eq!(
+            event.get("code").and_then(Json::as_str),
+            Some("deadline_exceeded"),
+            "{event}"
+        );
+        let error = event.get("error").and_then(Json::as_str).unwrap_or("");
+        assert!(
+            error.contains("deadline of 50ms exceeded while queued"),
+            "{event}"
+        );
+        // Terminal means terminal: an expired job cannot be cancelled.
+        assert!(!c.cancel(doomed_id).expect("cancel round-trips"));
+        // `Client::run` surfaces the expiry as a structured server error.
+        match c.run(&doomed) {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, "deadline_exceeded", "{e}"),
+            other => panic!("expected deadline_exceeded, got {other:?}"),
+        }
+        // A deadline with slack is inert: same report as the direct layer.
+        let event = c.wait(relaxed_id).expect("relaxed job completes");
+        assert_eq!(
+            event.get("event").and_then(Json::as_str),
+            Some("done"),
+            "{event}"
+        );
+        let mut no_deadline = relaxed.clone();
+        no_deadline.deadline_ms = None;
+        assert_eq!(
+            event.get("report").expect("report").to_string(),
+            run_job(&no_deadline).expect("direct job").line(),
+            "a met deadline must not perturb the report"
+        );
+    });
+}
+
+/// A running job that outlasts its deadline has its result discarded and
+/// records the structured `deadline_exceeded` error.
+#[test]
+fn deadlines_discard_results_of_overrunning_jobs() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        ..ServeConfig::default()
+    };
+    with_daemon(config, |path| {
+        let mut c = Client::connect(path).expect("connect");
+        let mut overrun = spec(JobKind::Campaign, "mis:1", "gnp", 60, 1);
+        overrun.trials = 10_000;
+        overrun.deadline_ms = Some(20);
+        let id = c.submit(&overrun).expect("submit");
+        let event = c.wait(id).expect("job terminates");
+        assert_eq!(
+            event.get("event").and_then(Json::as_str),
+            Some("deadline_exceeded"),
+            "{event}"
+        );
+        let error = event.get("error").and_then(Json::as_str).unwrap_or("");
+        assert!(error.contains("deadline of 20ms exceeded"), "{event}");
+        assert!(event.get("report").is_none(), "result must be discarded");
+    });
+}
+
 /// Graceful shutdown: accepted jobs all complete (none lost), job IDs stay
 /// unique and dense, and post-shutdown submits get `shutting_down`.
 #[test]

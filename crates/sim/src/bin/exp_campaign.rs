@@ -98,7 +98,7 @@ impl Measure<'_> {
             .with_seed(0xC0FFEE)
             .with_sampler(self.sampler);
         let start = Instant::now();
-        let report = run_campaign(p, g, &config, &labels, |o| oracle(o));
+        let report = run_campaign(p, g, &config, &labels, |o| oracle(o, &[]));
         let wall_sec = start.elapsed().as_secs_f64();
         assert_eq!(
             report.failed, 0,

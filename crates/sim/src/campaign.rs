@@ -15,12 +15,14 @@
 //! wall-clock numbers would break byte-stability; callers that want
 //! throughput (the CLI, `exp_campaign`) measure and report it separately.
 
-use crate::sampler::{trial_seed, SamplerKind};
+use crate::sampler::{splitmix64, trial_seed, SamplerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use wb_bench::json::Json;
 use wb_graph::{Graph, NodeId};
-use wb_runtime::bulk::{run_bulk, BulkConfig, BulkProtocol};
-use wb_runtime::{Adversary, Engine, Model, Outcome, Protocol};
+use wb_runtime::bulk::{run_bulk, run_bulk_crashed, BulkConfig, BulkProtocol};
+use wb_runtime::{Adversary, Engine, FaultKind, FaultPlan, Model, Outcome, Protocol};
 
 /// Tuning knobs for [`run_campaign`].
 #[derive(Clone, Debug)]
@@ -42,6 +44,11 @@ pub struct CampaignConfig {
     /// Keep at most this many failing witnesses (the ones with the smallest
     /// trial indices).
     pub witness_cap: usize,
+    /// Fault plan injected per trial (`None` = fault-free, byte-identical to
+    /// the historical runner). Trial `t` draws its fault schedule from a
+    /// salted hop off [`trial_seed`], so fault randomness never correlates
+    /// with the adversary's and the determinism contract carries over.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for CampaignConfig {
@@ -53,6 +60,7 @@ impl Default for CampaignConfig {
             batch: 1024,
             outcome_cap: 4096,
             witness_cap: 8,
+            faults: None,
         }
     }
 }
@@ -81,6 +89,95 @@ impl CampaignConfig {
         self.batch = batch.max(1);
         self
     }
+
+    /// Inject a fault plan into every trial (`None` = fault-free).
+    pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The plan that actually drops writes, if any — an inert plan
+    /// (budget 0) behaves exactly like `None` everywhere.
+    fn live_faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().filter(|p| !p.is_inert())
+    }
+}
+
+/// Salt separating a trial's fault randomness from its adversary seed.
+const FAULT_SALT: u64 = 0xFA17_BAD5_EED0_0001;
+
+/// One trial's fault schedule, drawn deterministically from the (salted)
+/// trial seed before the trial runs.
+enum TrialFaults {
+    /// Fault-free: every write survives.
+    None,
+    /// Crash-stop: a membership mask over nodes; a victim's single write
+    /// crashes at the moment the adversary picks it. Victims are committed
+    /// up front (crash-stop faults node identities, not individual writes).
+    Crash(Vec<bool>),
+    /// Lossy board: an adaptive per-write coin (25% suppression) while the
+    /// budget lasts — the adversary decides write by write.
+    Lossy { remaining: usize, rng: StdRng },
+}
+
+impl TrialFaults {
+    /// Draw trial `t`'s schedule. `seed` is the trial's adversary seed
+    /// ([`trial_seed`]); faults hop off it through [`FAULT_SALT`].
+    fn draw(plan: Option<&FaultPlan>, n: usize, seed: u64) -> TrialFaults {
+        let Some(plan) = plan else {
+            return TrialFaults::None;
+        };
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ FAULT_SALT));
+        match plan.kind() {
+            FaultKind::CrashStop => {
+                // k uniform in 0..=min(f, n), then k distinct victims by
+                // partial Fisher–Yates — every subset of each size is
+                // equally likely.
+                let cap = plan.budget().min(n);
+                let k = rng.gen_range(0..=cap);
+                let mut ids: Vec<NodeId> = (1..=n as NodeId).collect();
+                let mut mask = vec![false; n];
+                for i in 0..k {
+                    let j = rng.gen_range(i..n);
+                    ids.swap(i, j);
+                    mask[ids[i] as usize - 1] = true;
+                }
+                TrialFaults::Crash(mask)
+            }
+            FaultKind::Lossy => TrialFaults::Lossy {
+                remaining: plan.budget(),
+                rng,
+            },
+        }
+    }
+
+    /// Whether this pick's write dies. Lossy consumes budget here.
+    fn kills(&mut self, pick: NodeId) -> bool {
+        match self {
+            TrialFaults::None => false,
+            TrialFaults::Crash(mask) => mask[pick as usize - 1],
+            TrialFaults::Lossy { remaining, rng } => {
+                if *remaining > 0 && rng.gen_range(0..4u32) == 0 {
+                    *remaining -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The crash-stop victim list in ID order (bulk trials mask these).
+    fn victims(&self) -> Vec<NodeId> {
+        match self {
+            TrialFaults::Crash(mask) => mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &dead)| dead.then_some(i as NodeId + 1))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// Descriptive labels stamped into the report (the runner itself is generic
@@ -106,6 +203,10 @@ pub struct TrialFailure {
     pub seed: u64,
     /// The executed write order (the replayable witness).
     pub schedule: Vec<NodeId>,
+    /// Nodes whose write died, in schedule order — replaying the schedule
+    /// and crashing exactly these picks reproduces `outcome`. Always empty
+    /// for fault-free campaigns.
+    pub died: Vec<NodeId>,
     /// `Debug` rendering of the failing outcome.
     pub outcome: String,
 }
@@ -143,6 +244,10 @@ pub struct CampaignReport {
     /// Failing witnesses with the smallest trial indices, capped at
     /// [`CampaignConfig::witness_cap`].
     pub witnesses: Vec<TrialFailure>,
+    /// Canonical fault-plan spec (`crash:2`, `lossy:1`) when the campaign
+    /// injected faults; `None` keeps the JSON byte-identical to the
+    /// historical fault-free schema.
+    pub faults: Option<String>,
 }
 
 impl CampaignReport {
@@ -196,12 +301,21 @@ impl CampaignReport {
                             "schedule".into(),
                             Json::Arr(w.schedule.iter().map(|&v| Json::Num(v as f64)).collect()),
                         );
+                        if self.faults.is_some() {
+                            o.insert(
+                                "died".into(),
+                                Json::Arr(w.died.iter().map(|&v| Json::Num(v as f64)).collect()),
+                            );
+                        }
                         o.insert("outcome".into(), Json::Str(w.outcome.clone()));
                         Json::Obj(o)
                     })
                     .collect(),
             ),
         );
+        if let Some(spec) = &self.faults {
+            obj.insert("faults".into(), Json::Str(spec.clone()));
+        }
         obj.insert("verdict".into(), Json::Str(self.verdict().into()));
         Json::Obj(obj)
     }
@@ -314,12 +428,14 @@ impl BatchStats {
     /// Fold one trial into the batch. `outcome`/`schedule` are the trial's
     /// terminal outcome and executed write order — the step and bulk trial
     /// loops both feed this one accumulator.
+    #[allow(clippy::too_many_arguments)]
     fn record<O: std::fmt::Debug>(
         &mut self,
         trial: u64,
         seed: u64,
         outcome: Outcome<O>,
         schedule: Vec<NodeId>,
+        died: Vec<NodeId>,
         pass: bool,
         config: &CampaignConfig,
     ) {
@@ -349,6 +465,7 @@ impl BatchStats {
                     trial,
                     seed,
                     schedule,
+                    died,
                     outcome,
                 });
             }
@@ -430,7 +547,27 @@ where
     P::Output: std::fmt::Debug,
     C: Fn(&Outcome<P::Output>) -> bool + Sync,
 {
+    run_campaign_with(protocol, g, config, labels, move |o, _| check(o))
+}
+
+/// Like [`run_campaign`], but the classifier also sees the trial's dead-node
+/// list (schedule order) — the fault-aware form the registry's degraded
+/// oracles bind to. With [`CampaignConfig::faults`] unset the slice is
+/// always empty and the report is byte-identical to [`run_campaign`]'s.
+pub fn run_campaign_with<P, C>(
+    protocol: &P,
+    g: &Graph,
+    config: &CampaignConfig,
+    labels: &CampaignLabels,
+    check: C,
+) -> CampaignReport
+where
+    P: Protocol + Sync,
+    P::Output: std::fmt::Debug,
+    C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool + Sync,
+{
     let total = config.trials;
+    let plan = config.live_faults();
     let stats = wb_par::par_batch_reduce(
         total as usize,
         config.batch.max(1),
@@ -442,6 +579,7 @@ where
                 let trial = t as u64;
                 let seed = trial_seed(config.seed, trial);
                 let mut adv = config.sampler.adversary(g.n(), seed);
+                let mut faults = TrialFaults::draw(plan, g.n(), seed);
                 let mut engine = template.clone();
                 let report = loop {
                     engine.activation_phase();
@@ -450,14 +588,19 @@ where
                         break engine.finish();
                     }
                     let pick = adv.pick(&active, engine.board());
-                    engine.step(pick);
+                    if faults.kills(pick) {
+                        engine.step_crash(pick);
+                    } else {
+                        engine.step(pick);
+                    }
                 };
-                let pass = check(&report.outcome);
+                let pass = check(&report.outcome, &report.crashed);
                 stats.record(
                     trial,
                     seed,
                     report.outcome,
                     report.write_order,
+                    report.crashed,
                     pass,
                     config,
                 );
@@ -481,6 +624,7 @@ where
         distinct_outcomes: stats.fingerprints.len() as u64,
         outcome_set: stats.outcomes.map(|set| set.into_iter().collect()),
         witnesses: stats.witnesses,
+        faults: plan.map(|p| p.spec()),
     }
 }
 
@@ -531,8 +675,38 @@ where
     P::Output: std::fmt::Debug,
     C: Fn(&Outcome<P::Output>) -> bool + Sync,
 {
+    run_bulk_campaign_with(protocol, g, config, labels, target, move |o, _| check(o))
+}
+
+/// The fault-aware form of [`run_bulk_campaign`] (see [`run_campaign_with`]).
+/// Crash-stop trials draw the same per-trial victim sets as the step tier
+/// and mask them columnarly via [`run_bulk_crashed`], so the cross-tier
+/// byte-identity for the priority sampler survives fault injection. Lossy
+/// plans are refused: the lossy adversary decides write by write with full
+/// board view, which has no whole-schedule columnar form.
+pub fn run_bulk_campaign_with<P, C>(
+    protocol: &P,
+    g: &Graph,
+    config: &CampaignConfig,
+    labels: &CampaignLabels,
+    target: Option<Model>,
+    check: C,
+) -> Result<CampaignReport, String>
+where
+    P: BulkProtocol + Sync,
+    P::Output: std::fmt::Debug,
+    C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool + Sync,
+{
     // Surface an unusable sampler before spawning any worker.
     config.sampler.permutation(g.n(), 0)?;
+    let plan = config.live_faults();
+    if plan.is_some_and(|p| p.kind() == FaultKind::Lossy) {
+        return Err(
+            "the bulk tier executes crash-stop fault plans only: lossy suppression is an \
+             adaptive mid-run adversary (use `run` or `campaign` on the step tier for lossy:f)"
+                .into(),
+        );
+    }
     let total = config.trials;
     let bulk_config = BulkConfig::default();
     let stats = wb_par::par_batch_reduce(
@@ -547,9 +721,22 @@ where
                     .sampler
                     .permutation(g.n(), seed)
                     .expect("checked before sharding");
-                let report = run_bulk(protocol, g, &schedule, target, &bulk_config);
-                let pass = check(&report.outcome);
-                stats.record(trial, seed, report.outcome, schedule, pass, config);
+                let report = if plan.is_some() {
+                    let victims = TrialFaults::draw(plan, g.n(), seed).victims();
+                    run_bulk_crashed(protocol, g, &schedule, target, &bulk_config, &victims)
+                } else {
+                    run_bulk(protocol, g, &schedule, target, &bulk_config)
+                };
+                let pass = check(&report.outcome, &report.crashed);
+                stats.record(
+                    trial,
+                    seed,
+                    report.outcome,
+                    schedule,
+                    report.crashed,
+                    pass,
+                    config,
+                );
             }
             stats
         },
@@ -570,6 +757,7 @@ where
         distinct_outcomes: stats.fingerprints.len() as u64,
         outcome_set: stats.outcomes.map(|set| set.into_iter().collect()),
         witnesses: stats.witnesses,
+        faults: plan.map(|p| p.spec()),
     })
 }
 
@@ -773,6 +961,168 @@ mod tests {
             run_bulk_campaign(&TwoCliques, &g, &crashy, &labels, None, |_| true).is_err(),
             "crashy has no whole-schedule form"
         );
+    }
+
+    #[test]
+    fn inert_fault_plan_is_byte_identical_to_no_plan() {
+        let g = generators::path(5);
+        let base = CampaignConfig::default().with_trials(800).with_seed(21);
+        let check = |o: &Outcome<Vec<wb_graph::NodeId>>, died: &[NodeId]| {
+            died.is_empty() && matches!(o, Outcome::Success(s) if checks::is_rooted_mis(&g, s, 1))
+        };
+        let none = run_campaign_with(&MisGreedy::new(1), &g, &base, &mis_labels(), check);
+        let inert = run_campaign_with(
+            &MisGreedy::new(1),
+            &g,
+            &base.clone().with_faults(Some(FaultPlan::crash_stop(0))),
+            &mis_labels(),
+            check,
+        );
+        assert_eq!(none.to_json().to_string(), inert.to_json().to_string());
+        assert!(none.faults.is_none());
+        assert!(!none.to_json().to_string().contains("\"faults\""));
+        assert!(!none.to_json().to_string().contains("\"died\""));
+    }
+
+    #[test]
+    fn crash_campaign_reports_faults_and_replayable_died_witnesses() {
+        let g = generators::path(6);
+        let config = CampaignConfig::default()
+            .with_trials(600)
+            .with_seed(17)
+            .with_faults(Some(FaultPlan::crash_stop(2)));
+        // Fail any trial that crashed someone, so witnesses carry non-empty
+        // died lists we can replay.
+        let report =
+            run_campaign_with(&MisGreedy::new(1), &g, &config, &mis_labels(), |_, died| {
+                died.is_empty()
+            });
+        assert_eq!(report.faults.as_deref(), Some("crash:2"));
+        assert!(report.failed > 0, "crash:2 on 600 trials must hit someone");
+        assert!(report.passed > 0, "k = 0 draws keep fault-free trials");
+        assert!(!report.witnesses.is_empty());
+        for w in &report.witnesses {
+            assert!(!w.died.is_empty() && w.died.len() <= 2);
+            // died ⊆ schedule, in schedule order.
+            let order: Vec<NodeId> = w
+                .schedule
+                .iter()
+                .copied()
+                .filter(|v| w.died.contains(v))
+                .collect();
+            assert_eq!(order, w.died);
+            // Replay: crash exactly the recorded picks, expect the outcome.
+            let protocol = MisGreedy::new(1);
+            let mut engine = Engine::new(&protocol, &g);
+            for &v in &w.schedule {
+                engine.activation_phase();
+                if w.died.contains(&v) {
+                    engine.step_crash(v);
+                } else {
+                    engine.step(v);
+                }
+            }
+            engine.activation_phase();
+            let replay = engine.finish();
+            assert_eq!(format!("{:?}", replay.outcome), w.outcome);
+            assert_eq!(replay.crashed, w.died);
+        }
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"faults\":\"crash:2\""));
+        assert!(json.contains("\"died\""));
+    }
+
+    #[test]
+    fn faulted_campaign_is_batch_insensitive() {
+        let g = generators::path(5);
+        for plan in [FaultPlan::crash_stop(2), FaultPlan::lossy(2)] {
+            let base = CampaignConfig::default()
+                .with_trials(900)
+                .with_seed(33)
+                .with_faults(Some(plan));
+            let render = |config: &CampaignConfig| {
+                run_campaign_with(&MisGreedy::new(1), &g, config, &mis_labels(), |_, d| {
+                    d.is_empty()
+                })
+                .to_json()
+                .to_string()
+            };
+            let sequential = render(&base.clone().with_batch(900));
+            for batch in [1usize, 17, 256] {
+                assert_eq!(render(&base.clone().with_batch(batch)), sequential);
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_campaign_respects_budget() {
+        let g = generators::path(6);
+        let config = CampaignConfig::default()
+            .with_trials(400)
+            .with_seed(9)
+            .with_faults(Some(FaultPlan::lossy(1)));
+        let report =
+            run_campaign_with(&MisGreedy::new(1), &g, &config, &mis_labels(), |_, died| {
+                died.is_empty()
+            });
+        assert_eq!(report.faults.as_deref(), Some("lossy:1"));
+        assert!(report.failed > 0, "25% per-write suppression must fire");
+        for w in &report.witnesses {
+            assert_eq!(w.died.len(), 1, "budget 1 caps suppression");
+        }
+    }
+
+    #[test]
+    fn bulk_crash_campaign_replays_step_campaign_byte_for_byte() {
+        // The priority cross-tier identity must survive fault injection:
+        // both tiers draw the same victim set per trial, the step engine
+        // crashes victims when picked, the bulk engine masks them
+        // columnarly.
+        let g = generators::gnp(
+            25,
+            0.2,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(6),
+        );
+        let config = CampaignConfig::default()
+            .with_trials(300)
+            .with_seed(29)
+            .with_sampler(SamplerKind::Priority)
+            .with_faults(Some(FaultPlan::crash_stop(3)));
+        let labels = mis_labels();
+        let check = |o: &Outcome<Vec<wb_graph::NodeId>>, died: &[NodeId]| {
+            died.is_empty() && matches!(o, Outcome::Success(s) if checks::is_rooted_mis(&g, s, 1))
+        };
+        let step = run_campaign_with(&MisGreedy::new(1), &g, &config, &labels, check);
+        let bulk =
+            run_bulk_campaign_with(&MisGreedy::new(1), &g, &config, &labels, None, check).unwrap();
+        assert_eq!(
+            step.to_json().to_string(),
+            bulk.to_json().to_string(),
+            "crash-faulted priority trials must replay across tiers"
+        );
+        assert!(
+            step.failed > 0,
+            "crash:3 must fail some died.is_empty() trials"
+        );
+    }
+
+    #[test]
+    fn bulk_campaign_refuses_lossy_plans() {
+        let g = generators::two_cliques(6);
+        let config = CampaignConfig::default()
+            .with_trials(10)
+            .with_faults(Some(FaultPlan::lossy(1)));
+        let err = run_bulk_campaign_with(
+            &TwoCliques,
+            &g,
+            &config,
+            &CampaignLabels::default(),
+            None,
+            |_, _| true,
+        )
+        .unwrap_err();
+        assert!(err.contains("crash-stop"), "{err}");
+        assert!(err.contains("lossy"), "{err}");
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub mod shrink;
 pub use wb_bench::json;
 
 pub use campaign::{
-    run_bulk_campaign, run_campaign, CampaignConfig, CampaignLabels, CampaignReport, TrialFailure,
+    run_bulk_campaign, run_bulk_campaign_with, run_campaign, run_campaign_with, CampaignConfig,
+    CampaignLabels, CampaignReport, TrialFailure,
 };
 pub use sampler::{trial_seed, CrashyAdversary, SampledAdversary, SamplerKind};
 pub use shrink::{shrink_schedule, ShrinkReport};

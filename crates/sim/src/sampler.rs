@@ -16,14 +16,18 @@
 //! the most recent writer — the kind of correlated, worst-case-ish schedule
 //! a uniform sampler almost never produces.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use wb_graph::NodeId;
 use wb_runtime::{Adversary, PriorityAdversary, RandomAdversary, Whiteboard};
 
+// Re-exported from the runtime adversary toolkit, where it moved when
+// faults became first-class (`wb_runtime::fault`): "crashy" is a
+// *scheduling* strategy, not a fault plan. The name and seeded behavior
+// are a compatibility surface — pinned bit-for-bit below.
+pub use wb_runtime::CrashyAdversary;
+
 /// splitmix64 — the statelessly-seedable mixer used for seed derivation.
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -143,49 +147,6 @@ impl Adversary for SampledAdversary {
     }
 }
 
-/// An adaptive, schedule-skewing adversary (seeded, reproducible).
-///
-/// Each round it flips a three-way coin:
-///
-/// - **starve** (p = ½): pick the *largest* active ID, delaying small IDs —
-///   protocols that implicitly privilege early IDs see their worst case;
-/// - **chase** (p = ¼): pick the active ID closest to the most recent
-///   writer, creating the bursty, correlated write runs that uniform
-///   sampling essentially never generates;
-/// - **uniform** (p = ¼): a uniformly random pick, so every schedule still
-///   has positive probability and the sampler's support stays complete.
-#[derive(Clone, Debug)]
-pub struct CrashyAdversary {
-    rng: StdRng,
-}
-
-impl CrashyAdversary {
-    /// A reproducible crashy adversary.
-    pub fn new(seed: u64) -> Self {
-        CrashyAdversary {
-            rng: StdRng::seed_from_u64(seed),
-        }
-    }
-}
-
-impl Adversary for CrashyAdversary {
-    fn pick(&mut self, active: &[NodeId], board: &Whiteboard) -> NodeId {
-        let roll = self.rng.gen_range(0..4u32);
-        if roll < 2 {
-            return *active.last().expect("active set is non-empty");
-        }
-        if roll == 2 {
-            if let Some(last) = board.entries().last() {
-                return *active
-                    .iter()
-                    .min_by_key(|&&v| (v.abs_diff(last.writer), v))
-                    .expect("active set is non-empty");
-            }
-        }
-        active[self.rng.gen_range(0..active.len())]
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +193,21 @@ mod tests {
             assert_eq!(picks(9), picks(9), "{kind:?} is seed-deterministic");
             assert!(picks(9).iter().all(|p| active.contains(p)));
         }
+    }
+
+    #[test]
+    fn crashy_seeded_behavior_is_pinned_bit_for_bit() {
+        // The compatibility contract for the runtime move: CLI name "crashy"
+        // plus a seed must reproduce the exact pick sequence the historical
+        // wb_sim implementation drew. Golden values; do not regenerate.
+        let board = Whiteboard::new();
+        let active = vec![2, 4, 7, 9];
+        let mut adv = CrashyAdversary::new(1234);
+        let picks: Vec<NodeId> = (0..20).map(|_| adv.pick(&active, &board)).collect();
+        assert_eq!(
+            picks,
+            vec![9, 9, 9, 9, 7, 9, 9, 9, 9, 9, 9, 9, 9, 9, 4, 9, 9, 9, 7, 9],
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! well-formed claim.
 
 use crate::VerifyError;
-use wb_core::steps::Model;
+use wb_core::steps::{FaultPlan, Model};
 use wb_graph::NodeId;
 use wb_math::hash::{parse_hex128, Digest128};
 use wb_math::json::Json;
@@ -28,6 +28,7 @@ const KNOWN_KEYS: &[&str] = &[
     "digest",
     "edges",
     "family",
+    "faults",
     "format",
     "graph",
     "initial",
@@ -56,6 +57,9 @@ pub struct RawWitness {
     pub schedule: Vec<NodeId>,
     /// Claimed configuration hash after each pick.
     pub trace: Vec<u128>,
+    /// Picks whose write died, in crash order (present exactly when the
+    /// certificate carries a fault plan; empty otherwise).
+    pub died: Vec<NodeId>,
     /// Claimed `Debug` rendering of the failing outcome.
     pub outcome: String,
 }
@@ -71,10 +75,13 @@ pub struct RawCertificate {
     pub n: usize,
     /// Instance graph edge list.
     pub graph_edges: Vec<(NodeId, NodeId)>,
+    /// The fault plan whose schedule the walk branched over, if any.
+    pub faults: Option<FaultPlan>,
     /// Initial configuration hash.
     pub initial: u128,
-    /// Transition edges `(from, writer, to)`, sorted and unique.
-    pub edges: Vec<(u128, NodeId, u128)>,
+    /// Transition edges `(from, writer, crash, to)`, sorted and unique;
+    /// `crash` marks edges where the pick's write died.
+    pub edges: Vec<(u128, NodeId, bool, u128)>,
     /// Terminal claims, sorted by config and unique.
     pub terminals: Vec<RawTerminal>,
     /// Counterexample witnesses.
@@ -179,6 +186,23 @@ pub fn parse(line: &str) -> Result<RawCertificate, VerifyError> {
     }
     let initial = hex_of(field(&doc, "initial")?, "initial")?;
 
+    let faults = match doc.get("faults") {
+        None => None,
+        Some(v) => {
+            let spec = v
+                .as_str()
+                .ok_or_else(|| bad("faults", "expected a fault-plan spec string"))?;
+            let plan: FaultPlan = spec.parse().map_err(|e: String| bad("faults", e))?;
+            if plan.is_inert() {
+                return Err(bad("faults", "an inert plan (budget 0) must be omitted"));
+            }
+            if plan.spec() != spec {
+                return Err(bad("faults", "spec is not in canonical form"));
+            }
+            Some(plan)
+        }
+    };
+
     let edges = field(&doc, "edges")?
         .as_arr()
         .ok_or_else(|| bad("edges", "expected an array"))?
@@ -187,20 +211,38 @@ pub fn parse(line: &str) -> Result<RawCertificate, VerifyError> {
             Some([from, writer, to]) => Ok((
                 hex_of(from, "edges")?,
                 node_of(writer, n, "edges")?,
+                false,
                 hex_of(to, "edges")?,
             )),
-            _ => Err(bad("edges", "expected [from,writer,to] triples")),
+            Some([from, writer, to, marker]) => {
+                if uint_of(marker, "edges")? != 1 {
+                    return Err(bad("edges", "crash marker must be the literal 1"));
+                }
+                if faults.is_none() {
+                    return Err(bad("edges", "crash edge in a certificate without faults"));
+                }
+                Ok((
+                    hex_of(from, "edges")?,
+                    node_of(writer, n, "edges")?,
+                    true,
+                    hex_of(to, "edges")?,
+                ))
+            }
+            _ => Err(bad(
+                "edges",
+                "expected [from,writer,to] or [from,writer,to,1]",
+            )),
         })
         .collect::<Result<Vec<_>, _>>()?;
     for pair in edges.windows(2) {
-        if pair[0].0 == pair[1].0 && pair[0].1 == pair[1].1 {
+        if pair[0].0 == pair[1].0 && pair[0].1 == pair[1].1 && pair[0].2 == pair[1].2 {
             return Err(VerifyError::DuplicateEdge {
                 from: pair[1].0,
                 writer: pair[1].1,
             });
         }
         if pair[1] <= pair[0] {
-            return Err(bad("edges", "not sorted by (from, writer, to)"));
+            return Err(bad("edges", "not sorted by (from, writer, crash, to)"));
         }
     }
 
@@ -248,9 +290,25 @@ pub fn parse(line: &str) -> Result<RawCertificate, VerifyError> {
                 .iter()
                 .map(|v| hex_of(v, "witnesses"))
                 .collect::<Result<Vec<_>, _>>()?;
+            let died = match (faults.is_some(), w.get("died")) {
+                (true, Some(v)) => v
+                    .as_arr()
+                    .ok_or_else(|| bad("witnesses", "expected a died array"))?
+                    .iter()
+                    .map(|v| node_of(v, n, "witnesses"))
+                    .collect::<Result<Vec<_>, _>>()?,
+                (true, None) => {
+                    return Err(bad("witnesses", "faulted witness missing 'died'"));
+                }
+                (false, Some(_)) => {
+                    return Err(bad("witnesses", "'died' in a certificate without faults"));
+                }
+                (false, None) => Vec::new(),
+            };
             Ok(RawWitness {
                 schedule,
                 trace,
+                died,
                 outcome: str_field(w, "outcome")?.to_string(),
             })
         })
@@ -261,6 +319,7 @@ pub fn parse(line: &str) -> Result<RawCertificate, VerifyError> {
         model,
         n,
         graph_edges,
+        faults,
         initial,
         edges,
         terminals,

@@ -427,32 +427,41 @@ where
         });
     }
 
-    let edge_map: BTreeMap<(u128, NodeId), u128> = cert
+    // Under a fault plan the walk branched over crashes too: a configuration
+    // whose crash count is below the budget owes one *crash* edge per active
+    // writer on top of the survive edge. Both fault kinds quantify over the
+    // same crash schedules at this tier (a write either lands or it does
+    // not), so the budget is all the replay needs.
+    let budget = cert.faults.map_or(0, |p| p.budget());
+    let edge_map: BTreeMap<(u128, NodeId, bool), u128> = cert
         .edges
         .iter()
-        .map(|&(from, writer, to)| ((from, writer), to))
+        .map(|&(from, writer, crash, to)| ((from, writer, crash), to))
         .collect();
     let terminal_map: BTreeMap<u128, &RawTerminal> =
         cert.terminals.iter().map(|t| (t.config, t)).collect();
 
     // Depth-first over the claimed DAG, dedup by hash: every reachable
     // configuration is expanded once, so every legitimate edge is replayed
-    // exactly once.
+    // exactly once. Distinct crash histories reaching the same hash merge,
+    // which is sound because the crashed set is itself part of the canonical
+    // configuration (a crashed node is terminated yet absent from the board).
     let mut seen: HashSet<u128> = HashSet::from([initial]);
-    let mut used: BTreeSet<(u128, NodeId)> = BTreeSet::new();
+    let mut used: BTreeSet<(u128, NodeId, bool)> = BTreeSet::new();
     let mut reached_terminals: BTreeSet<u128> = BTreeSet::new();
     let mut stack = vec![(root, initial)];
     while let Some((machine, config)) = stack.pop() {
         let mut any_active = false;
+        let may_crash = machine.crashed().len() < budget;
         for writer in 1..=machine.node_count() as NodeId {
             if !machine.is_active(writer) {
                 continue;
             }
             any_active = true;
             let claimed = *edge_map
-                .get(&(config, writer))
+                .get(&(config, writer, false))
                 .ok_or(VerifyError::MissingEdge { config, writer })?;
-            used.insert((config, writer));
+            used.insert((config, writer, false));
             let mut child = machine.clone();
             child.step(writer).map_err(|fault| VerifyError::StepFault {
                 config,
@@ -471,6 +480,32 @@ where
             if seen.insert(actual) {
                 stack.push((child, actual));
             }
+            if may_crash {
+                let claimed = *edge_map
+                    .get(&(config, writer, true))
+                    .ok_or(VerifyError::MissingEdge { config, writer })?;
+                used.insert((config, writer, true));
+                let mut child = machine.clone();
+                child
+                    .step_crash(writer)
+                    .map_err(|fault| VerifyError::StepFault {
+                        config,
+                        writer,
+                        detail: fault.to_string(),
+                    })?;
+                let actual = child.hash();
+                if actual != claimed {
+                    return Err(VerifyError::EdgeTargetMismatch {
+                        from: config,
+                        writer,
+                        claimed,
+                        actual,
+                    });
+                }
+                if seen.insert(actual) {
+                    stack.push((child, actual));
+                }
+            }
         }
         if !any_active {
             reached_terminals.insert(config);
@@ -486,7 +521,7 @@ where
                     actual,
                 });
             }
-            if oracle(&outcome) != claim.verdict {
+            if oracle(&outcome, machine.crashed()) != claim.verdict {
                 return Err(VerifyError::TerminalVerdict {
                     config,
                     claimed: claim.verdict,
@@ -495,8 +530,8 @@ where
         }
     }
 
-    for &(from, writer, _) in &cert.edges {
-        if !used.contains(&(from, writer)) {
+    for &(from, writer, crash, _) in &cert.edges {
+        if !used.contains(&(from, writer, crash)) {
             return Err(VerifyError::UnreachableEdge { from, writer });
         }
     }
@@ -525,6 +560,12 @@ where
                 ),
             });
         }
+        if w.died.len() > budget {
+            return Err(VerifyError::WitnessShape {
+                witness: wi,
+                detail: format!("{} crashes exceed the fault budget {budget}", w.died.len()),
+            });
+        }
         let mut machine = Machine::new(protocol, &g);
         for (si, (&pick, &claimed)) in w.schedule.iter().zip(&w.trace).enumerate() {
             if !machine.is_active(pick) {
@@ -534,7 +575,12 @@ where
                     pick,
                 });
             }
-            machine.step(pick).map_err(|fault| VerifyError::StepFault {
+            let stepped = if w.died.contains(&pick) {
+                machine.step_crash(pick)
+            } else {
+                machine.step(pick)
+            };
+            stepped.map_err(|fault| VerifyError::StepFault {
                 config: claimed,
                 writer: pick,
                 detail: fault.to_string(),
@@ -555,6 +601,18 @@ where
                 detail: "schedule ends with active nodes remaining".into(),
             });
         }
+        // The replayed crash order must reproduce `died` exactly — this also
+        // rejects died entries that never appear in the schedule.
+        if machine.crashed() != w.died {
+            return Err(VerifyError::WitnessShape {
+                witness: wi,
+                detail: format!(
+                    "replay crashed {:?} but the witness claims {:?}",
+                    machine.crashed(),
+                    w.died
+                ),
+            });
+        }
         let outcome = machine.outcome();
         let actual = format!("{outcome:?}");
         if actual != w.outcome {
@@ -564,7 +622,7 @@ where
                 actual,
             });
         }
-        if oracle(&outcome) {
+        if oracle(&outcome, machine.crashed()) {
             return Err(VerifyError::WitnessNotAFailure { witness: wi });
         }
         witnessed.insert(w.trace.last().copied().unwrap_or(initial));

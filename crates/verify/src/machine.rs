@@ -58,6 +58,8 @@ pub struct Machine<'p, P: Protocol> {
     frozen: Vec<Option<BitVec>>,
     /// `(writer, message)` in write order.
     board: Vec<(NodeId, BitVec)>,
+    /// Nodes whose single write died (crash edges), in crash order.
+    crashed: Vec<NodeId>,
 }
 
 impl<P: Protocol> Clone for Machine<'_, P> {
@@ -72,6 +74,7 @@ impl<P: Protocol> Clone for Machine<'_, P> {
             status: self.status.clone(),
             frozen: self.frozen.clone(),
             board: self.board.clone(),
+            crashed: self.crashed.clone(),
         }
     }
 }
@@ -106,6 +109,7 @@ impl<'p, P: Protocol> Machine<'p, P> {
             status,
             frozen,
             board: Vec::with_capacity(n),
+            crashed: Vec::new(),
         };
         machine.activation_phase();
         machine
@@ -181,6 +185,42 @@ impl<'p, P: Protocol> Machine<'p, P> {
         }
         self.activation_phase();
         Ok(())
+    }
+
+    /// Execute one **crashed** write by `pick`: the message is composed and
+    /// checked exactly as in [`Machine::step`] — a malformed message is a
+    /// protocol bug whether or not the write then dies — but it never
+    /// reaches the board and nobody observes it; the node terminates
+    /// silently. Mirrors `Engine::step_crash` in `wb-runtime` without
+    /// sharing any code with it.
+    pub fn step_crash(&mut self, pick: NodeId) -> Result<(), StepFault> {
+        debug_assert!(self.is_active(pick));
+        let i = pick as usize - 1;
+        let msg = if self.asynchronous {
+            self.frozen[i]
+                .take()
+                .expect("active asynchronous node has a frozen message")
+        } else {
+            self.nodes[i].compose(&self.views[i])
+        };
+        if msg.is_empty() {
+            return Err(StepFault::EmptyMessage);
+        }
+        if msg.len() > self.budget as usize {
+            return Err(StepFault::BudgetExceeded {
+                bits: msg.len(),
+                budget: self.budget,
+            });
+        }
+        self.status[i] = Status::Terminated;
+        self.crashed.push(pick);
+        self.activation_phase();
+        Ok(())
+    }
+
+    /// Nodes whose write died so far, in crash order.
+    pub fn crashed(&self) -> &[NodeId] {
+        &self.crashed
     }
 
     /// The canonical configuration hash: statuses packed 2 bits per node,

@@ -50,7 +50,7 @@ impl ProtocolVisitor for StepOnce<'_> {
         let bits = report.max_message_bits();
         (
             format!("{} bits/msg, {} rounds", bits, report.write_order.len()),
-            oracle(&report.outcome),
+            oracle(&report.outcome, &[]),
         )
     }
 }
@@ -72,7 +72,7 @@ impl BulkVisitor for BulkOnce<'_> {
         let oracle = bind(self.g);
         let schedule = shuffled_schedule(self.g.n(), 7);
         let report = run_bulk(&protocol, self.g, &schedule, None, &BulkConfig::default());
-        oracle(&report.outcome)
+        oracle(&report.outcome, &[])
     }
 }
 

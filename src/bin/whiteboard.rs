@@ -47,9 +47,9 @@ use std::process::ExitCode;
 use wb_math::counting::MessageRegime;
 use wb_reductions::lemma3::{verdict, Family};
 use wb_runtime::run_traced;
-use wb_serve::jobs::{parse_bulk_model, parse_dedup, parse_model, JobKind, JobSpec};
+use wb_serve::jobs::{parse_bulk_model, parse_dedup, parse_faults, parse_model, JobKind, JobSpec};
 use wb_serve::{Client, Daemon, ServeConfig};
-use wb_sim::{run_campaign, shrink_schedule, CampaignConfig, CampaignLabels, SamplerKind};
+use wb_sim::{run_campaign_with, shrink_schedule, CampaignConfig, CampaignLabels, SamplerKind};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -103,9 +103,9 @@ fn usage() {
          [--max-states M] [--par] [--compare-naive] [--dedup canonical|exact|off] [--json] \
          [--trials T] [--sampler uniform|priority|crashy] [--batch B] \
          [--model native|simasync|simsync|async|sync|fasync|fsync] [--shrink] [--shrink-out PATH] \
-         [--certify PATH] [--out PATH] \
+         [--faults crash:F|lossy:F] [--certify PATH] [--out PATH] \
          [--socket PATH] [--workers W] [--queue-cap Q] [--kind explore|campaign|bulk] \
-         [--job N] [--no-wait] [FILE..]"
+         [--job N] [--no-wait] [--deadline-ms MS] [FILE..]"
     );
 }
 
@@ -127,6 +127,12 @@ struct Opts {
     model: String,
     shrink: bool,
     shrink_out: Option<String>,
+    /// Fault-plan spec (`crash:f` / `lossy:f`) for explore / campaign /
+    /// bulk / certify; `None` (and budget 0) = today's fault-free behavior.
+    faults: Option<String>,
+    /// `submit --deadline-ms MS`: per-job wall-clock deadline enforced by
+    /// the daemon.
+    deadline_ms: Option<u64>,
     /// Sharding grain: board shard size for `bulk`, trial batch for
     /// `campaign`. `None` = each command's default.
     batch: Option<usize>,
@@ -171,6 +177,8 @@ impl Opts {
             model: "native".into(),
             shrink: false,
             shrink_out: None,
+            faults: None,
+            deadline_ms: None,
             batch: None,
             certify: None,
             out: None,
@@ -246,6 +254,16 @@ impl Opts {
                             .parse()
                             .map_err(|e: std::num::ParseIntError| e.to_string())?,
                     )
+                }
+                "--faults" => o.faults = Some(value("--faults")?),
+                "--deadline-ms" => {
+                    let ms: u64 = value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?;
+                    if ms == 0 {
+                        return Err("--deadline-ms must be at least 1".into());
+                    }
+                    o.deadline_ms = Some(ms);
                 }
                 "--shrink" => o.shrink = true,
                 "--shrink-out" => {
@@ -576,7 +594,7 @@ fn cmd_check(o: &Opts) -> Result<(), String> {
             for g in enumerate::all_graphs(self.n) {
                 graphs += 1;
                 let oracle = bind(&g);
-                let report = explore(&protocol, &g, &config, |out| oracle(out));
+                let report = explore(&protocol, &g, &config, |out| oracle(out, &[]));
                 if report.truncated {
                     return Err(format!("{}: truncated on {g:?}", self.spec));
                 }
@@ -627,6 +645,8 @@ fn job_spec_from_opts(kind: JobKind, o: &Opts, n: usize) -> JobSpec {
     spec.dedup = o.dedup.clone();
     spec.par = o.par;
     spec.compare_naive = o.compare_naive;
+    spec.faults = o.faults.clone();
+    spec.deadline_ms = o.deadline_ms;
     spec
 }
 
@@ -636,12 +656,16 @@ fn job_spec_from_opts(kind: JobKind, o: &Opts, n: usize) -> JobSpec {
 /// goes to stderr, and the daemon emits the identical bytes for the same
 /// job).
 fn cmd_explore(o: &Opts) -> Result<(), String> {
-    use wb_runtime::exhaustive::{explore, explore_parallel, ExplorationReport, ExploreConfig};
+    use wb_runtime::exhaustive::{
+        explore_parallel_with, explore_with, ExplorationReport, ExploreConfig,
+    };
     let n = *o.ns.first().unwrap_or(&6);
     let g = make_workload(&o.workload, n, o.seed)?;
+    let faults = parse_faults(o.faults.as_deref())?;
     let config = ExploreConfig::default()
         .with_max_states(o.max_states)
-        .with_dedup(parse_dedup(&o.dedup)?);
+        .with_dedup(parse_dedup(&o.dedup)?)
+        .with_faults(faults);
 
     // `--certify PATH`: additionally run the certifying walk and write one
     // `wb-cert/v1` line. Emitted before the report so a FAIL verdict (which
@@ -725,8 +749,18 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
                 "no"
             }
         );
+        if let Some(plan) = &o.faults {
+            println!("  faults          : {plan}");
+        }
         for f in report.failures.iter().take(5) {
-            println!("  FAIL under write order {:?}: {:?}", f.schedule, f.outcome);
+            if f.died.is_empty() {
+                println!("  FAIL under write order {:?}: {:?}", f.schedule, f.outcome);
+            } else {
+                println!(
+                    "  FAIL under write order {:?} (died {:?}): {:?}",
+                    f.schedule, f.died, f.outcome
+                );
+            }
         }
         match verdict {
             "PASS" => println!(
@@ -747,6 +781,7 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
         o: &'a Opts,
         g: &'a Graph,
         config: ExploreConfig,
+        faults: Option<wb_runtime::FaultPlan>,
     }
 
     impl registry::ProtocolVisitor for ExploreOne<'_> {
@@ -760,26 +795,36 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
         {
             let (o, g) = (self.o, self.g);
             let oracle = bind(g);
-            let pred = |out: &Outcome<P::Output>| oracle(out);
+            let pred = |out: &Outcome<P::Output>, died: &[NodeId]| oracle(out, died);
             let start = std::time::Instant::now();
             let report = if o.par {
-                explore_parallel(&protocol, g, &self.config, &pred)
+                explore_parallel_with(&protocol, g, &self.config, &pred)
             } else {
-                explore(&protocol, g, &self.config, &pred)
+                explore_with(&protocol, g, &self.config, &pred)
             };
             let wall_sec = start.elapsed().as_secs_f64();
             let naive = o.compare_naive.then(|| {
                 let off = ExploreConfig::default()
                     .without_dedup()
-                    .with_max_states(o.max_states);
-                let naive = explore(&protocol, g, &off, &pred);
+                    .with_max_states(o.max_states)
+                    .with_faults(self.faults);
+                let naive = explore_with(&protocol, g, &off, &pred);
                 (naive.distinct_states, naive.terminals, naive.truncated)
             });
             print_report(o, g, &report, wall_sec, naive)
         }
     }
 
-    registry::dispatch(&o.protocol, n, ExploreOne { o, g: &g, config })?
+    registry::dispatch(
+        &o.protocol,
+        n,
+        ExploreOne {
+            o,
+            g: &g,
+            config,
+            faults,
+        },
+    )?
 }
 
 /// Emit machine-checkable exploration certificates: one certified
@@ -790,7 +835,8 @@ fn cmd_certify(o: &Opts) -> Result<(), String> {
     let model = parse_model(&o.model)?;
     let config = wb_runtime::ExploreConfig::default()
         .with_max_states(o.max_states)
-        .with_dedup(parse_dedup(&o.dedup)?);
+        .with_dedup(parse_dedup(&o.dedup)?)
+        .with_faults(parse_faults(o.faults.as_deref())?);
     let mut lines = String::new();
     for &n in &o.ns {
         let g = make_workload(&o.workload, n, o.seed)?;
@@ -885,6 +931,14 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
     let n = *o.ns.first().unwrap_or(&100);
     let g = make_workload(&o.workload, n, o.seed)?;
     let target = parse_model(&o.model)?;
+    let faults = parse_faults(o.faults.as_deref())?;
+    if faults.is_some() && o.shrink {
+        return Err(
+            "--shrink replays schedules fault-free and cannot minimize faulted witnesses; \
+             drop --faults or --shrink/--shrink-out"
+                .into(),
+        );
+    }
     // The campaign's default protocol is MIS (cheap per-trial work, genuinely
     // schedule-dependent outcomes) rather than the global BUILD default.
     let spec = if o.protocol_explicit {
@@ -899,13 +953,14 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         g: &'a Graph,
         spec: String,
         target: Option<Model>,
+        faults: Option<wb_runtime::FaultPlan>,
     }
 
     fn drive<P, C>(ctx: &Ctx, p: P, pred: C) -> Result<(), String>
     where
         P: Protocol + Sync,
         P::Output: std::fmt::Debug,
-        C: Fn(&Outcome<P::Output>) -> bool + Sync,
+        C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool + Sync,
     {
         match ctx.target {
             Some(m) if m != p.model() => {
@@ -933,7 +988,7 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
     where
         P: Protocol + Sync,
         P::Output: std::fmt::Debug,
-        C: Fn(&Outcome<P::Output>) -> bool + Sync,
+        C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool + Sync,
     {
         use wb_sim::json::Json;
         let o = ctx.o;
@@ -942,7 +997,8 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         let mut config = CampaignConfig::default()
             .with_trials(o.trials)
             .with_seed(o.seed)
-            .with_sampler(sampler);
+            .with_sampler(sampler)
+            .with_faults(ctx.faults);
         if let Some(batch) = o.batch {
             config = config.with_batch(batch);
         }
@@ -952,7 +1008,7 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
             family: o.workload.clone(),
         };
         let start = std::time::Instant::now();
-        let report = run_campaign(p, g, &config, &labels, &pred);
+        let report = run_campaign_with(p, g, &config, &labels, &pred);
         let wall_sec = start.elapsed().as_secs_f64();
         let trials_per_sec = if wall_sec > 0.0 {
             report.trials as f64 / wall_sec
@@ -961,11 +1017,13 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         };
 
         let shrunk = match (o.shrink, report.witnesses.first()) {
+            // Shrinking replays schedules fault-free (the CLI refuses the
+            // combination of --shrink and a live --faults plan up front).
             (true, Some(w)) => Some(shrink_schedule(
                 p,
                 g,
                 &w.schedule,
-                |outcome| !pred(outcome),
+                |outcome| !pred(outcome, &[]),
                 20_000,
             )?),
             _ => None,
@@ -979,6 +1037,7 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
                 let replayed = run(p, g, &mut ScheduleAdversary::new(s.schedule.clone()));
                 let failure = ScheduleFailure {
                     schedule: s.schedule.clone(),
+                    died: Vec::new(),
                     outcome: replayed.outcome,
                 };
                 let fixture =
@@ -1019,6 +1078,9 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
                 "  trials          : {} (sampler {}, seed {})",
                 report.trials, report.sampler, report.seed
             );
+            if let Some(plan) = &report.faults {
+                println!("  faults          : {plan}");
+            }
             println!(
                 "  passed / failed : {} / {} (deadlocks {})",
                 report.passed, report.failed, report.deadlocks
@@ -1026,10 +1088,17 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
             println!("  distinct outcomes: {}", report.distinct_outcomes);
             println!("  wall            : {wall_sec:.3}s ({trials_per_sec:.0} trials/sec)");
             for w in report.witnesses.iter().take(3) {
-                println!(
-                    "  FAIL trial {} (seed {}): write order {:?} → {}",
-                    w.trial, w.seed, w.schedule, w.outcome
-                );
+                if w.died.is_empty() {
+                    println!(
+                        "  FAIL trial {} (seed {}): write order {:?} → {}",
+                        w.trial, w.seed, w.schedule, w.outcome
+                    );
+                } else {
+                    println!(
+                        "  FAIL trial {} (seed {}): write order {:?} (died {:?}) → {}",
+                        w.trial, w.seed, w.schedule, w.died, w.outcome
+                    );
+                }
             }
             if let Some(s) = &shrunk {
                 println!(
@@ -1061,7 +1130,8 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
             B: for<'g> Fn(&'g Graph) -> registry::BoundOracle<'g, P::Output> + Send + Sync,
         {
             let oracle = bind(self.ctx.g);
-            drive(&self.ctx, protocol, oracle)
+            let pred = move |out: &Outcome<P::Output>, died: &[NodeId]| oracle(out, died);
+            drive(&self.ctx, protocol, pred)
         }
     }
 
@@ -1070,6 +1140,7 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         g: &g,
         spec: spec.clone(),
         target,
+        faults,
     };
     registry::dispatch(&spec, n, CampaignOne { ctx })?
 }
@@ -1079,12 +1150,14 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
 /// registry oracle, with rounds/sec and board bytes reported. Sweeps every
 /// `--n` value like `run` does.
 fn cmd_bulk(o: &Opts) -> Result<(), String> {
-    use wb_runtime::bulk::{run_bulk, shuffled_schedule, BulkConfig};
+    use wb_runtime::bulk::{run_bulk, run_bulk_crashed, shuffled_schedule, BulkConfig};
 
     struct BulkOne<'a> {
         o: &'a Opts,
         g: &'a Graph,
         target: Option<Model>,
+        /// Crash-stop only; lossy plans are refused before dispatch.
+        faults: Option<wb_runtime::FaultPlan>,
     }
 
     impl registry::BulkVisitor for BulkOne<'_> {
@@ -1108,7 +1181,13 @@ fn cmd_bulk(o: &Opts) -> Result<(), String> {
             let schedule = shuffled_schedule(n, o.seed);
             let config = BulkConfig::default().with_batch(o.batch.unwrap_or(4096));
             let start = std::time::Instant::now();
-            let report = run_bulk(&protocol, g, &schedule, self.target, &config);
+            let report = match self.faults {
+                Some(plan) => {
+                    let victims = plan.sample_victims(n, o.seed)?;
+                    run_bulk_crashed(&protocol, g, &schedule, self.target, &config, &victims)
+                }
+                None => run_bulk(&protocol, g, &schedule, self.target, &config),
+            };
             let wall_sec = start.elapsed().as_secs_f64();
             let rounds_per_sec = if wall_sec > 0.0 {
                 report.rounds as f64 / wall_sec
@@ -1116,9 +1195,16 @@ fn cmd_bulk(o: &Opts) -> Result<(), String> {
                 0.0
             };
             let oracle = bind(g);
-            let pass = oracle(&report.outcome);
+            let pass = oracle(&report.outcome, &report.crashed);
             let verdict = if pass { "PASS" } else { "FAIL" };
             println!("bulk: {} @ {model} on {} (n = {n})", o.protocol, o.workload);
+            if let Some(plan) = self.faults {
+                println!(
+                    "  faults          : {} (died {:?})",
+                    plan.spec(),
+                    report.crashed
+                );
+            }
             println!(
                 "  rounds          : {} in {wall_sec:.3}s ({rounds_per_sec:.0} rounds/sec)",
                 report.rounds
@@ -1145,6 +1231,16 @@ fn cmd_bulk(o: &Opts) -> Result<(), String> {
     }
 
     let target = parse_bulk_model(&o.model)?;
+    let faults = parse_faults(o.faults.as_deref())?;
+    if let Some(plan) = &faults {
+        if plan.kind() == wb_runtime::FaultKind::Lossy {
+            return Err(format!(
+                "the bulk tier executes crash-stop fault plans only, not {} (lossy \
+                 suppression is an adaptive mid-run adversary; use `explore` or `campaign`)",
+                plan.spec()
+            ));
+        }
+    }
     for &n in &o.ns {
         // `--json` delegates to the daemon's job layer: deterministic
         // canonical object on stdout, timing on stderr, byte-identical to
@@ -1161,7 +1257,16 @@ fn cmd_bulk(o: &Opts) -> Result<(), String> {
             continue;
         }
         let g = make_workload(&o.workload, n, o.seed)?;
-        registry::dispatch_bulk(&o.protocol, n, BulkOne { o, g: &g, target })??;
+        registry::dispatch_bulk(
+            &o.protocol,
+            n,
+            BulkOne {
+                o,
+                g: &g,
+                target,
+                faults,
+            },
+        )??;
     }
     Ok(())
 }

@@ -184,6 +184,7 @@ fn golden_campaign(batch: usize) -> wb_sim::CampaignReport {
         batch,
         outcome_cap: 64,
         witness_cap: 8,
+        faults: None,
     };
     let labels = CampaignLabels {
         protocol: "mis:1".into(),
@@ -278,6 +279,7 @@ fn injected_failure_shrinks_to_a_replayable_corpus_witness() {
     assert!(!replayed.outcome.is_success());
     let failure = ScheduleFailure {
         schedule: shrunk.schedule.clone(),
+        died: Vec::new(),
         outcome: replayed.outcome,
     };
     let fixture = WitnessFixture::from_failure(
@@ -346,6 +348,7 @@ fn regen_campaign_corpus_fixture() {
     );
     let failure = ScheduleFailure {
         schedule: shrunk.schedule,
+        died: Vec::new(),
         outcome: replayed.outcome,
     };
     let fixture = campaign_fixture(&g, &failure);

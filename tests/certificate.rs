@@ -13,7 +13,7 @@ use wb_bench::certify::{certify_spec, CertifiedRun, Provenance};
 use wb_core::registry::{self, BoundOracle, ProtocolVisitor, PROTOCOLS};
 use wb_graph::{generators, Graph};
 use wb_runtime::certificate::CertificateEdge;
-use wb_runtime::{Engine, ExploreConfig, Protocol};
+use wb_runtime::{Engine, ExploreConfig, FaultPlan, Protocol};
 use wb_verify::{machine::Machine, verify_line, VerifyError};
 
 /// Certify `spec` on `g` under its native model.
@@ -168,6 +168,7 @@ fn tamper_forged_edge_is_rejected() {
     let forged = CertificateEdge {
         from: u128::MAX,
         writer: 1,
+        crash: false,
         to: run.certificate.initial,
     };
     run.certificate.edges.push(forged.clone());
@@ -284,6 +285,137 @@ fn tamper_state_count_is_rejected() {
             claimed: honest + 1,
             actual: honest,
         }
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Faulted certificates: the recorded fault schedule is replayed, and every
+// way of lying about it — stripping the plan, inflating the budget, dropping
+// or relabeling crash edges, forging a witness's died set — is rejected.
+// ---------------------------------------------------------------------------
+
+/// Certify `spec` on `g` under a `crash:1` fault plan.
+fn certified_faulted(spec: &str, g: &Graph) -> CertifiedRun {
+    certify_spec(
+        spec,
+        g,
+        None,
+        Provenance::default(),
+        &ExploreConfig::default().with_faults(Some(FaultPlan::crash_stop(1))),
+    )
+    .unwrap_or_else(|e| panic!("{spec} must certify under crash:1: {e}"))
+}
+
+#[test]
+fn faulted_certificate_records_the_plan_and_verifies() {
+    let run = certified_faulted("mis:1", &generators::path(4));
+    assert_eq!(run.certificate.faults.as_deref(), Some("crash:1"));
+    assert!(
+        run.certificate.edges.iter().any(|e| e.crash),
+        "a crash:1 exploration must branch over at least one dying write"
+    );
+    let line = run.certificate.to_json_line();
+    assert!(line.contains(r#""faults":"crash:1""#));
+    let summary =
+        verify_line(&line).expect("fresh faulted certificate must replay under its own plan");
+    assert_eq!(summary.states, run.distinct_states);
+}
+
+#[test]
+fn tamper_stripped_fault_plan_is_rejected() {
+    // Erasing the plan leaves crash-marked edges in a nominally fault-free
+    // document: the parser's structural gate refuses it before replay.
+    let mut run = certified_faulted("mis:1", &generators::path(4));
+    run.certificate.faults = None;
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::Field { field: "edges", .. }),
+        "stripping the fault plan must orphan the crash edges, got {err}"
+    );
+}
+
+#[test]
+fn tamper_inflated_fault_budget_is_rejected() {
+    // Claiming crash:2 over a crash:1 DAG owes crash edges the exploration
+    // never took (configurations with one crash already spent the budget).
+    let mut run = certified_faulted("mis:1", &generators::path(4));
+    run.certificate.faults = Some("crash:2".into());
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::MissingEdge { .. }),
+        "an inflated budget must demand crash edges that do not exist, got {err}"
+    );
+}
+
+#[test]
+fn tamper_dropped_crash_edge_is_rejected() {
+    let mut run = certified_faulted("mis:1", &generators::path(4));
+    let initial = run.certificate.initial;
+    let pos = run
+        .certificate
+        .edges
+        .iter()
+        .position(|e| e.from == initial && e.crash)
+        .expect("initial configuration has crash edges under crash:1");
+    let dropped = run.certificate.edges.remove(pos);
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::MissingEdge {
+            config: dropped.from,
+            writer: dropped.writer,
+        }
+    );
+}
+
+#[test]
+fn tamper_relabeled_crash_flag_is_rejected() {
+    // Flipping a crash edge's marker claims the write landed on an edge
+    // whose target hash says it died — colliding with the honest survive
+    // edge for the same (config, writer) pair, which the parser's
+    // duplicate-edge gate catches before replay.
+    let mut run = certified_faulted("mis:1", &generators::path(4));
+    let initial = run.certificate.initial;
+    let pos = run
+        .certificate
+        .edges
+        .iter()
+        .position(|e| e.from == initial && e.crash)
+        .expect("initial configuration has crash edges under crash:1");
+    run.certificate.edges[pos].crash = false;
+    run.certificate.edges.sort();
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::DuplicateEdge { .. }),
+        "a relabeled crash flag must break the edge accounting, got {err}"
+    );
+}
+
+#[test]
+fn tamper_witness_died_set_is_rejected() {
+    // Forging a witness's crash schedule diverges from the pinned hash
+    // trace at the first affected step: the same picks with a different
+    // fate visit different configurations.
+    let mut run = certified_faulted("async-bipartite-bfs", &triangle_tail());
+    assert!(
+        !run.certificate.witnesses.is_empty(),
+        "triangle-tail must still fail under crash:1"
+    );
+    let w = &mut run.certificate.witnesses[0];
+    if w.died.is_empty() {
+        w.died = vec![w.schedule[0]];
+    } else {
+        w.died.clear();
+    }
+    let err = verify_line(&run.certificate.to_json_line()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::WitnessTrace { witness: 0, .. }
+                | VerifyError::WitnessStep { witness: 0, .. }
+                | VerifyError::WitnessShape { witness: 0, .. }
+        ),
+        "a forged died set must fail strict replay naming witness 0, got {err}"
     );
 }
 

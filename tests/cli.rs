@@ -441,9 +441,20 @@ fn bulk_runs_both_engine_paths_and_reports_throughput() {
 
 #[test]
 fn bulk_rejects_free_models_and_demotions() {
+    // The rejection must name the offending protocol, its model, and the
+    // supported alternatives — not just wave at "simultaneous models".
     let (ok, out) = whiteboard(&["bulk", "--protocol", "bfs", "--n", "100"]);
     assert!(!ok);
-    assert!(out.contains("simultaneous"), "{out}");
+    assert!(out.contains("protocol 'bfs'"), "{out}");
+    assert!(out.contains("the free model SYNC"), "{out}");
+    assert!(out.contains("simultaneous models only"), "{out}");
+    assert!(out.contains("SIMASYNC or SIMSYNC"), "{out}");
+    // An ASYNC-native protocol is named with its own model.
+    let (ok, out) = whiteboard(&["bulk", "--protocol", "eob-bfs", "--n", "100"]);
+    assert!(!ok);
+    assert!(out.contains("protocol 'eob-bfs'"), "{out}");
+    assert!(out.contains("the free model ASYNC"), "{out}");
+    assert!(out.contains("SIMASYNC or SIMSYNC"), "{out}");
     let (ok, out) = whiteboard(&[
         "bulk",
         "--protocol",
@@ -466,6 +477,95 @@ fn bulk_rejects_free_models_and_demotions() {
     ]);
     assert!(!ok);
     assert!(out.contains("cannot demote"), "{out}");
+}
+
+#[test]
+fn fault_plans_flow_through_every_tier_and_refusals_are_structured() {
+    // Faulted explore: the plan is echoed and the degraded verdict passes.
+    let (ok, out) = whiteboard(&[
+        "explore",
+        "--protocol",
+        "mis:1",
+        "--workload",
+        "path",
+        "--n",
+        "4",
+        "--faults",
+        "crash:1",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("faults          : crash:1"), "{out}");
+    assert!(out.contains("verdict         : PASS"), "{out}");
+    // Faulted campaign, JSON form: the plan rides in the report.
+    let (ok, out) = whiteboard_stdout(&[
+        "campaign",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "12",
+        "--trials",
+        "20",
+        "--faults",
+        "crash:1",
+        "--json",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"faults\":\"crash:1\""), "{out}");
+    // Faulted bulk names its victims.
+    let (ok, out) = whiteboard(&[
+        "bulk",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "200",
+        "--faults",
+        "crash:2",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("faults          : crash:2 (died"), "{out}");
+    // Bulk refuses lossy plans with the reason and the escape route.
+    let (ok, out) = whiteboard(&[
+        "bulk",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "200",
+        "--faults",
+        "lossy:1",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("crash-stop fault plans only"), "{out}");
+    assert!(out.contains("`explore` or `campaign`"), "{out}");
+    // Shrinking replays fault-free, so faulted campaigns refuse --shrink.
+    let (ok, out) = whiteboard(&[
+        "campaign",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "12",
+        "--trials",
+        "20",
+        "--faults",
+        "crash:1",
+        "--shrink",
+    ]);
+    assert!(!ok);
+    assert!(
+        out.contains("--shrink replays schedules fault-free"),
+        "{out}"
+    );
+    // Malformed plans are named.
+    let (ok, out) = whiteboard(&[
+        "explore",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "4",
+        "--faults",
+        "melt:3",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("melt"), "{out}");
 }
 
 #[test]

@@ -198,7 +198,7 @@ impl ProtocolVisitor for FullBattery<'_> {
         assert_fingerprint_matches_exact(&protocol, self.g, label);
         let oracle = bind(self.g);
         let report = explore(&protocol, self.g, &ExploreConfig::default(), |out| {
-            oracle(out)
+            oracle(out, &[])
         });
         assert!(!report.truncated, "{label}: truncated on {:?}", self.g);
         if self.info.total {
@@ -413,6 +413,50 @@ fn certificates_match_exact_dedup_and_naive_dfs_n4() {
                 .unwrap_or_else(|e| panic!("{}: {e}", info.name));
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans: the inert plan is byte-identical to no plan at all.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn inert_fault_plans_leave_job_reports_byte_identical_across_the_registry() {
+    // The fault-free differential gate: for every registered protocol, on
+    // every execution tier it supports, a budget-0 fault plan (`crash:0` and
+    // `lossy:0`) must produce the *byte-identical* report — same JSON, same
+    // verdict — as no plan at all. This pins that wiring `FaultPlan` through
+    // the engines changed nothing about historical behavior.
+    use wb_serve::jobs::{run_job, JobKind, JobSpec};
+    let render = |spec: &JobSpec| run_job(spec).map(|r| (r.line(), r.verdict));
+    for info in registry::PROTOCOLS {
+        for kind in [JobKind::Explore, JobKind::Campaign, JobKind::Bulk] {
+            if kind == JobKind::Bulk && !info.bulk {
+                continue;
+            }
+            let mut base = JobSpec::new(kind);
+            base.protocol = info.spec.to_string();
+            match kind {
+                JobKind::Explore => base.n = 4,
+                JobKind::Campaign => {
+                    base.n = 12;
+                    base.trials = 40;
+                }
+                JobKind::Bulk => base.n = 60,
+            }
+            let baseline = render(&base);
+            for plan in ["crash:0", "lossy:0"] {
+                let mut faulted = base.clone();
+                faulted.faults = Some(plan.into());
+                assert_eq!(
+                    render(&faulted),
+                    baseline,
+                    "{} {:?} with {plan} diverged from the fault-free report",
+                    info.spec,
+                    kind
+                );
+            }
+        }
+    }
 }
 
 #[test]

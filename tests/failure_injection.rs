@@ -109,6 +109,123 @@ fn bfs_output_tolerates_unknown_graphs() {
 }
 
 #[test]
+fn crash_stop_boards_are_well_formed_boards_minus_the_victims_rows() {
+    // A crash-stop fault drops the victim's write *after* compose: the
+    // referee reads a well-formed board that is simply missing one row, not
+    // a board with a corrupt row. The output function must decode it, and
+    // the registry's fault-aware oracle must accept the degraded outcome.
+    use wb_core::registry::{self, BoundOracle, ProtocolVisitor};
+    use wb_runtime::Engine;
+
+    struct CrashedMisReferee<'a> {
+        g: &'a Graph,
+    }
+
+    impl ProtocolVisitor for CrashedMisReferee<'_> {
+        type Result = ();
+        fn visit<P, B>(self, protocol: P, bind: B)
+        where
+            P: Protocol + Clone + Send + Sync,
+            P::Node: Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            let mut engine = Engine::new(&protocol, self.g);
+            for pick in [2, 3, 4, 1, 5] {
+                if pick == 3 {
+                    engine.step_crash(pick);
+                } else {
+                    engine.step(pick);
+                }
+            }
+            let report = engine.finish();
+            assert_eq!(report.crashed, vec![3]);
+            assert!(
+                report.board.entries().iter().all(|e| e.writer != 3),
+                "the victim's write must never reach the board"
+            );
+            assert_eq!(report.board.entries().len(), 4);
+            let oracle = bind(self.g);
+            assert!(
+                oracle(&report.outcome, &report.crashed),
+                "fault-aware oracle rejected a legitimate degraded outcome: {:?}",
+                report.outcome
+            );
+        }
+    }
+
+    let g = generators::path(5);
+    registry::dispatch("mis:1", g.n(), CrashedMisReferee { g: &g }).expect("mis:1 resolves");
+}
+
+#[test]
+fn build_referee_survives_suppressed_rows() {
+    // Lossy-board faults hand the referee a board missing an arbitrary
+    // subset of rows. Whatever the verdict (a reconstruction of the
+    // surviving subgraph or a structured rejection), the decoder must not
+    // panic on any single-victim suppression.
+    let g = generators::path(4);
+    let p = BuildDegenerate::new(2);
+    let report = run(&p, &g, &mut MinIdAdversary);
+    let full: Vec<(NodeId, BitVec)> = report
+        .board
+        .entries()
+        .iter()
+        .map(|e| (e.writer, e.msg.clone()))
+        .collect();
+    for victim in 1..=4 as NodeId {
+        let board = Whiteboard::from_messages(full.iter().filter(|(w, _)| *w != victim).cloned());
+        let _ = p.output(4, &board);
+    }
+}
+
+#[test]
+fn edge_count_referee_tolerates_odd_degree_casualties() {
+    // A crashed endpoint of a path has odd degree, so the surviving degree
+    // sum violates the handshake lemma — the referee must floor, not
+    // assert, and the result must sit in the degraded bracket
+    // [surviving edges, m]. (Found by the CI fault matrix: `certify
+    // edge-count --faults crash:1` panicked on exactly this board.)
+    use wb_core::registry::{self, BoundOracle, ProtocolVisitor};
+    use wb_runtime::Engine;
+
+    struct CrashedEndpoint<'a> {
+        g: &'a Graph,
+    }
+
+    impl ProtocolVisitor for CrashedEndpoint<'_> {
+        type Result = ();
+        fn visit<P, B>(self, protocol: P, bind: B)
+        where
+            P: Protocol + Clone + Send + Sync,
+            P::Node: Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            let mut engine = Engine::new(&protocol, self.g);
+            for pick in 1..=self.g.n() as NodeId {
+                if pick == 1 {
+                    engine.step_crash(pick);
+                } else {
+                    engine.step(pick);
+                }
+            }
+            let report = engine.finish();
+            let oracle = bind(self.g);
+            assert!(
+                oracle(&report.outcome, &report.crashed),
+                "degraded edge-count bracket rejected {:?}",
+                report.outcome
+            );
+        }
+    }
+
+    let g = generators::path(3);
+    registry::dispatch("edge-count", g.n(), CrashedEndpoint { g: &g })
+        .expect("edge-count resolves");
+}
+
+#[test]
 fn mixed_build_rejects_forged_boards_too() {
     use wb_core::BuildMixed;
     use wb_math::powersum::power_sum_field_bits;
