@@ -29,6 +29,7 @@ use wb_core::{BuildDegenerate, MisGreedy};
 use wb_graph::generators;
 use wb_runtime::exhaustive::{
     explore, explore_parallel, for_each_schedule, ExplorationReport, ExploreConfig, NaiveReport,
+    ReductionPolicy,
 };
 use wb_runtime::Protocol;
 
@@ -114,6 +115,65 @@ impl Row {
     }
 }
 
+/// One (workload, n, policy) measurement of the reduction machinery.
+/// `generated` is the number of states the explorer materialized
+/// (distinct + merged) — the quantity the reductions exist to shrink.
+/// Counts are deterministic, so the baseline gate checks them exactly.
+struct ReductionRow {
+    workload: &'static str,
+    n: usize,
+    policy: ReductionPolicy,
+    generated: u64,
+    distinct: u64,
+    terminals: u64,
+}
+
+impl ReductionRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":{},\"n\":{},\"policy\":{},\"generated\":{},\
+             \"distinct\":{},\"terminals\":{}}}",
+            escape(self.workload),
+            self.n,
+            escape(&self.policy.to_string()),
+            self.generated,
+            self.distinct,
+            self.terminals,
+        )
+    }
+}
+
+const REDUCTION_POLICIES: [ReductionPolicy; 4] = [
+    ReductionPolicy::Off,
+    ReductionPolicy::Dpor,
+    ReductionPolicy::Symmetry,
+    ReductionPolicy::DporSymmetry,
+];
+
+fn measure_reduction_rows() -> Vec<ReductionRow> {
+    let p = MisGreedy::new(1);
+    let mut rows = Vec::new();
+    for (workload, graph) in [
+        ("cycle", generators::cycle(8)),
+        ("clique", generators::clique(8)),
+    ] {
+        for policy in REDUCTION_POLICIES {
+            let cfg = ExploreConfig::default().with_reduction(policy);
+            let r = explore(&p, &graph, &cfg, |_| true);
+            assert!(!r.truncated, "{workload}-8 {policy} truncated");
+            rows.push(ReductionRow {
+                workload,
+                n: 8,
+                policy,
+                generated: r.generated(),
+                distinct: r.distinct_states,
+                terminals: r.terminals,
+            });
+        }
+    }
+    rows
+}
+
 fn measure_rows() -> Vec<Row> {
     let mut rows = Vec::new();
     for n in 3..=7usize {
@@ -163,13 +223,23 @@ fn measure_rows() -> Vec<Row> {
     rows
 }
 
-fn emit_json(rows: &[Row], n7_reduction: f64, path: &str) {
+fn emit_json(rows: &[Row], reduction_rows: &[ReductionRow], n7_reduction: f64, path: &str) {
     let mut body =
         String::from("{\n  \"schema\": \"wb-bench/explore-scaling/v1\",\n  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         body.push_str("    ");
         body.push_str(&row.to_json());
         body.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("  ],\n  \"reduction_rows\": [\n");
+    for (i, row) in reduction_rows.iter().enumerate() {
+        body.push_str("    ");
+        body.push_str(&row.to_json());
+        body.push_str(if i + 1 < reduction_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     body.push_str("  ],\n");
     body.push_str(&format!("  \"n7_reduction\": {n7_reduction:.2},\n"));
@@ -202,8 +272,10 @@ fn emit_json(rows: &[Row], n7_reduction: f64, path: &str) {
 
 /// Gate: every baseline row with a matching (protocol, n) must not beat the
 /// fresh measurement by more than 2× — a slower machine passes, a genuine
-/// 2× regression fails.
-fn check_baseline(rows: &[Row], path: &str) -> Result<(), String> {
+/// 2× regression fails. Baseline `reduction_rows` are deterministic state
+/// counts, so those must match exactly: a drifted count means the reduction
+/// machinery changed what it prunes (or stopped pruning) silently.
+fn check_baseline(rows: &[Row], reduction_rows: &[ReductionRow], path: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
@@ -242,7 +314,35 @@ fn check_baseline(rows: &[Row], path: &str) -> Result<(), String> {
     if checked == 0 {
         return Err("baseline matched no measured rows".into());
     }
-    println!("baseline gate passed ({checked} rows within 2x)");
+    let mut exact = 0;
+    for b in doc
+        .get("reduction_rows")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+    {
+        let (Some(workload), Some(n), Some(policy), Some(generated)) = (
+            b.get("workload").and_then(Json::as_str),
+            b.get("n").and_then(Json::as_f64),
+            b.get("policy").and_then(Json::as_str),
+            b.get("generated").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let Some(row) = reduction_rows.iter().find(|r| {
+            r.workload == workload && r.n == n as usize && r.policy.to_string() == policy
+        }) else {
+            continue;
+        };
+        if row.generated != generated as u64 {
+            return Err(format!(
+                "{workload}-{n} --reduction {policy}: generated {} states but the \
+                 baseline records {generated} (deterministic count drifted)",
+                row.generated
+            ));
+        }
+        exact += 1;
+    }
+    println!("baseline gate passed ({checked} rows within 2x, {exact} reduction counts exact)");
     Ok(())
 }
 
@@ -326,6 +426,76 @@ fn main() {
         "dedup must beat the naive DFS by >= 10x at n = 7"
     );
 
+    banner("Partial-order + symmetry reduction: generated states per policy (MIS(1), n = 8)");
+    let reduction_rows = measure_reduction_rows();
+    let rt = TablePrinter::new(
+        &["workload", "n", "policy", "generated", "distinct", "cut"],
+        &[9, 4, 14, 11, 10, 8],
+    );
+    let generated_of = |workload: &str, policy: ReductionPolicy| {
+        reduction_rows
+            .iter()
+            .find(|r| r.workload == workload && r.policy == policy)
+            .map(|r| r.generated)
+            .expect("measured row")
+    };
+    for row in &reduction_rows {
+        let off = generated_of(row.workload, ReductionPolicy::Off);
+        rt.row(&[
+            row.workload.into(),
+            format!("{}", row.n),
+            row.policy.to_string(),
+            format!("{}", row.generated),
+            format!("{}", row.distinct),
+            format!("{:.2}x", off as f64 / row.generated as f64),
+        ]);
+    }
+    // Terminals are a reduction-invariant observable: every policy must
+    // agree with the unreduced walk per workload.
+    for workload in ["cycle", "clique"] {
+        let terminals: Vec<u64> = reduction_rows
+            .iter()
+            .filter(|r| r.workload == workload)
+            .map(|r| r.terminals)
+            .collect();
+        assert!(
+            terminals.windows(2).all(|w| w[0] == w[1]),
+            "{workload}-8: terminal counts diverge across policies: {terminals:?}"
+        );
+    }
+    // The headline gate: on the vertex-transitive clique-8 (stabilizer
+    // S_7, order 5040) the combined reduction must generate >= 10x fewer
+    // states. Root-pinned cycle-8 only has a stabilizer of order 2 (the
+    // reflection through the root), so the honest bar there is 2x.
+    let clique_cut = generated_of("clique", ReductionPolicy::Off) as f64
+        / generated_of("clique", ReductionPolicy::DporSymmetry) as f64;
+    let cycle_cut = generated_of("cycle", ReductionPolicy::Off) as f64
+        / generated_of("cycle", ReductionPolicy::DporSymmetry) as f64;
+    println!();
+    println!("clique-8 dpor+symmetry cut: {clique_cut:.1}x (claim: >= 10x)");
+    println!("cycle-8  dpor+symmetry cut: {cycle_cut:.1}x (claim: >= 2x, |Aut| = 2)");
+    assert!(
+        clique_cut >= 10.0,
+        "dpor+symmetry must generate >= 10x fewer states on clique-8 (got {clique_cut:.2}x)"
+    );
+    assert!(
+        cycle_cut >= 2.0,
+        "dpor+symmetry must generate >= 2x fewer states on cycle-8 (got {cycle_cut:.2}x)"
+    );
+
+    // Sweeps that truncate unreduced must now complete: cycle-10 and
+    // cycle-12 under the default state cap.
+    for n in [10usize, 12] {
+        let g = generators::cycle(n);
+        let cfg = ExploreConfig::default().with_reduction(ReductionPolicy::DporSymmetry);
+        let r = explore(&MisGreedy::new(1), &g, &cfg, |_| true);
+        assert!(!r.truncated, "cycle-{n} truncated under dpor+symmetry");
+        println!(
+            "cycle-{n} MIS(1) dpor+symmetry: {} distinct states, untruncated",
+            r.distinct_states
+        );
+    }
+
     for (proto, pre) in PRE_PR_STATES_PER_SEC {
         if let Some(row) = rows.iter().find(|r| r.protocol == proto && r.n == 7) {
             let speedup = row.states_per_sec() / pre;
@@ -345,10 +515,10 @@ fn main() {
     }
 
     if let Some(path) = &json_path {
-        emit_json(&rows, n7_reduction, path);
+        emit_json(&rows, &reduction_rows, n7_reduction, path);
     }
     if let Some(path) = &baseline_path {
-        if let Err(e) = check_baseline(&rows, path) {
+        if let Err(e) = check_baseline(&rows, &reduction_rows, path) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }

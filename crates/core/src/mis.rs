@@ -9,7 +9,7 @@
 use crate::codec::{read_id, write_id};
 use wb_graph::NodeId;
 use wb_math::{id_bits, BitReader, BitVec, BitWriter};
-use wb_runtime::{LocalView, Model, Node, Protocol, Whiteboard};
+use wb_runtime::{Commutativity, LocalView, Model, Node, Protocol, Whiteboard};
 
 /// The greedy SIMSYNC rooted-MIS protocol.
 ///
@@ -98,6 +98,33 @@ impl Protocol for MisGreedy {
             .collect();
         set.sort_unstable();
         set
+    }
+
+    /// The protocol is local: a node's state changes only on neighbor writes
+    /// (`observe` checks `view.is_neighbor`), so non-adjacent writes commute.
+    fn commutes(&self) -> Commutativity {
+        Commutativity::NonAdjacent
+    }
+
+    /// Behavior depends on the view and the root only — no ID-order
+    /// comparisons — so any automorphism fixing the root relabels
+    /// executions faithfully.
+    fn equivariant(&self) -> bool {
+        true
+    }
+
+    fn pinned_nodes(&self) -> Vec<NodeId> {
+        vec![self.root]
+    }
+
+    fn relabel_message(&self, n: usize, msg: &BitVec, perm: &[NodeId]) -> BitVec {
+        let mut r = BitReader::new(msg);
+        let id = read_id(&mut r, n);
+        let join = r.read_bool();
+        let mut w = BitWriter::new();
+        write_id(&mut w, perm[id as usize - 1], n);
+        w.write_bool(join);
+        w.finish()
     }
 }
 

@@ -1,0 +1,281 @@
+//! Graph automorphisms for the exhaustive tier's symmetry quotient.
+//!
+//! The vertex-transitive families the paper's experiments sweep — cycles,
+//! cliques, stars, the two-cliques gadget — collapse exponentially under
+//! their automorphism groups, and the schedule explorer exploits that by
+//! canonicalizing configuration fingerprints over a (pointwise) stabilizer
+//! subgroup before the seen-set probe. The instances that tier handles are
+//! tiny (n ≤ ~14), so no partition-refinement/nauty machinery is needed: a
+//! plain backtracking search over degree-compatible images, pruned by
+//! adjacency consistency against the already-assigned prefix, enumerates the
+//! *entire* group exactly. The search tree of a successful branch is the
+//! permutation itself, so the cost is `O(|Aut(G)| · n²)` plus the pruned
+//! dead ends — negligible next to the exploration the group then shrinks.
+//!
+//! Soundness note for callers: quotienting is only valid under an actual
+//! *group* (closure is what makes "minimum fingerprint over all elements" an
+//! orbit invariant). [`stabilizer`] therefore reports whether enumeration
+//! finished under the cap via [`AutGroup::complete`]; a capped enumeration
+//! is *not* closed and must not be used for canonicalization.
+
+use crate::{Graph, NodeId};
+
+/// A fully enumerated (pointwise-stabilizer) automorphism group of a graph.
+///
+/// Elements are permutations of `1..=n` stored as forward maps: element `p`
+/// sends node `v` to `p[v as usize - 1]`. The identity is always element 0.
+#[derive(Clone, Debug)]
+pub struct AutGroup {
+    n: usize,
+    elements: Vec<Vec<NodeId>>,
+    complete: bool,
+}
+
+impl AutGroup {
+    /// Number of nodes the permutations act on.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The enumerated elements (identity first). If [`Self::complete`] is
+    /// false this is a *truncated prefix*, not a group — see the module docs.
+    pub fn elements(&self) -> &[Vec<NodeId>] {
+        &self.elements
+    }
+
+    /// Group order (only meaningful when [`Self::complete`]).
+    pub fn order(&self) -> u64 {
+        self.elements.len() as u64
+    }
+
+    /// Whether enumeration finished under the cap. A capped enumeration is
+    /// not closed under composition and must not be used for quotienting.
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Whether the group is just the identity (no symmetry to exploit).
+    pub fn is_trivial(&self) -> bool {
+        self.complete && self.elements.len() == 1
+    }
+
+    /// Node orbits under the enumerated elements, each sorted ascending,
+    /// ordered by smallest member. For a complete group these are the true
+    /// orbits of the action on vertices.
+    pub fn orbits(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.n];
+        let mut out = Vec::new();
+        for v in 1..=self.n as NodeId {
+            if seen[v as usize - 1] {
+                continue;
+            }
+            let mut orbit: Vec<NodeId> = self
+                .elements
+                .iter()
+                .map(|p| p[v as usize - 1])
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            orbit.sort_unstable();
+            for &u in &orbit {
+                seen[u as usize - 1] = true;
+            }
+            out.push(orbit);
+        }
+        out
+    }
+}
+
+/// Enumerate the pointwise stabilizer of `pinned` inside `Aut(g)`: every
+/// permutation `π` of `1..=n` with `π(u) adjacent π(v) ⇔ u adjacent v` and
+/// `π(p) = p` for each pinned node `p`. Enumeration stops once more than
+/// `cap` elements exist; the result then has [`AutGroup::complete`] ==
+/// false and must not be used for canonicalization (see module docs).
+///
+/// Out-of-range pinned IDs are ignored (callers pass protocol-declared
+/// distinguished nodes that may not exist on a smaller instance).
+pub fn stabilizer(g: &Graph, pinned: &[NodeId], cap: usize) -> AutGroup {
+    let n = g.n();
+    let mut search = Search {
+        g,
+        pinned: pinned
+            .iter()
+            .copied()
+            .filter(|&p| p >= 1 && p as usize <= n)
+            .collect(),
+        img: vec![0; n],
+        used: vec![false; n],
+        elements: Vec::new(),
+        cap,
+        capped: false,
+    };
+    search.recurse(0);
+    // The identity satisfies every constraint, so it is always found; move
+    // it to the front so callers can skip it uniformly.
+    if let Some(pos) = search
+        .elements
+        .iter()
+        .position(|p| p.iter().enumerate().all(|(i, &x)| x == i as NodeId + 1))
+    {
+        search.elements.swap(0, pos);
+    }
+    AutGroup {
+        n,
+        elements: search.elements,
+        complete: !search.capped,
+    }
+}
+
+struct Search<'g> {
+    g: &'g Graph,
+    pinned: Vec<NodeId>,
+    /// `img[i]` = image of node `i+1` in the branch under construction
+    /// (0 = unassigned; nodes are assigned in ID order).
+    img: Vec<NodeId>,
+    used: Vec<bool>,
+    elements: Vec<Vec<NodeId>>,
+    cap: usize,
+    capped: bool,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, depth: usize) {
+        if self.capped {
+            return;
+        }
+        let n = self.img.len();
+        if depth == n {
+            if self.elements.len() == self.cap {
+                self.capped = true;
+                return;
+            }
+            self.elements.push(self.img.clone());
+            return;
+        }
+        let u = depth as NodeId + 1;
+        let deg = self.g.degree(u);
+        let pinned_here = self.pinned.contains(&u);
+        for x in 1..=n as NodeId {
+            if self.used[x as usize - 1]
+                || self.g.degree(x) != deg
+                || (pinned_here && x != u)
+                || (!pinned_here && self.pinned.contains(&x))
+            {
+                continue;
+            }
+            // Adjacency consistency against the assigned prefix.
+            if (1..u).any(|v| self.g.has_edge(u, v) != self.g.has_edge(x, self.img[v as usize - 1]))
+            {
+                continue;
+            }
+            self.img[depth] = x;
+            self.used[x as usize - 1] = true;
+            self.recurse(depth + 1);
+            self.used[x as usize - 1] = false;
+            self.img[depth] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn order(g: &Graph, pinned: &[NodeId]) -> u64 {
+        let grp = stabilizer(g, pinned, 1 << 20);
+        assert!(grp.complete());
+        grp.order()
+    }
+
+    #[test]
+    fn known_group_orders() {
+        assert_eq!(order(&generators::path(4), &[]), 2, "path: one reflection");
+        assert_eq!(order(&generators::cycle(6), &[]), 12, "dihedral D6");
+        assert_eq!(order(&generators::clique(4), &[]), 24, "S4");
+        assert_eq!(order(&generators::star(5), &[]), 24, "S4 on the leaves");
+        // Two disjoint 3-cliques: S3 × S3 within halves, ×2 swapping them.
+        assert_eq!(order(&generators::two_cliques(3), &[]), 72);
+        assert_eq!(order(&Graph::empty(1), &[]), 1);
+    }
+
+    #[test]
+    fn pinning_restricts_to_the_pointwise_stabilizer() {
+        // Clique: pinning one node leaves S_{n-1} on the rest.
+        assert_eq!(order(&generators::clique(5), &[1]), 24);
+        // Cycle: pinning one node leaves only the reflection through it.
+        assert_eq!(order(&generators::cycle(8), &[1]), 2);
+        // Pinning everything leaves the identity.
+        assert_eq!(order(&generators::clique(3), &[1, 2, 3]), 1);
+        // Out-of-range pins are ignored.
+        assert_eq!(order(&generators::cycle(5), &[9]), 10);
+    }
+
+    #[test]
+    fn asymmetric_graph_has_trivial_group() {
+        // The smallest asymmetric tree: a degree-3 node with pendant paths
+        // of three distinct lengths (1, 2, 3) hanging off it.
+        let g = Graph::from_edges(7, &[(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (3, 7)]);
+        let grp = stabilizer(&g, &[], 1 << 10);
+        assert!(grp.is_trivial());
+        assert_eq!(grp.elements(), &[vec![1, 2, 3, 4, 5, 6, 7]]);
+    }
+
+    #[test]
+    fn elements_are_automorphisms_and_closed() {
+        for g in [
+            generators::cycle(5),
+            generators::clique(4),
+            generators::two_cliques(2),
+            generators::star(4),
+        ] {
+            let grp = stabilizer(&g, &[], 1 << 20);
+            assert!(grp.complete());
+            let set: std::collections::HashSet<&Vec<NodeId>> = grp.elements().iter().collect();
+            for p in grp.elements() {
+                // Every element preserves adjacency...
+                for (u, v) in g.edges() {
+                    assert!(g.has_edge(p[u as usize - 1], p[v as usize - 1]));
+                }
+                // ...and the set is closed under composition.
+                for q in grp.elements() {
+                    let composed: Vec<NodeId> = (0..g.n()).map(|i| q[p[i] as usize - 1]).collect();
+                    assert!(set.contains(&composed), "closure violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_always_element_zero() {
+        for g in [generators::cycle(4), generators::clique(3), Graph::empty(2)] {
+            let grp = stabilizer(&g, &[], 64);
+            let id: Vec<NodeId> = (1..=g.n() as NodeId).collect();
+            assert_eq!(grp.elements()[0], id);
+        }
+    }
+
+    #[test]
+    fn cap_marks_enumeration_incomplete() {
+        let grp = stabilizer(&generators::clique(6), &[], 100);
+        assert!(!grp.complete(), "|S6| = 720 exceeds the cap");
+        assert!(grp.elements().len() <= 100);
+        assert!(
+            !grp.is_trivial(),
+            "a capped group is never reported trivial"
+        );
+    }
+
+    #[test]
+    fn orbits_partition_the_nodes() {
+        let grp = stabilizer(&generators::star(5), &[], 1 << 10);
+        let orbits = grp.orbits();
+        // Star with center 1: {1} and the four leaves.
+        assert_eq!(orbits.len(), 2);
+        let mut all: Vec<NodeId> = orbits.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+        assert!(orbits.iter().any(|o| o.len() == 1));
+        assert!(orbits.iter().any(|o| o.len() == 4));
+    }
+}

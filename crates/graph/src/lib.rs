@@ -15,11 +15,14 @@
 //!   bipartite graphs, two-clique unions and their connected regular impostors,
 //!   paths/cycles/cliques/stars;
 //! - [`enumerate`] — exhaustive enumeration of all (or all connected) graphs on
-//!   small `n`, powering the model-checking tests.
+//!   small `n`, powering the model-checking tests;
+//! - [`automorphism`] — exact enumeration of (pointwise-stabilizer) graph
+//!   automorphism groups, powering the exhaustive tier's symmetry quotient.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod automorphism;
 pub mod checks;
 pub mod dot;
 pub mod enumerate;

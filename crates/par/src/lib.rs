@@ -33,6 +33,10 @@
 //!   caller-supplied key, so many workers can insert without funneling
 //!   through one lock (backs the schedule explorer's seen-set, striped by
 //!   fingerprint prefix);
+//! - [`StripedMap`] — the mask-valued sibling of [`StripedSet`]: each key
+//!   carries a `u64` bitmask that arrivals intersect, reporting what they
+//!   shrank (the sleep-set DPOR layer's seen-structure, where the mask is
+//!   the sleep set a state was reached with);
 //! - [`num_threads`] — the pool width (respects `WB_THREADS`).
 //!
 //! All functions fall back to sequential execution for tiny inputs, so tests
@@ -42,7 +46,7 @@
 #![warn(missing_docs)]
 
 use parking_lot::Mutex;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -574,6 +578,80 @@ impl<T: Eq + Hash, S: BuildHasher + Default> StripedSet<T, S> {
     }
 }
 
+/// Result of a [`StripedMap::intersect`]: what happened to the stored mask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaskMerge {
+    /// The key was absent; the arrival's mask was stored as-is.
+    Inserted,
+    /// The stored mask was already a subset of the arrival's — nothing
+    /// changed.
+    Subset,
+    /// The intersection strictly shrank the stored mask; the payload is the
+    /// set of bits that were cleared (`old & !arrival`).
+    Shrunk(u64),
+}
+
+/// A sharded concurrent map from keys to `u64` bitmasks whose single update
+/// operation is *intersection*: arrivals can only clear bits, so the stored
+/// mask converges monotonically toward the intersection of every arrival.
+///
+/// This is the seen-structure sleep-set DPOR needs: a configuration's entry
+/// holds the intersection of the sleep sets it was reached with, and a
+/// [`MaskMerge::Shrunk`] result names exactly the transitions that earlier
+/// visits wrongly skipped and must now be re-expanded. Sharding and key
+/// discipline match [`StripedSet`].
+#[derive(Debug)]
+pub struct StripedMap<K, S = std::collections::hash_map::RandomState> {
+    shards: Box<[Mutex<HashMap<K, u64, S>>]>,
+    mask: u64,
+}
+
+impl<K: Eq + Hash, S: BuildHasher + Default> StripedMap<K, S> {
+    /// A map striped over `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        StripedMap {
+            shards: (0..n)
+                .map(|_| Mutex::new(HashMap::with_hasher(S::default())))
+                .collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Intersect the mask stored under `k` (in the shard selected by `key`)
+    /// with `arrival`, inserting `arrival` if the key is absent. Locks only
+    /// that one shard. See [`MaskMerge`] for the three outcomes.
+    pub fn intersect(&self, key: u64, k: K, arrival: u64) -> MaskMerge {
+        match self.shards[(key & self.mask) as usize].lock().entry(k) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(arrival);
+                MaskMerge::Inserted
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let old = *slot.get();
+                let new = old & arrival;
+                if new == old {
+                    MaskMerge::Subset
+                } else {
+                    slot.insert(new);
+                    MaskMerge::Shrunk(old & !arrival)
+                }
+            }
+        }
+    }
+
+    /// Total number of keys across all shards (locks each shard in turn —
+    /// exact only when quiescent).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+}
+
 /// Consume `queue` across the pool until it is empty *and* every worker is
 /// idle. `f` may push follow-up work back onto the queue (subject to the
 /// capacity bound), which is what distinguishes this from [`par_for_each`]:
@@ -689,6 +767,42 @@ mod tests {
         });
         assert_eq!(winners.load(Ordering::Relaxed), 500);
         assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn striped_map_intersects_masks() {
+        let map: StripedMap<u128> = StripedMap::new(8);
+        assert!(map.is_empty());
+        assert_eq!(map.intersect(3, 500, 0b1110), MaskMerge::Inserted);
+        assert_eq!(map.intersect(3, 500, 0b1111), MaskMerge::Subset);
+        assert_eq!(map.intersect(3, 500, 0b1110), MaskMerge::Subset);
+        // 0b0110 clears bit 3 of the stored 0b1110.
+        assert_eq!(map.intersect(3, 500, 0b0110), MaskMerge::Shrunk(0b1000));
+        // Stored is now 0b0110; the empty arrival clears the rest.
+        assert_eq!(map.intersect(3, 500, 0), MaskMerge::Shrunk(0b0110));
+        assert_eq!(map.intersect(3, 500, 0), MaskMerge::Subset);
+        // Same value under a different shard key is a distinct entry.
+        assert_eq!(map.intersect(4, 500, u64::MAX), MaskMerge::Inserted);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn striped_map_concurrent_intersections_converge() {
+        // Every worker intersects each key with its own single-bit
+        // complement; the final mask must be the intersection of all
+        // arrivals no matter the interleaving.
+        let map: StripedMap<u64> = StripedMap::new(16);
+        par_for_each(8, |worker| {
+            for k in 0..100u64 {
+                map.intersect(k, k, !(1 << worker));
+            }
+        });
+        assert_eq!(map.len(), 100);
+        for k in 0..100u64 {
+            // All eight low bits cleared: a full-mask arrival reports
+            // Subset, proving the stored value.
+            assert_eq!(map.intersect(k, k, !0xFF), MaskMerge::Subset);
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   caches the inner message at activation and replays it at write time.
 
 use crate::model::Model;
-use crate::protocol::{LocalView, Node, Protocol};
+use crate::protocol::{Commutativity, LocalView, Node, Protocol};
 use crate::Whiteboard;
 use wb_graph::NodeId;
 use wb_math::BitVec;
@@ -165,6 +165,37 @@ impl<P: Protocol> Protocol for Promote<P> {
 
     fn output(&self, n: usize, board: &Whiteboard) -> P::Output {
         self.inner.output(n, board)
+    }
+
+    fn commutes(&self) -> Commutativity {
+        match (self.inner.model(), self.target) {
+            // A SIMASYNC source's message is cached at spawn, so the wrapped
+            // run depends only on the written set regardless of the target
+            // engine's timing.
+            (Model::SimAsync, _) => Commutativity::All,
+            // The sequential-activation construction counts *all* writes
+            // (`seen == id - 1`), so even non-adjacent swaps change
+            // activation timing: no commutativity survives promotion.
+            (Model::SimSync, Model::Async) => Commutativity::None,
+            _ => self.inner.commutes(),
+        }
+    }
+
+    fn equivariant(&self) -> bool {
+        match (self.inner.model(), self.target) {
+            // Sequential activation uses the numeric ID as a threshold,
+            // which relabeling breaks.
+            (Model::SimSync, Model::Async) => false,
+            _ => self.inner.equivariant(),
+        }
+    }
+
+    fn pinned_nodes(&self) -> Vec<NodeId> {
+        self.inner.pinned_nodes()
+    }
+
+    fn relabel_message(&self, n: usize, msg: &BitVec, perm: &[NodeId]) -> BitVec {
+        self.inner.relabel_message(n, msg, perm)
     }
 }
 

@@ -9,9 +9,21 @@
 use crate::board::Whiteboard;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use wb_graph::NodeId;
 
 /// A scheduler choosing, each round, which active node writes.
+///
+/// # Contract
+///
+/// Callers must only invoke [`pick`](Adversary::pick) with a **non-empty**
+/// `active` slice, sorted ascending. The engine upholds this by construction:
+/// a round with no active node is a terminal (or corrupted) configuration and
+/// the round loop stops before consulting the adversary. Implementations are
+/// therefore free to index into `active` without checking; the ones shipped
+/// here carry `debug_assert!`s that name the offending adversary so a contract
+/// violation in a new caller fails with a diagnosis instead of a bare
+/// out-of-bounds index or `unwrap` panic.
 pub trait Adversary {
     /// Pick one of `active` (non-empty, sorted ascending).
     fn pick(&mut self, active: &[NodeId], board: &Whiteboard) -> NodeId;
@@ -23,6 +35,11 @@ pub struct MinIdAdversary;
 
 impl Adversary for MinIdAdversary {
     fn pick(&mut self, active: &[NodeId], _board: &Whiteboard) -> NodeId {
+        debug_assert!(
+            !active.is_empty(),
+            "MinIdAdversary::pick called with an empty active set (caller broke the \
+             non-empty contract on Adversary::pick)"
+        );
         active[0]
     }
 }
@@ -33,7 +50,12 @@ pub struct MaxIdAdversary;
 
 impl Adversary for MaxIdAdversary {
     fn pick(&mut self, active: &[NodeId], _board: &Whiteboard) -> NodeId {
-        *active.last().unwrap()
+        debug_assert!(
+            !active.is_empty(),
+            "MaxIdAdversary::pick called with an empty active set (caller broke the \
+             non-empty contract on Adversary::pick)"
+        );
+        *active.last().expect("non-empty active set")
     }
 }
 
@@ -151,14 +173,65 @@ impl Adversary for PriorityAdversary {
     }
 }
 
+/// Why a strict schedule replay could not produce the next pick.
+///
+/// Returned by [`ScheduleAdversary::try_pick`]; either variant means the
+/// recording no longer matches the protocol/graph it was made against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The run asked for another pick after the recording ran out.
+    Exhausted {
+        /// Recorded picks consumed before the recording ran out.
+        consumed: usize,
+        /// The active set at the failing round.
+        active: Vec<NodeId>,
+    },
+    /// The recorded node was not active when its turn came.
+    NotActive {
+        /// 1-based index of the failing pick in the recording.
+        index: usize,
+        /// The recorded node that could not write.
+        choice: NodeId,
+        /// The active set at the failing round.
+        active: Vec<NodeId>,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Exhausted { consumed, active } => write!(
+                f,
+                "replay schedule exhausted after {consumed} picks but the run wants another \
+                 (active: {active:?})"
+            ),
+            ReplayError::NotActive {
+                index,
+                choice,
+                active,
+            } => write!(
+                f,
+                "replay schedule pick #{index} is node {choice}, which is not active \
+                 (active: {active:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// Replays a recorded write order verbatim — the deterministic replay path
 /// for witness schedules produced by the exhaustive explorer (see
 /// `crate::exhaustive::ScheduleFailure`) and for regression-corpus fixtures.
 ///
-/// Panics if the recorded node is not active when its turn comes, or if the
-/// run outlives the recording: either means the fixture no longer matches
-/// the protocol/graph it was recorded against, which is itself a regression
-/// worth failing loudly on.
+/// The strict-replay path is [`try_pick`](ScheduleAdversary::try_pick), which
+/// reports a mismatch as a structured [`ReplayError`] instead of reaching the
+/// infallible [`pick`](Adversary::pick) with nothing runnable. The trait
+/// method delegates to it and panics with the same message if the recorded
+/// node is not active when its turn comes, or if the run outlives the
+/// recording: either means the fixture no longer matches the protocol/graph
+/// it was recorded against, which is itself a regression worth failing loudly
+/// on.
 #[derive(Clone, Debug)]
 pub struct ScheduleAdversary {
     schedule: Vec<NodeId>,
@@ -178,24 +251,35 @@ impl ScheduleAdversary {
     pub fn consumed(&self) -> usize {
         self.next
     }
+
+    /// The next recorded pick, or a structured error when the recording has
+    /// run out or names a node that is not currently active. Consumes the
+    /// pick only on success.
+    pub fn try_pick(&mut self, active: &[NodeId]) -> Result<NodeId, ReplayError> {
+        let Some(&choice) = self.schedule.get(self.next) else {
+            return Err(ReplayError::Exhausted {
+                consumed: self.next,
+                active: active.to_vec(),
+            });
+        };
+        if !active.contains(&choice) {
+            return Err(ReplayError::NotActive {
+                index: self.next + 1,
+                choice,
+                active: active.to_vec(),
+            });
+        }
+        self.next += 1;
+        Ok(choice)
+    }
 }
 
 impl Adversary for ScheduleAdversary {
     fn pick(&mut self, active: &[NodeId], _board: &Whiteboard) -> NodeId {
-        let Some(&choice) = self.schedule.get(self.next) else {
-            panic!(
-                "replay schedule exhausted after {} picks but the run wants another \
-                 (active: {active:?})",
-                self.next
-            );
-        };
-        assert!(
-            active.contains(&choice),
-            "replay schedule pick #{} is node {choice}, which is not active (active: {active:?})",
-            self.next + 1
-        );
-        self.next += 1;
-        choice
+        match self.try_pick(active) {
+            Ok(choice) => choice,
+            Err(err) => panic!("{err}"),
+        }
     }
 }
 
@@ -334,6 +418,32 @@ mod tests {
         let mut adv = ScheduleAdversary::new(vec![1]);
         adv.pick(&[1], &board());
         adv.pick(&[2], &board());
+    }
+
+    #[test]
+    fn try_pick_reports_structured_replay_errors() {
+        let mut adv = ScheduleAdversary::new(vec![3, 5]);
+        assert_eq!(adv.try_pick(&[1, 3]), Ok(3));
+        assert_eq!(
+            adv.try_pick(&[1, 2]),
+            Err(ReplayError::NotActive {
+                index: 2,
+                choice: 5,
+                active: vec![1, 2],
+            })
+        );
+        // A failed pick is not consumed; it succeeds once node 5 activates.
+        assert_eq!(adv.consumed(), 1);
+        assert_eq!(adv.try_pick(&[5]), Ok(5));
+        let err = adv.try_pick(&[1]).unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::Exhausted {
+                consumed: 2,
+                active: vec![1],
+            }
+        );
+        assert!(err.to_string().contains("exhausted"));
     }
 
     #[test]

@@ -123,6 +123,14 @@ pub struct ExplorationCertificate {
     /// `None` for fault-free runs — including inert plans — keeping their
     /// serialized form byte-identical to pre-fault certificates.
     pub faults: Option<String>,
+    /// The reduction policy the caller's exploration ran under (e.g.
+    /// `"dpor+symmetry"`), recorded for provenance. The certifying walk
+    /// itself is **always unreduced** — every active-writer edge is present
+    /// regardless of this field — so reduced explorations still verify
+    /// through `wb-verify`'s unreduced replay machine. `None` when the
+    /// policy is `off`, keeping those certificates byte-identical to the
+    /// pre-reduction format.
+    pub reduction: Option<String>,
     /// Initial configuration hash (after the first activation phase).
     pub initial: u128,
     /// All transition edges, sorted by `(from, writer, crash, to)`.
@@ -170,6 +178,9 @@ impl ExplorationCertificate {
         );
         if let Some(spec) = &self.faults {
             obj.insert("faults".into(), Json::Str(spec.clone()));
+        }
+        if let Some(policy) = &self.reduction {
+            obj.insert("reduction".into(), Json::Str(policy.clone()));
         }
         obj.insert("initial".into(), Json::Str(hex128(self.initial)));
         obj.insert(
@@ -351,6 +362,9 @@ where
         peak_frontier: 0,
         outcomes: walk.outcomes,
         failures: walk.failures,
+        // The certifying walk never reduces (every edge must be present for
+        // the verifier), so there are no reduction stats to report.
+        reduction: None,
     };
     let mut edges = walk.edges;
     edges.sort_unstable();
@@ -364,6 +378,8 @@ where
         family: scenario.family.map(str::to_string),
         seed: scenario.seed,
         faults: config.faults.filter(|p| !p.is_inert()).map(|p| p.spec()),
+        reduction: (config.reduction != crate::exhaustive::ReductionPolicy::Off)
+            .then(|| config.reduction.to_string()),
         initial,
         edges,
         terminals,

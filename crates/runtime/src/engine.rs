@@ -102,13 +102,25 @@ enum Status {
 /// never merge two genuinely different configurations. The streaming
 /// [`Fingerprint`] is the probabilistic counterpart: same encoding order,
 /// no intermediate buffer.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CanonicalState(Vec<u64>);
 
 impl CanonicalState {
     /// Size of the encoding in 64-bit words (for memory accounting).
     pub fn words(&self) -> usize {
         self.0.len()
+    }
+
+    /// A shard key derived from the encoding itself, so orbit-canonical
+    /// exact keys shard consistently no matter which orbit member was
+    /// probed (the explorer's striped seen-set needs key → shard to be a
+    /// pure function of the key).
+    pub(crate) fn shard_key(&self) -> u64 {
+        let mut digest = wb_math::hash::Digest128::new();
+        for &word in &self.0 {
+            digest.put(word);
+        }
+        (digest.finish() >> 64) as u64
     }
 }
 
@@ -536,6 +548,144 @@ impl<'a, P: Protocol> Engine<'a, P> {
         let mut sink = FingerprintSink::new();
         self.encode_canonical(&mut sink);
         sink.finish()
+    }
+
+    /// Stream the canonical encoding of the configuration *relabeled* by a
+    /// graph automorphism: `fwd[v - 1]` is the new ID of old node `v` and
+    /// `inv` is the inverse map. The output is exactly what
+    /// [`Self::encode_canonical`] would produce on the relabeled execution
+    /// (statuses and frozen slots permuted, board entries re-sorted by new
+    /// writer, embedded IDs rewritten via [`Protocol::relabel_message`]), so
+    /// the symmetry quotient can take a minimum over the automorphism group
+    /// without ever materializing permuted engines. Only meaningful when the
+    /// protocol is [`Protocol::equivariant`].
+    fn encode_canonical_permuted<S: CanonicalSink>(
+        &self,
+        fwd: &[NodeId],
+        inv: &[NodeId],
+        sink: &mut S,
+    ) {
+        let n = self.nodes.len();
+        // Statuses of the relabeled configuration, packed 2 bits per node.
+        let mut acc = 0u64;
+        let mut filled = 0u32;
+        for j in 0..n {
+            let code = match self.status[inv[j] as usize - 1] {
+                Status::Awake => 0u64,
+                Status::Active => 1,
+                Status::Terminated => 2,
+            };
+            acc |= code << filled;
+            filled += 2;
+            if filled == 64 {
+                sink.put(acc);
+                acc = 0;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            sink.put(acc);
+        }
+        // Frozen slots, permuted: presence bitmap then contents in (new)
+        // node order.
+        let mut mask = 0u64;
+        let mut bit = 0u32;
+        for j in 0..n {
+            if self.frozen[inv[j] as usize - 1].is_some() {
+                mask |= 1 << bit;
+            }
+            bit += 1;
+            if bit == 64 {
+                sink.put(mask);
+                mask = 0;
+                bit = 0;
+            }
+        }
+        if bit > 0 {
+            sink.put(mask);
+        }
+        for j in 0..n {
+            if let Some(f) = &self.frozen[inv[j] as usize - 1] {
+                let msg = self.protocol.relabel_message(n, f, fwd);
+                sink.put(msg.len() as u64);
+                for &w in msg.as_words() {
+                    sink.put(w);
+                }
+            }
+        }
+        // Board entries sorted by *new* writer: writers stay unique under a
+        // permutation, so bucketing by new ID replaces the sort.
+        let mut by_new_writer: Vec<Option<&crate::board::Entry>> = vec![None; n];
+        for e in self.board.entries() {
+            by_new_writer[fwd[e.writer as usize - 1] as usize - 1] = Some(e);
+        }
+        sink.put(self.board.len() as u64);
+        for (slot, e) in by_new_writer.iter().enumerate() {
+            if let Some(e) = e {
+                let msg = self.protocol.relabel_message(n, &e.msg, fwd);
+                sink.put(slot as u64 + 1);
+                sink.put(msg.len() as u64);
+                for &w in msg.as_words() {
+                    sink.put(w);
+                }
+            }
+        }
+    }
+
+    /// Fingerprint of the configuration relabeled by `fwd`/`inv` (see
+    /// [`Self::encode_canonical_permuted`]).
+    pub(crate) fn permuted_fingerprint(&self, fwd: &[NodeId], inv: &[NodeId]) -> Fingerprint {
+        let mut sink = FingerprintSink::new();
+        self.encode_canonical_permuted(fwd, inv, &mut sink);
+        sink.finish()
+    }
+
+    /// Exact canonical snapshot of the configuration relabeled by
+    /// `fwd`/`inv` (see [`Self::encode_canonical_permuted`]).
+    pub(crate) fn permuted_state(&self, fwd: &[NodeId], inv: &[NodeId]) -> CanonicalState {
+        let mut words = Vec::with_capacity(
+            self.nodes.len() / 16 + 3 * self.board.len() + self.frozen.len() + 4,
+        );
+        self.encode_canonical_permuted(fwd, inv, &mut words);
+        CanonicalState(words)
+    }
+
+    /// Snapshot the terminal configuration *relabeled* by the automorphism
+    /// `fwd` into a report: writers and casualties mapped through `fwd`,
+    /// message IDs rewritten via [`Protocol::relabel_message`], and the
+    /// outcome recomputed on the relabeled board. The symmetry quotient uses
+    /// this to emit the terminals of orbit siblings it never expands.
+    pub(crate) fn permuted_report(&self, fwd: &[NodeId]) -> RunReport<P::Output> {
+        let n = self.nodes.len();
+        let board = Whiteboard::from_messages(self.board.entries().iter().map(|e| {
+            (
+                fwd[e.writer as usize - 1],
+                self.protocol.relabel_message(n, &e.msg, fwd),
+            )
+        }));
+        let outcome = if self.is_complete() {
+            Outcome::Success(self.protocol.output(n, &board))
+        } else {
+            let mut awake: Vec<NodeId> = self
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s != Status::Terminated)
+                .map(|(i, _)| fwd[i])
+                .collect();
+            awake.sort_unstable();
+            Outcome::Deadlock { awake }
+        };
+        RunReport {
+            outcome,
+            write_order: self
+                .write_order
+                .iter()
+                .map(|&v| fwd[v as usize - 1])
+                .collect(),
+            board,
+            crashed: self.crashed.iter().map(|&v| fwd[v as usize - 1]).collect(),
+        }
     }
 
     /// Execute one write: `pick` (which must be active) writes its message,

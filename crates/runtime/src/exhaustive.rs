@@ -65,12 +65,15 @@
 //! reach identical state counts and outcome sets on every labeled graph up
 //! to `n = 5` under all four models.
 
-use crate::engine::{Engine, Outcome, RunReport};
+use crate::engine::{CanonicalState, Engine, Outcome, RunReport};
 use crate::fault::FaultPlan;
-use crate::protocol::Protocol;
+use crate::model::Model;
+use crate::protocol::{Commutativity, Protocol};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use wb_graph::{Graph, NodeId};
-use wb_par::{PassthroughBuildHasher, StripedSet};
+use wb_par::{MaskMerge, PassthroughBuildHasher, StripedMap, StripedSet};
 
 // ---------------------------------------------------------------------------
 // Explorer configuration and report
@@ -96,6 +99,101 @@ pub enum DedupPolicy {
     Off,
 }
 
+/// Which sound state-space reductions the explorer layers on top of
+/// deduplication. Reductions change *how much work* the walk does, never
+/// *what it concludes*: terminal outcomes, terminal counts, and failure
+/// verdicts are identical to [`ReductionPolicy::Off`] (pinned by
+/// `tests/reduction.rs` on every labeled graph up to `n = 5`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReductionPolicy {
+    /// No reduction — the default, byte-identical to builds that predate
+    /// this field.
+    #[default]
+    Off,
+    /// Sleep-set dynamic partial-order reduction: skip the second half of
+    /// commuting write pairs, as declared by [`Protocol::commutes`] and
+    /// refined per model (see the module docs). Self-disables (recorded in
+    /// [`ReductionStats::dpor_active`]) when the protocol declares
+    /// [`Commutativity::None`], when `n > 64`, or when dedup is off.
+    Dpor,
+    /// Automorphism quotient: canonicalize every configuration over the
+    /// graph automorphisms fixing [`Protocol::pinned_nodes`] before the
+    /// seen-set probe, so one orbit representative stands for the whole
+    /// orbit. Requires [`Protocol::equivariant`]; terminal orbits are
+    /// re-expanded so the outcome multiset still matches the unreduced walk.
+    Symmetry,
+    /// Both reductions composed.
+    DporSymmetry,
+}
+
+impl ReductionPolicy {
+    /// Whether the policy asks for sleep-set DPOR.
+    pub fn wants_dpor(self) -> bool {
+        matches!(self, ReductionPolicy::Dpor | ReductionPolicy::DporSymmetry)
+    }
+
+    /// Whether the policy asks for the automorphism quotient.
+    pub fn wants_symmetry(self) -> bool {
+        matches!(
+            self,
+            ReductionPolicy::Symmetry | ReductionPolicy::DporSymmetry
+        )
+    }
+}
+
+impl FromStr for ReductionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(ReductionPolicy::Off),
+            "dpor" => Ok(ReductionPolicy::Dpor),
+            "symmetry" => Ok(ReductionPolicy::Symmetry),
+            "dpor+symmetry" | "symmetry+dpor" => Ok(ReductionPolicy::DporSymmetry),
+            other => Err(format!(
+                "unknown reduction policy `{other}` (expected off|dpor|symmetry|dpor+symmetry)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ReductionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReductionPolicy::Off => "off",
+            ReductionPolicy::Dpor => "dpor",
+            ReductionPolicy::Symmetry => "symmetry",
+            ReductionPolicy::DporSymmetry => "dpor+symmetry",
+        })
+    }
+}
+
+/// Per-technique accounting of what a reduction avoided, attached to
+/// [`ExplorationReport::reduction`] whenever the policy is not `Off`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// The requested policy.
+    pub policy: ReductionPolicy,
+    /// Whether DPOR actually armed (requested *and* the protocol declares a
+    /// usable independence relation, `n ≤ 64`, dedup on).
+    pub dpor_active: bool,
+    /// Whether the automorphism quotient actually armed (requested *and*
+    /// the protocol is equivariant, dedup on, and the pinned stabilizer was
+    /// enumerated completely with order > 1).
+    pub symmetry_active: bool,
+    /// Order of the automorphism group used (identity included); 0 when
+    /// symmetry is inactive.
+    pub group_order: u64,
+    /// Transitions never generated because their pick was in the sleep set.
+    pub sleep_skipped: u64,
+    /// Terminal configurations reported via orbit expansion instead of
+    /// being explored separately.
+    pub orbit_terminals: u64,
+    /// Frontier re-expansions forced by a sleep-set wake-up (a state was
+    /// revisited with a strictly smaller sleep set).
+    pub reexpansions: u64,
+}
+
 /// Tuning knobs for [`explore`]. The defaults explore up to a million
 /// distinct states with fingerprinted canonical dedup.
 #[derive(Clone, Debug)]
@@ -115,6 +213,11 @@ pub struct ExploreConfig {
     /// [`FaultPlan::is_inert`] plan — explores exactly the fault-free space,
     /// byte-identical to a build without this field.
     pub faults: Option<FaultPlan>,
+    /// Sound state-space reductions (sleep-set DPOR and/or the automorphism
+    /// quotient). Reductions piggyback on the seen-set, so they silently
+    /// stay off under [`DedupPolicy::Off`] — the report's
+    /// [`ExplorationReport::reduction`] block records what actually armed.
+    pub reduction: ReductionPolicy,
 }
 
 impl Default for ExploreConfig {
@@ -124,6 +227,7 @@ impl Default for ExploreConfig {
             max_frontier: 1 << 16,
             dedup: DedupPolicy::Canonical,
             faults: None,
+            reduction: ReductionPolicy::Off,
         }
     }
 }
@@ -160,6 +264,12 @@ impl ExploreConfig {
     /// Quantify over a fault plan (see [`ExploreConfig::faults`]).
     pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Select a state-space reduction policy (see [`ReductionPolicy`]).
+    pub fn with_reduction(mut self, reduction: ReductionPolicy) -> Self {
+        self.reduction = reduction;
         self
     }
 
@@ -211,12 +321,23 @@ pub struct ExplorationReport<O> {
     /// Terminal configurations whose outcome failed the predicate, each with
     /// a witness schedule.
     pub failures: Vec<ScheduleFailure<O>>,
+    /// Reduction accounting: `Some` exactly when the config asked for a
+    /// policy other than [`ReductionPolicy::Off`] (so default explorations
+    /// stay byte-identical to builds that predate reductions).
+    pub reduction: Option<ReductionStats>,
 }
 
 impl<O> ExplorationReport<O> {
     /// Whether the exploration is both complete and failure-free.
     pub fn passed(&self) -> bool {
         !self.truncated && self.failures.is_empty()
+    }
+
+    /// Configurations generated by the walk: every probed transition target,
+    /// whether it survived (`distinct_states`) or merged. This is the
+    /// quantity reductions shrink — distinct states and outcomes stay put.
+    pub fn generated(&self) -> u64 {
+        self.distinct_states + self.merged
     }
 
     /// Transitions explored per distinct state — how much of the schedule
@@ -247,81 +368,367 @@ impl<O> ExplorationReport<O> {
 // The worklist explorer
 // ---------------------------------------------------------------------------
 
-/// Probe-and-insert interface over the seen-set, so the sequential explorer
-/// can use an unsynchronized set (no lock on the hottest operation) while
-/// the parallel explorer shares a striped one.
-trait SeenProbe {
-    /// Record the engine's current configuration; returns whether it was new.
-    fn probe<P: Protocol>(&self, engine: &Engine<P>) -> bool;
+// ---------------------------------------------------------------------------
+// Reductions: independence masks and the automorphism quotient
+// ---------------------------------------------------------------------------
+
+/// Enumeration cap for the pinned automorphism stabilizer: `|S₈| = 40320`,
+/// enough for every benchmark family (clique-9 pins down to `8!`) while
+/// bounding per-probe canonicalization work. A capped enumeration is *not a
+/// group* (it is not closed under composition), and quotienting by a
+/// non-group is unsound — so exceeding the cap disarms symmetry entirely
+/// instead of using the partial set.
+const AUT_CAP: usize = 40_320;
+
+/// One automorphism as a forward/inverse relabeling pair
+/// (`fwd[v-1]` = new ID of old node `v`).
+struct PermPair {
+    fwd: Vec<NodeId>,
+    inv: Vec<NodeId>,
 }
 
-/// The shared seen-set, striped by fingerprint prefix so concurrent workers
-/// rarely contend for the same lock. Both canonical policies shard by the
-/// streaming fingerprint; `Exact` additionally stores the full encoding, so
-/// a fingerprint collision can never merge two distinct states there.
+/// The non-identity elements of the pinned automorphism stabilizer.
+struct SymQuotient {
+    perms: Vec<PermPair>,
+    /// Group order, identity included.
+    order: u64,
+}
+
+/// Everything the expanders need to apply the configured reductions; built
+/// once per exploration. Both parts are `None` when the corresponding
+/// technique did not arm (policy off, protocol ineligible, dedup off).
+struct Reduction {
+    /// `indep[u-1]` = bitmask of nodes whose writes commute with `u`'s
+    /// (bit `v-1` = node `v`). Present iff sleep-set DPOR armed.
+    indep: Option<Vec<u64>>,
+    /// Present iff the automorphism quotient armed.
+    sym: Option<SymQuotient>,
+    /// Whether dedup keys are exact snapshots (orbit members must then be
+    /// compared by full state, not by fingerprint).
+    exact: bool,
+}
+
+impl Reduction {
+    /// An inert reduction: the explorer behaves exactly as if the policy
+    /// were [`ReductionPolicy::Off`].
+    fn inert(config: &ExploreConfig) -> Self {
+        Reduction {
+            indep: None,
+            sym: None,
+            exact: config.dedup == DedupPolicy::Exact,
+        }
+    }
+
+    /// Derive the independence relation and automorphism quotient for this
+    /// exploration, arming each technique only when it is sound:
+    ///
+    /// - DPOR needs a declared commutativity class, `n ≤ 64` (sleep sets are
+    ///   node bitmasks), and dedup on (pruned transitions are exactly the
+    ///   ones that would have merged — without a seen-set the equivalence
+    ///   argument collapses).
+    /// - Under `SIMASYNC` every message is frozen at time 0 and delivery is
+    ///   skipped, so the configuration is a function of the written/crashed
+    ///   *sets*: commutativity upgrades to [`Commutativity::All`] no matter
+    ///   what the protocol declares.
+    /// - Under `ASYNC` a common neighbor `w` of non-adjacent `u, v` freezes
+    ///   its message at whichever write activates it first, so `u` and `v`
+    ///   only commute when they also share no neighbor (distance > 2).
+    /// - Symmetry needs equivariance, dedup on, and a completely enumerated
+    ///   stabilizer of order > 1.
+    fn build<P: Protocol>(protocol: &P, g: &Graph, config: &ExploreConfig) -> Self {
+        let mut red = Reduction::inert(config);
+        let policy = config.reduction;
+        if policy == ReductionPolicy::Off || config.dedup == DedupPolicy::Off {
+            return red;
+        }
+        let n = g.n();
+        if policy.wants_dpor() && n <= 64 {
+            let commutes = match protocol.model() {
+                Model::SimAsync => Commutativity::All,
+                _ => protocol.commutes(),
+            };
+            if commutes != Commutativity::None {
+                let distance_two_dependent = protocol.model() == Model::Async;
+                let masks = (1..=n as NodeId)
+                    .map(|u| {
+                        let mut mask = 0u64;
+                        for v in 1..=n as NodeId {
+                            let independent = v != u
+                                && match commutes {
+                                    Commutativity::All => true,
+                                    Commutativity::NonAdjacent => {
+                                        !g.has_edge(u, v)
+                                            && (!distance_two_dependent
+                                                || (1..=n as NodeId).all(|w| {
+                                                    !(g.has_edge(u, w) && g.has_edge(v, w))
+                                                }))
+                                    }
+                                    Commutativity::None => unreachable!(),
+                                };
+                            if independent {
+                                mask |= 1u64 << (v - 1);
+                            }
+                        }
+                        mask
+                    })
+                    .collect();
+                red.indep = Some(masks);
+            }
+        }
+        if policy.wants_symmetry() && protocol.equivariant() {
+            let group = wb_graph::automorphism::stabilizer(g, &protocol.pinned_nodes(), AUT_CAP);
+            if group.complete() && group.order() > 1 {
+                let perms = group.elements()[1..]
+                    .iter()
+                    .map(|fwd| {
+                        let mut inv = vec![0 as NodeId; fwd.len()];
+                        for (i, &img) in fwd.iter().enumerate() {
+                            inv[img as usize - 1] = (i + 1) as NodeId;
+                        }
+                        PermPair {
+                            fwd: fwd.clone(),
+                            inv,
+                        }
+                    })
+                    .collect();
+                red.sym = Some(SymQuotient {
+                    perms,
+                    order: group.order(),
+                });
+            }
+        }
+        red
+    }
+
+    /// Orbit-canonical fingerprint: the minimum over the automorphism group
+    /// of the relabeled configuration's fingerprint, plus the minimizing
+    /// permutation (`None` = identity) so sleep masks can be carried into
+    /// the canonical frame. Without symmetry this is the plain fingerprint.
+    fn fp_key<P: Protocol>(&self, engine: &Engine<P>) -> (u128, Option<&PermPair>) {
+        let mut best = engine.canonical_fingerprint().as_u128();
+        let mut best_perm = None;
+        if let Some(sym) = &self.sym {
+            for pp in &sym.perms {
+                let fp = engine.permuted_fingerprint(&pp.fwd, &pp.inv).as_u128();
+                if fp < best {
+                    best = fp;
+                    best_perm = Some(pp);
+                }
+            }
+        }
+        (best, best_perm)
+    }
+
+    /// Orbit-canonical exact key: lexicographically minimal relabeled
+    /// canonical encoding (collision-free counterpart of [`Self::fp_key`]).
+    fn exact_key<P: Protocol>(&self, engine: &Engine<P>) -> (CanonicalState, Option<&PermPair>) {
+        let mut best = engine.canonical_state();
+        let mut best_perm = None;
+        if let Some(sym) = &self.sym {
+            for pp in &sym.perms {
+                let state = engine.permuted_state(&pp.fwd, &pp.inv);
+                if state < best {
+                    best = state;
+                    best_perm = Some(pp);
+                }
+            }
+        }
+        (best, best_perm)
+    }
+
+    /// Relabel a node bitmask through a permutation (bit `v-1` → bit
+    /// `perm[v-1]-1`).
+    fn map_mask(mask: u64, perm: &[NodeId]) -> u64 {
+        let mut out = 0u64;
+        let mut rest = mask;
+        while rest != 0 {
+            let bit = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            out |= 1u64 << (perm[bit] - 1);
+        }
+        out
+    }
+}
+
+/// A sleep mask in the arriving engine's labeling, mapped into the canonical
+/// frame the seen-map stores masks in.
+fn to_canonical_frame(sleep: u64, perm: Option<&PermPair>) -> u64 {
+    match perm {
+        Some(pp) => Reduction::map_mask(sleep, &pp.fwd),
+        None => sleep,
+    }
+}
+
+/// Result of probing the seen structure with one configuration.
+enum Probe {
+    /// First visit.
+    New,
+    /// Already seen, nothing left to do under it.
+    Merge,
+    /// Already seen, but this arrival's sleep set exposes picks (arrival
+    /// frame) the earlier visits never explored: re-expand restricted to
+    /// them.
+    Wake(u64),
+}
+
+fn probe_from_insert(new: bool) -> Probe {
+    if new {
+        Probe::New
+    } else {
+        Probe::Merge
+    }
+}
+
+fn probe_from_merge(merge: MaskMerge, perm: Option<&PermPair>) -> Probe {
+    match merge {
+        MaskMerge::Inserted => Probe::New,
+        MaskMerge::Subset => Probe::Merge,
+        MaskMerge::Shrunk(woken) => Probe::Wake(match perm {
+            Some(pp) => Reduction::map_mask(woken, &pp.inv),
+            None => woken,
+        }),
+    }
+}
+
+/// Probe-and-insert interface over the seen-set, so the sequential explorer
+/// can use an unsynchronized set (no lock on the hottest operation) while
+/// the parallel explorer shares a striped one. `red` canonicalizes the key
+/// over the automorphism quotient; `sleep` is this arrival's sleep mask
+/// (ignored by the plain set variants, intersected into the stored mask by
+/// the sleep-map variants DPOR uses).
+trait SeenProbe {
+    /// Record the engine's current configuration.
+    fn probe<P: Protocol>(&self, engine: &Engine<P>, red: &Reduction, sleep: u64) -> Probe;
+}
+
+/// The shared seen structure, striped by key prefix so concurrent workers
+/// rarely contend for the same lock. The `*Sleep` map variants are chosen
+/// only when DPOR armed; otherwise the plain sets keep the pre-reduction
+/// path byte-identical.
 enum SharedSeen {
     /// Fingerprints are already uniformly mixed, so the shards hash them
     /// with the pass-through hasher instead of SipHash.
     Fingerprint(StripedSet<u128, PassthroughBuildHasher>),
-    Exact(StripedSet<crate::engine::CanonicalState>),
+    Exact(StripedSet<CanonicalState>),
+    FingerprintSleep(StripedMap<u128, PassthroughBuildHasher>),
+    ExactSleep(StripedMap<CanonicalState>),
     Off,
 }
 
 impl SharedSeen {
-    fn new(policy: DedupPolicy, shards: usize) -> Self {
-        match policy {
-            DedupPolicy::Canonical => SharedSeen::Fingerprint(StripedSet::new(shards)),
-            DedupPolicy::Exact => SharedSeen::Exact(StripedSet::new(shards)),
-            DedupPolicy::Off => SharedSeen::Off,
+    fn new(policy: DedupPolicy, shards: usize, sleep_sets: bool) -> Self {
+        match (policy, sleep_sets) {
+            (DedupPolicy::Canonical, false) => SharedSeen::Fingerprint(StripedSet::new(shards)),
+            (DedupPolicy::Canonical, true) => SharedSeen::FingerprintSleep(StripedMap::new(shards)),
+            (DedupPolicy::Exact, false) => SharedSeen::Exact(StripedSet::new(shards)),
+            (DedupPolicy::Exact, true) => SharedSeen::ExactSleep(StripedMap::new(shards)),
+            (DedupPolicy::Off, _) => SharedSeen::Off,
         }
     }
 }
 
 impl SeenProbe for SharedSeen {
-    fn probe<P: Protocol>(&self, engine: &Engine<P>) -> bool {
+    fn probe<P: Protocol>(&self, engine: &Engine<P>, red: &Reduction, sleep: u64) -> Probe {
         match self {
             SharedSeen::Fingerprint(set) => {
-                let fp = engine.canonical_fingerprint();
-                set.insert(fp.shard_key(), fp.as_u128())
+                let (key, _) = red.fp_key(engine);
+                probe_from_insert(set.insert((key >> 64) as u64, key))
             }
             SharedSeen::Exact(set) => {
-                let fp = engine.canonical_fingerprint();
-                set.insert(fp.shard_key(), engine.canonical_state())
+                let (state, _) = red.exact_key(engine);
+                let shard = state.shard_key();
+                probe_from_insert(set.insert(shard, state))
             }
-            SharedSeen::Off => true,
+            SharedSeen::FingerprintSleep(map) => {
+                let (key, perm) = red.fp_key(engine);
+                let arrival = to_canonical_frame(sleep, perm);
+                probe_from_merge(map.intersect((key >> 64) as u64, key, arrival), perm)
+            }
+            SharedSeen::ExactSleep(map) => {
+                let (state, perm) = red.exact_key(engine);
+                let shard = state.shard_key();
+                let arrival = to_canonical_frame(sleep, perm);
+                probe_from_merge(map.intersect(shard, state, arrival), perm)
+            }
+            SharedSeen::Off => Probe::New,
         }
     }
 }
 
-/// Single-threaded seen-set: same policies, no mutex on the probe path.
+/// [`wb_par::StripedMap::intersect`] for the unsynchronized maps.
+fn local_intersect<K: Eq + std::hash::Hash, H: std::hash::BuildHasher>(
+    map: &mut std::collections::HashMap<K, u64, H>,
+    key: K,
+    arrival: u64,
+) -> MaskMerge {
+    use std::collections::hash_map::Entry;
+    match map.entry(key) {
+        Entry::Vacant(slot) => {
+            slot.insert(arrival);
+            MaskMerge::Inserted
+        }
+        Entry::Occupied(mut slot) => {
+            let old = *slot.get();
+            let new = old & arrival;
+            if new == old {
+                MaskMerge::Subset
+            } else {
+                slot.insert(new);
+                MaskMerge::Shrunk(old & !arrival)
+            }
+        }
+    }
+}
+
+/// Single-threaded seen structure: same variants, no mutex on the probe path.
 enum LocalSeenInner {
     Fingerprint(std::collections::HashSet<u128, PassthroughBuildHasher>),
-    Exact(std::collections::HashSet<crate::engine::CanonicalState>),
+    Exact(std::collections::HashSet<CanonicalState>),
+    FingerprintSleep(std::collections::HashMap<u128, u64, PassthroughBuildHasher>),
+    ExactSleep(std::collections::HashMap<CanonicalState, u64>),
     Off,
 }
 
 struct LocalSeen(std::cell::RefCell<LocalSeenInner>);
 
 impl LocalSeen {
-    fn new(policy: DedupPolicy) -> Self {
-        LocalSeen(std::cell::RefCell::new(match policy {
-            DedupPolicy::Canonical => {
+    fn new(policy: DedupPolicy, sleep_sets: bool) -> Self {
+        LocalSeen(std::cell::RefCell::new(match (policy, sleep_sets) {
+            (DedupPolicy::Canonical, false) => {
                 LocalSeenInner::Fingerprint(std::collections::HashSet::default())
             }
-            DedupPolicy::Exact => LocalSeenInner::Exact(std::collections::HashSet::new()),
-            DedupPolicy::Off => LocalSeenInner::Off,
+            (DedupPolicy::Canonical, true) => {
+                LocalSeenInner::FingerprintSleep(std::collections::HashMap::default())
+            }
+            (DedupPolicy::Exact, false) => LocalSeenInner::Exact(std::collections::HashSet::new()),
+            (DedupPolicy::Exact, true) => {
+                LocalSeenInner::ExactSleep(std::collections::HashMap::new())
+            }
+            (DedupPolicy::Off, _) => LocalSeenInner::Off,
         }))
     }
 }
 
 impl SeenProbe for LocalSeen {
-    fn probe<P: Protocol>(&self, engine: &Engine<P>) -> bool {
+    fn probe<P: Protocol>(&self, engine: &Engine<P>, red: &Reduction, sleep: u64) -> Probe {
         match &mut *self.0.borrow_mut() {
-            LocalSeenInner::Fingerprint(set) => {
-                set.insert(engine.canonical_fingerprint().as_u128())
+            LocalSeenInner::Fingerprint(set) => probe_from_insert(set.insert(red.fp_key(engine).0)),
+            LocalSeenInner::Exact(set) => probe_from_insert(set.insert(red.exact_key(engine).0)),
+            LocalSeenInner::FingerprintSleep(map) => {
+                let (key, perm) = red.fp_key(engine);
+                probe_from_merge(
+                    local_intersect(map, key, to_canonical_frame(sleep, perm)),
+                    perm,
+                )
             }
-            LocalSeenInner::Exact(set) => set.insert(engine.canonical_state()),
-            LocalSeenInner::Off => true,
+            LocalSeenInner::ExactSleep(map) => {
+                let (state, perm) = red.exact_key(engine);
+                probe_from_merge(
+                    local_intersect(map, state, to_canonical_frame(sleep, perm)),
+                    perm,
+                )
+            }
+            LocalSeenInner::Off => Probe::New,
         }
     }
 }
@@ -334,9 +741,24 @@ struct Progress {
     distinct: AtomicU64,
     /// Transitions that merged into an already-seen configuration.
     merged: AtomicU64,
+    /// Reduction accounting (see [`ReductionStats`]).
+    sleep_skipped: AtomicU64,
+    orbit_terminals: AtomicU64,
+    reexpansions: AtomicU64,
     /// Raised when `max_states` is exceeded; expanders drain quickly.
     stop: AtomicBool,
     max_states: u64,
+}
+
+/// What the expander should do with a probed child.
+enum Admit {
+    /// New state under the cap: process it.
+    Expand,
+    /// Merged, terminal-after-cap, or over the cap: drop it.
+    Skip,
+    /// Seen before, but with picks still unexplored: re-expand restricted
+    /// to the woken mask (arrival frame).
+    Reexpand(u64),
 }
 
 impl Progress {
@@ -344,6 +766,9 @@ impl Progress {
         Progress {
             distinct: AtomicU64::new(1), // the root
             merged: AtomicU64::new(0),
+            sleep_skipped: AtomicU64::new(0),
+            orbit_terminals: AtomicU64::new(0),
+            reexpansions: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             max_states,
         }
@@ -353,19 +778,48 @@ impl Progress {
         self.stop.load(Ordering::Relaxed)
     }
 
-    /// Record one probed transition; returns whether the child should be
-    /// processed (it was new and under the state cap).
-    fn record(&self, new: bool) -> bool {
-        if !new {
-            self.merged.fetch_add(1, Ordering::Relaxed);
-            return false;
+    /// Record one probed transition and decide the child's fate.
+    fn record(&self, probe: Probe) -> Admit {
+        match probe {
+            Probe::New => {
+                let total = self.distinct.fetch_add(1, Ordering::Relaxed) + 1;
+                if total > self.max_states {
+                    self.stop.store(true, Ordering::Relaxed);
+                    Admit::Skip
+                } else {
+                    Admit::Expand
+                }
+            }
+            Probe::Merge => {
+                self.merged.fetch_add(1, Ordering::Relaxed);
+                Admit::Skip
+            }
+            Probe::Wake(woken) => {
+                self.merged.fetch_add(1, Ordering::Relaxed);
+                Admit::Reexpand(woken)
+            }
         }
-        let total = self.distinct.fetch_add(1, Ordering::Relaxed) + 1;
-        if total > self.max_states {
-            self.stop.store(true, Ordering::Relaxed);
-            return false;
+    }
+}
+
+/// A frontier entry: a post-activation engine plus its DPOR context. `sleep`
+/// is the sleep mask (bit `v-1` set = node `v`'s transitions are covered by
+/// a sibling branch); `restrict` narrows a wake-up re-expansion to the
+/// freshly woken picks (`u64::MAX` for ordinary expansions). Both stay
+/// `0`/`MAX` when DPOR is off, making this a plain engine wrapper.
+struct Pending<'a, P: Protocol> {
+    engine: Engine<'a, P>,
+    sleep: u64,
+    restrict: u64,
+}
+
+impl<'a, P: Protocol> Pending<'a, P> {
+    fn root(engine: Engine<'a, P>) -> Self {
+        Pending {
+            engine,
+            sleep: 0,
+            restrict: u64::MAX,
         }
-        true
     }
 }
 
@@ -374,7 +828,7 @@ enum Child<'a, P: Protocol> {
     /// Terminal: snapshot report.
     Leaf(RunReport<P::Output>),
     /// Non-terminal: awaiting a frontier slot.
-    Interior(Engine<'a, P>),
+    Interior(Pending<'a, P>),
 }
 
 /// One frontier state expanded into its children (only the survivors of
@@ -385,7 +839,43 @@ struct Expansion<'a, P: Protocol> {
     /// Terminal children: snapshot reports.
     leaves: Vec<RunReport<P::Output>>,
     /// Non-terminal children awaiting a frontier slot.
-    interior: Vec<Engine<'a, P>>,
+    interior: Vec<Pending<'a, P>>,
+}
+
+/// Report a terminal configuration, expanding its orbit when the symmetry
+/// quotient is armed: the quotient merged every orbit member into the
+/// representative that got probed, but the unreduced walk would have
+/// reported each member as its own terminal — so the siblings are emitted
+/// as relabeled reports (deduplicated within the orbit, since stabilizer
+/// elements map the configuration to itself). Equivariance guarantees each
+/// sibling is genuinely reachable, via the relabeled schedule the report
+/// carries.
+fn emit_leaf<'a, P, V>(engine: &Engine<'a, P>, red: &Reduction, progress: &Progress, visit: &mut V)
+where
+    P: Protocol,
+    V: FnMut(Child<'a, P>),
+{
+    visit(Child::Leaf(engine.report()));
+    let Some(sym) = &red.sym else { return };
+    if red.exact {
+        let mut orbit = std::collections::HashSet::new();
+        orbit.insert(engine.canonical_state());
+        for pp in &sym.perms {
+            if orbit.insert(engine.permuted_state(&pp.fwd, &pp.inv)) {
+                progress.orbit_terminals.fetch_add(1, Ordering::Relaxed);
+                visit(Child::Leaf(engine.permuted_report(&pp.fwd)));
+            }
+        }
+    } else {
+        let mut orbit = std::collections::HashSet::new();
+        orbit.insert(engine.canonical_fingerprint().as_u128());
+        for pp in &sym.perms {
+            if orbit.insert(engine.permuted_fingerprint(&pp.fwd, &pp.inv).as_u128()) {
+                progress.orbit_terminals.fetch_add(1, Ordering::Relaxed);
+                visit(Child::Leaf(engine.permuted_report(&pp.fwd)));
+            }
+        }
+    }
 }
 
 /// Expand one configuration clone-free: for every active pick, open a
@@ -401,62 +891,151 @@ struct Expansion<'a, P: Protocol> {
 /// private node state — so merged and terminal children skip the whole
 /// observation fan-out, and only surviving interior children pay for
 /// delivery. Free models observe before the activation phase as usual.
-fn expand_into<'a, P, S, V>(mut engine: Engine<'a, P>, seen: &S, progress: &Progress, visit: &mut V)
-where
+fn expand_into<'a, P, S, V>(
+    pending: Pending<'a, P>,
+    seen: &S,
+    progress: &Progress,
+    red: &Reduction,
+    visit: &mut V,
+) where
     P: Protocol,
     S: SeenProbe,
     V: FnMut(Child<'a, P>),
 {
+    let Pending {
+        mut engine,
+        sleep,
+        restrict,
+    } = pending;
+    let dpor = red.indep.is_some();
+    let indep = red.indep.as_deref().unwrap_or(&[]);
     // Iterate IDs and re-check activity instead of materializing the active
     // set: the undo after each child restores exactly the statuses this
     // loop started from, so the walked picks equal `active_set()` — minus
     // one Vec allocation per expanded state.
-    let n_active = engine.active_count();
+    let n = engine.node_count() as NodeId;
+    let n_allowed = if dpor {
+        (1..=n)
+            .filter(|&p| {
+                let bit = 1u64 << (p - 1);
+                engine.is_active(p) && restrict & bit != 0 && sleep & bit == 0
+            })
+            .count()
+    } else {
+        engine.active_count()
+    };
     let simultaneous = engine.is_simultaneous();
+    // Picks expanded so far this round, as a mask: a later pick's child may
+    // sleep on them exactly when they are independent of it.
+    let mut explored = 0u64;
     let mut walked = 0;
-    for pick in 1..=engine.node_count() as NodeId {
+    for pick in 1..=n {
         if !engine.is_active(pick) {
             continue;
+        }
+        if dpor {
+            let bit = 1u64 << (pick - 1);
+            if restrict & bit == 0 {
+                continue;
+            }
+            if sleep & bit != 0 {
+                if restrict == u64::MAX {
+                    progress.sleep_skipped.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
         }
         if progress.stopped() {
             break;
         }
         walked += 1;
-        let last = walked == n_active;
+        let last = walked == n_allowed;
+        let child_sleep = if dpor {
+            (sleep | explored) & indep[pick as usize - 1]
+        } else {
+            0
+        };
         let token = engine.step_token();
         if simultaneous {
             engine.step_unobserved(pick);
-            if progress.record(seen.probe(&engine)) {
-                if !engine.has_active() {
-                    // Terminal: the report reads only board + write order,
-                    // so the undelivered observations are irrelevant.
-                    visit(Child::Leaf(engine.report()));
-                } else if last {
-                    engine.deliver_last_entry();
-                    engine.commit(token);
-                    visit(Child::Interior(engine));
-                    return;
-                } else {
-                    engine.deliver_last_entry();
-                    visit(Child::Interior(engine.clone()));
+            match progress.record(seen.probe(&engine, red, child_sleep)) {
+                Admit::Expand => {
+                    if !engine.has_active() {
+                        // Terminal: the report reads only board + write
+                        // order, so the undelivered observations are
+                        // irrelevant.
+                        emit_leaf(&engine, red, progress, visit);
+                    } else if last {
+                        engine.deliver_last_entry();
+                        engine.commit(token);
+                        visit(Child::Interior(Pending {
+                            engine,
+                            sleep: child_sleep,
+                            restrict: u64::MAX,
+                        }));
+                        return;
+                    } else {
+                        engine.deliver_last_entry();
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: u64::MAX,
+                        }));
+                    }
                 }
+                Admit::Reexpand(woken) => {
+                    if engine.has_active() {
+                        progress.reexpansions.fetch_add(1, Ordering::Relaxed);
+                        engine.deliver_last_entry();
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: woken,
+                        }));
+                    }
+                }
+                Admit::Skip => {}
             }
         } else {
             engine.step(pick);
             engine.activation_phase();
-            if progress.record(seen.probe(&engine)) {
-                if !engine.has_active() {
-                    visit(Child::Leaf(engine.report()));
-                } else if last {
-                    engine.commit(token);
-                    visit(Child::Interior(engine));
-                    return;
-                } else {
-                    visit(Child::Interior(engine.clone()));
+            match progress.record(seen.probe(&engine, red, child_sleep)) {
+                Admit::Expand => {
+                    if !engine.has_active() {
+                        emit_leaf(&engine, red, progress, visit);
+                    } else if last {
+                        engine.commit(token);
+                        visit(Child::Interior(Pending {
+                            engine,
+                            sleep: child_sleep,
+                            restrict: u64::MAX,
+                        }));
+                        return;
+                    } else {
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: u64::MAX,
+                        }));
+                    }
                 }
+                Admit::Reexpand(woken) => {
+                    if engine.has_active() {
+                        progress.reexpansions.fetch_add(1, Ordering::Relaxed);
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: woken,
+                        }));
+                    }
+                }
+                Admit::Skip => {}
             }
         }
         engine.undo(token);
+        if dpor {
+            explored |= 1u64 << (pick - 1);
+        }
     }
 }
 
@@ -467,46 +1046,110 @@ where
 /// optimization — each pick has up to two children, so the parent is never
 /// known-spent before the loop ends).
 fn expand_into_faulted<'a, P, S, V>(
-    mut engine: Engine<'a, P>,
+    pending: Pending<'a, P>,
     f: usize,
     seen: &S,
     progress: &Progress,
+    red: &Reduction,
     visit: &mut V,
 ) where
     P: Protocol,
     S: SeenProbe,
     V: FnMut(Child<'a, P>),
 {
+    let Pending {
+        mut engine,
+        sleep,
+        restrict,
+    } = pending;
+    let dpor = red.indep.is_some();
+    let indep = red.indep.as_deref().unwrap_or(&[]);
     let simultaneous = engine.is_simultaneous();
     let can_crash = engine.crashed_count() < f;
+    // A sleeping pick skips *both* of its branches: crash(v) writes nothing,
+    // so it commutes with at least everything write(v) commutes with, and
+    // reordering it never changes how much crash budget remains.
+    let mut explored = 0u64;
     for pick in 1..=engine.node_count() as NodeId {
         if !engine.is_active(pick) {
             continue;
         }
+        if dpor {
+            let bit = 1u64 << (pick - 1);
+            if restrict & bit == 0 {
+                continue;
+            }
+            if sleep & bit != 0 {
+                if restrict == u64::MAX {
+                    progress.sleep_skipped.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+        }
         if progress.stopped() {
             break;
         }
+        let child_sleep = if dpor {
+            (sleep | explored) & indep[pick as usize - 1]
+        } else {
+            0
+        };
         // Branch 1: the write survives.
         let token = engine.step_token();
         if simultaneous {
             engine.step_unobserved(pick);
-            if progress.record(seen.probe(&engine)) {
-                if !engine.has_active() {
-                    visit(Child::Leaf(engine.report()));
-                } else {
-                    engine.deliver_last_entry();
-                    visit(Child::Interior(engine.clone()));
+            match progress.record(seen.probe(&engine, red, child_sleep)) {
+                Admit::Expand => {
+                    if !engine.has_active() {
+                        emit_leaf(&engine, red, progress, visit);
+                    } else {
+                        engine.deliver_last_entry();
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: u64::MAX,
+                        }));
+                    }
                 }
+                Admit::Reexpand(woken) => {
+                    if engine.has_active() {
+                        progress.reexpansions.fetch_add(1, Ordering::Relaxed);
+                        engine.deliver_last_entry();
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: woken,
+                        }));
+                    }
+                }
+                Admit::Skip => {}
             }
         } else {
             engine.step(pick);
             engine.activation_phase();
-            if progress.record(seen.probe(&engine)) {
-                if !engine.has_active() {
-                    visit(Child::Leaf(engine.report()));
-                } else {
-                    visit(Child::Interior(engine.clone()));
+            match progress.record(seen.probe(&engine, red, child_sleep)) {
+                Admit::Expand => {
+                    if !engine.has_active() {
+                        emit_leaf(&engine, red, progress, visit);
+                    } else {
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: u64::MAX,
+                        }));
+                    }
                 }
+                Admit::Reexpand(woken) => {
+                    if engine.has_active() {
+                        progress.reexpansions.fetch_add(1, Ordering::Relaxed);
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: woken,
+                        }));
+                    }
+                }
+                Admit::Skip => {}
             }
         }
         engine.undo(token);
@@ -516,14 +1159,34 @@ fn expand_into_faulted<'a, P, S, V>(
             let token = engine.step_token();
             engine.step_crash(pick);
             engine.activation_phase();
-            if progress.record(seen.probe(&engine)) {
-                if !engine.has_active() {
-                    visit(Child::Leaf(engine.report()));
-                } else {
-                    visit(Child::Interior(engine.clone()));
+            match progress.record(seen.probe(&engine, red, child_sleep)) {
+                Admit::Expand => {
+                    if !engine.has_active() {
+                        emit_leaf(&engine, red, progress, visit);
+                    } else {
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: u64::MAX,
+                        }));
+                    }
                 }
+                Admit::Reexpand(woken) => {
+                    if engine.has_active() {
+                        progress.reexpansions.fetch_add(1, Ordering::Relaxed);
+                        visit(Child::Interior(Pending {
+                            engine: engine.clone(),
+                            sleep: child_sleep,
+                            restrict: woken,
+                        }));
+                    }
+                }
+                Admit::Skip => {}
             }
             engine.undo(token);
+        }
+        if dpor {
+            explored |= 1u64 << (pick - 1);
         }
     }
 }
@@ -566,7 +1229,8 @@ where
     P::Output: Clone,
     C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool,
 {
-    let seen = LocalSeen::new(config.dedup);
+    let red = Reduction::build(protocol, g, config);
+    let seen = LocalSeen::new(config.dedup, red.indep.is_some());
     let f = config.fault_budget();
     explore_impl(
         protocol,
@@ -574,26 +1238,27 @@ where
         config,
         &check,
         &seen,
-        |frontier, seen, progress, report, check_leaf, max_frontier| {
+        &red,
+        |frontier, seen, progress, red, report, check_leaf, max_frontier| {
             // Children merge straight into the report/next frontier — no
             // intermediate expansion buffers on the sequential path.
-            let mut next: Vec<Engine<P>> = Vec::new();
+            let mut next: Vec<Pending<P>> = Vec::new();
             let mut overflow = false;
-            for engine in frontier {
+            for pending in frontier {
                 let mut visit = |child| match child {
                     Child::Leaf(run) => check_leaf(report, run),
-                    Child::Interior(e) => {
+                    Child::Interior(p) => {
                         if next.len() >= max_frontier {
                             overflow = true;
                         } else {
-                            next.push(e);
+                            next.push(p);
                         }
                     }
                 };
                 if f == 0 {
-                    expand_into(engine, seen, progress, &mut visit);
+                    expand_into(pending, seen, progress, red, &mut visit);
                 } else {
-                    expand_into_faulted(engine, f, seen, progress, &mut visit);
+                    expand_into_faulted(pending, f, seen, progress, red, &mut visit);
                 }
                 if overflow {
                     report.truncated = true;
@@ -639,7 +1304,8 @@ where
     P::Output: Clone + Send,
     C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool,
 {
-    let seen = SharedSeen::new(config.dedup, 4 * wb_par::num_threads());
+    let red = Reduction::build(protocol, g, config);
+    let seen = SharedSeen::new(config.dedup, 4 * wb_par::num_threads(), red.indep.is_some());
     let f = config.fault_budget();
     explore_impl(
         protocol,
@@ -647,34 +1313,35 @@ where
         config,
         &check,
         &seen,
-        |frontier, seen, progress, report, check_leaf, max_frontier| {
-            let expansions = wb_par::par_map_vec(frontier, |e| {
+        &red,
+        |frontier, seen, progress, red, report, check_leaf, max_frontier| {
+            let expansions = wb_par::par_map_vec(frontier, |p| {
                 let mut exp = Expansion {
                     leaves: Vec::new(),
                     interior: Vec::new(),
                 };
                 let mut visit = |child| match child {
                     Child::Leaf(run) => exp.leaves.push(run),
-                    Child::Interior(engine) => exp.interior.push(engine),
+                    Child::Interior(pending) => exp.interior.push(pending),
                 };
                 if f == 0 {
-                    expand_into(e, seen, progress, &mut visit);
+                    expand_into(p, seen, progress, red, &mut visit);
                 } else {
-                    expand_into_faulted(e, f, seen, progress, &mut visit);
+                    expand_into_faulted(p, f, seen, progress, red, &mut visit);
                 }
                 exp
             });
-            let mut next: Vec<Engine<P>> = Vec::new();
+            let mut next: Vec<Pending<P>> = Vec::new();
             'merge: for exp in expansions {
                 for run in exp.leaves {
                     check_leaf(report, run);
                 }
-                for engine in exp.interior {
+                for pending in exp.interior {
                     if next.len() >= max_frontier {
                         report.truncated = true;
                         break 'merge;
                     }
-                    next.push(engine);
+                    next.push(pending);
                 }
             }
             next
@@ -688,6 +1355,7 @@ fn explore_impl<'a, P, C, S, F>(
     config: &ExploreConfig,
     check: &C,
     seen: &S,
+    red: &Reduction,
     run_generation: F,
 ) -> ExplorationReport<P::Output>
 where
@@ -696,15 +1364,24 @@ where
     C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool,
     S: SeenProbe,
     F: for<'s> Fn(
-        Vec<Engine<'a, P>>,
+        Vec<Pending<'a, P>>,
         &'s S,
         &'s Progress,
+        &'s Reduction,
         &'s mut ExplorationReport<P::Output>,
         &'s dyn Fn(&mut ExplorationReport<P::Output>, RunReport<P::Output>),
         usize,
-    ) -> Vec<Engine<'a, P>>,
+    ) -> Vec<Pending<'a, P>>,
 {
-    let progress = Progress::new(config.max_states);
+    let stats = (config.reduction != ReductionPolicy::Off).then(|| ReductionStats {
+        policy: config.reduction,
+        dpor_active: red.indep.is_some(),
+        symmetry_active: red.sym.is_some(),
+        group_order: red.sym.as_ref().map(|s| s.order).unwrap_or(0),
+        sleep_skipped: 0,
+        orbit_terminals: 0,
+        reexpansions: 0,
+    });
     let mut report = ExplorationReport {
         distinct_states: 1, // the root
         terminals: 0,
@@ -713,7 +1390,17 @@ where
         peak_frontier: 0,
         outcomes: Vec::new(),
         failures: Vec::new(),
+        reduction: stats,
     };
+    if config.max_states == 0 || config.max_frontier == 0 {
+        // A zero cap admits nothing — not even the root. Report an
+        // immediately-truncated empty exploration (`passed()` is false)
+        // instead of panicking or accidentally walking anything.
+        report.distinct_states = 0;
+        report.truncated = true;
+        return report;
+    }
+    let progress = Progress::new(config.max_states);
     let check_leaf = |report: &mut ExplorationReport<P::Output>, run: RunReport<P::Output>| {
         report.terminals += 1;
         if !check(&run.outcome, &run.crashed) {
@@ -728,19 +1415,23 @@ where
 
     let mut root = Engine::new(protocol, g);
     root.activation_phase();
-    seen.probe(&root); // pre-counted by Progress::new
+    seen.probe(&root, red, 0); // pre-counted by Progress::new
     if !root.has_active() {
+        // The root is its own orbit (an equivariant protocol's initial
+        // configuration is fixed by every pinned automorphism), so no orbit
+        // expansion is needed here.
         check_leaf(&mut report, root.finish());
         return report;
     }
 
-    let mut frontier = vec![root];
+    let mut frontier = vec![Pending::root(root)];
     while !frontier.is_empty() && !report.truncated {
         report.peak_frontier = report.peak_frontier.max(frontier.len());
         frontier = run_generation(
             frontier,
             seen,
             &progress,
+            red,
             &mut report,
             &check_leaf,
             config.max_frontier,
@@ -751,6 +1442,11 @@ where
     }
     report.distinct_states = progress.distinct.load(Ordering::Relaxed);
     report.merged = progress.merged.load(Ordering::Relaxed);
+    if let Some(stats) = &mut report.reduction {
+        stats.sleep_skipped = progress.sleep_skipped.load(Ordering::Relaxed);
+        stats.orbit_terminals = progress.orbit_terminals.load(Ordering::Relaxed);
+        stats.reexpansions = progress.reexpansions.load(Ordering::Relaxed);
+    }
     report
 }
 
@@ -983,6 +1679,7 @@ mod tests {
             peak_frontier: 0,
             outcomes: Vec::new(),
             failures: Vec::new(),
+            reduction: None,
         };
         assert_eq!(report.dedup_ratio(), 1.0);
         assert_eq!(report.states_per_sec(0.0), 0.0);
@@ -1338,6 +2035,165 @@ mod tests {
         });
         let order = found.expect("non-identity orders exist");
         assert_ne!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reduction_policy_parses_and_displays() {
+        for (spec, policy) in [
+            ("off", ReductionPolicy::Off),
+            ("dpor", ReductionPolicy::Dpor),
+            ("symmetry", ReductionPolicy::Symmetry),
+            ("dpor+symmetry", ReductionPolicy::DporSymmetry),
+        ] {
+            assert_eq!(spec.parse::<ReductionPolicy>().unwrap(), policy);
+            if spec != "off" {
+                assert_eq!(policy.to_string(), spec);
+            }
+        }
+        assert_eq!(
+            "symmetry+dpor".parse::<ReductionPolicy>().unwrap(),
+            ReductionPolicy::DporSymmetry
+        );
+        assert!("both".parse::<ReductionPolicy>().is_err());
+    }
+
+    #[test]
+    fn zero_caps_report_immediately_truncated_empty_explorations() {
+        // A zero cap must neither panic nor walk anything, and the resulting
+        // empty report keeps its rate fields finite.
+        for cfg in [
+            ExploreConfig::default().with_max_states(0),
+            ExploreConfig::default().with_max_frontier(0),
+            ExploreConfig::default()
+                .without_dedup()
+                .with_max_states(0)
+                .with_max_frontier(0),
+        ] {
+            for report in [
+                explore(&EchoId, &generators::path(3), &cfg, |_| true),
+                explore_parallel(&EchoId, &generators::path(3), &cfg, |_| true),
+            ] {
+                assert!(report.truncated);
+                assert!(!report.passed());
+                assert_eq!(report.distinct_states, 0);
+                assert_eq!(report.terminals, 0);
+                assert_eq!(report.generated(), 0);
+                assert!(report.outcomes.is_empty());
+                assert!(report.dedup_ratio().is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_stats_are_absent_by_default_and_present_when_requested() {
+        let g = generators::path(3);
+        let plain = explore(&EchoId, &g, &ExploreConfig::default(), |_| true);
+        assert!(plain.reduction.is_none());
+        let cfg = ExploreConfig::default().with_reduction(ReductionPolicy::Dpor);
+        let reduced = explore(&EchoId, &g, &cfg, |_| true);
+        let stats = reduced.reduction.expect("policy != off records stats");
+        assert_eq!(stats.policy, ReductionPolicy::Dpor);
+        // EchoId is SIMASYNC: commutativity upgrades to All, so DPOR arms.
+        assert!(stats.dpor_active);
+        assert!(!stats.symmetry_active);
+        assert!(stats.sleep_skipped > 0, "a path-3 walk has commuting picks");
+    }
+
+    #[test]
+    fn dpor_self_disables_without_dedup_or_independence() {
+        let g = generators::path(3);
+        // Without dedup the sleep-set equivalence argument collapses, so
+        // DPOR silently disarms and the walk matches the plain one.
+        let cfg = ExploreConfig::default()
+            .without_dedup()
+            .with_reduction(ReductionPolicy::Dpor);
+        let report = explore(&EchoId, &g, &cfg, |_| true);
+        let stats = report.reduction.expect("stats still recorded");
+        assert!(!stats.dpor_active);
+        let plain = explore(
+            &EchoId,
+            &g,
+            &ExploreConfig::default().without_dedup(),
+            |_| true,
+        );
+        assert_eq!(report.distinct_states, plain.distinct_states);
+        assert_eq!(report.terminals, plain.terminals);
+        // SeenCount declares Commutativity::None (its state counts every
+        // write), so DPOR disarms even with dedup on.
+        let cfg = ExploreConfig::default().with_reduction(ReductionPolicy::Dpor);
+        let report = explore(&SeenCount, &g, &cfg, |_| true);
+        assert!(!report.reduction.unwrap().dpor_active);
+    }
+
+    #[test]
+    fn dpor_preserves_states_terminals_and_outcomes() {
+        // On SIMASYNC toys the sleep sets prune only transitions that would
+        // have merged: distinct states, terminals, and outcomes are
+        // identical, and the generated count drops.
+        for g in [
+            generators::path(4),
+            generators::cycle(5),
+            generators::star(5),
+        ] {
+            let off = explore(&EchoId, &g, &ExploreConfig::default(), |_| true);
+            for policy in [ReductionPolicy::Dpor, ReductionPolicy::DporSymmetry] {
+                let cfg = ExploreConfig::default().with_reduction(policy);
+                let red = explore(&EchoId, &g, &cfg, |_| true);
+                assert_eq!(red.distinct_states, off.distinct_states, "{g:?}");
+                assert_eq!(red.terminals, off.terminals, "{g:?}");
+                assert_eq!(outcome_multiset(&red), outcome_multiset(&off), "{g:?}");
+                assert!(red.generated() < off.generated(), "{g:?}");
+                assert!(red.merged < off.merged, "{g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dpor_matches_unreduced_walks_in_free_models() {
+        use crate::adapt::Promote;
+        // Promote<EchoId> keeps Commutativity::All in the free models (the
+        // message is cached at spawn), exercising the sleep sets where
+        // activation phases and freeze slots are in play.
+        for target in [Model::Async, Model::Sync] {
+            let p = Promote::new(EchoId, target);
+            for g in [generators::path(4), generators::cycle(4)] {
+                let off = explore(&p, &g, &ExploreConfig::default(), |_| true);
+                let cfg = ExploreConfig::default().with_reduction(ReductionPolicy::Dpor);
+                let red = explore(&p, &g, &cfg, |_| true);
+                assert!(red.reduction.unwrap().dpor_active);
+                assert_eq!(red.distinct_states, off.distinct_states, "{target} {g:?}");
+                assert_eq!(red.terminals, off.terminals, "{target} {g:?}");
+                assert_eq!(outcome_multiset(&red), outcome_multiset(&off));
+            }
+        }
+    }
+
+    #[test]
+    fn dpor_preserves_crash_branch_coverage() {
+        use crate::fault::FaultPlan;
+        let g = generators::path(3);
+        let base = ExploreConfig::default().with_faults(Some(FaultPlan::crash_stop(1)));
+        let off = explore_with(&EchoId, &g, &base, |_, _| true);
+        let cfg = base.clone().with_reduction(ReductionPolicy::Dpor);
+        let red = explore_with(&EchoId, &g, &cfg, |_, _| true);
+        assert_eq!(red.distinct_states, off.distinct_states);
+        assert_eq!(red.terminals, off.terminals);
+        assert_eq!(outcome_multiset(&red), outcome_multiset(&off));
+        assert!(red.generated() <= off.generated());
+    }
+
+    #[test]
+    fn parallel_dpor_matches_sequential_dpor() {
+        let g = generators::path(5);
+        let cfg = ExploreConfig::default().with_reduction(ReductionPolicy::Dpor);
+        let seq = explore(&EchoId, &g, &cfg, |_| true);
+        let par = explore_parallel(&EchoId, &g, &cfg, |_| true);
+        // Merged counts may differ under races (a wake-up seen by one worker
+        // may be a plain merge for another), but the state/terminal/outcome
+        // view is deterministic.
+        assert_eq!(seq.distinct_states, par.distinct_states);
+        assert_eq!(seq.terminals, par.terminals);
+        assert_eq!(outcome_multiset(&seq), outcome_multiset(&par));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod protocol;
 
 pub use adversary::{
     Adversary, CrashyAdversary, FnAdversary, LenientScheduleAdversary, MaxIdAdversary,
-    MinIdAdversary, PriorityAdversary, RandomAdversary, ScheduleAdversary,
+    MinIdAdversary, PriorityAdversary, RandomAdversary, ReplayError, ScheduleAdversary,
 };
 pub use board::{Entry, Whiteboard};
 pub use bulk::{
@@ -68,8 +68,9 @@ pub use certificate::{
 pub use engine::{run, run_traced, CanonicalState, Engine, Outcome, RunReport, TraceRow};
 pub use exhaustive::{
     assert_explored, explore, explore_parallel, explore_parallel_with, explore_with, DedupPolicy,
-    ExplorationReport, ExploreConfig, NaiveReport, ScheduleFailure,
+    ExplorationReport, ExploreConfig, NaiveReport, ReductionPolicy, ReductionStats,
+    ScheduleFailure,
 };
 pub use fault::{FaultKind, FaultPlan};
 pub use model::Model;
-pub use protocol::{LocalView, Node, Protocol};
+pub use protocol::{Commutativity, LocalView, Node, Protocol};

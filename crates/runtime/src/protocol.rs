@@ -76,6 +76,29 @@ pub trait Node: Clone {
     fn compose(&mut self, view: &LocalView) -> BitVec;
 }
 
+/// How far the exhaustive tier's partial-order reduction may trust two
+/// writes to commute (see [`Protocol::commutes`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Commutativity {
+    /// No commutativity claim: the explorer must try every interleaving.
+    /// Always sound; this is the default.
+    #[default]
+    None,
+    /// Writes by non-adjacent nodes commute: reaching configurations are
+    /// identical under swaps of consecutive non-adjacent writers. Correct
+    /// for *local* protocols, whose nodes react only to neighbors' entries
+    /// (the `writer`/`seq` arguments must not leak non-neighbor information
+    /// into the node state) and whose activation decisions likewise depend
+    /// only on neighbor writes.
+    NonAdjacent,
+    /// Every pair of writes commutes (reaching configurations depend only on
+    /// the *set* of writes performed). Holds structurally for `SIMASYNC`
+    /// protocols — the engine asserts nothing but grants this upgrade
+    /// automatically for them — and may be declared by order-oblivious
+    /// protocols in other models.
+    All,
+}
+
 /// A whiteboard protocol: node factory, model declaration, bit budget and the
 /// output function.
 pub trait Protocol {
@@ -98,6 +121,43 @@ pub trait Protocol {
     /// The output function `out(W)`, evaluated by the last node to terminate —
     /// it sees only the final whiteboard (plus `n`).
     fn output(&self, n: usize, board: &Whiteboard) -> Self::Output;
+
+    /// How much write commutativity the exhaustive tier's DPOR layer may
+    /// exploit. The default ([`Commutativity::None`]) disables partial-order
+    /// reduction for this protocol, which is always sound; override only
+    /// when the protocol genuinely satisfies the declared contract (see
+    /// [`Commutativity`]). `SIMASYNC` protocols are upgraded to
+    /// [`Commutativity::All`] automatically and need not override.
+    fn commutes(&self) -> Commutativity {
+        Commutativity::None
+    }
+
+    /// Whether the protocol is equivariant under graph automorphisms that
+    /// fix [`Self::pinned_nodes`]: relabeling the input graph by such an
+    /// automorphism relabels every execution (states, messages via
+    /// [`Self::relabel_message`], outputs) without otherwise changing
+    /// behavior. Concretely: node behavior may depend on its view and the
+    /// pinned IDs, but not on ID *order* or arithmetic that the relabeling
+    /// breaks. The default (`false`) disables the symmetry quotient, which
+    /// is always sound.
+    fn equivariant(&self) -> bool {
+        false
+    }
+
+    /// Nodes the protocol distinguishes by ID (e.g. a designated root). The
+    /// symmetry quotient restricts to automorphisms fixing each of these
+    /// pointwise. IDs outside `1..=n` are ignored.
+    fn pinned_nodes(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// Rewrite node IDs embedded in a message under the relabeling `perm`
+    /// (`perm[v - 1]` = new ID of old node `v`). Only called when
+    /// [`Self::equivariant`] is true; the default (returning the message
+    /// unchanged) is correct for protocols whose messages carry no IDs.
+    fn relabel_message(&self, _n: usize, msg: &BitVec, _perm: &[NodeId]) -> BitVec {
+        msg.clone()
+    }
 }
 
 impl<P: Protocol> Protocol for &P {
@@ -118,6 +178,22 @@ impl<P: Protocol> Protocol for &P {
 
     fn output(&self, n: usize, board: &Whiteboard) -> Self::Output {
         (**self).output(n, board)
+    }
+
+    fn commutes(&self) -> Commutativity {
+        (**self).commutes()
+    }
+
+    fn equivariant(&self) -> bool {
+        (**self).equivariant()
+    }
+
+    fn pinned_nodes(&self) -> Vec<NodeId> {
+        (**self).pinned_nodes()
+    }
+
+    fn relabel_message(&self, n: usize, msg: &BitVec, perm: &[NodeId]) -> BitVec {
+        (**self).relabel_message(n, msg, perm)
     }
 }
 

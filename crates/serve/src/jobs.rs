@@ -20,7 +20,7 @@ use wb_core::registry::{self, BoundOracle, BulkVisitor, ProtocolVisitor};
 use wb_graph::Graph;
 use wb_runtime::adapt::Promote;
 use wb_runtime::bulk::{run_bulk, run_bulk_crashed, shuffled_schedule, BulkConfig, BulkProtocol};
-use wb_runtime::exhaustive::{explore_parallel_with, explore_with, ExploreConfig};
+use wb_runtime::exhaustive::{explore_parallel_with, explore_with, ExploreConfig, ReductionPolicy};
 use wb_runtime::{DedupPolicy, FaultPlan, Model, Outcome, Protocol};
 use wb_sim::{run_campaign_with, CampaignConfig, CampaignLabels, SamplerKind};
 
@@ -83,6 +83,9 @@ pub struct JobSpec {
     pub max_states: u64,
     /// Exploration dedup policy name.
     pub dedup: String,
+    /// Exploration reduction policy name (`off|dpor|symmetry|dpor+symmetry`).
+    /// `"off"` keeps every report byte-identical to the unreduced schema.
+    pub reduction: String,
     /// Explore across the thread pool.
     pub par: bool,
     /// Explore: also run the dedup-off walk and report the savings.
@@ -119,6 +122,7 @@ impl JobSpec {
             batch: None,
             max_states: 1 << 20,
             dedup: "canonical".into(),
+            reduction: "off".into(),
             par: false,
             compare_naive: false,
             faults: None,
@@ -198,6 +202,22 @@ pub fn parse_dedup(spec: &str) -> Result<DedupPolicy, String> {
     })
 }
 
+/// Parse a `--reduction` policy name and check it against the dedup policy:
+/// both reductions are defined relative to the deduplicating explorer (DPOR
+/// prunes transitions *because* they would merge; the symmetry quotient
+/// canonicalizes the dedup key), so combining them with `--dedup off` is a
+/// spec error, not a silent no-op.
+pub fn parse_reduction(spec: &str, dedup: DedupPolicy) -> Result<ReductionPolicy, String> {
+    let policy: ReductionPolicy = spec.parse()?;
+    if policy != ReductionPolicy::Off && dedup == DedupPolicy::Off {
+        return Err(format!(
+            "--reduction {policy} requires state deduplication; drop --dedup off \
+             (the reductions prune relative to the deduplicated state graph)"
+        ));
+    }
+    Ok(policy)
+}
+
 /// Round to `digits` decimal places so derived ratios print as short,
 /// stable literals (e.g. `19.57`, not sixteen digits of float noise).
 fn round_to(x: f64, digits: u32) -> f64 {
@@ -225,10 +245,12 @@ fn make_workload(spec: &JobSpec) -> Result<Graph, String> {
 fn run_explore(spec: &JobSpec) -> Result<JobReport, String> {
     let g = make_workload(spec)?;
     let faults = parse_faults(spec.faults.as_deref())?;
+    let dedup = parse_dedup(&spec.dedup)?;
     let config = ExploreConfig::default()
         .with_max_states(spec.max_states)
-        .with_dedup(parse_dedup(&spec.dedup)?)
-        .with_faults(faults);
+        .with_dedup(dedup)
+        .with_faults(faults)
+        .with_reduction(parse_reduction(&spec.reduction, dedup)?);
 
     struct ExploreJob<'a> {
         spec: &'a JobSpec,
@@ -286,6 +308,26 @@ fn run_explore(spec: &JobSpec) -> Result<JobReport, String> {
             obj.insert("failures".into(), Json::Num(report.failures.len() as f64));
             if let Some(plan) = &self.faults {
                 obj.insert("faults".into(), Json::Str(plan.spec()));
+            }
+            // Present only for reduced explorations, mirroring "faults": the
+            // default report stays byte-identical to the unreduced schema.
+            if let Some(stats) = &report.reduction {
+                obj.insert("reduction".into(), Json::Str(stats.policy.to_string()));
+                let mut r = BTreeMap::new();
+                r.insert("dpor_active".into(), Json::Bool(stats.dpor_active));
+                r.insert("symmetry_active".into(), Json::Bool(stats.symmetry_active));
+                r.insert("group_order".into(), Json::Num(stats.group_order as f64));
+                r.insert(
+                    "sleep_skipped".into(),
+                    Json::Num(stats.sleep_skipped as f64),
+                );
+                r.insert(
+                    "orbit_terminals".into(),
+                    Json::Num(stats.orbit_terminals as f64),
+                );
+                r.insert("reexpansions".into(), Json::Num(stats.reexpansions as f64));
+                r.insert("generated".into(), Json::Num(report.generated() as f64));
+                obj.insert("reduction_stats".into(), Json::Obj(r));
             }
             if spec.compare_naive {
                 let off = ExploreConfig::default()

@@ -170,6 +170,7 @@ const SUBMIT_FIELDS: &[&str] = &[
     "batch",
     "max_states",
     "dedup",
+    "reduction",
     "par",
     "compare_naive",
     "faults",
@@ -234,6 +235,9 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             }
             if let Some(v) = get_str(&doc, "dedup")? {
                 spec.dedup = v;
+            }
+            if let Some(v) = get_str(&doc, "reduction")? {
+                spec.reduction = v;
             }
             if let Some(v) = get_bool(&doc, "par")? {
                 spec.par = v;
@@ -310,6 +314,9 @@ pub fn submit_line(spec: &JobSpec) -> String {
         Json::Str(spec.max_states.to_string()),
     );
     obj.insert("dedup".to_string(), Json::Str(spec.dedup.clone()));
+    if spec.reduction != "off" {
+        obj.insert("reduction".to_string(), Json::Str(spec.reduction.clone()));
+    }
     obj.insert("par".to_string(), Json::Bool(spec.par));
     obj.insert("compare_naive".to_string(), Json::Bool(spec.compare_naive));
     if let Some(faults) = &spec.faults {
@@ -357,6 +364,7 @@ mod tests {
         spec.trials = 2000;
         spec.seed = u64::MAX; // must survive: seeds travel as strings
         spec.batch = Some(64);
+        spec.reduction = "dpor+symmetry".into();
         spec.faults = Some("crash:2".into());
         spec.deadline_ms = Some(1500);
         let line = submit_line(&spec);

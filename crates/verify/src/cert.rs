@@ -35,6 +35,7 @@ const KNOWN_KEYS: &[&str] = &[
     "model",
     "n",
     "protocol",
+    "reduction",
     "seed",
     "states",
     "terminals",
@@ -77,6 +78,10 @@ pub struct RawCertificate {
     pub graph_edges: Vec<(NodeId, NodeId)>,
     /// The fault plan whose schedule the walk branched over, if any.
     pub faults: Option<FaultPlan>,
+    /// Reduction policy the *exploration* ran under, if any. Provenance
+    /// only: the certifying walk is always unreduced (every transition edge
+    /// is present), so verification replays the same machine either way.
+    pub reduction: Option<String>,
     /// Initial configuration hash.
     pub initial: u128,
     /// Transition edges `(from, writer, crash, to)`, sorted and unique;
@@ -203,6 +208,29 @@ pub fn parse(line: &str) -> Result<RawCertificate, VerifyError> {
         }
     };
 
+    // Provenance of the exploration that prompted the certificate. The
+    // certifying walk itself never reduces, so the verifier only checks the
+    // key is well-formed — a reduced-exploration certificate replays through
+    // the same unreduced machine as any other.
+    let reduction = match doc.get("reduction") {
+        None => None,
+        Some(v) => {
+            let spec = v
+                .as_str()
+                .ok_or_else(|| bad("reduction", "expected a reduction-policy string"))?;
+            if !["dpor", "symmetry", "dpor+symmetry"].contains(&spec) {
+                return Err(bad(
+                    "reduction",
+                    format!(
+                        "unknown policy '{spec}' (expected dpor|symmetry|dpor+symmetry; \
+                         'off' must be omitted)"
+                    ),
+                ));
+            }
+            Some(spec.to_string())
+        }
+    };
+
     let edges = field(&doc, "edges")?
         .as_arr()
         .ok_or_else(|| bad("edges", "expected an array"))?
@@ -320,6 +348,7 @@ pub fn parse(line: &str) -> Result<RawCertificate, VerifyError> {
         n,
         graph_edges,
         faults,
+        reduction,
         initial,
         edges,
         terminals,

@@ -4,9 +4,13 @@
 //! whiteboard run   --protocol build:2 --workload kdeg:2 --n 200 [--seed S] [--adversary random:7] [--trace]
 //! whiteboard check --protocol mis:1 --n 4            # exhaustive schedules on all n-node graphs
 //! whiteboard explore --protocol mis:1 --workload path --n 6 [--max-states M] [--par] [--compare-naive]
-//!                    [--dedup canonical|exact|off] [--json]
+//!                    [--dedup canonical|exact|off] [--reduction off|dpor|symmetry|dpor+symmetry]
+//!                    [--json]
 //!                                                    # schedule-space explorer report (dedup stats);
-//!                                                    # --json emits one machine-readable object
+//!                                                    # --reduction applies the sound state-space
+//!                                                    # reductions (sleep-set DPOR / automorphism
+//!                                                    # quotient); --json emits one machine-readable
+//!                                                    # object
 //! whiteboard campaign --protocol mis:1 --graph-family gnp --n 100 --trials 1000000
 //!                     [--model native|simasync|simsync|async|sync|fasync|fsync]
 //!                     [--sampler uniform|priority|crashy] [--seed S] [--json]
@@ -47,7 +51,9 @@ use std::process::ExitCode;
 use wb_math::counting::MessageRegime;
 use wb_reductions::lemma3::{verdict, Family};
 use wb_runtime::run_traced;
-use wb_serve::jobs::{parse_bulk_model, parse_dedup, parse_faults, parse_model, JobKind, JobSpec};
+use wb_serve::jobs::{
+    parse_bulk_model, parse_dedup, parse_faults, parse_model, parse_reduction, JobKind, JobSpec,
+};
 use wb_serve::{Client, Daemon, ServeConfig};
 use wb_sim::{run_campaign_with, shrink_schedule, CampaignConfig, CampaignLabels, SamplerKind};
 
@@ -100,7 +106,8 @@ fn usage() {
          serve|submit|status|shutdown|list> \
          [--protocol P] [--workload W | --graph-family W] [--n N[,N..]] [--seed S] \
          [--adversary min|max|random:S] [--trace] \
-         [--max-states M] [--par] [--compare-naive] [--dedup canonical|exact|off] [--json] \
+         [--max-states M] [--par] [--compare-naive] [--dedup canonical|exact|off] \
+         [--reduction off|dpor|symmetry|dpor+symmetry] [--json] \
          [--trials T] [--sampler uniform|priority|crashy] [--batch B] \
          [--model native|simasync|simsync|async|sync|fasync|fsync] [--shrink] [--shrink-out PATH] \
          [--faults crash:F|lossy:F] [--certify PATH] [--out PATH] \
@@ -121,6 +128,9 @@ struct Opts {
     par: bool,
     compare_naive: bool,
     dedup: String,
+    /// Reduction policy for `explore` / `certify`
+    /// (`off|dpor|symmetry|dpor+symmetry`).
+    reduction: String,
     json: bool,
     trials: u64,
     sampler: String,
@@ -171,6 +181,7 @@ impl Opts {
             par: false,
             compare_naive: false,
             dedup: "canonical".into(),
+            reduction: "off".into(),
             json: false,
             trials: 10_000,
             sampler: "uniform".into(),
@@ -240,6 +251,7 @@ impl Opts {
                 "--par" => o.par = true,
                 "--compare-naive" => o.compare_naive = true,
                 "--dedup" => o.dedup = value("--dedup")?,
+                "--reduction" => o.reduction = value("--reduction")?,
                 "--json" => o.json = true,
                 "--trials" => {
                     o.trials = value("--trials")?
@@ -643,6 +655,7 @@ fn job_spec_from_opts(kind: JobKind, o: &Opts, n: usize) -> JobSpec {
     spec.batch = o.batch;
     spec.max_states = o.max_states;
     spec.dedup = o.dedup.clone();
+    spec.reduction = o.reduction.clone();
     spec.par = o.par;
     spec.compare_naive = o.compare_naive;
     spec.faults = o.faults.clone();
@@ -662,10 +675,12 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
     let n = *o.ns.first().unwrap_or(&6);
     let g = make_workload(&o.workload, n, o.seed)?;
     let faults = parse_faults(o.faults.as_deref())?;
+    let dedup = parse_dedup(&o.dedup)?;
     let config = ExploreConfig::default()
         .with_max_states(o.max_states)
-        .with_dedup(parse_dedup(&o.dedup)?)
-        .with_faults(faults);
+        .with_dedup(dedup)
+        .with_faults(faults)
+        .with_reduction(parse_reduction(&o.reduction, dedup)?);
 
     // `--certify PATH`: additionally run the certifying walk and write one
     // `wb-cert/v1` line. Emitted before the report so a FAIL verdict (which
@@ -752,6 +767,24 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
         if let Some(plan) = &o.faults {
             println!("  faults          : {plan}");
         }
+        if let Some(stats) = &report.reduction {
+            println!(
+                "  reduction       : {} (dpor {}, symmetry {}{}) — {} generated, \
+                 {} sleep-skipped, {} orbit terminals, {} re-expansions",
+                stats.policy,
+                if stats.dpor_active { "on" } else { "off" },
+                if stats.symmetry_active { "on" } else { "off" },
+                if stats.symmetry_active {
+                    format!(", |Aut| = {}", stats.group_order)
+                } else {
+                    String::new()
+                },
+                report.generated(),
+                stats.sleep_skipped,
+                stats.orbit_terminals,
+                stats.reexpansions
+            );
+        }
         for f in report.failures.iter().take(5) {
             if f.died.is_empty() {
                 println!("  FAIL under write order {:?}: {:?}", f.schedule, f.outcome);
@@ -833,10 +866,12 @@ fn cmd_explore(o: &Opts) -> Result<(), String> {
 /// stdout stays pure JSONL. See `docs/CERTIFICATES.md`.
 fn cmd_certify(o: &Opts) -> Result<(), String> {
     let model = parse_model(&o.model)?;
+    let dedup = parse_dedup(&o.dedup)?;
     let config = wb_runtime::ExploreConfig::default()
         .with_max_states(o.max_states)
-        .with_dedup(parse_dedup(&o.dedup)?)
-        .with_faults(parse_faults(o.faults.as_deref())?);
+        .with_dedup(dedup)
+        .with_faults(parse_faults(o.faults.as_deref())?)
+        .with_reduction(parse_reduction(&o.reduction, dedup)?);
     let mut lines = String::new();
     for &n in &o.ns {
         let g = make_workload(&o.workload, n, o.seed)?;

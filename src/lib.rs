@@ -83,7 +83,7 @@ pub mod prelude {
     pub use wb_runtime::exhaustive::{
         assert_all_schedules, assert_explored, explore, explore_parallel, find_failing_schedule,
         for_each_schedule, DedupPolicy, ExplorationReport, ExploreConfig, NaiveReport,
-        ScheduleFailure,
+        ReductionPolicy, ReductionStats, ScheduleFailure,
     };
     pub use wb_runtime::{
         run, Adversary, CanonicalState, Engine, LenientScheduleAdversary, LocalView,

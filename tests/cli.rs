@@ -222,6 +222,79 @@ fn explore_dedup_modes_agree() {
 }
 
 #[test]
+fn explore_reduction_policies_match_off_and_report_stats() {
+    // The reduced walks must agree with the unreduced one on every
+    // observable: distinct states, terminals, verdict. Stats only appear
+    // when a reduction is on, keeping the off-policy JSON byte-stable.
+    let run = |reduction: &str| {
+        let (ok, out) = whiteboard_stdout(&[
+            "explore",
+            "--protocol",
+            "mis:1",
+            "--workload",
+            "cycle",
+            "--n",
+            "6",
+            "--reduction",
+            reduction,
+            "--json",
+        ]);
+        assert!(ok, "{out}");
+        out
+    };
+    let off = run("off");
+    assert!(off.contains("\"distinct_states\":88"), "{off}");
+    assert!(!off.contains("\"reduction\""), "{off}");
+    for policy in ["dpor", "symmetry", "dpor+symmetry"] {
+        let reduced = run(policy);
+        assert!(reduced.contains("\"terminals\":2"), "{policy}: {reduced}");
+        assert!(
+            reduced.contains("\"verdict\":\"PASS\""),
+            "{policy}: {reduced}"
+        );
+        assert!(
+            reduced.contains(&format!("\"reduction\":\"{policy}\"")),
+            "{policy}: {reduced}"
+        );
+        assert!(
+            reduced.contains("\"reduction_stats\":"),
+            "{policy}: {reduced}"
+        );
+    }
+    // DPOR prunes transitions, never states: the count is preserved.
+    assert!(run("dpor").contains("\"distinct_states\":88"));
+
+    // Reductions prune relative to the deduplicated state graph, so
+    // `--dedup off` is refused with the reason.
+    let (ok, out) = whiteboard(&[
+        "explore",
+        "--protocol",
+        "mis:1",
+        "--workload",
+        "cycle",
+        "--n",
+        "5",
+        "--reduction",
+        "dpor",
+        "--dedup",
+        "off",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("requires state deduplication"), "{out}");
+    let (ok, out) = whiteboard(&[
+        "explore",
+        "--protocol",
+        "mis:1",
+        "--n",
+        "4",
+        "--reduction",
+        "bogus",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("unknown reduction policy"), "{out}");
+}
+
+#[test]
 fn explore_json_rate_fields_are_finite_and_sane() {
     // The dedup-ratio field goes through the zero-division guards on
     // `ExplorationReport`, and timing fields must NOT appear — the report

@@ -1,0 +1,403 @@
+//! Differential suite for the sound state-space reductions of the exhaustive
+//! tier: `dpor`, `symmetry`, and `dpor+symmetry` must be *observationally
+//! invisible* — identical terminal counts, identical outcome multisets, and
+//! an identical multiset of failure outcomes (with every fault-free witness
+//! schedule replaying to its claimed outcome) — against `off` on every
+//! labeled graph up to `n = 5`, for protocols native to each of the four
+//! models, with and without a `crash:1` fault budget. The only thing a
+//! reduction is allowed to change is how much work it took to get there
+//! (`generated()`, `merged`, and the `reduction_stats` counters).
+
+use shared_whiteboard::par::{par_drain, WorkQueue};
+use shared_whiteboard::prelude::*;
+use shared_whiteboard::runtime::{Commutativity, FaultPlan};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// All graphs on `1..=n` nodes.
+fn graphs_up_to(n: usize) -> impl Iterator<Item = Graph> {
+    (1..=n).flat_map(enumerate::all_graphs)
+}
+
+/// Run `check` on every graph up to `n` nodes across the thread pool.
+fn for_all_graphs_parallel(n: usize, check: impl Fn(&Graph) + Sync) {
+    let count = (1..=n).map(enumerate::count_all).sum::<u64>() as usize;
+    let queue = WorkQueue::bounded(count);
+    for g in graphs_up_to(n) {
+        queue.push(g).expect("queue sized to hold every graph");
+    }
+    par_drain(&queue, |g, _| check(&g));
+}
+
+// ---------------------------------------------------------------------------
+// One small equivariant protocol per model. Messages carry no node IDs, so
+// the default identity `relabel_message` is already correct; node behavior
+// depends only on neighborhood structure, never on ID order.
+// ---------------------------------------------------------------------------
+
+/// SIMASYNC: everyone freezes at the simultaneous activation (empty board)
+/// and announces its degree parity. The written bits are schedule-invariant;
+/// crashes still vary which writers appear.
+#[derive(Clone, Debug)]
+struct DegreeParity;
+
+#[derive(Clone)]
+struct DegreeParityNode {
+    odd_degree: bool,
+}
+
+impl Node for DegreeParityNode {
+    fn observe(&mut self, _view: &LocalView, _seq: usize, _writer: NodeId, _msg: &BitVec) {}
+
+    fn compose(&mut self, _view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        w.write_bool(self.odd_degree);
+        w.finish()
+    }
+}
+
+impl Protocol for DegreeParity {
+    type Node = DegreeParityNode;
+    type Output = Vec<NodeId>;
+
+    fn model(&self) -> Model {
+        Model::SimAsync
+    }
+
+    fn budget_bits(&self, _n: usize) -> u32 {
+        1
+    }
+
+    fn spawn(&self, view: &LocalView) -> DegreeParityNode {
+        let degree = (1..=view.n as NodeId)
+            .filter(|&v| view.is_neighbor(v))
+            .count();
+        DegreeParityNode {
+            odd_degree: degree % 2 == 1,
+        }
+    }
+
+    /// Writers that announced an odd degree, ascending.
+    fn output(&self, _n: usize, board: &Whiteboard) -> Vec<NodeId> {
+        let mut set: Vec<NodeId> = board
+            .entries()
+            .iter()
+            .filter(|e| BitReader::new(&e.msg).read_bool())
+            .map(|e| e.writer)
+            .collect();
+        set.sort_unstable();
+        set
+    }
+
+    fn commutes(&self) -> Commutativity {
+        Commutativity::NonAdjacent
+    }
+
+    fn equivariant(&self) -> bool {
+        true
+    }
+}
+
+/// ASYNC: a node freezes at activation and announces whether any *neighbor*
+/// had written before that moment — the textbook frozen-view protocol, so
+/// write/write dependence genuinely extends to distance two (a common
+/// neighbor's frozen bit depends on which endpoint wrote first).
+#[derive(Clone, Debug)]
+struct HeardNeighbor;
+
+#[derive(Clone)]
+struct HeardNeighborNode {
+    heard: bool,
+}
+
+impl Node for HeardNeighborNode {
+    fn observe(&mut self, view: &LocalView, _seq: usize, writer: NodeId, _msg: &BitVec) {
+        if view.is_neighbor(writer) {
+            self.heard = true;
+        }
+    }
+
+    fn compose(&mut self, _view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        w.write_bool(self.heard);
+        w.finish()
+    }
+}
+
+impl Protocol for HeardNeighbor {
+    type Node = HeardNeighborNode;
+    type Output = Vec<NodeId>;
+
+    fn model(&self) -> Model {
+        Model::Async
+    }
+
+    fn budget_bits(&self, _n: usize) -> u32 {
+        1
+    }
+
+    fn spawn(&self, _view: &LocalView) -> HeardNeighborNode {
+        HeardNeighborNode { heard: false }
+    }
+
+    /// Writers that had heard a neighbor by their activation, ascending.
+    fn output(&self, _n: usize, board: &Whiteboard) -> Vec<NodeId> {
+        let mut set: Vec<NodeId> = board
+            .entries()
+            .iter()
+            .filter(|e| BitReader::new(&e.msg).read_bool())
+            .map(|e| e.writer)
+            .collect();
+        set.sort_unstable();
+        set
+    }
+
+    fn commutes(&self) -> Commutativity {
+        Commutativity::NonAdjacent
+    }
+
+    fn equivariant(&self) -> bool {
+        true
+    }
+}
+
+/// SYNC: compose reads the live board — a node joins iff no neighbor joined
+/// before it wrote (unrooted greedy MIS, fully ID-free).
+#[derive(Clone, Debug)]
+struct FirstInNeighborhood;
+
+#[derive(Clone)]
+struct FirstNode {
+    blocked: bool,
+}
+
+impl Node for FirstNode {
+    fn observe(&mut self, view: &LocalView, _seq: usize, writer: NodeId, msg: &BitVec) {
+        if view.is_neighbor(writer) && BitReader::new(msg).read_bool() {
+            self.blocked = true;
+        }
+    }
+
+    fn compose(&mut self, _view: &LocalView) -> BitVec {
+        let mut w = BitWriter::new();
+        w.write_bool(!self.blocked);
+        w.finish()
+    }
+}
+
+impl Protocol for FirstInNeighborhood {
+    type Node = FirstNode;
+    type Output = Vec<NodeId>;
+
+    fn model(&self) -> Model {
+        Model::Sync
+    }
+
+    fn budget_bits(&self, _n: usize) -> u32 {
+        1
+    }
+
+    fn spawn(&self, _view: &LocalView) -> FirstNode {
+        FirstNode { blocked: false }
+    }
+
+    /// The independent set that formed, ascending.
+    fn output(&self, _n: usize, board: &Whiteboard) -> Vec<NodeId> {
+        let mut set: Vec<NodeId> = board
+            .entries()
+            .iter()
+            .filter(|e| BitReader::new(&e.msg).read_bool())
+            .map(|e| e.writer)
+            .collect();
+        set.sort_unstable();
+        set
+    }
+
+    fn commutes(&self) -> Commutativity {
+        Commutativity::NonAdjacent
+    }
+
+    fn equivariant(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The differential harness.
+// ---------------------------------------------------------------------------
+
+/// Multiset of debug-rendered values (outcomes, failure outcomes).
+fn multiset<T: Debug>(items: impl IntoIterator<Item = T>) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    for item in items {
+        *m.entry(format!("{item:?}")).or_insert(0) += 1;
+    }
+    m
+}
+
+const REDUCED: [ReductionPolicy; 3] = [
+    ReductionPolicy::Dpor,
+    ReductionPolicy::Symmetry,
+    ReductionPolicy::DporSymmetry,
+];
+
+/// Explore `p` on `g` under `off` and under every reduction policy, with the
+/// given fault plan, and assert the reductions are observationally invisible.
+fn assert_reductions_invisible<P>(
+    p: &P,
+    g: &Graph,
+    label: &str,
+    faults: Option<FaultPlan>,
+    check: impl Fn(&Outcome<P::Output>) -> bool + Copy,
+) where
+    P: Protocol,
+    P::Output: Clone + Debug + PartialEq,
+{
+    let base = ExploreConfig::default().with_faults(faults.clone());
+    let off = explore(
+        p,
+        g,
+        &base.clone().with_reduction(ReductionPolicy::Off),
+        check,
+    );
+    assert!(
+        !off.truncated,
+        "{label}: unreduced exploration truncated on {g:?}"
+    );
+
+    for policy in REDUCED {
+        let red = explore(p, g, &base.clone().with_reduction(policy), check);
+        let ctx = format!("{label} / {policy} on {g:?}");
+        assert!(!red.truncated, "{ctx}: truncated");
+        assert_eq!(red.terminals, off.terminals, "{ctx}: terminal count");
+        assert_eq!(
+            multiset(red.outcomes.iter()),
+            multiset(off.outcomes.iter()),
+            "{ctx}: outcome multiset"
+        );
+        assert_eq!(
+            multiset(red.failures.iter().map(|f| &f.outcome)),
+            multiset(off.failures.iter().map(|f| &f.outcome)),
+            "{ctx}: failure outcome multiset"
+        );
+        // DPOR alone prunes only would-be-merged transitions, so even the
+        // distinct-state count is preserved; symmetry genuinely collapses
+        // orbits, so there it may only shrink.
+        if policy == ReductionPolicy::Dpor {
+            assert_eq!(red.distinct_states, off.distinct_states, "{ctx}: distinct");
+        } else {
+            assert!(
+                red.distinct_states <= off.distinct_states,
+                "{ctx}: distinct grew"
+            );
+        }
+        assert!(red.generated() <= off.generated(), "{ctx}: generated grew");
+        let stats = red.reduction.expect("reduced exploration reports stats");
+        assert_eq!(stats.policy, policy, "{ctx}: stats policy");
+
+        // Every fault-free witness must replay, through the strict schedule
+        // adversary, to exactly the outcome the explorer claimed — including
+        // the relabeled witnesses synthesized by the symmetry quotient.
+        for failure in &red.failures {
+            if !failure.died.is_empty() {
+                continue;
+            }
+            let replay = run(p, g, &mut ScheduleAdversary::new(failure.schedule.clone()));
+            assert_eq!(
+                replay.outcome, failure.outcome,
+                "{ctx}: witness {:?} replayed to a different outcome",
+                failure.schedule
+            );
+        }
+    }
+    assert!(
+        off.reduction.is_none(),
+        "{label}: off must not report stats"
+    );
+}
+
+/// One full sweep: all four models on `g`, with `faults`. The predicates are
+/// deliberately falsifiable on some schedules so the failure-witness paths
+/// (including orbit-relabeled witnesses) are exercised, not just the happy
+/// path.
+fn sweep(g: &Graph, faults: Option<FaultPlan>) {
+    assert_reductions_invisible(
+        &DegreeParity,
+        g,
+        "simasync/degree-parity",
+        faults.clone(),
+        |o| match o {
+            Outcome::Success(set) => set.len() % 2 == 0,
+            Outcome::Deadlock { .. } => false,
+        },
+    );
+    assert_reductions_invisible(
+        &MisGreedy::new(1),
+        g,
+        "simsync/mis",
+        faults.clone(),
+        |o| match o {
+            Outcome::Success(set) => set.contains(&2) || g.n() < 2,
+            Outcome::Deadlock { .. } => false,
+        },
+    );
+    assert_reductions_invisible(
+        &HeardNeighbor,
+        g,
+        "async/heard-neighbor",
+        faults.clone(),
+        |o| match o {
+            Outcome::Success(set) => set.is_empty(),
+            Outcome::Deadlock { .. } => false,
+        },
+    );
+    assert_reductions_invisible(&FirstInNeighborhood, g, "sync/first", faults, |o| match o {
+        Outcome::Success(set) => !set.is_empty(),
+        Outcome::Deadlock { .. } => false,
+    });
+}
+
+#[test]
+fn reductions_are_invisible_on_all_graphs_up_to_n5() {
+    for_all_graphs_parallel(5, |g| sweep(g, None));
+}
+
+#[test]
+fn reductions_are_invisible_under_crash_faults_up_to_n5() {
+    for_all_graphs_parallel(5, |g| sweep(g, Some(FaultPlan::crash_stop(1))));
+}
+
+#[test]
+fn symmetry_collapses_vertex_transitive_families() {
+    // On a clique the stabilizer of the pinned root is S_{n-1}; the quotient
+    // must slash the number of generated configurations by at least the 10x
+    // the CI bench gate demands at n = 8 (the factor keeps growing with n:
+    // ~5x at K6, ~9x at K7).
+    let g = generators::clique(8);
+    let p = MisGreedy::new(1);
+    let ok = |o: &Outcome<Vec<NodeId>>| match o {
+        Outcome::Success(set) => checks::is_rooted_mis(&g, set, 1),
+        Outcome::Deadlock { .. } => false,
+    };
+    let off = explore(&p, &g, &ExploreConfig::default(), ok);
+    let both = explore(
+        &p,
+        &g,
+        &ExploreConfig::default().with_reduction(ReductionPolicy::DporSymmetry),
+        ok,
+    );
+    assert!(off.passed() && both.passed());
+    assert_eq!(both.terminals, off.terminals);
+    let stats = both.reduction.unwrap();
+    assert!(stats.symmetry_active && stats.dpor_active);
+    assert_eq!(
+        stats.group_order, 5040,
+        "stabilizer of the root in K8 is S7"
+    );
+    assert!(
+        both.generated() * 10 <= off.generated(),
+        "expected a >=10x cut on K8: reduced {} vs unreduced {}",
+        both.generated(),
+        off.generated()
+    );
+}
