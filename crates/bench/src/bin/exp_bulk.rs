@@ -1,9 +1,11 @@
 //! E-BULK — bulk-tier throughput at `n ≥ 10⁵` (`BENCH_bulk.json`).
 //!
 //! The acceptance experiment of the third execution tier: BUILD and rooted
-//! MIS complete single executions at `n = 10⁵` under their simultaneous
-//! models, with **rounds/sec** and **board bytes** recorded per protocol ×
-//! family × n. Every row's outcome is verified against the registry oracle
+//! MIS complete single executions at `n = 10⁵` under their native
+//! simultaneous models **and** under the free targets SYNC/ASYNC (the
+//! event-driven scheduler), with **rounds/sec** and **board bytes** recorded
+//! per protocol × model × family × n. Every row's outcome is verified
+//! against the registry oracle
 //! (`wb_core::registry`) before it is reported — a bench row that computes
 //! a wrong answer fast is worthless, and the bin fails loudly on it.
 //!
@@ -25,8 +27,8 @@ use wb_bench::table::{banner, TablePrinter};
 use wb_core::registry::{self, BoundOracle, BulkVisitor};
 use wb_core::workload::graph_family;
 use wb_graph::Graph;
-use wb_runtime::bulk::{run_bulk, shuffled_schedule, BulkConfig};
-use wb_runtime::BulkProtocol;
+use wb_runtime::bulk::{bulk_model, run_bulk, shuffled_schedule, BulkConfig};
+use wb_runtime::{BulkProtocol, Model};
 
 struct Row {
     protocol: String,
@@ -76,6 +78,9 @@ struct Measure<'a> {
     label: &'a str,
     family: &'a str,
     n: usize,
+    /// `None` = the protocol's native model; `Some(Sync|Async)` drives the
+    /// event-driven free-order scheduler.
+    target: Option<Model>,
 }
 
 impl BulkVisitor for Measure<'_> {
@@ -86,16 +91,18 @@ impl BulkVisitor for Measure<'_> {
         P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
         B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
     {
+        let model = bulk_model(protocol.model(), self.target).expect("bench targets are runnable");
         let g = graph_family(self.family, self.n, 1).expect("known family");
         let schedule = shuffled_schedule(g.n(), 0xB01D);
         let config = BulkConfig::default();
         let start = Instant::now();
-        let report = run_bulk(&protocol, &g, &schedule, None, &config);
+        let report =
+            run_bulk(&protocol, &g, &schedule, self.target, &config).expect("model pre-validated");
         let wall_sec = start.elapsed().as_secs_f64();
         let oracle = bind(&g);
         assert!(
             oracle(&report.outcome, &[]),
-            "{} on {} n={}: bulk outcome violated the registry oracle — \
+            "{} @ {model} on {} n={}: bulk outcome violated the registry oracle — \
              investigate before trusting the bench",
             self.label,
             self.family,
@@ -103,7 +110,7 @@ impl BulkVisitor for Measure<'_> {
         );
         Row {
             protocol: self.label.into(),
-            model: protocol.model().to_string(),
+            model: model.to_string(),
             family: self.family.into(),
             n: self.n,
             rounds: report.rounds,
@@ -117,12 +124,26 @@ impl BulkVisitor for Measure<'_> {
 }
 
 fn measure_one(spec: &str, label: &str, family: &str, n: usize) -> Row {
-    registry::dispatch_bulk(spec, n, Measure { label, family, n }).expect("bulk protocol")
+    measure_target(spec, label, family, n, None)
+}
+
+fn measure_target(spec: &str, label: &str, family: &str, n: usize, target: Option<Model>) -> Row {
+    registry::dispatch_bulk(
+        spec,
+        n,
+        Measure {
+            label,
+            family,
+            n,
+            target,
+        },
+    )
+    .expect("bulk protocol")
 }
 
 fn measure_rows(quick: bool) -> Vec<Row> {
     let scale = |n: usize| if quick { (n / 10).max(1_000) } else { n };
-    vec![
+    let mut rows = vec![
         // The two acceptance rows: BUILD and MIS at n = 10⁵.
         measure_one("build:2", "BUILD(2)", "kdeg-lin:2", scale(100_000)),
         measure_one("mis:1", "MIS(1)", "gnp-lin:4", scale(100_000)),
@@ -133,7 +154,28 @@ fn measure_rows(quick: bool) -> Vec<Row> {
         measure_one("edge-count", "EDGE-COUNT", "gnp-lin:4", scale(100_000)),
         // A second columnar SIMSYNC protocol at scale.
         measure_one("two-cliques", "2-CLIQUES", "two-cliques", scale(2_000)),
-    ]
+    ];
+    // The free-order executions: the same protocols driven through the
+    // event-driven scheduler under the two free target models.
+    for target in [Model::Sync, Model::Async] {
+        for n in [10_000, 100_000] {
+            rows.push(measure_target(
+                "build:2",
+                "BUILD(2)",
+                "kdeg-lin:2",
+                scale(n),
+                Some(target),
+            ));
+            rows.push(measure_target(
+                "mis:1",
+                "MIS(1)",
+                "gnp-lin:4",
+                scale(n),
+                Some(target),
+            ));
+        }
+    }
+    rows
 }
 
 fn emit_json(rows: &[Row], path: &str) {
@@ -153,10 +195,10 @@ fn emit_json(rows: &[Row], path: &str) {
     }
 }
 
-/// Gate: every baseline row with a matching (protocol, n) must not beat the
-/// fresh measurement by more than 2×. Board bytes are also pinned exactly —
-/// they are deterministic functions of (protocol, family, n, seed), so any
-/// drift is a real encoding change, not noise.
+/// Gate: every baseline row with a matching (protocol, model, n) must not
+/// beat the fresh measurement by more than 2×. Board bytes are also pinned
+/// exactly — they are deterministic functions of (protocol, model, family,
+/// n, seed), so any drift is a real encoding change, not noise.
 fn check_baseline(rows: &[Row], path: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
@@ -167,8 +209,9 @@ fn check_baseline(rows: &[Row], path: &str) -> Result<(), String> {
         .ok_or("baseline has no rows array")?;
     let mut checked = 0;
     for b in baseline_rows {
-        let (Some(protocol), Some(n), Some(base_rps)) = (
+        let (Some(protocol), Some(model), Some(n), Some(base_rps)) = (
             b.get("protocol").and_then(Json::as_str),
+            b.get("model").and_then(Json::as_str),
             b.get("n").and_then(Json::as_f64),
             b.get("rounds_per_sec").and_then(Json::as_f64),
         ) else {
@@ -176,25 +219,26 @@ fn check_baseline(rows: &[Row], path: &str) -> Result<(), String> {
         };
         let Some(row) = rows
             .iter()
-            .find(|r| r.protocol == protocol && r.n == n as usize)
+            .find(|r| r.protocol == protocol && r.model == model && r.n == n as usize)
         else {
             continue;
         };
         let fresh = row.rounds_per_sec();
         println!(
-            "baseline {protocol} n={n}: {fresh:.0} rounds/sec vs baseline {base_rps:.0} ({:.2}x)",
+            "baseline {protocol} @ {model} n={n}: {fresh:.0} rounds/sec vs baseline \
+             {base_rps:.0} ({:.2}x)",
             fresh / base_rps
         );
         if fresh * 2.0 < base_rps {
             return Err(format!(
-                "{protocol} n={n}: {fresh:.0} rounds/sec regressed more than 2x \
+                "{protocol} @ {model} n={n}: {fresh:.0} rounds/sec regressed more than 2x \
                  against the baseline {base_rps:.0}"
             ));
         }
         if let Some(base_bytes) = b.get("board_payload_bytes").and_then(Json::as_f64) {
             if row.board_payload_bytes != base_bytes as usize {
                 return Err(format!(
-                    "{protocol} n={n}: board payload {} bytes differs from the \
+                    "{protocol} @ {model} n={n}: board payload {} bytes differs from the \
                      deterministic baseline {base_bytes} — message encoding changed",
                     row.board_payload_bytes
                 ));

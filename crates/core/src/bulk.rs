@@ -174,7 +174,8 @@ mod tests {
                 &schedule,
                 None,
                 &BulkConfig::default().with_batch(16),
-            );
+            )
+            .unwrap();
             let step = run(&p, &g, &mut ScheduleAdversary::new(schedule));
             assert_eq!(bulk.outcome, step.outcome, "trial {trial}");
             let set = bulk.outcome.unwrap();
@@ -193,7 +194,8 @@ mod tests {
             &schedule,
             None,
             &BulkConfig::default(),
-        );
+        )
+        .unwrap();
         let set = report.outcome.unwrap();
         assert!(checks::is_rooted_mis(&g, &set, 1));
         assert_eq!(report.rounds, 5_000);
@@ -213,7 +215,8 @@ mod tests {
                     &shuffled_schedule(yes.n(), seed),
                     None,
                     &BulkConfig::default(),
-                );
+                )
+                .unwrap();
                 assert_eq!(ry.outcome.unwrap(), TwoCliquesVerdict::TwoCliques);
                 let rn = run_bulk(
                     &TwoCliques,
@@ -221,7 +224,8 @@ mod tests {
                     &shuffled_schedule(no.n(), seed),
                     None,
                     &BulkConfig::default(),
-                );
+                )
+                .unwrap();
                 assert_eq!(rn.outcome.unwrap(), TwoCliquesVerdict::NotTwoCliques);
             }
         }
@@ -232,7 +236,7 @@ mod tests {
         let g = generators::two_cliques(4);
         for seed in 0..10 {
             let schedule = shuffled_schedule(g.n(), seed);
-            let bulk = run_bulk(&TwoCliques, &g, &schedule, None, &BulkConfig::default());
+            let bulk = run_bulk(&TwoCliques, &g, &schedule, None, &BulkConfig::default()).unwrap();
             let step = run(&TwoCliques, &g, &mut ScheduleAdversary::new(schedule));
             assert_eq!(bulk.outcome, step.outcome, "seed {seed}");
         }
@@ -248,7 +252,8 @@ mod tests {
             &schedule,
             None,
             &BulkConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(leading_ids(9, &report.board), schedule);
     }
 }

@@ -127,7 +127,9 @@ pub struct ProtocolInfo {
     pub paper: &'static str,
     /// One-line description.
     pub summary: &'static str,
-    /// Whether [`dispatch_bulk`] can drive it (simultaneous models only).
+    /// Whether [`dispatch_bulk`] can drive it (simultaneous-**native**
+    /// protocols only; the bulk tier can then run them under any model that
+    /// includes the native one).
     pub bulk: bool,
     /// Whether the oracle is expected to hold on **every** input graph.
     /// `false` only for the Open Problem 3 ablation protocol
@@ -649,8 +651,11 @@ pub fn dispatch<V: ProtocolVisitor>(spec: &str, n: usize, visitor: V) -> Result<
 
 /// Resolve `spec` for the **bulk tier**: `SIMASYNC` protocols arrive wrapped
 /// in [`Oblivious`]; MIS and 2-CLIQUES arrive as their columnar
-/// implementations. Free-model protocols (BFS, spanning, connectivity)
-/// return an error — the bulk engine executes simultaneous models only.
+/// implementations. Free-**native** protocols (BFS, spanning, connectivity)
+/// return an error — the bulk engine has no columnar form for them. The
+/// resolved protocols, however, run under any *target* model that includes
+/// their native one (`run_bulk`'s `model` argument), so `--model sync|async`
+/// executions of the simultaneous-native protocols go through here too.
 ///
 /// The oracle binders are the very same values [`dispatch`] uses, so the
 /// step and bulk tiers share one definition of correctness per protocol.
@@ -689,7 +694,8 @@ pub fn dispatch_bulk<V: BulkVisitor>(
             });
             return Err(format!(
                 "protocol '{kind}' runs under {model}; the bulk tier executes \
-                 simultaneous models only (SIMASYNC or SIMSYNC — see `whiteboard list`)"
+                 simultaneous-native protocols only (SIMASYNC or SIMSYNC — see \
+                 `whiteboard list`)"
             ));
         }
         other => return Err(unknown(other)),
@@ -743,7 +749,8 @@ mod tests {
         {
             let oracle = bind(self.g);
             let schedule = shuffled_schedule(self.g.n(), self.seed);
-            let report = run_bulk(&protocol, self.g, &schedule, None, &BulkConfig::default());
+            let report = run_bulk(&protocol, self.g, &schedule, None, &BulkConfig::default())
+                .expect("registry bulk protocols run under their native model");
             oracle(&report.outcome, &[])
         }
     }

@@ -146,7 +146,21 @@ pub fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -
 ///
 /// Falls back to a sequential loop for a single stripe or a width-1 pool.
 pub fn par_stripes<T: Send>(stripes: usize, fill: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = num_threads().min(stripes.max(1));
+    par_stripes_with(num_threads(), stripes, fill)
+}
+
+/// [`par_stripes`] with an explicit pool width instead of [`num_threads`].
+///
+/// The result is identical for every `threads ≥ 1` — stripe `s` is always
+/// `fill(s)`, returned in stripe order — so callers that must *prove*
+/// thread-count insensitivity (the bulk tier's determinism tests) can sweep
+/// the width without touching the `WB_THREADS` environment variable.
+pub fn par_stripes_with<T: Send>(
+    threads: usize,
+    stripes: usize,
+    fill: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.max(1).min(stripes.max(1));
     if threads <= 1 || stripes <= 1 {
         return (0..stripes).map(fill).collect();
     }
@@ -817,6 +831,16 @@ mod tests {
         }
         assert!(par_stripes(0, |s| s).is_empty());
         assert_eq!(par_stripes(1, |s| s + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_stripes_with_is_width_insensitive() {
+        let reference: Vec<Vec<usize>> = (0..23).map(|s| vec![s; s % 4]).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_stripes_with(threads, 23, |s| vec![s; s % 4]);
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+        assert!(par_stripes_with(4, 0, |s| s).is_empty());
     }
 
     #[test]

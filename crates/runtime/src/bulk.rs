@@ -1,4 +1,4 @@
-//! The **bulk tier**: columnar, cache-friendly execution of simultaneous
+//! The **bulk tier**: columnar, cache-friendly execution of whiteboard
 //! protocols at `n ≥ 10⁵`.
 //!
 //! The stepwise [`Engine`](crate::Engine) is built for *adversary
@@ -8,50 +8,61 @@
 //! the right trade for exploring schedules at `n ≤ 8` and sampling them at
 //! `n ≈ 10²`, and the wrong one for *running* a protocol once at `n = 10⁵`.
 //!
-//! This module is the third execution tier, for the two **simultaneous**
-//! models (every node active from round 1, so an execution is exactly a
-//! permutation of the nodes):
+//! This module is the third execution tier. A protocol must be
+//! **simultaneous-native** to have a columnar form, but it can be executed
+//! under *any* model of the Lemma 4 chain at or above its native one —
+//! including the free targets `ASYNC` and `SYNC`, where the seeded schedule
+//! plays the adversary:
 //!
 //! - node state lives in one columnar [`BulkProtocol::State`] value (arrays
 //!   indexed by node, not `n` boxed state machines);
 //! - the board is a [`BulkBoard`]: messages concatenated bit-packed into
 //!   **shards**, appended through `wb_par`'s striped writers instead of one
 //!   entry allocation per message;
-//! - `SIMASYNC` rounds are embarrassingly parallel (messages depend only on
-//!   local views), so whole batches of rounds execute concurrently, one
-//!   batch per board shard;
-//! - `SIMSYNC` rounds are data-dependent and run in schedule order, but each
-//!   write is digested **incrementally** by [`BulkProtocol::observe`] in
-//!   `O(deg v)` — the total run is `O(n + m + board bits)`, not `O(n²)`.
+//! - `SIMASYNC`-native rounds are embarrassingly parallel (messages depend
+//!   only on local views, under every target model), so whole batches of
+//!   rounds execute concurrently, one batch per board shard;
+//! - `SIMSYNC`-native rounds are data-dependent and run as an **event-driven
+//!   stream of per-node ready events** (the internal `ReadyEvents`): under the
+//!   synchronous targets every node is ready from round 1 and the schedule
+//!   is the event stream; under an `ASYNC` target the Lemma 4
+//!   sequential-activation chain releases one ready event per landed write.
+//!   Either way each write is digested **incrementally** by
+//!   [`BulkProtocol::observe`] in `O(deg v)` — the total run is
+//!   `O(n + m + board bits)`, not `O(n²)`.
 //!
 //! Any `SIMASYNC` step protocol gets bulk execution for free through the
 //! [`Oblivious`] adapter; `SIMSYNC` protocols implement the columnar trait
 //! by hand (see `wb-core`'s `bulk` module for rooted MIS and 2-CLIQUES).
 //! Fidelity to the step engine is pinned by the root crate's `tests/bulk.rs`
-//! differential: same schedule ⇒ same outcome, on every graph up to `n = 5`.
+//! and `tests/bulk_free_order.rs` differentials: same schedule ⇒ same
+//! outcome and same board, on every graph up to `n = 5`, under every
+//! supported target model.
 
 use crate::board::Whiteboard;
 use crate::engine::Outcome;
 use crate::model::Model;
 use crate::protocol::{LocalView, Node, Protocol};
+use std::fmt;
 use wb_graph::{Graph, NodeId};
 use wb_math::{BitReader, BitVec};
 
 /// A protocol in columnar ("struct of arrays") form, executable by
-/// [`run_bulk`] under the simultaneous models.
+/// [`run_bulk`] under its native simultaneous model or any stronger target.
 ///
 /// The contract mirrors [`Protocol`], with the per-node state machine
 /// replaced by one shared state value:
 ///
-/// - [`Self::compose`] produces node `v`'s single message. Under `SIMASYNC`
-///   it is called **before any write** (possibly in parallel) and must
-///   depend only on instance data in the state, never on fields updated by
-///   [`Self::observe`]. Under `SIMSYNC` it is called in schedule order and
-///   sees the state updated by every earlier write.
+/// - [`Self::compose`] produces node `v`'s single message. For a
+///   `SIMASYNC`-native protocol it is called **before any write** (possibly
+///   in parallel) and must depend only on instance data in the state, never
+///   on fields updated by [`Self::observe`]. For a `SIMSYNC`-native protocol
+///   it is called in write order and sees the state updated by every earlier
+///   landed write.
 /// - [`Self::observe`] digests one write into the state. It is called only
-///   under `SIMSYNC`, once per write, in write order, and should cost
-///   `O(deg v + |msg|)` — this is where the bulk tier beats the step
-///   engine's `O(n)`-per-write observation fan-out.
+///   for `SIMSYNC`-native protocols, once per landed write, in write order,
+///   and should cost `O(deg v + |msg|)` — this is where the bulk tier beats
+///   the step engine's `O(n)`-per-write observation fan-out.
 /// - [`Self::output`] is the referee: it sees `n` and the final board only,
 ///   exactly like [`Protocol::output`].
 pub trait BulkProtocol {
@@ -62,7 +73,8 @@ pub trait BulkProtocol {
     type Output;
 
     /// The native model; must be simultaneous
-    /// ([`Model::is_simultaneous`]), which [`run_bulk`] asserts.
+    /// ([`Model::is_simultaneous`]) — [`run_bulk`] refuses free-native
+    /// protocols with an [`UnsupportedBulkModel`] error.
     fn model(&self) -> Model;
 
     /// Maximum message size in bits on `n`-node inputs, enforced per message
@@ -117,9 +129,11 @@ pub trait BulkProtocol {
 /// # }
 /// let g = wb_graph::generators::cycle(64);
 /// let schedule = shuffled_schedule(g.n(), 7);
-/// let report = run_bulk(&Oblivious::new(DegreeSum), &g, &schedule, None, &BulkConfig::default());
+/// let report = run_bulk(&Oblivious::new(DegreeSum), &g, &schedule, None, &BulkConfig::default())
+///     .expect("native model is always a supported target");
 /// assert_eq!(report.outcome, Outcome::Success(128)); // Σ deg = 2m
 /// assert_eq!(report.rounds, 64);
+/// assert_eq!(report.write_order, schedule);
 /// ```
 pub struct Oblivious<P> {
     inner: P,
@@ -178,8 +192,9 @@ where
     }
 
     fn observe(&self, _state: &mut ObliviousState, _v: NodeId, _msg: &BitVec) {
-        // Oblivious messages ignore the board; under a SIMSYNC override the
-        // engine still notifies, and there is nothing to update.
+        // Oblivious messages ignore the board: a SIMASYNC-native protocol
+        // never observes under any target model, so the engine never calls
+        // this — kept total for trait completeness.
     }
 
     fn output(&self, n: usize, board: &BulkBoard) -> P::Output {
@@ -368,11 +383,19 @@ pub struct BulkConfig {
     /// Purely a performance knob: the board contents and the report are
     /// identical for any value ≥ 1.
     pub batch: usize,
+    /// Worker-pool width for the parallel (`SIMASYNC`-native) compose path;
+    /// `None` uses [`wb_par::num_threads`]. Purely a performance knob: the
+    /// report is identical for any width ≥ 1 (the determinism property test
+    /// sweeps it).
+    pub threads: Option<usize>,
 }
 
 impl Default for BulkConfig {
     fn default() -> Self {
-        BulkConfig { batch: 4096 }
+        BulkConfig {
+            batch: 4096,
+            threads: None,
+        }
     }
 }
 
@@ -382,19 +405,106 @@ impl BulkConfig {
         self.batch = batch.max(1);
         self
     }
+
+    /// Pin the parallel compose path to `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+}
+
+/// A bulk execution was requested under a model the protocol cannot run in:
+/// either the protocol is free-native (no columnar form exists — use the
+/// step tiers) or the requested target sits **below** the native model in
+/// the Lemma 4 chain (a demotion). Returned by [`run_bulk`] /
+/// [`run_bulk_crashed`] so every front end — the CLI, the serve daemon, the
+/// campaign driver — refuses with the same words instead of panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnsupportedBulkModel {
+    /// The protocol's native model.
+    pub native: Model,
+    /// The model the execution was requested under (the native model when no
+    /// explicit target was given).
+    pub requested: Model,
+}
+
+impl UnsupportedBulkModel {
+    /// The models the protocol *can* bulk-run under, weakest first — its
+    /// native model and everything above it in the Lemma 4 chain. Empty for
+    /// a free-native protocol, which has no columnar form at all.
+    pub fn supported(&self) -> Vec<Model> {
+        if !self.native.is_simultaneous() {
+            return Vec::new();
+        }
+        Model::ALL
+            .into_iter()
+            .filter(|m| m.includes(self.native))
+            .collect()
+    }
+}
+
+impl fmt::Display for UnsupportedBulkModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.native.is_simultaneous() {
+            return write!(
+                f,
+                "the bulk tier has no columnar form for {}-native protocols; \
+                 run them on the step tiers instead",
+                self.native
+            );
+        }
+        let supported = self.supported();
+        let (init, last) = supported.split_at(supported.len() - 1);
+        let init = init
+            .iter()
+            .map(Model::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(
+            f,
+            "cannot demote {} protocol to {}; the bulk tier runs it under \
+             {init} or {} only",
+            self.native, self.requested, last[0]
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedBulkModel {}
+
+/// Resolve the model a bulk execution will run under: `target` if given,
+/// else the protocol's `native` model. Errors when `native` is free (no
+/// columnar form) or when the request is a demotion — the same check
+/// [`run_bulk`] applies, exposed so front ends can refuse before building
+/// schedules or sampling faults.
+pub fn bulk_model(native: Model, target: Option<Model>) -> Result<Model, UnsupportedBulkModel> {
+    let requested = target.unwrap_or(native);
+    if !native.is_simultaneous() || !requested.includes(native) {
+        return Err(UnsupportedBulkModel { native, requested });
+    }
+    Ok(requested)
 }
 
 /// Result of one bulk execution.
 pub struct BulkReport<O> {
-    /// Always [`Outcome::Success`] — under a simultaneous model every node
-    /// is active from round 1 and the schedule writes each exactly once, so
-    /// a deadlock (corrupted configuration) is unreachable. Kept as an
-    /// [`Outcome`] so bulk and step runs compare directly.
+    /// [`Outcome::Success`] on every complete execution. A deadlock
+    /// (corrupted configuration) is reachable in exactly one bulk shape: a
+    /// `SIMSYNC`-native protocol under an `ASYNC` target runs the Lemma 4
+    /// sequential-activation chain, and a crashed write stalls it — every
+    /// node behind the victim stays awake forever, mirroring the step
+    /// engine's [`Outcome::Deadlock`] bit for bit.
     pub outcome: Outcome<O>,
-    /// Rounds executed (= `n`, one write per round).
+    /// Write events executed (`n` for every complete run; the stall point
+    /// when a crash deadlocks the sequential-activation chain).
     pub rounds: usize,
-    /// Nodes whose write crashed, in schedule order — empty for [`run_bulk`],
-    /// the victims of [`run_bulk_crashed`] otherwise.
+    /// The **executed** write order, crashed writes included — what a step
+    /// engine run of the same execution records. Equal to the input schedule
+    /// under every simultaneous or `SYNC` execution; under an `ASYNC` target
+    /// the sequential-activation chain forces identity order, whatever the
+    /// schedule said. This is the replay witness campaigns record.
+    pub write_order: Vec<NodeId>,
+    /// Nodes whose write crashed, in execution order — empty for
+    /// [`run_bulk`], the victims of [`run_bulk_crashed`] otherwise (only
+    /// victims that actually executed: a chain stall stops at the first).
     pub crashed: Vec<NodeId>,
     /// The final sharded board.
     pub board: BulkBoard,
@@ -443,26 +553,120 @@ fn check_message(v: NodeId, msg: &BitVec, budget: u32) {
     );
 }
 
-/// Execute `protocol` on `g` under the write order `schedule` (a permutation
-/// of `1..=n`), optionally under a stronger simultaneous model `target`
-/// (`None` = the protocol's native model).
+/// The per-node **ready-event stream** of one event-driven bulk execution.
 ///
-/// `SIMASYNC` executions compose whole batches of rounds in parallel and
-/// append them through striped shard writers; `SIMSYNC` executions run the
-/// schedule in order with incremental `O(deg v)` observation. Either way
-/// the board contents, outcome, and report are deterministic functions of
-/// `(protocol, g, schedule)` — batch size and thread count never show.
+/// The bulk tier has no per-round activation poll — at `n = 10⁵` even an
+/// `O(n)` scan per write would be `Θ(n²)`. Instead the scheduler asks this
+/// stream which write event fires next, and reports each landed write back
+/// so activation rules that depend on the board can release their successor
+/// event. Both disciplines the model lattice induces are `O(1)` per event:
 ///
-/// Panics on a malformed schedule (wrong length, out-of-range or repeated
-/// node) and on protocol bugs (empty or over-budget message), matching the
-/// step engine's invariants.
+/// - under the models where every node is ready from round 1 (`SIMSYNC`
+///   target, or a `SYNC` target where the promoted node's activation
+///   predicate is constant-true), the adversary's schedule *is* the event
+///   stream — the picked node is always the schedule's next entry;
+/// - under an `ASYNC` target, a `SIMSYNC`-native protocol runs Lemma 4's
+///   sequential-activation chain: node `i` becomes ready only once `i − 1`
+///   messages are on the board, so exactly one ready event is pending at a
+///   time and the executed write order is the identity — whatever the
+///   adversary's schedule says. A crashed write leaves no board entry, so
+///   the successor event is never released and the chain **stalls**: the
+///   scheduler surfaces that as the step engine's deadlock.
+enum ReadyEvents<'s> {
+    /// Every node ready from round 1; the schedule is the event stream.
+    All(std::slice::Iter<'s, NodeId>),
+    /// The sequential-activation chain: `next` is the single pending ready
+    /// event; `stalled` is set when a crash withholds the successor.
+    Chain {
+        next: NodeId,
+        n: usize,
+        stalled: bool,
+    },
+}
+
+impl<'s> ReadyEvents<'s> {
+    fn new(native: Model, model: Model, schedule: &'s [NodeId]) -> Self {
+        if native == Model::SimSync && model == Model::Async {
+            ReadyEvents::Chain {
+                next: 1,
+                n: schedule.len(),
+                stalled: false,
+            }
+        } else {
+            ReadyEvents::All(schedule.iter())
+        }
+    }
+
+    /// The node whose write event fires next, or `None` when no node is
+    /// ready (all done, or the chain stalled).
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            ReadyEvents::All(events) => events.next().copied(),
+            ReadyEvents::Chain { next, n, stalled } => {
+                if *stalled || *next as usize > *n {
+                    None
+                } else {
+                    Some(*next)
+                }
+            }
+        }
+    }
+
+    /// Report the fired event's fate: a landed write wakes whatever the
+    /// activation rule now permits; a crashed write wakes nothing (which
+    /// stalls the chain for good).
+    fn settle(&mut self, landed: bool) {
+        if let ReadyEvents::Chain { next, stalled, .. } = self {
+            if landed {
+                *next += 1;
+            } else {
+                *stalled = true;
+            }
+        }
+    }
+
+    /// Nodes whose ready event can never fire any more — the step engine's
+    /// `awake` set of a corrupted configuration. Empty unless stalled.
+    fn stranded(&self) -> Vec<NodeId> {
+        match self {
+            ReadyEvents::All(_) => Vec::new(),
+            ReadyEvents::Chain { next, n, stalled } => {
+                if *stalled {
+                    (*next + 1..=*n as NodeId).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+/// Execute `protocol` on `g` under the seeded schedule `schedule` (a
+/// permutation of `1..=n`), optionally under a stronger model `target`
+/// (`None` = the protocol's native model; any model at or above the native
+/// one in the Lemma 4 chain is accepted, free targets included).
+///
+/// `SIMASYNC`-native executions compose whole batches of rounds in parallel
+/// and append them through striped shard writers — under every target,
+/// because their messages never depend on the board. `SIMSYNC`-native
+/// executions run event-driven (the internal `ReadyEvents` stream) with incremental
+/// `O(deg v)` observation: schedule order under `SIMSYNC`/`SYNC` targets,
+/// Lemma 4 identity order under an `ASYNC` target. Either way the board
+/// contents, outcome, and report are deterministic functions of
+/// `(protocol, g, schedule, target)` — batch size and thread count never
+/// show.
+///
+/// Errors with [`UnsupportedBulkModel`] when the protocol is free-native or
+/// `target` demotes it. Panics on a malformed schedule (wrong length,
+/// out-of-range or repeated node) and on protocol bugs (empty or
+/// over-budget message), matching the step engine's invariants.
 pub fn run_bulk<P: BulkProtocol>(
     protocol: &P,
     g: &Graph,
     schedule: &[NodeId],
     target: Option<Model>,
     config: &BulkConfig,
-) -> BulkReport<P::Output>
+) -> Result<BulkReport<P::Output>, UnsupportedBulkModel>
 where
     P: Sync,
 {
@@ -472,10 +676,13 @@ where
 /// Like [`run_bulk`], but the single writes of `victims` **crash**: each
 /// victim's message is composed and budget-checked exactly as if it were
 /// written — a malformed message is a protocol bug whether or not the write
-/// then dies — but it never reaches the board, and under `SIMSYNC` nobody
+/// then dies — but it never reaches the board, and no surviving node
 /// observes it. The victims are a *columnar fault mask* applied while the
 /// board streams through the shard writers, so the masked run keeps the bulk
-/// tier's `O(n + m + board bits)` cost.
+/// tier's `O(n + m + board bits)` cost. Under an `ASYNC` target the first
+/// crash stalls the sequential-activation chain and the report carries the
+/// step engine's [`Outcome::Deadlock`]; under every other target crashes
+/// never deadlock a simultaneous-native protocol.
 ///
 /// This is the bulk tier's form of the crash-stop fault plan
 /// (`FaultPlan::crash_stop`); the lossy plan has no bulk form because its
@@ -491,7 +698,7 @@ pub fn run_bulk_crashed<P: BulkProtocol>(
     target: Option<Model>,
     config: &BulkConfig,
     victims: &[NodeId],
-) -> BulkReport<P::Output>
+) -> Result<BulkReport<P::Output>, UnsupportedBulkModel>
 where
     P: Sync,
 {
@@ -517,27 +724,14 @@ fn run_bulk_inner<P: BulkProtocol>(
     target: Option<Model>,
     config: &BulkConfig,
     mask: Option<&[bool]>,
-) -> BulkReport<P::Output>
+) -> Result<BulkReport<P::Output>, UnsupportedBulkModel>
 where
     P: Sync,
 {
     let n = g.n();
     assert!(n >= 1, "whiteboard protocols need at least one node");
     let native = protocol.model();
-    assert!(
-        native.is_simultaneous(),
-        "the bulk tier executes simultaneous models; {native} protocols need \
-         the step engine"
-    );
-    let model = target.unwrap_or(native);
-    assert!(
-        model.is_simultaneous(),
-        "bulk target model must be simultaneous, got {model}"
-    );
-    assert!(
-        model.includes(native),
-        "cannot demote {native} protocol to {model}"
-    );
+    let model = bulk_model(native, target)?;
     assert_eq!(schedule.len(), n, "schedule must cover every node once");
     let mut seen = vec![false; n];
     for &v in schedule {
@@ -556,14 +750,17 @@ where
     let mut state = protocol.init(g);
     let dies = |v: NodeId| mask.is_some_and(|m| m[v as usize - 1]);
 
-    let board = if model.is_asynchronous() {
-        // SIMASYNC: messages are fixed before any write — compose whole
-        // batches in parallel, one board shard per batch, reassembled in
-        // schedule order by the striped writers. A masked write is composed
-        // and checked but never pushed.
+    if native.is_asynchronous() {
+        // SIMASYNC-native: messages are fixed before any write, under every
+        // target model (promotion neither feeds such a protocol the board
+        // nor reorders its single write) — compose whole batches of rounds
+        // in parallel, one board shard per batch, reassembled in schedule
+        // order by the striped writers. A masked write is composed and
+        // checked but never pushed.
         let stripes = n.div_ceil(batch);
+        let threads = config.threads.unwrap_or_else(wb_par::num_threads);
         let state_ref = &state;
-        let shards = wb_par::par_stripes(stripes, |s| {
+        let shards = wb_par::par_stripes_with(threads, stripes, |s| {
             let chunk = &schedule[s * batch..((s + 1) * batch).min(n)];
             let mut shard = BulkShard::with_capacity(chunk.len());
             for &v in chunk {
@@ -575,38 +772,59 @@ where
             }
             shard
         });
-        BulkBoard::from_shards(shards)
-    } else {
-        // SIMSYNC: each message may depend on everything already written, so
-        // rounds run in schedule order — but each write is digested
-        // incrementally (O(deg v)), never fanned out to all n nodes. A
-        // masked write is composed and checked, but neither pushed nor
-        // observed: downstream rounds see a board it never reached.
-        let mut shards = Vec::with_capacity(n.div_ceil(batch));
-        let mut cur = BulkShard::with_capacity(batch.min(n));
-        for &v in schedule {
-            let msg = protocol.compose(&state, v);
-            check_message(v, &msg, budget);
-            if !dies(v) {
-                cur.push(v, &msg);
-                protocol.observe(&mut state, v, &msg);
-            }
-            if cur.len() == batch {
-                shards.push(std::mem::take(&mut cur));
-            }
-        }
-        if !cur.is_empty() {
-            shards.push(cur);
-        }
-        BulkBoard::from_shards(shards)
-    };
-
-    BulkReport {
-        outcome: Outcome::Success(protocol.output(n, &board)),
-        rounds: n,
-        crashed: schedule.iter().copied().filter(|&v| dies(v)).collect(),
-        board,
+        let board = BulkBoard::from_shards(shards);
+        return Ok(BulkReport {
+            outcome: Outcome::Success(protocol.output(n, &board)),
+            rounds: n,
+            write_order: schedule.to_vec(),
+            crashed: schedule.iter().copied().filter(|&v| dies(v)).collect(),
+            board,
+        });
     }
+
+    // SIMSYNC-native: each message may depend on everything already written,
+    // so writes fire one at a time off the ready-event stream — but each is
+    // digested incrementally (O(deg v)), never fanned out to all n nodes. A
+    // masked write is composed and checked, but neither pushed nor observed:
+    // downstream events see a board it never reached.
+    let mut events = ReadyEvents::new(native, model, schedule);
+    let mut write_order = Vec::with_capacity(n);
+    let mut crashed = Vec::new();
+    let mut shards = Vec::with_capacity(n.div_ceil(batch));
+    let mut cur = BulkShard::with_capacity(batch.min(n));
+    while let Some(v) = events.next() {
+        write_order.push(v);
+        let msg = protocol.compose(&state, v);
+        check_message(v, &msg, budget);
+        if dies(v) {
+            crashed.push(v);
+            events.settle(false);
+        } else {
+            cur.push(v, &msg);
+            protocol.observe(&mut state, v, &msg);
+            events.settle(true);
+        }
+        if cur.len() == batch {
+            shards.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        shards.push(cur);
+    }
+    let board = BulkBoard::from_shards(shards);
+    let stranded = events.stranded();
+    let outcome = if stranded.is_empty() {
+        Outcome::Success(protocol.output(n, &board))
+    } else {
+        Outcome::Deadlock { awake: stranded }
+    };
+    Ok(BulkReport {
+        rounds: write_order.len(),
+        outcome,
+        write_order,
+        crashed,
+        board,
+    })
 }
 
 #[cfg(test)]
@@ -710,7 +928,8 @@ mod tests {
             &schedule,
             None,
             &BulkConfig::default().with_batch(7),
-        );
+        )
+        .unwrap();
         let step = run(&EchoIds, &g, &mut ScheduleAdversary::new(schedule.clone()));
         assert_eq!(bulk.outcome, step.outcome);
         assert_eq!(bulk.rounds, 40);
@@ -729,7 +948,8 @@ mod tests {
             &schedule,
             None,
             &BulkConfig::default().with_batch(23),
-        );
+        )
+        .unwrap();
         for batch in [1usize, 2, 8, 1000] {
             let b = run_bulk(
                 &Oblivious::new(EchoIds),
@@ -737,7 +957,8 @@ mod tests {
                 &schedule,
                 None,
                 &BulkConfig::default().with_batch(batch),
-            );
+            )
+            .unwrap();
             assert_eq!(b.outcome, baseline.outcome, "batch {batch}");
             assert_eq!(b.board.to_whiteboard(), baseline.board.to_whiteboard());
             assert_eq!(b.board.len(), 23);
@@ -749,7 +970,7 @@ mod tests {
     fn simsync_rounds_see_the_growing_board() {
         let g = generators::path(6);
         let schedule = vec![3, 1, 6, 2, 5, 4];
-        let report = run_bulk(&BulkSeen, &g, &schedule, None, &BulkConfig::default());
+        let report = run_bulk(&BulkSeen, &g, &schedule, None, &BulkConfig::default()).unwrap();
         let out = report.outcome.unwrap();
         let expect: Vec<(NodeId, u64)> = schedule
             .iter()
@@ -770,14 +991,16 @@ mod tests {
             &schedule,
             None,
             &BulkConfig::default(),
-        );
+        )
+        .unwrap();
         let promoted = run_bulk(
             &Oblivious::new(EchoIds),
             &g,
             &schedule,
             Some(Model::SimSync),
             &BulkConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(native.outcome, promoted.outcome);
         assert_eq!(native.board.to_whiteboard(), promoted.board.to_whiteboard());
     }
@@ -791,7 +1014,8 @@ mod tests {
             &identity_schedule(5),
             None,
             &BulkConfig::default().with_batch(2),
-        );
+        )
+        .unwrap();
         for (i, e) in report.board.entries().enumerate() {
             assert_eq!(e.writer, i as NodeId + 1);
             assert!(!e.is_empty());
@@ -821,29 +1045,188 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot demote")]
-    fn simsync_protocol_rejects_simasync_target() {
+    fn simsync_protocol_rejects_simasync_target_with_the_supported_set() {
         let g = generators::path(3);
-        run_bulk(
+        let err = run_bulk(
             &BulkSeen,
             &g,
             &identity_schedule(3),
             Some(Model::SimAsync),
             &BulkConfig::default(),
+        )
+        .err()
+        .expect("demotion must be refused");
+        assert_eq!(
+            err,
+            UnsupportedBulkModel {
+                native: Model::SimSync,
+                requested: Model::SimAsync
+            }
+        );
+        assert_eq!(
+            err.supported(),
+            vec![Model::SimSync, Model::Async, Model::Sync]
+        );
+        assert_eq!(
+            err.to_string(),
+            "cannot demote SIMSYNC protocol to SIMASYNC; the bulk tier runs \
+             it under SIMSYNC, ASYNC or SYNC only"
         );
     }
 
     #[test]
-    #[should_panic(expected = "must be simultaneous")]
-    fn free_target_is_rejected() {
+    fn free_native_protocols_have_no_bulk_form() {
+        // A (hypothetical) free-native columnar protocol is refused: the
+        // bulk tier promotes upward from simultaneous natives only.
+        struct FreeNative;
+        impl BulkProtocol for FreeNative {
+            type State = ();
+            type Output = ();
+            fn model(&self) -> Model {
+                Model::Sync
+            }
+            fn budget_bits(&self, _n: usize) -> u32 {
+                1
+            }
+            fn init(&self, _g: &Graph) {}
+            fn compose(&self, _state: &(), _v: NodeId) -> BitVec {
+                unreachable!()
+            }
+            fn observe(&self, _state: &mut (), _v: NodeId, _msg: &BitVec) {}
+            fn output(&self, _n: usize, _board: &BulkBoard) {}
+        }
         let g = generators::path(3);
-        run_bulk(
-            &BulkSeen,
+        let err = run_bulk(
+            &FreeNative,
             &g,
             &identity_schedule(3),
+            None,
+            &BulkConfig::default(),
+        )
+        .err()
+        .expect("free-native protocols must be refused");
+        assert!(err.supported().is_empty());
+        assert!(err.to_string().contains("no columnar form"), "{err}");
+    }
+
+    #[test]
+    fn free_targets_are_accepted_and_preserve_the_board() {
+        // SIMASYNC-native under every stronger target: identical board,
+        // identical outcome, write order = the schedule.
+        let g = generators::cycle(11);
+        let schedule = shuffled_schedule(11, 21);
+        let cfg = BulkConfig::default().with_batch(4);
+        let native = run_bulk(&Oblivious::new(EchoIds), &g, &schedule, None, &cfg).unwrap();
+        for target in [Model::SimSync, Model::Async, Model::Sync] {
+            let promoted =
+                run_bulk(&Oblivious::new(EchoIds), &g, &schedule, Some(target), &cfg).unwrap();
+            assert_eq!(promoted.outcome, native.outcome, "{target}");
+            assert_eq!(
+                promoted.board.to_whiteboard(),
+                native.board.to_whiteboard(),
+                "{target}"
+            );
+            assert_eq!(promoted.write_order, schedule, "{target}");
+            assert_eq!(promoted.rounds, 11, "{target}");
+        }
+    }
+
+    #[test]
+    fn sync_target_runs_simsync_protocols_in_schedule_order() {
+        // Under SYNC every promoted node is always ready, so the event
+        // stream is the schedule itself and each compose sees all earlier
+        // landed writes — observationally the SIMSYNC execution.
+        let g = generators::path(6);
+        let schedule = vec![3, 1, 6, 2, 5, 4];
+        let sync = run_bulk(
+            &BulkSeen,
+            &g,
+            &schedule,
             Some(Model::Sync),
             &BulkConfig::default(),
-        );
+        )
+        .unwrap();
+        let native = run_bulk(&BulkSeen, &g, &schedule, None, &BulkConfig::default()).unwrap();
+        assert_eq!(sync.outcome, native.outcome);
+        assert_eq!(sync.write_order, schedule);
+        assert_eq!(sync.board.to_whiteboard(), native.board.to_whiteboard());
+    }
+
+    #[test]
+    fn async_target_forces_the_sequential_activation_chain() {
+        // Lemma 4: a SIMSYNC protocol under ASYNC activates node i only
+        // after i − 1 writes landed, so the executed order is the identity
+        // no matter what the adversary's schedule says.
+        let g = generators::path(6);
+        let schedule = vec![3, 1, 6, 2, 5, 4];
+        let report = run_bulk(
+            &BulkSeen,
+            &g,
+            &schedule,
+            Some(Model::Async),
+            &BulkConfig::default().with_batch(2),
+        )
+        .unwrap();
+        assert_eq!(report.write_order, identity_schedule(6));
+        assert_eq!(report.rounds, 6);
+        let expect: Vec<(NodeId, u64)> = (1..=6).map(|v| (v as NodeId, v - 1)).collect();
+        assert_eq!(report.outcome.unwrap(), expect);
+    }
+
+    #[test]
+    fn crashed_chain_stalls_into_the_step_engines_deadlock() {
+        // The first victim in identity order composes, is budget-checked,
+        // and crashes; everyone behind it never becomes ready. Victims
+        // further down the chain never execute at all.
+        let g = generators::path(6);
+        let schedule = vec![3, 1, 6, 2, 5, 4];
+        let report = run_bulk_crashed(
+            &BulkSeen,
+            &g,
+            &schedule,
+            Some(Model::Async),
+            &BulkConfig::default(),
+            &[5, 3],
+        )
+        .unwrap();
+        assert_eq!(report.write_order, vec![1, 2, 3]);
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.crashed, vec![3]);
+        assert_eq!(report.board.len(), 2);
+        match report.outcome {
+            Outcome::Deadlock { ref awake } => assert_eq!(awake, &vec![4, 5, 6]),
+            ref other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_path_is_thread_count_insensitive() {
+        let g = generators::cycle(19);
+        let schedule = shuffled_schedule(19, 6);
+        let baseline = run_bulk(
+            &Oblivious::new(EchoIds),
+            &g,
+            &schedule,
+            Some(Model::Sync),
+            &BulkConfig::default().with_batch(3).with_threads(1),
+        )
+        .unwrap();
+        for threads in [2, 3, 16] {
+            let b = run_bulk(
+                &Oblivious::new(EchoIds),
+                &g,
+                &schedule,
+                Some(Model::Sync),
+                &BulkConfig::default().with_batch(3).with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(b.outcome, baseline.outcome, "threads = {threads}");
+            assert_eq!(
+                b.board.to_whiteboard(),
+                baseline.board.to_whiteboard(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]
@@ -862,7 +1245,8 @@ mod tests {
             None,
             &BulkConfig::default().with_batch(6),
             &victims,
-        );
+        )
+        .unwrap();
         let mut engine = Engine::new(&EchoIds, &g);
         for &v in &schedule {
             engine.activation_phase();
@@ -893,7 +1277,8 @@ mod tests {
             None,
             &BulkConfig::default().with_batch(2),
             &[1, 5],
-        );
+        )
+        .unwrap();
         // Survivors count only surviving prior writes: 3 sees 0, 6 sees 1
         // (victim 1 left no trace), 2 sees 2, 4 sees 3 (victim 5 skipped).
         assert_eq!(
@@ -909,8 +1294,9 @@ mod tests {
         let g = generators::cycle(17);
         let schedule = shuffled_schedule(17, 3);
         let cfg = BulkConfig::default().with_batch(5);
-        let plain = run_bulk(&Oblivious::new(EchoIds), &g, &schedule, None, &cfg);
-        let faulted = run_bulk_crashed(&Oblivious::new(EchoIds), &g, &schedule, None, &cfg, &[]);
+        let plain = run_bulk(&Oblivious::new(EchoIds), &g, &schedule, None, &cfg).unwrap();
+        let faulted =
+            run_bulk_crashed(&Oblivious::new(EchoIds), &g, &schedule, None, &cfg, &[]).unwrap();
         assert_eq!(plain.outcome, faulted.outcome);
         assert_eq!(plain.board.to_whiteboard(), faulted.board.to_whiteboard());
         assert_eq!(plain.crashed, faulted.crashed);

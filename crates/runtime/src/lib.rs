@@ -58,8 +58,8 @@ pub use adversary::{
 };
 pub use board::{Entry, Whiteboard};
 pub use bulk::{
-    identity_schedule, run_bulk, run_bulk_crashed, shuffled_schedule, BulkBoard, BulkConfig,
-    BulkProtocol, BulkReport, Oblivious,
+    bulk_model, identity_schedule, run_bulk, run_bulk_crashed, shuffled_schedule, BulkBoard,
+    BulkConfig, BulkProtocol, BulkReport, Oblivious, UnsupportedBulkModel,
 };
 pub use certificate::{
     certify, CertificateEdge, CertificateScenario, CertificateTerminal, CertificateWitness,

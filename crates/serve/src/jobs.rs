@@ -19,7 +19,9 @@ use wb_bench::json::Json;
 use wb_core::registry::{self, BoundOracle, BulkVisitor, ProtocolVisitor};
 use wb_graph::Graph;
 use wb_runtime::adapt::Promote;
-use wb_runtime::bulk::{run_bulk, run_bulk_crashed, shuffled_schedule, BulkConfig, BulkProtocol};
+use wb_runtime::bulk::{
+    bulk_model, run_bulk, run_bulk_crashed, shuffled_schedule, BulkConfig, BulkProtocol,
+};
 use wb_runtime::exhaustive::{explore_parallel_with, explore_with, ExploreConfig, ReductionPolicy};
 use wb_runtime::{DedupPolicy, FaultPlan, Model, Outcome, Protocol};
 use wb_sim::{run_campaign_with, CampaignConfig, CampaignLabels, SamplerKind};
@@ -166,17 +168,13 @@ pub fn parse_model(spec: &str) -> Result<Option<Model>, String> {
     })
 }
 
-/// Parse a bulk-tier `--model` spec: the bulk engine executes simultaneous
-/// models only.
+/// Parse a bulk-tier `--model` spec. All four models parse — the free
+/// targets `sync`/`async` run simultaneous-native protocols through the
+/// event-driven bulk scheduler — and the per-protocol feasibility check
+/// (no demotions; the target must include the native model) happens after
+/// registry resolution, via [`wb_runtime::bulk::bulk_model`].
 pub fn parse_bulk_model(spec: &str) -> Result<Option<Model>, String> {
-    match parse_model(spec)? {
-        None => Ok(None),
-        Some(m) if m.is_simultaneous() => Ok(Some(m)),
-        Some(m) => Err(format!(
-            "the bulk tier executes simultaneous models only, not {m} \
-             (use `run` or `campaign` for free models)"
-        )),
-    }
+    parse_model(spec)
 }
 
 /// Parse a `--faults` spec into a plan that actually drops writes: `None`
@@ -476,14 +474,8 @@ fn run_bulk_job(spec: &JobSpec) -> Result<JobReport, String> {
         {
             let (spec, g) = (self.spec, self.g);
             let n = g.n();
-            let model = self.target.unwrap_or(protocol.model());
-            if !model.includes(protocol.model()) {
-                return Err(format!(
-                    "cannot demote {} protocol '{}' to {model}",
-                    protocol.model(),
-                    spec.protocol
-                ));
-            }
+            let model = bulk_model(protocol.model(), self.target)
+                .map_err(|e| format!("protocol '{}': {e}", spec.protocol))?;
             let schedule = shuffled_schedule(n, spec.seed);
             let config = BulkConfig::default().with_batch(spec.batch.unwrap_or(4096));
             let report = match &self.faults {
@@ -492,7 +484,8 @@ fn run_bulk_job(spec: &JobSpec) -> Result<JobReport, String> {
                     run_bulk_crashed(&protocol, g, &schedule, self.target, &config, &victims)
                 }
                 None => run_bulk(&protocol, g, &schedule, self.target, &config),
-            };
+            }
+            .expect("bulk model pre-validated");
             let oracle = bind(g);
             let verdict = if oracle(&report.outcome, &report.crashed) {
                 "PASS"
@@ -606,6 +599,34 @@ mod tests {
             report.line()
         );
         assert!(report.line().contains("\"board_payload_bytes\":"));
+    }
+
+    #[test]
+    fn bulk_job_runs_free_targets_and_refuses_demotions() {
+        let mut spec = JobSpec::new(JobKind::Bulk);
+        spec.protocol = "mis:1".into();
+        spec.workload = "gnp-lin:4".into();
+        spec.n = 300;
+        spec.model = "sync".into();
+        let sync = run_job(&spec).unwrap();
+        assert_eq!(sync.verdict, "PASS");
+        assert!(
+            sync.line().contains("\"model\":\"SYNC\""),
+            "{}",
+            sync.line()
+        );
+        spec.model = "async".into();
+        let r#async = run_job(&spec).unwrap();
+        assert_eq!(r#async.verdict, "PASS");
+        assert!(
+            r#async.line().contains("\"model\":\"ASYNC\""),
+            "{}",
+            r#async.line()
+        );
+        spec.model = "simasync".into();
+        let err = run_job(&spec).unwrap_err();
+        assert!(err.contains("cannot demote SIMSYNC"), "{err}");
+        assert!(err.contains("mis:1"), "{err}");
     }
 
     #[test]

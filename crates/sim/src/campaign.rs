@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use wb_bench::json::Json;
 use wb_graph::{Graph, NodeId};
-use wb_runtime::bulk::{run_bulk, run_bulk_crashed, BulkConfig, BulkProtocol};
+use wb_runtime::bulk::{bulk_model, run_bulk, run_bulk_crashed, BulkConfig, BulkProtocol};
 use wb_runtime::{Adversary, Engine, FaultKind, FaultPlan, Model, Outcome, Protocol};
 
 /// Tuning knobs for [`run_campaign`].
@@ -631,7 +631,10 @@ where
 /// Like [`run_campaign`], but every trial executes on the **bulk tier**
 /// ([`wb_runtime::bulk`]): trial `t` bulk-runs the whole-schedule
 /// permutation [`SamplerKind::permutation`]`(n, trial_seed(seed, t))` under
-/// `target` (`None` = the protocol's native simultaneous model).
+/// `target` — `None` for the protocol's native simultaneous model, or any
+/// model that includes it (`Some(Model::Sync)` / `Some(Model::Async)` for
+/// the free-order executions; demotions are refused up front via
+/// [`bulk_model`], before any trial runs).
 ///
 /// The determinism contract of [`run_campaign`] carries over verbatim — the
 /// report is a pure function of `(protocol, g, config, target)`, identical
@@ -697,8 +700,10 @@ where
     P::Output: std::fmt::Debug,
     C: Fn(&Outcome<P::Output>, &[NodeId]) -> bool + Sync,
 {
-    // Surface an unusable sampler before spawning any worker.
+    // Surface an unusable sampler or an unsupported model before spawning
+    // any worker — the trial loop may then unwrap unconditionally.
     config.sampler.permutation(g.n(), 0)?;
+    bulk_model(protocol.model(), target).map_err(|e| e.to_string())?;
     let plan = config.live_faults();
     if plan.is_some_and(|p| p.kind() == FaultKind::Lossy) {
         return Err(
@@ -726,13 +731,18 @@ where
                     run_bulk_crashed(protocol, g, &schedule, target, &bulk_config, &victims)
                 } else {
                     run_bulk(protocol, g, &schedule, target, &bulk_config)
-                };
+                }
+                .expect("bulk model pre-validated");
                 let pass = check(&report.outcome, &report.crashed);
+                // The *executed* write order is the replayable witness: it
+                // equals the sampled permutation under simultaneous and SYNC
+                // targets, but the ASYNC activation chain runs in ID order
+                // regardless of the draw.
                 stats.record(
                     trial,
                     seed,
                     report.outcome,
-                    schedule,
+                    report.write_order,
                     report.crashed,
                     pass,
                     config,
@@ -1104,6 +1114,58 @@ mod tests {
             step.failed > 0,
             "crash:3 must fail some died.is_empty() trials"
         );
+    }
+
+    #[test]
+    fn bulk_campaign_accepts_free_targets_and_refuses_demotions() {
+        let g = generators::gnp(
+            20,
+            0.2,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4),
+        );
+        let config = CampaignConfig::default().with_trials(200).with_seed(19);
+        let labels = mis_labels();
+        let check = |o: &Outcome<Vec<wb_graph::NodeId>>| matches!(o, Outcome::Success(s) if checks::is_rooted_mis(&g, s, 1));
+        // SYNC target: same compose-at-write execution per schedule as the
+        // native SIMSYNC run, so the whole report is byte-identical.
+        let native = run_bulk_campaign(&MisGreedy::new(1), &g, &config, &labels, None, check)
+            .expect("native model");
+        let sync = run_bulk_campaign(
+            &MisGreedy::new(1),
+            &g,
+            &config,
+            &labels,
+            Some(Model::Sync),
+            check,
+        )
+        .expect("SYNC includes SIMSYNC");
+        assert_eq!(native.to_json().to_string(), sync.to_json().to_string());
+        // ASYNC target: the Lemma 4 activation chain executes in ID order
+        // regardless of the sampled permutation, so every trial lands on the
+        // one chain outcome.
+        let r#async = run_bulk_campaign(
+            &MisGreedy::new(1),
+            &g,
+            &config,
+            &labels,
+            Some(Model::Async),
+            check,
+        )
+        .expect("ASYNC includes SIMSYNC");
+        assert_eq!(r#async.verdict(), "PASS");
+        assert_eq!(r#async.distinct_outcomes, 1);
+        // Demotion is refused before any trial runs, with the structured
+        // message from the runtime.
+        let err = run_bulk_campaign(
+            &MisGreedy::new(1),
+            &g,
+            &config,
+            &labels,
+            Some(Model::SimAsync),
+            check,
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot demote SIMSYNC"), "{err}");
     }
 
     #[test]

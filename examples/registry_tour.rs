@@ -71,7 +71,8 @@ impl BulkVisitor for BulkOnce<'_> {
     {
         let oracle = bind(self.g);
         let schedule = shuffled_schedule(self.g.n(), 7);
-        let report = run_bulk(&protocol, self.g, &schedule, None, &BulkConfig::default());
+        let report = run_bulk(&protocol, self.g, &schedule, None, &BulkConfig::default())
+            .expect("native model is always runnable");
         oracle(&report.outcome, &[])
     }
 }

@@ -77,8 +77,8 @@ pub mod prelude {
     pub use wb_math::{bits_for, id_bits, BigInt, BitReader, BitVec, BitWriter};
     pub use wb_runtime::adapt::Promote;
     pub use wb_runtime::bulk::{
-        identity_schedule, run_bulk, shuffled_schedule, BulkBoard, BulkConfig, BulkProtocol,
-        BulkReport, Oblivious,
+        bulk_model, identity_schedule, run_bulk, run_bulk_crashed, shuffled_schedule, BulkBoard,
+        BulkConfig, BulkProtocol, BulkReport, Oblivious, UnsupportedBulkModel,
     };
     pub use wb_runtime::exhaustive::{
         assert_all_schedules, assert_explored, explore, explore_parallel, find_failing_schedule,

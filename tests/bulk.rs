@@ -118,7 +118,8 @@ impl BulkVisitor for BulkOutcomes<'_> {
         let config = BulkConfig::default().with_batch(2);
         for schedule in schedules(g.n()) {
             for target in simultaneous_targets(protocol.model()) {
-                let report = run_bulk(&protocol, g, &schedule, Some(target), &config);
+                let report = run_bulk(&protocol, g, &schedule, Some(target), &config)
+                    .expect("simultaneous targets include every bulk protocol's native model");
                 out.push(format!("{target}:{:?}", report.outcome));
             }
         }
@@ -179,6 +180,7 @@ fn bulk_board_matches_step_board_exactly() {
                 None,
                 &BulkConfig::default().with_batch(3),
             )
+            .expect("native model is always runnable")
             .board
             .to_whiteboard()
         }

@@ -1,0 +1,307 @@
+//! Free-order bulk-vs-step differential: the event-driven bulk scheduler
+//! must be observationally identical to the step engine under the **free**
+//! target models SYNC and ASYNC.
+//!
+//! This mirrors the simultaneous-model suite in `tests/bulk.rs`, one tier
+//! up the Lemma 4 lattice: for **every** registry protocol the bulk tier
+//! supports, on **every** connected labeled graph up to `n = 5`, for every
+//! schedule in a deterministic schedule set (all `n!` permutations at
+//! `n ≤ 4`, identity + reverse + six seeded shuffles at `n = 5`), and for
+//! both free targets: running the schedule through [`run_bulk`] with
+//! `Some(Sync)` / `Some(Async)` must produce the same outcome as the step
+//! engine running the Lemma 4 promotion [`Promote`] under a
+//! [`PriorityAdversary`] built from the same schedule.
+//!
+//! The priority adversary is the step-side counterpart of the bulk
+//! schedule stream: it picks the minimum-priority **active** node, so under
+//! SYNC (everyone active) it walks the schedule exactly, and under ASYNC
+//! (the promotion's sequential-activation chain) it follows the singleton
+//! ready set — precisely the two disciplines the event scheduler encodes.
+//!
+//! Beyond outcomes, exact board-content equality is spot-checked on a
+//! mid-size instance, and the crash differential pins the ASYNC chain's
+//! deadlock against the step engine's.
+
+use shared_whiteboard::par::{par_drain, WorkQueue};
+use shared_whiteboard::prelude::*;
+use wb_core::registry::{self, BoundOracle, BulkVisitor, ProtocolVisitor};
+use wb_runtime::bulk::{run_bulk, run_bulk_crashed, shuffled_schedule, BulkConfig};
+use wb_runtime::BulkProtocol;
+
+/// All connected graphs on `1..=n` nodes.
+fn connected_graphs_up_to(n: usize) -> Vec<Graph> {
+    (1..=n).flat_map(enumerate::all_connected_graphs).collect()
+}
+
+/// Deterministic schedule set: every permutation for `n ≤ 4` (24 at most),
+/// identity + reverse + six seeded shuffles at `n = 5`.
+fn schedules(n: usize) -> Vec<Vec<NodeId>> {
+    if n <= 4 {
+        let mut all = Vec::new();
+        let mut current: Vec<NodeId> = (1..=n as NodeId).collect();
+        permute(&mut current, n, &mut all);
+        all
+    } else {
+        let mut set = vec![
+            (1..=n as NodeId).collect::<Vec<_>>(),
+            (1..=n as NodeId).rev().collect::<Vec<_>>(),
+        ];
+        set.extend((0..6).map(|s| shuffled_schedule(n, s)));
+        set
+    }
+}
+
+fn permute(items: &mut Vec<NodeId>, k: usize, out: &mut Vec<Vec<NodeId>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        items.swap(i, k - 1);
+        permute(items, k - 1, out);
+        items.swap(i, k - 1);
+    }
+}
+
+/// Both free models include both simultaneous natives, so every bulk
+/// protocol runs under both targets.
+const FREE_TARGETS: [Model; 2] = [Model::Async, Model::Sync];
+
+/// Step-engine outcomes: the Lemma 4 promotion to each free target, driven
+/// by the schedule-priority adversary, one `Debug` rendering per
+/// (schedule × target) in deterministic order.
+struct StepOutcomes<'a> {
+    g: &'a Graph,
+}
+
+impl ProtocolVisitor for StepOutcomes<'_> {
+    type Result = Vec<String>;
+    fn visit<P, B>(self, protocol: P, _bind: B) -> Vec<String>
+    where
+        P: Protocol + Clone + Send + Sync,
+        P::Node: Send + Sync,
+        P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let g = self.g;
+        let mut out = Vec::new();
+        for schedule in schedules(g.n()) {
+            for target in FREE_TARGETS {
+                let outcome = run(
+                    &Promote::new(protocol.clone(), target),
+                    g,
+                    &mut PriorityAdversary::new(&schedule),
+                )
+                .outcome;
+                out.push(format!("{target}:{outcome:?}"));
+            }
+        }
+        out
+    }
+}
+
+/// Bulk-engine outcomes over the identical (schedule × target) grid.
+struct BulkOutcomes<'a> {
+    g: &'a Graph,
+}
+
+impl BulkVisitor for BulkOutcomes<'_> {
+    type Result = Vec<String>;
+    fn visit<P, B>(self, protocol: P, _bind: B) -> Vec<String>
+    where
+        P: BulkProtocol + Send + Sync,
+        P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+    {
+        let g = self.g;
+        let mut out = Vec::new();
+        // Tiny batch so multi-shard assembly is exercised even at n = 5.
+        let config = BulkConfig::default().with_batch(2);
+        for schedule in schedules(g.n()) {
+            for target in FREE_TARGETS {
+                let report = run_bulk(&protocol, g, &schedule, Some(target), &config)
+                    .expect("free targets include every bulk protocol's native model");
+                out.push(format!("{target}:{:?}", report.outcome));
+            }
+        }
+        out
+    }
+}
+
+#[test]
+fn free_order_bulk_equals_step_on_every_connected_graph_to_n5() {
+    let specs: Vec<&'static str> = registry::PROTOCOLS
+        .iter()
+        .filter(|p| p.bulk)
+        .map(|p| p.name)
+        .collect();
+    assert!(
+        specs.len() >= 10,
+        "the bulk tier covers most of the registry"
+    );
+    let graphs = connected_graphs_up_to(5);
+    let queue = WorkQueue::bounded(graphs.len());
+    for g in graphs {
+        queue.push(g).expect("queue sized to hold every graph");
+    }
+    par_drain(&queue, |g, _| {
+        for spec in &specs {
+            let step = registry::dispatch(spec, g.n(), StepOutcomes { g: &g })
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let bulk = registry::dispatch_bulk(spec, g.n(), BulkOutcomes { g: &g })
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(
+                step, bulk,
+                "{spec} on {g:?}: free-order bulk and step engines diverged"
+            );
+        }
+    });
+}
+
+#[test]
+fn free_order_bulk_board_matches_step_board_exactly() {
+    // Beyond outcomes: the materialized bulk board (writers + message bits,
+    // write order) must equal the step engine's board verbatim under both
+    // free targets.
+    struct Boards<'a> {
+        g: &'a Graph,
+        schedule: Vec<NodeId>,
+        target: Model,
+    }
+    impl BulkVisitor for Boards<'_> {
+        type Result = Whiteboard;
+        fn visit<P, B>(self, protocol: P, _bind: B) -> Whiteboard
+        where
+            P: BulkProtocol + Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            run_bulk(
+                &protocol,
+                self.g,
+                &self.schedule,
+                Some(self.target),
+                &BulkConfig::default().with_batch(3),
+            )
+            .expect("free targets are runnable")
+            .board
+            .to_whiteboard()
+        }
+    }
+    struct StepBoard<'a> {
+        g: &'a Graph,
+        schedule: Vec<NodeId>,
+        target: Model,
+    }
+    impl ProtocolVisitor for StepBoard<'_> {
+        type Result = Whiteboard;
+        fn visit<P, B>(self, protocol: P, _bind: B) -> Whiteboard
+        where
+            P: Protocol + Clone + Send + Sync,
+            P::Node: Send + Sync,
+            P::Output: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+            B: for<'g> Fn(&'g Graph) -> BoundOracle<'g, P::Output> + Send + Sync,
+        {
+            run(
+                &Promote::new(protocol, self.target),
+                self.g,
+                &mut PriorityAdversary::new(&self.schedule),
+            )
+            .board
+        }
+    }
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(17);
+    let g = generators::gnp(12, 0.25, &mut rng);
+    for spec in [
+        "build:2",
+        "mis:1",
+        "two-cliques",
+        "edge-count",
+        "subgraph:3",
+    ] {
+        for target in FREE_TARGETS {
+            for seed in 0..4 {
+                let schedule = shuffled_schedule(g.n(), seed);
+                let bulk = registry::dispatch_bulk(
+                    spec,
+                    g.n(),
+                    Boards {
+                        g: &g,
+                        schedule: schedule.clone(),
+                        target,
+                    },
+                )
+                .unwrap();
+                let step = registry::dispatch(
+                    spec,
+                    g.n(),
+                    StepBoard {
+                        g: &g,
+                        schedule,
+                        target,
+                    },
+                )
+                .unwrap();
+                assert_eq!(bulk, step, "{spec} @ {target} seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn crashed_async_chain_matches_step_engine_deadlock() {
+    // Crashing a node in the ASYNC sequential-activation chain stalls every
+    // higher ID. The bulk report and the step engine (crashing the same
+    // victim when picked) must agree on outcome, crashed set, and board.
+    use wb_core::MisGreedy;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(23);
+    let g = generators::gnp(10, 0.3, &mut rng);
+    let protocol = MisGreedy::new(1);
+    for victim in [3 as NodeId, 7] {
+        let schedule = shuffled_schedule(g.n(), 2);
+        let bulk = run_bulk_crashed(
+            &protocol,
+            &g,
+            &schedule,
+            Some(Model::Async),
+            &BulkConfig::default(),
+            &[victim],
+        )
+        .expect("ASYNC includes SIMSYNC");
+
+        let promoted = Promote::new(protocol.clone(), Model::Async);
+        let mut engine = Engine::new(&promoted, &g);
+        let mut adv = PriorityAdversary::new(&schedule);
+        let mut active: Vec<NodeId> = Vec::new();
+        let step = loop {
+            engine.activation_phase();
+            engine.active_set_into(&mut active);
+            if active.is_empty() {
+                break engine.finish();
+            }
+            let pick = adv.pick(&active, engine.board());
+            if pick == victim {
+                engine.step_crash(pick);
+            } else {
+                engine.step(pick);
+            }
+        };
+
+        assert_eq!(
+            format!("{:?}", bulk.outcome),
+            format!("{:?}", step.outcome),
+            "victim {victim}"
+        );
+        assert!(
+            matches!(bulk.outcome, Outcome::Deadlock { .. }),
+            "victim {victim}: the chain must stall"
+        );
+        assert_eq!(bulk.crashed, step.crashed, "victim {victim}");
+        assert_eq!(bulk.write_order, step.write_order, "victim {victim}");
+        assert_eq!(
+            bulk.board.to_whiteboard(),
+            step.board,
+            "victim {victim}: boards diverged"
+        );
+    }
+}

@@ -513,14 +513,14 @@ fn bulk_runs_both_engine_paths_and_reports_throughput() {
 }
 
 #[test]
-fn bulk_rejects_free_models_and_demotions() {
+fn bulk_rejects_free_native_protocols_and_demotions() {
     // The rejection must name the offending protocol, its model, and the
-    // supported alternatives — not just wave at "simultaneous models".
+    // supported alternatives — not just wave at "simultaneous".
     let (ok, out) = whiteboard(&["bulk", "--protocol", "bfs", "--n", "100"]);
     assert!(!ok);
     assert!(out.contains("protocol 'bfs'"), "{out}");
     assert!(out.contains("the free model SYNC"), "{out}");
-    assert!(out.contains("simultaneous models only"), "{out}");
+    assert!(out.contains("simultaneous-native protocols only"), "{out}");
     assert!(out.contains("SIMASYNC or SIMSYNC"), "{out}");
     // An ASYNC-native protocol is named with its own model.
     let (ok, out) = whiteboard(&["bulk", "--protocol", "eob-bfs", "--n", "100"]);
@@ -528,17 +528,8 @@ fn bulk_rejects_free_models_and_demotions() {
     assert!(out.contains("protocol 'eob-bfs'"), "{out}");
     assert!(out.contains("the free model ASYNC"), "{out}");
     assert!(out.contains("SIMASYNC or SIMSYNC"), "{out}");
-    let (ok, out) = whiteboard(&[
-        "bulk",
-        "--protocol",
-        "mis:1",
-        "--n",
-        "100",
-        "--model",
-        "sync",
-    ]);
-    assert!(!ok);
-    assert!(out.contains("simultaneous models only"), "{out}");
+    // Demotion is refused with the structured runtime error naming the
+    // supported set.
     let (ok, out) = whiteboard(&[
         "bulk",
         "--protocol",
@@ -549,7 +540,66 @@ fn bulk_rejects_free_models_and_demotions() {
         "simasync",
     ]);
     assert!(!ok);
-    assert!(out.contains("cannot demote"), "{out}");
+    assert!(out.contains("protocol 'mis:1'"), "{out}");
+    assert!(
+        out.contains("cannot demote SIMSYNC protocol to SIMASYNC"),
+        "{out}"
+    );
+    assert!(
+        out.contains("runs it under SIMSYNC, ASYNC or SYNC only"),
+        "{out}"
+    );
+}
+
+#[test]
+fn bulk_accepts_free_targets_through_the_event_scheduler() {
+    // SYNC target: the schedule-ordered event loop on a SIMSYNC protocol.
+    let (ok, out) = whiteboard(&[
+        "bulk",
+        "--protocol",
+        "mis:1",
+        "--graph-family",
+        "gnp-lin:4",
+        "--n",
+        "2000",
+        "--model",
+        "sync",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("@ SYNC"), "{out}");
+    assert!(out.contains("verdict         : PASS"), "{out}");
+    // ASYNC target: the Lemma 4 sequential-activation chain, JSON form.
+    let (ok, out) = whiteboard_stdout(&[
+        "bulk",
+        "--protocol",
+        "mis:1",
+        "--graph-family",
+        "gnp-lin:4",
+        "--n",
+        "2000",
+        "--model",
+        "async",
+        "--json",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"model\":\"ASYNC\""), "{out}");
+    assert!(out.contains("\"verdict\":\"PASS\""), "{out}");
+    assert!(out.contains("\"rounds\":2000"), "{out}");
+    // A SIMASYNC-native protocol rides the parallel path under any target.
+    let (ok, out) = whiteboard(&[
+        "bulk",
+        "--protocol",
+        "build:2",
+        "--graph-family",
+        "kdeg-lin:2",
+        "--n",
+        "2000",
+        "--model",
+        "async",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("@ ASYNC"), "{out}");
+    assert!(out.contains("verdict         : PASS"), "{out}");
 }
 
 #[test]

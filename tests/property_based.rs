@@ -338,6 +338,96 @@ proptest! {
         );
     }
 
+    /// Free-order bulk campaigns keep the determinism contract: for either
+    /// free target the report (rendered to JSON) is byte-identical across
+    /// sharding grains, and the parallel striped path is thread-count
+    /// insensitive down to the exact board bytes.
+    #[test]
+    fn free_order_bulk_campaigns_are_sharding_and_thread_insensitive(
+        n in 2usize..7, p_edge in 0.0f64..0.6, seed in any::<u64>(), batch in 1usize..100, threads in 1usize..9
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let labels = wb_sim::CampaignLabels::default();
+        let config = |b: usize| {
+            wb_sim::CampaignConfig::default()
+                .with_trials(300)
+                .with_seed(seed)
+                .with_batch(b)
+        };
+        for target in [Model::Sync, Model::Async] {
+            let sequential = wb_sim::run_bulk_campaign(
+                &MisGreedy::new(1), &g, &config(300), &labels, Some(target), |_| true,
+            ).map_err(TestCaseError::fail)?;
+            let sharded = wb_sim::run_bulk_campaign(
+                &MisGreedy::new(1), &g, &config(batch), &labels, Some(target), |_| true,
+            ).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(
+                sequential.to_json().to_string(),
+                sharded.to_json().to_string()
+            );
+        }
+        // The SIMASYNC-native parallel path under free targets: any writer
+        // width produces the identical board.
+        let kg = wb_graph::generators::k_degenerate(n, 1, false, &mut rng);
+        let schedule = shuffled_schedule(kg.n(), seed);
+        for target in [Model::Sync, Model::Async] {
+            let narrow = run_bulk(
+                &Oblivious::new(BuildDegenerate::new(1)), &kg, &schedule, Some(target),
+                &BulkConfig::default().with_threads(1),
+            ).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let wide = run_bulk(
+                &Oblivious::new(BuildDegenerate::new(1)), &kg, &schedule, Some(target),
+                &BulkConfig::default().with_threads(threads),
+            ).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(format!("{:?}", narrow.outcome), format!("{:?}", wide.outcome));
+            prop_assert_eq!(narrow.write_order, wide.write_order);
+            prop_assert_eq!(narrow.board.to_whiteboard(), wide.board.to_whiteboard());
+        }
+    }
+
+    /// A seeded schedule replays bit-for-bit through both tiers under the
+    /// free targets, with and without crash faults: same outcome rendering,
+    /// same executed write order, same crashed set, same board bytes.
+    #[test]
+    fn free_order_schedules_replay_bit_for_bit_across_tiers(
+        n in 2usize..10, p_edge in 0.0f64..0.6, seed in any::<u64>(), f in 0usize..3
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = wb_graph::generators::gnp(n, p_edge, &mut rng);
+        let protocol = MisGreedy::new(1);
+        let schedule = shuffled_schedule(n, seed);
+        let victims: Vec<NodeId> = schedule[..f.min(n)].to_vec();
+        for target in [Model::Sync, Model::Async] {
+            let bulk = run_bulk_crashed(
+                &protocol, &g, &schedule, Some(target), &BulkConfig::default(), &victims,
+            ).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let promoted = Promote::new(protocol.clone(), target);
+            let mut engine = Engine::new(&promoted, &g);
+            let mut adv = PriorityAdversary::new(&schedule);
+            let step = loop {
+                engine.activation_phase();
+                let active = engine.active_set();
+                if active.is_empty() {
+                    break engine.finish();
+                }
+                let pick = adv.pick(&active, engine.board());
+                if victims.contains(&pick) {
+                    engine.step_crash(pick);
+                } else {
+                    engine.step(pick);
+                }
+            };
+            prop_assert_eq!(
+                format!("{target}:{:?}", bulk.outcome),
+                format!("{target}:{:?}", step.outcome)
+            );
+            prop_assert_eq!(&bulk.write_order, &step.write_order);
+            prop_assert_eq!(&bulk.crashed, &step.crashed);
+            prop_assert_eq!(bulk.board.to_whiteboard(), step.board);
+        }
+    }
+
     /// The canonical state is write-order-oblivious exactly as specified:
     /// two different permutations of the same SIMASYNC write set land in
     /// the same canonical state, while different write sets never collide.
